@@ -1,0 +1,64 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/framework.hpp"
+#include "kv/db.hpp"
+#include "ndp/executor.hpp"
+#include "workload/pubgraph.hpp"
+
+namespace ndpgen::bench {
+
+/// Scale divisor for dataset-level benches; override with NDPGEN_SCALE.
+/// Virtual times of throughput-bound experiments (SCAN) are multiplied
+/// back to full scale (linear in the flash-bound regime); latency-bound
+/// experiments (GET) are reported unscaled.
+inline std::uint64_t scale_divisor(std::uint64_t fallback = 128) {
+  if (const char* env = std::getenv("NDPGEN_SCALE")) {
+    const auto value = std::strtoull(env, nullptr, 10);
+    if (value >= 1) return value;
+  }
+  return fallback;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+inline double to_seconds(platform::SimTime time) {
+  return static_cast<double>(time) / 1e9;
+}
+
+inline double to_millis(platform::SimTime time) {
+  return static_cast<double>(time) / 1e6;
+}
+
+/// Builds a paper store at the given scale; returns records loaded.
+inline std::uint64_t load_paper_store(platform::CosmosPlatform& cosmos,
+                                      kv::NKV& db,
+                                      const workload::PubGraphGenerator& gen) {
+  (void)cosmos;
+  return workload::load_papers(db, gen);
+}
+
+inline kv::DBConfig paper_db_config() {
+  kv::DBConfig config;
+  config.record_bytes = workload::PaperRecord::kBytes;
+  config.extractor = workload::paper_key;
+  return config;
+}
+
+inline kv::DBConfig ref_db_config() {
+  kv::DBConfig config;
+  config.record_bytes = workload::RefRecord::kBytes;
+  config.extractor = workload::ref_key;
+  return config;
+}
+
+}  // namespace ndpgen::bench

@@ -1,0 +1,58 @@
+// Fig. 8: Out-of-context slice utilization of generated PEs vs tuple size
+// (64..1024 bits), Full (all data filterable) vs Half (half the data
+// discarded via string-prefixes).
+//
+// Shape targets from the paper: slices grow with tuple size; for SMALL
+// tuples Half costs MORE than Full (fixed prefix/postfix handling), while
+// for large tuples the smaller filtering datapath wins — prefixing pays
+// off once string data would otherwise need very wide comparators.
+#include <cstdio>
+
+#include "core/framework.hpp"
+#include "hwgen/resource_model.hpp"
+#include "workload/synth.hpp"
+
+using namespace ndpgen;
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Fig. 8 — OOC slice utilization vs tuple size (generated PEs)\n");
+  std::printf("==============================================================\n\n");
+
+  const core::Framework framework;
+  std::printf("%10s %12s %12s %12s\n", "bits", "Full", "Half", "Half-Full");
+  double full_64 = 0, half_64 = 0, full_1024 = 0, half_1024 = 0;
+  double previous_full = 0;
+  bool monotonic = true;
+  for (std::uint32_t bits = 64; bits <= 1024; bits *= 2) {
+    double values[2];
+    for (const bool half : {false, true}) {
+      const auto compiled =
+          framework.compile(workload::synth_spec(bits, half));
+      values[half ? 1 : 0] =
+          compiled.get("Synth").resources_out_of_context.total.slices;
+    }
+    std::printf("%10u %12.0f %12.0f %+12.0f\n", bits, values[0], values[1],
+                values[1] - values[0]);
+    if (bits == 64) {
+      full_64 = values[0];
+      half_64 = values[1];
+    }
+    if (bits == 1024) {
+      full_1024 = values[0];
+      half_1024 = values[1];
+    }
+    monotonic &= values[0] > previous_full;
+    previous_full = values[0];
+  }
+
+  std::printf("\nshape checks (paper §V, Fig. 8):\n");
+  std::printf("  [%c] utilization grows with tuple size\n",
+              monotonic ? 'x' : ' ');
+  std::printf("  [%c] Half > Full for small tuples (64 bit: %.0f vs %.0f)\n",
+              half_64 > full_64 ? 'x' : ' ', half_64, full_64);
+  std::printf("  [%c] Half < Full for large tuples (1024 bit: %.0f vs "
+              "%.0f)\n",
+              half_1024 < full_1024 ? 'x' : ' ', half_1024, full_1024);
+  return (half_64 > full_64 && half_1024 < full_1024 && monotonic) ? 0 : 1;
+}

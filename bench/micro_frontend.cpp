@@ -1,0 +1,94 @@
+// Micro-benchmarks: specification front-end and generator throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/framework.hpp"
+#include "hwgen/resource_model.hpp"
+#include "hwgen/swif_generator.hpp"
+#include "hwgen/template_builder.hpp"
+#include "hwgen/verilog_emitter.hpp"
+#include "spec/lexer.hpp"
+#include "spec/parser.hpp"
+#include "workload/pubgraph.hpp"
+#include "workload/synth.hpp"
+
+namespace {
+
+using namespace ndpgen;
+
+void BM_Lexer(benchmark::State& state) {
+  const std::string& source = workload::pubgraph_spec_source();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::Lexer(source).tokenize());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(source.size()));
+}
+BENCHMARK(BM_Lexer);
+
+void BM_Parser(benchmark::State& state) {
+  const std::string& source = workload::pubgraph_spec_source();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::parse_spec(source));
+  }
+}
+BENCHMARK(BM_Parser);
+
+void BM_AnalyzeParser(benchmark::State& state) {
+  const auto module = spec::parse_spec(workload::pubgraph_spec_source());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_parser(module, "PaperScan"));
+  }
+}
+BENCHMARK(BM_AnalyzeParser);
+
+void BM_TemplateElaboration(benchmark::State& state) {
+  const auto module = spec::parse_spec(workload::pubgraph_spec_source());
+  const auto analyzed = analysis::analyze_parser(module, "PaperScan");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hwgen::build_pe_design(analyzed));
+  }
+}
+BENCHMARK(BM_TemplateElaboration);
+
+void BM_VerilogEmission(benchmark::State& state) {
+  const auto module = spec::parse_spec(workload::pubgraph_spec_source());
+  const auto design =
+      hwgen::build_pe_design(analysis::analyze_parser(module, "PaperScan"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hwgen::emit_verilog(design));
+  }
+}
+BENCHMARK(BM_VerilogEmission);
+
+void BM_SwifGeneration(benchmark::State& state) {
+  const auto module = spec::parse_spec(workload::pubgraph_spec_source());
+  const auto design =
+      hwgen::build_pe_design(analysis::analyze_parser(module, "PaperScan"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hwgen::generate_software_interface(design));
+  }
+}
+BENCHMARK(BM_SwifGeneration);
+
+void BM_FullCompile(benchmark::State& state) {
+  const core::Framework framework;
+  const auto source = workload::synth_spec(
+      static_cast<std::uint32_t>(state.range(0)), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(framework.compile(source));
+  }
+}
+BENCHMARK(BM_FullCompile)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ResourceEstimate(benchmark::State& state) {
+  const auto module = spec::parse_spec(workload::pubgraph_spec_source());
+  const auto design =
+      hwgen::build_pe_design(analysis::analyze_parser(module, "PaperScan"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hwgen::estimate_pe(design, hwgen::SynthesisMode::kInContext));
+  }
+}
+BENCHMARK(BM_ResourceEstimate);
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Micro-benchmarks: cycle-level simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/framework.hpp"
+#include "hwsim/pe_sim.hpp"
+#include "workload/synth.hpp"
+
+namespace {
+
+using namespace ndpgen;
+
+void BM_KernelTick(benchmark::State& state) {
+  const core::Framework framework;
+  const auto compiled = framework.compile(workload::synth_spec(128, false));
+  hwsim::PETestBench bench(compiled.get("Synth").design);
+  for (auto _ : state) {
+    bench.kernel().tick();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelTick);
+
+void BM_PeChunk(benchmark::State& state) {
+  const core::Framework framework;
+  const auto compiled = framework.compile(workload::synth_spec(
+      static_cast<std::uint32_t>(state.range(0)), false));
+  hwsim::PETestBench bench(compiled.get("Synth").design);
+  // Stay within one 32 KiB chunk for every tuple size.
+  const std::uint64_t tuples =
+      std::min<std::uint64_t>(512, 32'000 / (state.range(0) / 8));
+  const auto data = workload::synth_tuples(
+      static_cast<std::uint32_t>(state.range(0)), tuples, 5);
+  bench.memory().write_bytes(0, data);
+  bench.set_filter(0, 0, 6, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.run_chunk(
+        0, 1 << 20, static_cast<std::uint32_t>(data.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_PeChunk)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PadUnpadTuple(benchmark::State& state) {
+  const core::Framework framework;
+  const auto compiled = framework.compile(workload::synth_spec(256, true));
+  const auto& layout = compiled.get("Synth").analyzed.input;
+  support::BitVector storage(layout.storage_bits);
+  for (std::size_t i = 0; i < layout.storage_bits; i += 7) {
+    storage.set_bit(i, true);
+  }
+  for (auto _ : state) {
+    const auto padded = hwsim::pad_tuple(layout, storage);
+    benchmark::DoNotOptimize(hwsim::unpad_tuple(layout, padded));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PadUnpadTuple);
+
+void BM_AxiContention(benchmark::State& state) {
+  hwsim::SimMemory memory(1 << 20);
+  hwsim::AxiInterconnect interconnect(
+      memory, hwsim::AxiInterconnect::Config{2, 20, 64});
+  hwsim::SimKernel kernel;
+  kernel.add_module(&interconnect);
+  std::vector<hwsim::AxiPort*> ports;
+  for (int i = 0; i < 8; ++i) {
+    ports.push_back(interconnect.create_port("p" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    for (auto* port : ports) port->request_read(0, 8);
+    while (!interconnect.idle()) {
+      kernel.tick();
+      for (auto* port : ports) {
+        while (port->read_data_available(kernel.now())) {
+          benchmark::DoNotOptimize(port->pop_read_data(kernel.now()));
+        }
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_AxiContention);
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Micro-benchmarks: KV-store substrate (skip list, block codec, store ops).
+#include <benchmark/benchmark.h>
+
+#include "kv/block_format.hpp"
+#include "kv/db.hpp"
+#include "kv/skiplist.hpp"
+#include "platform/cosmos.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ndpgen;
+
+std::vector<std::uint8_t> make_record(std::uint64_t key) {
+  std::vector<std::uint8_t> record;
+  support::put_u64(record, key);
+  support::put_u64(record, key * 31);
+  return record;
+}
+
+kv::Key extract(std::span<const std::uint8_t> record) {
+  return kv::Key{support::get_u64(record, 0), 0};
+}
+
+void BM_SkipListInsert(benchmark::State& state) {
+  support::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    kv::SkipList<std::uint64_t, std::uint64_t> list;
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      list.insert(rng(), static_cast<std::uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SkipListInsert)->Arg(1024)->Arg(16384);
+
+void BM_SkipListLookup(benchmark::State& state) {
+  kv::SkipList<std::uint64_t, std::uint64_t> list;
+  support::Xoshiro256 rng(2);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 16384; ++i) {
+    keys.push_back(rng());
+    list.insert(keys.back(), 1);
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.find(keys[cursor++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipListLookup);
+
+void BM_BlockEncode(benchmark::State& state) {
+  const auto record = make_record(1);
+  for (auto _ : state) {
+    kv::DataBlockBuilder builder(16);
+    while (builder.has_space()) builder.add(record);
+    benchmark::DoNotOptimize(builder.finish());
+  }
+  state.SetBytesProcessed(state.iterations() * 32 * 1024);
+}
+BENCHMARK(BM_BlockEncode);
+
+void BM_BlockDecode(benchmark::State& state) {
+  kv::DataBlockBuilder builder(16);
+  while (builder.has_space()) builder.add(make_record(7));
+  const auto block = builder.finish();
+  for (auto _ : state) {
+    const auto trailer = kv::read_trailer(block);
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < trailer.record_count; ++i) {
+      sum += kv::block_record(block, trailer, i)[0];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() * 32 * 1024);
+}
+BENCHMARK(BM_BlockDecode);
+
+void BM_StorePut(benchmark::State& state) {
+  platform::CosmosPlatform cosmos;
+  kv::DBConfig config;
+  config.record_bytes = 16;
+  config.extractor = extract;
+  kv::NKV db(cosmos, config);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    db.put(make_record(key++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StorePut);
+
+void BM_TimedFlush(benchmark::State& state) {
+  // Virtual cost of a flush under the timed write path, per flushed byte.
+  platform::CosmosPlatform cosmos;
+  kv::DBConfig config;
+  config.record_bytes = 16;
+  config.extractor = extract;
+  config.auto_flush = false;
+  config.timed_writes = true;
+  kv::NKV db(cosmos, config);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 4000; ++i) db.put(make_record(key++));
+    state.ResumeTiming();
+    db.flush();
+  }
+  state.SetBytesProcessed(state.iterations() * 4000 * 16);
+  state.counters["virtual_ms"] =
+      static_cast<double>(cosmos.events().now()) / 1e6;
+}
+BENCHMARK(BM_TimedFlush);
+
+void BM_Compaction(benchmark::State& state) {
+  // Wall-clock cost of merging `range(0)` overlapping C1 tables.
+  for (auto _ : state) {
+    state.PauseTiming();
+    platform::CosmosPlatform cosmos;
+    kv::DBConfig config;
+    config.record_bytes = 16;
+    config.extractor = extract;
+    config.auto_flush = false;
+    config.auto_compact = false;
+    kv::NKV db(cosmos, config);
+    for (std::int64_t f = 0; f < state.range(0); ++f) {
+      for (std::uint64_t k = 0; k < 5000; ++k) {
+        db.put(make_record(k * static_cast<std::uint64_t>(state.range(0)) +
+                           static_cast<std::uint64_t>(f)));
+      }
+      db.flush();
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(db.compact());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 5000);
+}
+BENCHMARK(BM_Compaction)->Arg(4)->Arg(8);
+
+void BM_StoreGetAfterFlush(benchmark::State& state) {
+  platform::CosmosPlatform cosmos;
+  kv::DBConfig config;
+  config.record_bytes = 16;
+  config.extractor = extract;
+  config.auto_flush = false;
+  kv::NKV db(cosmos, config);
+  std::uint64_t next = 0;
+  db.bulk_load_sorted(
+      2,
+      [&](std::vector<std::uint8_t>& record) {
+        if (next >= 100'000) return false;
+        record = make_record(next++);
+        return true;
+      },
+      50'000);
+  support::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.get(kv::Key{rng.below(100'000), 0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreGetAfterFlush);
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Multi-stage filtering: the paper's headline extension over [1].
+//
+// Generates a reference-edge PE with two chained filter stages and uses it
+// to run a RANGE_SCAN (lo <= dst < hi) over a synthetic edge set — the
+// use case §V calls out for 2-staged accelerators — then verifies the
+// hardware result against a software evaluation and shows that the extra
+// stage costs almost no additional cycles (elastic pipeline).
+#include <cstdio>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "hwsim/pe_sim.hpp"
+#include "ndp/predicate.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+constexpr const char* kSpecTemplate = R"spec(
+/* @autogen define parser EdgeRange with
+   chunksize = 32, input = Edge, output = Edge, filters = %u */
+typedef struct { uint64_t src; uint64_t dst; } Edge;
+)spec";
+
+std::string spec_with_stages(unsigned stages) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer), kSpecTemplate, stages);
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ndpgen;
+  core::Framework framework;
+
+  // Build the edge set once.
+  constexpr std::uint64_t kEdges = 1024;
+  support::Xoshiro256 rng(42);
+  std::vector<std::uint8_t> edges;
+  for (std::uint64_t i = 0; i < kEdges; ++i) {
+    support::put_u64(edges, rng.below(1000));   // src
+    support::put_u64(edges, rng.below(1000));   // dst
+  }
+  constexpr std::uint64_t kLo = 250, kHi = 500;
+
+  // Software reference count.
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < kEdges; ++i) {
+    const std::uint64_t dst = support::get_u64(edges, i * 16 + 8);
+    if (dst >= kLo && dst < kHi) ++expected;
+  }
+
+  std::printf("== multistage RANGE_SCAN(dst in [%llu, %llu)) over %llu edges "
+              "==\n",
+              static_cast<unsigned long long>(kLo),
+              static_cast<unsigned long long>(kHi),
+              static_cast<unsigned long long>(kEdges));
+
+  std::uint64_t one_stage_cycles = 0;
+  for (unsigned stages = 1; stages <= 5; ++stages) {
+    const auto compiled = framework.compile(spec_with_stages(stages));
+    const auto& artifacts = compiled.get("EdgeRange");
+    hwsim::PETestBench bench(artifacts.design);
+    bench.memory().write_bytes(0, edges);
+
+    // Stage 0: dst >= lo. Stage 1: dst < hi. Stages 2+: nop.
+    std::vector<ndp::FilterPredicate> predicates = {
+        {"dst", "ge", kLo}};
+    if (stages >= 2) predicates.push_back({"dst", "lt", kHi});
+    const auto bound = ndp::bind_conjunction(
+        artifacts.analyzed.input, artifacts.design.operators, predicates,
+        stages);
+    for (unsigned stage = 0; stage < stages; ++stage) {
+      bench.set_filter(stage, bound[stage].field_select,
+                       bound[stage].op_encoding, bound[stage].compare_value);
+    }
+
+    const auto stats =
+        bench.run_chunk(0, 64 * 1024, static_cast<std::uint32_t>(edges.size()));
+    if (stages == 1) one_stage_cycles = stats.cycles;
+    const std::uint64_t matched = stats.tuples_out;
+    std::printf(
+        "  %u stage(s): %5llu cycles (+%4.1f%% vs 1 stage), %4llu matched "
+        "(%s)\n",
+        stages, static_cast<unsigned long long>(stats.cycles),
+        100.0 * (static_cast<double>(stats.cycles) -
+                 static_cast<double>(one_stage_cycles)) /
+            static_cast<double>(one_stage_cycles),
+        static_cast<unsigned long long>(matched),
+        stages == 1 ? "range needs 2 stages -> over-matches as expected"
+                    : (matched == expected ? "matches software" : "MISMATCH"));
+    if (stages >= 2 && matched != expected) return 1;
+  }
+  std::printf("additional stages add only marginal latency (elastic "
+              "pipeline, 1 tuple/cycle/stage).\n");
+  return 0;
+}

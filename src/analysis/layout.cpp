@@ -1,0 +1,133 @@
+#include "analysis/layout.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ndpgen::analysis {
+
+namespace {
+
+constexpr std::uint64_t kMaxTupleBits = 64 * 1024 * 8;  // 64 KiB
+
+void flatten_rec(const TypeNode& node, const std::string& prefix,
+                 std::vector<FieldLayout>& out) {
+  switch (node.kind) {
+    case TypeNode::Kind::kPrimitive: {
+      FieldLayout field;
+      field.path = prefix;
+      field.relevant = true;
+      field.primitive = node.primitive;
+      field.storage_width_bits = spec::width_bits(node.primitive);
+      out.push_back(std::move(field));
+      return;
+    }
+    case TypeNode::Kind::kStringPostfix: {
+      FieldLayout field;
+      field.path = prefix;
+      field.relevant = false;
+      field.storage_width_bits = node.postfix_bytes * 8;
+      out.push_back(std::move(field));
+      return;
+    }
+    case TypeNode::Kind::kStruct:
+      for (const auto& child : node.children) {
+        const std::string child_path =
+            prefix.empty() ? child->name : prefix + "." + child->name;
+        flatten_rec(*child, child_path, out);
+      }
+      return;
+    case TypeNode::Kind::kArray:
+      ndpgen::raise(ErrorKind::kInternal,
+                    "layout computation requires a normalized tree");
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> TupleLayout::relevant_indices() const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].relevant) indices.push_back(i);
+  }
+  return indices;
+}
+
+std::optional<std::size_t> TupleLayout::find_field(
+    std::string_view path) const noexcept {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].path == path) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t TupleLayout::relevant_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& field : fields) count += field.relevant ? 1 : 0;
+  return count;
+}
+
+std::string TupleLayout::dump() const {
+  std::ostringstream out;
+  out << "tuple " << type_name << ": storage=" << storage_bits
+      << "b padded=" << padded_bits << "b cmp=" << comparator_width_bits
+      << "b\n";
+  for (const auto& field : fields) {
+    out << "  " << field.path << " @" << field.storage_offset_bits << "+"
+        << field.storage_width_bits << (field.relevant ? "" : " (postfix)")
+        << " -> padded @" << field.padded_offset_bits << "+"
+        << field.padded_width_bits << "\n";
+  }
+  return out.str();
+}
+
+TupleLayout compute_layout(const TypeNode& root) {
+  NDPGEN_CHECK_ARG(root.kind == TypeNode::Kind::kStruct,
+                   "layout root must be a struct");
+  TupleLayout layout;
+  layout.type_name = root.name;
+  flatten_rec(root, "", layout.fields);
+
+  // Storage offsets: packed, declaration order.
+  std::uint64_t offset = 0;
+  for (auto& field : layout.fields) {
+    field.storage_offset_bits = static_cast<std::uint32_t>(offset);
+    offset += field.storage_width_bits;
+  }
+  if (offset > kMaxTupleBits) {
+    ndpgen::raise(ErrorKind::kSemantic,
+                  "tuple '" + root.name + "' is wider (" +
+                      std::to_string(offset) +
+                      " bits) than the 64 KiB template limit");
+  }
+  layout.storage_bits = static_cast<std::uint32_t>(offset);
+
+  // Comparator width: the largest relevant field (paper: "the contextual
+  // analysis determines the largest relevant field ... the padding ensures
+  // that all relevant fields can be processed in a single comparator").
+  std::uint32_t comparator = 0;
+  for (const auto& field : layout.fields) {
+    if (field.relevant) comparator = std::max(comparator, field.storage_width_bits);
+  }
+  layout.comparator_width_bits = comparator;
+
+  // Padded layout: relevant fields first (each padded to the comparator
+  // width), then the opaque postfix vector.
+  std::uint64_t padded = 0;
+  for (auto& field : layout.fields) {
+    if (!field.relevant) continue;
+    field.padded_offset_bits = static_cast<std::uint32_t>(padded);
+    field.padded_width_bits = comparator;
+    padded += comparator;
+  }
+  for (auto& field : layout.fields) {
+    if (field.relevant) continue;
+    field.padded_offset_bits = static_cast<std::uint32_t>(padded);
+    field.padded_width_bits = field.storage_width_bits;
+    padded += field.storage_width_bits;
+  }
+  layout.padded_bits = static_cast<std::uint32_t>(padded);
+  return layout;
+}
+
+}  // namespace ndpgen::analysis

@@ -1,0 +1,68 @@
+// Tuple layout computation.
+//
+// After the transformation passes, a type tree is flattened into an ordered
+// list of leaf fields. Two layouts are derived:
+//
+//  * the STORAGE layout — packed bit offsets exactly as the tuple lives in
+//    the KV-store data block (and in DRAM when loaded by the Load Unit);
+//  * the PADDED (processing) layout — the representation inside the PE:
+//    every relevant field is padded to the width of the largest relevant
+//    field, so a single comparator unit can process any of them (paper
+//    §IV-B, "Contextual Analysis"); string postfixes are carried in a
+//    second vector appended after the padded fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/type_tree.hpp"
+
+namespace ndpgen::analysis {
+
+/// One leaf field of a tuple.
+struct FieldLayout {
+  std::string path;  ///< Dotted path, e.g. "pos.elem_0" or "name_prefix".
+  bool relevant = true;  ///< Filterable (primitive) vs opaque postfix.
+  spec::PrimitiveKind primitive = spec::PrimitiveKind::kU32;  ///< If relevant.
+
+  std::uint32_t storage_offset_bits = 0;
+  std::uint32_t storage_width_bits = 0;
+  std::uint32_t padded_offset_bits = 0;  ///< Offset in processing vector.
+  std::uint32_t padded_width_bits = 0;   ///< = comparator width if relevant.
+};
+
+/// Complete layout of one tuple type.
+struct TupleLayout {
+  std::string type_name;
+  std::vector<FieldLayout> fields;  ///< Declaration order.
+
+  std::uint32_t storage_bits = 0;       ///< Packed width (KV-store bytes*8).
+  std::uint32_t padded_bits = 0;        ///< Processing-vector width.
+  std::uint32_t comparator_width_bits = 0;  ///< Largest relevant field.
+
+  [[nodiscard]] std::uint32_t storage_bytes() const noexcept {
+    return (storage_bits + 7) / 8;
+  }
+
+  /// Indices of relevant (filterable) fields, in order.
+  [[nodiscard]] std::vector<std::size_t> relevant_indices() const;
+
+  /// Finds a field by exact path.
+  [[nodiscard]] std::optional<std::size_t> find_field(
+      std::string_view path) const noexcept;
+
+  /// Number of relevant fields.
+  [[nodiscard]] std::size_t relevant_count() const noexcept;
+
+  /// Human-readable table for debug output.
+  [[nodiscard]] std::string dump() const;
+};
+
+/// Flattens a normalized tree (see passes.hpp) into a TupleLayout.
+/// Throws Error{kSemantic} if the tuple is wider than the architecture
+/// template supports (64 KiB) or not normalized.
+[[nodiscard]] TupleLayout compute_layout(const TypeNode& root);
+
+}  // namespace ndpgen::analysis

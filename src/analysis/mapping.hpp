@@ -1,0 +1,43 @@
+// Field-mapping resolution for the Data Transformation Unit.
+//
+// Paper §IV-B distinguishes three cases:
+//   1. input type == output type            -> tuples pass through;
+//   2. every output field exists (by path)  -> mapping derived automatically;
+//   3. output fields absent from the input  -> the user must provide
+//      `mapping = { output.a = input.b, ... }` entries.
+//
+// Resolution happens at leaf granularity (post string-resolution and
+// scalarization). A user entry naming a nested struct or array maps all of
+// its leaves positionally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/layout.hpp"
+#include "spec/ast.hpp"
+
+namespace ndpgen::analysis {
+
+/// One resolved leaf-level wire: output field <- input field.
+struct LeafMapping {
+  std::size_t output_field = 0;  ///< Index into output TupleLayout::fields.
+  std::size_t input_field = 0;   ///< Index into input TupleLayout::fields.
+};
+
+/// Result of mapping resolution.
+struct ResolvedMapping {
+  std::vector<LeafMapping> wires;  ///< One per output leaf, output order.
+  bool identity = false;  ///< Case 1: layouts are structurally identical.
+};
+
+/// Resolves the mapping from `input` to `output` using optional user
+/// `entries`. Throws Error{kSemantic} when an output leaf cannot be
+/// matched (case 3 without a user entry), when widths/kinds mismatch, or
+/// when entries are ambiguous/contradictory.
+[[nodiscard]] ResolvedMapping resolve_mapping(
+    const TupleLayout& input, const TupleLayout& output,
+    const std::vector<spec::MappingEntry>& entries);
+
+}  // namespace ndpgen::analysis

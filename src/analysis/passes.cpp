@@ -1,0 +1,152 @@
+#include "analysis/passes.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::analysis {
+
+namespace {
+
+/// Picks the primitive kind used for a string prefix of `bytes` bytes.
+/// Prefixes are compared as unsigned big-endian-lexicographic words; the
+/// tuple buffer performs the byte reversal, so the field itself is a plain
+/// unsigned integer of the right width.
+spec::PrimitiveKind prefix_primitive(std::uint32_t bytes) {
+  if (bytes <= 1) return spec::PrimitiveKind::kU8;
+  if (bytes <= 2) return spec::PrimitiveKind::kU16;
+  if (bytes <= 4) return spec::PrimitiveKind::kU32;
+  return spec::PrimitiveKind::kU64;
+}
+
+}  // namespace
+
+namespace {
+
+/// Builds the replacement nodes for one @string-annotated byte array.
+/// Returns {prefix-node, postfix-node}; the names are `<field>_prefix` /
+/// `<field>_postfix`, spliced flat into the enclosing struct (§IV-B:
+/// "arrays that are annotated to represent strings are transformed into
+/// structs, which contain a prefix-field followed by an array").
+std::pair<TypeNodePtr, TypeNodePtr> split_string(const TypeNode& array) {
+  NDPGEN_CHECK(array.element->kind == TypeNode::Kind::kPrimitive &&
+                   spec::width_bits(array.element->primitive) == 8,
+               "@string must annotate a byte array");
+  const std::uint32_t prefix_bytes = array.string_prefix_bytes;
+  const std::uint32_t postfix_bytes = array.count - prefix_bytes;
+
+  auto prefix = std::make_unique<TypeNode>();
+  prefix->name = array.name + "_prefix";
+  const spec::PrimitiveKind kind = prefix_primitive(prefix_bytes);
+  if (spec::width_bits(kind) == prefix_bytes * 8) {
+    prefix->kind = TypeNode::Kind::kPrimitive;
+    prefix->primitive = kind;
+  } else {
+    // Non-power-of-two prefix: keep it as a byte array that the
+    // scalarization pass will split into filterable byte fields.
+    prefix->kind = TypeNode::Kind::kArray;
+    prefix->count = prefix_bytes;
+    prefix->element = std::make_unique<TypeNode>();
+    prefix->element->kind = TypeNode::Kind::kPrimitive;
+    prefix->element->name = "elem";
+    prefix->element->primitive = spec::PrimitiveKind::kU8;
+  }
+
+  auto postfix = std::make_unique<TypeNode>();
+  postfix->kind = TypeNode::Kind::kStringPostfix;
+  postfix->name = array.name + "_postfix";
+  postfix->postfix_bytes = postfix_bytes;
+  return {std::move(prefix), std::move(postfix)};
+}
+
+}  // namespace
+
+void resolve_strings(TypeNode& node) {
+  switch (node.kind) {
+    case TypeNode::Kind::kPrimitive:
+    case TypeNode::Kind::kStringPostfix:
+      return;
+    case TypeNode::Kind::kArray:
+      NDPGEN_CHECK(node.string_prefix_bytes == 0,
+                   "@string array must be resolved by its parent struct");
+      resolve_strings(*node.element);
+      return;
+    case TypeNode::Kind::kStruct: {
+      std::vector<TypeNodePtr> resolved;
+      resolved.reserve(node.children.size());
+      for (auto& child : node.children) {
+        if (child->kind == TypeNode::Kind::kArray &&
+            child->string_prefix_bytes != 0) {
+          auto [prefix, postfix] = split_string(*child);
+          resolved.push_back(std::move(prefix));
+          resolved.push_back(std::move(postfix));
+        } else {
+          resolve_strings(*child);
+          resolved.push_back(std::move(child));
+        }
+      }
+      node.children = std::move(resolved);
+      return;
+    }
+  }
+}
+
+void scalarize_arrays(TypeNode& node) {
+  switch (node.kind) {
+    case TypeNode::Kind::kPrimitive:
+    case TypeNode::Kind::kStringPostfix:
+      return;
+    case TypeNode::Kind::kArray: {
+      // First normalize the element, then expand.
+      scalarize_arrays(*node.element);
+      std::vector<TypeNodePtr> expanded;
+      expanded.reserve(node.count);
+      for (std::uint32_t i = 0; i < node.count; ++i) {
+        auto elem = node.element->clone();
+        elem->name = "elem_" + std::to_string(i);
+        expanded.push_back(std::move(elem));
+      }
+      node.kind = TypeNode::Kind::kStruct;
+      node.count = 0;
+      node.element.reset();
+      node.children = std::move(expanded);
+      return;
+    }
+    case TypeNode::Kind::kStruct:
+      for (auto& child : node.children) scalarize_arrays(*child);
+      return;
+  }
+}
+
+void run_all_passes(TypeNode& node) {
+  resolve_strings(node);
+  scalarize_arrays(node);
+  check_normalized(node);
+}
+
+namespace {
+
+void check_node(const TypeNode& node) {
+  switch (node.kind) {
+    case TypeNode::Kind::kArray:
+      ndpgen::raise(ErrorKind::kInternal,
+                    "array '" + node.name + "' survived scalarization");
+    case TypeNode::Kind::kPrimitive:
+    case TypeNode::Kind::kStringPostfix:
+      return;
+    case TypeNode::Kind::kStruct:
+      for (const auto& child : node.children) check_node(*child);
+      return;
+  }
+}
+
+}  // namespace
+
+void check_normalized(const TypeNode& node) {
+  check_node(node);
+  if (node.primitive_leaf_count() == 0) {
+    ndpgen::raise(ErrorKind::kSemantic,
+                  "type '" + node.name +
+                      "' has no filterable fields after analysis");
+  }
+}
+
+}  // namespace ndpgen::analysis

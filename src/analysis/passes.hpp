@@ -1,0 +1,38 @@
+// Contextual-analysis transformation passes (paper §IV-B).
+//
+// Pass order mirrors the paper exactly:
+//   1. resolve_strings  — annotated byte arrays become
+//                         struct { prefix; postfix } where the prefix is a
+//                         regular (filterable) field and the postfix is
+//                         opaque string data carried through the pipeline.
+//   2. scalarize_arrays — arrays are flattened into structs of scalar
+//                         element fields (elem_0, elem_1, ...); the data
+//                         layout is unchanged.
+// After both passes the tree contains only structs whose leaves are
+// primitives or string postfixes; layout computation (layout.hpp) then
+// derives offsets and padding.
+#pragma once
+
+#include "analysis/type_tree.hpp"
+
+namespace ndpgen::analysis {
+
+/// Pass 1: transforms @string-annotated byte arrays into
+/// struct { <name>_prefix : uintN ; <name>_postfix : string-postfix }.
+/// The prefix width is prefix_bytes * 8 (the parser guarantees <= 64 bit so
+/// one comparator word suffices).
+void resolve_strings(TypeNode& node);
+
+/// Pass 2: removes all arrays by scalarization. `uint32_t v[2]` becomes
+/// struct v { uint32_t elem_0; uint32_t elem_1; } — identical data layout.
+void scalarize_arrays(TypeNode& node);
+
+/// Runs all passes in order.
+void run_all_passes(TypeNode& node);
+
+/// Validates post-pass invariants: no arrays remain, every leaf is a
+/// primitive or postfix, at least one filterable leaf exists.
+/// Throws Error{kSemantic} otherwise.
+void check_normalized(const TypeNode& node);
+
+}  // namespace ndpgen::analysis

@@ -1,0 +1,195 @@
+#include "analysis/type_tree.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "spec/diagnostics.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::analysis {
+
+std::uint64_t TypeNode::storage_width_bits() const {
+  switch (kind) {
+    case Kind::kPrimitive:
+      return spec::width_bits(primitive);
+    case Kind::kStringPostfix:
+      return std::uint64_t{postfix_bytes} * 8;
+    case Kind::kArray:
+      return std::uint64_t{count} * element->storage_width_bits();
+    case Kind::kStruct: {
+      std::uint64_t total = 0;
+      for (const auto& child : children) total += child->storage_width_bits();
+      return total;
+    }
+  }
+  return 0;
+}
+
+std::size_t TypeNode::primitive_leaf_count() const {
+  switch (kind) {
+    case Kind::kPrimitive:
+      return 1;
+    case Kind::kStringPostfix:
+      return 0;
+    case Kind::kArray:
+      return std::size_t{count} * element->primitive_leaf_count();
+    case Kind::kStruct: {
+      std::size_t total = 0;
+      for (const auto& child : children) total += child->primitive_leaf_count();
+      return total;
+    }
+  }
+  return 0;
+}
+
+TypeNodePtr TypeNode::clone() const {
+  auto copy = std::make_unique<TypeNode>();
+  copy->name = name;
+  copy->kind = kind;
+  copy->primitive = primitive;
+  copy->count = count;
+  copy->postfix_bytes = postfix_bytes;
+  copy->string_prefix_bytes = string_prefix_bytes;
+  if (element) copy->element = element->clone();
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->clone());
+  return copy;
+}
+
+bool TypeNode::equals(const TypeNode& other) const {
+  if (kind != other.kind || name != other.name) return false;
+  switch (kind) {
+    case Kind::kPrimitive:
+      return primitive == other.primitive;
+    case Kind::kStringPostfix:
+      return postfix_bytes == other.postfix_bytes;
+    case Kind::kArray:
+      return count == other.count && element->equals(*other.element);
+    case Kind::kStruct: {
+      if (children.size() != other.children.size()) return false;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (!children[i]->equals(*other.children[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string TypeNode::dump(int depth) const {
+  std::ostringstream out;
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  out << pad << name << ": ";
+  switch (kind) {
+    case Kind::kPrimitive:
+      out << spec::to_string(primitive);
+      if (string_prefix_bytes != 0) {
+        out << " (string prefix " << string_prefix_bytes << "B)";
+      }
+      out << '\n';
+      break;
+    case Kind::kStringPostfix:
+      out << "string-postfix[" << postfix_bytes << "B]\n";
+      break;
+    case Kind::kArray:
+      out << "array[" << count << "]";
+      if (string_prefix_bytes != 0) {
+        out << " (@string prefix=" << string_prefix_bytes << ")";
+      }
+      out << '\n';
+      out << element->dump(depth + 1);
+      break;
+    case Kind::kStruct:
+      out << "struct\n";
+      for (const auto& child : children) out << child->dump(depth + 1);
+      break;
+  }
+  return out.str();
+}
+
+namespace {
+
+TypeNodePtr build_node(const spec::SpecModule& module,
+                       const spec::StructDecl& decl,
+                       std::unordered_set<std::string>& in_progress);
+
+TypeNodePtr build_field_type(const spec::SpecModule& module,
+                             const spec::FieldDecl& field,
+                             std::unordered_set<std::string>& in_progress) {
+  TypeNodePtr base;
+  switch (field.type.kind) {
+    case spec::TypeRef::Kind::kPrimitive: {
+      base = std::make_unique<TypeNode>();
+      base->kind = TypeNode::Kind::kPrimitive;
+      base->primitive = field.type.primitive;
+      break;
+    }
+    case spec::TypeRef::Kind::kNamed: {
+      const auto* decl = module.find_struct(field.type.name);
+      if (decl == nullptr) {
+        spec::fail_at(ErrorKind::kSemantic, field.loc,
+                      "field '" + field.name + "' uses unknown type '" +
+                          field.type.name + "'");
+      }
+      base = build_node(module, *decl, in_progress);
+      break;
+    }
+    case spec::TypeRef::Kind::kInlineStruct: {
+      base = build_node(module, *field.type.inline_struct, in_progress);
+      break;
+    }
+  }
+  // Wrap in arrays, innermost dimension last.
+  for (auto it = field.array_dims.rbegin(); it != field.array_dims.rend();
+       ++it) {
+    auto array = std::make_unique<TypeNode>();
+    array->kind = TypeNode::Kind::kArray;
+    array->count = *it;
+    array->element = std::move(base);
+    array->element->name = "elem";
+    base = std::move(array);
+  }
+  if (field.string_annotation) {
+    base->string_prefix_bytes = field.string_annotation->prefix_bytes;
+  }
+  base->name = field.name;
+  return base;
+}
+
+TypeNodePtr build_node(const spec::SpecModule& module,
+                       const spec::StructDecl& decl,
+                       std::unordered_set<std::string>& in_progress) {
+  if (!in_progress.insert(decl.name).second) {
+    ndpgen::raise(ErrorKind::kSemantic,
+                  "recursive struct type '" + decl.name +
+                      "' cannot be laid out in hardware");
+  }
+  auto node = std::make_unique<TypeNode>();
+  node->kind = TypeNode::Kind::kStruct;
+  node->name = decl.name;
+  if (decl.fields.empty()) {
+    spec::fail_at(ErrorKind::kSemantic, decl.loc,
+                  "struct '" + decl.name + "' has no fields");
+  }
+  node->children.reserve(decl.fields.size());
+  for (const auto& field : decl.fields) {
+    node->children.push_back(build_field_type(module, field, in_progress));
+  }
+  in_progress.erase(decl.name);
+  return node;
+}
+
+}  // namespace
+
+TypeNodePtr build_type_tree(const spec::SpecModule& module,
+                            const std::string& type_name) {
+  const auto* decl = module.find_struct(type_name);
+  if (decl == nullptr) {
+    ndpgen::raise(ErrorKind::kSemantic,
+                  "unknown struct type '" + type_name + "'");
+  }
+  std::unordered_set<std::string> in_progress;
+  return build_node(module, *decl, in_progress);
+}
+
+}  // namespace ndpgen::analysis

@@ -1,0 +1,99 @@
+// Control Register File layout.
+//
+// The register map is the single source of truth for the HW/SW interface:
+// it is consumed by the software-interface generator (compiler macros and
+// access functions, Fig. 6) and by the platform simulator's MMIO decode —
+// the generated software therefore really drives the simulated PE through
+// the same addresses a firmware build would use on the Zynq ARM cores.
+//
+// All registers are 32-bit; addresses are byte offsets from the PE base.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndpgen::hwgen {
+
+enum class RegAccess : std::uint8_t { kReadOnly, kReadWrite };
+
+struct RegisterDef {
+  std::string name;        ///< Macro-style name, e.g. "FILTER_OP_0".
+  std::uint32_t offset;    ///< Byte offset from the PE base address.
+  RegAccess access = RegAccess::kReadWrite;
+  std::string description;
+};
+
+/// Ordered register map of one PE.
+class RegisterMap {
+ public:
+  /// Appends a register at the next free offset; returns its offset.
+  std::uint32_t add(std::string name, RegAccess access,
+                    std::string description);
+
+  [[nodiscard]] const std::vector<RegisterDef>& registers() const noexcept {
+    return registers_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return registers_.size(); }
+
+  /// Total byte span of the register file.
+  [[nodiscard]] std::uint32_t span_bytes() const noexcept {
+    return static_cast<std::uint32_t>(registers_.size()) * 4;
+  }
+
+  [[nodiscard]] const RegisterDef* find(std::string_view name) const noexcept;
+
+  /// Offset of a register that must exist (throws Error{kInternal} if not).
+  [[nodiscard]] std::uint32_t offset_of(std::string_view name) const;
+
+  /// Register at a byte offset, if any.
+  [[nodiscard]] const RegisterDef* at_offset(std::uint32_t offset) const
+      noexcept;
+
+ private:
+  std::vector<RegisterDef> registers_;
+};
+
+/// Well-known register names used by the architecture template.
+namespace reg {
+inline constexpr std::string_view kStart = "START";
+inline constexpr std::string_view kBusy = "BUSY";
+inline constexpr std::string_view kInAddrLo = "IN_ADDR_LO";
+inline constexpr std::string_view kInAddrHi = "IN_ADDR_HI";
+inline constexpr std::string_view kOutAddrLo = "OUT_ADDR_LO";
+inline constexpr std::string_view kOutAddrHi = "OUT_ADDR_HI";
+inline constexpr std::string_view kInSize = "IN_SIZE";
+inline constexpr std::string_view kOutSize = "OUT_SIZE";
+inline constexpr std::string_view kTupleCount = "TUPLE_COUNT";
+inline constexpr std::string_view kFilterCounter = "FILTER_COUNTER";
+inline constexpr std::string_view kCycleCounter = "CYCLE_COUNTER";
+// Aggregation extension (present only when the PE was generated with
+// aggregation support):
+inline constexpr std::string_view kAggOp = "AGG_OP";
+inline constexpr std::string_view kAggField = "AGG_FIELD";
+inline constexpr std::string_view kAggResultLo = "AGG_RESULT_LO";
+inline constexpr std::string_view kAggResultHi = "AGG_RESULT_HI";
+inline constexpr std::string_view kAggCount = "AGG_COUNT";
+
+/// Per-stage register names: FILTER_FIELD_<s>, FILTER_OP_<s>,
+/// FILTER_VALUE_LO_<s>, FILTER_VALUE_HI_<s>.
+[[nodiscard]] std::string filter_field(std::uint32_t stage);
+[[nodiscard]] std::string filter_op(std::uint32_t stage);
+[[nodiscard]] std::string filter_value_lo(std::uint32_t stage);
+[[nodiscard]] std::string filter_value_hi(std::uint32_t stage);
+}  // namespace reg
+
+/// Builds the standard register map of the architecture template for a PE
+/// with `filter_stages` chained filtering units.
+///
+/// `configurable_io` adds the IN_SIZE register of our flexible Load/Store
+/// units; the hand-crafted baseline of [1] always moves full 32 KB blocks
+/// and exposes no size register. `aggregation` appends the aggregate
+/// unit's control/result registers.
+[[nodiscard]] RegisterMap build_standard_register_map(
+    std::uint32_t filter_stages, bool configurable_io,
+    bool aggregation = false);
+
+}  // namespace ndpgen::hwgen

@@ -1,0 +1,80 @@
+// Analytic FPGA resource model.
+//
+// Stands in for Vivado synthesis (which we cannot run — see DESIGN.md §1).
+// The model charges each template module a cost derived from its
+// elaboration parameters (bit widths, field counts, stage count) and is
+// calibrated against the paper's published anchor points:
+//
+//   Table I (in-context, XC7Z045):  paper-PE 14348 / ref-PE 1446 slices
+//                                   ([1] baseline: 9480 / 1277),
+//                                   overall 41934 vs 40821 of 54650;
+//   Fig. 8 / Fig. 9 (out-of-context): trends only — tuple-size scaling,
+//                                   Half-vs-Full crossover, per-stage
+//                                   linearity with dominant fixed part.
+//
+// Constants live in resource_model.cpp in one table; the calibration test
+// (tests/hwgen/resource_model_test.cpp) pins the anchors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwgen/pe_design.hpp"
+
+namespace ndpgen::hwgen {
+
+/// Synthesis context. Out-of-context synthesis reports logic "without very
+/// dense packing" (paper §V), i.e. a higher slice count for the same netlist.
+enum class SynthesisMode : std::uint8_t { kInContext, kOutOfContext };
+
+/// Target device: Xilinx Zynq-7000 XC7Z045 (Cosmos+ OpenSSD).
+struct DeviceInfo {
+  std::string name = "XC7Z045";
+  std::uint32_t total_slices = 54650;
+  std::uint32_t total_luts = 218600;
+  std::uint32_t total_ffs = 437200;
+  std::uint32_t total_bram36 = 545;
+};
+
+[[nodiscard]] const DeviceInfo& xc7z045() noexcept;
+
+/// Estimated resources of one module or design.
+struct ResourceEstimate {
+  double slices = 0;
+  double luts = 0;
+  double ffs = 0;
+  double bram36 = 0;
+
+  ResourceEstimate& operator+=(const ResourceEstimate& other) noexcept;
+};
+
+/// Per-module breakdown of a PE estimate.
+struct PEResourceReport {
+  std::string pe_name;
+  SynthesisMode mode = SynthesisMode::kInContext;
+  ResourceEstimate total;
+  std::vector<std::pair<std::string, ResourceEstimate>> per_module;
+
+  /// total.slices / device slices, in percent.
+  [[nodiscard]] double slice_percent(const DeviceInfo& device =
+                                         xc7z045()) const noexcept {
+    return 100.0 * total.slices / device.total_slices;
+  }
+
+  [[nodiscard]] std::string dump() const;
+};
+
+/// Estimates the resources of one PE design.
+[[nodiscard]] PEResourceReport estimate_pe(const PEDesign& design,
+                                           SynthesisMode mode);
+
+/// Slices of the surrounding Cosmos+ base design (NVMe core, two Tiger4
+/// flash controllers, DMA and the PE interconnect fabric). The refined
+/// template of this work uses the interconnect more efficiently than [1]
+/// (paper §V: "the overall increase is less than expected ... due to a more
+/// efficient use of interconnects").
+[[nodiscard]] double platform_base_slices(DesignFlavor flavor,
+                                          std::uint32_t num_pe_ports);
+
+}  // namespace ndpgen::hwgen

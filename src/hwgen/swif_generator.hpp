@@ -1,0 +1,30 @@
+// Generated software interface (paper §IV-C, Fig. 6).
+//
+// For every PE the framework emits a header-only C library built bottom-up:
+//   1. compiler macros encoding the control-register addresses,
+//   2. simple register access functions on top of the macros,
+//   3. complex functionality (synchronous/asynchronous filtering,
+//      wait_until_done) on top of the access functions,
+//   4. debug helpers (print the PE state, print the data types).
+// The same register offsets drive the platform simulator's MMIO decode, so
+// the generated code is semantically executable against hwsim.
+#pragma once
+
+#include <string>
+
+#include "hwgen/pe_design.hpp"
+
+namespace ndpgen::hwgen {
+
+struct SwifOptions {
+  /// Base address the PE control window is mapped at (ARM address space).
+  std::uint64_t base_address = 0x43C0'0000;
+  /// Emit debug print helpers (print_state / dump types).
+  bool debug_helpers = true;
+};
+
+/// Emits the complete header-only C interface for `design`.
+[[nodiscard]] std::string generate_software_interface(
+    const PEDesign& design, const SwifOptions& options = {});
+
+}  // namespace ndpgen::hwgen

@@ -1,0 +1,37 @@
+// Self-checking Verilog testbench generation.
+//
+// For functional sign-off of the generated hardware outside this
+// simulator, the framework can emit a testbench that drives the generated
+// Filtering Unit with concrete tuples and checks the pass counter against
+// the expected count (computed by the caller with the software-reference
+// semantics — the same contract the cycle simulator is tested against).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwgen/pe_design.hpp"
+#include "support/bitvec.hpp"
+
+namespace ndpgen::hwgen {
+
+struct FilterTestbenchSpec {
+  std::uint32_t stage = 0;
+  std::uint32_t field_select = 0;
+  std::uint32_t operator_select = 0;
+  std::uint64_t compare_value = 0;
+  /// Stimulus tuples in the PADDED representation (what the stage sees).
+  std::vector<support::BitVector> tuples;
+  /// Expected pass-counter value after all tuples were offered.
+  std::uint64_t expected_pass_count = 0;
+};
+
+/// Emits a self-checking testbench module `<pe>_filter_stage_<s>_tb` that
+/// instantiates the generated stage, streams the stimulus through it and
+/// $fatal()s on a pass-counter mismatch. Compile together with
+/// emit_verilog(design)'s output.
+[[nodiscard]] std::string emit_filter_testbench(const PEDesign& design,
+                                                const FilterTestbenchSpec& spec);
+
+}  // namespace ndpgen::hwgen

@@ -1,0 +1,25 @@
+// Verilog-2001 emission for generated PE designs.
+//
+// The original toolflow builds hardware through Chisel3 and hands the
+// emitted Verilog to Vivado. Our reproduction emits structurally equivalent
+// Verilog directly from the PEDesign IR: one module per template component
+// plus a top-level that wires the latency-insensitive stream interfaces
+// and the AXI4-Lite control/AXI4 memory ports. The emitted text is a real
+// artifact (examples write it to disk) and is exercised by tests for
+// structural properties (module/port presence, parameter consistency).
+#pragma once
+
+#include <string>
+
+#include "hwgen/pe_design.hpp"
+
+namespace ndpgen::hwgen {
+
+/// Emits the complete Verilog source for `design` (all modules plus the
+/// `<name>_top` wrapper) as one compilation unit.
+[[nodiscard]] std::string emit_verilog(const PEDesign& design);
+
+/// Emits only the top-level wrapper (for inspection/tests).
+[[nodiscard]] std::string emit_verilog_top(const PEDesign& design);
+
+}  // namespace ndpgen::hwgen

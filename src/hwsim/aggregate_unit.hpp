@@ -1,0 +1,63 @@
+// Simulated Aggregation Unit (framework extension; paper §VII outlook:
+// "more computational and analytical tasks could also be performed using
+// this architecture").
+//
+// Sits between the filter chain and the transformation unit. In
+// pass-through mode (AggOp::kNone) tuples flow on unchanged; in an
+// aggregation mode it folds the selected field of every passing tuple
+// into a running count/sum/min/max and consumes the tuple — the scan
+// result is then just a pair of registers, eliminating the result
+// write-back entirely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/layout.hpp"
+#include "hwgen/pe_design.hpp"
+#include "hwsim/kernel.hpp"
+#include "hwsim/stream.hpp"
+#include "hwsim/tuple_buffer.hpp"
+
+namespace ndpgen::hwsim {
+
+class SimAggregateUnit final : public Module {
+ public:
+  SimAggregateUnit(std::string name, const analysis::TupleLayout& layout,
+                   Stream<Tuple>* in, Stream<Tuple>* out);
+
+  /// Runtime configuration from the control registers.
+  void configure(hwgen::AggOp op, std::uint32_t field_select);
+
+  /// Resets the accumulator for a new run.
+  void start();
+
+  void cycle(std::uint64_t now) override;
+  void reset() override;
+
+  [[nodiscard]] hwgen::AggOp op() const noexcept { return op_; }
+  /// Raw 64-bit result (sum/min/max bits, or the count for kCount).
+  [[nodiscard]] std::uint64_t result() const noexcept { return result_; }
+  [[nodiscard]] std::uint64_t folded() const noexcept { return folded_; }
+
+ private:
+  struct FieldInfo {
+    std::uint32_t padded_offset;
+    std::uint32_t true_width;
+    bool is_signed;
+    bool is_float;
+  };
+
+  void fold(std::uint64_t raw, const FieldInfo& field);
+
+  Stream<Tuple>* in_;
+  Stream<Tuple>* out_;
+  std::vector<FieldInfo> fields_;
+
+  hwgen::AggOp op_ = hwgen::AggOp::kNone;
+  std::uint32_t field_select_ = 0;
+  std::uint64_t result_ = 0;
+  std::uint64_t folded_ = 0;
+};
+
+}  // namespace ndpgen::hwsim

@@ -1,0 +1,73 @@
+#include "hwsim/filter_stage.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::hwsim {
+
+SimFilterStage::SimFilterStage(std::string name,
+                               const analysis::TupleLayout& layout,
+                               const hwgen::OperatorSet& operators,
+                               Stream<Tuple>* in, Stream<Tuple>* out)
+    : Module(std::move(name)), operators_(operators), in_(in), out_(out) {
+  NDPGEN_CHECK_ARG(in != nullptr && out != nullptr,
+                   "filter stage needs both streams");
+  for (const std::size_t index : layout.relevant_indices()) {
+    const auto& field = layout.fields[index];
+    hwgen::FieldInterp interp = hwgen::FieldInterp::kUnsigned;
+    if (spec::is_float(field.primitive)) {
+      interp = hwgen::FieldInterp::kFloat;
+    } else if (spec::is_signed(field.primitive)) {
+      interp = hwgen::FieldInterp::kSigned;
+    }
+    fields_.push_back(FieldInfo{field.padded_offset_bits,
+                                field.storage_width_bits, interp});
+  }
+  NDPGEN_CHECK_ARG(!fields_.empty(), "tuple has no filterable fields");
+}
+
+void SimFilterStage::configure(std::uint32_t field_select,
+                               std::uint32_t operator_select,
+                               std::uint64_t compare_value) {
+  NDPGEN_CHECK_ARG(field_select < fields_.size(),
+                   "field selector out of range");
+  NDPGEN_CHECK_ARG(operators_.find_encoding(operator_select) != nullptr,
+                   "operator selector out of range");
+  field_select_ = field_select;
+  operator_select_ = operator_select;
+  compare_value_ = compare_value;
+}
+
+void SimFilterStage::start() {
+  pass_count_ = 0;
+  drop_count_ = 0;
+}
+
+void SimFilterStage::cycle(std::uint64_t /*now*/) {
+  // One tuple per cycle: the elastic pipeline property the paper relies on
+  // ("the filtering stages are able to process a tuple per cycle").
+  if (!in_->can_pop() || !out_->can_push()) return;
+  Tuple tuple = in_->pop();
+  const FieldInfo& field = fields_[field_select_];
+  const std::uint64_t element =
+      tuple.extract_u64(field.padded_offset, std::min<std::uint32_t>(
+                                                 field.true_width, 64));
+  const hwgen::CompareOperand lhs{element, field.interp, field.true_width};
+  const hwgen::CompareOperand rhs{compare_value_, field.interp,
+                                  field.true_width};
+  if (operators_.evaluate(operator_select_, lhs, rhs)) {
+    out_->push(std::move(tuple));
+    ++pass_count_;
+  } else {
+    ++drop_count_;
+  }
+}
+
+void SimFilterStage::reset() {
+  pass_count_ = 0;
+  drop_count_ = 0;
+  field_select_ = 0;
+  operator_select_ = 0;
+  compare_value_ = 0;
+}
+
+}  // namespace ndpgen::hwsim

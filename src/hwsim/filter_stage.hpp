@@ -1,0 +1,61 @@
+// Simulated Filtering Unit (one chainable stage, Fig. 5).
+//
+// Dequeues one tuple per cycle, selects a field via the multiplexer,
+// evaluates the configured compare operation against the compare value and
+// enqueues the tuple into the output FIFO iff the predicate holds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/layout.hpp"
+#include "hwgen/operators.hpp"
+#include "hwsim/kernel.hpp"
+#include "hwsim/stream.hpp"
+#include "hwsim/tuple_buffer.hpp"
+
+namespace ndpgen::hwsim {
+
+class SimFilterStage final : public Module {
+ public:
+  SimFilterStage(std::string name, const analysis::TupleLayout& layout,
+                 const hwgen::OperatorSet& operators, Stream<Tuple>* in,
+                 Stream<Tuple>* out);
+
+  /// Runtime configuration (driven by the control registers).
+  void configure(std::uint32_t field_select, std::uint32_t operator_select,
+                 std::uint64_t compare_value);
+
+  /// Resets the pass counter at the beginning of a run.
+  void start();
+
+  void cycle(std::uint64_t now) override;
+  void reset() override;
+
+  [[nodiscard]] std::uint64_t pass_count() const noexcept {
+    return pass_count_;
+  }
+  [[nodiscard]] std::uint64_t drop_count() const noexcept {
+    return drop_count_;
+  }
+
+ private:
+  struct FieldInfo {
+    std::uint32_t padded_offset;
+    std::uint32_t true_width;
+    hwgen::FieldInterp interp;
+  };
+
+  const hwgen::OperatorSet& operators_;
+  Stream<Tuple>* in_;
+  Stream<Tuple>* out_;
+  std::vector<FieldInfo> fields_;  ///< Relevant fields, mux order.
+
+  std::uint32_t field_select_ = 0;
+  std::uint32_t operator_select_ = 0;
+  std::uint64_t compare_value_ = 0;
+  std::uint64_t pass_count_ = 0;
+  std::uint64_t drop_count_ = 0;
+};
+
+}  // namespace ndpgen::hwsim

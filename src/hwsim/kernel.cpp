@@ -1,0 +1,50 @@
+#include "hwsim/kernel.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::hwsim {
+
+void SimKernel::add_module(Module* module) {
+  NDPGEN_CHECK_ARG(module != nullptr, "null module");
+  modules_.push_back(module);
+}
+
+void SimKernel::tick() {
+  for (Module* module : modules_) {
+    module->cycle(now_);
+  }
+  for (auto& stream : streams_) {
+    stream->commit();
+  }
+  ++now_;
+}
+
+std::uint64_t SimKernel::run_until(const std::function<bool()>& done,
+                                   std::uint64_t max_cycles) {
+  const std::uint64_t start = now_;
+  while (!done()) {
+    if (now_ - start >= max_cycles) {
+      ndpgen::raise(ErrorKind::kSimulation,
+                    "simulation did not converge within " +
+                        std::to_string(max_cycles) +
+                        " cycles (possible deadlock)");
+    }
+    tick();
+  }
+  return now_ - start;
+}
+
+void SimKernel::reset() {
+  for (Module* module : modules_) module->reset();
+  for (auto& stream : streams_) stream->reset();
+  now_ = 0;
+}
+
+bool SimKernel::streams_empty() const noexcept {
+  for (const auto& stream : streams_) {
+    if (!stream->empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace ndpgen::hwsim

@@ -1,0 +1,73 @@
+// Cycle-level simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hwsim/stream.hpp"
+
+namespace ndpgen::hwsim {
+
+/// A clocked hardware module. cycle() is called once per clock tick; all
+/// stream pushes performed inside it become visible next tick.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual void cycle(std::uint64_t now) = 0;
+  virtual void reset() {}
+
+  /// True when the module has in-flight work (used for busy detection).
+  [[nodiscard]] virtual bool idle() const noexcept { return true; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Owns modules and streams; advances the clock.
+class SimKernel {
+ public:
+  /// Registers a module; evaluation order is registration order.
+  void add_module(Module* module);
+
+  /// Creates a stream owned by the kernel.
+  template <typename T>
+  Stream<T>* make_stream(std::string name, std::size_t depth = 2) {
+    auto stream = std::make_unique<Stream<T>>(std::move(name), depth);
+    Stream<T>* raw = stream.get();
+    streams_.push_back(std::move(stream));
+    return raw;
+  }
+
+  /// Advances one clock cycle.
+  void tick();
+
+  /// Advances until `done()` returns true or `max_cycles` elapse.
+  /// Returns the number of cycles advanced. Throws Error{kSimulation} on
+  /// timeout (deadlock detection).
+  std::uint64_t run_until(const std::function<bool()>& done,
+                          std::uint64_t max_cycles = 100'000'000);
+
+  /// Resets modules, streams and the cycle counter.
+  void reset();
+
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+  /// True when every registered stream is empty.
+  [[nodiscard]] bool streams_empty() const noexcept;
+
+ private:
+  std::vector<Module*> modules_;
+  std::vector<std::unique_ptr<StreamBase>> streams_;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace ndpgen::hwsim

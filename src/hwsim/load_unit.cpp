@@ -1,0 +1,63 @@
+#include "hwsim/load_unit.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::hwsim {
+
+namespace {
+// Issue window: how many beats the load unit keeps in flight. Matches a
+// modest AXI burst capability (4 outstanding 8-beat bursts).
+constexpr std::size_t kMaxInFlight = 32;
+}  // namespace
+
+SimLoadUnit::SimLoadUnit(std::string name, AxiPort* port,
+                         Stream<std::uint64_t>* out, std::uint32_t chunk_bytes,
+                         bool configurable)
+    : Module(std::move(name)),
+      port_(port),
+      out_(out),
+      chunk_bytes_(chunk_bytes),
+      configurable_(configurable) {
+  NDPGEN_CHECK_ARG(port != nullptr && out != nullptr,
+                   "load unit needs a port and an output stream");
+  NDPGEN_CHECK_ARG(chunk_bytes % 8 == 0, "chunk size must be word aligned");
+}
+
+void SimLoadUnit::start(std::uint64_t addr, std::uint32_t bytes) {
+  NDPGEN_CHECK_ARG(bytes <= chunk_bytes_,
+                   "load larger than the configured chunk size");
+  // The static baseline ignores the size and always moves a full block.
+  const std::uint32_t effective = configurable_ ? bytes : chunk_bytes_;
+  addr_ = addr;
+  payload_bytes_ = bytes;
+  words_total_ = (effective + 7) / 8;
+  words_requested_ = 0;
+  words_pushed_ = 0;
+}
+
+void SimLoadUnit::cycle(std::uint64_t now) {
+  // Issue new beats while the window allows.
+  while (words_requested_ < words_total_ &&
+         port_->pending_requests() < kMaxInFlight) {
+    port_->request_read(addr_ + std::uint64_t{words_requested_} * 8, 1);
+    ++words_requested_;
+  }
+  // Forward returned data downstream (one word per cycle).
+  if (words_pushed_ < words_total_ && port_->read_data_available(now) &&
+      out_->can_push()) {
+    out_->push(port_->pop_read_data(now));
+    ++words_pushed_;
+  }
+}
+
+void SimLoadUnit::reset() {
+  words_total_ = 0;
+  words_requested_ = 0;
+  words_pushed_ = 0;
+  payload_bytes_ = 0;
+  addr_ = 0;
+}
+
+bool SimLoadUnit::idle() const noexcept { return done(); }
+
+}  // namespace ndpgen::hwsim

@@ -1,0 +1,46 @@
+#include "hwsim/regfile.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::hwsim {
+
+SimRegFile::SimRegFile(const hwgen::RegisterMap& map)
+    : map_(map), values_(map.size(), 0) {}
+
+void SimRegFile::mmio_write(std::uint32_t offset, std::uint32_t value) {
+  const hwgen::RegisterDef* def = map_.at_offset(offset);
+  if (def == nullptr) {
+    ndpgen::raise(ErrorKind::kSimulation,
+                  "MMIO write to unmapped offset " + std::to_string(offset));
+  }
+  if (def->access == hwgen::RegAccess::kReadOnly) {
+    return;  // Hardware ignores writes to RO registers.
+  }
+  values_[offset / 4] = value;
+}
+
+std::uint32_t SimRegFile::mmio_read(std::uint32_t offset) const {
+  const hwgen::RegisterDef* def = map_.at_offset(offset);
+  if (def == nullptr) return 0xdeadbeef;
+  return values_[offset / 4];
+}
+
+void SimRegFile::hw_set(std::string_view name, std::uint32_t value) {
+  values_[map_.offset_of(name) / 4] = value;
+}
+
+std::uint32_t SimRegFile::value(std::string_view name) const {
+  return values_[map_.offset_of(name) / 4];
+}
+
+std::uint64_t SimRegFile::value64(std::string_view lo_name,
+                                  std::string_view hi_name) const {
+  return static_cast<std::uint64_t>(value(lo_name)) |
+         (static_cast<std::uint64_t>(value(hi_name)) << 32);
+}
+
+void SimRegFile::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+}
+
+}  // namespace ndpgen::hwsim

@@ -1,0 +1,45 @@
+// Simulated Control Register File (Fig. 3.a).
+//
+// "Simply a register file, which is mapped into the memory space of the
+// on-chip ARM core." MMIO writes/reads are decoded against the generated
+// RegisterMap, so the generated software interface addresses work
+// unchanged against the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwgen/register_map.hpp"
+
+namespace ndpgen::hwsim {
+
+class SimRegFile {
+ public:
+  explicit SimRegFile(const hwgen::RegisterMap& map);
+
+  /// MMIO write. Writes to read-only registers are ignored (matching the
+  /// AXI4-Lite decode of the generated hardware). Unknown offsets throw.
+  void mmio_write(std::uint32_t offset, std::uint32_t value);
+
+  /// MMIO read. Unknown offsets return 0xdead_beef like the generated
+  /// Verilog's default case.
+  [[nodiscard]] std::uint32_t mmio_read(std::uint32_t offset) const;
+
+  /// Internal (hardware-side) access, bypassing the RO check.
+  void hw_set(std::string_view name, std::uint32_t value);
+  [[nodiscard]] std::uint32_t value(std::string_view name) const;
+
+  /// 64-bit helper for address/value register pairs (LO/HI).
+  [[nodiscard]] std::uint64_t value64(std::string_view lo_name,
+                                      std::string_view hi_name) const;
+
+  void reset();
+
+  [[nodiscard]] const hwgen::RegisterMap& map() const noexcept { return map_; }
+
+ private:
+  hwgen::RegisterMap map_;
+  std::vector<std::uint32_t> values_;
+};
+
+}  // namespace ndpgen::hwsim

@@ -1,0 +1,68 @@
+#include "hwsim/store_unit.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::hwsim {
+
+namespace {
+constexpr std::size_t kMaxInFlight = 32;
+}
+
+SimStoreUnit::SimStoreUnit(std::string name, AxiPort* port,
+                           Stream<std::uint64_t>* in, std::uint32_t chunk_bytes,
+                           bool configurable)
+    : Module(std::move(name)),
+      port_(port),
+      in_(in),
+      chunk_bytes_(chunk_bytes),
+      configurable_(configurable) {
+  NDPGEN_CHECK_ARG(port != nullptr && in != nullptr,
+                   "store unit needs a port and an input stream");
+  NDPGEN_CHECK_ARG(chunk_bytes % 8 == 0, "chunk size must be word aligned");
+}
+
+void SimStoreUnit::start(std::uint64_t addr) {
+  addr_ = addr;
+  payload_bytes_ = 0;
+  bytes_transferred_ = 0;
+  upstream_done_ = false;
+  started_ = true;
+}
+
+void SimStoreUnit::cycle(std::uint64_t /*now*/) {
+  if (!started_) return;
+  // Drain payload words (one per cycle).
+  if (in_->can_pop() && port_->pending_requests() < kMaxInFlight) {
+    port_->request_write(addr_ + bytes_transferred_, in_->pop());
+    payload_bytes_ += 8;
+    bytes_transferred_ += 8;
+    return;
+  }
+  // Static baseline: pad the block up to the full chunk size once the
+  // payload is exhausted ("fully static units that always load and store
+  // complete data blocks").
+  if (!configurable_ && upstream_done_ && !in_->can_pop() &&
+      bytes_transferred_ < chunk_bytes_ &&
+      port_->pending_requests() < kMaxInFlight) {
+    port_->request_write(addr_ + bytes_transferred_, 0);
+    bytes_transferred_ += 8;
+  }
+}
+
+void SimStoreUnit::reset() {
+  addr_ = 0;
+  payload_bytes_ = 0;
+  bytes_transferred_ = 0;
+  upstream_done_ = false;
+  started_ = false;
+}
+
+bool SimStoreUnit::done() const noexcept {
+  if (!started_ || !upstream_done_ || !in_->empty()) return false;
+  if (!configurable_ && bytes_transferred_ < chunk_bytes_) return false;
+  return true;
+}
+
+bool SimStoreUnit::idle() const noexcept { return done() || !started_; }
+
+}  // namespace ndpgen::hwsim

@@ -1,0 +1,92 @@
+// Ready/valid streams for the cycle-level simulator.
+//
+// Every connection in the architecture template is a latency-insensitive
+// elastic stream (paper §IV-A/B). Stream<T> models a bounded FIFO with
+// two-phase update: values pushed during cycle N become visible to the
+// consumer in cycle N+1 (registered output), which reproduces the pipeline
+// depth of the Chisel queues.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace ndpgen::hwsim {
+
+/// Type-erased base so the kernel can commit all streams after each cycle.
+class StreamBase {
+ public:
+  virtual ~StreamBase() = default;
+  virtual void commit() = 0;
+  virtual void reset() = 0;
+  [[nodiscard]] virtual bool empty() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t occupancy() const noexcept = 0;
+};
+
+template <typename T>
+class Stream final : public StreamBase {
+ public:
+  explicit Stream(std::string name, std::size_t depth = 2)
+      : name_(std::move(name)), depth_(depth) {
+    NDPGEN_CHECK_ARG(depth >= 1, "stream depth must be >= 1");
+  }
+
+  /// Producer side: true if a push this cycle will be accepted.
+  [[nodiscard]] bool can_push() const noexcept {
+    return queue_.size() + staged_.size() < depth_;
+  }
+
+  /// Pushes a value; becomes visible to the consumer next cycle.
+  void push(T value) {
+    NDPGEN_CHECK(can_push(), "push on full stream '" + name_ + "'");
+    staged_.push_back(std::move(value));
+  }
+
+  /// Consumer side: true if a value is available this cycle.
+  [[nodiscard]] bool can_pop() const noexcept { return !queue_.empty(); }
+
+  [[nodiscard]] const T& front() const {
+    NDPGEN_CHECK(!queue_.empty(), "front on empty stream '" + name_ + "'");
+    return queue_.front();
+  }
+
+  T pop() {
+    NDPGEN_CHECK(!queue_.empty(), "pop on empty stream '" + name_ + "'");
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  void commit() override {
+    while (!staged_.empty()) {
+      queue_.push_back(std::move(staged_.front()));
+      staged_.pop_front();
+    }
+  }
+
+  void reset() override {
+    queue_.clear();
+    staged_.clear();
+  }
+
+  [[nodiscard]] bool empty() const noexcept override {
+    return queue_.empty() && staged_.empty();
+  }
+
+  [[nodiscard]] std::size_t occupancy() const noexcept override {
+    return queue_.size() + staged_.size();
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  std::string name_;
+  std::size_t depth_;
+  std::deque<T> queue_;   ///< Visible to the consumer.
+  std::deque<T> staged_;  ///< Pushed this cycle; committed at cycle end.
+};
+
+}  // namespace ndpgen::hwsim

@@ -1,0 +1,63 @@
+#include "kv/block_format.hpp"
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+
+DataBlockBuilder::DataBlockBuilder(std::uint32_t record_bytes)
+    : record_bytes_(record_bytes) {
+  NDPGEN_CHECK_ARG(record_bytes > 0 &&
+                       record_bytes <= kDataBlockBytes - kBlockTrailerBytes,
+                   "record size must fit a data block");
+  buffer_.reserve(kDataBlockBytes);
+}
+
+void DataBlockBuilder::add(std::span<const std::uint8_t> record) {
+  NDPGEN_CHECK_ARG(record.size() == record_bytes_,
+                   "record size does not match the block geometry");
+  NDPGEN_CHECK_ARG(has_space(), "data block is full");
+  buffer_.insert(buffer_.end(), record.begin(), record.end());
+  ++count_;
+}
+
+std::vector<std::uint8_t> DataBlockBuilder::finish() {
+  std::vector<std::uint8_t> block(std::move(buffer_));
+  block.resize(kDataBlockBytes - kBlockTrailerBytes, 0);
+  support::put_u16(block, static_cast<std::uint16_t>(count_));
+  support::put_u16(block, static_cast<std::uint16_t>(record_bytes_));
+  support::put_u32(block, kBlockMagic);
+  buffer_.clear();
+  buffer_.reserve(kDataBlockBytes);
+  count_ = 0;
+  return block;
+}
+
+BlockTrailer read_trailer(std::span<const std::uint8_t> block) {
+  if (block.size() != kDataBlockBytes) {
+    ndpgen::raise(ErrorKind::kStorage, "data block has wrong size");
+  }
+  const std::size_t base = kDataBlockBytes - kBlockTrailerBytes;
+  const std::uint32_t magic = support::get_u32(block, base + 4);
+  if (magic != kBlockMagic) {
+    ndpgen::raise(ErrorKind::kStorage, "bad data-block magic");
+  }
+  BlockTrailer trailer;
+  trailer.record_count = support::get_u16(block, base);
+  trailer.record_bytes = support::get_u16(block, base + 2);
+  if (std::uint32_t{trailer.record_count} * trailer.record_bytes >
+      kDataBlockBytes - kBlockTrailerBytes) {
+    ndpgen::raise(ErrorKind::kStorage, "data-block trailer inconsistent");
+  }
+  return trailer;
+}
+
+std::span<const std::uint8_t> block_record(std::span<const std::uint8_t> block,
+                                           const BlockTrailer& trailer,
+                                           std::uint32_t index) {
+  NDPGEN_CHECK_ARG(index < trailer.record_count, "record index out of range");
+  return block.subspan(std::size_t{index} * trailer.record_bytes,
+                       trailer.record_bytes);
+}
+
+}  // namespace ndpgen::kv

@@ -1,0 +1,80 @@
+// Leveled compaction (the LSM merge process).
+//
+// Merges the SSTs of level L with the overlapping SSTs of level L+1 into
+// new, fully deduplicated SSTs at L+1: outdated key-value pairs are purged
+// and their space reclaimed (paper §III-A). Tombstones are dropped when
+// they reach the bottom level.
+//
+// Recency is resolved at table granularity (tables carry [min_seq,
+// max_seq]); the store's flush/compaction discipline guarantees tables
+// that can hold the same key are totally ordered by sequence range.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "kv/placement.hpp"
+#include "kv/sst_builder.hpp"
+#include "kv/version.hpp"
+#include "platform/flash.hpp"
+
+namespace ndpgen::kv {
+
+struct CompactionConfig {
+  /// C1 SST count that triggers compaction into C2.
+  std::uint32_t l1_trigger = 8;
+  /// Size target of C2 in bytes; each deeper level is multiplier x larger.
+  std::uint64_t level_base_bytes = 8ull * 1024 * 1024;
+  std::uint32_t level_size_multiplier = 10;
+  /// Data blocks per output SST.
+  std::uint32_t output_sst_blocks = 64;
+  /// Charge the compaction I/O (input page reads + output page programs)
+  /// on the platform's virtual clock. Off by default so dataset setup is
+  /// free; write-path experiments turn it on.
+  bool timed = false;
+};
+
+struct CompactionStats {
+  std::uint64_t compactions = 0;
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t records_purged = 0;  ///< Outdated versions removed.
+  std::uint64_t tombstones_dropped = 0;
+};
+
+class Compactor {
+ public:
+  Compactor(Version& version, PlacementPolicy& placement,
+            platform::FlashModel& flash, KeyExtractor extractor,
+            std::uint32_t record_bytes, CompactionConfig config = {});
+
+  /// Runs compactions until no trigger fires. Returns compactions done.
+  std::uint64_t run();
+
+  /// Compacts level L into L+1 unconditionally.
+  void compact_level(std::uint32_t level);
+
+  /// True if some level currently exceeds its trigger.
+  [[nodiscard]] bool needs_compaction() const;
+
+  [[nodiscard]] const CompactionStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t next_sst_id() const noexcept { return next_id_; }
+  void set_next_sst_id(std::uint64_t id) noexcept { next_id_ = id; }
+
+ private:
+  [[nodiscard]] std::uint64_t level_target_bytes(std::uint32_t level) const;
+  [[nodiscard]] int pick_level() const;
+
+  Version& version_;
+  PlacementPolicy& placement_;
+  platform::FlashModel& flash_;
+  KeyExtractor extractor_;
+  std::uint32_t record_bytes_;
+  CompactionConfig config_;
+  CompactionStats stats_;
+  std::uint64_t next_id_ = 1'000'000;  ///< Compaction-output SST ids.
+};
+
+}  // namespace ndpgen::kv

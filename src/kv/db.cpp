@@ -1,0 +1,162 @@
+#include "kv/db.hpp"
+
+#include "kv/manifest.hpp"
+#include "kv/sst_reader.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+
+namespace {
+/// timed_writes implies timed compaction I/O.
+DBConfig normalize(DBConfig config) {
+  config.compaction.timed = config.compaction.timed || config.timed_writes;
+  return config;
+}
+}  // namespace
+
+NKV::NKV(platform::CosmosPlatform& platform, DBConfig config)
+    : platform_(platform),
+      config_(normalize(std::move(config))),
+      placement_(config_.shared_placement
+                     ? config_.shared_placement
+                     : std::make_shared<PlacementPolicy>(
+                           platform.flash().topology(),
+                           config_.level_groups)),
+      memtable_(std::make_unique<MemTable>(config_.memtable_bytes)),
+      compactor_(version_, *placement_, platform.flash(), config_.extractor,
+                 config_.record_bytes, config_.compaction) {
+  NDPGEN_CHECK_ARG(config_.record_bytes > 0, "DBConfig.record_bytes required");
+  NDPGEN_CHECK_ARG(static_cast<bool>(config_.extractor),
+                   "DBConfig.extractor required");
+}
+
+void NKV::charge_programs(const SSTable& table) {
+  auto pending = std::make_shared<std::size_t>(0);
+  auto& flash = platform_.flash();
+  for (const auto& handle : table.blocks) {
+    for (const std::uint64_t page : handle.flash_pages) {
+      ++*pending;
+      flash.charge_program(flash.delinearize(page), [pending] { --*pending; });
+    }
+  }
+  while (*pending > 0 && flash.queue().step()) {
+  }
+}
+
+void NKV::put(std::span<const std::uint8_t> record) {
+  NDPGEN_CHECK_ARG(record.size() == config_.record_bytes,
+                   "record size does not match the store schema");
+  const Key key = config_.extractor(record);
+  memtable_->put(key, ++seq_, record);
+  ++stats_.puts;
+  if (config_.auto_flush && memtable_->should_flush()) {
+    flush();
+    if (config_.auto_compact) compact();
+  }
+}
+
+void NKV::del(const Key& key) {
+  memtable_->del(key, ++seq_);
+  ++stats_.deletes;
+  if (config_.auto_flush && memtable_->should_flush()) {
+    flush();
+    if (config_.auto_compact) compact();
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> NKV::get(const Key& key) {
+  ++stats_.gets;
+  // C0 first.
+  if (const MemEntry* entry = memtable_->get(key)) {
+    if (entry->type == EntryType::kTombstone) return std::nullopt;
+    return entry->record;
+  }
+  // Then C1 newest-first, then C2..Ck (paper §III-A: all C1 index blocks
+  // must be consulted because flushes are not compacted).
+  for (const auto& table : version_.recency_ordered()) {
+    if (key < table->min_key || table->max_key < key) continue;
+    if (!table->bloom.may_contain(key)) continue;  // Definitely absent.
+    if (const Tombstone* tombstone = table->find_tombstone(key)) {
+      (void)tombstone;
+      return std::nullopt;
+    }
+    SSTReader reader(*table, platform_.flash(), config_.extractor);
+    if (auto record = reader.get(key)) return record;
+  }
+  return std::nullopt;
+}
+
+void NKV::flush() {
+  if (memtable_->empty()) return;
+  SSTBuilder builder(next_sst_id_++, /*level=*/1, config_.record_bytes,
+                     config_.extractor, *placement_, platform_.flash());
+  for (auto it = memtable_->begin(); it.valid(); it.next()) {
+    if (it.value().type == EntryType::kTombstone) {
+      builder.add_tombstone(it.key(), it.value().seq);
+    } else {
+      builder.add(it.value().record, it.value().seq);
+    }
+  }
+  auto table = builder.finish();
+  if (config_.timed_writes) charge_programs(*table);
+  version_.add(1, std::move(table));
+  memtable_ = std::make_unique<MemTable>(config_.memtable_bytes);
+  ++stats_.flushes;
+}
+
+std::uint64_t NKV::compact() {
+  compactor_.set_next_sst_id(std::max(compactor_.next_sst_id(),
+                                      next_sst_id_ + 1'000'000));
+  return compactor_.run();
+}
+
+std::vector<std::uint8_t> NKV::snapshot_manifest() const {
+  return encode_manifest(version_);
+}
+
+void NKV::restore_manifest(std::span<const std::uint8_t> bytes) {
+  NDPGEN_CHECK_ARG(memtable_->empty(),
+                   "restore requires an empty MemTable (flush first)");
+  version_ = decode_manifest(bytes);
+  // Resume counters past everything the manifest references, and mark the
+  // surviving pages so the allocator never reuses them.
+  for (const auto& table : version_.recency_ordered()) {
+    next_sst_id_ = std::max(next_sst_id_, table->id + 1);
+    seq_ = std::max(seq_, table->max_seq);
+    NDPGEN_CHECK_ARG(table->record_bytes == config_.record_bytes,
+                     "manifest schema does not match this store");
+    for (const auto& handle : table->blocks) {
+      for (const auto page : handle.flash_pages) {
+        placement_->note_existing_page(page);
+      }
+    }
+  }
+}
+
+void NKV::bulk_load_sorted(
+    std::uint32_t level,
+    const std::function<bool(std::vector<std::uint8_t>&)>& next_record,
+    std::uint64_t records_per_sst) {
+  NDPGEN_CHECK_ARG(records_per_sst > 0, "records_per_sst must be > 0");
+  std::vector<std::uint8_t> record;
+  std::unique_ptr<SSTBuilder> builder;
+  std::uint64_t in_current = 0;
+  while (next_record(record)) {
+    if (builder == nullptr) {
+      builder = std::make_unique<SSTBuilder>(
+          next_sst_id_++, level, config_.record_bytes, config_.extractor,
+          *placement_, platform_.flash());
+      in_current = 0;
+    }
+    builder->add(record, ++seq_);
+    if (++in_current >= records_per_sst) {
+      version_.add(level, builder->finish());
+      builder.reset();
+    }
+  }
+  if (builder != nullptr && builder->records_added() > 0) {
+    version_.add(level, builder->finish());
+  }
+}
+
+}  // namespace ndpgen::kv

@@ -1,0 +1,123 @@
+// nKV: the LSM key-value store on native computational storage.
+//
+// Writes land in the MemTable (C0); when full it is flushed — without
+// compaction — into an SST of C1; leveled compaction maintains C2..Ck.
+// All SST data blocks live on physical flash pages placed by the
+// PlacementPolicy, so NDP operations can be handed raw physical block
+// lists (paper §III-B: the store operates on physical addresses with no
+// file system or block layer in between).
+//
+// This class is the *structural* store: content operations are
+// byte-accurate but untimed. The timed GET/SCAN paths (software NDP on the
+// ARM model, hardware NDP on simulated PEs) live in src/ndp and walk the
+// same structures while charging platform time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "kv/compaction.hpp"
+#include "kv/memtable.hpp"
+#include "kv/placement.hpp"
+#include "kv/version.hpp"
+#include "platform/cosmos.hpp"
+
+namespace ndpgen::kv {
+
+struct DBConfig {
+  std::uint32_t record_bytes = 0;  ///< Fixed tuple size (required).
+  KeyExtractor extractor;          ///< Required.
+  std::size_t memtable_bytes = 2 * 1024 * 1024;
+  /// Flash placement groups (§III-B). 1 = stripe every level over all
+  /// channels (maximum scan parallelism, the evaluation setting);
+  /// N > 1 = give each LSM level its own channel group so compaction
+  /// cannot block foreground scans (the isolation trade-off —
+  /// see bench/ablation_placement).
+  std::uint32_t level_groups = 1;
+  CompactionConfig compaction{};
+  bool auto_flush = true;    ///< Flush when the MemTable fills.
+  bool auto_compact = true;  ///< Compact when triggers fire.
+  /// Charge flush/compaction flash I/O on the virtual clock (write-path
+  /// experiments). Dataset setup usually leaves this off.
+  bool timed_writes = false;
+  /// Stores sharing one flash device MUST share one placement policy so
+  /// their physical page allocations never collide. Leave null for a
+  /// store that owns the device alone.
+  std::shared_ptr<PlacementPolicy> shared_placement;
+};
+
+struct DBStats {
+  std::uint64_t puts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t flushes = 0;
+};
+
+class NKV {
+ public:
+  NKV(platform::CosmosPlatform& platform, DBConfig config);
+
+  /// Inserts/overwrites one record (key derived via the extractor).
+  void put(std::span<const std::uint8_t> record);
+
+  /// Deletes a key (tombstone).
+  void del(const Key& key);
+
+  /// Point lookup, recency-correct across C0..Ck. Untimed.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(const Key& key);
+
+  /// Flushes C0 into a new C1 SST (no compaction on this path).
+  void flush();
+
+  /// Runs pending compactions; returns how many ran.
+  std::uint64_t compact();
+
+  /// Bulk-loads key-sorted records directly into `level` as full SSTs
+  /// (dataset setup for experiments; equivalent to an ingestion path).
+  void bulk_load_sorted(
+      std::uint32_t level,
+      const std::function<bool(std::vector<std::uint8_t>&)>& next_record,
+      std::uint64_t records_per_sst);
+
+  /// Serializes the current version (see kv/manifest.hpp).
+  [[nodiscard]] std::vector<std::uint8_t> snapshot_manifest() const;
+
+  /// Recovery: replaces the LSM state with a decoded manifest. The flash
+  /// content the manifest references must still be present (it is: flash
+  /// is persistent). The MemTable must be empty (flush first). Sequence
+  /// and SST-id counters resume past the restored maxima.
+  void restore_manifest(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] const Version& version() const noexcept { return version_; }
+  [[nodiscard]] const MemTable& memtable() const noexcept {
+    return *memtable_;
+  }
+  [[nodiscard]] const DBConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DBStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CompactionStats& compaction_stats() const noexcept {
+    return compactor_.stats();
+  }
+  [[nodiscard]] platform::CosmosPlatform& platform() noexcept {
+    return platform_;
+  }
+  [[nodiscard]] PlacementPolicy& placement() noexcept { return *placement_; }
+
+  [[nodiscard]] SequenceNumber last_sequence() const noexcept { return seq_; }
+
+ private:
+  void charge_programs(const SSTable& table);
+
+  platform::CosmosPlatform& platform_;
+  DBConfig config_;
+  std::shared_ptr<PlacementPolicy> placement_;
+  Version version_;
+  std::unique_ptr<MemTable> memtable_;
+  Compactor compactor_;
+  SequenceNumber seq_ = 0;
+  std::uint64_t next_sst_id_ = 1;
+  DBStats stats_;
+};
+
+}  // namespace ndpgen::kv

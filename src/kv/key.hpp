@@ -1,0 +1,47 @@
+// Key type of the nKV store.
+//
+// Keys are 128-bit composites (hi, lo), ordered lexicographically. This
+// covers both evaluation schemas: Paper records key on (id, 0) and Ref
+// (edge) records key on (source id, destination id), and keeps index
+// blocks and comparators branch-free.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ndpgen::kv {
+
+struct Key {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] auto operator<=>(const Key&) const noexcept = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "(" + std::to_string(hi) + "," + std::to_string(lo) + ")";
+  }
+
+  [[nodiscard]] static constexpr Key min() noexcept { return Key{0, 0}; }
+  [[nodiscard]] static constexpr Key max() noexcept {
+    return Key{~std::uint64_t{0}, ~std::uint64_t{0}};
+  }
+};
+
+/// Hash functor for unordered containers of Key.
+struct KeyHash {
+  [[nodiscard]] std::size_t operator()(const Key& key) const noexcept {
+    // splitmix-style mix of the two halves.
+    std::uint64_t x = key.hi * 0x9e3779b97f4a7c15ULL ^ key.lo;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+/// Monotonic sequence number assigned by the store (recency order).
+using SequenceNumber = std::uint64_t;
+
+enum class EntryType : std::uint8_t { kValue, kTombstone };
+
+}  // namespace ndpgen::kv

@@ -1,0 +1,138 @@
+#include "kv/manifest.hpp"
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x6e4b564d;  // "nKVM"
+constexpr std::uint32_t kManifestVersion = 1;
+
+void put_key(std::vector<std::uint8_t>& out, const Key& key) {
+  support::put_u64(out, key.hi);
+  support::put_u64(out, key.lo);
+}
+
+Key get_key(std::span<const std::uint8_t> in, std::size_t& offset) {
+  Key key;
+  key.hi = support::get_u64(in, offset);
+  key.lo = support::get_u64(in, offset + 8);
+  offset += 16;
+  return key;
+}
+
+void encode_table(std::vector<std::uint8_t>& out, const SSTable& table) {
+  support::put_u64(out, table.id);
+  support::put_u32(out, table.level);
+  support::put_u32(out, table.record_bytes);
+  put_key(out, table.min_key);
+  put_key(out, table.max_key);
+  support::put_u64(out, table.min_seq);
+  support::put_u64(out, table.max_seq);
+  support::put_varint(out, table.blocks.size());
+  for (const auto& block : table.blocks) {
+    put_key(out, block.first_key);
+    put_key(out, block.last_key);
+    support::put_u16(out, block.record_count);
+    support::put_varint(out, block.flash_pages.size());
+    for (const auto page : block.flash_pages) support::put_u64(out, page);
+  }
+  support::put_varint(out, table.tombstones.size());
+  for (const auto& tombstone : table.tombstones) {
+    put_key(out, tombstone.key);
+    support::put_u64(out, tombstone.seq);
+  }
+  support::put_varint(out, table.bloom.words().size());
+  for (const auto word : table.bloom.words()) support::put_u64(out, word);
+}
+
+std::shared_ptr<SSTable> decode_table(std::span<const std::uint8_t> in,
+                                      std::size_t& offset) {
+  auto table = std::make_shared<SSTable>();
+  table->id = support::get_u64(in, offset);
+  offset += 8;
+  table->level = support::get_u32(in, offset);
+  offset += 4;
+  table->record_bytes = support::get_u32(in, offset);
+  offset += 4;
+  table->min_key = get_key(in, offset);
+  table->max_key = get_key(in, offset);
+  table->min_seq = support::get_u64(in, offset);
+  offset += 8;
+  table->max_seq = support::get_u64(in, offset);
+  offset += 8;
+  const auto block_count = support::get_varint(in, offset);
+  table->blocks.reserve(block_count);
+  for (std::uint64_t b = 0; b < block_count; ++b) {
+    BlockHandle handle;
+    handle.first_key = get_key(in, offset);
+    handle.last_key = get_key(in, offset);
+    handle.record_count = support::get_u16(in, offset);
+    offset += 2;
+    const auto page_count = support::get_varint(in, offset);
+    handle.flash_pages.reserve(page_count);
+    for (std::uint64_t p = 0; p < page_count; ++p) {
+      handle.flash_pages.push_back(support::get_u64(in, offset));
+      offset += 8;
+    }
+    table->blocks.push_back(std::move(handle));
+  }
+  const auto tombstone_count = support::get_varint(in, offset);
+  table->tombstones.reserve(tombstone_count);
+  for (std::uint64_t t = 0; t < tombstone_count; ++t) {
+    Tombstone tombstone;
+    tombstone.key = get_key(in, offset);
+    tombstone.seq = support::get_u64(in, offset);
+    offset += 8;
+    table->tombstones.push_back(tombstone);
+  }
+  const auto bloom_words = support::get_varint(in, offset);
+  std::vector<std::uint64_t> words;
+  words.reserve(bloom_words);
+  for (std::uint64_t w = 0; w < bloom_words; ++w) {
+    words.push_back(support::get_u64(in, offset));
+    offset += 8;
+  }
+  table->bloom = BloomFilter::from_words(std::move(words));
+  return table;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_manifest(const Version& version) {
+  std::vector<std::uint8_t> out;
+  support::put_u32(out, kManifestMagic);
+  support::put_u32(out, kManifestVersion);
+  for (std::uint32_t level = 1; level <= kMaxLevels; ++level) {
+    const auto& tables = version.level(level);
+    support::put_varint(out, tables.size());
+    for (const auto& table : tables) encode_table(out, *table);
+  }
+  return out;
+}
+
+Version decode_manifest(std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  if (bytes.size() < 8 || support::get_u32(bytes, 0) != kManifestMagic) {
+    ndpgen::raise(ErrorKind::kStorage, "bad manifest magic");
+  }
+  if (support::get_u32(bytes, 4) != kManifestVersion) {
+    ndpgen::raise(ErrorKind::kStorage, "unsupported manifest version");
+  }
+  offset = 8;
+  Version version;
+  for (std::uint32_t level = 1; level <= kMaxLevels; ++level) {
+    const auto table_count = support::get_varint(bytes, offset);
+    for (std::uint64_t t = 0; t < table_count; ++t) {
+      version.add(level, decode_table(bytes, offset));
+    }
+  }
+  if (offset != bytes.size()) {
+    ndpgen::raise(ErrorKind::kStorage, "trailing bytes in manifest");
+  }
+  return version;
+}
+
+}  // namespace ndpgen::kv

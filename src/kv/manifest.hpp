@@ -1,0 +1,26 @@
+// Manifest: serialization of the LSM version state.
+//
+// nKV keeps the SST metadata (per-block index, tombstones, Bloom filters,
+// physical page lists) in device DRAM; the manifest persists it so the
+// device can recover the full Version after a restart without scanning
+// flash. The encoding is a simple length-prefixed little-endian format
+// (varints for counts, fixed-width for keys/pages).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kv/version.hpp"
+
+namespace ndpgen::kv {
+
+/// Serializes every level's SST metadata.
+[[nodiscard]] std::vector<std::uint8_t> encode_manifest(
+    const Version& version);
+
+/// Rebuilds a Version from an encoded manifest.
+/// Throws Error{kStorage} on malformed input.
+[[nodiscard]] Version decode_manifest(std::span<const std::uint8_t> bytes);
+
+}  // namespace ndpgen::kv

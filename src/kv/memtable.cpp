@@ -1,0 +1,23 @@
+#include "kv/memtable.hpp"
+
+namespace ndpgen::kv {
+
+void MemTable::put(const Key& key, SequenceNumber seq,
+                   std::span<const std::uint8_t> record) {
+  MemEntry entry;
+  entry.seq = seq;
+  entry.type = EntryType::kValue;
+  entry.record.assign(record.begin(), record.end());
+  bytes_ += record.size() + sizeof(Key) + sizeof(MemEntry);
+  table_.insert(key, std::move(entry));
+}
+
+void MemTable::del(const Key& key, SequenceNumber seq) {
+  MemEntry entry;
+  entry.seq = seq;
+  entry.type = EntryType::kTombstone;
+  bytes_ += sizeof(Key) + sizeof(MemEntry);
+  table_.insert(key, std::move(entry));
+}
+
+}  // namespace ndpgen::kv

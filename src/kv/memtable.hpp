@@ -1,0 +1,62 @@
+// MemTable: the in-memory C0 component of the LSM tree.
+//
+// Holds the most recent write per key in a skip list. When the configured
+// capacity is reached the store flushes the MemTable into an SST of C1
+// WITHOUT compaction (paper §III-A: "For performance, no compaction takes
+// place during the flush from C0 to C1").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kv/key.hpp"
+#include "kv/skiplist.hpp"
+
+namespace ndpgen::kv {
+
+/// One stored version: record payload + recency metadata.
+struct MemEntry {
+  SequenceNumber seq = 0;
+  EntryType type = EntryType::kValue;
+  std::vector<std::uint8_t> record;
+};
+
+class MemTable {
+ public:
+  explicit MemTable(std::size_t capacity_bytes = 4 * 1024 * 1024)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Inserts/overwrites a value record.
+  void put(const Key& key, SequenceNumber seq,
+           std::span<const std::uint8_t> record);
+
+  /// Inserts a tombstone.
+  void del(const Key& key, SequenceNumber seq);
+
+  /// Most recent entry for `key`, or nullptr.
+  [[nodiscard]] const MemEntry* get(const Key& key) const {
+    return table_.find(key);
+  }
+
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return table_.size();
+  }
+  [[nodiscard]] std::size_t approximate_bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] bool should_flush() const noexcept {
+    return bytes_ >= capacity_bytes_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return table_.empty(); }
+
+  using Iterator = SkipList<Key, MemEntry>::Iterator;
+  [[nodiscard]] Iterator begin() const { return table_.begin(); }
+
+ private:
+  SkipList<Key, MemEntry> table_;
+  std::size_t capacity_bytes_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace ndpgen::kv

@@ -1,0 +1,76 @@
+#include "kv/placement.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+
+PlacementPolicy::PlacementPolicy(const platform::FlashTopology& topology,
+                                 std::uint32_t level_groups)
+    : topology_(topology), level_groups_(level_groups) {
+  NDPGEN_CHECK_ARG(level_groups >= 1, "need at least one level group");
+  NDPGEN_CHECK_ARG(
+      topology.controllers * topology.channels_per_controller >= level_groups,
+      "fewer flash channels than level groups");
+  next_page_.assign(topology_.total_luns(), 0);
+  group_cursor_.assign(level_groups_, 0);
+}
+
+std::vector<std::uint32_t> PlacementPolicy::luns_of_level(
+    std::uint32_t level) const {
+  // Groups partition whole CHANNELS: a level owns its channels' buses, so
+  // compaction traffic on one level cannot block another level's
+  // transfers (§III-B, "avoids blocking of the entire bus").
+  const std::uint32_t group = level % level_groups_;
+  std::vector<std::uint32_t> luns;
+  for (std::uint32_t lun = 0; lun < topology_.total_luns(); ++lun) {
+    const std::uint32_t channel = lun / topology_.luns_per_channel;
+    if (channel % level_groups_ == group) luns.push_back(lun);
+  }
+  return luns;
+}
+
+void PlacementPolicy::note_existing_page(std::uint64_t linear_page) {
+  const std::uint64_t luns = topology_.total_luns();
+  const std::uint64_t lun = linear_page % luns;
+  const std::uint64_t page_in_lun = linear_page / luns;
+  next_page_[lun] = std::max(next_page_[lun], page_in_lun + 1);
+}
+
+std::vector<std::uint64_t> PlacementPolicy::allocate_block_pages(
+    std::uint32_t level, std::uint32_t page_count) {
+  NDPGEN_CHECK_ARG(page_count >= 1, "block needs at least one page");
+  const std::vector<std::uint32_t> luns = luns_of_level(level);
+  const std::uint32_t group = level % level_groups_;
+  const std::uint64_t pages_per_lun =
+      std::uint64_t{topology_.blocks_per_lun} * topology_.pages_per_block;
+
+  std::vector<std::uint64_t> pages;
+  pages.reserve(page_count);
+  for (std::uint32_t i = 0; i < page_count; ++i) {
+    // Stripe consecutive pages of the block over the group's LUNs so the
+    // two 16 KiB halves of one 32 KiB data block transfer in parallel.
+    std::uint32_t attempts = 0;
+    while (attempts < luns.size()) {
+      const std::uint32_t lun =
+          luns[group_cursor_[group] % luns.size()];
+      group_cursor_[group] =
+          (group_cursor_[group] + 1) % static_cast<std::uint32_t>(luns.size());
+      if (next_page_[lun] < pages_per_lun) {
+        const std::uint64_t page_in_lun = next_page_[lun]++;
+        // Linear number must match FlashModel::linearize: LUN-major
+        // interleave (page_in_lun * total_luns + lun).
+        pages.push_back(page_in_lun * topology_.total_luns() + lun);
+        break;
+      }
+      ++attempts;
+    }
+    if (pages.size() != i + 1) {
+      ndpgen::raise(ErrorKind::kStorage,
+                    "flash level group exhausted during placement");
+    }
+  }
+  pages_allocated_ += page_count;
+  return pages;
+}
+
+}  // namespace ndpgen::kv

@@ -1,0 +1,56 @@
+// Physical placement policy (native computational storage).
+//
+// nKV controls physical placement directly: SST blocks are striped across
+// independent channels/LUNs for parallel access, and different LSM levels
+// are kept on different flash chips so compaction jobs do not block the
+// whole bus (paper §III-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/flash.hpp"
+
+namespace ndpgen::kv {
+
+class PlacementPolicy {
+ public:
+  /// `level_groups` partitions the LUNs into groups; level L allocates
+  /// from group (L mod level_groups).
+  explicit PlacementPolicy(const platform::FlashTopology& topology,
+                           std::uint32_t level_groups = 4);
+
+  /// Allocates `page_count` flash pages (linear numbers) for one data
+  /// block of level `level`, striped over the level's LUN group.
+  /// Throws Error{kStorage} when the group is exhausted.
+  [[nodiscard]] std::vector<std::uint64_t> allocate_block_pages(
+      std::uint32_t level, std::uint32_t page_count);
+
+  /// Pages already allocated in total (diagnostics).
+  [[nodiscard]] std::uint64_t pages_allocated() const noexcept {
+    return pages_allocated_;
+  }
+
+  /// Recovery: marks a linear page (from a restored manifest) as in use so
+  /// future allocations never collide with surviving data.
+  void note_existing_page(std::uint64_t linear_page);
+
+  [[nodiscard]] std::uint32_t level_groups() const noexcept {
+    return level_groups_;
+  }
+
+  /// LUN indices belonging to a level's group (for tests/inspection).
+  [[nodiscard]] std::vector<std::uint32_t> luns_of_level(
+      std::uint32_t level) const;
+
+ private:
+  platform::FlashTopology topology_;
+  std::uint32_t level_groups_;
+  /// Next free page-in-LUN cursor, per LUN.
+  std::vector<std::uint64_t> next_page_;
+  /// Round-robin cursor within each group.
+  std::vector<std::uint32_t> group_cursor_;
+  std::uint64_t pages_allocated_ = 0;
+};
+
+}  // namespace ndpgen::kv

@@ -1,0 +1,140 @@
+// Deterministic skip list.
+//
+// "The MemTables in C0 are typically implemented using a memory-efficient
+// structure such as skip-lists" (paper §III-A). This is a classic
+// Pugh-style skip list with a seeded PRNG for level assignment, ordered
+// iteration, and O(log n) insert/lookup. Single-writer (the store
+// serializes writes), multi-reader.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ndpgen::kv {
+
+template <typename K, typename V>
+class SkipList {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  explicit SkipList(std::uint64_t seed = 0x5ca1ab1eULL)
+      : rng_(seed), head_(std::make_unique<Node>(K{}, V{}, kMaxLevel)) {}
+
+  /// Inserts or overwrites.
+  void insert(const K& key, V value) {
+    std::array<Node*, kMaxLevel> update{};
+    Node* node = find_greater_or_equal(key, &update);
+    if (node != nullptr && node->key == key) {
+      node->value = std::move(value);
+      return;
+    }
+    const int level = random_level();
+    auto owned = std::make_unique<Node>(key, std::move(value), level);
+    Node* raw = owned.get();
+    nodes_.push_back(std::move(owned));
+    for (int i = 0; i < level; ++i) {
+      raw->next[i] = update[i]->next[i];
+      update[i]->next[i] = raw;
+    }
+    ++size_;
+  }
+
+  [[nodiscard]] const V* find(const K& key) const {
+    const Node* node = find_greater_or_equal(key, nullptr);
+    if (node != nullptr && node->key == key) return &node->value;
+    return nullptr;
+  }
+
+  [[nodiscard]] V* find(const K& key) {
+    Node* node = find_greater_or_equal(key, nullptr);
+    if (node != nullptr && node->key == key) return &node->value;
+    return nullptr;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const {
+    return find(key) != nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Forward iterator over (key, value) in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list)
+        : node_(list->head_->next[0]) {}
+
+    [[nodiscard]] bool valid() const noexcept { return node_ != nullptr; }
+    void next() noexcept {
+      if (node_ != nullptr) node_ = node_->next[0];
+    }
+    [[nodiscard]] const K& key() const {
+      NDPGEN_CHECK(node_ != nullptr, "dereferencing invalid iterator");
+      return node_->key;
+    }
+    [[nodiscard]] const V& value() const {
+      NDPGEN_CHECK(node_ != nullptr, "dereferencing invalid iterator");
+      return node_->value;
+    }
+
+    /// Positions at the first entry with key >= target.
+    void seek(const SkipList* list, const K& target) {
+      node_ = list->find_greater_or_equal(target, nullptr);
+    }
+
+   private:
+    const typename SkipList::Node* node_;
+  };
+
+  [[nodiscard]] Iterator begin() const { return Iterator(this); }
+
+ private:
+  struct Node {
+    Node(const K& k, V v, int level)
+        : key(k), value(std::move(v)), next(level, nullptr) {}
+    K key;
+    V value;
+    std::vector<Node*> next;
+  };
+
+  int random_level() {
+    int level = 1;
+    // P = 1/4 branching, capped: the standard RocksDB parameters.
+    while (level < kMaxLevel && (rng_() & 3) == 0) ++level;
+    return level;
+  }
+
+  Node* find_greater_or_equal(const K& key,
+                              std::array<Node*, kMaxLevel>* update) const {
+    Node* cursor = head_.get();
+    for (int i = kMaxLevel - 1; i >= 0; --i) {
+      while (true) {
+        Node* next = i < static_cast<int>(cursor->next.size())
+                         ? cursor->next[i]
+                         : nullptr;
+        if (next != nullptr && next->key < key) {
+          cursor = next;
+        } else {
+          break;
+        }
+      }
+      if (update != nullptr) (*update)[i] = cursor;
+    }
+    return cursor->next[0];
+  }
+
+  support::Xoshiro256 rng_;
+  std::unique_ptr<Node> head_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::size_t size_ = 0;
+
+  friend class Iterator;
+};
+
+}  // namespace ndpgen::kv

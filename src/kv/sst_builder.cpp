@@ -1,0 +1,138 @@
+#include "kv/sst_builder.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+
+std::uint64_t SSTable::record_count() const noexcept {
+  std::uint64_t count = 0;
+  for (const auto& block : blocks) count += block.record_count;
+  return count;
+}
+
+int SSTable::find_block(const Key& key) const noexcept {
+  // Binary search over block ranges (the index-block traversal of §III-A).
+  int lo = 0;
+  int hi = static_cast<int>(blocks.size()) - 1;
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (key < blocks[static_cast<std::size_t>(mid)].first_key) {
+      hi = mid - 1;
+    } else if (blocks[static_cast<std::size_t>(mid)].last_key < key) {
+      lo = mid + 1;
+    } else {
+      return mid;
+    }
+  }
+  return -1;
+}
+
+const Tombstone* SSTable::find_tombstone(const Key& key) const noexcept {
+  const auto it = std::lower_bound(
+      tombstones.begin(), tombstones.end(), key,
+      [](const Tombstone& t, const Key& k) { return t.key < k; });
+  if (it != tombstones.end() && it->key == key) return &*it;
+  return nullptr;
+}
+
+SSTBuilder::SSTBuilder(std::uint64_t id, std::uint32_t level,
+                       std::uint32_t record_bytes, KeyExtractor extractor,
+                       PlacementPolicy& placement,
+                       platform::FlashModel& flash)
+    : table_(std::make_shared<SSTable>()),
+      extractor_(std::move(extractor)),
+      placement_(placement),
+      flash_(flash),
+      block_builder_(record_bytes) {
+  NDPGEN_CHECK_ARG(static_cast<bool>(extractor_),
+                   "SST builder needs a key extractor");
+  NDPGEN_CHECK_ARG(kDataBlockBytes % flash.topology().page_bytes == 0,
+                   "data block must be a whole number of flash pages");
+  table_->id = id;
+  table_->level = level;
+  table_->record_bytes = record_bytes;
+  table_->min_key = Key::max();
+  table_->max_key = Key::min();
+  table_->min_seq = ~SequenceNumber{0};
+  table_->max_seq = 0;
+}
+
+void SSTBuilder::add(std::span<const std::uint8_t> record,
+                     SequenceNumber seq) {
+  const Key key = extractor_(record);
+  if (any_key_ && !(last_added_ < key)) {
+    ndpgen::raise(ErrorKind::kStorage,
+                  "SST records must be added in strictly ascending key "
+                  "order (got " + key.to_string() + " after " +
+                      last_added_.to_string() + ")");
+  }
+  if (!block_builder_.has_space()) flush_block();
+  if (block_builder_.empty()) block_first_key_ = key;
+  block_builder_.add(record);
+  block_last_key_ = key;
+  last_added_ = key;
+  any_key_ = true;
+  ++records_added_;
+  bloom_keys_.push_back(key);
+  table_->min_key = std::min(table_->min_key, key);
+  table_->max_key = std::max(table_->max_key, key);
+  table_->min_seq = std::min(table_->min_seq, seq);
+  table_->max_seq = std::max(table_->max_seq, seq);
+}
+
+void SSTBuilder::add_tombstone(const Key& key, SequenceNumber seq) {
+  table_->tombstones.push_back(Tombstone{key, seq});
+  bloom_keys_.push_back(key);
+  table_->min_key = std::min(table_->min_key, key);
+  table_->max_key = std::max(table_->max_key, key);
+  table_->min_seq = std::min(table_->min_seq, seq);
+  table_->max_seq = std::max(table_->max_seq, seq);
+}
+
+void SSTBuilder::flush_block() {
+  if (block_builder_.empty()) return;
+  BlockHandle handle;
+  handle.first_key = block_first_key_;
+  handle.last_key = block_last_key_;
+  handle.record_count = static_cast<std::uint16_t>(
+      block_builder_.record_count());
+  const std::vector<std::uint8_t> block = block_builder_.finish();
+
+  const std::uint32_t page_bytes = flash_.topology().page_bytes;
+  const std::uint32_t pages = kDataBlockBytes / page_bytes;
+  handle.flash_pages =
+      placement_.allocate_block_pages(table_->level, pages);
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    const auto addr = flash_.delinearize(handle.flash_pages[i]);
+    flash_.write_page_immediate(
+        addr, std::span<const std::uint8_t>(block).subspan(
+                  std::size_t{i} * page_bytes, page_bytes));
+  }
+  table_->blocks.push_back(std::move(handle));
+}
+
+std::shared_ptr<SSTable> SSTBuilder::finish() {
+  flush_block();
+  std::sort(table_->tombstones.begin(), table_->tombstones.end(),
+            [](const Tombstone& a, const Tombstone& b) {
+              return a.key != b.key ? a.key < b.key : a.seq > b.seq;
+            });
+  // Keep only the newest tombstone per key.
+  table_->tombstones.erase(
+      std::unique(table_->tombstones.begin(), table_->tombstones.end(),
+                  [](const Tombstone& a, const Tombstone& b) {
+                    return a.key == b.key;
+                  }),
+      table_->tombstones.end());
+  if (table_->blocks.empty() && table_->tombstones.empty()) {
+    ndpgen::raise(ErrorKind::kStorage, "refusing to build an empty SST");
+  }
+  table_->bloom = BloomFilter(bloom_keys_.size());
+  for (const Key& key : bloom_keys_) table_->bloom.insert(key);
+  bloom_keys_.clear();
+  return std::move(table_);
+}
+
+}  // namespace ndpgen::kv

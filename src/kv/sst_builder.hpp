@@ -1,0 +1,104 @@
+// Sorted String Table structures and builder.
+//
+// Each SST comprises an index block and a number of 32 KiB data blocks
+// holding key-sorted fixed-size records (paper §III-A). Data blocks are
+// placed on physical flash pages through the PlacementPolicy; the index
+// (per-block first/last key, record counts, page lists) and the tombstone
+// list are kept in device DRAM metadata, mirroring nKV's unified
+// format/layout layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "kv/block_format.hpp"
+#include "kv/bloom.hpp"
+#include "kv/key.hpp"
+#include "kv/placement.hpp"
+#include "platform/flash.hpp"
+
+namespace ndpgen::kv {
+
+/// Extracts the ordering key from a packed record.
+using KeyExtractor = std::function<Key(std::span<const std::uint8_t>)>;
+
+/// Index entry for one data block.
+struct BlockHandle {
+  std::vector<std::uint64_t> flash_pages;  ///< Linear page numbers.
+  Key first_key;
+  Key last_key;
+  std::uint16_t record_count = 0;
+};
+
+/// A tombstone recorded in the SST's metadata region.
+struct Tombstone {
+  Key key;
+  SequenceNumber seq = 0;
+};
+
+/// Immutable SST metadata (the index block content).
+struct SSTable {
+  std::uint64_t id = 0;
+  std::uint32_t level = 1;
+  std::uint32_t record_bytes = 0;
+  Key min_key;
+  Key max_key;
+  SequenceNumber min_seq = 0;
+  SequenceNumber max_seq = 0;
+  std::vector<BlockHandle> blocks;
+  std::vector<Tombstone> tombstones;  ///< Key-sorted.
+  BloomFilter bloom;  ///< Over record AND tombstone keys (device DRAM).
+
+  [[nodiscard]] std::uint64_t record_count() const noexcept;
+  [[nodiscard]] std::uint64_t data_bytes() const noexcept {
+    return std::uint64_t{kDataBlockBytes} * blocks.size();
+  }
+  /// Index of the block that may contain `key` (first/last key range),
+  /// or -1 if none.
+  [[nodiscard]] int find_block(const Key& key) const noexcept;
+  /// True if the tombstone list has an entry for `key` with seq >= `seq`.
+  [[nodiscard]] const Tombstone* find_tombstone(const Key& key) const noexcept;
+};
+
+class SSTBuilder {
+ public:
+  SSTBuilder(std::uint64_t id, std::uint32_t level, std::uint32_t record_bytes,
+             KeyExtractor extractor, PlacementPolicy& placement,
+             platform::FlashModel& flash);
+
+  /// Adds one record; keys must arrive in strictly ascending order.
+  void add(std::span<const std::uint8_t> record, SequenceNumber seq);
+
+  /// Records a tombstone (also ascending relative to other adds).
+  void add_tombstone(const Key& key, SequenceNumber seq);
+
+  [[nodiscard]] std::uint64_t records_added() const noexcept {
+    return records_added_;
+  }
+
+  /// Finalizes the table: flushes the open block, writes all block pages
+  /// to flash (content-immediate; timing is charged by the caller when
+  /// flush/compaction latency matters) and returns the metadata.
+  [[nodiscard]] std::shared_ptr<SSTable> finish();
+
+ private:
+  void flush_block();
+
+  std::shared_ptr<SSTable> table_;
+  KeyExtractor extractor_;
+  PlacementPolicy& placement_;
+  platform::FlashModel& flash_;
+  DataBlockBuilder block_builder_;
+
+  bool any_key_ = false;
+  Key last_added_;
+  Key block_first_key_;
+  Key block_last_key_;
+  std::uint64_t records_added_ = 0;
+  std::vector<Key> bloom_keys_;  ///< Filter built at finish().
+};
+
+}  // namespace ndpgen::kv

@@ -1,0 +1,64 @@
+#include "kv/sst_reader.hpp"
+
+#include "kv/block_format.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+
+SSTReader::SSTReader(const SSTable& table, platform::FlashModel& flash,
+                     KeyExtractor extractor)
+    : table_(table), flash_(flash), extractor_(std::move(extractor)) {
+  NDPGEN_CHECK_ARG(static_cast<bool>(extractor_),
+                   "SST reader needs a key extractor");
+}
+
+std::vector<std::uint8_t> SSTReader::read_block(std::uint32_t index) const {
+  NDPGEN_CHECK_ARG(index < table_.blocks.size(), "block index out of range");
+  const BlockHandle& handle = table_.blocks[index];
+  std::vector<std::uint8_t> block;
+  block.reserve(kDataBlockBytes);
+  for (const std::uint64_t page : handle.flash_pages) {
+    const auto data = flash_.page_data(flash_.delinearize(page));
+    block.insert(block.end(), data.begin(), data.end());
+  }
+  NDPGEN_CHECK(block.size() == kDataBlockBytes,
+               "assembled block has wrong size");
+  return block;
+}
+
+std::optional<std::vector<std::uint8_t>> SSTReader::get(const Key& key) const {
+  const int block_index = table_.find_block(key);
+  if (block_index < 0) return std::nullopt;
+  const std::vector<std::uint8_t> block =
+      read_block(static_cast<std::uint32_t>(block_index));
+  const BlockTrailer trailer = read_trailer(block);
+  // Binary search over the fixed-size records.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = trailer.record_count;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const auto record = block_record(block, trailer, mid);
+    const Key mid_key = extractor_(record);
+    if (mid_key < key) {
+      lo = mid + 1;
+    } else if (key < mid_key) {
+      hi = mid;
+    } else {
+      return std::vector<std::uint8_t>(record.begin(), record.end());
+    }
+  }
+  return std::nullopt;
+}
+
+void SSTReader::for_each_record(
+    const std::function<void(std::span<const std::uint8_t>)>& fn) const {
+  for (std::uint32_t i = 0; i < table_.blocks.size(); ++i) {
+    const std::vector<std::uint8_t> block = read_block(i);
+    const BlockTrailer trailer = read_trailer(block);
+    for (std::uint32_t r = 0; r < trailer.record_count; ++r) {
+      fn(block_record(block, trailer, r));
+    }
+  }
+}
+
+}  // namespace ndpgen::kv

@@ -1,0 +1,44 @@
+// SST reading: block assembly from flash pages and in-block key search.
+//
+// Content access is immediate (bytes are bytes); *timing* of flash reads
+// is charged by the NDP executors through the platform DES, keeping the
+// correctness path and the performance model cleanly separated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "kv/sst_builder.hpp"
+#include "platform/flash.hpp"
+
+namespace ndpgen::kv {
+
+class SSTReader {
+ public:
+  SSTReader(const SSTable& table, platform::FlashModel& flash,
+            KeyExtractor extractor);
+
+  /// Assembles data block `index` (32 KiB) from its flash pages.
+  [[nodiscard]] std::vector<std::uint8_t> read_block(std::uint32_t index) const;
+
+  /// Looks up `key`: index probe + in-block binary search.
+  /// Returns the record bytes, or nullopt. Tombstones are NOT applied
+  /// here (the store layer reconciles recency and deletion).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
+      const Key& key) const;
+
+  /// Iterates all records of the table in key order.
+  void for_each_record(
+      const std::function<void(std::span<const std::uint8_t>)>& fn) const;
+
+  [[nodiscard]] const SSTable& table() const noexcept { return table_; }
+
+ private:
+  const SSTable& table_;
+  platform::FlashModel& flash_;
+  KeyExtractor extractor_;
+};
+
+}  // namespace ndpgen::kv

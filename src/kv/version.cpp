@@ -1,0 +1,82 @@
+#include "kv/version.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+
+void Version::check_level(std::uint32_t level) const {
+  NDPGEN_CHECK_ARG(level >= 1 && level <= kMaxLevels,
+                   "LSM level must be in [1, kMaxLevels]");
+}
+
+void Version::add(std::uint32_t level, std::shared_ptr<SSTable> table) {
+  check_level(level);
+  NDPGEN_CHECK_ARG(table != nullptr, "cannot add a null SST");
+  table->level = level;
+  levels_[level - 1].push_back(std::move(table));
+}
+
+void Version::remove(std::uint32_t level, std::uint64_t table_id) {
+  check_level(level);
+  auto& tables = levels_[level - 1];
+  const auto it = std::find_if(
+      tables.begin(), tables.end(),
+      [table_id](const auto& table) { return table->id == table_id; });
+  NDPGEN_CHECK_ARG(it != tables.end(), "SST id not present in level");
+  tables.erase(it);
+}
+
+const std::vector<std::shared_ptr<SSTable>>& Version::level(
+    std::uint32_t level) const {
+  check_level(level);
+  return levels_[level - 1];
+}
+
+std::size_t Version::total_ssts() const noexcept {
+  std::size_t count = 0;
+  for (const auto& tables : levels_) count += tables.size();
+  return count;
+}
+
+std::uint64_t Version::total_records() const noexcept {
+  std::uint64_t count = 0;
+  for (const auto& tables : levels_) {
+    for (const auto& table : tables) count += table->record_count();
+  }
+  return count;
+}
+
+std::uint64_t Version::total_data_bytes() const noexcept {
+  std::uint64_t bytes = 0;
+  for (const auto& tables : levels_) {
+    for (const auto& table : tables) bytes += table->data_bytes();
+  }
+  return bytes;
+}
+
+std::vector<std::shared_ptr<SSTable>> Version::recency_ordered() const {
+  std::vector<std::shared_ptr<SSTable>> ordered;
+  // C1: newest first (tables were appended in flush order).
+  const auto& c1 = levels_[0];
+  for (auto it = c1.rbegin(); it != c1.rend(); ++it) ordered.push_back(*it);
+  for (std::uint32_t level = 2; level <= kMaxLevels; ++level) {
+    for (const auto& table : levels_[level - 1]) ordered.push_back(table);
+  }
+  return ordered;
+}
+
+std::vector<std::shared_ptr<SSTable>> Version::overlapping(
+    std::uint32_t level, const Key& lo, const Key& hi) const {
+  check_level(level);
+  std::vector<std::shared_ptr<SSTable>> result;
+  for (const auto& table : levels_[level - 1]) {
+    if (!(table->max_key < lo || hi < table->min_key)) {
+      result.push_back(table);
+    }
+  }
+  return result;
+}
+
+}  // namespace ndpgen::kv

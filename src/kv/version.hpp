@@ -1,0 +1,53 @@
+// LSM-tree version: the set of live SSTs per level.
+//
+// C0 is the MemTable; C1..Ck are persistent levels. C1 may contain
+// overlapping SSTs for the same key (no compaction during flush); levels
+// C2..Ck are fully compacted, so at most one SST per level can contain a
+// given key (paper §III-A).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kv/sst_builder.hpp"
+
+namespace ndpgen::kv {
+
+inline constexpr std::uint32_t kMaxLevels = 7;  ///< C1..C7.
+
+class Version {
+ public:
+  Version() : levels_(kMaxLevels) {}
+
+  /// Adds an SST to level `level` (1-based). Newest tables go last; GETs
+  /// consult C1 newest-first.
+  void add(std::uint32_t level, std::shared_ptr<SSTable> table);
+
+  /// Removes a table by id from a level (after compaction consumed it).
+  void remove(std::uint32_t level, std::uint64_t table_id);
+
+  [[nodiscard]] const std::vector<std::shared_ptr<SSTable>>& level(
+      std::uint32_t level) const;
+
+  [[nodiscard]] std::size_t sst_count(std::uint32_t level) const {
+    return this->level(level).size();
+  }
+  [[nodiscard]] std::size_t total_ssts() const noexcept;
+  [[nodiscard]] std::uint64_t total_records() const noexcept;
+  [[nodiscard]] std::uint64_t total_data_bytes() const noexcept;
+
+  /// All tables of every level, ordered for recency-correct traversal:
+  /// C1 newest-first, then C2..Ck.
+  [[nodiscard]] std::vector<std::shared_ptr<SSTable>> recency_ordered() const;
+
+  /// Tables of `level` whose key range overlaps [lo, hi].
+  [[nodiscard]] std::vector<std::shared_ptr<SSTable>> overlapping(
+      std::uint32_t level, const Key& lo, const Key& hi) const;
+
+ private:
+  void check_level(std::uint32_t level) const;
+  std::vector<std::vector<std::shared_ptr<SSTable>>> levels_;  // [0]=C1.
+};
+
+}  // namespace ndpgen::kv

@@ -1,0 +1,664 @@
+#include "ndp/executor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <unordered_set>
+
+#include "kv/sst_reader.hpp"
+#include "support/bitvec.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::ndp {
+
+namespace {
+
+/// Per-result software finalization cost (hash-set dedup + copy-out).
+constexpr platform::SimTime kFinalizePerResult = 35;  // ns
+
+}  // namespace
+
+HybridExecutor::HybridExecutor(kv::NKV& db,
+                               const analysis::AnalyzedParser& parser,
+                               const hwgen::OperatorSet& operators,
+                               ExecutorConfig config)
+    : db_(db),
+      parser_(parser),
+      operators_(operators),
+      config_(std::move(config)),
+      software_(parser_, operators_, db.platform().timing()) {
+  if (config_.mode == ExecMode::kHardware) {
+    NDPGEN_CHECK_ARG(!config_.pe_indices.empty(),
+                     "hardware execution needs at least one PE");
+    for (const std::size_t index : config_.pe_indices) {
+      hardware_.push_back(
+          std::make_unique<HardwareNdp>(db.platform(), index));
+      NDPGEN_CHECK_ARG(
+          hardware_.back()->design().parser.input.storage_bits ==
+              parser_.input.storage_bits,
+          "PE input layout does not match the executor's parser");
+    }
+  }
+}
+
+std::vector<HybridExecutor::BlockRef> HybridExecutor::collect_blocks() const {
+  std::vector<BlockRef> blocks;
+  for (const auto& table : db_.version().recency_ordered()) {
+    for (std::uint32_t i = 0; i < table->blocks.size(); ++i) {
+      blocks.push_back(BlockRef{table.get(), i});
+    }
+  }
+  return blocks;
+}
+
+std::vector<std::uint8_t> HybridExecutor::assemble_block(
+    const BlockRef& ref) const {
+  kv::SSTReader reader(*ref.table, db_.platform().flash(),
+                       db_.config().extractor);
+  return reader.read_block(ref.block_index);
+}
+
+ScanStats HybridExecutor::scan(
+    const std::vector<FilterPredicate>& predicates,
+    std::vector<std::vector<std::uint8_t>>* results) {
+  return scan_blocks(collect_blocks(), predicates, results, std::nullopt);
+}
+
+ScanStats HybridExecutor::range_scan(
+    const kv::Key& lo, const kv::Key& hi,
+    const std::vector<FilterPredicate>& predicates,
+    std::vector<std::vector<std::uint8_t>>* results) {
+  NDPGEN_CHECK_ARG(!(hi < lo), "range_scan needs lo <= hi");
+  NDPGEN_CHECK_ARG(static_cast<bool>(config_.result_key_extractor),
+                   "range_scan requires result_key_extractor to enforce "
+                   "the key bounds on survivors");
+  auto& arm = db_.platform().arm();
+  // Index pruning: only tables and blocks whose key range intersects
+  // [lo, hi]. The index metadata lives in device DRAM; each consulted
+  // table costs one index probe.
+  std::vector<BlockRef> blocks;
+  for (const auto& table : db_.version().recency_ordered()) {
+    if (table->max_key < lo || hi < table->min_key) continue;
+    arm.index_probe(std::max<std::size_t>(std::size_t{1},
+                                          table->blocks.size()));
+    for (std::uint32_t i = 0; i < table->blocks.size(); ++i) {
+      const auto& handle = table->blocks[i];
+      if (handle.last_key < lo || hi < handle.first_key) continue;
+      blocks.push_back(BlockRef{table.get(), i});
+    }
+  }
+  return scan_blocks(blocks, predicates, results,
+                     std::make_optional(std::make_pair(lo, hi)));
+}
+
+ScanStats HybridExecutor::scan_blocks(
+    const std::vector<BlockRef>& blocks,
+    const std::vector<FilterPredicate>& predicates,
+    std::vector<std::vector<std::uint8_t>>* results,
+    const std::optional<std::pair<kv::Key, kv::Key>>& key_range) {
+  auto& platform = db_.platform();
+  auto& queue = platform.events();
+  auto& flash = platform.flash();
+  const auto& timing = platform.timing();
+  const platform::SimTime t0 = queue.now();
+  // One NDP command covers the whole scan, so the firmware command cost
+  // amortizes away (unlike GET).
+  platform.arm().ndp_command();
+
+  ScanStats stats;
+  const std::uint32_t sw_stages =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(predicates.size()));
+  const std::uint32_t hw_stages =
+      config_.mode == ExecMode::kHardware
+          ? hardware_.front()->design().filter_stage_count()
+          : sw_stages;
+
+  // Predicates beyond the PE's chain length are evaluated in software on
+  // the hardware survivors — the only option on [1]'s non-chainable
+  // architecture, and only possible when the transform keeps the input
+  // layout intact.
+  std::vector<FilterPredicate> hw_predicates = predicates;
+  std::vector<BoundPredicate> post_filter;
+  if (config_.mode == ExecMode::kHardware &&
+      predicates.size() > hw_stages) {
+    NDPGEN_CHECK_ARG(
+        parser_.mapping.identity,
+        "conjunction exceeds the PE's filter stages and the transform is "
+        "not identity: software post-filtering is impossible");
+    for (std::size_t i = hw_stages; i < predicates.size(); ++i) {
+      post_filter.push_back(
+          bind_predicate(parser_.input, operators_, predicates[i]));
+    }
+    hw_predicates.resize(hw_stages);
+  }
+  const auto bound = bind_conjunction(
+      parser_.input, operators_, hw_predicates,
+      config_.mode == ExecMode::kHardware ? hw_stages : sw_stages);
+
+  // 1. Schedule every data-block page read on the DES; collect per-block
+  //    flash completion times (this models the ~200 MB/s aggregate limit,
+  //    LUN parallelism and controller-bus serialization).
+  std::vector<platform::SimTime> ready(blocks.size(), 0);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto& handle = blocks[b].table->blocks[blocks[b].block_index];
+    auto remaining = std::make_shared<std::size_t>(handle.flash_pages.size());
+    for (const std::uint64_t page : handle.flash_pages) {
+      flash.read_page(flash.delinearize(page), [&ready, b, remaining, &queue] {
+        if (--*remaining == 0) ready[b] = queue.now();
+      });
+    }
+    stats.bytes_from_flash +=
+        handle.flash_pages.size() * flash.topology().page_bytes;
+  }
+  queue.run();  // Drains the DES (flash events, incl. unrelated traffic).
+  for (const platform::SimTime t : ready) {
+    stats.flash_done = std::max(stats.flash_done, t);
+  }
+  if (stats.flash_done > t0) stats.flash_done -= t0;
+
+  // 2. Pipeline block processing against flash availability, one pipeline
+  //    per worker (ARM core for SW, host CPU for classic, one per PE for
+  //    HW).
+  const std::size_t workers =
+      config_.mode == ExecMode::kHardware ? hardware_.size() : 1;
+  std::vector<platform::SimTime> worker_free(workers, t0);
+
+  // Recency/tombstone reconciliation state (software part of the hybrid).
+  std::unordered_set<kv::Key, kv::KeyHash> deleted;
+  for (const auto& table : db_.version().recency_ordered()) {
+    for (const auto& tombstone : table->tombstones) {
+      deleted.insert(tombstone.key);
+    }
+  }
+  std::unordered_set<kv::Key, kv::KeyHash> seen;
+
+  std::vector<bool> pe_configured(workers, false);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const std::size_t w = b % workers;
+    const std::vector<std::uint8_t> block = assemble_block(blocks[b]);
+    const kv::BlockTrailer trailer = kv::read_trailer(block);
+    const std::uint64_t payload = kv::block_payload_bytes(trailer);
+
+    const bool collect = config_.collect_results || results != nullptr;
+    std::uint64_t matched = 0;
+    std::vector<std::vector<std::uint8_t>> survivors;
+    platform::SimTime cost = 0;
+
+    bool use_hw = config_.mode == ExecMode::kHardware;
+    if (use_hw) {
+      auto& hw = *hardware_[w];
+      const std::uint32_t static_payload = hw.design().static_payload_bytes;
+      if (static_payload != 0 && payload != static_payload) {
+        // Partially filled block on a hand-crafted (static-geometry) PE:
+        // the firmware routes it through the software path.
+        use_hw = false;
+        ++stats.blocks_via_software;
+      }
+    }
+
+    if (use_hw) {
+      auto& hw = *hardware_[w];
+      if (!pe_configured[w] && hw.supports_aggregation()) {
+        // A previous aggregate() may have left the unit armed.
+        hw.set_aggregate(hwgen::AggOp::kNone, 0);
+      }
+      auto result = hw.process_block(
+          std::span<const std::uint8_t>(block).first(payload), bound,
+          /*collect=*/true, /*reconfigure=*/!pe_configured[w]);
+      pe_configured[w] = true;
+      // The generated software interface also DMAs the block DRAM->DRAM?
+      // No: the PE reads the staged block directly; flash DMA already
+      // deposited it. Cost = dispatch overhead + PE cycles.
+      cost = result.overhead + result.pe_time;
+      matched = result.stats.tuples_out;
+      survivors = std::move(result.records);
+      stats.tuples_scanned += result.stats.tuples_in;
+      if (!post_filter.empty()) {
+        // Software post-filter on the hardware survivors ([1]-style
+        // single-stage PEs cannot chain predicates).
+        std::vector<std::vector<std::uint8_t>> kept;
+        for (auto& record : survivors) {
+          bool pass = true;
+          for (const auto& predicate : post_filter) {
+            if (!eval_predicate_sw(parser_.input, operators_, record,
+                                   predicate)) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) kept.push_back(std::move(record));
+        }
+        cost += survivors.size() * post_filter.size() *
+                timing.arm_predicate_per_tuple;
+        survivors = std::move(kept);
+        matched = survivors.size();
+      }
+    } else if (config_.mode == ExecMode::kHostClassic) {
+      // Classical path (Fig. 1, left): the whole block crosses the
+      // intermediate layers and the NVMe link; the host CPU filters.
+      const auto result = software_.filter_block(block, bound, true);
+      cost = timing.host_io_stack_per_block +
+             timing.nvme_transfer_time(kv::kDataBlockBytes) +
+             timing.host_parse_time(payload) +
+             result.tuples_in * bound.size() *
+                 (timing.arm_predicate_per_tuple / 3);
+      matched = result.tuples_out;
+      survivors = std::move(result.records);
+      stats.tuples_scanned += result.tuples_in;
+    } else {
+      const auto result = software_.filter_block(block, bound, true);
+      cost = result.arm_cost;
+      matched = result.tuples_out;
+      survivors = std::move(result.records);
+      stats.tuples_scanned += result.tuples_in;
+    }
+
+    worker_free[w] = std::max(worker_free[w], ready[b]) + cost;
+    stats.tuples_matched += matched;
+    ++stats.blocks;
+
+    // Software finalization: recency dedup + tombstone suppression on the
+    // result keys (blocks arrive in recency order, so the first version
+    // seen per key is the authoritative one).
+    for (auto& record : survivors) {
+      if (config_.result_key_extractor) {
+        const kv::Key key = config_.result_key_extractor(record);
+        if (key_range &&
+            (key < key_range->first || key_range->second < key)) {
+          continue;  // Boundary-block record outside the range.
+        }
+        if (deleted.contains(key)) continue;
+        if (!seen.insert(key).second) continue;
+      }
+      ++stats.results;
+      stats.result_bytes += record.size();
+      if (results != nullptr) results->push_back(std::move(record));
+    }
+    (void)collect;
+  }
+
+  // 3. Makespan + finalization + NVMe result transfer (the classic path
+  //    already paid the link per block; its results are host-resident).
+  //    The makespan is the SCAN's own critical path — concurrent unrelated
+  //    device traffic (e.g. background compaction on other channels) only
+  //    affects it through the per-block ready times above.
+  platform::SimTime end = t0;
+  for (const platform::SimTime t : worker_free) end = std::max(end, t);
+  end += stats.results * kFinalizePerResult;
+  if (config_.mode != ExecMode::kHostClassic) {
+    end += timing.nvme_transfer_time(stats.result_bytes);
+  }
+  if (end > queue.now()) queue.advance_to(end);
+  stats.elapsed = end - t0;
+  return stats;
+}
+
+namespace {
+
+/// Folds one value into an accumulator under the field's interpretation.
+void fold_raw(hwgen::AggOp op, const analysis::FieldLayout& field,
+              std::uint64_t raw, std::uint64_t& acc, bool first) {
+  using hwgen::AggOp;
+  if (op == AggOp::kCount) {
+    ++acc;
+    return;
+  }
+  const bool is_float = spec::is_float(field.primitive);
+  const bool is_signed = spec::is_signed(field.primitive);
+  auto as_double = [&](std::uint64_t bits) {
+    return field.storage_width_bits == 32
+               ? static_cast<double>(
+                     std::bit_cast<float>(static_cast<std::uint32_t>(bits)))
+               : std::bit_cast<double>(bits);
+  };
+  switch (op) {
+    case AggOp::kSum:
+      if (is_float) {
+        const double current = first ? 0.0 : std::bit_cast<double>(acc);
+        acc = std::bit_cast<std::uint64_t>(current + as_double(raw));
+      } else if (is_signed) {
+        const std::int64_t current =
+            first ? 0 : static_cast<std::int64_t>(acc);
+        acc = static_cast<std::uint64_t>(
+            current + hwgen::sign_extend(raw, field.storage_width_bits));
+      } else {
+        acc = (first ? 0 : acc) + raw;
+      }
+      return;
+    case AggOp::kMin:
+    case AggOp::kMax: {
+      if (first) {
+        if (is_float) {
+          acc = std::bit_cast<std::uint64_t>(as_double(raw));
+        } else if (is_signed) {
+          acc = static_cast<std::uint64_t>(
+              hwgen::sign_extend(raw, field.storage_width_bits));
+        } else {
+          acc = raw;
+        }
+        return;
+      }
+      bool take;
+      if (is_float) {
+        const double value = as_double(raw);
+        const double current = std::bit_cast<double>(acc);
+        take = op == AggOp::kMin ? value < current : value > current;
+        if (take) acc = std::bit_cast<std::uint64_t>(value);
+      } else if (is_signed) {
+        const std::int64_t value =
+            hwgen::sign_extend(raw, field.storage_width_bits);
+        const std::int64_t current = static_cast<std::int64_t>(acc);
+        take = op == AggOp::kMin ? value < current : value > current;
+        if (take) acc = static_cast<std::uint64_t>(value);
+      } else {
+        take = op == AggOp::kMin ? raw < acc : raw > acc;
+        if (take) acc = raw;
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+AggregateStats HybridExecutor::aggregate(
+    const std::vector<FilterPredicate>& predicates, hwgen::AggOp op,
+    std::string_view field_path) {
+  NDPGEN_CHECK_ARG(op != hwgen::AggOp::kNone,
+                   "aggregate requires a real operation");
+  auto& platform = db_.platform();
+  auto& queue = platform.events();
+  auto& flash = platform.flash();
+  const auto& timing = platform.timing();
+  const platform::SimTime t0 = queue.now();
+  platform.arm().ndp_command();
+
+  const auto field_index = parser_.input.find_field(field_path);
+  NDPGEN_CHECK_ARG(field_index.has_value() &&
+                       parser_.input.fields[*field_index].relevant,
+                   "aggregate field must be a filterable input field");
+  const auto& field = parser_.input.fields[*field_index];
+  // Field selector = position among the relevant fields.
+  std::uint32_t field_sel = 0;
+  for (const std::size_t index : parser_.input.relevant_indices()) {
+    if (index == *field_index) break;
+    ++field_sel;
+  }
+
+  AggregateStats stats;
+  stats.op = op;
+  const std::uint32_t stages =
+      config_.mode == ExecMode::kHardware
+          ? hardware_.front()->design().filter_stage_count()
+          : std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(predicates.size()));
+  const auto bound =
+      bind_conjunction(parser_.input, operators_, predicates, stages);
+
+  // Flash schedule (same pipeline structure as scan()).
+  const std::vector<BlockRef> blocks = collect_blocks();
+  std::vector<platform::SimTime> ready(blocks.size(), 0);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto& handle = blocks[b].table->blocks[blocks[b].block_index];
+    auto remaining = std::make_shared<std::size_t>(handle.flash_pages.size());
+    for (const std::uint64_t page : handle.flash_pages) {
+      flash.read_page(flash.delinearize(page), [&ready, b, remaining, &queue] {
+        if (--*remaining == 0) ready[b] = queue.now();
+      });
+    }
+  }
+  queue.run();
+
+  const std::size_t workers =
+      config_.mode == ExecMode::kSoftware ? 1 : hardware_.size();
+  std::vector<platform::SimTime> worker_free(workers, t0);
+  std::vector<bool> pe_configured(workers, false);
+
+  std::uint64_t acc = 0;
+  bool first = true;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const std::size_t w = b % workers;
+    const std::vector<std::uint8_t> block = assemble_block(blocks[b]);
+    const kv::BlockTrailer trailer = kv::read_trailer(block);
+    platform::SimTime cost = 0;
+
+    if (config_.mode == ExecMode::kHardware) {
+      auto& hw = *hardware_[w];
+      NDPGEN_CHECK_ARG(hw.supports_aggregation(),
+                       "executor PE lacks an aggregation unit (generate "
+                       "with enable_aggregation)");
+      if (!pe_configured[w]) hw.set_aggregate(op, field_sel);
+      const auto result = hw.process_block(
+          std::span<const std::uint8_t>(block).first(
+              kv::block_payload_bytes(trailer)),
+          bound, /*collect=*/false, /*reconfigure=*/!pe_configured[w]);
+      pe_configured[w] = true;
+      cost = result.overhead + result.pe_time;
+      stats.tuples_scanned += result.stats.tuples_in;
+      // Combine the per-block hardware aggregate in software (cheap).
+      if (result.stats.agg_folded > 0) {
+        if (op == hwgen::AggOp::kCount) {
+          acc = (first ? 0 : acc) + result.stats.agg_result;
+        } else if (op == hwgen::AggOp::kSum) {
+          fold_raw(op, field, /*raw combine below*/ 0, acc, first);
+          // Sums combine additively in the accumulator's own encoding.
+          if (spec::is_float(field.primitive)) {
+            acc = std::bit_cast<std::uint64_t>(
+                std::bit_cast<double>(acc) +
+                std::bit_cast<double>(result.stats.agg_result));
+          } else {
+            acc += result.stats.agg_result;
+          }
+        } else {
+          // Min/max: the block result is already in accumulator encoding;
+          // fold it as a 64-bit value of the accumulator's interpretation.
+          if (first) {
+            acc = result.stats.agg_result;
+          } else if (spec::is_float(field.primitive)) {
+            const double value = std::bit_cast<double>(result.stats.agg_result);
+            const double current = std::bit_cast<double>(acc);
+            if (op == hwgen::AggOp::kMin ? value < current : value > current) {
+              acc = result.stats.agg_result;
+            }
+          } else if (spec::is_signed(field.primitive)) {
+            const auto value =
+                static_cast<std::int64_t>(result.stats.agg_result);
+            const auto current = static_cast<std::int64_t>(acc);
+            if (op == hwgen::AggOp::kMin ? value < current : value > current) {
+              acc = result.stats.agg_result;
+            }
+          } else if (op == hwgen::AggOp::kMin ? result.stats.agg_result < acc
+                                              : result.stats.agg_result > acc) {
+            acc = result.stats.agg_result;
+          }
+        }
+        first = false;
+        stats.folded += result.stats.agg_folded;
+      }
+    } else {
+      // Software: filter + fold on the ARM core.
+      std::uint64_t folded_here = 0;
+      for (std::uint32_t i = 0; i < trailer.record_count; ++i) {
+        const auto record = kv::block_record(block, trailer, i);
+        bool pass = true;
+        for (const auto& predicate : bound) {
+          if (!eval_predicate_sw(parser_.input, operators_, record,
+                                 predicate)) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        const auto bits = support::BitVector::from_bytes(record);
+        const std::uint64_t raw = bits.extract_u64(
+            field.storage_offset_bits,
+            std::min<std::uint32_t>(field.storage_width_bits, 64));
+        fold_raw(op, field, raw, acc, first);
+        first = false;
+        ++folded_here;
+      }
+      stats.folded += folded_here;
+      stats.tuples_scanned += trailer.record_count;
+      if (config_.mode == ExecMode::kHostClassic) {
+        cost = timing.host_io_stack_per_block +
+               timing.nvme_transfer_time(kv::kDataBlockBytes) +
+               timing.host_parse_time(kv::block_payload_bytes(trailer));
+      } else {
+        cost = software_.block_cost(kv::block_payload_bytes(trailer),
+                                    trailer.record_count,
+                                    static_cast<std::uint32_t>(bound.size()),
+                                    /*tuples_out=*/0) +
+               folded_here * timing.arm_predicate_per_tuple;
+      }
+    }
+    worker_free[w] = std::max(worker_free[w], ready[b]) + cost;
+    ++stats.blocks;
+  }
+
+  stats.raw_result = acc;
+  // Only the result registers cross the NVMe link.
+  stats.result_bytes = 16;
+  platform::SimTime end = t0;
+  for (const platform::SimTime t : worker_free) end = std::max(end, t);
+  end += timing.nvme_transfer_time(stats.result_bytes);
+  if (end > queue.now()) queue.advance_to(end);
+  stats.elapsed = end - t0;
+  return stats;
+}
+
+GetStats HybridExecutor::get(const kv::Key& key) {
+  auto& platform = db_.platform();
+  auto& queue = platform.events();
+  auto& arm = platform.arm();
+  auto& flash = platform.flash();
+  const platform::SimTime t0 = queue.now();
+
+  GetStats stats;
+  // Device firmware handles one NDP command per GET.
+  arm.ndp_command();
+  // C0: MemTable probe.
+  arm.index_probe(std::max<std::uint64_t>(1, db_.memtable().entry_count()));
+  if (const kv::MemEntry* entry = db_.memtable().get(key)) {
+    stats.elapsed = queue.now() - t0;
+    if (entry->type == kv::EntryType::kValue) {
+      stats.found = true;
+      stats.record = transform_sw(parser_, entry->record);
+    }
+    return stats;
+  }
+
+  // GET uses an equality predicate on the key's leading field; survivors
+  // are verified against the full key in software (the "general
+  // algorithm" part of the hybrid execution).
+  std::vector<FilterPredicate> key_predicate;
+  const auto relevant = parser_.input.relevant_indices();
+  NDPGEN_CHECK(!relevant.empty(), "layout without filterable fields");
+  key_predicate.push_back(FilterPredicate{
+      parser_.input.fields[relevant.front()].path, "eq", key.hi});
+  const std::uint32_t stages =
+      config_.mode == ExecMode::kHardware
+          ? hardware_.front()->design().filter_stage_count()
+          : 1;
+  const auto bound =
+      bind_conjunction(parser_.input, operators_, key_predicate, stages);
+
+  for (const auto& table : db_.version().recency_ordered()) {
+    if (key < table->min_key || table->max_key < key) continue;
+    // Bloom probe (a handful of DRAM bit tests) skips tables that
+    // definitely lack the key — crucial for the uncompacted C1, whose
+    // tables ALL overlap popular key ranges.
+    arm.bloom_probe();
+    if (!table->bloom.may_contain(key)) continue;
+    ++stats.tables_probed;
+    // Index-block traversal + tombstone metadata probe (device DRAM).
+    arm.index_probe(std::max<std::size_t>(std::size_t{1},
+                                          table->blocks.size()));
+    if (!table->tombstones.empty()) {
+      arm.index_probe(table->tombstones.size());
+      if (table->find_tombstone(key) != nullptr) break;  // Deleted.
+    }
+    const int block_index = table->find_block(key);
+    if (block_index < 0) continue;
+
+    // Fetch the data block from flash (DES-timed).
+    const auto& handle =
+        table->blocks[static_cast<std::size_t>(block_index)];
+    bool fetched = false;
+    auto remaining = std::make_shared<std::size_t>(handle.flash_pages.size());
+    for (const std::uint64_t page : handle.flash_pages) {
+      flash.read_page(flash.delinearize(page), [remaining, &fetched] {
+        if (--*remaining == 0) fetched = true;
+      });
+    }
+    while (!fetched && queue.step()) {
+    }
+    NDPGEN_CHECK(fetched, "flash read did not complete");
+    ++stats.blocks_fetched;
+
+    kv::SSTReader reader(*table, flash, db_.config().extractor);
+    const std::vector<std::uint8_t> block =
+        reader.read_block(static_cast<std::uint32_t>(block_index));
+    const kv::BlockTrailer trailer = kv::read_trailer(block);
+    const std::uint64_t payload = kv::block_payload_bytes(trailer);
+
+    std::vector<std::vector<std::uint8_t>> survivors;
+    bool use_hw = config_.mode == ExecMode::kHardware;
+    if (use_hw && hardware_.front()->design().static_payload_bytes != 0 &&
+        payload != hardware_.front()->design().static_payload_bytes) {
+      use_hw = false;
+    }
+    if (use_hw) {
+      auto& hw = *hardware_.front();
+      auto result = hw.process_block(
+          std::span<const std::uint8_t>(block).first(payload), bound,
+          /*collect=*/true, /*reconfigure=*/true);
+      // Charge the HW/SW interface + PE runtime on the DES clock (GET is
+      // sequential; the ARM waits for the PE).
+      queue.run_until(queue.now() + result.overhead + result.pe_time);
+      survivors = std::move(result.records);
+    } else if (config_.mode == ExecMode::kHostClassic) {
+      // Classical path: the block crosses the I/O stack and NVMe before
+      // the host can binary-search it.
+      const auto& timing = platform.timing();
+      queue.run_until(queue.now() + timing.host_io_stack_per_block +
+                      timing.nvme_transfer_time(kv::kDataBlockBytes) +
+                      2 * platform::kNsPerUs);
+      if (auto record = reader.get(key)) {
+        survivors.push_back(transform_sw(parser_, *record));
+      }
+    } else {
+      // The software path binary-searches the key-sorted block directly
+      // (the "very general algorithm" of a KV store) — no full parse.
+      arm.block_binary_search(trailer.record_count,
+                              db_.config().record_bytes);
+      if (auto record = reader.get(key)) {
+        survivors.push_back(transform_sw(parser_, *record));
+      }
+    }
+
+    // Software verification of the full 128-bit key on the survivors.
+    for (auto& record : survivors) {
+      // Verify against the ORIGINAL input record when the transform keeps
+      // the key; otherwise re-check via the store (rare).
+      if (record.size() == db_.config().record_bytes &&
+          db_.config().extractor(record) == key) {
+        stats.found = true;
+        stats.record = std::move(record);
+        break;
+      }
+      if (record.size() != db_.config().record_bytes) {
+        // Transform dropped key fields; fall back to trusting the filter.
+        stats.found = true;
+        stats.record = std::move(record);
+        break;
+      }
+    }
+    if (stats.found) break;
+  }
+  stats.elapsed = queue.now() - t0;
+  return stats;
+}
+
+}  // namespace ndpgen::ndp

@@ -1,0 +1,157 @@
+// Hybrid NDP executors for GET and SCAN (the operations of Fig. 7).
+//
+// "For both operations the execution is implemented in a hybrid way, where
+// the software executes a very general algorithm and exploits the hardware
+// whenever datablocks have to be filtered or transformed" (§V).
+//
+// The software part (index traversal, recency/tombstone reconciliation,
+// result assembly) always runs on the ARM model; the block-level
+// filter+transform step runs either in software (SoftwareNdp) or on one or
+// more simulated PEs (HardwareNdp), selected by ExecMode.
+//
+// Timing composition for SCAN: all data-block flash reads are scheduled on
+// the DES (which models LUN parallelism and controller-bus serialization);
+// block processing is pipelined against the per-block flash completion
+// times, one pipeline per worker (ARM core or PE). The reported elapsed
+// time is the makespan of that pipeline plus result finalization and the
+// NVMe transfer of the (much smaller) result set to the host.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kv/db.hpp"
+#include "ndp/hardware_ndp.hpp"
+#include "ndp/software_ndp.hpp"
+#include "ndp/predicate.hpp"
+
+namespace ndpgen::ndp {
+
+enum class ExecMode : std::uint8_t {
+  kSoftware,    ///< NDP in software on the device ARM cores.
+  kHardware,    ///< NDP on generated/hand-crafted PEs.
+  kHostClassic, ///< No NDP: ship every block to the host through the
+                ///< classical I/O stack and filter there (Fig. 1, left).
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ExecMode mode) noexcept {
+  switch (mode) {
+    case ExecMode::kSoftware: return "SW";
+    case ExecMode::kHardware: return "HW";
+    case ExecMode::kHostClassic: return "HOST";
+  }
+  return "?";
+}
+
+struct ScanStats {
+  std::uint64_t blocks = 0;
+  std::uint64_t tuples_scanned = 0;
+  std::uint64_t tuples_matched = 0;   ///< Survivors before dedup.
+  std::uint64_t results = 0;          ///< After recency/tombstone dedup.
+  std::uint64_t bytes_from_flash = 0;
+  std::uint64_t result_bytes = 0;
+  platform::SimTime elapsed = 0;      ///< End-to-end virtual time.
+  platform::SimTime flash_done = 0;   ///< When the last block left flash.
+  std::uint64_t blocks_via_software = 0;  ///< Partial blocks on HW path.
+};
+
+/// Result of an aggregate scan (extension; paper §VII outlook).
+struct AggregateStats {
+  hwgen::AggOp op = hwgen::AggOp::kNone;
+  std::uint64_t raw_result = 0;  ///< Field-encoded result bits.
+  std::uint64_t folded = 0;      ///< Tuples folded (post-filter matches).
+  std::uint64_t blocks = 0;
+  std::uint64_t tuples_scanned = 0;
+  platform::SimTime elapsed = 0;
+  std::uint64_t result_bytes = 0;  ///< What crossed NVMe (registers only!).
+
+  /// Interprets raw_result for an unsigned integer field.
+  [[nodiscard]] std::uint64_t as_u64() const noexcept { return raw_result; }
+  /// Interprets raw_result for a signed integer field.
+  [[nodiscard]] std::int64_t as_i64() const noexcept {
+    return static_cast<std::int64_t>(raw_result);
+  }
+};
+
+struct GetStats {
+  bool found = false;
+  std::vector<std::uint8_t> record;  ///< Output-layout record if found.
+  platform::SimTime elapsed = 0;
+  std::uint32_t tables_probed = 0;
+  std::uint32_t blocks_fetched = 0;
+};
+
+struct ExecutorConfig {
+  ExecMode mode = ExecMode::kSoftware;
+  /// PE indices on the platform (kHardware only); one pipeline per PE.
+  std::vector<std::size_t> pe_indices;
+  /// Collect result records (vs count-only aggregates).
+  bool collect_results = false;
+  /// Extracts the key from an OUTPUT-layout record, enabling recency
+  /// dedup and tombstone suppression on scan results. When the transform
+  /// drops the key fields, leave unset: the scan then reports raw
+  /// survivors (valid for single-version datasets such as bulk loads).
+  kv::KeyExtractor result_key_extractor;
+};
+
+class HybridExecutor {
+ public:
+  HybridExecutor(kv::NKV& db, const analysis::AnalyzedParser& parser,
+                 const hwgen::OperatorSet& operators, ExecutorConfig config);
+
+  /// Full-dataset SCAN with a predicate conjunction.
+  /// Results (if collected) land in `results` as output-layout records.
+  ScanStats scan(const std::vector<FilterPredicate>& predicates,
+                 std::vector<std::vector<std::uint8_t>>* results = nullptr);
+
+  /// Key-range SCAN over [lo, hi]: prunes SSTs and data blocks whose key
+  /// range cannot intersect using the index metadata (this is what makes
+  /// RANGE_SCANs cheaper than full scans on an LSM tree), then processes
+  /// the surviving blocks like scan(). Key bounds are enforced in the
+  /// software part on the survivors, so ExecutorConfig::
+  /// result_key_extractor is required.
+  ScanStats range_scan(const kv::Key& lo, const kv::Key& hi,
+                       const std::vector<FilterPredicate>& predicates,
+                       std::vector<std::vector<std::uint8_t>>* results =
+                           nullptr);
+
+  /// Recency-correct point lookup with block-level HW/SW filtering.
+  GetStats get(const kv::Key& key);
+
+  /// Aggregate scan: folds `field_path` of every record matching the
+  /// predicate conjunction into count/sum/min/max, entirely on-device in
+  /// hardware mode (only two result registers cross the NVMe link).
+  /// Aggregates fold every stored version (no recency dedup); use on
+  /// single-version datasets (bulk loads) or treat as approximate.
+  AggregateStats aggregate(const std::vector<FilterPredicate>& predicates,
+                           hwgen::AggOp op, std::string_view field_path);
+
+ private:
+  struct BlockRef {
+    const kv::SSTable* table;
+    std::uint32_t block_index;
+  };
+
+  [[nodiscard]] std::vector<BlockRef> collect_blocks() const;
+  [[nodiscard]] std::vector<std::uint8_t> assemble_block(
+      const BlockRef& ref) const;
+
+  /// Shared scan core: processes `blocks`; when `key_range` is set, the
+  /// software finalization additionally drops records outside it.
+  ScanStats scan_blocks(
+      const std::vector<BlockRef>& blocks,
+      const std::vector<FilterPredicate>& predicates,
+      std::vector<std::vector<std::uint8_t>>* results,
+      const std::optional<std::pair<kv::Key, kv::Key>>& key_range);
+
+  kv::NKV& db_;
+  const analysis::AnalyzedParser& parser_;
+  const hwgen::OperatorSet& operators_;
+  ExecutorConfig config_;
+  SoftwareNdp software_;
+  std::vector<std::unique_ptr<HardwareNdp>> hardware_;
+};
+
+}  // namespace ndpgen::ndp

@@ -1,0 +1,106 @@
+#include "ndp/hardware_ndp.hpp"
+
+#include "kv/block_format.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::ndp {
+
+namespace hw = ndpgen::hwgen;
+
+HardwareNdp::HardwareNdp(platform::CosmosPlatform& platform,
+                         std::size_t pe_index)
+    : platform_(platform), pe_(&platform.pe(pe_index)) {
+  src_staging_ = platform_.dram().allocate(kv::kDataBlockBytes, 64);
+  dst_staging_ = platform_.dram().allocate(kv::kDataBlockBytes, 64);
+}
+
+platform::SimTime HardwareNdp::dispatch_overhead(bool reconfigure) const {
+  const auto& timing = platform_.timing();
+  const bool configurable =
+      pe_->design().flavor == hw::DesignFlavor::kGenerated;
+  // Address (4) + size (1, if configurable) + doorbell (1) + completion
+  // readback (2) register accesses; 4 more per stage when reconfiguring.
+  std::uint64_t accesses = 4 + (configurable ? 1 : 0) + 1 + 2;
+  if (reconfigure) {
+    accesses += std::uint64_t{4} * pe_->design().filter_stage_count();
+  }
+  return timing.firmware(accesses * timing.register_access +
+                         timing.pe_dispatch_overhead);
+}
+
+bool HardwareNdp::supports_aggregation() const noexcept {
+  return pe_->regmap().find(hw::reg::kAggOp) != nullptr;
+}
+
+void HardwareNdp::set_aggregate(hw::AggOp op, std::uint32_t field_select) {
+  NDPGEN_CHECK_ARG(supports_aggregation(),
+                   "PE was generated without an aggregation unit");
+  const auto& map = pe_->regmap();
+  pe_->mmio_write(map.offset_of(hw::reg::kAggOp),
+                  static_cast<std::uint32_t>(op));
+  pe_->mmio_write(map.offset_of(hw::reg::kAggField), field_select);
+}
+
+HwBlockResult HardwareNdp::process_block(
+    std::span<const std::uint8_t> payload,
+    const std::vector<BoundPredicate>& predicates, bool collect,
+    bool reconfigure) {
+  const auto& design = pe_->design();
+  NDPGEN_CHECK_ARG(payload.size() <= design.parser.chunk_size_bytes,
+                   "payload larger than the PE chunk size");
+  const std::uint32_t stages = design.filter_stage_count();
+  NDPGEN_CHECK_ARG(predicates.size() == stages,
+                   "predicates must be pre-bound to all stages "
+                   "(use bind_conjunction)");
+  const bool will_configure = reconfigure || !configured_;
+
+  // Stage the payload in device DRAM (content path; the DMA timing from
+  // flash to DRAM is composed by the executor).
+  platform_.dram().memory().write_bytes(src_staging_, payload);
+
+  // Configure the filter stages through MMIO (register-map addresses).
+  if (will_configure) {
+    const auto& map = pe_->regmap();
+    for (std::uint32_t stage = 0; stage < stages; ++stage) {
+      const auto& predicate = predicates[stage];
+      pe_->mmio_write(map.offset_of(hw::reg::filter_field(stage)),
+                      predicate.field_select);
+      pe_->mmio_write(map.offset_of(hw::reg::filter_value_lo(stage)),
+                      static_cast<std::uint32_t>(predicate.compare_value));
+      pe_->mmio_write(map.offset_of(hw::reg::filter_value_hi(stage)),
+                      static_cast<std::uint32_t>(predicate.compare_value >> 32));
+      pe_->mmio_write(map.offset_of(hw::reg::filter_op(stage)),
+                      predicate.op_encoding);
+    }
+    current_config_ = predicates;
+    configured_ = true;
+  }
+
+  std::size_t pe_index = 0;
+  for (std::size_t i = 0; i < platform_.pe_count(); ++i) {
+    if (&platform_.pe(i) == pe_) {
+      pe_index = i;
+      break;
+    }
+  }
+  HwBlockResult result;
+  result.stats = platform_.run_pe_chunk_raw(
+      pe_index, src_staging_, dst_staging_,
+      static_cast<std::uint32_t>(payload.size()));
+  result.pe_time = platform_.timing().pe_cycles_to_ns(result.stats.cycles);
+  result.overhead = dispatch_overhead(will_configure);
+
+  if (collect) {
+    const std::uint32_t out_bytes = design.parser.output.storage_bytes();
+    const auto out = platform_.dram().memory().read_bytes(
+        dst_staging_, result.stats.tuples_out * std::uint64_t{out_bytes});
+    result.records.reserve(result.stats.tuples_out);
+    for (std::uint64_t i = 0; i < result.stats.tuples_out; ++i) {
+      const auto* begin = out.data() + i * out_bytes;
+      result.records.emplace_back(begin, begin + out_bytes);
+    }
+  }
+  return result;
+}
+
+}  // namespace ndpgen::ndp

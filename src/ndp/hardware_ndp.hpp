@@ -1,0 +1,69 @@
+// Hardware NDP: dispatching data blocks to a simulated PE.
+//
+// Content-exact: the block payload is staged in device DRAM, the PE is
+// configured through its MMIO registers (the generated register map),
+// executed cycle-by-cycle, and the transformed survivors are read back
+// from the result staging area. The HW/SW-interface cost (dispatch,
+// register writes, polling) is computed against the platform timing model
+// and returned alongside the PE's cycle time, so the executors can compose
+// pipelines without double-charging the DES clock.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "ndp/predicate.hpp"
+#include "platform/cosmos.hpp"
+
+namespace ndpgen::ndp {
+
+/// Outcome of hardware-processing one data block.
+struct HwBlockResult {
+  hwsim::ChunkStats stats;
+  platform::SimTime pe_time = 0;      ///< Pure PE execution (cycles @ clk).
+  platform::SimTime overhead = 0;     ///< Dispatch + registers + polling.
+  std::vector<std::vector<std::uint8_t>> records;  ///< If collected.
+};
+
+class HardwareNdp {
+ public:
+  /// `pe_index` must already be attached to the platform. Staging buffers
+  /// for input/output chunks are allocated from device DRAM.
+  HardwareNdp(platform::CosmosPlatform& platform, std::size_t pe_index);
+
+  /// Processes one block payload (records only, no trailer).
+  /// `reconfigure` controls whether the filter-stage registers are written
+  /// (the firmware skips reconfiguration when the predicate is unchanged
+  /// across blocks of one scan — only addresses/size change).
+  [[nodiscard]] HwBlockResult process_block(
+      std::span<const std::uint8_t> payload,
+      const std::vector<BoundPredicate>& predicates, bool collect,
+      bool reconfigure);
+
+  /// HW/SW-interface overhead of one block dispatch (excl. PE runtime):
+  /// address/size register writes + doorbell + completion poll/readback.
+  [[nodiscard]] platform::SimTime dispatch_overhead(bool reconfigure) const;
+
+  /// Configures the PE's aggregation unit (requires a design generated
+  /// with enable_aggregation). AggOp::kNone restores pass-through mode.
+  void set_aggregate(hwgen::AggOp op, std::uint32_t field_select);
+
+  /// True if the PE has an aggregation unit.
+  [[nodiscard]] bool supports_aggregation() const noexcept;
+
+  [[nodiscard]] const hwgen::PEDesign& design() const noexcept {
+    return pe_->design();
+  }
+
+ private:
+  platform::CosmosPlatform& platform_;
+  hwsim::SimulatedPE* pe_;
+  std::uint64_t src_staging_ = 0;
+  std::uint64_t dst_staging_ = 0;
+  std::vector<BoundPredicate> current_config_;
+  bool configured_ = false;
+};
+
+}  // namespace ndpgen::ndp

@@ -1,0 +1,114 @@
+#include "ndp/predicate.hpp"
+
+#include <bit>
+
+#include "support/bitvec.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::ndp {
+
+std::uint64_t encode_f32(float value) noexcept {
+  return std::bit_cast<std::uint32_t>(value);
+}
+
+std::uint64_t encode_f64(double value) noexcept {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+BoundPredicate bind_predicate(const analysis::TupleLayout& layout,
+                              const hwgen::OperatorSet& operators,
+                              const FilterPredicate& predicate) {
+  const auto relevant = layout.relevant_indices();
+  std::uint32_t selector = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < relevant.size(); ++i) {
+    if (layout.fields[relevant[i]].path == predicate.field_path) {
+      selector = static_cast<std::uint32_t>(i);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    ndpgen::raise(ErrorKind::kInvalidArg,
+                  "predicate field '" + predicate.field_path +
+                      "' is not a filterable field of tuple '" +
+                      layout.type_name + "'");
+  }
+  const hwgen::CompareOp* op = operators.find(predicate.op);
+  if (op == nullptr) {
+    ndpgen::raise(ErrorKind::kInvalidArg,
+                  "operator '" + predicate.op +
+                      "' is not in this PE's operator set");
+  }
+  return BoundPredicate{selector, op->encoding, predicate.value};
+}
+
+std::vector<BoundPredicate> bind_conjunction(
+    const analysis::TupleLayout& layout, const hwgen::OperatorSet& operators,
+    const std::vector<FilterPredicate>& predicates, std::uint32_t stages) {
+  if (predicates.size() > stages) {
+    ndpgen::raise(ErrorKind::kInvalidArg,
+                  "conjunction has " + std::to_string(predicates.size()) +
+                      " predicates but the PE provides only " +
+                      std::to_string(stages) + " filter stage(s)");
+  }
+  const auto nop = operators.nop_encoding();
+  if (!nop.has_value() && predicates.size() < stages) {
+    ndpgen::raise(ErrorKind::kInvalidArg,
+                  "operator set lacks 'nop'; cannot disable unused stages");
+  }
+  std::vector<BoundPredicate> bound;
+  bound.reserve(stages);
+  for (const auto& predicate : predicates) {
+    bound.push_back(bind_predicate(layout, operators, predicate));
+  }
+  while (bound.size() < stages) {
+    bound.push_back(BoundPredicate{0, *nop, 0});
+  }
+  return bound;
+}
+
+bool eval_predicate_sw(const analysis::TupleLayout& layout,
+                       const hwgen::OperatorSet& operators,
+                       std::span<const std::uint8_t> record,
+                       const BoundPredicate& predicate) {
+  NDPGEN_CHECK_ARG(record.size() == layout.storage_bytes(),
+                   "record size does not match the layout");
+  const auto relevant = layout.relevant_indices();
+  NDPGEN_CHECK_ARG(predicate.field_select < relevant.size(),
+                   "field selector out of range");
+  const auto& field = layout.fields[relevant[predicate.field_select]];
+  const auto bits = support::BitVector::from_bytes(record);
+  const std::uint64_t element = bits.extract_u64(
+      field.storage_offset_bits,
+      std::min<std::uint32_t>(field.storage_width_bits, 64));
+
+  hwgen::FieldInterp interp = hwgen::FieldInterp::kUnsigned;
+  if (spec::is_float(field.primitive)) {
+    interp = hwgen::FieldInterp::kFloat;
+  } else if (spec::is_signed(field.primitive)) {
+    interp = hwgen::FieldInterp::kSigned;
+  }
+  const hwgen::CompareOperand lhs{element, interp, field.storage_width_bits};
+  const hwgen::CompareOperand rhs{predicate.compare_value, interp,
+                                  field.storage_width_bits};
+  return operators.evaluate(predicate.op_encoding, lhs, rhs);
+}
+
+std::vector<std::uint8_t> transform_sw(const analysis::AnalyzedParser& parser,
+                                       std::span<const std::uint8_t> record) {
+  NDPGEN_CHECK_ARG(record.size() == parser.input.storage_bytes(),
+                   "record size does not match the input layout");
+  const auto in_bits = support::BitVector::from_bytes(record);
+  support::BitVector out_bits(parser.output.storage_bits);
+  for (const auto& wire : parser.mapping.wires) {
+    const auto& src = parser.input.fields[wire.input_field];
+    const auto& dst = parser.output.fields[wire.output_field];
+    out_bits.deposit(dst.storage_offset_bits,
+                     in_bits.slice(src.storage_offset_bits,
+                                   dst.storage_width_bits));
+  }
+  return out_bits.to_bytes();
+}
+
+}  // namespace ndpgen::ndp

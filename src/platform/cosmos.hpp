@@ -1,0 +1,103 @@
+// Cosmos+ OpenSSD platform composition (Fig. 2).
+//
+// Glues the discrete-event device models (flash, DRAM, ARM, NVMe) to the
+// cycle-level PE simulator: PEs attach to a shared AXI interconnect over
+// the device DRAM, and their control windows are mapped on the MMIO bus.
+// The bridge between the two time domains is run_pe_chunk(): firmware
+// (ArmCoreModel) configures the PE through MMIO, the cycle kernel executes
+// the chunk, and the resulting cycle count is charged to virtual time at
+// the 100 MHz PE clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hwsim/pe_sim.hpp"
+#include "platform/arm_core.hpp"
+#include "platform/dram.hpp"
+#include "platform/event_queue.hpp"
+#include "platform/flash.hpp"
+#include "platform/mmio.hpp"
+#include "platform/nvme.hpp"
+#include "platform/timing.hpp"
+
+namespace ndpgen::platform {
+
+struct CosmosConfig {
+  TimingConfig timing{};
+  FlashTopology flash{};
+  std::size_t dram_bytes = 64 * 1024 * 1024;
+  hwsim::AxiInterconnect::Config axi{};
+};
+
+class CosmosPlatform {
+ public:
+  explicit CosmosPlatform(CosmosConfig config = CosmosConfig());
+
+  [[nodiscard]] EventQueue& events() noexcept { return queue_; }
+  [[nodiscard]] const TimingConfig& timing() const noexcept {
+    return config_.timing;
+  }
+  [[nodiscard]] FlashModel& flash() noexcept { return flash_; }
+  [[nodiscard]] DramModel& dram() noexcept { return dram_; }
+  [[nodiscard]] ArmCoreModel& arm() noexcept { return arm_; }
+  [[nodiscard]] NvmeLink& nvme() noexcept { return nvme_; }
+  [[nodiscard]] MmioBus& mmio() noexcept { return mmio_; }
+
+  /// Attaches a PE built from `design`; returns its MMIO window base.
+  std::uint64_t attach_pe(const hwgen::PEDesign& design);
+
+  [[nodiscard]] std::size_t pe_count() const noexcept { return pes_.size(); }
+  [[nodiscard]] hwsim::SimulatedPE& pe(std::size_t index) {
+    return *pes_.at(index);
+  }
+
+  /// Full hardware-NDP chunk execution: firmware configures filter stages
+  /// (values in `stage_configs` as (field, op, value) triples were already
+  /// written by the caller via configure_pe_filters or raw MMIO), programs
+  /// addresses/size, starts the PE, and polls until completion. Advances
+  /// virtual time by configuration + execution + polling. Returns PE stats.
+  hwsim::ChunkStats run_pe_chunk(std::size_t pe_index, std::uint64_t src_addr,
+                                 std::uint64_t dst_addr,
+                                 std::uint32_t payload_bytes);
+
+  /// Firmware helper: configures one filter stage of a PE through MMIO
+  /// (charging register-access time).
+  void configure_pe_filter(std::size_t pe_index, std::uint32_t stage,
+                           std::uint32_t field_sel, std::uint32_t op_encoding,
+                           std::uint64_t compare_value);
+
+  /// Raw variant for executors that compose timing themselves: configures
+  /// registers directly (no ARM charge), runs the cycle kernel to
+  /// completion, and does NOT advance the DES clock. Returns PE stats.
+  hwsim::ChunkStats run_pe_chunk_raw(std::size_t pe_index,
+                                     std::uint64_t src_addr,
+                                     std::uint64_t dst_addr,
+                                     std::uint32_t payload_bytes);
+
+  /// Reads `pages` (linear flash page numbers) into DRAM at `dram_addr`,
+  /// copying content as each page lands; `on_done` fires after the last.
+  void fetch_pages_to_dram(const std::vector<std::uint64_t>& pages,
+                           std::uint64_t dram_addr,
+                           std::function<void()> on_done);
+
+  /// Blocking variant: runs the event queue until the fetch completes.
+  void fetch_pages_to_dram_sync(const std::vector<std::uint64_t>& pages,
+                                std::uint64_t dram_addr);
+
+ private:
+  CosmosConfig config_;
+  EventQueue queue_;
+  FlashModel flash_;
+  DramModel dram_;
+  ArmCoreModel arm_;
+  NvmeLink nvme_;
+  hwsim::SimKernel pe_kernel_;
+  std::unique_ptr<hwsim::AxiInterconnect> axi_;
+  MmioBus mmio_;
+  std::vector<std::unique_ptr<hwsim::SimulatedPE>> pes_;
+};
+
+}  // namespace ndpgen::platform

@@ -1,0 +1,37 @@
+#include "platform/dram.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::platform {
+
+DramModel::DramModel(EventQueue& queue, const TimingConfig& timing,
+                     std::size_t bytes)
+    : queue_(queue), timing_(timing), memory_(bytes) {}
+
+void DramModel::dma(std::uint64_t bytes, std::function<void()> on_done) {
+  const SimTime start = std::max(queue_.now(), port_free_);
+  const SimTime end = start + timing_.dram_transfer_time(bytes);
+  port_free_ = end;
+  bytes_dmaed_ += bytes;
+  queue_.schedule_at(end, std::move(on_done));
+}
+
+SimTime DramModel::estimate_dma(std::uint64_t bytes) const noexcept {
+  const SimTime start = std::max(queue_.now(), port_free_);
+  return start + timing_.dram_transfer_time(bytes) - queue_.now();
+}
+
+std::uint64_t DramModel::allocate(std::uint64_t bytes, std::uint64_t align) {
+  NDPGEN_CHECK_ARG(align != 0 && (align & (align - 1)) == 0,
+                   "alignment must be a power of two");
+  const std::uint64_t base = (brk_ + align - 1) & ~(align - 1);
+  if (base + bytes > memory_.size()) {
+    ndpgen::raise(ErrorKind::kStorage,
+                  "device DRAM exhausted (" + std::to_string(memory_.size()) +
+                      " bytes)");
+  }
+  brk_ = base + bytes;
+  return base;
+}
+
+}  // namespace ndpgen::platform

@@ -1,0 +1,59 @@
+// Device DRAM model.
+//
+// The Cosmos+ buffers all NDP traffic in PS-DRAM: flash pages are DMAed
+// into DRAM, PEs read/write DRAM through the shared AXI fabric, and the
+// ARM cores parse blocks from DRAM in the software path (paper §IV: "the
+// data is first buffered in DRAM, and the results are also initially
+// collected in DRAM").
+//
+// Content is backed by a hwsim::SimMemory so the cycle-level PEs and the
+// byte-level software path see the exact same bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hwsim/memport.hpp"
+#include "platform/event_queue.hpp"
+#include "platform/timing.hpp"
+
+namespace ndpgen::platform {
+
+class DramModel {
+ public:
+  DramModel(EventQueue& queue, const TimingConfig& timing, std::size_t bytes);
+
+  [[nodiscard]] hwsim::SimMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] const hwsim::SimMemory& memory() const noexcept {
+    return memory_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return memory_.size(); }
+
+  /// Charges a bulk DMA of `bytes` on the DRAM (serialized on the DRAM
+  /// port); `on_done` fires at completion.
+  void dma(std::uint64_t bytes, std::function<void()> on_done);
+
+  /// Time a DMA of `bytes` issued now would take (including queueing).
+  [[nodiscard]] SimTime estimate_dma(std::uint64_t bytes) const noexcept;
+
+  /// Simple bump allocator for staging buffers (chunks, result areas).
+  /// Buffers live for the whole experiment; call reset_allocator between
+  /// experiments.
+  [[nodiscard]] std::uint64_t allocate(std::uint64_t bytes,
+                                       std::uint64_t align = 64);
+  void reset_allocator() noexcept { brk_ = 0; }
+
+  [[nodiscard]] std::uint64_t bytes_dmaed() const noexcept {
+    return bytes_dmaed_;
+  }
+
+ private:
+  EventQueue& queue_;
+  const TimingConfig& timing_;
+  hwsim::SimMemory memory_;
+  SimTime port_free_ = 0;
+  std::uint64_t brk_ = 0;
+  std::uint64_t bytes_dmaed_ = 0;
+};
+
+}  // namespace ndpgen::platform

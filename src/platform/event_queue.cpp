@@ -1,0 +1,64 @@
+#include "platform/event_queue.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::platform {
+
+EventId EventQueue::schedule_at(SimTime at, std::function<void()> fn) {
+  NDPGEN_CHECK_ARG(at >= now_, "cannot schedule an event in the past");
+  NDPGEN_CHECK_ARG(static_cast<bool>(fn), "event needs a callable");
+  const EventId id = next_id_++;
+  heap_.push(Event{at, id, std::move(fn)});
+  return id;
+}
+
+EventId EventQueue::schedule_in(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::cancel(EventId id) { cancelled_.insert(id); }
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    Event event = heap_.top();
+    heap_.pop();
+    if (const auto it = cancelled_.find(event.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    // advance_to() may have moved the clock past this event's timestamp
+    // (a busy CPU firing queued completions late); never move backwards.
+    now_ = std::max(now_, event.at);
+    ++dispatched_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime EventQueue::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime EventQueue::run_until(SimTime until) {
+  while (!heap_.empty() && heap_.top().at <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+bool EventQueue::empty() const noexcept { return heap_.empty(); }
+
+std::size_t EventQueue::pending() const noexcept {
+  return heap_.size();  // Includes cancelled-but-not-popped events.
+}
+
+void EventQueue::advance_to(SimTime at) {
+  NDPGEN_CHECK_ARG(at >= now_, "cannot move time backwards");
+  now_ = at;
+}
+
+}  // namespace ndpgen::platform

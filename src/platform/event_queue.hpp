@@ -1,0 +1,76 @@
+// Discrete-event simulation core for the smart-SSD platform.
+//
+// Virtual time is in nanoseconds. The cycle-level PE simulator (hwsim)
+// runs at 10 ns/cycle (100 MHz) and is bridged into this queue by the NDP
+// executors (see src/ndp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace ndpgen::platform {
+
+using SimTime = std::uint64_t;  ///< Nanoseconds of virtual time.
+
+inline constexpr SimTime kNsPerUs = 1000;
+inline constexpr SimTime kNsPerMs = 1000 * 1000;
+inline constexpr SimTime kNsPerSec = 1000ull * 1000 * 1000;
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute virtual time `at` (>= now()).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` nanoseconds from now.
+  EventId schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty. Returns the final time.
+  SimTime run();
+
+  /// Runs events with time <= `until`. Returns now().
+  SimTime run_until(SimTime until);
+
+  /// Fires the single next event, if any. Returns false when empty.
+  bool step();
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t pending() const noexcept;
+
+  /// Advances the clock without events (used by sequential cost charging).
+  void advance_to(SimTime at);
+
+  /// Total events dispatched (statistics).
+  [[nodiscard]] std::uint64_t dispatched() const noexcept {
+    return dispatched_;
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace ndpgen::platform

@@ -1,0 +1,168 @@
+#include "platform/flash.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::platform {
+
+FlashModel::FlashModel(EventQueue& queue, const TimingConfig& timing,
+                       FlashTopology topology)
+    : queue_(queue), timing_(timing), topology_(topology) {
+  NDPGEN_CHECK_ARG(topology.controllers >= 1, "need >= 1 flash controller");
+  NDPGEN_CHECK_ARG(topology.page_bytes >= 512, "page size too small");
+  lun_free_.assign(topology_.total_luns(), 0);
+  bus_free_.assign(
+      std::size_t{topology_.controllers} * topology_.channels_per_controller,
+      0);
+}
+
+SimTime FlashModel::page_transfer_time() const noexcept {
+  // The per-controller throughput (timing.flash_controller_mbps, ~100 MB/s
+  // for a Tiger4) is delivered by channels_per_controller independent NAND
+  // buses, each at 1/Nth of the aggregate rate.
+  const double channel_mbps =
+      timing_.flash_controller_mbps /
+      static_cast<double>(topology_.channels_per_controller);
+  return static_cast<SimTime>(
+      static_cast<double>(topology_.page_bytes) * 1000.0 / channel_mbps);
+}
+
+std::uint64_t FlashModel::linearize(const FlashAddr& addr) const {
+  check_addr(addr);
+  // LUN-major interleave: page p of block b maps consecutive logical pages
+  // onto successive (controller, channel, lun) tuples first, so streaming
+  // reads exploit all LUNs in parallel.
+  const std::uint64_t luns = topology_.total_luns();
+  const std::uint64_t lun = lun_index(addr);
+  const std::uint64_t page_in_lun =
+      std::uint64_t{addr.block} * topology_.pages_per_block + addr.page;
+  return page_in_lun * luns + lun;
+}
+
+FlashAddr FlashModel::delinearize(std::uint64_t page_no) const {
+  NDPGEN_CHECK_ARG(page_no < topology_.total_pages(),
+                   "flash page number out of range");
+  const std::uint64_t luns = topology_.total_luns();
+  const std::uint64_t lun = page_no % luns;
+  const std::uint64_t page_in_lun = page_no / luns;
+  FlashAddr addr;
+  addr.controller = static_cast<std::uint32_t>(
+      lun / (topology_.channels_per_controller * topology_.luns_per_channel));
+  const std::uint64_t within =
+      lun % (topology_.channels_per_controller * topology_.luns_per_channel);
+  addr.channel =
+      static_cast<std::uint32_t>(within / topology_.luns_per_channel);
+  addr.lun = static_cast<std::uint32_t>(within % topology_.luns_per_channel);
+  addr.block =
+      static_cast<std::uint32_t>(page_in_lun / topology_.pages_per_block);
+  addr.page =
+      static_cast<std::uint32_t>(page_in_lun % topology_.pages_per_block);
+  check_addr(addr);
+  return addr;
+}
+
+std::size_t FlashModel::lun_index(const FlashAddr& addr) const {
+  return (static_cast<std::size_t>(addr.controller) *
+              topology_.channels_per_controller +
+          addr.channel) *
+             topology_.luns_per_channel +
+         addr.lun;
+}
+
+void FlashModel::check_addr(const FlashAddr& addr) const {
+  NDPGEN_CHECK_ARG(addr.controller < topology_.controllers &&
+                       addr.channel < topology_.channels_per_controller &&
+                       addr.lun < topology_.luns_per_channel &&
+                       addr.block < topology_.blocks_per_lun &&
+                       addr.page < topology_.pages_per_block,
+                   "flash address out of range");
+}
+
+void FlashModel::write_page_immediate(const FlashAddr& addr,
+                                      std::span<const std::uint8_t> data) {
+  check_addr(addr);
+  NDPGEN_CHECK_ARG(data.size() <= topology_.page_bytes,
+                   "page data larger than the flash page");
+  auto& page = pages_[linearize(addr)];
+  page.assign(topology_.page_bytes, 0);
+  std::copy(data.begin(), data.end(), page.begin());
+}
+
+std::span<const std::uint8_t> FlashModel::page_data(
+    const FlashAddr& addr) const {
+  const auto it = pages_.find(linearize(addr));
+  if (it == pages_.end()) {
+    ndpgen::raise(ErrorKind::kStorage,
+                  "reading an unwritten flash page");
+  }
+  return it->second;
+}
+
+bool FlashModel::page_written(const FlashAddr& addr) const noexcept {
+  return pages_.contains(linearize(addr));
+}
+
+std::size_t FlashModel::bus_index(const FlashAddr& addr) const {
+  return std::size_t{addr.controller} * topology_.channels_per_controller +
+         addr.channel;
+}
+
+void FlashModel::read_page(const FlashAddr& addr,
+                           std::function<void()> on_done) {
+  check_addr(addr);
+  const std::size_t lun = lun_index(addr);
+  const std::size_t bus = bus_index(addr);
+  const SimTime now = queue_.now();
+  // tR on the LUN, then the serialized channel-bus transfer (the DMA into
+  // device DRAM; the per-channel buses together cap throughput at
+  // ~100 MB/s per Tiger4 controller).
+  const SimTime sense_start = std::max(now, lun_free_[lun]);
+  const SimTime sense_end = sense_start + timing_.flash_read_page_latency;
+  const SimTime bus_start = std::max(sense_end, bus_free_[bus]);
+  const SimTime bus_end = bus_start + page_transfer_time();
+  // The die's page register holds the data until the transfer completes,
+  // so the LUN is busy through bus_end; hiding tR requires a SECOND LUN
+  // (the parallelism nKV's placement exploits, §III-B).
+  lun_free_[lun] = bus_end;
+  bus_free_[bus] = bus_end;
+  ++pages_read_;
+  queue_.schedule_at(bus_end, std::move(on_done));
+}
+
+void FlashModel::charge_program(const FlashAddr& addr,
+                                std::function<void()> on_done) {
+  check_addr(addr);
+  const std::size_t lun = lun_index(addr);
+  const std::size_t bus = bus_index(addr);
+  const SimTime now = queue_.now();
+  const SimTime bus_start = std::max(now, bus_free_[bus]);
+  const SimTime bus_end = bus_start + page_transfer_time();
+  const SimTime prog_start = std::max(bus_end, lun_free_[lun]);
+  const SimTime prog_end = prog_start + timing_.flash_program_page_latency;
+  bus_free_[bus] = bus_end;
+  lun_free_[lun] = prog_end;
+  ++pages_programmed_;
+  queue_.schedule_at(prog_end, std::move(on_done));
+}
+
+void FlashModel::program_page(const FlashAddr& addr,
+                              std::span<const std::uint8_t> data,
+                              std::function<void()> on_done) {
+  write_page_immediate(addr, data);
+  charge_program(addr, std::move(on_done));
+}
+
+SimTime FlashModel::estimate_read_completion(const FlashAddr& addr) const {
+  const std::size_t lun = lun_index(addr);
+  const SimTime now = queue_.now();
+  const SimTime sense_end =
+      std::max(now, lun_free_[lun]) + timing_.flash_read_page_latency;
+  return std::max(sense_end, bus_free_[bus_index(addr)]) +
+         page_transfer_time();
+}
+
+void FlashModel::reset_stats() noexcept {
+  pages_read_ = 0;
+  pages_programmed_ = 0;
+}
+
+}  // namespace ndpgen::platform

@@ -1,0 +1,139 @@
+// NAND Flash model with Tiger4-style controllers.
+//
+// Topology follows the Cosmos+ OpenSSD configuration used in the paper:
+// one Flash DIMM driven by two Tiger4 controllers (~100 MB/s each, i.e.
+// ~200 MB/s aggregate); each controller owns several channels with
+// multiple LUNs. Page reads overlap across LUNs (tR in parallel), while
+// the per-controller bus serializes page transfers — which is what caps
+// the aggregate bandwidth.
+//
+// nKV operates on *physical* addresses (native computational storage): the
+// KV-store places SST blocks explicitly on channels/LUNs, so this model
+// exposes physical page addressing directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/event_queue.hpp"
+#include "platform/timing.hpp"
+
+namespace ndpgen::platform {
+
+struct FlashTopology {
+  std::uint32_t controllers = 2;
+  std::uint32_t channels_per_controller = 4;
+  std::uint32_t luns_per_channel = 4;
+  std::uint32_t blocks_per_lun = 1024;
+  std::uint32_t pages_per_block = 256;
+  std::uint32_t page_bytes = 16 * 1024;
+
+  [[nodiscard]] std::uint64_t total_pages() const noexcept {
+    return std::uint64_t{controllers} * channels_per_controller *
+           luns_per_channel * blocks_per_lun * pages_per_block;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_pages() * page_bytes;
+  }
+  [[nodiscard]] std::uint32_t total_luns() const noexcept {
+    return controllers * channels_per_controller * luns_per_channel;
+  }
+};
+
+/// Physical page address.
+struct FlashAddr {
+  std::uint32_t controller = 0;
+  std::uint32_t channel = 0;  ///< Within the controller.
+  std::uint32_t lun = 0;      ///< Within the channel.
+  std::uint32_t block = 0;
+  std::uint32_t page = 0;
+
+  [[nodiscard]] bool operator==(const FlashAddr&) const noexcept = default;
+};
+
+/// The flash device: page store + DES timing.
+class FlashModel {
+ public:
+  FlashModel(EventQueue& queue, const TimingConfig& timing,
+             FlashTopology topology = {});
+
+  [[nodiscard]] const FlashTopology& topology() const noexcept {
+    return topology_;
+  }
+
+  /// Linear page number <-> structured address. Linearization interleaves
+  /// LUN-major so consecutive pages land on different LUNs/channels
+  /// (the placement optimization of nKV, §III-B).
+  [[nodiscard]] std::uint64_t linearize(const FlashAddr& addr) const;
+  [[nodiscard]] FlashAddr delinearize(std::uint64_t page_no) const;
+
+  // --- Content access (zero-time; used when building datasets) ---------
+  void write_page_immediate(const FlashAddr& addr,
+                            std::span<const std::uint8_t> data);
+  [[nodiscard]] std::span<const std::uint8_t> page_data(
+      const FlashAddr& addr) const;
+  [[nodiscard]] bool page_written(const FlashAddr& addr) const noexcept;
+
+  // --- Timed operations (DES) -------------------------------------------
+  /// Schedules a page read; `on_done` fires when the page data has been
+  /// transferred into device DRAM by the controller DMA.
+  void read_page(const FlashAddr& addr, std::function<void()> on_done);
+
+  /// Schedules a page program.
+  void program_page(const FlashAddr& addr, std::span<const std::uint8_t> data,
+                    std::function<void()> on_done);
+
+  /// Schedules only the TIMING of a page program (content untouched) —
+  /// used to charge the write path for pages already materialized (flush/
+  /// compaction latency accounting).
+  void charge_program(const FlashAddr& addr, std::function<void()> on_done);
+
+  /// Transfer time of one page over a channel bus.
+  [[nodiscard]] SimTime page_transfer_time() const noexcept;
+
+  /// The event queue this device schedules on.
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+
+  /// Virtual time at which a read issued *now* on `addr` would complete,
+  /// without scheduling it (planning helper for executors).
+  [[nodiscard]] SimTime estimate_read_completion(const FlashAddr& addr) const;
+
+  // --- Statistics ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t pages_read() const noexcept {
+    return pages_read_;
+  }
+  [[nodiscard]] std::uint64_t pages_programmed() const noexcept {
+    return pages_programmed_;
+  }
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept {
+    return pages_read_ * topology_.page_bytes;
+  }
+  void reset_stats() noexcept;
+
+ private:
+  [[nodiscard]] std::size_t lun_index(const FlashAddr& addr) const;
+  [[nodiscard]] std::size_t bus_index(const FlashAddr& addr) const;
+  void check_addr(const FlashAddr& addr) const;
+
+  EventQueue& queue_;
+  const TimingConfig& timing_;
+  FlashTopology topology_;
+
+  /// Sparse page store: only written pages are materialized.
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+
+  /// Next free time per LUN (die busy through data-out) and per channel
+  /// bus (each Tiger4 drives its channels through independent NAND buses;
+  /// the per-controller throughput cap is split across them).
+  std::vector<SimTime> lun_free_;
+  std::vector<SimTime> bus_free_;
+
+  std::uint64_t pages_read_ = 0;
+  std::uint64_t pages_programmed_ = 0;
+};
+
+}  // namespace ndpgen::platform

@@ -1,0 +1,38 @@
+#include "platform/mmio.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::platform {
+
+std::uint64_t MmioBus::attach(hwsim::SimulatedPE* pe) {
+  NDPGEN_CHECK_ARG(pe != nullptr, "cannot attach a null PE");
+  pes_.push_back(pe);
+  return window_base(pes_.size() - 1);
+}
+
+std::pair<std::size_t, std::uint32_t> MmioBus::decode(
+    std::uint64_t address) const {
+  if (address < base_) {
+    ndpgen::raise(ErrorKind::kSimulation, "MMIO address below PE window");
+  }
+  const std::uint64_t offset = address - base_;
+  const std::size_t index = offset / kWindowSize;
+  if (index >= pes_.size()) {
+    ndpgen::raise(ErrorKind::kSimulation, "MMIO address beyond attached PEs");
+  }
+  return {index, static_cast<std::uint32_t>(offset % kWindowSize)};
+}
+
+void MmioBus::write(std::uint64_t address, std::uint32_t value) {
+  const auto [index, offset] = decode(address);
+  arm_.register_access();
+  pes_[index]->mmio_write(offset, value);
+}
+
+std::uint32_t MmioBus::read(std::uint64_t address) {
+  const auto [index, offset] = decode(address);
+  arm_.register_access();
+  return pes_[index]->mmio_read(offset);
+}
+
+}  // namespace ndpgen::platform

@@ -1,0 +1,51 @@
+// MMIO bus: routes ARM-side register accesses to the attached PEs.
+//
+// Each PE's control window is mapped at base + index * window_size,
+// mirroring the Zynq PS address map the generated software interface
+// hard-codes. Accesses charge ArmCoreModel time, so firmware-level
+// configuration overhead is part of every hardware-NDP measurement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwsim/pe_sim.hpp"
+#include "platform/arm_core.hpp"
+
+namespace ndpgen::platform {
+
+class MmioBus {
+ public:
+  static constexpr std::uint64_t kDefaultBase = 0x43C0'0000;
+  static constexpr std::uint64_t kWindowSize = 0x1'0000;
+
+  explicit MmioBus(ArmCoreModel& arm, std::uint64_t base = kDefaultBase)
+      : arm_(arm), base_(base) {}
+
+  /// Attaches a PE; returns its window base address.
+  std::uint64_t attach(hwsim::SimulatedPE* pe);
+
+  /// ARM-side register write (charges AXI4-Lite access time).
+  void write(std::uint64_t address, std::uint32_t value);
+
+  /// ARM-side register read (charges AXI4-Lite access time).
+  [[nodiscard]] std::uint32_t read(std::uint64_t address);
+
+  [[nodiscard]] std::size_t pe_count() const noexcept { return pes_.size(); }
+  [[nodiscard]] hwsim::SimulatedPE& pe(std::size_t index) {
+    return *pes_.at(index);
+  }
+  [[nodiscard]] std::uint64_t window_base(std::size_t index) const noexcept {
+    return base_ + index * kWindowSize;
+  }
+
+ private:
+  [[nodiscard]] std::pair<std::size_t, std::uint32_t> decode(
+      std::uint64_t address) const;
+
+  ArmCoreModel& arm_;
+  std::uint64_t base_;
+  std::vector<hwsim::SimulatedPE*> pes_;
+};
+
+}  // namespace ndpgen::platform

@@ -1,0 +1,20 @@
+#include "platform/nvme.hpp"
+
+namespace ndpgen::platform {
+
+SimTime NvmeLink::transfer_to_host(std::uint64_t payload_bytes) {
+  const SimTime cost = timing_.nvme_transfer_time(payload_bytes);
+  queue_.run_until(queue_.now() + cost);
+  bytes_to_host_ += payload_bytes;
+  ++commands_;
+  return cost;
+}
+
+SimTime NvmeLink::command() {
+  const SimTime cost = timing_.nvme_command_latency;
+  queue_.run_until(queue_.now() + cost);
+  ++commands_;
+  return cost;
+}
+
+}  // namespace ndpgen::platform

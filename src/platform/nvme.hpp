@@ -1,0 +1,43 @@
+// NVMe host-link model.
+//
+// In the nKV architecture only the (small) NDP result sets cross the NVMe
+// boundary; this model charges submission latency plus payload transfer,
+// and also supports classical block reads for non-NDP baselines.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/event_queue.hpp"
+#include "platform/timing.hpp"
+
+namespace ndpgen::platform {
+
+class NvmeLink {
+ public:
+  NvmeLink(EventQueue& queue, const TimingConfig& timing)
+      : queue_(queue), timing_(timing) {}
+
+  /// Charges a host->device command round-trip carrying `payload_bytes`
+  /// back to the host; advances virtual time.
+  SimTime transfer_to_host(std::uint64_t payload_bytes);
+
+  /// Charges a command submission without payload.
+  SimTime command();
+
+  [[nodiscard]] std::uint64_t bytes_to_host() const noexcept {
+    return bytes_to_host_;
+  }
+  [[nodiscard]] std::uint64_t commands() const noexcept { return commands_; }
+  void reset_stats() noexcept {
+    bytes_to_host_ = 0;
+    commands_ = 0;
+  }
+
+ private:
+  EventQueue& queue_;
+  const TimingConfig& timing_;
+  std::uint64_t bytes_to_host_ = 0;
+  std::uint64_t commands_ = 0;
+};
+
+}  // namespace ndpgen::platform

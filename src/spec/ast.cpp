@@ -1,0 +1,140 @@
+#include "spec/ast.hpp"
+
+#include <sstream>
+
+namespace ndpgen::spec {
+
+std::string_view to_string(PrimitiveKind kind) noexcept {
+  switch (kind) {
+    case PrimitiveKind::kU8: return "uint8_t";
+    case PrimitiveKind::kU16: return "uint16_t";
+    case PrimitiveKind::kU32: return "uint32_t";
+    case PrimitiveKind::kU64: return "uint64_t";
+    case PrimitiveKind::kI8: return "int8_t";
+    case PrimitiveKind::kI16: return "int16_t";
+    case PrimitiveKind::kI32: return "int32_t";
+    case PrimitiveKind::kI64: return "int64_t";
+    case PrimitiveKind::kF32: return "float";
+    case PrimitiveKind::kF64: return "double";
+  }
+  return "?";
+}
+
+std::optional<PrimitiveKind> primitive_from_name(
+    std::string_view name) noexcept {
+  if (name == "uint8_t" || name == "char" || name == "unsigned char") {
+    return PrimitiveKind::kU8;
+  }
+  if (name == "uint16_t") return PrimitiveKind::kU16;
+  if (name == "uint32_t") return PrimitiveKind::kU32;
+  if (name == "uint64_t") return PrimitiveKind::kU64;
+  if (name == "int8_t") return PrimitiveKind::kI8;
+  if (name == "int16_t") return PrimitiveKind::kI16;
+  if (name == "int32_t" || name == "int") return PrimitiveKind::kI32;
+  if (name == "int64_t") return PrimitiveKind::kI64;
+  if (name == "float") return PrimitiveKind::kF32;
+  if (name == "double") return PrimitiveKind::kF64;
+  return std::nullopt;
+}
+
+const FieldDecl* StructDecl::find_field(std::string_view field_name) const
+    noexcept {
+  for (const auto& field : fields) {
+    if (field.name == field_name) return &field;
+  }
+  return nullptr;
+}
+
+const StructDecl* SpecModule::find_struct(std::string_view name) const
+    noexcept {
+  for (const auto& decl : structs) {
+    if (decl.name == name) return &decl;
+  }
+  return nullptr;
+}
+
+const ParserSpec* SpecModule::find_parser(std::string_view name) const
+    noexcept {
+  for (const auto& parser : parsers) {
+    if (parser.name == name) return &parser;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void dump_type(std::ostringstream& out, const TypeRef& type);
+
+void dump_fields(std::ostringstream& out, const StructDecl& decl,
+                 int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  for (const auto& field : decl.fields) {
+    out << pad;
+    if (field.string_annotation) {
+      out << "/* @string prefix=" << field.string_annotation->prefix_bytes
+          << " */ ";
+    }
+    dump_type(out, field.type);
+    out << ' ' << field.name;
+    for (auto dim : field.array_dims) out << '[' << dim << ']';
+    out << ";\n";
+  }
+}
+
+void dump_type(std::ostringstream& out, const TypeRef& type) {
+  switch (type.kind) {
+    case TypeRef::Kind::kPrimitive:
+      out << to_string(type.primitive);
+      break;
+    case TypeRef::Kind::kNamed:
+      out << type.name;
+      break;
+    case TypeRef::Kind::kInlineStruct:
+      out << "struct { ... }";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string dump_struct(const StructDecl& decl) {
+  std::ostringstream out;
+  out << "typedef struct {\n";
+  dump_fields(out, decl, 1);
+  out << "} " << decl.name << ";\n";
+  return out.str();
+}
+
+std::string SpecModule::dump() const {
+  std::ostringstream out;
+  for (const auto& parser : parsers) {
+    out << "/* @autogen define parser " << parser.name
+        << " with chunksize = " << parser.chunk_size_kb << ", input = "
+        << parser.input_type << ", output = " << parser.output_type;
+    if (parser.filter_stages != 1) {
+      out << ", filters = " << parser.filter_stages;
+    }
+    if (parser.aggregate) {
+      out << ", aggregate = true";
+    }
+    if (!parser.mapping.empty()) {
+      out << ", mapping = { ";
+      for (std::size_t i = 0; i < parser.mapping.size(); ++i) {
+        if (i != 0) out << ", ";
+        const auto& entry = parser.mapping[i];
+        out << "output";
+        for (const auto& piece : entry.output_path) out << '.' << piece;
+        out << " = input";
+        for (const auto& piece : entry.input_path) out << '.' << piece;
+      }
+      out << " }";
+    }
+    out << " */\n";
+  }
+  for (const auto& decl : structs) {
+    out << dump_struct(decl);
+  }
+  return out.str();
+}
+
+}  // namespace ndpgen::spec

@@ -1,0 +1,143 @@
+// Abstract syntax tree for the data-format specification language.
+//
+// A specification module contains C-style struct declarations plus
+// `@autogen` parser definitions (paper Fig. 4). The AST deliberately
+// stays close to the surface syntax; all layout reasoning happens in the
+// contextual-analysis phase (src/analysis).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spec/token.hpp"
+
+namespace ndpgen::spec {
+
+/// Primitive types supported for hardware processing (§IV-B: integers and
+/// single/double-precision floats).
+enum class PrimitiveKind : std::uint8_t {
+  kU8, kU16, kU32, kU64,
+  kI8, kI16, kI32, kI64,
+  kF32, kF64,
+};
+
+/// Width of a primitive in bits.
+[[nodiscard]] constexpr std::uint32_t width_bits(PrimitiveKind kind) noexcept {
+  switch (kind) {
+    case PrimitiveKind::kU8:
+    case PrimitiveKind::kI8: return 8;
+    case PrimitiveKind::kU16:
+    case PrimitiveKind::kI16: return 16;
+    case PrimitiveKind::kU32:
+    case PrimitiveKind::kI32:
+    case PrimitiveKind::kF32: return 32;
+    case PrimitiveKind::kU64:
+    case PrimitiveKind::kI64:
+    case PrimitiveKind::kF64: return 64;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr bool is_signed(PrimitiveKind kind) noexcept {
+  switch (kind) {
+    case PrimitiveKind::kI8:
+    case PrimitiveKind::kI16:
+    case PrimitiveKind::kI32:
+    case PrimitiveKind::kI64: return true;
+    default: return false;
+  }
+}
+
+[[nodiscard]] constexpr bool is_float(PrimitiveKind kind) noexcept {
+  return kind == PrimitiveKind::kF32 || kind == PrimitiveKind::kF64;
+}
+
+/// The C spelling ("uint32_t", "float", ...).
+[[nodiscard]] std::string_view to_string(PrimitiveKind kind) noexcept;
+
+/// Parses a C type name; returns nullopt for non-primitive names.
+/// `char` is accepted as an alias of uint8_t (byte/string data).
+[[nodiscard]] std::optional<PrimitiveKind> primitive_from_name(
+    std::string_view name) noexcept;
+
+struct StructDecl;
+
+/// A type as used by a field declaration.
+struct TypeRef {
+  enum class Kind : std::uint8_t { kPrimitive, kNamed, kInlineStruct };
+
+  Kind kind = Kind::kPrimitive;
+  PrimitiveKind primitive = PrimitiveKind::kU32;  ///< For kPrimitive.
+  std::string name;                               ///< For kNamed.
+  std::shared_ptr<StructDecl> inline_struct;      ///< For kInlineStruct.
+};
+
+/// `@string prefix = N` — marks a byte array as string data whose first N
+/// bytes are a filterable prefix; the postfix is carried but opaque.
+struct StringAnnotation {
+  std::uint32_t prefix_bytes = 0;
+  SourceLoc loc;
+};
+
+/// One declared field. `int a[2][3]` has array_dims = {2, 3}.
+struct FieldDecl {
+  std::string name;
+  TypeRef type;
+  std::vector<std::uint32_t> array_dims;
+  std::optional<StringAnnotation> string_annotation;
+  SourceLoc loc;
+};
+
+/// A struct type declaration (from `typedef struct {...} Name;` or
+/// `struct Name {...};`).
+struct StructDecl {
+  std::string name;
+  std::vector<FieldDecl> fields;
+  SourceLoc loc;
+
+  [[nodiscard]] const FieldDecl* find_field(std::string_view field_name) const
+      noexcept;
+};
+
+/// One `output.<path> = input.<path>` entry of a mapping block.
+struct MappingEntry {
+  std::vector<std::string> output_path;  ///< Without the leading "output".
+  std::vector<std::string> input_path;   ///< Without the leading "input".
+  SourceLoc loc;
+};
+
+/// An `@autogen define parser ... with ...` annotation.
+struct ParserSpec {
+  std::string name;
+  std::uint32_t chunk_size_kb = 32;  ///< Block granularity (paper: 32 KB).
+  std::string input_type;
+  std::string output_type;
+  std::vector<MappingEntry> mapping;
+  std::uint32_t filter_stages = 1;   ///< Extension: chained filter stages.
+  std::vector<std::string> operators;  ///< Empty = pre-defined standard set.
+  bool aggregate = false;  ///< Extension: generate an aggregation unit.
+  SourceLoc loc;
+};
+
+/// A parsed specification module.
+struct SpecModule {
+  std::vector<StructDecl> structs;
+  std::vector<ParserSpec> parsers;
+
+  [[nodiscard]] const StructDecl* find_struct(std::string_view name) const
+      noexcept;
+  [[nodiscard]] const ParserSpec* find_parser(std::string_view name) const
+      noexcept;
+
+  /// Human-readable dump used by the generated debug helpers.
+  [[nodiscard]] std::string dump() const;
+};
+
+/// Renders one struct declaration back to C-like syntax.
+[[nodiscard]] std::string dump_struct(const StructDecl& decl);
+
+}  // namespace ndpgen::spec

@@ -1,0 +1,32 @@
+#include "spec/diagnostics.hpp"
+
+#include <sstream>
+
+namespace ndpgen::spec {
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream out;
+  out << (severity == Severity::kWarning ? "warning" : "error") << " at "
+      << loc.to_string() << ": " << message;
+  return out.str();
+}
+
+void DiagnosticSink::warn(SourceLoc loc, std::string message) {
+  diagnostics_.push_back(
+      Diagnostic{Severity::kWarning, loc, std::move(message)});
+}
+
+std::string DiagnosticSink::to_string() const {
+  std::string out;
+  for (const auto& diag : diagnostics_) {
+    out += diag.to_string();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void fail_at(ErrorKind kind, SourceLoc loc, const std::string& message) {
+  ndpgen::raise(kind, message + " at " + loc.to_string());
+}
+
+}  // namespace ndpgen::spec

@@ -1,0 +1,46 @@
+// Diagnostic reporting for the specification front-end.
+//
+// Hard errors are thrown as ndpgen::Error; warnings (e.g. an unused struct
+// declaration) are collected so tools can surface them without aborting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/token.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::spec {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Accumulates warnings during parsing/analysis.
+class DiagnosticSink {
+ public:
+  void warn(SourceLoc loc, std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return diagnostics_.empty(); }
+
+  /// All diagnostics joined by newlines (for CLI display).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Formats "<loc>: <message>" and throws Error{kind}.
+[[noreturn]] void fail_at(ErrorKind kind, SourceLoc loc,
+                          const std::string& message);
+
+}  // namespace ndpgen::spec

@@ -1,0 +1,204 @@
+#include "spec/lexer.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ndpgen::spec {
+
+namespace {
+
+bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_cont(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+char Lexer::peek(std::size_t ahead) const noexcept {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() noexcept {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++loc_.line;
+    loc_.column = 1;
+  } else {
+    ++loc_.column;
+  }
+  return c;
+}
+
+void Lexer::fail(const std::string& message) const {
+  ndpgen::raise(ErrorKind::kLex, message + " at " + loc_.to_string());
+}
+
+void Lexer::skip_whitespace_and_comments(std::vector<Token>& out) {
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const SourceLoc start = loc_;
+      advance();  // '/'
+      advance();  // '*'
+      std::string body;
+      while (true) {
+        if (at_end()) fail("unterminated block comment starting at " +
+                           start.to_string());
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          break;
+        }
+        body.push_back(advance());
+      }
+      // Comments whose body begins with '@' (after whitespace or '*'
+      // decoration) are annotations and become tokens.
+      std::string_view trimmed = support::trim(body);
+      while (!trimmed.empty() && trimmed.front() == '*') {
+        trimmed.remove_prefix(1);
+        trimmed = support::trim(trimmed);
+      }
+      if (!trimmed.empty() && trimmed.front() == '@') {
+        Token token;
+        token.kind = TokenKind::kAnnotation;
+        token.text = body;
+        token.loc = start;
+        out.push_back(std::move(token));
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::lex_identifier() {
+  Token token;
+  token.loc = loc_;
+  const std::size_t start = pos_;
+  while (!at_end() && is_ident_cont(peek())) advance();
+  token.text = std::string(source_.substr(start, pos_ - start));
+  if (token.text == "typedef") {
+    token.kind = TokenKind::kKwTypedef;
+  } else if (token.text == "struct") {
+    token.kind = TokenKind::kKwStruct;
+  } else {
+    token.kind = TokenKind::kIdentifier;
+  }
+  return token;
+}
+
+Token Lexer::lex_number() {
+  Token token;
+  token.loc = loc_;
+  token.kind = TokenKind::kInteger;
+  const std::size_t start = pos_;
+  std::uint64_t value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+      fail("expected hex digits after '0x'");
+    }
+    while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) {
+      const char c = advance();
+      const std::uint64_t digit =
+          std::isdigit(static_cast<unsigned char>(c))
+              ? static_cast<std::uint64_t>(c - '0')
+              : static_cast<std::uint64_t>(
+                    std::tolower(static_cast<unsigned char>(c)) - 'a' + 10);
+      value = value * 16 + digit;
+    }
+  } else {
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      value = value * 10 + static_cast<std::uint64_t>(advance() - '0');
+    }
+  }
+  if (!at_end() && is_ident_start(peek())) {
+    fail("invalid suffix on integer literal");
+  }
+  token.text = std::string(source_.substr(start, pos_ - start));
+  token.int_value = value;
+  return token;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    if (!annotation_mode_) {
+      skip_whitespace_and_comments(tokens);
+    } else {
+      while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+    }
+    if (at_end()) break;
+    const char c = peek();
+    if (is_ident_start(c)) {
+      tokens.push_back(lex_identifier());
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tokens.push_back(lex_number());
+      continue;
+    }
+    Token token;
+    token.loc = loc_;
+    token.text = std::string(1, c);
+    switch (c) {
+      case '{': token.kind = TokenKind::kLBrace; break;
+      case '}': token.kind = TokenKind::kRBrace; break;
+      case '[': token.kind = TokenKind::kLBracket; break;
+      case ']': token.kind = TokenKind::kRBracket; break;
+      case '(': token.kind = TokenKind::kLParen; break;
+      case ')': token.kind = TokenKind::kRParen; break;
+      case ';': token.kind = TokenKind::kSemicolon; break;
+      case ',': token.kind = TokenKind::kComma; break;
+      case '=': token.kind = TokenKind::kEquals; break;
+      case '.': token.kind = TokenKind::kDot; break;
+      case '@':
+        if (!annotation_mode_) fail("'@' is only valid inside annotations");
+        token.kind = TokenKind::kAt;
+        break;
+      case '*':
+        // Decorative '*' at annotation line starts is ignored.
+        if (annotation_mode_) {
+          advance();
+          continue;
+        }
+        fail("unexpected character '*'");
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+    advance();
+    tokens.push_back(std::move(token));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.loc = loc_;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+std::vector<Token> Lexer::tokenize_annotation(std::string_view body,
+                                              SourceLoc base) {
+  Lexer lexer(body);
+  lexer.annotation_mode_ = true;
+  lexer.loc_ = base;
+  return lexer.tokenize();
+}
+
+}  // namespace ndpgen::spec

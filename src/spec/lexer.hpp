@@ -1,0 +1,44 @@
+// Lexer for the format-specification language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "spec/token.hpp"
+
+namespace ndpgen::spec {
+
+/// Tokenizes specification source text.
+///
+/// Annotation comments (block comments whose first non-space character is
+/// '@') become kAnnotation tokens whose text is the comment body; all other
+/// comments are skipped. Throws ndpgen::Error{kLex} on malformed input.
+class Lexer {
+ public:
+  /// `source` must outlive the lexer.
+  explicit Lexer(std::string_view source) noexcept : source_(source) {}
+
+  /// Lexes the entire input (final token is kEof).
+  [[nodiscard]] std::vector<Token> tokenize();
+
+  /// Tokenizes the body of an annotation ('@' is a regular token there).
+  /// `base` positions diagnostics at the comment's location.
+  [[nodiscard]] static std::vector<Token> tokenize_annotation(
+      std::string_view body, SourceLoc base);
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept;
+  char advance() noexcept;
+  void skip_whitespace_and_comments(std::vector<Token>& out);
+  [[nodiscard]] Token lex_identifier();
+  [[nodiscard]] Token lex_number();
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_;
+  bool annotation_mode_ = false;
+};
+
+}  // namespace ndpgen::spec

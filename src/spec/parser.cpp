@@ -1,0 +1,498 @@
+#include "spec/parser.hpp"
+
+#include <unordered_set>
+
+#include "spec/lexer.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::spec {
+
+namespace {
+
+/// Tokens of an annotation body: helpers for sequential consumption.
+const Token& ann_peek(const std::vector<Token>& tokens, std::size_t index) {
+  return tokens[std::min(index, tokens.size() - 1)];
+}
+
+const Token& ann_expect(const std::vector<Token>& tokens, std::size_t& index,
+                        TokenKind kind, std::string_view context) {
+  const Token& token = ann_peek(tokens, index);
+  if (token.kind != kind) {
+    fail_at(ErrorKind::kParse, token.loc,
+            std::string("expected ") + std::string(to_string(kind)) + " " +
+                std::string(context) + ", found '" + token.text + "'");
+  }
+  ++index;
+  return token;
+}
+
+const Token& ann_expect_keyword(const std::vector<Token>& tokens,
+                                std::size_t& index, std::string_view word) {
+  const Token& token = ann_peek(tokens, index);
+  if (token.kind != TokenKind::kIdentifier || token.text != word) {
+    fail_at(ErrorKind::kParse, token.loc,
+            "expected '" + std::string(word) + "' in annotation, found '" +
+                token.text + "'");
+  }
+  ++index;
+  return token;
+}
+
+}  // namespace
+
+Parser::Parser(std::string_view source, DiagnosticSink* sink) : sink_(sink) {
+  tokens_ = Lexer(source).tokenize();
+}
+
+const Token& Parser::peek(std::size_t ahead) const noexcept {
+  return tokens_[std::min(pos_ + ahead, tokens_.size() - 1)];
+}
+
+const Token& Parser::advance() noexcept {
+  const Token& token = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool Parser::check(TokenKind kind) const noexcept {
+  return peek().kind == kind;
+}
+
+bool Parser::match(TokenKind kind) noexcept {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, std::string_view context) {
+  if (!check(kind)) {
+    fail_at(ErrorKind::kParse, peek().loc,
+            std::string("expected ") + std::string(to_string(kind)) + " " +
+                std::string(context) + ", found " +
+                std::string(to_string(peek().kind)) +
+                (peek().text.empty() ? "" : " '" + peek().text + "'"));
+  }
+  return advance();
+}
+
+SpecModule Parser::parse_module() {
+  SpecModule module;
+  std::optional<StringAnnotation> pending_string;
+  while (!check(TokenKind::kEof)) {
+    if (check(TokenKind::kAnnotation)) {
+      const Token token = advance();
+      parse_annotation(token, module, pending_string);
+      if (pending_string) {
+        fail_at(ErrorKind::kParse, pending_string->loc,
+                "@string annotation is only valid inside a struct body");
+      }
+      continue;
+    }
+    if (check(TokenKind::kKwTypedef)) {
+      module.structs.push_back(parse_typedef());
+      continue;
+    }
+    if (check(TokenKind::kKwStruct)) {
+      module.structs.push_back(parse_struct_decl());
+      continue;
+    }
+    fail_at(ErrorKind::kParse, peek().loc,
+            "expected 'typedef', 'struct' or annotation at top level, found " +
+                std::string(to_string(peek().kind)));
+  }
+  validate(module);
+  return module;
+}
+
+StructDecl Parser::parse_typedef() {
+  expect(TokenKind::kKwTypedef, "to begin typedef");
+  expect(TokenKind::kKwStruct, "after 'typedef'");
+  StructDecl decl;
+  decl.loc = peek().loc;
+  // Optional struct tag: `typedef struct tag { ... } Name;`
+  if (check(TokenKind::kIdentifier)) advance();
+  expect(TokenKind::kLBrace, "to open struct body");
+  parse_struct_body(decl);
+  const Token& name = expect(TokenKind::kIdentifier, "as typedef name");
+  decl.name = name.text;
+  expect(TokenKind::kSemicolon, "after typedef");
+  return decl;
+}
+
+StructDecl Parser::parse_struct_decl() {
+  expect(TokenKind::kKwStruct, "to begin struct declaration");
+  StructDecl decl;
+  const Token& name = expect(TokenKind::kIdentifier, "as struct name");
+  decl.name = name.text;
+  decl.loc = name.loc;
+  expect(TokenKind::kLBrace, "to open struct body");
+  parse_struct_body(decl);
+  expect(TokenKind::kSemicolon, "after struct declaration");
+  return decl;
+}
+
+void Parser::parse_struct_body(StructDecl& decl) {
+  std::optional<StringAnnotation> pending_string;
+  while (!check(TokenKind::kRBrace)) {
+    if (check(TokenKind::kEof)) {
+      fail_at(ErrorKind::kParse, peek().loc, "unterminated struct body");
+    }
+    if (check(TokenKind::kAnnotation)) {
+      const Token token = advance();
+      // Only @string is valid inside a struct body.
+      auto tokens = Lexer::tokenize_annotation(token.text, token.loc);
+      std::size_t index = 0;
+      ann_expect(tokens, index, TokenKind::kAt, "to begin annotation");
+      const Token& kind = ann_expect(tokens, index, TokenKind::kIdentifier,
+                                     "as annotation kind");
+      if (kind.text != "string") {
+        fail_at(ErrorKind::kParse, kind.loc,
+                "only @string annotations may appear inside struct bodies");
+      }
+      pending_string = parse_string_annotation(tokens, index, token.loc);
+      continue;
+    }
+    parse_field_group(decl, std::move(pending_string));
+    pending_string.reset();
+  }
+  if (pending_string) {
+    fail_at(ErrorKind::kParse, pending_string->loc,
+            "@string annotation must be followed by a field");
+  }
+  expect(TokenKind::kRBrace, "to close struct body");
+}
+
+void Parser::parse_field_group(StructDecl& decl,
+                               std::optional<StringAnnotation> annotation) {
+  TypeRef type = parse_type();
+  bool first = true;
+  do {
+    FieldDecl field;
+    field.type = type;
+    const Token& name = expect(TokenKind::kIdentifier, "as field name");
+    field.name = name.text;
+    field.loc = name.loc;
+    if (decl.find_field(field.name) != nullptr) {
+      fail_at(ErrorKind::kParse, field.loc,
+              "duplicate field '" + field.name + "' in struct");
+    }
+    while (match(TokenKind::kLBracket)) {
+      const Token& dim = expect(TokenKind::kInteger, "as array dimension");
+      if (dim.int_value == 0) {
+        fail_at(ErrorKind::kParse, dim.loc, "array dimension must be > 0");
+      }
+      if (dim.int_value > (1u << 20)) {
+        fail_at(ErrorKind::kParse, dim.loc,
+                "array dimension too large for hardware processing");
+      }
+      field.array_dims.push_back(static_cast<std::uint32_t>(dim.int_value));
+      expect(TokenKind::kRBracket, "to close array dimension");
+    }
+    if (annotation && first) {
+      if (field.array_dims.size() != 1 ||
+          !(type.kind == TypeRef::Kind::kPrimitive &&
+            width_bits(type.primitive) == 8)) {
+        fail_at(ErrorKind::kParse, field.loc,
+                "@string applies only to one-dimensional byte arrays");
+      }
+      if (annotation->prefix_bytes >= field.array_dims[0]) {
+        fail_at(ErrorKind::kParse, field.loc,
+                "@string prefix must be shorter than the array");
+      }
+      field.string_annotation = annotation;
+    }
+    first = false;
+    decl.fields.push_back(std::move(field));
+  } while (match(TokenKind::kComma));
+  expect(TokenKind::kSemicolon, "after field declaration");
+}
+
+TypeRef Parser::parse_type() {
+  TypeRef type;
+  if (match(TokenKind::kKwStruct)) {
+    if (check(TokenKind::kLBrace)) {
+      // Anonymous nested struct.
+      advance();
+      auto inner = std::make_shared<StructDecl>();
+      inner->loc = peek().loc;
+      inner->name = "__anon" + std::to_string(anonymous_counter_++);
+      parse_struct_body(*inner);
+      type.kind = TypeRef::Kind::kInlineStruct;
+      type.inline_struct = std::move(inner);
+      return type;
+    }
+    const Token& name = expect(TokenKind::kIdentifier, "as struct type name");
+    type.kind = TypeRef::Kind::kNamed;
+    type.name = name.text;
+    return type;
+  }
+  const Token& name = expect(TokenKind::kIdentifier, "as type name");
+  // `unsigned char` is the only two-word spelling we accept.
+  std::string spelling = name.text;
+  if (spelling == "unsigned" && check(TokenKind::kIdentifier) &&
+      peek().text == "char") {
+    advance();
+    spelling = "unsigned char";
+  }
+  if (auto primitive = primitive_from_name(spelling)) {
+    type.kind = TypeRef::Kind::kPrimitive;
+    type.primitive = *primitive;
+    return type;
+  }
+  type.kind = TypeRef::Kind::kNamed;
+  type.name = spelling;
+  return type;
+}
+
+void Parser::parse_annotation(const Token& token, SpecModule& module,
+                              std::optional<StringAnnotation>& pending) {
+  auto tokens = Lexer::tokenize_annotation(token.text, token.loc);
+  std::size_t index = 0;
+  ann_expect(tokens, index, TokenKind::kAt, "to begin annotation");
+  const Token& kind =
+      ann_expect(tokens, index, TokenKind::kIdentifier, "as annotation kind");
+  if (kind.text == "autogen") {
+    module.parsers.push_back(parse_autogen(tokens, index, token.loc));
+    return;
+  }
+  if (kind.text == "string") {
+    pending = parse_string_annotation(tokens, index, token.loc);
+    return;
+  }
+  fail_at(ErrorKind::kParse, kind.loc,
+          "unknown annotation '@" + kind.text + "'");
+}
+
+StringAnnotation Parser::parse_string_annotation(
+    const std::vector<Token>& tokens, std::size_t& index, SourceLoc loc) {
+  // Syntax: @string prefix = N
+  ann_expect_keyword(tokens, index, "prefix");
+  ann_expect(tokens, index, TokenKind::kEquals, "in @string annotation");
+  const Token& value =
+      ann_expect(tokens, index, TokenKind::kInteger, "as prefix size");
+  if (ann_peek(tokens, index).kind != TokenKind::kEof) {
+    fail_at(ErrorKind::kParse, ann_peek(tokens, index).loc,
+            "unexpected trailing tokens in @string annotation");
+  }
+  StringAnnotation annotation;
+  annotation.prefix_bytes = static_cast<std::uint32_t>(value.int_value);
+  annotation.loc = loc;
+  if (annotation.prefix_bytes == 0 || annotation.prefix_bytes > 8) {
+    fail_at(ErrorKind::kParse, value.loc,
+            "@string prefix must be 1..8 bytes (single comparator word)");
+  }
+  return annotation;
+}
+
+ParserSpec Parser::parse_autogen(const std::vector<Token>& tokens,
+                                 std::size_t& index, SourceLoc loc) {
+  // Syntax: @autogen define parser NAME with key = value {, key = value}
+  ann_expect_keyword(tokens, index, "define");
+  ann_expect_keyword(tokens, index, "parser");
+  const Token& name =
+      ann_expect(tokens, index, TokenKind::kIdentifier, "as parser name");
+  ann_expect_keyword(tokens, index, "with");
+
+  ParserSpec parser;
+  parser.name = name.text;
+  parser.loc = loc;
+  std::unordered_set<std::string> seen_keys;
+
+  while (true) {
+    const Token& key =
+        ann_expect(tokens, index, TokenKind::kIdentifier, "as property name");
+    if (!seen_keys.insert(key.text).second) {
+      fail_at(ErrorKind::kParse, key.loc,
+              "duplicate property '" + key.text + "' in @autogen");
+    }
+    ann_expect(tokens, index, TokenKind::kEquals, "after property name");
+    if (key.text == "chunksize") {
+      const Token& value =
+          ann_expect(tokens, index, TokenKind::kInteger, "as chunk size");
+      if (value.int_value == 0 || value.int_value > 1024) {
+        fail_at(ErrorKind::kParse, value.loc,
+                "chunksize must be 1..1024 (KiB)");
+      }
+      parser.chunk_size_kb = static_cast<std::uint32_t>(value.int_value);
+    } else if (key.text == "input") {
+      parser.input_type =
+          ann_expect(tokens, index, TokenKind::kIdentifier, "as input type")
+              .text;
+    } else if (key.text == "output") {
+      parser.output_type =
+          ann_expect(tokens, index, TokenKind::kIdentifier, "as output type")
+              .text;
+    } else if (key.text == "filters") {
+      const Token& value =
+          ann_expect(tokens, index, TokenKind::kInteger, "as filter count");
+      if (value.int_value == 0 || value.int_value > 16) {
+        fail_at(ErrorKind::kParse, value.loc, "filters must be 1..16");
+      }
+      parser.filter_stages = static_cast<std::uint32_t>(value.int_value);
+    } else if (key.text == "aggregate") {
+      const Token& value = ann_peek(tokens, index);
+      if (value.kind == TokenKind::kInteger) {
+        parser.aggregate = value.int_value != 0;
+        ++index;
+      } else if (value.kind == TokenKind::kIdentifier &&
+                 (value.text == "true" || value.text == "false")) {
+        parser.aggregate = value.text == "true";
+        ++index;
+      } else {
+        fail_at(ErrorKind::kParse, value.loc,
+                "aggregate expects true/false or 0/1");
+      }
+    } else if (key.text == "mapping") {
+      parser.mapping = parse_mapping(tokens, index);
+    } else if (key.text == "operators") {
+      ann_expect(tokens, index, TokenKind::kLBrace, "to open operator list");
+      while (ann_peek(tokens, index).kind != TokenKind::kRBrace) {
+        parser.operators.push_back(
+            ann_expect(tokens, index, TokenKind::kIdentifier,
+                       "as operator name")
+                .text);
+        if (ann_peek(tokens, index).kind == TokenKind::kComma) ++index;
+      }
+      ann_expect(tokens, index, TokenKind::kRBrace, "to close operator list");
+    } else {
+      fail_at(ErrorKind::kParse, key.loc,
+              "unknown @autogen property '" + key.text + "'");
+    }
+    if (ann_peek(tokens, index).kind == TokenKind::kComma) {
+      ++index;
+      continue;
+    }
+    break;
+  }
+  if (ann_peek(tokens, index).kind != TokenKind::kEof) {
+    fail_at(ErrorKind::kParse, ann_peek(tokens, index).loc,
+            "unexpected trailing tokens in @autogen annotation");
+  }
+  if (parser.input_type.empty()) {
+    fail_at(ErrorKind::kParse, loc, "@autogen requires 'input = <Type>'");
+  }
+  if (parser.output_type.empty()) {
+    fail_at(ErrorKind::kParse, loc, "@autogen requires 'output = <Type>'");
+  }
+  return parser;
+}
+
+std::vector<MappingEntry> Parser::parse_mapping(
+    const std::vector<Token>& tokens, std::size_t& index) {
+  // Syntax: { output.x = input.y , output.y = input.z }
+  // Entries may be separated by ',' or ';'.
+  std::vector<MappingEntry> mapping;
+  ann_expect(tokens, index, TokenKind::kLBrace, "to open mapping block");
+  while (ann_peek(tokens, index).kind != TokenKind::kRBrace) {
+    MappingEntry entry;
+    entry.loc = ann_peek(tokens, index).loc;
+    auto lhs = parse_path(tokens, index);
+    if (lhs.empty() || lhs.front() != "output") {
+      fail_at(ErrorKind::kParse, entry.loc,
+              "mapping target must start with 'output.'");
+    }
+    lhs.erase(lhs.begin());
+    if (lhs.empty()) {
+      fail_at(ErrorKind::kParse, entry.loc,
+              "mapping target must name an output field");
+    }
+    ann_expect(tokens, index, TokenKind::kEquals, "in mapping entry");
+    auto rhs = parse_path(tokens, index);
+    if (rhs.empty() || rhs.front() != "input") {
+      fail_at(ErrorKind::kParse, entry.loc,
+              "mapping source must start with 'input.'");
+    }
+    rhs.erase(rhs.begin());
+    if (rhs.empty()) {
+      fail_at(ErrorKind::kParse, entry.loc,
+              "mapping source must name an input field");
+    }
+    entry.output_path = std::move(lhs);
+    entry.input_path = std::move(rhs);
+    mapping.push_back(std::move(entry));
+    const TokenKind next = ann_peek(tokens, index).kind;
+    if (next == TokenKind::kComma || next == TokenKind::kSemicolon) {
+      ++index;
+    }
+  }
+  ann_expect(tokens, index, TokenKind::kRBrace, "to close mapping block");
+  return mapping;
+}
+
+std::vector<std::string> Parser::parse_path(const std::vector<Token>& tokens,
+                                            std::size_t& index) {
+  std::vector<std::string> path;
+  path.push_back(
+      ann_expect(tokens, index, TokenKind::kIdentifier, "in field path").text);
+  while (ann_peek(tokens, index).kind == TokenKind::kDot) {
+    ++index;
+    path.push_back(
+        ann_expect(tokens, index, TokenKind::kIdentifier, "in field path")
+            .text);
+  }
+  return path;
+}
+
+void Parser::validate(const SpecModule& module) const {
+  // Struct names must be unique.
+  std::unordered_set<std::string> names;
+  for (const auto& decl : module.structs) {
+    if (!names.insert(decl.name).second) {
+      fail_at(ErrorKind::kParse, decl.loc,
+              "duplicate struct declaration '" + decl.name + "'");
+    }
+  }
+  std::unordered_set<std::string> parser_names;
+  for (const auto& parser : module.parsers) {
+    if (!parser_names.insert(parser.name).second) {
+      fail_at(ErrorKind::kParse, parser.loc,
+              "duplicate parser definition '" + parser.name + "'");
+    }
+    if (module.find_struct(parser.input_type) == nullptr) {
+      fail_at(ErrorKind::kParse, parser.loc,
+              "parser '" + parser.name + "' references unknown input type '" +
+                  parser.input_type + "'");
+    }
+    if (module.find_struct(parser.output_type) == nullptr) {
+      fail_at(ErrorKind::kParse, parser.loc,
+              "parser '" + parser.name + "' references unknown output type '" +
+                  parser.output_type + "'");
+    }
+  }
+  if (sink_ != nullptr) {
+    // Warn about structs that no parser references (directly).
+    std::unordered_set<std::string> used;
+    for (const auto& parser : module.parsers) {
+      used.insert(parser.input_type);
+      used.insert(parser.output_type);
+    }
+    auto mark_nested = [&](const auto& self, const StructDecl& decl) -> void {
+      for (const auto& field : decl.fields) {
+        if (field.type.kind == TypeRef::Kind::kNamed) {
+          if (used.insert(field.type.name).second) {
+            if (const auto* nested = module.find_struct(field.type.name)) {
+              self(self, *nested);
+            }
+          }
+        }
+      }
+    };
+    for (const auto& decl : module.structs) {
+      if (used.contains(decl.name)) mark_nested(mark_nested, decl);
+    }
+    if (!module.parsers.empty()) {
+      for (const auto& decl : module.structs) {
+        if (!used.contains(decl.name)) {
+          sink_->warn(decl.loc, "struct '" + decl.name +
+                                    "' is not used by any parser");
+        }
+      }
+    }
+  }
+}
+
+SpecModule parse_spec(std::string_view source, DiagnosticSink* sink) {
+  return Parser(source, sink).parse_module();
+}
+
+}  // namespace ndpgen::spec

@@ -1,0 +1,70 @@
+// Recursive-descent parser for the format-specification language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "spec/ast.hpp"
+#include "spec/diagnostics.hpp"
+#include "spec/token.hpp"
+
+namespace ndpgen::spec {
+
+/// Parses a specification module from source text.
+///
+/// Accepts:
+///   * `typedef struct { fields } Name;`
+///   * `struct Name { fields };`
+///   * nested anonymous structs, named struct usage (`struct Inner x;`)
+///   * multi-dimensional arrays (`uint8_t key[4][8];`)
+///   * `/* @string prefix = N */` field annotations
+///   * `/* @autogen define parser N with k = v, ... */` parser definitions
+///
+/// Throws ndpgen::Error{kParse} with a source location on syntax errors.
+/// Warnings (if a sink is supplied) cover benign issues such as parser
+/// definitions preceding their type declarations.
+class Parser {
+ public:
+  explicit Parser(std::string_view source, DiagnosticSink* sink = nullptr);
+
+  /// Parses the whole module. May only be called once.
+  [[nodiscard]] SpecModule parse_module();
+
+ private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const noexcept;
+  const Token& advance() noexcept;
+  [[nodiscard]] bool check(TokenKind kind) const noexcept;
+  bool match(TokenKind kind) noexcept;
+  const Token& expect(TokenKind kind, std::string_view context);
+
+  StructDecl parse_typedef();
+  StructDecl parse_struct_decl();
+  void parse_struct_body(StructDecl& decl);
+  void parse_field_group(StructDecl& decl,
+                         std::optional<StringAnnotation> annotation);
+  TypeRef parse_type();
+
+  void parse_annotation(const Token& token, SpecModule& module,
+                        std::optional<StringAnnotation>& pending_string);
+  ParserSpec parse_autogen(const std::vector<Token>& tokens,
+                           std::size_t& index, SourceLoc loc);
+  StringAnnotation parse_string_annotation(const std::vector<Token>& tokens,
+                                           std::size_t& index, SourceLoc loc);
+  std::vector<MappingEntry> parse_mapping(const std::vector<Token>& tokens,
+                                          std::size_t& index);
+  std::vector<std::string> parse_path(const std::vector<Token>& tokens,
+                                      std::size_t& index);
+
+  void validate(const SpecModule& module) const;
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  DiagnosticSink* sink_;
+  int anonymous_counter_ = 0;
+};
+
+/// Convenience wrapper: parse `source` into a module.
+[[nodiscard]] SpecModule parse_spec(std::string_view source,
+                                    DiagnosticSink* sink = nullptr);
+
+}  // namespace ndpgen::spec

@@ -1,0 +1,77 @@
+// Token definitions for the C-style data-format specification language.
+//
+// The input language (paper §IV-B, Fig. 4) is a small subset of C:
+// `typedef struct` declarations with primitive fields, nested structs and
+// arrays, plus `@autogen` / `@string` annotations carried in block
+// comments. The lexer surfaces annotation comments as first-class tokens;
+// ordinary comments are skipped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ndpgen::spec {
+
+/// Position of a token in the specification source (1-based).
+struct SourceLoc {
+  std::uint32_t line = 1;
+  std::uint32_t column = 1;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+enum class TokenKind : std::uint8_t {
+  kEof,
+  kIdentifier,   // foo, uint32_t, Point3D
+  kInteger,      // 42
+  kLBrace,       // {
+  kRBrace,       // }
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLParen,       // (
+  kRParen,       // )
+  kSemicolon,    // ;
+  kComma,        // ,
+  kEquals,       // =
+  kDot,          // .
+  kAt,           // @  (only inside annotations)
+  kKwTypedef,    // typedef
+  kKwStruct,     // struct
+  kAnnotation,   // /* @... */ — text carries the body without delimiters
+};
+
+/// Returns a printable name for diagnostics.
+[[nodiscard]] constexpr std::string_view to_string(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kKwTypedef: return "'typedef'";
+    case TokenKind::kKwStruct: return "'struct'";
+    case TokenKind::kAnnotation: return "annotation comment";
+  }
+  return "?";
+}
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;          ///< Raw text (annotation body for kAnnotation).
+  std::uint64_t int_value = 0;  ///< Valid for kInteger.
+  SourceLoc loc;
+};
+
+}  // namespace ndpgen::spec

@@ -1,0 +1,155 @@
+#include "support/bitvec.hpp"
+
+#include "support/error.hpp"
+
+namespace ndpgen::support {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+constexpr std::size_t word_count(std::size_t bits) noexcept {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVector::BitVector(std::size_t width_bits)
+    : width_bits_(width_bits), words_(word_count(width_bits), 0) {}
+
+BitVector BitVector::from_bytes(std::span<const std::uint8_t> bytes) {
+  BitVector result(bytes.size() * 8);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    result.words_[i / 8] |=
+        static_cast<std::uint64_t>(bytes[i]) << ((i % 8) * 8);
+  }
+  return result;
+}
+
+BitVector BitVector::from_u64(std::uint64_t value, std::size_t width_bits) {
+  NDPGEN_CHECK_ARG(width_bits <= kWordBits, "from_u64 width must be <= 64");
+  BitVector result(width_bits);
+  if (width_bits > 0) {
+    result.words_[0] = value;
+    result.mask_top_word();
+  }
+  return result;
+}
+
+bool BitVector::bit(std::size_t index) const {
+  NDPGEN_CHECK_ARG(index < width_bits_, "bit index out of range");
+  return (words_[index / kWordBits] >> (index % kWordBits)) & 1u;
+}
+
+void BitVector::set_bit(std::size_t index, bool value) {
+  NDPGEN_CHECK_ARG(index < width_bits_, "bit index out of range");
+  const std::uint64_t mask = std::uint64_t{1} << (index % kWordBits);
+  if (value) {
+    words_[index / kWordBits] |= mask;
+  } else {
+    words_[index / kWordBits] &= ~mask;
+  }
+}
+
+std::uint64_t BitVector::extract_u64(std::size_t offset,
+                                     std::size_t width) const {
+  NDPGEN_CHECK_ARG(width <= kWordBits, "extract width must be <= 64");
+  NDPGEN_CHECK_ARG(offset + width <= width_bits_,
+                   "extract range out of bounds");
+  if (width == 0) return 0;
+  const std::size_t word = offset / kWordBits;
+  const std::size_t shift = offset % kWordBits;
+  std::uint64_t value = words_[word] >> shift;
+  if (shift != 0 && word + 1 < words_.size()) {
+    value |= words_[word + 1] << (kWordBits - shift);
+  }
+  if (width < kWordBits) {
+    value &= (std::uint64_t{1} << width) - 1;
+  }
+  return value;
+}
+
+void BitVector::deposit_u64(std::size_t offset, std::size_t width,
+                            std::uint64_t value) {
+  NDPGEN_CHECK_ARG(width <= kWordBits, "deposit width must be <= 64");
+  NDPGEN_CHECK_ARG(offset + width <= width_bits_,
+                   "deposit range out of bounds");
+  if (width == 0) return;
+  const std::uint64_t mask =
+      width == kWordBits ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  value &= mask;
+  const std::size_t word = offset / kWordBits;
+  const std::size_t shift = offset % kWordBits;
+  words_[word] = (words_[word] & ~(mask << shift)) | (value << shift);
+  if (shift + width > kWordBits) {
+    const std::size_t spill = shift + width - kWordBits;
+    const std::uint64_t spill_mask = (std::uint64_t{1} << spill) - 1;
+    words_[word + 1] = (words_[word + 1] & ~spill_mask) |
+                       (value >> (kWordBits - shift));
+  }
+}
+
+BitVector BitVector::slice(std::size_t offset, std::size_t width) const {
+  NDPGEN_CHECK_ARG(offset + width <= width_bits_, "slice out of bounds");
+  BitVector result(width);
+  std::size_t done = 0;
+  while (done < width) {
+    const std::size_t chunk = std::min<std::size_t>(kWordBits, width - done);
+    result.deposit_u64(done, chunk, extract_u64(offset + done, chunk));
+    done += chunk;
+  }
+  return result;
+}
+
+void BitVector::deposit(std::size_t offset, const BitVector& bits) {
+  NDPGEN_CHECK_ARG(offset + bits.width() <= width_bits_,
+                   "deposit out of bounds");
+  std::size_t done = 0;
+  while (done < bits.width()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(kWordBits, bits.width() - done);
+    deposit_u64(offset + done, chunk, bits.extract_u64(done, chunk));
+    done += chunk;
+  }
+}
+
+void BitVector::append(const BitVector& bits) {
+  const std::size_t old_width = width_bits_;
+  resize(old_width + bits.width());
+  deposit(old_width, bits);
+}
+
+void BitVector::resize(std::size_t width_bits) {
+  width_bits_ = width_bits;
+  words_.resize(word_count(width_bits), 0);
+  mask_top_word();
+}
+
+std::vector<std::uint8_t> BitVector::to_bytes() const {
+  std::vector<std::uint8_t> bytes((width_bits_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(words_[i / 8] >> ((i % 8) * 8));
+  }
+  return bytes;
+}
+
+std::string BitVector::to_string() const {
+  std::string out = "0b";
+  out.reserve(width_bits_ + 2);
+  for (std::size_t i = width_bits_; i-- > 0;) {
+    out.push_back(bit(i) ? '1' : '0');
+  }
+  return out;
+}
+
+bool BitVector::operator==(const BitVector& other) const noexcept {
+  return width_bits_ == other.width_bits_ && words_ == other.words_;
+}
+
+void BitVector::mask_top_word() noexcept {
+  if (words_.empty()) return;
+  const std::size_t used = width_bits_ % kWordBits;
+  if (used != 0) {
+    words_.back() &= (std::uint64_t{1} << used) - 1;
+  }
+}
+
+}  // namespace ndpgen::support

@@ -1,0 +1,77 @@
+// Arbitrary-width bit vector.
+//
+// Tuples flowing through the simulated hardware are raw bit strings whose
+// interpretation is supplied by the contextual analysis (field offsets and
+// widths). BitVector stores bits LSB-first in 64-bit words, mirroring how
+// the Tuple Input Buffer of the architecture template groups the incoming
+// 64-bit memory words into a flat tuple bit string.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ndpgen::support {
+
+class BitVector {
+ public:
+  /// Constructs an all-zero vector of `width_bits` bits.
+  explicit BitVector(std::size_t width_bits = 0);
+
+  /// Constructs from raw little-endian bytes; width = 8 * bytes.size().
+  static BitVector from_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Constructs a `width_bits`-wide vector holding `value` (zero-extended).
+  static BitVector from_u64(std::uint64_t value, std::size_t width_bits);
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_bits_; }
+  [[nodiscard]] bool empty() const noexcept { return width_bits_ == 0; }
+
+  /// Reads a single bit.
+  [[nodiscard]] bool bit(std::size_t index) const;
+
+  /// Sets a single bit.
+  void set_bit(std::size_t index, bool value);
+
+  /// Extracts up to 64 bits starting at `offset` (LSB-first).
+  [[nodiscard]] std::uint64_t extract_u64(std::size_t offset,
+                                          std::size_t width) const;
+
+  /// Writes up to 64 bits starting at `offset`.
+  void deposit_u64(std::size_t offset, std::size_t width,
+                   std::uint64_t value);
+
+  /// Extracts an arbitrary-width slice [offset, offset+width).
+  [[nodiscard]] BitVector slice(std::size_t offset, std::size_t width) const;
+
+  /// Writes `bits` into this vector starting at `offset`.
+  void deposit(std::size_t offset, const BitVector& bits);
+
+  /// Appends `bits` at the end, growing the vector.
+  void append(const BitVector& bits);
+
+  /// Grows (zero-filled) or truncates to `width_bits`.
+  void resize(std::size_t width_bits);
+
+  /// Serializes to little-endian bytes (ceil(width/8) bytes).
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+  /// Binary string, MSB first, e.g. "0b0101".
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const BitVector& other) const noexcept;
+
+  /// Underlying 64-bit words (LSB-first), for fast bulk access.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+ private:
+  void mask_top_word() noexcept;
+
+  std::size_t width_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ndpgen::support

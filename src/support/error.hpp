@@ -1,0 +1,76 @@
+// Error handling primitives for ndpgen.
+//
+// The framework distinguishes user-facing compile errors (bad format
+// specifications, unsatisfiable mappings) from internal invariant
+// violations. Both are reported through ndpgen::Error, an exception
+// carrying a structured kind, so callers can react programmatically
+// while still getting a readable message.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ndpgen {
+
+/// Broad classification of failures surfaced by the framework.
+enum class ErrorKind : std::uint8_t {
+  kLex,          ///< Tokenization failure in a format specification.
+  kParse,        ///< Syntax error in a format specification.
+  kSemantic,     ///< Contextual-analysis error (unknown type, bad mapping...).
+  kGeneration,   ///< Accelerator generation failure.
+  kSimulation,   ///< Hardware/platform simulation error.
+  kStorage,      ///< KV-store / flash-storage error.
+  kInvalidArg,   ///< API misuse detected at a public boundary.
+  kInternal,     ///< Invariant violation inside the framework.
+};
+
+/// Returns a stable lowercase name for an ErrorKind ("parse", "storage"...).
+[[nodiscard]] constexpr std::string_view to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kLex: return "lex";
+    case ErrorKind::kParse: return "parse";
+    case ErrorKind::kSemantic: return "semantic";
+    case ErrorKind::kGeneration: return "generation";
+    case ErrorKind::kSimulation: return "simulation";
+    case ErrorKind::kStorage: return "storage";
+    case ErrorKind::kInvalidArg: return "invalid-argument";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Exception type thrown by all ndpgen subsystems.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + message),
+        kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Throws Error{kind, message} — used by the NDPGEN_CHECK family below.
+[[noreturn]] inline void raise(ErrorKind kind, const std::string& message) {
+  throw Error(kind, message);
+}
+
+}  // namespace ndpgen
+
+/// Checks an API precondition; throws kInvalidArg on failure.
+#define NDPGEN_CHECK_ARG(cond, msg)                                    \
+  do {                                                                 \
+    if (!(cond)) ::ndpgen::raise(::ndpgen::ErrorKind::kInvalidArg,     \
+                                 std::string(msg) + " [" #cond "]");   \
+  } while (false)
+
+/// Checks an internal invariant; throws kInternal on failure.
+#define NDPGEN_CHECK(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) ::ndpgen::raise(::ndpgen::ErrorKind::kInternal,       \
+                                 std::string(msg) + " [" #cond "]");   \
+  } while (false)

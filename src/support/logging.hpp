@@ -1,0 +1,74 @@
+// Minimal leveled logger.
+//
+// The simulator and generator are libraries first: logging defaults to
+// warnings-and-above on stderr and is globally adjustable. No global
+// mutable state beyond one atomic level; thread-safe by construction
+// (each message is a single write).
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ndpgen::support {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the process-wide log level.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Sets the process-wide log level.
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one formatted line to stderr if `level` is enabled.
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+namespace detail {
+
+/// Stream-style helper that emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace ndpgen::support
+
+#define NDPGEN_LOG(level, component)                                   \
+  if (static_cast<int>(level) >= static_cast<int>(                     \
+          ::ndpgen::support::log_level()))                             \
+  ::ndpgen::support::detail::LogLine(level, component)
+
+#define NDPGEN_LOG_DEBUG(component) \
+  NDPGEN_LOG(::ndpgen::support::LogLevel::kDebug, component)
+#define NDPGEN_LOG_INFO(component) \
+  NDPGEN_LOG(::ndpgen::support::LogLevel::kInfo, component)
+#define NDPGEN_LOG_WARN(component) \
+  NDPGEN_LOG(::ndpgen::support::LogLevel::kWarn, component)
+#define NDPGEN_LOG_ERROR(component) \
+  NDPGEN_LOG(::ndpgen::support::LogLevel::kError, component)

@@ -1,0 +1,91 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+
+namespace ndpgen::support {
+
+namespace {
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+}  // namespace
+
+std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(trim(text.substr(start)));
+      break;
+    }
+    pieces.emplace_back(trim(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_macro_case(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 4);
+  bool prev_lower = false;
+  for (char c : name) {
+    if (c == '.' || c == '-' || c == ' ') {
+      if (!out.empty() && out.back() != '_') out.push_back('_');
+      prev_lower = false;
+      continue;
+    }
+    if (std::isupper(static_cast<unsigned char>(c)) && prev_lower) {
+      out.push_back('_');
+    }
+    prev_lower = std::islower(static_cast<unsigned char>(c)) != 0;
+    out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string indent(std::string_view text, int spaces) {
+  const std::string pad(static_cast<std::size_t>(spaces), ' ');
+  std::string out;
+  out.reserve(text.size() + pad.size() * 8);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find('\n', start);
+    const std::string_view line =
+        text.substr(start, pos == std::string_view::npos ? std::string_view::npos
+                                                         : pos - start);
+    if (!line.empty()) out += pad;
+    out += line;
+    if (pos == std::string_view::npos) break;
+    out.push_back('\n');
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool is_c_identifier(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_')) {
+    return false;
+  }
+  for (char c : name.substr(1)) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ndpgen::support

@@ -1,0 +1,29 @@
+// Small string utilities shared by the spec front-end and code generators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndpgen::support {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Splits on `sep`, trimming each piece; empty pieces are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// Converts "fooBar_baz" style names to UPPER_SNAKE_CASE for C macros.
+[[nodiscard]] std::string to_macro_case(std::string_view name);
+
+/// Indents every line of `text` by `spaces` spaces.
+[[nodiscard]] std::string indent(std::string_view text, int spaces);
+
+/// True if `name` is a valid C identifier.
+[[nodiscard]] bool is_c_identifier(std::string_view name) noexcept;
+
+}  // namespace ndpgen::support

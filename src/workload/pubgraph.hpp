@@ -1,0 +1,111 @@
+// Publication reference-graph workload (the paper's evaluation dataset).
+//
+// "The nodes of the graph are papers published in journals and
+// conferences. The edges are references between those papers. Overall, the
+// dataset is comprised of 3,775,161 Paper-Entries and 40,128,663
+// references" (§V). We do not have the original dump, so a seeded
+// synthetic generator reproduces the record schemas, the cardinality
+// ratio and the total data volume (~1.1 GiB at full scale); a scale
+// divisor shrinks both populations proportionally for tractable
+// simulation (virtual time scales linearly in the flash-bound regime).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kv/db.hpp"
+#include "support/rng.hpp"
+
+namespace ndpgen::workload {
+
+inline constexpr std::uint64_t kFullScalePapers = 3'775'161;
+inline constexpr std::uint64_t kFullScaleRefs = 40'128'663;
+
+/// Paper record: 128 bytes packed (id, stats, title string w/ prefix).
+struct PaperRecord {
+  std::uint64_t id = 0;
+  std::uint32_t year = 0;
+  std::uint32_t venue_id = 0;
+  std::uint32_t n_refs = 0;
+  std::uint32_t n_cited = 0;
+  char title[104] = {};
+
+  static constexpr std::uint32_t kBytes = 128;
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static PaperRecord deserialize(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Reference (edge) record: 16 bytes packed.
+struct RefRecord {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+
+  static constexpr std::uint32_t kBytes = 16;
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static RefRecord deserialize(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Key extractors matching the store schemas.
+[[nodiscard]] kv::Key paper_key(std::span<const std::uint8_t> record);
+[[nodiscard]] kv::Key ref_key(std::span<const std::uint8_t> record);
+/// Key from a PaperResult (projected) record: id is field 0.
+[[nodiscard]] kv::Key paper_result_key(std::span<const std::uint8_t> record);
+
+/// Format specification source (Fig. 4 syntax) for the two schemas,
+/// consumed by the framework front-end. PaperScan projects Paper ->
+/// PaperResult (drops the title payload); RefScan is an identity parser
+/// over edges with two filter stages (source/destination range scans).
+[[nodiscard]] const std::string& pubgraph_spec_source();
+
+struct PubGraphConfig {
+  std::uint64_t scale_divisor = 256;  ///< Population divisor.
+  std::uint64_t seed = 20210521;      ///< IPDPSW'21 :-)
+  std::uint32_t min_year = 1936;
+  std::uint32_t max_year = 2020;
+  std::uint32_t venues = 12'000;
+};
+
+/// Deterministic generator producing the scaled populations.
+class PubGraphGenerator {
+ public:
+  explicit PubGraphGenerator(PubGraphConfig config = {});
+
+  [[nodiscard]] std::uint64_t paper_count() const noexcept { return papers_; }
+  [[nodiscard]] std::uint64_t ref_count() const noexcept { return refs_; }
+  [[nodiscard]] const PubGraphConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Paper `index` (0-based); ids are dense 1..paper_count, so records
+  /// are key-sorted by construction (bulk-load friendly).
+  [[nodiscard]] PaperRecord paper(std::uint64_t index) const;
+
+  /// Reference `index` (0-based), sorted by (src, dst) for bulk load.
+  [[nodiscard]] RefRecord ref(std::uint64_t index) const;
+
+  /// Fraction of papers with year < `year` (analytic selectivity helper
+  /// for the benchmark tables).
+  [[nodiscard]] double year_selectivity(std::uint32_t year) const;
+
+ private:
+  PubGraphConfig config_;
+  std::uint64_t papers_;
+  std::uint64_t refs_;
+};
+
+/// Populates `db` with all scaled Paper records via bulk load into the
+/// given level. Returns records loaded.
+std::uint64_t load_papers(kv::NKV& db, const PubGraphGenerator& generator,
+                          std::uint32_t level = 2,
+                          std::uint64_t records_per_sst = 64 * 255);
+
+/// Populates `db` with all scaled Ref records.
+std::uint64_t load_refs(kv::NKV& db, const PubGraphGenerator& generator,
+                        std::uint32_t level = 2,
+                        std::uint64_t records_per_sst = 64 * 2047);
+
+}  // namespace ndpgen::workload

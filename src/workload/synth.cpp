@@ -1,0 +1,60 @@
+#include "workload/synth.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ndpgen::workload {
+
+std::string synth_spec(std::uint32_t tuple_bits, bool half,
+                       std::uint32_t filter_stages) {
+  NDPGEN_CHECK_ARG(tuple_bits >= 64 && tuple_bits % 64 == 0,
+                   "tuple size must be a positive multiple of 64 bits");
+  const std::string type_name =
+      "T" + std::to_string(tuple_bits) + (half ? "H" : "");
+  std::ostringstream out;
+  out << "/* @autogen define parser Synth with chunksize = 32, input = "
+      << type_name << ", output = " << type_name;
+  if (filter_stages != 1) out << ", filters = " << filter_stages;
+  out << " */\n";
+  out << "typedef struct {\n";
+  if (!half) {
+    // Full: 32-bit fields covering the whole tuple.
+    for (std::uint32_t i = 0; i < tuple_bits / 32; ++i) {
+      out << "  uint32_t f" << i << ";\n";
+    }
+  } else {
+    // Half: the lower half minus one 32-bit word stays filterable; one
+    // string field provides a 4-byte (32-bit) prefix and carries the
+    // upper half of the tuple as opaque postfix data.
+    const std::uint32_t filterable_bits = tuple_bits / 2 - 32;
+    for (std::uint32_t i = 0; i < filterable_bits / 32; ++i) {
+      out << "  uint32_t f" << i << ";\n";
+    }
+    const std::uint32_t string_bytes = (tuple_bits / 2 + 32) / 8;
+    out << "  /* @string prefix = 4 */\n";
+    out << "  char s[" << string_bytes << "];\n";
+  }
+  out << "} " << type_name << ";\n";
+  return out.str();
+}
+
+std::vector<std::uint8_t> synth_tuples(std::uint32_t tuple_bits,
+                                       std::uint64_t count,
+                                       std::uint64_t seed) {
+  NDPGEN_CHECK_ARG(tuple_bits % 8 == 0, "tuple size must be whole bytes");
+  support::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> data;
+  data.reserve(count * (tuple_bits / 8));
+  for (std::uint64_t t = 0; t < count; ++t) {
+    for (std::uint32_t b = 0; b < tuple_bits / 8; b += 8) {
+      const std::uint64_t word = rng();
+      for (int i = 0; i < 8 && b + static_cast<std::uint32_t>(i) < tuple_bits / 8; ++i) {
+        data.push_back(static_cast<std::uint8_t>(word >> (8 * i)));
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace ndpgen::workload

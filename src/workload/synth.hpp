@@ -1,0 +1,34 @@
+// Synthetic tuple formats for the hardware-utilization sweeps.
+//
+// Fig. 8 uses "a number of different input formats that feature tuple
+// sizes ranging from 64 bits up to 1024 bits ... For each size, we
+// generate a PE that is able to compute on the complete tuple (at the
+// granularity of 32-bit fields) and another PE, where half of the data is
+// discarded using string-prefixes". Fig. 9 reuses the 256-bit formats
+// with 1..5 filter stages. This module generates the corresponding spec
+// sources and matching random tuple data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ndpgen::workload {
+
+/// Spec source for one synthetic format.
+/// `tuple_bits` must be a multiple of 64 and >= 64.
+/// `half` replaces the upper half of the tuple (plus one 32-bit prefix)
+/// with string data so only half the payload is filterable.
+/// `filter_stages` sets the parser's `filters` property.
+/// The parser is named "Synth", the struct "T<bits>[H]".
+[[nodiscard]] std::string synth_spec(std::uint32_t tuple_bits, bool half,
+                                     std::uint32_t filter_stages = 1);
+
+/// Generates `count` packed random tuples of `tuple_bits` bits.
+[[nodiscard]] std::vector<std::uint8_t> synth_tuples(std::uint32_t tuple_bits,
+                                                     std::uint64_t count,
+                                                     std::uint64_t seed);
+
+}  // namespace ndpgen::workload

@@ -1,0 +1,124 @@
+#include "analysis/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/passes.hpp"
+#include "spec/parser.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::analysis {
+namespace {
+
+TupleLayout layout_for(std::string_view source, const std::string& name) {
+  const auto module = spec::parse_spec(source);
+  auto tree = build_type_tree(module, name);
+  run_all_passes(*tree);
+  return compute_layout(*tree);
+}
+
+TEST(Layout, FlatStructOffsets) {
+  const auto layout =
+      layout_for("typedef struct { uint32_t x, y, z; } P;", "P");
+  EXPECT_EQ(layout.storage_bits, 96u);
+  EXPECT_EQ(layout.comparator_width_bits, 32u);
+  EXPECT_EQ(layout.padded_bits, 96u);
+  ASSERT_EQ(layout.fields.size(), 3u);
+  EXPECT_EQ(layout.fields[0].path, "x");
+  EXPECT_EQ(layout.fields[0].storage_offset_bits, 0u);
+  EXPECT_EQ(layout.fields[1].storage_offset_bits, 32u);
+  EXPECT_EQ(layout.fields[2].storage_offset_bits, 64u);
+}
+
+TEST(Layout, MixedWidthsPadToLargest) {
+  const auto layout = layout_for(
+      "typedef struct { uint64_t id; uint8_t flag; uint32_t v; } T;", "T");
+  EXPECT_EQ(layout.storage_bits, 64u + 8 + 32);
+  EXPECT_EQ(layout.comparator_width_bits, 64u);
+  // All 3 relevant fields padded to 64 bits.
+  EXPECT_EQ(layout.padded_bits, 3u * 64);
+  EXPECT_EQ(layout.fields[1].padded_width_bits, 64u);
+  EXPECT_EQ(layout.fields[1].padded_offset_bits, 64u);
+}
+
+TEST(Layout, StringPostfixNotPadded) {
+  const auto layout = layout_for(
+      "typedef struct { uint64_t id; /* @string prefix = 4 */ char s[20]; } "
+      "T;",
+      "T");
+  // Fields: id (u64), s_prefix (u32 padded to 64), s_postfix (128 bits).
+  ASSERT_EQ(layout.fields.size(), 3u);
+  EXPECT_EQ(layout.comparator_width_bits, 64u);
+  EXPECT_EQ(layout.padded_bits, 64u + 64 + 128);
+  const auto& postfix = layout.fields[2];
+  EXPECT_FALSE(postfix.relevant);
+  EXPECT_EQ(postfix.storage_width_bits, 128u);
+  EXPECT_EQ(postfix.padded_width_bits, 128u);
+  // Postfixes sit after the padded relevant fields.
+  EXPECT_EQ(postfix.padded_offset_bits, 128u);
+}
+
+TEST(Layout, NestedPathsAreDotted) {
+  const auto layout = layout_for(
+      "typedef struct { uint32_t a, b; } Inner;"
+      "typedef struct { Inner pos; uint32_t w[2]; } Outer;",
+      "Outer");
+  ASSERT_EQ(layout.fields.size(), 4u);
+  EXPECT_EQ(layout.fields[0].path, "pos.a");
+  EXPECT_EQ(layout.fields[1].path, "pos.b");
+  EXPECT_EQ(layout.fields[2].path, "w.elem_0");
+  EXPECT_EQ(layout.fields[3].path, "w.elem_1");
+}
+
+TEST(Layout, FindFieldAndRelevantIndices) {
+  const auto layout = layout_for(
+      "typedef struct { uint64_t id; /* @string prefix = 4 */ char s[8]; } "
+      "T;",
+      "T");
+  EXPECT_TRUE(layout.find_field("id").has_value());
+  EXPECT_TRUE(layout.find_field("s_prefix").has_value());
+  EXPECT_FALSE(layout.find_field("nope").has_value());
+  EXPECT_EQ(layout.relevant_count(), 2u);
+  const auto relevant = layout.relevant_indices();
+  ASSERT_EQ(relevant.size(), 2u);
+  EXPECT_EQ(layout.fields[relevant[0]].path, "id");
+}
+
+TEST(Layout, StorageBytesRoundsUp) {
+  const auto layout =
+      layout_for("typedef struct { uint8_t a; uint16_t b; } T;", "T");
+  EXPECT_EQ(layout.storage_bits, 24u);
+  EXPECT_EQ(layout.storage_bytes(), 3u);
+}
+
+TEST(Layout, SignedAndFloatKindsPreserved) {
+  const auto layout = layout_for(
+      "typedef struct { int32_t temperature; double reading; } T;", "T");
+  EXPECT_TRUE(spec::is_signed(layout.fields[0].primitive));
+  EXPECT_TRUE(spec::is_float(layout.fields[1].primitive));
+}
+
+TEST(Layout, PaperRecordGeometry) {
+  // The evaluation's Paper record: 128 bytes, comparator 64 bit.
+  const auto layout = layout_for(R"(
+typedef struct {
+  uint64_t id;
+  uint32_t year; uint32_t venue_id; uint32_t n_refs; uint32_t n_cited;
+  /* @string prefix = 8 */
+  char title[104];
+} Paper;
+)",
+                                 "Paper");
+  EXPECT_EQ(layout.storage_bytes(), 128u);
+  EXPECT_EQ(layout.comparator_width_bits, 64u);
+  EXPECT_EQ(layout.relevant_count(), 6u);  // id, 4 stats, title_prefix.
+  EXPECT_EQ(layout.padded_bits, 6u * 64 + 96u * 8);
+}
+
+TEST(Layout, DumpContainsFieldPaths) {
+  const auto layout =
+      layout_for("typedef struct { uint32_t x; } P;", "P");
+  EXPECT_NE(layout.dump().find("x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndpgen::analysis

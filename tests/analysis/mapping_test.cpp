@@ -1,0 +1,195 @@
+#include "analysis/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "spec/parser.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::analysis {
+namespace {
+
+AnalyzedParser analyze(std::string_view source,
+                       std::string_view parser = "P") {
+  const auto module = spec::parse_spec(source);
+  return analyze_parser(module, parser);
+}
+
+TEST(Mapping, Case1IdentityPassThrough) {
+  const auto parsed = analyze(
+      "typedef struct { uint32_t a, b; } T;"
+      "/* @autogen define parser P with input = T, output = T */");
+  EXPECT_TRUE(parsed.mapping.identity);
+  ASSERT_EQ(parsed.mapping.wires.size(), 2u);
+  EXPECT_EQ(parsed.mapping.wires[0].input_field, 0u);
+  EXPECT_EQ(parsed.mapping.wires[1].input_field, 1u);
+}
+
+TEST(Mapping, Case2AutomaticByPath) {
+  const auto parsed = analyze(
+      "typedef struct { uint64_t id; uint32_t year; uint32_t extra; } In;"
+      "typedef struct { uint64_t id; uint32_t year; } Out;"
+      "/* @autogen define parser P with input = In, output = Out */");
+  EXPECT_FALSE(parsed.mapping.identity);
+  ASSERT_EQ(parsed.mapping.wires.size(), 2u);
+  EXPECT_EQ(parsed.mapping.wires[0].input_field,
+            *parsed.input.find_field("id"));
+  EXPECT_EQ(parsed.mapping.wires[1].input_field,
+            *parsed.input.find_field("year"));
+}
+
+TEST(Mapping, Case3UserMapping) {
+  // Fig. 4: project (y, z) of Point3D into (x, y) of Point2D.
+  const auto parsed = analyze(
+      "/* @autogen define parser P with input = Point3D, output = Point2D,"
+      " mapping = { output.x = input.y, output.y = input.z } */"
+      "typedef struct { uint32_t x, y, z; } Point3D;"
+      "typedef struct { uint32_t x, y; } Point2D;");
+  ASSERT_EQ(parsed.mapping.wires.size(), 2u);
+  EXPECT_EQ(parsed.mapping.wires[0].input_field,
+            *parsed.input.find_field("y"));
+  EXPECT_EQ(parsed.mapping.wires[1].input_field,
+            *parsed.input.find_field("z"));
+}
+
+TEST(Mapping, Case3WithoutMappingDefaultsToPathMatch) {
+  // "Without a mapping, the toolflow would default to the second case and
+  // use x and y for the projection" — identical paths map automatically.
+  const auto parsed = analyze(
+      "/* @autogen define parser P with input = Point3D, output = Point2D */"
+      "typedef struct { uint32_t x, y, z; } Point3D;"
+      "typedef struct { uint32_t x, y; } Point2D;");
+  ASSERT_EQ(parsed.mapping.wires.size(), 2u);
+  EXPECT_EQ(parsed.mapping.wires[0].input_field,
+            *parsed.input.find_field("x"));
+  EXPECT_EQ(parsed.mapping.wires[1].input_field,
+            *parsed.input.find_field("y"));
+}
+
+TEST(Mapping, MissingOutputFieldWithoutMappingFails) {
+  EXPECT_THROW(
+      analyze("/* @autogen define parser P with input = In, output = Out */"
+              "typedef struct { uint32_t a; } In;"
+              "typedef struct { uint32_t a; uint32_t fresh; } Out;"),
+      ndpgen::Error);
+}
+
+TEST(Mapping, ExplicitEntrySatisfiesMissingField) {
+  const auto parsed = analyze(
+      "/* @autogen define parser P with input = In, output = Out,"
+      " mapping = { output.fresh = input.a } */"
+      "typedef struct { uint32_t a; } In;"
+      "typedef struct { uint32_t a; uint32_t fresh; } Out;");
+  ASSERT_EQ(parsed.mapping.wires.size(), 2u);
+  EXPECT_EQ(parsed.mapping.wires[1].input_field,
+            *parsed.input.find_field("a"));
+}
+
+TEST(Mapping, NestedPrefixMapsAllLeaves) {
+  const auto parsed = analyze(
+      "typedef struct { uint32_t a, b; } Pair;"
+      "typedef struct { Pair from; Pair to; } In;"
+      "typedef struct { Pair first; } Out;"
+      "/* @autogen define parser P with input = In, output = Out,"
+      " mapping = { output.first = input.to } */");
+  ASSERT_EQ(parsed.mapping.wires.size(), 2u);
+  EXPECT_EQ(parsed.mapping.wires[0].input_field,
+            *parsed.input.find_field("to.a"));
+  EXPECT_EQ(parsed.mapping.wires[1].input_field,
+            *parsed.input.find_field("to.b"));
+}
+
+TEST(Mapping, WidthMismatchFails) {
+  EXPECT_THROW(
+      analyze("/* @autogen define parser P with input = In, output = Out,"
+              " mapping = { output.v = input.w } */"
+              "typedef struct { uint64_t w; } In;"
+              "typedef struct { uint32_t v; } Out;"),
+      ndpgen::Error);
+}
+
+TEST(Mapping, FloatIntegerMismatchFails) {
+  EXPECT_THROW(
+      analyze("/* @autogen define parser P with input = In, output = Out,"
+              " mapping = { output.v = input.w } */"
+              "typedef struct { float w; } In;"
+              "typedef struct { uint32_t v; } Out;"),
+      ndpgen::Error);
+}
+
+TEST(Mapping, DoubleMappingSameOutputFails) {
+  EXPECT_THROW(
+      analyze("/* @autogen define parser P with input = In, output = Out,"
+              " mapping = { output.v = input.a, output.v = input.b } */"
+              "typedef struct { uint32_t a, b; } In;"
+              "typedef struct { uint32_t v; } Out;"),
+      ndpgen::Error);
+}
+
+TEST(Mapping, UnknownSourceFieldFails) {
+  EXPECT_THROW(
+      analyze("/* @autogen define parser P with input = In, output = Out,"
+              " mapping = { output.v = input.nope } */"
+              "typedef struct { uint32_t a; } In;"
+              "typedef struct { uint32_t v; } Out;"),
+      ndpgen::Error);
+}
+
+TEST(Mapping, CardinalityMismatchFails) {
+  EXPECT_THROW(
+      analyze("typedef struct { uint32_t a, b; } Pair;"
+              "typedef struct { Pair p; } In;"
+              "typedef struct { uint32_t v; } Out;"
+              "/* @autogen define parser P with input = In, output = Out,"
+              " mapping = { output.v = input.p } */"),
+      ndpgen::Error);
+}
+
+TEST(Mapping, StringPostfixCarriedByIdentity) {
+  const auto parsed = analyze(
+      "typedef struct { uint64_t id; /* @string prefix = 4 */ char s[12]; } "
+      "T;"
+      "/* @autogen define parser P with input = T, output = T */");
+  EXPECT_TRUE(parsed.mapping.identity);
+  // id, s_prefix, s_postfix all wired.
+  EXPECT_EQ(parsed.mapping.wires.size(), 3u);
+}
+
+TEST(Analyzer, RejectsTupleLargerThanChunk) {
+  std::string big = "typedef struct { ";
+  // 1024 * 64-byte fields = 64 KiB > 32 KiB chunk... tuple limit is
+  // 64 KiB; use 600 u64 arrays? Simpler: an array of 5000 uint64 = 40000
+  // bytes > 32 KiB chunk but < 64 KiB tuple cap.
+  big = "typedef struct { uint64_t v[5000]; } Big;"
+        "/* @autogen define parser P with input = Big, output = Big */";
+  EXPECT_THROW(analyze(big), ndpgen::Error);
+}
+
+TEST(Analyzer, TuplesPerChunk) {
+  const auto parsed = analyze(
+      "typedef struct { uint64_t a; uint64_t b; } T;"
+      "/* @autogen define parser P with input = T, output = T */");
+  EXPECT_EQ(parsed.tuples_per_chunk(), 32u * 1024 / 16);
+}
+
+TEST(Analyzer, AnalyzeAllProcessesEveryParser) {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint32_t a; } A;"
+      "typedef struct { uint64_t b; } B;"
+      "/* @autogen define parser PA with input = A, output = A */"
+      "/* @autogen define parser PB with input = B, output = B */");
+  const auto all = analyze_all(module);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "PA");
+  EXPECT_EQ(all[1].name, "PB");
+}
+
+TEST(Analyzer, UnknownParserNameFails) {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint32_t a; } A;"
+      "/* @autogen define parser PA with input = A, output = A */");
+  EXPECT_THROW(analyze_parser(module, "Nope"), ndpgen::Error);
+}
+
+}  // namespace
+}  // namespace ndpgen::analysis

@@ -1,0 +1,140 @@
+// Robustness corners of the front-end + analysis: deep nesting, large
+// arrays, mappings through arrays, extreme-but-legal geometries.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "core/framework.hpp"
+#include "spec/parser.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::analysis {
+namespace {
+
+TEST(Robustness, DeeplyNestedStructs) {
+  std::string source;
+  // 12 levels of nesting.
+  source += "typedef struct { uint32_t x; } L0;";
+  for (int level = 1; level <= 12; ++level) {
+    source += "typedef struct { L" + std::to_string(level - 1) +
+              " inner; uint8_t tag; } L" + std::to_string(level) + ";";
+  }
+  source += "/* @autogen define parser P with input = L12, output = L12 */";
+  const auto module = spec::parse_spec(source);
+  const auto analyzed = analyze_parser(module, "P");
+  // 1 u32 + 12 tags.
+  EXPECT_EQ(analyzed.input.relevant_count(), 13u);
+  EXPECT_EQ(analyzed.input.storage_bits, 32u + 12 * 8);
+  // Deepest leaf path chains all the inner names.
+  EXPECT_TRUE(analyzed.input
+                  .find_field("inner.inner.inner.inner.inner.inner.inner."
+                              "inner.inner.inner.inner.inner.x")
+                  .has_value());
+}
+
+TEST(Robustness, LargeArrayScalarizes) {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint32_t v[1024]; } Big;"
+      "/* @autogen define parser P with chunksize = 32, input = Big, "
+      "output = Big */");
+  const auto analyzed = analyze_parser(module, "P");
+  EXPECT_EQ(analyzed.input.relevant_count(), 1024u);
+  EXPECT_EQ(analyzed.input.storage_bytes(), 4096u);
+  EXPECT_EQ(analyzed.tuples_per_chunk(), 8u);
+}
+
+TEST(Robustness, MappingThroughArrays) {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint16_t rows[2][3]; uint16_t extra; } In;"
+      "typedef struct { uint16_t cols[3]; } Out;"
+      "/* @autogen define parser P with input = In, output = Out,"
+      " mapping = { output.cols = input.rows.elem_1 } */");
+  const auto analyzed = analyze_parser(module, "P");
+  // Out.cols.elem_i <- In.rows.elem_1.elem_i (second row).
+  ASSERT_EQ(analyzed.mapping.wires.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(analyzed.mapping.wires[i].input_field,
+              *analyzed.input.find_field("rows.elem_1.elem_" +
+                                         std::to_string(i)));
+  }
+}
+
+TEST(Robustness, MultipleStringsPerStruct) {
+  const auto module = spec::parse_spec(
+      "typedef struct {"
+      "  /* @string prefix = 2 */ char a[6];"
+      "  uint64_t mid;"
+      "  /* @string prefix = 8 */ char b[24];"
+      "} T;"
+      "/* @autogen define parser P with input = T, output = T */");
+  const auto analyzed = analyze_parser(module, "P");
+  EXPECT_EQ(analyzed.input.relevant_count(), 3u);  // a_prefix, mid, b_prefix.
+  EXPECT_EQ(analyzed.input.fields.size(), 5u);     // + two postfixes.
+  EXPECT_EQ(analyzed.input.storage_bytes(), 6u + 8 + 24);
+  EXPECT_EQ(analyzed.input.comparator_width_bits, 64u);
+}
+
+TEST(Robustness, MaxFilterStagesWithWideTuple) {
+  core::Framework framework;
+  std::string source = "typedef struct { ";
+  for (int field = 0; field < 16; ++field) {
+    source += "uint64_t f" + std::to_string(field) + "; ";
+  }
+  source +=
+      "} Wide; /* @autogen define parser P with input = Wide, "
+      "output = Wide, filters = 16 */";
+  const auto compiled = framework.compile(source);
+  EXPECT_EQ(compiled.get("P").design.filter_stage_count(), 16u);
+  // The register map holds 16 stage blocks without collisions.
+  const auto& map = compiled.get("P").design.regmap;
+  EXPECT_NE(map.find("FILTER_OP_15"), nullptr);
+  EXPECT_LT(map.span_bytes(), 0x1000u);  // Fits one MMIO window page.
+}
+
+TEST(Robustness, SingleByteTuple) {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint8_t flag; } Tiny;"
+      "/* @autogen define parser P with input = Tiny, output = Tiny */");
+  const auto analyzed = analyze_parser(module, "P");
+  EXPECT_EQ(analyzed.input.storage_bits, 8u);
+  EXPECT_EQ(analyzed.input.comparator_width_bits, 8u);
+  EXPECT_EQ(analyzed.tuples_per_chunk(), 32u * 1024);
+}
+
+TEST(Robustness, WholeToolchainOnMaximalSpec) {
+  // A gnarly but legal spec through the entire pipeline.
+  core::Framework framework;
+  const auto compiled = framework.compile(R"(
+typedef struct { int16_t q[3]; float w; } Cell;
+typedef struct {
+  uint64_t id;
+  Cell grid[2][2];
+  /* @string prefix = 4 */ char label[20];
+  double score;
+} Dense;
+typedef struct {
+  uint64_t id;
+  double score;
+  float first_w;
+} Sparse;
+/* @autogen define parser DenseToSparse with
+   chunksize = 64, input = Dense, output = Sparse, filters = 4,
+   mapping = { output.first_w = input.grid.elem_0.elem_0.w } */
+)");
+  const auto& artifacts = compiled.get("DenseToSparse");
+  EXPECT_EQ(artifacts.analyzed.chunk_size_bytes, 64u * 1024);
+  EXPECT_EQ(artifacts.design.filter_stage_count(), 4u);
+  EXPECT_GT(artifacts.verilog.size(), 1000u);
+  EXPECT_GT(artifacts.resources_in_context.total.slices, 0.0);
+  // Output: id, score, first_w -> 8 + 8 + 4 bytes.
+  EXPECT_EQ(artifacts.analyzed.output.storage_bytes(), 20u);
+}
+
+TEST(Robustness, ErrorsOnAbsurdInput) {
+  EXPECT_THROW(spec::parse_spec(std::string(100000, '{')), ndpgen::Error);
+  // Empty annotation body.
+  EXPECT_THROW(spec::parse_spec("/* @autogen */ typedef struct { int a; } T;"),
+               ndpgen::Error);
+}
+
+}  // namespace
+}  // namespace ndpgen::analysis

@@ -1,0 +1,86 @@
+#include "hwgen/register_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ndpgen::hwgen {
+namespace {
+
+TEST(RegisterMap, SequentialOffsets) {
+  RegisterMap map;
+  EXPECT_EQ(map.add("A", RegAccess::kReadWrite, ""), 0u);
+  EXPECT_EQ(map.add("B", RegAccess::kReadOnly, ""), 4u);
+  EXPECT_EQ(map.add("C", RegAccess::kReadWrite, ""), 8u);
+  EXPECT_EQ(map.span_bytes(), 12u);
+}
+
+TEST(RegisterMap, DuplicateNameFails) {
+  RegisterMap map;
+  map.add("A", RegAccess::kReadWrite, "");
+  EXPECT_THROW(map.add("A", RegAccess::kReadWrite, ""), ndpgen::Error);
+}
+
+TEST(RegisterMap, Lookup) {
+  RegisterMap map;
+  map.add("A", RegAccess::kReadWrite, "first");
+  map.add("B", RegAccess::kReadOnly, "second");
+  EXPECT_EQ(map.offset_of("B"), 4u);
+  EXPECT_EQ(map.find("B")->access, RegAccess::kReadOnly);
+  EXPECT_EQ(map.find("Z"), nullptr);
+  EXPECT_THROW(map.offset_of("Z"), ndpgen::Error);
+  EXPECT_EQ(map.at_offset(4)->name, "B");
+  EXPECT_EQ(map.at_offset(2), nullptr);
+}
+
+TEST(StandardMap, SingleStageLayout) {
+  const RegisterMap map = build_standard_register_map(1, true);
+  EXPECT_EQ(map.offset_of(reg::kStart), 0u);
+  EXPECT_EQ(map.offset_of(reg::kBusy), 4u);
+  EXPECT_NE(map.find(reg::kInSize), nullptr);
+  EXPECT_NE(map.find("FILTER_FIELD_0"), nullptr);
+  EXPECT_NE(map.find("FILTER_OP_0"), nullptr);
+  EXPECT_NE(map.find(reg::kFilterCounter), nullptr);
+  EXPECT_EQ(map.find("FILTER_FIELD_1"), nullptr);
+}
+
+TEST(StandardMap, BaselineHasNoInSize) {
+  const RegisterMap map = build_standard_register_map(1, false);
+  EXPECT_EQ(map.find(reg::kInSize), nullptr);
+}
+
+TEST(StandardMap, PerStageStrideIs16Bytes) {
+  // The generated <pe>_set_filter relies on a fixed 16-byte stride.
+  const RegisterMap map = build_standard_register_map(4, true);
+  const std::uint32_t base = map.offset_of("FILTER_FIELD_0");
+  for (std::uint32_t stage = 0; stage < 4; ++stage) {
+    EXPECT_EQ(map.offset_of(reg::filter_field(stage)), base + stage * 16);
+    EXPECT_EQ(map.offset_of(reg::filter_value_lo(stage)),
+              base + stage * 16 + 4);
+    EXPECT_EQ(map.offset_of(reg::filter_value_hi(stage)),
+              base + stage * 16 + 8);
+    EXPECT_EQ(map.offset_of(reg::filter_op(stage)), base + stage * 16 + 12);
+  }
+}
+
+TEST(StandardMap, RegisterCountGrowsWithStages) {
+  const RegisterMap one = build_standard_register_map(1, true);
+  const RegisterMap five = build_standard_register_map(5, true);
+  EXPECT_EQ(five.size() - one.size(), 4u * 4u);
+}
+
+TEST(StandardMap, AccessKinds) {
+  const RegisterMap map = build_standard_register_map(1, true);
+  EXPECT_EQ(map.find(reg::kStart)->access, RegAccess::kReadWrite);
+  EXPECT_EQ(map.find(reg::kBusy)->access, RegAccess::kReadOnly);
+  EXPECT_EQ(map.find(reg::kOutSize)->access, RegAccess::kReadOnly);
+  EXPECT_EQ(map.find(reg::kTupleCount)->access, RegAccess::kReadOnly);
+  EXPECT_EQ(map.find(reg::kCycleCounter)->access, RegAccess::kReadOnly);
+}
+
+TEST(StandardMap, ZeroStagesRejected) {
+  EXPECT_THROW(build_standard_register_map(0, true), ndpgen::Error);
+}
+
+}  // namespace
+}  // namespace ndpgen::hwgen

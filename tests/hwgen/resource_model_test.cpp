@@ -1,0 +1,169 @@
+#include "hwgen/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwgen/template_builder.hpp"
+#include "kv/block_format.hpp"
+#include "spec/parser.hpp"
+#include "workload/pubgraph.hpp"
+
+namespace ndpgen::hwgen {
+namespace {
+
+PEDesign design_for(std::string_view source, std::string_view parser,
+                    DesignFlavor flavor,
+                    std::uint32_t static_payload = 0) {
+  const auto module = spec::parse_spec(source);
+  const auto analyzed = analysis::analyze_parser(module, parser);
+  TemplateOptions options;
+  options.flavor = flavor;
+  options.static_payload_bytes = static_payload;
+  return build_pe_design(analyzed, options);
+}
+
+PEDesign pubgraph_design(std::string_view parser, DesignFlavor flavor) {
+  // Table I PEs provide "the same filtering and transformation
+  // functionality as [1]": single-stage variants of the pubgraph parsers.
+  std::string source = workload::pubgraph_spec_source();
+  // RefScan declares filters = 2 for the range-scan extension; Table I
+  // compares the single-stage equivalent.
+  const auto pos = source.find("filters = 2");
+  if (pos != std::string::npos) source.replace(pos, 11, "filters = 1");
+  return design_for(source, parser, flavor);
+}
+
+// --- Table I anchors (paper §V) -------------------------------------
+
+TEST(Calibration, GeneratedPaperPE) {
+  const auto report = estimate_pe(pubgraph_design("PaperScan",
+                                                  DesignFlavor::kGenerated),
+                                  SynthesisMode::kInContext);
+  EXPECT_NEAR(report.total.slices, 14348.0, 14348.0 * 0.015);
+  EXPECT_DOUBLE_EQ(report.total.bram36, 1.0);  // "a single BRAM slice".
+}
+
+TEST(Calibration, GeneratedRefPE) {
+  const auto report = estimate_pe(pubgraph_design("RefScan",
+                                                  DesignFlavor::kGenerated),
+                                  SynthesisMode::kInContext);
+  EXPECT_NEAR(report.total.slices, 1446.0, 1446.0 * 0.015);
+  EXPECT_DOUBLE_EQ(report.total.bram36, 1.0);
+}
+
+TEST(Calibration, BaselinePaperPE) {
+  const auto report = estimate_pe(
+      pubgraph_design("PaperScan", DesignFlavor::kHandcraftedBaseline),
+      SynthesisMode::kInContext);
+  EXPECT_NEAR(report.total.slices, 9480.0, 9480.0 * 0.015);
+  EXPECT_DOUBLE_EQ(report.total.bram36, 0.0);  // [1] used no BRAM.
+}
+
+TEST(Calibration, BaselineRefPE) {
+  const auto report = estimate_pe(
+      pubgraph_design("RefScan", DesignFlavor::kHandcraftedBaseline),
+      SynthesisMode::kInContext);
+  EXPECT_NEAR(report.total.slices, 1277.0, 1277.0 * 0.015);
+}
+
+TEST(Calibration, OverallDesignTotals) {
+  // Overall = base platform + 1 paper-PE + 7 ref-PEs (Table I).
+  const double ours =
+      platform_base_slices(DesignFlavor::kGenerated, 8) +
+      estimate_pe(pubgraph_design("PaperScan", DesignFlavor::kGenerated),
+                  SynthesisMode::kInContext)
+          .total.slices +
+      7 * estimate_pe(pubgraph_design("RefScan", DesignFlavor::kGenerated),
+                      SynthesisMode::kInContext)
+              .total.slices;
+  const double theirs =
+      platform_base_slices(DesignFlavor::kHandcraftedBaseline, 8) +
+      estimate_pe(
+          pubgraph_design("PaperScan", DesignFlavor::kHandcraftedBaseline),
+          SynthesisMode::kInContext)
+          .total.slices +
+      7 * estimate_pe(
+              pubgraph_design("RefScan", DesignFlavor::kHandcraftedBaseline),
+              SynthesisMode::kInContext)
+              .total.slices;
+  EXPECT_NEAR(ours, 41934.0, 41934.0 * 0.02);
+  EXPECT_NEAR(theirs, 40821.0, 40821.0 * 0.02);
+  // Shape: ours is larger, but both fit the XC7Z045, and the overall
+  // increase is less than the sum of the per-PE increases (interconnect).
+  EXPECT_GT(ours, theirs);
+  EXPECT_LT(ours, xc7z045().total_slices);
+  const double pe_increase = (14348.0 - 9480.0) + 7 * (1446.0 - 1277.0);
+  EXPECT_LT(ours - theirs, pe_increase);
+}
+
+// --- Trend properties -------------------------------------------------
+
+TEST(Trends, OutOfContextIsLooser) {
+  const auto design = pubgraph_design("RefScan", DesignFlavor::kGenerated);
+  const auto in_ctx = estimate_pe(design, SynthesisMode::kInContext);
+  const auto ooc = estimate_pe(design, SynthesisMode::kOutOfContext);
+  EXPECT_GT(ooc.total.slices, in_ctx.total.slices);
+}
+
+TEST(Trends, SlicesGrowWithTupleSize) {
+  double previous = 0;
+  for (std::uint32_t bits : {64u, 128u, 256u, 512u, 1024u}) {
+    std::string source = "typedef struct { ";
+    for (std::uint32_t i = 0; i < bits / 32; ++i) {
+      source += "uint32_t f" + std::to_string(i) + "; ";
+    }
+    source += "} T; /* @autogen define parser P with input = T, output = T */";
+    const auto report =
+        estimate_pe(design_for(source, "P", DesignFlavor::kGenerated),
+                    SynthesisMode::kOutOfContext);
+    EXPECT_GT(report.total.slices, previous) << bits;
+    previous = report.total.slices;
+  }
+}
+
+TEST(Trends, StageIncrementIsLinearAndSmall) {
+  // Fig. 9: linear growth, small slope relative to the fixed template.
+  std::vector<double> totals;
+  for (std::uint32_t stages = 1; stages <= 5; ++stages) {
+    std::string source =
+        "typedef struct { uint32_t a,b,c,d,e,f,g,h; } T;"
+        "/* @autogen define parser P with input = T, output = T, filters = " +
+        std::to_string(stages) + " */";
+    totals.push_back(
+        estimate_pe(design_for(source, "P", DesignFlavor::kGenerated),
+                    SynthesisMode::kOutOfContext)
+            .total.slices);
+  }
+  const double first_step = totals[1] - totals[0];
+  for (std::size_t i = 2; i < totals.size(); ++i) {
+    const double step = totals[i] - totals[i - 1];
+    EXPECT_NEAR(step, first_step, first_step * 0.2) << i;
+  }
+  // Per-stage increase is small vs the fixed part (load/store/buffers).
+  EXPECT_LT(first_step, totals[0] * 0.25);
+}
+
+TEST(Trends, PerModuleBreakdownSumsToTotal) {
+  const auto report = estimate_pe(
+      pubgraph_design("PaperScan", DesignFlavor::kGenerated),
+      SynthesisMode::kInContext);
+  double sum = 0;
+  for (const auto& [name, estimate] : report.per_module) sum += estimate.slices;
+  EXPECT_NEAR(sum, report.total.slices, 0.5);
+  EXPECT_FALSE(report.dump().empty());
+}
+
+TEST(Trends, SlicePercentAgainstDevice) {
+  const auto report = estimate_pe(
+      pubgraph_design("RefScan", DesignFlavor::kGenerated),
+      SynthesisMode::kInContext);
+  EXPECT_NEAR(report.slice_percent(), 100.0 * 1446 / 54650, 0.5);
+}
+
+TEST(Device, XC7Z045Geometry) {
+  const DeviceInfo& device = xc7z045();
+  EXPECT_EQ(device.total_slices, 54650u);
+  EXPECT_EQ(device.name, "XC7Z045");
+}
+
+}  // namespace
+}  // namespace ndpgen::hwgen

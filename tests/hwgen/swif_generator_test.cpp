@@ -1,0 +1,129 @@
+#include "hwgen/swif_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwgen/template_builder.hpp"
+#include "spec/parser.hpp"
+
+namespace ndpgen::hwgen {
+namespace {
+
+PEDesign sample_design(std::uint32_t stages = 1) {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint64_t id; int32_t delta; double score; } Rec;"
+      "/* @autogen define parser Filt with input = Rec, output = Rec, "
+      "filters = " +
+      std::to_string(stages) + " */");
+  return build_pe_design(analysis::analyze_parser(module, "Filt"));
+}
+
+TEST(SwifGenerator, Fig6Shape) {
+  // Fig. 6: control-register address macros, then generated functions
+  // including filter_sync, filter_async and wait_until_done.
+  const std::string header = generate_software_interface(sample_design());
+  EXPECT_NE(header.find("Control Register Addresses"), std::string::npos);
+  EXPECT_NE(header.find("#define FILT_START 0"), std::string::npos);
+  EXPECT_NE(header.find("#define FILT_BUSY 4"), std::string::npos);
+  EXPECT_NE(header.find("FILT_FILTER_OP_0"), std::string::npos);
+  EXPECT_NE(header.find("FILT_FILTER_COUNTER"), std::string::npos);
+  EXPECT_NE(header.find("filt_filter_sync"), std::string::npos);
+  EXPECT_NE(header.find("filt_filter_async"), std::string::npos);
+  EXPECT_NE(header.find("filt_wait_until_done"), std::string::npos);
+}
+
+TEST(SwifGenerator, MacrosMatchRegisterMap) {
+  const PEDesign design = sample_design(3);
+  const std::string header = generate_software_interface(design);
+  for (const auto& def : design.regmap.registers()) {
+    const std::string macro =
+        "#define FILT_" + def.name + " " + std::to_string(def.offset);
+    EXPECT_NE(header.find(macro), std::string::npos) << macro;
+  }
+}
+
+TEST(SwifGenerator, OperatorEncodings) {
+  const PEDesign design = sample_design();
+  const std::string header = generate_software_interface(design);
+  EXPECT_NE(header.find("#define FILT_OP_EQ 1"), std::string::npos);
+  EXPECT_NE(header.find("#define FILT_OP_NOP 6"), std::string::npos);
+}
+
+TEST(SwifGenerator, FieldSelectorMacros) {
+  const std::string header = generate_software_interface(sample_design());
+  EXPECT_NE(header.find("#define FILT_FIELD_ID 0"), std::string::npos);
+  EXPECT_NE(header.find("#define FILT_FIELD_DELTA 1"), std::string::npos);
+  EXPECT_NE(header.find("#define FILT_FIELD_SCORE 2"), std::string::npos);
+}
+
+TEST(SwifGenerator, PackedStructMirrors) {
+  const std::string header = generate_software_interface(sample_design());
+  EXPECT_NE(header.find("__attribute__((packed))"), std::string::npos);
+  EXPECT_NE(header.find("uint64_t id;"), std::string::npos);
+  EXPECT_NE(header.find("int32_t delta;"), std::string::npos);
+  EXPECT_NE(header.find("double score;"), std::string::npos);
+  EXPECT_NE(header.find("} Filt_in_t;"), std::string::npos);
+  EXPECT_NE(header.find("} Filt_out_t;"), std::string::npos);
+}
+
+TEST(SwifGenerator, StringPostfixAsByteArray) {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint64_t id; /* @string prefix = 4 */ char s[12]; } "
+      "T;"
+      "/* @autogen define parser P with input = T, output = T */");
+  const std::string header = generate_software_interface(
+      build_pe_design(analysis::analyze_parser(module, "P")));
+  EXPECT_NE(header.find("uint8_t s_postfix[8];"), std::string::npos);
+}
+
+TEST(SwifGenerator, DebugHelpersOptional) {
+  SwifOptions options;
+  options.debug_helpers = false;
+  const std::string without =
+      generate_software_interface(sample_design(), options);
+  EXPECT_EQ(without.find("print_state"), std::string::npos);
+  const std::string with = generate_software_interface(sample_design());
+  EXPECT_NE(with.find("filt_print_state"), std::string::npos);
+  EXPECT_NE(with.find("filt_print_tuple"), std::string::npos);
+}
+
+TEST(SwifGenerator, BaseAddressConfigurable) {
+  SwifOptions options;
+  options.base_address = 0x7000'0000;
+  const std::string header =
+      generate_software_interface(sample_design(), options);
+  EXPECT_NE(header.find("#define FILT_BASE 0x70000000u"), std::string::npos);
+}
+
+TEST(SwifGenerator, BaselineOmitsSizeParameter) {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T */");
+  TemplateOptions options;
+  options.flavor = DesignFlavor::kHandcraftedBaseline;
+  const std::string header = generate_software_interface(
+      build_pe_design(analysis::analyze_parser(module, "P"), options));
+  EXPECT_NE(header.find("p_filter_sync(uint64_t src, uint64_t dst)"),
+            std::string::npos);
+  EXPECT_EQ(header.find("uint32_t bytes"), std::string::npos);
+}
+
+TEST(SwifGenerator, IncludeGuard) {
+  const std::string header = generate_software_interface(sample_design());
+  EXPECT_NE(header.find("#ifndef FILT_NDP_H"), std::string::npos);
+  EXPECT_NE(header.find("#endif /* FILT_NDP_H */"), std::string::npos);
+}
+
+TEST(SwifGenerator, HeaderCompilesAsC) {
+  // Structural sanity: balanced braces.
+  const std::string header = generate_software_interface(sample_design(4));
+  long depth = 0;
+  for (const char c : header) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace ndpgen::hwgen

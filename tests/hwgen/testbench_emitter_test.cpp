@@ -1,0 +1,108 @@
+#include "hwgen/testbench_emitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwgen/template_builder.hpp"
+#include <cctype>
+
+#include "hwsim/pe_sim.hpp"
+#include "hwsim/tuple_buffer.hpp"
+#include "spec/parser.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::hwgen {
+namespace {
+
+PEDesign point_design() {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint32_t x, y, z; } P;"
+      "/* @autogen define parser Pt with input = P, output = P, "
+      "filters = 2 */");
+  return build_pe_design(analysis::analyze_parser(module, "Pt"));
+}
+
+FilterTestbenchSpec sample_spec(const PEDesign& design) {
+  FilterTestbenchSpec spec;
+  spec.stage = 0;
+  spec.field_select = 2;                                 // z.
+  spec.operator_select = design.operators.find("gt")->encoding;
+  spec.compare_value = 10;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    std::vector<std::uint8_t> storage;
+    support::put_u32(storage, i);
+    support::put_u32(storage, i * 2);
+    support::put_u32(storage, i * 3);  // z = 0,3,...,21; z > 10 -> 4 pass.
+    spec.tuples.push_back(hwsim::pad_tuple(
+        design.parser.input, support::BitVector::from_bytes(storage)));
+  }
+  spec.expected_pass_count = 4;
+  return spec;
+}
+
+TEST(TestbenchEmitter, StructureAndSelfCheck) {
+  const PEDesign design = point_design();
+  const std::string tb = emit_filter_testbench(design, sample_spec(design));
+  EXPECT_NE(tb.find("module Pt_filter_stage_0_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("Pt_filter_stage_0 dut"), std::string::npos);
+  EXPECT_NE(tb.find(".field_select(32'd2)"), std::string::npos);
+  EXPECT_NE(tb.find("compare_value(64'ha)"), std::string::npos);
+  EXPECT_NE(tb.find("32'd4"), std::string::npos);  // Expected count.
+  EXPECT_NE(tb.find("$fatal"), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  // One offer() call per stimulus tuple.
+  std::size_t offers = 0, pos = 0;
+  while ((pos = tb.find("    offer(", pos)) != std::string::npos) {
+    ++offers;
+    pos += 10;
+  }
+  EXPECT_EQ(offers, 8u);
+}
+
+TEST(TestbenchEmitter, HexLiteralsCarryFullTuple) {
+  const PEDesign design = point_design();
+  FilterTestbenchSpec spec = sample_spec(design);
+  spec.tuples.resize(1);
+  const std::string tb = emit_filter_testbench(design, spec);
+  // Padded width is 96 bits -> 24 hex nibbles after "96'h".
+  const auto pos = tb.find("offer(96'h");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string digits = tb.substr(pos + 10, 24);
+  for (const char c : digits) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c))) << digits;
+  }
+}
+
+TEST(TestbenchEmitter, RejectsBadInputs) {
+  const PEDesign design = point_design();
+  FilterTestbenchSpec spec = sample_spec(design);
+  spec.stage = 7;
+  EXPECT_THROW(emit_filter_testbench(design, spec), ndpgen::Error);
+  spec = sample_spec(design);
+  spec.tuples.push_back(support::BitVector(8));  // Wrong width.
+  EXPECT_THROW(emit_filter_testbench(design, spec), ndpgen::Error);
+}
+
+TEST(TestbenchEmitter, ExpectedCountMatchesSimulator) {
+  // The emitted expectation and the cycle simulator agree by
+  // construction: run the same stimulus through hwsim.
+  const PEDesign design = point_design();
+  const FilterTestbenchSpec spec = sample_spec(design);
+  hwsim::PETestBench bench(design);
+  std::vector<std::uint8_t> data;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    support::put_u32(data, i);
+    support::put_u32(data, i * 2);
+    support::put_u32(data, i * 3);
+  }
+  bench.memory().write_bytes(0, data);
+  bench.set_filter(0, spec.field_select, spec.operator_select,
+                   spec.compare_value);
+  bench.set_filter(1, 0, *design.operators.nop_encoding(), 0);
+  const auto stats =
+      bench.run_chunk(0, 4096, static_cast<std::uint32_t>(data.size()));
+  EXPECT_EQ(stats.stage_pass_counts[0], spec.expected_pass_count);
+}
+
+}  // namespace
+}  // namespace ndpgen::hwgen

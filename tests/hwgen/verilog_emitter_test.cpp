@@ -1,0 +1,161 @@
+#include "hwgen/verilog_emitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwgen/template_builder.hpp"
+#include "spec/parser.hpp"
+
+namespace ndpgen::hwgen {
+namespace {
+
+PEDesign sample_design(std::uint32_t stages = 2) {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint64_t id; uint32_t year; "
+      "/* @string prefix = 4 */ char name[12]; } Rec;"
+      "typedef struct { uint64_t id; uint32_t year; } Out;"
+      "/* @autogen define parser Demo with input = Rec, output = Out, "
+      "filters = " +
+      std::to_string(stages) + " */");
+  return build_pe_design(analysis::analyze_parser(module, "Demo"));
+}
+
+TEST(VerilogEmitter, EmitsAllModules) {
+  const std::string verilog = emit_verilog(sample_design());
+  EXPECT_NE(verilog.find("module ndp_stream_fifo"), std::string::npos);
+  EXPECT_NE(verilog.find("module Demo_control_regs"), std::string::npos);
+  EXPECT_NE(verilog.find("module Demo_load_unit"), std::string::npos);
+  EXPECT_NE(verilog.find("module Demo_store_unit"), std::string::npos);
+  EXPECT_NE(verilog.find("module Demo_tuple_input_buffer"), std::string::npos);
+  EXPECT_NE(verilog.find("module Demo_tuple_output_buffer"),
+            std::string::npos);
+  EXPECT_NE(verilog.find("module Demo_filter_stage_0"), std::string::npos);
+  EXPECT_NE(verilog.find("module Demo_filter_stage_1"), std::string::npos);
+  EXPECT_NE(verilog.find("module Demo_transform_unit"), std::string::npos);
+  EXPECT_NE(verilog.find("module Demo_top"), std::string::npos);
+}
+
+TEST(VerilogEmitter, BalancedModuleEndmodule) {
+  // Count at line granularity so prose in comments doesn't interfere.
+  const std::string verilog = emit_verilog(sample_design());
+  std::size_t modules = 0, ends = 0;
+  std::size_t start = 0;
+  while (start < verilog.size()) {
+    std::size_t eol = verilog.find('\n', start);
+    if (eol == std::string::npos) eol = verilog.size();
+    const std::string_view line(verilog.data() + start, eol - start);
+    if (line.rfind("module ", 0) == 0) ++modules;
+    if (line.rfind("endmodule", 0) == 0) ++ends;
+    start = eol + 1;
+  }
+  EXPECT_GT(modules, 0u);
+  EXPECT_EQ(modules, ends);
+}
+
+TEST(VerilogEmitter, RegisterDecodeMatchesMap) {
+  const PEDesign design = sample_design();
+  const std::string verilog = emit_verilog(design);
+  for (const auto& def : design.regmap.registers()) {
+    EXPECT_NE(verilog.find("reg_" + def.name), std::string::npos) << def.name;
+  }
+}
+
+TEST(VerilogEmitter, CompareUnitHasAllOperators) {
+  const PEDesign design = sample_design();
+  const std::string verilog = emit_verilog(design);
+  // One case entry per operator encoding in each filter stage.
+  for (const auto& op : design.operators.ops()) {
+    EXPECT_NE(verilog.find("32'd" + std::to_string(op.encoding) +
+                           ": predicate ="),
+              std::string::npos)
+        << op.name;
+  }
+}
+
+TEST(VerilogEmitter, FieldMuxListsRelevantFieldsOnly) {
+  const PEDesign design = sample_design();
+  const std::string verilog = emit_verilog(design);
+  EXPECT_NE(verilog.find("// id"), std::string::npos);
+  EXPECT_NE(verilog.find("// name_prefix"), std::string::npos);
+  // Postfix is carried but never muxed into the compare unit: no mux case
+  // is annotated with the postfix path.
+  EXPECT_EQ(verilog.find("];  // name_postfix\n"), std::string::npos);
+}
+
+TEST(VerilogEmitter, TransformWiresComments) {
+  const std::string verilog = emit_verilog(sample_design());
+  EXPECT_NE(verilog.find("id <= id"), std::string::npos);
+  EXPECT_NE(verilog.find("year <= year"), std::string::npos);
+}
+
+TEST(VerilogEmitter, StaticLoadUnitForBaseline) {
+  const auto module = spec::parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser B with input = T, output = T */");
+  TemplateOptions options;
+  options.flavor = DesignFlavor::kHandcraftedBaseline;
+  const PEDesign design =
+      build_pe_design(analysis::analyze_parser(module, "B"), options);
+  const std::string verilog = emit_verilog(design);
+  EXPECT_NE(verilog.find("static full-block"), std::string::npos);
+  EXPECT_EQ(verilog.find("load_bytes"), std::string::npos);
+}
+
+TEST(VerilogEmitter, ConfigurableLoadUnitForGenerated) {
+  const std::string verilog = emit_verilog(sample_design());
+  EXPECT_NE(verilog.find("load_bytes"), std::string::npos);
+}
+
+TEST(VerilogEmitter, TopListsConnections) {
+  const PEDesign design = sample_design();
+  const std::string top = emit_verilog_top(design);
+  for (const auto& connection : design.connections) {
+    EXPECT_NE(top.find(connection.from + "->" + connection.to),
+              std::string::npos);
+  }
+}
+
+TEST(VerilogEmitter, TopInstantiatesEveryModule) {
+  const PEDesign design = sample_design();
+  const std::string top = emit_verilog_top(design);
+  EXPECT_NE(top.find("Demo_control_regs control_regs ("), std::string::npos);
+  EXPECT_NE(top.find("Demo_load_unit load_unit ("), std::string::npos);
+  EXPECT_NE(top.find("Demo_tuple_input_buffer tuple_in ("),
+            std::string::npos);
+  EXPECT_NE(top.find("Demo_filter_stage_0 filter_stage_0 ("),
+            std::string::npos);
+  EXPECT_NE(top.find("Demo_filter_stage_1 filter_stage_1 ("),
+            std::string::npos);
+  EXPECT_NE(top.find("Demo_transform_unit transform_unit ("),
+            std::string::npos);
+  EXPECT_NE(top.find("Demo_tuple_output_buffer tuple_out ("),
+            std::string::npos);
+  EXPECT_NE(top.find("Demo_store_unit store_unit ("), std::string::npos);
+  // Register wires connect the control file to the datapath.
+  EXPECT_NE(top.find(".compare_value({reg_FILTER_VALUE_HI_1, "
+                     "reg_FILTER_VALUE_LO_1})"),
+            std::string::npos);
+  EXPECT_NE(top.find(".load_bytes(reg_IN_SIZE)"), std::string::npos);
+  EXPECT_NE(top.find("assign reg_BUSY"), std::string::npos);
+}
+
+TEST(VerilogEmitter, TopChainsStagesInOrder) {
+  const PEDesign design = sample_design(3);
+  const std::string top = emit_verilog_top(design);
+  // t0 feeds stage 0, whose t1 output feeds stage 1, etc.
+  EXPECT_LT(top.find(".in_tuple(t0_tuple)"), top.find(".in_tuple(t1_tuple)"));
+  EXPECT_LT(top.find(".in_tuple(t1_tuple)"), top.find(".in_tuple(t2_tuple)"));
+  // The transform consumes the last stage's output.
+  EXPECT_NE(top.find("transform_unit (\n    .clk(clk), .rst_n(rst_n),\n"
+                     "    .in_tuple(t3_tuple)"),
+            std::string::npos);
+}
+
+TEST(VerilogEmitter, HeaderMentionsDesignFacts) {
+  const PEDesign design = sample_design(3);
+  const std::string verilog = emit_verilog(design);
+  EXPECT_NE(verilog.find("Filter stages: 3"), std::string::npos);
+  EXPECT_NE(verilog.find("100 MHz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndpgen::hwgen

@@ -1,0 +1,136 @@
+#include "hwsim/memport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ndpgen::hwsim {
+namespace {
+
+TEST(SimMemory, ReadWriteU64) {
+  SimMemory memory(1024);
+  memory.write_u64(8, 0x1122334455667788ULL);
+  EXPECT_EQ(memory.read_u64(8), 0x1122334455667788ULL);
+  // Little-endian byte order.
+  EXPECT_EQ(memory.read_bytes(8, 1)[0], 0x88);
+}
+
+TEST(SimMemory, BytesRoundTrip) {
+  SimMemory memory(64);
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+  memory.write_bytes(10, data);
+  const auto view = memory.read_bytes(10, 5);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), view.begin()));
+}
+
+TEST(SimMemory, OutOfBoundsThrows) {
+  SimMemory memory(16);
+  EXPECT_THROW(memory.read_u64(9), ndpgen::Error);
+  EXPECT_THROW(memory.write_u64(16, 1), ndpgen::Error);
+}
+
+class InterconnectFixture : public ::testing::Test {
+ protected:
+  InterconnectFixture()
+      : memory_(1 << 16),
+        interconnect_(memory_, AxiInterconnect::Config{2, 10, 64}) {
+    kernel_.add_module(&interconnect_);
+  }
+
+  void run_cycles(int n) {
+    for (int i = 0; i < n; ++i) kernel_.tick();
+  }
+
+  SimMemory memory_;
+  AxiInterconnect interconnect_;
+  SimKernel kernel_;
+};
+
+TEST_F(InterconnectFixture, ReadReturnsAfterLatency) {
+  memory_.write_u64(0x100, 0xabcd);
+  AxiPort* port = interconnect_.create_port("p0");
+  port->request_read(0x100, 1);
+  run_cycles(1);  // Grant.
+  EXPECT_FALSE(port->read_data_available(kernel_.now()));
+  run_cycles(10);  // Latency.
+  ASSERT_TRUE(port->read_data_available(kernel_.now()));
+  EXPECT_EQ(port->pop_read_data(kernel_.now()), 0xabcdu);
+  EXPECT_TRUE(port->idle());
+}
+
+TEST_F(InterconnectFixture, WritesLandInMemory) {
+  AxiPort* port = interconnect_.create_port("p0");
+  port->request_write(0x200, 42);
+  run_cycles(1);
+  EXPECT_EQ(memory_.read_u64(0x200), 42u);
+  EXPECT_EQ(port->write_beats(), 1u);
+}
+
+TEST_F(InterconnectFixture, BandwidthCapSharedAcrossPorts) {
+  AxiPort* a = interconnect_.create_port("a");
+  AxiPort* b = interconnect_.create_port("b");
+  a->request_read(0, 20);
+  b->request_read(0, 20);
+  // 2 beats/cycle total: 40 beats need 20 cycles to grant.
+  run_cycles(19);
+  EXPECT_GT(a->pending_requests() + b->pending_requests(), 0u);
+  run_cycles(2);
+  EXPECT_EQ(a->pending_requests() + b->pending_requests(), 0u);
+  EXPECT_EQ(interconnect_.total_beats(), 40u);
+  EXPECT_GT(interconnect_.contended_cycles(), 0u);
+}
+
+TEST_F(InterconnectFixture, RoundRobinIsFair) {
+  AxiPort* a = interconnect_.create_port("a");
+  AxiPort* b = interconnect_.create_port("b");
+  a->request_read(0, 10);
+  b->request_read(0, 10);
+  run_cycles(5);
+  // Both ports progress at the same rate under contention.
+  EXPECT_EQ(a->read_beats(), b->read_beats());
+}
+
+TEST_F(InterconnectFixture, ResponsesAreOrdered) {
+  memory_.write_u64(0, 1);
+  memory_.write_u64(8, 2);
+  memory_.write_u64(16, 3);
+  AxiPort* port = interconnect_.create_port("p");
+  port->request_read(0, 3);
+  run_cycles(30);
+  EXPECT_EQ(port->pop_read_data(kernel_.now()), 1u);
+  EXPECT_EQ(port->pop_read_data(kernel_.now()), 2u);
+  EXPECT_EQ(port->pop_read_data(kernel_.now()), 3u);
+}
+
+TEST_F(InterconnectFixture, MaxOutstandingThrottles) {
+  AxiPort* port = interconnect_.create_port("p");
+  port->request_read(0, 100);
+  run_cycles(40);
+  // 64 outstanding responses max; the rest remain queued until consumed.
+  EXPECT_GT(port->pending_requests(), 0u);
+  while (port->read_data_available(kernel_.now())) {
+    (void)port->pop_read_data(kernel_.now());
+  }
+  run_cycles(60);
+  while (port->read_data_available(kernel_.now())) {
+    (void)port->pop_read_data(kernel_.now());
+  }
+  EXPECT_EQ(port->pending_requests(), 0u);
+}
+
+TEST_F(InterconnectFixture, ResetClearsState) {
+  AxiPort* port = interconnect_.create_port("p");
+  port->request_read(0, 5);
+  run_cycles(2);
+  interconnect_.reset();
+  EXPECT_TRUE(port->idle());
+  EXPECT_EQ(interconnect_.total_beats(), 0u);
+}
+
+TEST_F(InterconnectFixture, PopWithoutDataThrows) {
+  AxiPort* port = interconnect_.create_port("p");
+  EXPECT_THROW((void)port->pop_read_data(kernel_.now()), ndpgen::Error);
+}
+
+}  // namespace
+}  // namespace ndpgen::hwsim

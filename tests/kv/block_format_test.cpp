@@ -1,0 +1,112 @@
+#include "kv/block_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+namespace {
+
+std::vector<std::uint8_t> record_of(std::uint32_t bytes, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(bytes, fill);
+}
+
+TEST(BlockFormat, RecordsPerBlockGeometry) {
+  EXPECT_EQ(records_per_block(16), (32u * 1024 - 8) / 16);
+  EXPECT_EQ(records_per_block(128), (32u * 1024 - 8) / 128);
+  EXPECT_EQ(records_per_block(0), 0u);
+}
+
+TEST(BlockFormat, BuildAndDecode) {
+  DataBlockBuilder builder(16);
+  builder.add(record_of(16, 0xaa));
+  builder.add(record_of(16, 0xbb));
+  const auto block = builder.finish();
+  ASSERT_EQ(block.size(), kDataBlockBytes);
+
+  const BlockTrailer trailer = read_trailer(block);
+  EXPECT_EQ(trailer.record_count, 2u);
+  EXPECT_EQ(trailer.record_bytes, 16u);
+  EXPECT_EQ(block_payload_bytes(trailer), 32u);
+  EXPECT_EQ(block_record(block, trailer, 0)[0], 0xaa);
+  EXPECT_EQ(block_record(block, trailer, 1)[0], 0xbb);
+}
+
+TEST(BlockFormat, SlackIsZeroed) {
+  DataBlockBuilder builder(16);
+  builder.add(record_of(16, 0xff));
+  const auto block = builder.finish();
+  const BlockTrailer trailer = read_trailer(block);
+  // Bytes between the payload and the trailer are zero.
+  for (std::size_t i = block_payload_bytes(trailer);
+       i < kDataBlockBytes - kBlockTrailerBytes; ++i) {
+    ASSERT_EQ(block[i], 0u) << i;
+  }
+}
+
+TEST(BlockFormat, BuilderResetsAfterFinish) {
+  DataBlockBuilder builder(16);
+  builder.add(record_of(16, 1));
+  (void)builder.finish();
+  EXPECT_TRUE(builder.empty());
+  builder.add(record_of(16, 2));
+  const auto block = builder.finish();
+  EXPECT_EQ(read_trailer(block).record_count, 1u);
+  EXPECT_EQ(block_record(block, read_trailer(block), 0)[0], 2u);
+}
+
+TEST(BlockFormat, FullBlockRejectsMore) {
+  DataBlockBuilder builder(4096);
+  const std::uint32_t capacity = records_per_block(4096);
+  for (std::uint32_t i = 0; i < capacity; ++i) {
+    ASSERT_TRUE(builder.has_space());
+    builder.add(record_of(4096, 1));
+  }
+  EXPECT_FALSE(builder.has_space());
+  EXPECT_THROW(builder.add(record_of(4096, 1)), ndpgen::Error);
+}
+
+TEST(BlockFormat, WrongRecordSizeRejected) {
+  DataBlockBuilder builder(16);
+  EXPECT_THROW(builder.add(record_of(15, 1)), ndpgen::Error);
+}
+
+TEST(BlockFormat, InvalidGeometryRejected) {
+  EXPECT_THROW(DataBlockBuilder{0}, ndpgen::Error);
+  EXPECT_THROW(DataBlockBuilder{kDataBlockBytes}, ndpgen::Error);
+}
+
+TEST(BlockFormat, TrailerValidation) {
+  DataBlockBuilder builder(16);
+  builder.add(record_of(16, 1));
+  auto block = builder.finish();
+  // Corrupt the magic.
+  block[kDataBlockBytes - 1] ^= 0xff;
+  EXPECT_THROW(read_trailer(block), ndpgen::Error);
+
+  // Wrong size.
+  std::vector<std::uint8_t> tiny(16, 0);
+  EXPECT_THROW(read_trailer(tiny), ndpgen::Error);
+}
+
+TEST(BlockFormat, InconsistentCountRejected) {
+  DataBlockBuilder builder(16);
+  builder.add(record_of(16, 1));
+  auto block = builder.finish();
+  // Claim an impossible record count.
+  const std::size_t base = kDataBlockBytes - kBlockTrailerBytes;
+  block[base] = 0xff;
+  block[base + 1] = 0xff;
+  EXPECT_THROW(read_trailer(block), ndpgen::Error);
+}
+
+TEST(BlockFormat, RecordIndexOutOfRange) {
+  DataBlockBuilder builder(16);
+  builder.add(record_of(16, 1));
+  const auto block = builder.finish();
+  const auto trailer = read_trailer(block);
+  EXPECT_THROW(block_record(block, trailer, 1), ndpgen::Error);
+}
+
+}  // namespace
+}  // namespace ndpgen::kv

@@ -1,0 +1,169 @@
+#include "kv/compaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kv/db.hpp"
+#include "kv/sst_reader.hpp"
+#include "platform/cosmos.hpp"
+#include "support/bytes.hpp"
+
+namespace ndpgen::kv {
+namespace {
+
+std::vector<std::uint8_t> make_record(std::uint64_t key,
+                                      std::uint64_t value) {
+  std::vector<std::uint8_t> record;
+  support::put_u64(record, key);
+  support::put_u64(record, value);
+  return record;
+}
+
+Key extract(std::span<const std::uint8_t> record) {
+  return Key{support::get_u64(record, 0), 0};
+}
+
+DBConfig config_with(std::uint32_t l1_trigger) {
+  DBConfig config;
+  config.record_bytes = 16;
+  config.extractor = extract;
+  config.memtable_bytes = 2 * 1024;
+  config.auto_flush = false;
+  config.auto_compact = false;
+  config.compaction.l1_trigger = l1_trigger;
+  config.compaction.output_sst_blocks = 2;
+  return config;
+}
+
+class CompactionFixture : public ::testing::Test {
+ protected:
+  CompactionFixture() : db_(cosmos_, config_with(2)) {}
+
+  void flush_batch(std::uint64_t lo, std::uint64_t hi, std::uint64_t tag) {
+    for (std::uint64_t key = lo; key < hi; ++key) {
+      db_.put(make_record(key, tag * 1'000'000 + key));
+    }
+    db_.flush();
+  }
+
+  platform::CosmosPlatform cosmos_;
+  NKV db_;
+};
+
+TEST_F(CompactionFixture, TriggerFiresAboveThreshold) {
+  flush_batch(0, 50, 1);
+  flush_batch(25, 75, 2);
+  EXPECT_EQ(db_.compact(), 0u);  // 2 SSTs == trigger, not above.
+  flush_batch(50, 100, 3);
+  EXPECT_GT(db_.compact(), 0u);
+  EXPECT_EQ(db_.version().sst_count(1), 0u);
+  EXPECT_GT(db_.version().sst_count(2), 0u);
+}
+
+TEST_F(CompactionFixture, NewestVersionWinsAfterMerge) {
+  flush_batch(0, 50, 1);
+  flush_batch(0, 50, 2);
+  flush_batch(0, 50, 3);  // Same keys three times.
+  db_.compact();
+  // All duplicates purged: exactly 50 live records.
+  EXPECT_EQ(db_.version().total_records(), 50u);
+  for (std::uint64_t key = 0; key < 50; key += 7) {
+    const auto hit = db_.get(Key{key, 0});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(support::get_u64(*hit, 8), 3'000'000 + key);
+  }
+  EXPECT_GT(db_.compaction_stats().records_purged, 0u);
+}
+
+TEST_F(CompactionFixture, OutputsAreSortedAndSplit) {
+  flush_batch(0, 3000, 1);
+  flush_batch(3000, 6000, 2);
+  flush_batch(6000, 9000, 3);
+  db_.compact();
+  const auto& level2 = db_.version().level(2);
+  ASSERT_GT(level2.size(), 1u);  // Split at 2 blocks per output SST.
+  Key previous = Key::min();
+  bool first = true;
+  for (const auto& table : level2) {
+    SSTReader reader(*table, cosmos_.flash(), extract);
+    reader.for_each_record([&](std::span<const std::uint8_t> record) {
+      const Key key = extract(record);
+      if (!first) EXPECT_LT(previous, key);
+      first = false;
+      previous = key;
+    });
+  }
+}
+
+TEST_F(CompactionFixture, TombstonesDropAtBottom) {
+  flush_batch(0, 20, 1);
+  for (std::uint64_t key = 0; key < 10; ++key) db_.del(Key{key, 0});
+  db_.flush();
+  flush_batch(20, 40, 2);
+  db_.compact();  // Into empty L2 -> tombstones can drop.
+  EXPECT_GT(db_.compaction_stats().tombstones_dropped, 0u);
+  EXPECT_EQ(db_.version().total_records(), 30u);
+  EXPECT_FALSE(db_.get(Key{5, 0}).has_value());
+  EXPECT_TRUE(db_.get(Key{15, 0}).has_value());
+}
+
+TEST_F(CompactionFixture, TombstonesKeptWhenDeeperDataExists) {
+  // Seed L3 with old data, then delete some of it via L1->L2 compaction.
+  std::uint64_t next = 0;
+  db_.bulk_load_sorted(
+      3,
+      [&](std::vector<std::uint8_t>& record) {
+        if (next >= 20) return false;
+        record = make_record(next, 777);
+        ++next;
+        return true;
+      },
+      1000);
+  for (std::uint64_t key = 0; key < 5; ++key) db_.del(Key{key, 0});
+  db_.flush();
+  flush_batch(100, 160, 1);
+  flush_batch(160, 220, 1);
+  db_.compact();
+  // The tombstones must survive in L2 to shadow the L3 values.
+  std::size_t tombstones = 0;
+  for (const auto& table : db_.version().level(2)) {
+    tombstones += table->tombstones.size();
+  }
+  EXPECT_EQ(tombstones, 5u);
+  EXPECT_FALSE(db_.get(Key{2, 0}).has_value());
+  EXPECT_TRUE(db_.get(Key{10, 0}).has_value());
+}
+
+TEST_F(CompactionFixture, StatsAreConsistent) {
+  flush_batch(0, 100, 1);
+  flush_batch(50, 150, 2);
+  flush_batch(100, 200, 3);
+  db_.compact();
+  const auto& stats = db_.compaction_stats();
+  EXPECT_EQ(stats.records_in,
+            stats.records_out + stats.records_purged);
+  EXPECT_EQ(stats.records_out, db_.version().total_records());
+}
+
+TEST_F(CompactionFixture, SizeTriggerCascades) {
+  // Push enough data through L1 that L2 exceeds its 8 MiB base target.
+  // Each flushed batch of 3000 records is ~48 KB; use bulk loads instead
+  // to reach the size trigger quickly.
+  std::uint64_t next = 0;
+  const std::uint64_t total = 700'000;  // ~11 MB of 16 B records.
+  db_.bulk_load_sorted(
+      2,
+      [&](std::vector<std::uint8_t>& record) {
+        if (next >= total) return false;
+        record = make_record(next, next);
+        ++next;
+        return true;
+      },
+      100'000);
+  EXPECT_GT(db_.compact(), 0u);
+  EXPECT_EQ(db_.version().sst_count(2), 0u);
+  EXPECT_GT(db_.version().sst_count(3), 0u);
+  EXPECT_EQ(db_.version().total_records(), total);
+}
+
+}  // namespace
+}  // namespace ndpgen::kv

@@ -1,0 +1,182 @@
+#include "kv/db.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/cosmos.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ndpgen::kv {
+namespace {
+
+std::vector<std::uint8_t> make_record(std::uint64_t key,
+                                      std::uint64_t value) {
+  std::vector<std::uint8_t> record;
+  support::put_u64(record, key);
+  support::put_u64(record, value);
+  return record;
+}
+
+Key extract(std::span<const std::uint8_t> record) {
+  return Key{support::get_u64(record, 0), 0};
+}
+
+DBConfig small_config() {
+  DBConfig config;
+  config.record_bytes = 16;
+  config.extractor = extract;
+  config.memtable_bytes = 4 * 1024;  // Tiny: frequent flushes.
+  config.auto_compact = false;
+  return config;
+}
+
+class DbFixture : public ::testing::Test {
+ protected:
+  DbFixture() : db_(cosmos_, small_config()) {}
+  platform::CosmosPlatform cosmos_;
+  NKV db_;
+};
+
+TEST_F(DbFixture, PutGetFromMemtable) {
+  db_.put(make_record(1, 100));
+  const auto hit = db_.get(Key{1, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(support::get_u64(*hit, 8), 100u);
+  EXPECT_FALSE(db_.get(Key{2, 0}).has_value());
+}
+
+TEST_F(DbFixture, GetAfterFlushReadsFlash) {
+  for (std::uint64_t i = 0; i < 50; ++i) db_.put(make_record(i, i * 7));
+  db_.flush();
+  EXPECT_TRUE(db_.memtable().empty());
+  EXPECT_EQ(db_.version().sst_count(1), 1u);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto hit = db_.get(Key{i, 0});
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(support::get_u64(*hit, 8), i * 7);
+  }
+}
+
+TEST_F(DbFixture, NewerFlushShadowsOlder) {
+  db_.put(make_record(5, 1));
+  db_.flush();
+  db_.put(make_record(5, 2));
+  db_.flush();
+  EXPECT_EQ(db_.version().sst_count(1), 2u);
+  // No compaction during flush: both versions exist, newest wins.
+  const auto hit = db_.get(Key{5, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(support::get_u64(*hit, 8), 2u);
+}
+
+TEST_F(DbFixture, MemtableShadowsFlushed) {
+  db_.put(make_record(5, 1));
+  db_.flush();
+  db_.put(make_record(5, 9));
+  const auto hit = db_.get(Key{5, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(support::get_u64(*hit, 8), 9u);
+}
+
+TEST_F(DbFixture, DeleteInMemtable) {
+  db_.put(make_record(7, 1));
+  db_.del(Key{7, 0});
+  EXPECT_FALSE(db_.get(Key{7, 0}).has_value());
+}
+
+TEST_F(DbFixture, TombstoneShadowsFlushedValue) {
+  db_.put(make_record(7, 1));
+  db_.flush();
+  db_.del(Key{7, 0});
+  db_.flush();
+  EXPECT_FALSE(db_.get(Key{7, 0}).has_value());
+}
+
+TEST_F(DbFixture, AutoFlushOnCapacity) {
+  for (std::uint64_t i = 0; i < 500; ++i) db_.put(make_record(i, i));
+  EXPECT_GT(db_.stats().flushes, 0u);
+  EXPECT_GT(db_.version().sst_count(1), 0u);
+  // Everything still readable.
+  for (std::uint64_t i = 0; i < 500; i += 37) {
+    EXPECT_TRUE(db_.get(Key{i, 0}).has_value()) << i;
+  }
+}
+
+TEST_F(DbFixture, WrongRecordSizeRejected) {
+  EXPECT_THROW(db_.put(std::vector<std::uint8_t>(15, 0)), ndpgen::Error);
+}
+
+TEST_F(DbFixture, BulkLoadSortedBuildsLevel) {
+  std::uint64_t next = 0;
+  db_.bulk_load_sorted(
+      2,
+      [&](std::vector<std::uint8_t>& record) {
+        if (next >= 10'000) return false;
+        record = make_record(next, next * 3);
+        ++next;
+        return true;
+      },
+      4096);
+  EXPECT_EQ(db_.version().sst_count(2), 3u);  // ceil(10000/4096).
+  EXPECT_EQ(db_.version().total_records(), 10'000u);
+  const auto hit = db_.get(Key{9'999, 0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(support::get_u64(*hit, 8), 9'999u * 3);
+}
+
+TEST_F(DbFixture, StatsAccumulate) {
+  db_.put(make_record(1, 1));
+  db_.del(Key{2, 0});
+  (void)db_.get(Key{1, 0});
+  EXPECT_EQ(db_.stats().puts, 1u);
+  EXPECT_EQ(db_.stats().deletes, 1u);
+  EXPECT_EQ(db_.stats().gets, 1u);
+}
+
+TEST(Db, ConfigValidation) {
+  platform::CosmosPlatform cosmos;
+  DBConfig config;
+  config.record_bytes = 0;
+  config.extractor = extract;
+  EXPECT_THROW(NKV(cosmos, config), ndpgen::Error);
+  config.record_bytes = 16;
+  config.extractor = nullptr;
+  EXPECT_THROW(NKV(cosmos, config), ndpgen::Error);
+}
+
+TEST(Db, RandomizedAgainstReferenceMap) {
+  platform::CosmosPlatform cosmos;
+  auto config = small_config();
+  config.auto_compact = true;
+  NKV db(cosmos, config);
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  std::unordered_set<std::uint64_t> deleted;
+  support::Xoshiro256 rng(2024);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t key = rng.below(400);
+    if (rng.below(5) == 0) {
+      db.del(Key{key, 0});
+      reference.erase(key);
+      deleted.insert(key);
+    } else {
+      const std::uint64_t value = rng();
+      db.put(make_record(key, value));
+      reference[key] = value;
+      deleted.erase(key);
+    }
+  }
+  for (std::uint64_t key = 0; key < 400; ++key) {
+    const auto hit = db.get(Key{key, 0});
+    const auto it = reference.find(key);
+    if (it == reference.end()) {
+      EXPECT_FALSE(hit.has_value()) << key;
+    } else {
+      ASSERT_TRUE(hit.has_value()) << key;
+      EXPECT_EQ(support::get_u64(*hit, 8), it->second) << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ndpgen::kv

@@ -1,0 +1,66 @@
+#include "kv/memtable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndpgen::kv {
+namespace {
+
+std::vector<std::uint8_t> record(std::initializer_list<std::uint8_t> bytes) {
+  return std::vector<std::uint8_t>(bytes);
+}
+
+TEST(MemTable, PutAndGet) {
+  MemTable table;
+  const auto data = record({1, 2, 3});
+  table.put(Key{1, 0}, 1, data);
+  const MemEntry* entry = table.get(Key{1, 0});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->type, EntryType::kValue);
+  EXPECT_EQ(entry->record, data);
+  EXPECT_EQ(entry->seq, 1u);
+  EXPECT_EQ(table.get(Key{2, 0}), nullptr);
+}
+
+TEST(MemTable, LatestWriteWins) {
+  MemTable table;
+  table.put(Key{1, 0}, 1, record({1}));
+  table.put(Key{1, 0}, 2, record({2}));
+  EXPECT_EQ(table.entry_count(), 1u);
+  EXPECT_EQ(table.get(Key{1, 0})->record, record({2}));
+  EXPECT_EQ(table.get(Key{1, 0})->seq, 2u);
+}
+
+TEST(MemTable, TombstoneShadowsValue) {
+  MemTable table;
+  table.put(Key{1, 0}, 1, record({1}));
+  table.del(Key{1, 0}, 2);
+  const MemEntry* entry = table.get(Key{1, 0});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->type, EntryType::kTombstone);
+  EXPECT_TRUE(entry->record.empty());
+}
+
+TEST(MemTable, FlushThresholdTracksBytes) {
+  MemTable table(512);
+  EXPECT_FALSE(table.should_flush());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    table.put(Key{i, 0}, i, std::vector<std::uint8_t>(64, 0));
+  }
+  EXPECT_TRUE(table.should_flush());
+  EXPECT_GT(table.approximate_bytes(), 512u);
+}
+
+TEST(MemTable, IterationSortedByKey) {
+  MemTable table;
+  table.put(Key{3, 0}, 1, record({3}));
+  table.put(Key{1, 0}, 2, record({1}));
+  table.del(Key{2, 0}, 3);
+  std::vector<std::uint64_t> keys;
+  for (auto it = table.begin(); it.valid(); it.next()) {
+    keys.push_back(it.key().hi);
+  }
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace ndpgen::kv

@@ -1,0 +1,115 @@
+#include "kv/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+namespace {
+
+platform::FlashTopology small_topology() {
+  platform::FlashTopology topology;
+  topology.controllers = 2;
+  topology.channels_per_controller = 2;
+  topology.luns_per_channel = 2;  // 8 LUNs.
+  topology.blocks_per_lun = 4;
+  topology.pages_per_block = 4;  // 16 pages per LUN.
+  return topology;
+}
+
+TEST(Placement, LevelsGetDisjointLunGroups) {
+  PlacementPolicy policy(small_topology(), 4);
+  const auto l1 = policy.luns_of_level(1);
+  const auto l2 = policy.luns_of_level(2);
+  ASSERT_FALSE(l1.empty());
+  for (const auto lun : l1) {
+    EXPECT_EQ(std::count(l2.begin(), l2.end(), lun), 0);
+  }
+  // Level 5 wraps onto level 1's group (4 groups).
+  EXPECT_EQ(policy.luns_of_level(5), l1);
+}
+
+TEST(Placement, PagesAreUniqueAcrossAllocations) {
+  PlacementPolicy policy(small_topology(), 2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10; ++i) {
+    for (const auto page : policy.allocate_block_pages(1, 2)) {
+      EXPECT_TRUE(seen.insert(page).second);
+    }
+  }
+  EXPECT_EQ(policy.pages_allocated(), 20u);
+}
+
+TEST(Placement, BlockPagesStripeOverLuns) {
+  const auto topology = small_topology();
+  PlacementPolicy policy(topology, 2);
+  platform::EventQueue queue;
+  platform::TimingConfig timing;
+  platform::FlashModel flash(queue, timing, topology);
+  const auto pages = policy.allocate_block_pages(1, 2);
+  const auto a = flash.delinearize(pages[0]);
+  const auto b = flash.delinearize(pages[1]);
+  EXPECT_FALSE(a.channel == b.channel && a.lun == b.lun &&
+               a.controller == b.controller);
+}
+
+TEST(Placement, StaysWithinLevelGroup) {
+  const auto topology = small_topology();
+  PlacementPolicy policy(topology, 2);
+  platform::EventQueue queue;
+  platform::TimingConfig timing;
+  platform::FlashModel flash(queue, timing, topology);
+  const auto group = policy.luns_of_level(3);  // Group 1.
+  for (int i = 0; i < 8; ++i) {
+    for (const auto page : policy.allocate_block_pages(3, 2)) {
+      const auto addr = flash.delinearize(page);
+      const std::uint32_t lun =
+          (addr.controller * topology.channels_per_controller + addr.channel) *
+              topology.luns_per_channel +
+          addr.lun;
+      EXPECT_NE(std::find(group.begin(), group.end(), lun), group.end());
+    }
+  }
+}
+
+TEST(Placement, ExhaustionThrows) {
+  // 4 channels / 4 groups -> 1 channel (2 LUNs x 16 pages) per group.
+  PlacementPolicy policy(small_topology(), 4);
+  (void)policy.allocate_block_pages(0, 32);
+  EXPECT_THROW(policy.allocate_block_pages(0, 1), ndpgen::Error);
+  // Other groups unaffected.
+  EXPECT_NO_THROW(policy.allocate_block_pages(1, 4));
+}
+
+TEST(Placement, GroupsPartitionWholeChannels) {
+  const auto topology = small_topology();
+  PlacementPolicy policy(topology, 4);
+  platform::EventQueue queue;
+  platform::TimingConfig timing;
+  platform::FlashModel flash(queue, timing, topology);
+  // Every LUN of a group must sit on the same set of channels, disjoint
+  // from other groups' channels (bus isolation).
+  for (std::uint32_t group = 0; group < 4; ++group) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> channels;
+    for (const auto lun : policy.luns_of_level(group)) {
+      channels.insert({lun / (topology.channels_per_controller *
+                              topology.luns_per_channel),
+                       (lun / topology.luns_per_channel) %
+                           topology.channels_per_controller});
+    }
+    EXPECT_EQ(channels.size(), 1u) << group;
+  }
+}
+
+TEST(Placement, InvalidConfigRejected) {
+  EXPECT_THROW(PlacementPolicy(small_topology(), 0), ndpgen::Error);
+  // More groups than channels (4) is rejected.
+  EXPECT_THROW(PlacementPolicy(small_topology(), 5), ndpgen::Error);
+  PlacementPolicy policy(small_topology());
+  EXPECT_THROW(policy.allocate_block_pages(1, 0), ndpgen::Error);
+}
+
+}  // namespace
+}  // namespace ndpgen::kv

@@ -1,0 +1,147 @@
+// Edge cases of the hybrid executors.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/framework.hpp"
+#include "support/error.hpp"
+#include "ndp/executor.hpp"
+#include "support/bytes.hpp"
+#include "workload/pubgraph.hpp"
+
+namespace ndpgen::ndp {
+namespace {
+
+class ExecutorEdgeFixture : public ::testing::Test {
+ protected:
+  ExecutorEdgeFixture()
+      : compiled_(framework_.compile(workload::pubgraph_spec_source())),
+        generator_(workload::PubGraphConfig{.scale_divisor = 16384}),
+        db_(cosmos_, db_config()) {}
+
+  static kv::DBConfig db_config() {
+    kv::DBConfig config;
+    config.record_bytes = workload::PaperRecord::kBytes;
+    config.extractor = workload::paper_key;
+    return config;
+  }
+
+  HybridExecutor make_sw() {
+    ExecutorConfig config;
+    config.result_key_extractor = workload::paper_result_key;
+    const auto& artifacts = compiled_.get("PaperScan");
+    return HybridExecutor(db_, artifacts.analyzed,
+                          artifacts.design.operators, config);
+  }
+
+  core::Framework framework_;
+  core::CompileResult compiled_;
+  workload::PubGraphGenerator generator_;
+  platform::CosmosPlatform cosmos_;
+  kv::NKV db_{cosmos_, db_config()};
+};
+
+TEST_F(ExecutorEdgeFixture, ScanOfEmptyStore) {
+  auto sw = make_sw();
+  const auto stats = sw.scan({{"year", "lt", 1990}});
+  EXPECT_EQ(stats.blocks, 0u);
+  EXPECT_EQ(stats.results, 0u);
+  EXPECT_EQ(stats.tuples_scanned, 0u);
+}
+
+TEST_F(ExecutorEdgeFixture, GetOnEmptyStore) {
+  auto sw = make_sw();
+  const auto stats = sw.get(kv::Key{1, 0});
+  EXPECT_FALSE(stats.found);
+  EXPECT_EQ(stats.blocks_fetched, 0u);
+}
+
+TEST_F(ExecutorEdgeFixture, ScanWithoutPredicatesReturnsEverything) {
+  workload::load_papers(db_, generator_);
+  auto sw = make_sw();
+  const auto stats = sw.scan({});
+  EXPECT_EQ(stats.results, generator_.paper_count());
+  EXPECT_EQ(stats.tuples_matched, stats.tuples_scanned);
+}
+
+TEST_F(ExecutorEdgeFixture, ScanWithImpossiblePredicate) {
+  workload::load_papers(db_, generator_);
+  auto sw = make_sw();
+  const auto stats = sw.scan({{"year", "lt", 1800}});
+  EXPECT_EQ(stats.results, 0u);
+  EXPECT_EQ(stats.tuples_scanned, generator_.paper_count());
+  // Time is still dominated by reading the data (full traversal).
+  EXPECT_GT(stats.elapsed, 0u);
+}
+
+TEST_F(ExecutorEdgeFixture, GetFromMemtableOnlyIsFast) {
+  workload::PaperRecord paper = generator_.paper(0);
+  db_.put(paper.serialize());
+  auto sw = make_sw();
+  const auto stats = sw.get(kv::Key{1, 0});
+  ASSERT_TRUE(stats.found);
+  EXPECT_EQ(stats.blocks_fetched, 0u);
+  // Memtable hits avoid flash entirely: well under a block-fetch time.
+  EXPECT_LT(stats.elapsed, 400 * platform::kNsPerUs);
+}
+
+TEST_F(ExecutorEdgeFixture, GetDeletedInMemtable) {
+  workload::load_papers(db_, generator_);
+  db_.del(kv::Key{5, 0});
+  auto sw = make_sw();
+  EXPECT_FALSE(sw.get(kv::Key{5, 0}).found);
+  EXPECT_TRUE(sw.get(kv::Key{6, 0}).found);
+}
+
+TEST_F(ExecutorEdgeFixture, GetDeletedViaFlushedTombstone) {
+  workload::load_papers(db_, generator_);
+  db_.del(kv::Key{5, 0});
+  db_.flush();
+  auto sw = make_sw();
+  EXPECT_FALSE(sw.get(kv::Key{5, 0}).found);
+}
+
+TEST_F(ExecutorEdgeFixture, PredicateOnStringPrefix) {
+  workload::load_papers(db_, generator_);
+  auto sw = make_sw();
+  // Every title starts with "P%07d" -> prefix bytes "P0000001..." etc.
+  // Match papers whose 8-byte prefix equals paper 3's.
+  const auto paper = generator_.paper(2);
+  std::uint64_t prefix = 0;
+  std::memcpy(&prefix, paper.title, 8);
+  std::vector<std::vector<std::uint8_t>> results;
+  const auto stats = sw.scan({{"title_prefix", "eq", prefix}}, &results);
+  EXPECT_EQ(stats.results, 1u);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(support::get_u64(results[0], 0), 3u);
+}
+
+TEST_F(ExecutorEdgeFixture, MismatchedPeLayoutRejected) {
+  platform::CosmosPlatform cosmos2;
+  core::Framework framework;
+  const auto compiled = framework.compile(workload::pubgraph_spec_source());
+  // Attach a Ref PE but ask the executor to use it for Paper scans.
+  cosmos2.attach_pe(compiled.get("RefScan").design);
+  kv::NKV db2(cosmos2, db_config());
+  ExecutorConfig config;
+  config.mode = ExecMode::kHardware;
+  config.pe_indices = {0};
+  const auto& artifacts = compiled.get("PaperScan");
+  EXPECT_THROW(HybridExecutor(db2, artifacts.analyzed,
+                              artifacts.design.operators, config),
+               ndpgen::Error);
+}
+
+TEST_F(ExecutorEdgeFixture, ScanStatsAccounting) {
+  workload::load_papers(db_, generator_);
+  auto sw = make_sw();
+  const auto stats = sw.scan({{"year", "lt", 1990}});
+  EXPECT_EQ(stats.tuples_scanned, generator_.paper_count());
+  EXPECT_GE(stats.tuples_matched, stats.results);
+  EXPECT_EQ(stats.result_bytes, stats.results * 24u);
+  EXPECT_GT(stats.bytes_from_flash, 0u);
+  EXPECT_LE(stats.flash_done, stats.elapsed);
+}
+
+}  // namespace
+}  // namespace ndpgen::ndp

@@ -1,0 +1,116 @@
+#include "platform/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ndpgen::platform {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(30, [&] { order.push_back(3); });
+  queue.schedule_at(10, [&] { order.push_back(1); });
+  queue.schedule_at(20, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueue, SameTimeFifoByScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(5, [&] { order.push_back(1); });
+  queue.schedule_at(5, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue queue;
+  bool fired = false;
+  queue.schedule_at(10, [] {});
+  queue.run();
+  queue.schedule_in(5, [&] { fired = true; });
+  queue.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(queue.now(), 15u);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.schedule_at(10, [&] { fired = true; });
+  queue.cancel(id);
+  queue.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue queue;
+  queue.schedule_at(10, [] {});
+  queue.run();
+  EXPECT_THROW(queue.schedule_at(5, [] {}), ndpgen::Error);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  int count = 0;
+  queue.schedule_at(10, [&] { ++count; });
+  queue.schedule_at(20, [&] { ++count; });
+  queue.run_until(15);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(queue.now(), 15u);
+  queue.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) queue.schedule_in(10, chain);
+  };
+  queue.schedule_at(0, chain);
+  queue.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(queue.now(), 40u);
+}
+
+TEST(EventQueue, AdvanceToMovesIdleClock) {
+  EventQueue queue;
+  queue.advance_to(100);
+  EXPECT_EQ(queue.now(), 100u);
+  EXPECT_THROW(queue.advance_to(50), ndpgen::Error);
+}
+
+TEST(EventQueue, LateEventsNeverMoveTimeBackwards) {
+  EventQueue queue;
+  SimTime seen = 0;
+  queue.schedule_at(10, [&] { seen = queue.now(); });
+  queue.advance_to(50);  // A busy CPU ran past the completion time.
+  queue.run();
+  EXPECT_EQ(seen, 50u);
+  EXPECT_EQ(queue.now(), 50u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+  queue.schedule_at(1, [] {});
+  EXPECT_TRUE(queue.step());
+  EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueue, DispatchCountTracksFiredOnly) {
+  EventQueue queue;
+  const EventId id = queue.schedule_at(1, [] {});
+  queue.schedule_at(2, [] {});
+  queue.cancel(id);
+  queue.run();
+  EXPECT_EQ(queue.dispatched(), 1u);
+}
+
+}  // namespace
+}  // namespace ndpgen::platform

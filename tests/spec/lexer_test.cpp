@@ -1,0 +1,126 @@
+#include "spec/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ndpgen::spec {
+namespace {
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer(source).tokenize();
+}
+
+TEST(Lexer, EmptyInput) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, Keywords) {
+  const auto tokens = lex("typedef struct");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwTypedef);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kKwStruct);
+}
+
+TEST(Lexer, IdentifiersAndPunctuation) {
+  const auto tokens = lex("uint32_t x, y;");
+  ASSERT_EQ(tokens.size(), 6u);  // uint32_t x , y ; EOF
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "uint32_t");
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[3].text, "y");
+  EXPECT_EQ(tokens[4].kind, TokenKind::kSemicolon);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, DecimalAndHexIntegers) {
+  const auto tokens = lex("42 0x2A");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42u);
+  EXPECT_EQ(tokens[1].int_value, 42u);
+}
+
+TEST(Lexer, IntegerWithSuffixFails) {
+  EXPECT_THROW(lex("42abc"), ndpgen::Error);
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  const auto tokens = lex("// comment\nfoo");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[0].loc.line, 2u);
+}
+
+TEST(Lexer, PlainBlockCommentsSkipped) {
+  const auto tokens = lex("/* not an annotation */ foo");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "foo");
+}
+
+TEST(Lexer, AnnotationCommentBecomesToken) {
+  const auto tokens = lex("/* @string prefix = 4 */ foo");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kAnnotation);
+  EXPECT_NE(tokens[0].text.find("@string"), std::string::npos);
+  EXPECT_EQ(tokens[1].text, "foo");
+}
+
+TEST(Lexer, StarDecoratedAnnotationRecognized) {
+  const auto tokens = lex("/*\n * @autogen define parser P with input = A, output = A\n */");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kAnnotation);
+}
+
+TEST(Lexer, UnterminatedBlockCommentFails) {
+  EXPECT_THROW(lex("/* unterminated"), ndpgen::Error);
+}
+
+TEST(Lexer, UnexpectedCharacterFails) {
+  EXPECT_THROW(lex("$"), ndpgen::Error);
+  EXPECT_THROW(lex("a @ b"), ndpgen::Error);  // '@' only in annotations.
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[0].loc.column, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.column, 3u);
+}
+
+TEST(Lexer, AnnotationBodyTokenization) {
+  const auto tokens = Lexer::tokenize_annotation(
+      "@autogen define parser P with chunksize = 32", SourceLoc{5, 1});
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kAt);
+  EXPECT_EQ(tokens[1].text, "autogen");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+  EXPECT_EQ(tokens[0].loc.line, 5u);
+}
+
+TEST(Lexer, AnnotationBodyMappingTokens) {
+  const auto tokens = Lexer::tokenize_annotation(
+      "@autogen mapping = { output.x = input.y }", SourceLoc{});
+  bool saw_dot = false, saw_brace = false;
+  for (const auto& token : tokens) {
+    saw_dot |= token.kind == TokenKind::kDot;
+    saw_brace |= token.kind == TokenKind::kLBrace;
+  }
+  EXPECT_TRUE(saw_dot);
+  EXPECT_TRUE(saw_brace);
+}
+
+TEST(Lexer, ArrayBrackets) {
+  const auto tokens = lex("char title[104];");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLBracket);
+  EXPECT_EQ(tokens[3].int_value, 104u);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kRBracket);
+}
+
+}  // namespace
+}  // namespace ndpgen::spec

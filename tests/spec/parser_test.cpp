@@ -1,0 +1,322 @@
+#include "spec/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "hwgen/template_builder.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::spec {
+namespace {
+
+constexpr const char* kFig4 = R"spec(
+/* @autogen define parser Point3DTo2D with
+   chunksize = 32, input = Point3D, output = Point2D,
+   mapping = { output.x = input.y, output.y = input.z } */
+typedef struct { uint32_t x, y, z; } Point3D;
+typedef struct { uint32_t x, y; } Point2D;
+)spec";
+
+TEST(Parser, Fig4Example) {
+  const SpecModule module = parse_spec(kFig4);
+  ASSERT_EQ(module.structs.size(), 2u);
+  ASSERT_EQ(module.parsers.size(), 1u);
+
+  const StructDecl* point3d = module.find_struct("Point3D");
+  ASSERT_NE(point3d, nullptr);
+  ASSERT_EQ(point3d->fields.size(), 3u);
+  EXPECT_EQ(point3d->fields[0].name, "x");
+  EXPECT_EQ(point3d->fields[2].name, "z");
+  EXPECT_EQ(point3d->fields[0].type.kind, TypeRef::Kind::kPrimitive);
+  EXPECT_EQ(point3d->fields[0].type.primitive, PrimitiveKind::kU32);
+
+  const ParserSpec* parser = module.find_parser("Point3DTo2D");
+  ASSERT_NE(parser, nullptr);
+  EXPECT_EQ(parser->chunk_size_kb, 32u);
+  EXPECT_EQ(parser->input_type, "Point3D");
+  EXPECT_EQ(parser->output_type, "Point2D");
+  EXPECT_EQ(parser->filter_stages, 1u);
+  ASSERT_EQ(parser->mapping.size(), 2u);
+  EXPECT_EQ(parser->mapping[0].output_path, std::vector<std::string>{"x"});
+  EXPECT_EQ(parser->mapping[0].input_path, std::vector<std::string>{"y"});
+  EXPECT_EQ(parser->mapping[1].output_path, std::vector<std::string>{"y"});
+  EXPECT_EQ(parser->mapping[1].input_path, std::vector<std::string>{"z"});
+}
+
+TEST(Parser, AllPrimitiveTypes) {
+  const SpecModule module = parse_spec(R"(
+typedef struct {
+  uint8_t a; uint16_t b; uint32_t c; uint64_t d;
+  int8_t e; int16_t f; int32_t g; int64_t h;
+  float i; double j; char k; int l;
+} All;
+/* @autogen define parser P with input = All, output = All */
+)");
+  const StructDecl* all = module.find_struct("All");
+  ASSERT_NE(all, nullptr);
+  ASSERT_EQ(all->fields.size(), 12u);
+  EXPECT_EQ(all->fields[8].type.primitive, PrimitiveKind::kF32);
+  EXPECT_EQ(all->fields[9].type.primitive, PrimitiveKind::kF64);
+  EXPECT_EQ(all->fields[10].type.primitive, PrimitiveKind::kU8);   // char
+  EXPECT_EQ(all->fields[11].type.primitive, PrimitiveKind::kI32);  // int
+}
+
+TEST(Parser, MultiDimensionalArrays) {
+  const SpecModule module = parse_spec(
+      "typedef struct { uint32_t m[2][3]; } M;"
+      "/* @autogen define parser P with input = M, output = M */");
+  const auto& field = module.find_struct("M")->fields[0];
+  ASSERT_EQ(field.array_dims.size(), 2u);
+  EXPECT_EQ(field.array_dims[0], 2u);
+  EXPECT_EQ(field.array_dims[1], 3u);
+}
+
+TEST(Parser, NestedNamedStruct) {
+  const SpecModule module = parse_spec(R"(
+typedef struct { uint32_t x, y; } Inner;
+typedef struct { uint64_t id; struct Inner pos; } Outer;
+/* @autogen define parser P with input = Outer, output = Outer */
+)");
+  const auto& field = module.find_struct("Outer")->fields[1];
+  EXPECT_EQ(field.type.kind, TypeRef::Kind::kNamed);
+  EXPECT_EQ(field.type.name, "Inner");
+}
+
+TEST(Parser, NamedTypeWithoutStructKeyword) {
+  const SpecModule module = parse_spec(R"(
+typedef struct { uint32_t x; } Inner;
+typedef struct { Inner pos; } Outer;
+/* @autogen define parser P with input = Outer, output = Outer */
+)");
+  EXPECT_EQ(module.find_struct("Outer")->fields[0].type.name, "Inner");
+}
+
+TEST(Parser, AnonymousInlineStruct) {
+  const SpecModule module = parse_spec(R"(
+typedef struct {
+  struct { uint32_t lat; uint32_t lon; } gps;
+} Outer;
+/* @autogen define parser P with input = Outer, output = Outer */
+)");
+  const auto& field = module.find_struct("Outer")->fields[0];
+  EXPECT_EQ(field.type.kind, TypeRef::Kind::kInlineStruct);
+  ASSERT_NE(field.type.inline_struct, nullptr);
+  EXPECT_EQ(field.type.inline_struct->fields.size(), 2u);
+}
+
+TEST(Parser, StringAnnotationAttachesToField) {
+  const SpecModule module = parse_spec(R"(
+typedef struct {
+  uint64_t id;
+  /* @string prefix = 4 */
+  char name[32];
+} Rec;
+/* @autogen define parser P with input = Rec, output = Rec */
+)");
+  const auto& field = module.find_struct("Rec")->fields[1];
+  ASSERT_TRUE(field.string_annotation.has_value());
+  EXPECT_EQ(field.string_annotation->prefix_bytes, 4u);
+}
+
+TEST(Parser, StringAnnotationOnNonByteArrayFails) {
+  EXPECT_THROW(parse_spec(R"(
+typedef struct {
+  /* @string prefix = 4 */
+  uint32_t name[32];
+} Rec;
+)"),
+               ndpgen::Error);
+}
+
+TEST(Parser, StringPrefixMustBeShorterThanArray) {
+  EXPECT_THROW(parse_spec(R"(
+typedef struct {
+  /* @string prefix = 4 */
+  char name[4];
+} Rec;
+)"),
+               ndpgen::Error);
+}
+
+TEST(Parser, StringPrefixRange) {
+  EXPECT_THROW(parse_spec("typedef struct { /* @string prefix = 0 */ char s[8]; } R;"),
+               ndpgen::Error);
+  EXPECT_THROW(parse_spec("typedef struct { /* @string prefix = 9 */ char s[32]; } R;"),
+               ndpgen::Error);
+}
+
+TEST(Parser, FiltersProperty) {
+  const SpecModule module = parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T, filters = 5 */");
+  EXPECT_EQ(module.find_parser("P")->filter_stages, 5u);
+}
+
+TEST(Parser, FiltersOutOfRangeFails) {
+  EXPECT_THROW(parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T, filters = 0 */"),
+      ndpgen::Error);
+  EXPECT_THROW(parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T, filters = 17 */"),
+      ndpgen::Error);
+}
+
+TEST(Parser, AggregateProperty) {
+  const SpecModule with_true = parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T, "
+      "aggregate = true */");
+  EXPECT_TRUE(with_true.find_parser("P")->aggregate);
+  const SpecModule with_one = parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T, "
+      "aggregate = 1 */");
+  EXPECT_TRUE(with_one.find_parser("P")->aggregate);
+  const SpecModule with_false = parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T, "
+      "aggregate = false */");
+  EXPECT_FALSE(with_false.find_parser("P")->aggregate);
+  EXPECT_THROW(parse_spec("typedef struct { uint64_t a; } T;"
+                          "/* @autogen define parser P with input = T, "
+                          "output = T, aggregate = maybe */"),
+               ndpgen::Error);
+}
+
+TEST(Parser, AggregatePropertyFlowsToDesign) {
+  const auto module = parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T, "
+      "aggregate = true */");
+  const auto analyzed = analysis::analyze_parser(module, "P");
+  EXPECT_TRUE(analyzed.aggregate);
+  const auto design = hwgen::build_pe_design(analyzed);
+  EXPECT_EQ(design.modules_of_kind(hwgen::ModuleKind::kAggregateUnit).size(),
+            1u);
+  // Dump round-trips the property.
+  const auto reparsed = parse_spec(module.dump());
+  EXPECT_TRUE(reparsed.find_parser("P")->aggregate);
+}
+
+TEST(Parser, OperatorsProperty) {
+  const SpecModule module = parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T, "
+      "operators = { eq, lt, nop } */");
+  const auto& ops = module.find_parser("P")->operators;
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0], "eq");
+  EXPECT_EQ(ops[2], "nop");
+}
+
+TEST(Parser, UnknownInputTypeFails) {
+  EXPECT_THROW(parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = Missing, output = T */"),
+      ndpgen::Error);
+}
+
+TEST(Parser, MissingInputPropertyFails) {
+  EXPECT_THROW(parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with output = T */"),
+      ndpgen::Error);
+}
+
+TEST(Parser, DuplicatePropertyFails) {
+  EXPECT_THROW(parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, input = T, output = T */"),
+      ndpgen::Error);
+}
+
+TEST(Parser, DuplicateStructFails) {
+  EXPECT_THROW(parse_spec("typedef struct { uint32_t a; } T;"
+                          "typedef struct { uint32_t b; } T;"),
+               ndpgen::Error);
+}
+
+TEST(Parser, DuplicateFieldFails) {
+  EXPECT_THROW(parse_spec("typedef struct { uint32_t a; uint32_t a; } T;"),
+               ndpgen::Error);
+}
+
+TEST(Parser, DuplicateParserFails) {
+  EXPECT_THROW(parse_spec(
+      "typedef struct { uint64_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T */"
+      "/* @autogen define parser P with input = T, output = T */"),
+      ndpgen::Error);
+}
+
+TEST(Parser, MappingMustStartWithOutputAndInput) {
+  EXPECT_THROW(parse_spec(
+      "typedef struct { uint32_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T, "
+      "mapping = { a = input.a } */"),
+      ndpgen::Error);
+  EXPECT_THROW(parse_spec(
+      "typedef struct { uint32_t a; } T;"
+      "/* @autogen define parser P with input = T, output = T, "
+      "mapping = { output.a = a } */"),
+      ndpgen::Error);
+}
+
+TEST(Parser, MappingSemicolonSeparators) {
+  const SpecModule module = parse_spec(
+      "typedef struct { uint32_t a; uint32_t b; } T;"
+      "/* @autogen define parser P with input = T, output = T, "
+      "mapping = { output.a = input.b; output.b = input.a } */");
+  EXPECT_EQ(module.find_parser("P")->mapping.size(), 2u);
+}
+
+TEST(Parser, StructKeywordVariant) {
+  const SpecModule module = parse_spec("struct Foo { uint32_t a; };");
+  EXPECT_NE(module.find_struct("Foo"), nullptr);
+}
+
+TEST(Parser, ArrayDimensionZeroFails) {
+  EXPECT_THROW(parse_spec("typedef struct { uint32_t a[0]; } T;"),
+               ndpgen::Error);
+}
+
+TEST(Parser, SyntaxErrorsCarryLocation) {
+  try {
+    parse_spec("typedef struct { uint32_t ; } T;");
+    FAIL() << "expected parse error";
+  } catch (const ndpgen::Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kParse);
+    EXPECT_NE(std::string(error.what()).find("1:"), std::string::npos);
+  }
+}
+
+TEST(Parser, WarnsAboutUnusedStructs) {
+  DiagnosticSink sink;
+  parse_spec(
+      "typedef struct { uint32_t a; } Used;"
+      "typedef struct { uint32_t b; } Unused;"
+      "/* @autogen define parser P with input = Used, output = Used */",
+      &sink);
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_NE(sink.diagnostics()[0].message.find("Unused"), std::string::npos);
+}
+
+TEST(Parser, NoWarningWithoutParsers) {
+  DiagnosticSink sink;
+  parse_spec("typedef struct { uint32_t a; } Lonely;", &sink);
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(Parser, DumpRoundTripsStructure) {
+  const SpecModule module = parse_spec(kFig4);
+  const std::string dumped = module.dump();
+  const SpecModule reparsed = parse_spec(dumped);
+  EXPECT_EQ(reparsed.structs.size(), module.structs.size());
+  EXPECT_EQ(reparsed.parsers.size(), module.parsers.size());
+  EXPECT_EQ(reparsed.find_parser("Point3DTo2D")->mapping.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ndpgen::spec

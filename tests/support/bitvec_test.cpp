@@ -1,0 +1,169 @@
+#include "support/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ndpgen::support {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector bits;
+  EXPECT_EQ(bits.width(), 0u);
+  EXPECT_TRUE(bits.empty());
+}
+
+TEST(BitVector, ConstructedZeroed) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.width(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.bit(i));
+}
+
+TEST(BitVector, SetAndGetBits) {
+  BitVector bits(100);
+  bits.set_bit(0, true);
+  bits.set_bit(63, true);
+  bits.set_bit(64, true);
+  bits.set_bit(99, true);
+  EXPECT_TRUE(bits.bit(0));
+  EXPECT_TRUE(bits.bit(63));
+  EXPECT_TRUE(bits.bit(64));
+  EXPECT_TRUE(bits.bit(99));
+  EXPECT_FALSE(bits.bit(1));
+  bits.set_bit(63, false);
+  EXPECT_FALSE(bits.bit(63));
+}
+
+TEST(BitVector, BitIndexOutOfRangeThrows) {
+  BitVector bits(8);
+  EXPECT_THROW(bits.bit(8), Error);
+  EXPECT_THROW(bits.set_bit(8, true), Error);
+}
+
+TEST(BitVector, FromU64RoundTrip) {
+  const auto bits = BitVector::from_u64(0xdeadbeefcafef00dULL, 64);
+  EXPECT_EQ(bits.extract_u64(0, 64), 0xdeadbeefcafef00dULL);
+}
+
+TEST(BitVector, FromU64Masks) {
+  const auto bits = BitVector::from_u64(0xff, 4);
+  EXPECT_EQ(bits.extract_u64(0, 4), 0xfu);
+}
+
+TEST(BitVector, ExtractAcrossWordBoundary) {
+  BitVector bits(128);
+  bits.deposit_u64(60, 8, 0xab);
+  EXPECT_EQ(bits.extract_u64(60, 8), 0xabu);
+  EXPECT_EQ(bits.extract_u64(56, 16), 0xabu << 4);
+}
+
+TEST(BitVector, DepositExtractExhaustiveOffsets) {
+  for (std::size_t offset = 0; offset < 70; ++offset) {
+    BitVector bits(192);
+    bits.deposit_u64(offset, 13, 0x1a5b & 0x1fff);
+    EXPECT_EQ(bits.extract_u64(offset, 13), 0x1a5bu & 0x1fff) << offset;
+    // Neighbours untouched.
+    if (offset > 0) EXPECT_FALSE(bits.bit(offset - 1)) << offset;
+    EXPECT_FALSE(bits.bit(offset + 13)) << offset;
+  }
+}
+
+TEST(BitVector, DepositDoesNotClobber) {
+  BitVector bits(64);
+  bits.deposit_u64(0, 64, ~0ULL);
+  bits.deposit_u64(8, 8, 0);
+  EXPECT_EQ(bits.extract_u64(0, 8), 0xffu);
+  EXPECT_EQ(bits.extract_u64(8, 8), 0u);
+  EXPECT_EQ(bits.extract_u64(16, 48), (~0ULL) >> 16);
+}
+
+TEST(BitVector, SliceAndDeposit) {
+  BitVector bits(96);
+  bits.deposit_u64(10, 20, 0xabcde & 0xfffff);
+  const BitVector slice = bits.slice(10, 20);
+  EXPECT_EQ(slice.width(), 20u);
+  EXPECT_EQ(slice.extract_u64(0, 20), 0xabcdeu & 0xfffff);
+
+  BitVector other(40);
+  other.deposit(5, slice);
+  EXPECT_EQ(other.extract_u64(5, 20), 0xabcdeu & 0xfffff);
+}
+
+TEST(BitVector, SliceOutOfBoundsThrows) {
+  BitVector bits(32);
+  EXPECT_THROW(bits.slice(20, 20), Error);
+}
+
+TEST(BitVector, AppendGrows) {
+  BitVector bits = BitVector::from_u64(0x5, 3);
+  bits.append(BitVector::from_u64(0x3, 2));
+  EXPECT_EQ(bits.width(), 5u);
+  EXPECT_EQ(bits.extract_u64(0, 5), 0x5u | (0x3u << 3));
+}
+
+TEST(BitVector, AppendManyAcrossWords) {
+  BitVector bits;
+  for (int i = 0; i < 10; ++i) {
+    bits.append(BitVector::from_u64(static_cast<std::uint64_t>(i), 20));
+  }
+  EXPECT_EQ(bits.width(), 200u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(bits.extract_u64(static_cast<std::size_t>(i) * 20, 20),
+              static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(BitVector, ResizeTruncatesAndMasks) {
+  BitVector bits = BitVector::from_u64(~0ULL, 64);
+  bits.resize(10);
+  EXPECT_EQ(bits.width(), 10u);
+  EXPECT_EQ(bits.extract_u64(0, 10), 0x3ffu);
+  bits.resize(20);
+  EXPECT_EQ(bits.extract_u64(0, 20), 0x3ffu);  // Upper bits zero-filled.
+}
+
+TEST(BitVector, BytesRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x01, 0x80, 0xff, 0x00, 0x5a};
+  const auto bits = BitVector::from_bytes(bytes);
+  EXPECT_EQ(bits.width(), 40u);
+  EXPECT_EQ(bits.to_bytes(), bytes);
+}
+
+TEST(BitVector, ToBytesPartialByte) {
+  const auto bits = BitVector::from_u64(0x1ff, 9);
+  const auto bytes = bits.to_bytes();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xff);
+  EXPECT_EQ(bytes[1], 0x01);
+}
+
+TEST(BitVector, ToStringMsbFirst) {
+  const auto bits = BitVector::from_u64(0b1010, 4);
+  EXPECT_EQ(bits.to_string(), "0b1010");
+}
+
+TEST(BitVector, Equality) {
+  EXPECT_EQ(BitVector::from_u64(0x12, 8), BitVector::from_u64(0x12, 8));
+  EXPECT_FALSE(BitVector::from_u64(0x12, 8) == BitVector::from_u64(0x12, 9));
+  EXPECT_FALSE(BitVector::from_u64(0x12, 8) == BitVector::from_u64(0x13, 8));
+}
+
+TEST(BitVector, RandomizedSliceDepositRoundTrip) {
+  Xoshiro256 rng(7);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const std::size_t total = 64 + rng.below(512);
+    BitVector bits(total);
+    const std::size_t width = 1 + rng.below(64);
+    const std::size_t offset = rng.below(total - width);
+    const std::uint64_t value =
+        rng() & (width == 64 ? ~0ULL : ((1ULL << width) - 1));
+    bits.deposit_u64(offset, width, value);
+    EXPECT_EQ(bits.extract_u64(offset, width), value);
+    const BitVector copy = bits.slice(0, total);
+    EXPECT_EQ(copy, bits);
+  }
+}
+
+}  // namespace
+}  // namespace ndpgen::support

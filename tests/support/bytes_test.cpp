@@ -1,0 +1,71 @@
+#include "support/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndpgen::support {
+namespace {
+
+TEST(Bytes, U16RoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  put_u16(buffer, 0xbeef);
+  ASSERT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer[0], 0xef);  // Little-endian.
+  EXPECT_EQ(get_u16(buffer, 0), 0xbeef);
+}
+
+TEST(Bytes, U32RoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  put_u32(buffer, 0x12345678);
+  EXPECT_EQ(get_u32(buffer, 0), 0x12345678u);
+}
+
+TEST(Bytes, U64RoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  put_u64(buffer, 0x0123456789abcdefULL);
+  EXPECT_EQ(get_u64(buffer, 0), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, OffsetReads) {
+  std::vector<std::uint8_t> buffer;
+  put_u32(buffer, 1);
+  put_u32(buffer, 2);
+  EXPECT_EQ(get_u32(buffer, 4), 2u);
+}
+
+TEST(Bytes, OutOfBoundsThrows) {
+  std::vector<std::uint8_t> buffer = {1, 2};
+  EXPECT_THROW(get_u32(buffer, 0), Error);
+  EXPECT_THROW(get_u16(buffer, 1), Error);
+}
+
+TEST(Varint, SmallValues) {
+  std::vector<std::uint8_t> buffer;
+  put_varint(buffer, 0);
+  put_varint(buffer, 127);
+  ASSERT_EQ(buffer.size(), 2u);
+  std::size_t offset = 0;
+  EXPECT_EQ(get_varint(buffer, offset), 0u);
+  EXPECT_EQ(get_varint(buffer, offset), 127u);
+  EXPECT_EQ(offset, 2u);
+}
+
+TEST(Varint, MultiByteValues) {
+  std::vector<std::uint8_t> buffer;
+  put_varint(buffer, 128);
+  put_varint(buffer, 300);
+  put_varint(buffer, ~0ULL);
+  std::size_t offset = 0;
+  EXPECT_EQ(get_varint(buffer, offset), 128u);
+  EXPECT_EQ(get_varint(buffer, offset), 300u);
+  EXPECT_EQ(get_varint(buffer, offset), ~0ULL);
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(Varint, TruncatedThrows) {
+  std::vector<std::uint8_t> buffer = {0x80};
+  std::size_t offset = 0;
+  EXPECT_THROW(get_varint(buffer, offset), Error);
+}
+
+}  // namespace
+}  // namespace ndpgen::support

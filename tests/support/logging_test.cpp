@@ -1,0 +1,81 @@
+#include "support/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ndpgen::support {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, DefaultLevelIsWarn) {
+  // (Other tests must not have tampered without restoring.)
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kWarn));
+}
+
+TEST(Logging, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kDebug));
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::kOff));
+}
+
+TEST(Logging, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log_message(LogLevel::kError, "test", "should be suppressed");
+  NDPGEN_LOG_ERROR("test") << "also suppressed " << 42;
+}
+
+TEST(Logging, StreamStyleFormatsLazily) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "value";
+  };
+  // The macro's if-guard prevents evaluation when the level is disabled.
+  NDPGEN_LOG_DEBUG("test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Error, KindNamesAndMessageComposition) {
+  const Error error(ErrorKind::kStorage, "disk on fire");
+  EXPECT_EQ(error.kind(), ErrorKind::kStorage);
+  EXPECT_STREQ(error.what(), "storage: disk on fire");
+  EXPECT_EQ(to_string(ErrorKind::kParse), "parse");
+  EXPECT_EQ(to_string(ErrorKind::kInvalidArg), "invalid-argument");
+}
+
+TEST(Error, CheckMacrosThrowWithContext) {
+  try {
+    NDPGEN_CHECK_ARG(1 == 2, "math is broken");
+    FAIL();
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kInvalidArg);
+    EXPECT_NE(std::string(error.what()).find("math is broken"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("1 == 2"), std::string::npos);
+  }
+  try {
+    NDPGEN_CHECK(false, "invariant");
+    FAIL();
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kInternal);
+  }
+}
+
+}  // namespace
+}  // namespace ndpgen::support

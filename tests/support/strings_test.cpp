@@ -1,0 +1,72 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndpgen::support {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Split, BasicSplitting) {
+  const auto pieces = split("a, b , c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(Split, KeepsEmptyPieces) {
+  const auto pieces = split("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto pieces = split("abc", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("foo", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_FALSE(starts_with("barfoo", "foo"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(ToMacroCase, ConvertsStyles) {
+  EXPECT_EQ(to_macro_case("fooBar"), "FOO_BAR");
+  EXPECT_EQ(to_macro_case("foo_bar"), "FOO_BAR");
+  EXPECT_EQ(to_macro_case("foo.bar"), "FOO_BAR");
+  EXPECT_EQ(to_macro_case("Point3DTo2D"), "POINT3DTO2D");
+  EXPECT_EQ(to_macro_case("title_prefix"), "TITLE_PREFIX");
+  EXPECT_EQ(to_macro_case("pos.elem_0"), "POS_ELEM_0");
+}
+
+TEST(Indent, IndentsNonEmptyLines) {
+  EXPECT_EQ(indent("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");
+  EXPECT_EQ(indent("", 2), "");
+}
+
+TEST(IsCIdentifier, Accepts) {
+  EXPECT_TRUE(is_c_identifier("foo"));
+  EXPECT_TRUE(is_c_identifier("_bar9"));
+  EXPECT_TRUE(is_c_identifier("Point3D"));
+}
+
+TEST(IsCIdentifier, Rejects) {
+  EXPECT_FALSE(is_c_identifier(""));
+  EXPECT_FALSE(is_c_identifier("9foo"));
+  EXPECT_FALSE(is_c_identifier("foo-bar"));
+  EXPECT_FALSE(is_c_identifier("foo.bar"));
+}
+
+}  // namespace
+}  // namespace ndpgen::support

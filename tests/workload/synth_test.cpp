@@ -1,0 +1,66 @@
+#include "workload/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "spec/parser.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::workload {
+namespace {
+
+TEST(Synth, FullSpecHasOnly32BitFields) {
+  const auto module = spec::parse_spec(synth_spec(256, false));
+  const auto analyzed = analysis::analyze_parser(module, "Synth");
+  EXPECT_EQ(analyzed.input.storage_bits, 256u);
+  EXPECT_EQ(analyzed.input.relevant_count(), 8u);
+  EXPECT_EQ(analyzed.input.comparator_width_bits, 32u);
+  EXPECT_EQ(analyzed.input.padded_bits, 256u);
+}
+
+TEST(Synth, HalfSpecDiscardsHalfViaStringPrefix) {
+  // "another PE, where half of the data is discarded using
+  // string-prefixes" — half the bits end up as opaque postfix.
+  const auto module = spec::parse_spec(synth_spec(256, true));
+  const auto analyzed = analysis::analyze_parser(module, "Synth");
+  EXPECT_EQ(analyzed.input.storage_bits, 256u);
+  std::uint64_t postfix_bits = 0;
+  for (const auto& field : analyzed.input.fields) {
+    if (!field.relevant) postfix_bits += field.storage_width_bits;
+  }
+  EXPECT_EQ(postfix_bits, 128u);
+  // Relevant: (N/2 - 32)/32 fields + 1 prefix = N/64 = 4.
+  EXPECT_EQ(analyzed.input.relevant_count(), 4u);
+}
+
+TEST(Synth, AllPaperSweepSizesAnalyze) {
+  for (std::uint32_t bits = 64; bits <= 1024; bits *= 2) {
+    for (const bool half : {false, true}) {
+      const auto module = spec::parse_spec(synth_spec(bits, half));
+      const auto analyzed = analysis::analyze_parser(module, "Synth");
+      EXPECT_EQ(analyzed.input.storage_bits, bits) << bits << " " << half;
+    }
+  }
+}
+
+TEST(Synth, StagesPropagate) {
+  const auto module = spec::parse_spec(synth_spec(256, false, 5));
+  EXPECT_EQ(module.find_parser("Synth")->filter_stages, 5u);
+}
+
+TEST(Synth, InvalidSizesRejected) {
+  EXPECT_THROW(synth_spec(32, false), ndpgen::Error);
+  EXPECT_THROW(synth_spec(100, false), ndpgen::Error);
+}
+
+TEST(Synth, TupleDataDeterministicAndSized) {
+  const auto a = synth_tuples(128, 10, 7);
+  const auto b = synth_tuples(128, 10, 7);
+  EXPECT_EQ(a.size(), 10u * 16);
+  EXPECT_EQ(a, b);
+  const auto c = synth_tuples(128, 10, 8);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace ndpgen::workload

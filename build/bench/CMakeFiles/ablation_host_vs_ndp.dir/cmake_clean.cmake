@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_host_vs_ndp.dir/ablation_host_vs_ndp.cpp.o"
+  "CMakeFiles/ablation_host_vs_ndp.dir/ablation_host_vs_ndp.cpp.o.d"
+  "ablation_host_vs_ndp"
+  "ablation_host_vs_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_host_vs_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loadstore.dir/ablation_loadstore.cpp.o"
+  "CMakeFiles/ablation_loadstore.dir/ablation_loadstore.cpp.o.d"
+  "ablation_loadstore"
+  "ablation_loadstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loadstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

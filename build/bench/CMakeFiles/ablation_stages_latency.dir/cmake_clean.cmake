@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stages_latency.dir/ablation_stages_latency.cpp.o"
+  "CMakeFiles/ablation_stages_latency.dir/ablation_stages_latency.cpp.o.d"
+  "ablation_stages_latency"
+  "ablation_stages_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stages_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_get.dir/fig7_get.cpp.o"
+  "CMakeFiles/fig7_get.dir/fig7_get.cpp.o.d"
+  "fig7_get"
+  "fig7_get.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_get.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

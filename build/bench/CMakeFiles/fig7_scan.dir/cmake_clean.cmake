@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scan.dir/fig7_scan.cpp.o"
+  "CMakeFiles/fig7_scan.dir/fig7_scan.cpp.o.d"
+  "fig7_scan"
+  "fig7_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

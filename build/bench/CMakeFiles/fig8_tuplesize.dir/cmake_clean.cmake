@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tuplesize.dir/fig8_tuplesize.cpp.o"
+  "CMakeFiles/fig8_tuplesize.dir/fig8_tuplesize.cpp.o.d"
+  "fig8_tuplesize"
+  "fig8_tuplesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tuplesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

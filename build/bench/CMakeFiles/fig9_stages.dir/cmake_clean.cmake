@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_stages.dir/fig9_stages.cpp.o"
+  "CMakeFiles/fig9_stages.dir/fig9_stages.cpp.o.d"
+  "fig9_stages"
+  "fig9_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_frontend.dir/micro_frontend.cpp.o"
+  "CMakeFiles/micro_frontend.dir/micro_frontend.cpp.o.d"
+  "micro_frontend"
+  "micro_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hwsim.dir/micro_hwsim.cpp.o"
+  "CMakeFiles/micro_hwsim.dir/micro_hwsim.cpp.o.d"
+  "micro_hwsim"
+  "micro_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_util.dir/table1_util.cpp.o"
+  "CMakeFiles/table1_util.dir/table1_util.cpp.o.d"
+  "table1_util"
+  "table1_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_queries.dir/analytics_queries.cpp.o"
+  "CMakeFiles/analytics_queries.dir/analytics_queries.cpp.o.d"
+  "analytics_queries"
+  "analytics_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multistage_filter.cpp" "examples/CMakeFiles/multistage_filter.dir/multistage_filter.cpp.o" "gcc" "examples/CMakeFiles/multistage_filter.dir/multistage_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndpgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

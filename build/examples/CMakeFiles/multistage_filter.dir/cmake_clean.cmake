@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistage_filter.dir/multistage_filter.cpp.o"
+  "CMakeFiles/multistage_filter.dir/multistage_filter.cpp.o.d"
+  "multistage_filter"
+  "multistage_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistage_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubgraph_scan.dir/pubgraph_scan.cpp.o"
+  "CMakeFiles/pubgraph_scan.dir/pubgraph_scan.cpp.o.d"
+  "pubgraph_scan"
+  "pubgraph_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubgraph_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

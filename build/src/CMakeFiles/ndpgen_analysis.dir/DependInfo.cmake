@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cpp" "src/CMakeFiles/ndpgen_analysis.dir/analysis/analyzer.cpp.o" "gcc" "src/CMakeFiles/ndpgen_analysis.dir/analysis/analyzer.cpp.o.d"
+  "/root/repo/src/analysis/layout.cpp" "src/CMakeFiles/ndpgen_analysis.dir/analysis/layout.cpp.o" "gcc" "src/CMakeFiles/ndpgen_analysis.dir/analysis/layout.cpp.o.d"
+  "/root/repo/src/analysis/mapping.cpp" "src/CMakeFiles/ndpgen_analysis.dir/analysis/mapping.cpp.o" "gcc" "src/CMakeFiles/ndpgen_analysis.dir/analysis/mapping.cpp.o.d"
+  "/root/repo/src/analysis/passes.cpp" "src/CMakeFiles/ndpgen_analysis.dir/analysis/passes.cpp.o" "gcc" "src/CMakeFiles/ndpgen_analysis.dir/analysis/passes.cpp.o.d"
+  "/root/repo/src/analysis/type_tree.cpp" "src/CMakeFiles/ndpgen_analysis.dir/analysis/type_tree.cpp.o" "gcc" "src/CMakeFiles/ndpgen_analysis.dir/analysis/type_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndpgen_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_analysis.dir/analysis/analyzer.cpp.o"
+  "CMakeFiles/ndpgen_analysis.dir/analysis/analyzer.cpp.o.d"
+  "CMakeFiles/ndpgen_analysis.dir/analysis/layout.cpp.o"
+  "CMakeFiles/ndpgen_analysis.dir/analysis/layout.cpp.o.d"
+  "CMakeFiles/ndpgen_analysis.dir/analysis/mapping.cpp.o"
+  "CMakeFiles/ndpgen_analysis.dir/analysis/mapping.cpp.o.d"
+  "CMakeFiles/ndpgen_analysis.dir/analysis/passes.cpp.o"
+  "CMakeFiles/ndpgen_analysis.dir/analysis/passes.cpp.o.d"
+  "CMakeFiles/ndpgen_analysis.dir/analysis/type_tree.cpp.o"
+  "CMakeFiles/ndpgen_analysis.dir/analysis/type_tree.cpp.o.d"
+  "libndpgen_analysis.a"
+  "libndpgen_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_core.dir/core/framework.cpp.o"
+  "CMakeFiles/ndpgen_core.dir/core/framework.cpp.o.d"
+  "libndpgen_core.a"
+  "libndpgen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

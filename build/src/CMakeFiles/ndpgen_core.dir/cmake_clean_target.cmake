@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libndpgen_core.a"
+)

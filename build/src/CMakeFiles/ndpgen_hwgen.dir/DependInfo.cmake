@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwgen/operators.cpp" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/operators.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/operators.cpp.o.d"
+  "/root/repo/src/hwgen/pe_design.cpp" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/pe_design.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/pe_design.cpp.o.d"
+  "/root/repo/src/hwgen/register_map.cpp" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/register_map.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/register_map.cpp.o.d"
+  "/root/repo/src/hwgen/resource_model.cpp" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/resource_model.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/resource_model.cpp.o.d"
+  "/root/repo/src/hwgen/swif_generator.cpp" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/swif_generator.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/swif_generator.cpp.o.d"
+  "/root/repo/src/hwgen/template_builder.cpp" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/template_builder.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/template_builder.cpp.o.d"
+  "/root/repo/src/hwgen/testbench_emitter.cpp" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/testbench_emitter.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/testbench_emitter.cpp.o.d"
+  "/root/repo/src/hwgen/verilog_emitter.cpp" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/verilog_emitter.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwgen.dir/hwgen/verilog_emitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndpgen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/operators.cpp.o"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/operators.cpp.o.d"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/pe_design.cpp.o"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/pe_design.cpp.o.d"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/register_map.cpp.o"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/register_map.cpp.o.d"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/resource_model.cpp.o"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/resource_model.cpp.o.d"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/swif_generator.cpp.o"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/swif_generator.cpp.o.d"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/template_builder.cpp.o"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/template_builder.cpp.o.d"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/testbench_emitter.cpp.o"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/testbench_emitter.cpp.o.d"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/verilog_emitter.cpp.o"
+  "CMakeFiles/ndpgen_hwgen.dir/hwgen/verilog_emitter.cpp.o.d"
+  "libndpgen_hwgen.a"
+  "libndpgen_hwgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_hwgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

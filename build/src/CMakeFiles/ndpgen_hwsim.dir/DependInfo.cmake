@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwsim/aggregate_unit.cpp" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/aggregate_unit.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/aggregate_unit.cpp.o.d"
+  "/root/repo/src/hwsim/filter_stage.cpp" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/filter_stage.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/filter_stage.cpp.o.d"
+  "/root/repo/src/hwsim/kernel.cpp" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/kernel.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/kernel.cpp.o.d"
+  "/root/repo/src/hwsim/load_unit.cpp" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/load_unit.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/load_unit.cpp.o.d"
+  "/root/repo/src/hwsim/memport.cpp" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/memport.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/memport.cpp.o.d"
+  "/root/repo/src/hwsim/pe_sim.cpp" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/pe_sim.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/pe_sim.cpp.o.d"
+  "/root/repo/src/hwsim/regfile.cpp" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/regfile.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/regfile.cpp.o.d"
+  "/root/repo/src/hwsim/store_unit.cpp" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/store_unit.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/store_unit.cpp.o.d"
+  "/root/repo/src/hwsim/transform_unit.cpp" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/transform_unit.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/transform_unit.cpp.o.d"
+  "/root/repo/src/hwsim/tuple_buffer.cpp" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/tuple_buffer.cpp.o" "gcc" "src/CMakeFiles/ndpgen_hwsim.dir/hwsim/tuple_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndpgen_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/aggregate_unit.cpp.o"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/aggregate_unit.cpp.o.d"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/filter_stage.cpp.o"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/filter_stage.cpp.o.d"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/kernel.cpp.o"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/kernel.cpp.o.d"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/load_unit.cpp.o"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/load_unit.cpp.o.d"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/memport.cpp.o"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/memport.cpp.o.d"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/pe_sim.cpp.o"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/pe_sim.cpp.o.d"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/regfile.cpp.o"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/regfile.cpp.o.d"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/store_unit.cpp.o"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/store_unit.cpp.o.d"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/transform_unit.cpp.o"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/transform_unit.cpp.o.d"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/tuple_buffer.cpp.o"
+  "CMakeFiles/ndpgen_hwsim.dir/hwsim/tuple_buffer.cpp.o.d"
+  "libndpgen_hwsim.a"
+  "libndpgen_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/block_format.cpp" "src/CMakeFiles/ndpgen_kv.dir/kv/block_format.cpp.o" "gcc" "src/CMakeFiles/ndpgen_kv.dir/kv/block_format.cpp.o.d"
+  "/root/repo/src/kv/compaction.cpp" "src/CMakeFiles/ndpgen_kv.dir/kv/compaction.cpp.o" "gcc" "src/CMakeFiles/ndpgen_kv.dir/kv/compaction.cpp.o.d"
+  "/root/repo/src/kv/db.cpp" "src/CMakeFiles/ndpgen_kv.dir/kv/db.cpp.o" "gcc" "src/CMakeFiles/ndpgen_kv.dir/kv/db.cpp.o.d"
+  "/root/repo/src/kv/manifest.cpp" "src/CMakeFiles/ndpgen_kv.dir/kv/manifest.cpp.o" "gcc" "src/CMakeFiles/ndpgen_kv.dir/kv/manifest.cpp.o.d"
+  "/root/repo/src/kv/memtable.cpp" "src/CMakeFiles/ndpgen_kv.dir/kv/memtable.cpp.o" "gcc" "src/CMakeFiles/ndpgen_kv.dir/kv/memtable.cpp.o.d"
+  "/root/repo/src/kv/placement.cpp" "src/CMakeFiles/ndpgen_kv.dir/kv/placement.cpp.o" "gcc" "src/CMakeFiles/ndpgen_kv.dir/kv/placement.cpp.o.d"
+  "/root/repo/src/kv/sst_builder.cpp" "src/CMakeFiles/ndpgen_kv.dir/kv/sst_builder.cpp.o" "gcc" "src/CMakeFiles/ndpgen_kv.dir/kv/sst_builder.cpp.o.d"
+  "/root/repo/src/kv/sst_reader.cpp" "src/CMakeFiles/ndpgen_kv.dir/kv/sst_reader.cpp.o" "gcc" "src/CMakeFiles/ndpgen_kv.dir/kv/sst_reader.cpp.o.d"
+  "/root/repo/src/kv/version.cpp" "src/CMakeFiles/ndpgen_kv.dir/kv/version.cpp.o" "gcc" "src/CMakeFiles/ndpgen_kv.dir/kv/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndpgen_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

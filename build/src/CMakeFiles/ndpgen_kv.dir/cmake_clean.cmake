@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_kv.dir/kv/block_format.cpp.o"
+  "CMakeFiles/ndpgen_kv.dir/kv/block_format.cpp.o.d"
+  "CMakeFiles/ndpgen_kv.dir/kv/compaction.cpp.o"
+  "CMakeFiles/ndpgen_kv.dir/kv/compaction.cpp.o.d"
+  "CMakeFiles/ndpgen_kv.dir/kv/db.cpp.o"
+  "CMakeFiles/ndpgen_kv.dir/kv/db.cpp.o.d"
+  "CMakeFiles/ndpgen_kv.dir/kv/manifest.cpp.o"
+  "CMakeFiles/ndpgen_kv.dir/kv/manifest.cpp.o.d"
+  "CMakeFiles/ndpgen_kv.dir/kv/memtable.cpp.o"
+  "CMakeFiles/ndpgen_kv.dir/kv/memtable.cpp.o.d"
+  "CMakeFiles/ndpgen_kv.dir/kv/placement.cpp.o"
+  "CMakeFiles/ndpgen_kv.dir/kv/placement.cpp.o.d"
+  "CMakeFiles/ndpgen_kv.dir/kv/sst_builder.cpp.o"
+  "CMakeFiles/ndpgen_kv.dir/kv/sst_builder.cpp.o.d"
+  "CMakeFiles/ndpgen_kv.dir/kv/sst_reader.cpp.o"
+  "CMakeFiles/ndpgen_kv.dir/kv/sst_reader.cpp.o.d"
+  "CMakeFiles/ndpgen_kv.dir/kv/version.cpp.o"
+  "CMakeFiles/ndpgen_kv.dir/kv/version.cpp.o.d"
+  "libndpgen_kv.a"
+  "libndpgen_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_ndp.dir/ndp/executor.cpp.o"
+  "CMakeFiles/ndpgen_ndp.dir/ndp/executor.cpp.o.d"
+  "CMakeFiles/ndpgen_ndp.dir/ndp/hardware_ndp.cpp.o"
+  "CMakeFiles/ndpgen_ndp.dir/ndp/hardware_ndp.cpp.o.d"
+  "CMakeFiles/ndpgen_ndp.dir/ndp/predicate.cpp.o"
+  "CMakeFiles/ndpgen_ndp.dir/ndp/predicate.cpp.o.d"
+  "CMakeFiles/ndpgen_ndp.dir/ndp/software_ndp.cpp.o"
+  "CMakeFiles/ndpgen_ndp.dir/ndp/software_ndp.cpp.o.d"
+  "libndpgen_ndp.a"
+  "libndpgen_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

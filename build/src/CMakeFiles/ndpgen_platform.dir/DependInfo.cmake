@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/arm_core.cpp" "src/CMakeFiles/ndpgen_platform.dir/platform/arm_core.cpp.o" "gcc" "src/CMakeFiles/ndpgen_platform.dir/platform/arm_core.cpp.o.d"
+  "/root/repo/src/platform/cosmos.cpp" "src/CMakeFiles/ndpgen_platform.dir/platform/cosmos.cpp.o" "gcc" "src/CMakeFiles/ndpgen_platform.dir/platform/cosmos.cpp.o.d"
+  "/root/repo/src/platform/dram.cpp" "src/CMakeFiles/ndpgen_platform.dir/platform/dram.cpp.o" "gcc" "src/CMakeFiles/ndpgen_platform.dir/platform/dram.cpp.o.d"
+  "/root/repo/src/platform/event_queue.cpp" "src/CMakeFiles/ndpgen_platform.dir/platform/event_queue.cpp.o" "gcc" "src/CMakeFiles/ndpgen_platform.dir/platform/event_queue.cpp.o.d"
+  "/root/repo/src/platform/flash.cpp" "src/CMakeFiles/ndpgen_platform.dir/platform/flash.cpp.o" "gcc" "src/CMakeFiles/ndpgen_platform.dir/platform/flash.cpp.o.d"
+  "/root/repo/src/platform/mmio.cpp" "src/CMakeFiles/ndpgen_platform.dir/platform/mmio.cpp.o" "gcc" "src/CMakeFiles/ndpgen_platform.dir/platform/mmio.cpp.o.d"
+  "/root/repo/src/platform/nvme.cpp" "src/CMakeFiles/ndpgen_platform.dir/platform/nvme.cpp.o" "gcc" "src/CMakeFiles/ndpgen_platform.dir/platform/nvme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndpgen_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_platform.dir/platform/arm_core.cpp.o"
+  "CMakeFiles/ndpgen_platform.dir/platform/arm_core.cpp.o.d"
+  "CMakeFiles/ndpgen_platform.dir/platform/cosmos.cpp.o"
+  "CMakeFiles/ndpgen_platform.dir/platform/cosmos.cpp.o.d"
+  "CMakeFiles/ndpgen_platform.dir/platform/dram.cpp.o"
+  "CMakeFiles/ndpgen_platform.dir/platform/dram.cpp.o.d"
+  "CMakeFiles/ndpgen_platform.dir/platform/event_queue.cpp.o"
+  "CMakeFiles/ndpgen_platform.dir/platform/event_queue.cpp.o.d"
+  "CMakeFiles/ndpgen_platform.dir/platform/flash.cpp.o"
+  "CMakeFiles/ndpgen_platform.dir/platform/flash.cpp.o.d"
+  "CMakeFiles/ndpgen_platform.dir/platform/mmio.cpp.o"
+  "CMakeFiles/ndpgen_platform.dir/platform/mmio.cpp.o.d"
+  "CMakeFiles/ndpgen_platform.dir/platform/nvme.cpp.o"
+  "CMakeFiles/ndpgen_platform.dir/platform/nvme.cpp.o.d"
+  "libndpgen_platform.a"
+  "libndpgen_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

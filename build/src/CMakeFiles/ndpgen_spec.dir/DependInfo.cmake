@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/ast.cpp" "src/CMakeFiles/ndpgen_spec.dir/spec/ast.cpp.o" "gcc" "src/CMakeFiles/ndpgen_spec.dir/spec/ast.cpp.o.d"
+  "/root/repo/src/spec/diagnostics.cpp" "src/CMakeFiles/ndpgen_spec.dir/spec/diagnostics.cpp.o" "gcc" "src/CMakeFiles/ndpgen_spec.dir/spec/diagnostics.cpp.o.d"
+  "/root/repo/src/spec/lexer.cpp" "src/CMakeFiles/ndpgen_spec.dir/spec/lexer.cpp.o" "gcc" "src/CMakeFiles/ndpgen_spec.dir/spec/lexer.cpp.o.d"
+  "/root/repo/src/spec/parser.cpp" "src/CMakeFiles/ndpgen_spec.dir/spec/parser.cpp.o" "gcc" "src/CMakeFiles/ndpgen_spec.dir/spec/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

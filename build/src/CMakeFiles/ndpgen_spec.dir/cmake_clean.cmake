@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_spec.dir/spec/ast.cpp.o"
+  "CMakeFiles/ndpgen_spec.dir/spec/ast.cpp.o.d"
+  "CMakeFiles/ndpgen_spec.dir/spec/diagnostics.cpp.o"
+  "CMakeFiles/ndpgen_spec.dir/spec/diagnostics.cpp.o.d"
+  "CMakeFiles/ndpgen_spec.dir/spec/lexer.cpp.o"
+  "CMakeFiles/ndpgen_spec.dir/spec/lexer.cpp.o.d"
+  "CMakeFiles/ndpgen_spec.dir/spec/parser.cpp.o"
+  "CMakeFiles/ndpgen_spec.dir/spec/parser.cpp.o.d"
+  "libndpgen_spec.a"
+  "libndpgen_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

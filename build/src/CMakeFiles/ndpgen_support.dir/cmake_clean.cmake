@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_support.dir/support/bitvec.cpp.o"
+  "CMakeFiles/ndpgen_support.dir/support/bitvec.cpp.o.d"
+  "CMakeFiles/ndpgen_support.dir/support/logging.cpp.o"
+  "CMakeFiles/ndpgen_support.dir/support/logging.cpp.o.d"
+  "CMakeFiles/ndpgen_support.dir/support/strings.cpp.o"
+  "CMakeFiles/ndpgen_support.dir/support/strings.cpp.o.d"
+  "libndpgen_support.a"
+  "libndpgen_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_workload.dir/workload/pubgraph.cpp.o"
+  "CMakeFiles/ndpgen_workload.dir/workload/pubgraph.cpp.o.d"
+  "CMakeFiles/ndpgen_workload.dir/workload/synth.cpp.o"
+  "CMakeFiles/ndpgen_workload.dir/workload/synth.cpp.o.d"
+  "libndpgen_workload.a"
+  "libndpgen_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/layout_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/analysis/layout_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/analysis/layout_test.cpp.o.d"
+  "/root/repo/tests/analysis/mapping_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/analysis/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/analysis/mapping_test.cpp.o.d"
+  "/root/repo/tests/analysis/passes_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/analysis/passes_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/analysis/passes_test.cpp.o.d"
+  "/root/repo/tests/analysis/robustness_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/analysis/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/analysis/robustness_test.cpp.o.d"
+  "/root/repo/tests/analysis/type_tree_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/analysis/type_tree_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/analysis/type_tree_test.cpp.o.d"
+  "/root/repo/tests/core/framework_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/core/framework_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/core/framework_test.cpp.o.d"
+  "/root/repo/tests/hwgen/operators_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/operators_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/operators_test.cpp.o.d"
+  "/root/repo/tests/hwgen/register_map_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/register_map_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/register_map_test.cpp.o.d"
+  "/root/repo/tests/hwgen/resource_model_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/resource_model_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/resource_model_test.cpp.o.d"
+  "/root/repo/tests/hwgen/swif_compile_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/swif_compile_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/swif_compile_test.cpp.o.d"
+  "/root/repo/tests/hwgen/swif_generator_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/swif_generator_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/swif_generator_test.cpp.o.d"
+  "/root/repo/tests/hwgen/template_builder_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/template_builder_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/template_builder_test.cpp.o.d"
+  "/root/repo/tests/hwgen/testbench_emitter_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/testbench_emitter_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/testbench_emitter_test.cpp.o.d"
+  "/root/repo/tests/hwgen/verilog_emitter_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/verilog_emitter_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwgen/verilog_emitter_test.cpp.o.d"
+  "/root/repo/tests/hwsim/aggregate_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/aggregate_test.cpp.o.d"
+  "/root/repo/tests/hwsim/memport_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/memport_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/memport_test.cpp.o.d"
+  "/root/repo/tests/hwsim/multi_pe_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/multi_pe_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/multi_pe_test.cpp.o.d"
+  "/root/repo/tests/hwsim/pe_sim_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/pe_sim_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/pe_sim_test.cpp.o.d"
+  "/root/repo/tests/hwsim/stream_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/stream_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/stream_test.cpp.o.d"
+  "/root/repo/tests/hwsim/tuple_buffer_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/tuple_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/hwsim/tuple_buffer_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/kv/block_format_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/block_format_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/block_format_test.cpp.o.d"
+  "/root/repo/tests/kv/bloom_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/bloom_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/bloom_test.cpp.o.d"
+  "/root/repo/tests/kv/compaction_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/compaction_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/compaction_test.cpp.o.d"
+  "/root/repo/tests/kv/db_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/db_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/db_test.cpp.o.d"
+  "/root/repo/tests/kv/manifest_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/manifest_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/manifest_test.cpp.o.d"
+  "/root/repo/tests/kv/memtable_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/memtable_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/memtable_test.cpp.o.d"
+  "/root/repo/tests/kv/placement_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/placement_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/placement_test.cpp.o.d"
+  "/root/repo/tests/kv/recovery_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/recovery_test.cpp.o.d"
+  "/root/repo/tests/kv/skiplist_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/skiplist_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/skiplist_test.cpp.o.d"
+  "/root/repo/tests/kv/sst_edge_cases_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/sst_edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/sst_edge_cases_test.cpp.o.d"
+  "/root/repo/tests/kv/sst_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/sst_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/sst_test.cpp.o.d"
+  "/root/repo/tests/kv/timed_writes_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/kv/timed_writes_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/kv/timed_writes_test.cpp.o.d"
+  "/root/repo/tests/ndp/aggregate_executor_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/ndp/aggregate_executor_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/ndp/aggregate_executor_test.cpp.o.d"
+  "/root/repo/tests/ndp/executor_edge_cases_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/ndp/executor_edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/ndp/executor_edge_cases_test.cpp.o.d"
+  "/root/repo/tests/ndp/executor_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/ndp/executor_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/ndp/executor_test.cpp.o.d"
+  "/root/repo/tests/ndp/predicate_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/ndp/predicate_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/ndp/predicate_test.cpp.o.d"
+  "/root/repo/tests/ndp/range_scan_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/ndp/range_scan_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/ndp/range_scan_test.cpp.o.d"
+  "/root/repo/tests/platform/event_queue_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/platform/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/platform/event_queue_test.cpp.o.d"
+  "/root/repo/tests/platform/flash_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/platform/flash_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/platform/flash_test.cpp.o.d"
+  "/root/repo/tests/platform/platform_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/platform/platform_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/platform/platform_test.cpp.o.d"
+  "/root/repo/tests/properties/executor_fuzz_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/properties/executor_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/properties/executor_fuzz_test.cpp.o.d"
+  "/root/repo/tests/properties/flavor_equivalence_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/properties/flavor_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/properties/flavor_equivalence_test.cpp.o.d"
+  "/root/repo/tests/properties/hw_sw_equivalence_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/properties/hw_sw_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/properties/hw_sw_equivalence_test.cpp.o.d"
+  "/root/repo/tests/properties/layout_properties_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/properties/layout_properties_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/properties/layout_properties_test.cpp.o.d"
+  "/root/repo/tests/spec/lexer_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/spec/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/spec/lexer_test.cpp.o.d"
+  "/root/repo/tests/spec/parser_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/spec/parser_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/spec/parser_test.cpp.o.d"
+  "/root/repo/tests/support/bitvec_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/support/bitvec_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/support/bitvec_test.cpp.o.d"
+  "/root/repo/tests/support/bytes_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/support/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/support/bytes_test.cpp.o.d"
+  "/root/repo/tests/support/logging_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/support/logging_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/support/logging_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/support/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/support/rng_test.cpp.o.d"
+  "/root/repo/tests/support/strings_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/support/strings_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/support/strings_test.cpp.o.d"
+  "/root/repo/tests/workload/pubgraph_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/workload/pubgraph_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/workload/pubgraph_test.cpp.o.d"
+  "/root/repo/tests/workload/synth_test.cpp" "tests/CMakeFiles/ndpgen_tests.dir/workload/synth_test.cpp.o" "gcc" "tests/CMakeFiles/ndpgen_tests.dir/workload/synth_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ndpgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_hwgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ndpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndpgen_cli.dir/ndpgen_cli.cpp.o"
+  "CMakeFiles/ndpgen_cli.dir/ndpgen_cli.cpp.o.d"
+  "ndpgen"
+  "ndpgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndpgen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

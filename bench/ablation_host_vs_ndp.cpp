@@ -58,6 +58,11 @@ int main() {
               host / sw);
   std::printf("%-34s %10.3f %9.2fx\n", "hardware NDP (generated PE)", hw,
               host / hw);
+  bench::JsonResult json("ablation_host_vs_ndp");
+  json.add("classical host", "scan", host, "s");
+  json.add("software NDP", "scan", sw, "s");
+  json.add("hardware NDP", "scan", hw, "s");
+  json.write();
 
   std::printf("\nshape checks:\n");
   std::printf("  [%c] NDP beats the classical host path\n",

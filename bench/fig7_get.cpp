@@ -91,6 +91,7 @@ int main() {
 
   std::printf("%-22s %16s %22s\n", "variant", "updated fw [ms]",
               "original fw [1] [ms]");
+  bench::JsonResult json("fig7_get");
   double updated[3] = {}, original[3] = {};
   const Variant variants[] = {Variant::kSoftware, Variant::kHwBaseline,
                               Variant::kHwGenerated};
@@ -99,7 +100,10 @@ int main() {
     original[v] = run_gets(variants[v], scale, 1.00, kGets);
     std::printf("%-22s %16.3f %22.3f\n", name_of(variants[v]), updated[v],
                 original[v]);
+    json.add(name_of(variants[v]), "updated_fw", updated[v], "ms");
+    json.add(name_of(variants[v]), "original_fw", original[v], "ms");
   }
+  json.write();
 
   std::printf("\nshape checks (paper §V):\n");
   const double hw_sw_ratio = updated[2] / updated[0];

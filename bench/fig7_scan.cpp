@@ -77,6 +77,7 @@ int main() {
 
   std::printf("%-22s %12s %12s %12s\n", "variant", "papers [s]", "refs [s]",
               "total [s]");
+  bench::JsonResult json("fig7_scan");
   ScanOutcome outcomes[3];
   const Variant variants[] = {Variant::kSoftware, Variant::kHwBaseline,
                               Variant::kHwGenerated};
@@ -109,7 +110,11 @@ int main() {
     std::printf("%-22s %12.3f %12.3f %12.3f\n", name_of(variants[v]),
                 outcomes[v].papers_s, outcomes[v].refs_s,
                 outcomes[v].total());
+    json.add(name_of(variants[v]), "papers", outcomes[v].papers_s, "s");
+    json.add(name_of(variants[v]), "refs", outcomes[v].refs_s, "s");
+    json.add(name_of(variants[v]), "total", outcomes[v].total(), "s");
   }
+  json.write();
 
   std::printf("\npaper-reported anchors (their testbed, absolute):\n");
   std::printf("  HW hand-crafted [1]: 5.512 s   HW generated: 5.530 s "

@@ -8,6 +8,7 @@
 // off once string data would otherwise need very wide comparators.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/framework.hpp"
 #include "hwgen/resource_model.hpp"
 #include "workload/synth.hpp"
@@ -21,6 +22,7 @@ int main() {
 
   const core::Framework framework;
   std::printf("%10s %12s %12s %12s\n", "bits", "Full", "Half", "Half-Full");
+  bench::JsonResult json("fig8_tuplesize");
   double full_64 = 0, half_64 = 0, full_1024 = 0, half_1024 = 0;
   double previous_full = 0;
   bool monotonic = true;
@@ -34,6 +36,8 @@ int main() {
     }
     std::printf("%10u %12.0f %12.0f %+12.0f\n", bits, values[0], values[1],
                 values[1] - values[0]);
+    json.add("Full", static_cast<std::uint64_t>(bits), values[0], "slices");
+    json.add("Half", static_cast<std::uint64_t>(bits), values[1], "slices");
     if (bits == 64) {
       full_64 = values[0];
       half_64 = values[1];
@@ -45,6 +49,7 @@ int main() {
     monotonic &= values[0] > previous_full;
     previous_full = values[0];
   }
+  json.write();
 
   std::printf("\nshape checks (paper §V, Fig. 8):\n");
   std::printf("  [%c] utilization grows with tuple size\n",

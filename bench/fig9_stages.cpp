@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/framework.hpp"
 #include "hwgen/resource_model.hpp"
 #include "workload/synth.hpp"
@@ -25,6 +26,7 @@ int main() {
   std::printf("%8s %12s %12s %12s %12s\n", "stages", "Full [sl]", "Full [%]",
               "Half [sl]", "Half [%]");
 
+  bench::JsonResult json("fig9_stages");
   double full[6] = {}, half[6] = {};
   for (std::uint32_t stages = 1; stages <= 5; ++stages) {
     for (const bool is_half : {false, true}) {
@@ -37,7 +39,12 @@ int main() {
     std::printf("%8u %12.0f %12.2f %12.0f %12.2f\n", stages, full[stages],
                 100.0 * full[stages] / device, half[stages],
                 100.0 * half[stages] / device);
+    json.add("Full", static_cast<std::uint64_t>(stages), full[stages],
+             "slices");
+    json.add("Half", static_cast<std::uint64_t>(stages), half[stages],
+             "slices");
   }
+  json.write();
 
   // Linearity: successive increments agree within 20%.
   bool linear = true;

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_common.hpp"
 #include "core/framework.hpp"
 #include "hwgen/resource_model.hpp"
 #include "hwgen/template_builder.hpp"
@@ -76,6 +77,14 @@ int main() {
   row("Overall", overall_theirs, overall_ours);
   row("paper-PE", paper_theirs, paper_ours);
   row("ref-PE", ref_theirs, ref_ours);
+  bench::JsonResult json("table1_util");
+  json.add("[1]", "Overall", overall_theirs, "slices");
+  json.add("Our Work", "Overall", overall_ours, "slices");
+  json.add("[1]", "paper-PE", paper_theirs, "slices");
+  json.add("Our Work", "paper-PE", paper_ours, "slices");
+  json.add("[1]", "ref-PE", ref_theirs, "slices");
+  json.add("Our Work", "ref-PE", ref_ours, "slices");
+  json.write();
   std::printf("%-10s | %10.0f %10.0f | %10.2f %10.2f\n", "Available", total,
               total, 100.0, 100.0);
 

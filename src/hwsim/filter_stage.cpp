@@ -40,12 +40,23 @@ void SimFilterStage::configure(std::uint32_t field_select,
 void SimFilterStage::start() {
   pass_count_ = 0;
   drop_count_ = 0;
+  stall_in_count_ = 0;
+  stall_out_count_ = 0;
 }
 
 void SimFilterStage::cycle(std::uint64_t /*now*/) {
   // One tuple per cycle: the elastic pipeline property the paper relies on
   // ("the filtering stages are able to process a tuple per cycle").
-  if (!in_->can_pop() || !out_->can_push()) return;
+  // Distinguish the two ready/valid stall causes: no valid input versus a
+  // backpressured output FIFO.
+  if (!in_->can_pop()) {
+    ++stall_in_count_;
+    return;
+  }
+  if (!out_->can_push()) {
+    ++stall_out_count_;
+    return;
+  }
   Tuple tuple = in_->pop();
   const FieldInfo& field = fields_[field_select_];
   const std::uint64_t element =
@@ -65,6 +76,8 @@ void SimFilterStage::cycle(std::uint64_t /*now*/) {
 void SimFilterStage::reset() {
   pass_count_ = 0;
   drop_count_ = 0;
+  stall_in_count_ = 0;
+  stall_out_count_ = 0;
   field_select_ = 0;
   operator_select_ = 0;
   compare_value_ = 0;

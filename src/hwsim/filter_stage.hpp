@@ -38,6 +38,14 @@ class SimFilterStage final : public Module {
   [[nodiscard]] std::uint64_t drop_count() const noexcept {
     return drop_count_;
   }
+  /// Cycles spent waiting for input (valid deasserted upstream).
+  [[nodiscard]] std::uint64_t stall_in_count() const noexcept {
+    return stall_in_count_;
+  }
+  /// Cycles spent blocked on a full output FIFO (ready deasserted).
+  [[nodiscard]] std::uint64_t stall_out_count() const noexcept {
+    return stall_out_count_;
+  }
 
  private:
   struct FieldInfo {
@@ -56,6 +64,8 @@ class SimFilterStage final : public Module {
   std::uint64_t compare_value_ = 0;
   std::uint64_t pass_count_ = 0;
   std::uint64_t drop_count_ = 0;
+  std::uint64_t stall_in_count_ = 0;
+  std::uint64_t stall_out_count_ = 0;
 };
 
 }  // namespace ndpgen::hwsim

@@ -9,6 +9,10 @@
 
 #include "hwsim/stream.hpp"
 
+namespace ndpgen::obs {
+struct Observability;
+}  // namespace ndpgen::obs
+
 namespace ndpgen::hwsim {
 
 /// A clocked hardware module. cycle() is called once per clock tick; all
@@ -64,10 +68,24 @@ class SimKernel {
   /// True when every registered stream is empty.
   [[nodiscard]] bool streams_empty() const noexcept;
 
+  /// All streams owned by the kernel (for FIFO high-water publication).
+  [[nodiscard]] const std::vector<std::unique_ptr<StreamBase>>& streams()
+      const noexcept {
+    return streams_;
+  }
+
+  /// Observability context shared by the modules running under this
+  /// kernel. Null (the default) disables all instrumentation.
+  void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
+  [[nodiscard]] obs::Observability* observability() const noexcept {
+    return obs_;
+  }
+
  private:
   std::vector<Module*> modules_;
   std::vector<std::unique_ptr<StreamBase>> streams_;
   std::uint64_t now_ = 0;
+  obs::Observability* obs_ = nullptr;  ///< Non-owning.
 };
 
 }  // namespace ndpgen::hwsim

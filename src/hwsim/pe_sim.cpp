@@ -8,7 +8,10 @@ namespace hw = ndpgen::hwgen;
 
 SimulatedPE::SimulatedPE(const hw::PEDesign& design, SimKernel& kernel,
                          AxiInterconnect& interconnect)
-    : Module("pe_" + design.name), design_(design), regs_(design.regmap) {
+    : Module("pe_" + design.name),
+      design_(design),
+      kernel_(&kernel),
+      regs_(design.regmap) {
   design_.validate();
   read_port_ = interconnect.create_port(design.name + ".rd");
   write_port_ = interconnect.create_port(design.name + ".wr");
@@ -167,8 +170,12 @@ void SimulatedPE::finish_run(std::uint64_t now) {
   last_stats_.bytes_read = load_->bytes_transferred();
   last_stats_.bytes_written = store_->bytes_transferred();
   last_stats_.stage_pass_counts.clear();
+  last_stats_.stage_stall_in.clear();
+  last_stats_.stage_stall_out.clear();
   for (const auto& stage : stages_) {
     last_stats_.stage_pass_counts.push_back(stage->pass_count());
+    last_stats_.stage_stall_in.push_back(stage->stall_in_count());
+    last_stats_.stage_stall_out.push_back(stage->stall_out_count());
   }
 
   regs_.hw_set(hw::reg::kBusy, 0);
@@ -191,6 +198,45 @@ void SimulatedPE::finish_run(std::uint64_t now) {
     regs_.hw_set(hw::reg::kAggCount,
                  static_cast<std::uint32_t>(aggregate_->folded()));
   }
+  if (kernel_->observability() != nullptr) publish_observability(now);
+}
+
+void SimulatedPE::publish_observability(std::uint64_t now) {
+  obs::Observability& obs = *kernel_->observability();
+  obs::MetricsRegistry& m = obs.metrics;
+  const std::string prefix = "hwsim." + design_.name + ".";
+  m.add(m.counter(prefix + "chunks"), 1);
+  m.add(m.counter(prefix + "cycles"), last_stats_.cycles);
+  m.add(m.counter(prefix + "tuples_in"), last_stats_.tuples_in);
+  m.add(m.counter(prefix + "tuples_out"), last_stats_.tuples_out);
+  m.add(m.counter(prefix + "bytes_read"), last_stats_.bytes_read);
+  m.add(m.counter(prefix + "bytes_written"), last_stats_.bytes_written);
+  m.observe(m.histogram(prefix + "chunk_cycles"), last_stats_.cycles);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const std::string stage = prefix + "filter_" + std::to_string(i) + ".";
+    m.add(m.counter(stage + "pass"), stages_[i]->pass_count());
+    m.add(m.counter(stage + "drop"), stages_[i]->drop_count());
+    m.add(m.counter(stage + "stall_in"), stages_[i]->stall_in_count());
+    m.add(m.counter(stage + "stall_out"), stages_[i]->stall_out_count());
+  }
+  // FIFO high-water marks cover all kernel streams (this PE's streams are
+  // name-prefixed, so a multi-PE kernel stays unambiguous).
+  for (const auto& stream : kernel_->streams()) {
+    m.raise(m.gauge("hwsim.fifo." + stream->name() + ".high_water"),
+            stream->high_water());
+  }
+  if (obs.tracing()) {
+    // hwsim events live on the PE-cycle timeline: pid 2, 10 ns per cycle.
+    const obs::TrackId track =
+        obs.trace->track("pe." + design_.name, obs::kPidHwsim);
+    const std::uint64_t kNsPerCycle = 10;
+    obs.trace->complete(
+        track, "chunk", "hwsim", run_start_cycle_ * kNsPerCycle,
+        (now - run_start_cycle_) * kNsPerCycle,
+        "{\"tuples_in\":" + std::to_string(last_stats_.tuples_in) +
+            ",\"tuples_out\":" + std::to_string(last_stats_.tuples_out) +
+            ",\"cycles\":" + std::to_string(last_stats_.cycles) + "}");
+  }
 }
 
 void SimulatedPE::reset() {
@@ -202,6 +248,7 @@ void SimulatedPE::reset() {
 
 PETestBench::PETestBench(const hw::PEDesign& design, PEBenchConfig config)
     : memory_(config.dram_bytes) {
+  kernel_.set_observability(&obs_);
   interconnect_ = std::make_unique<AxiInterconnect>(memory_, config.axi);
   kernel_.add_module(interconnect_.get());
   pe_ = std::make_unique<SimulatedPE>(design, kernel_, *interconnect_);

@@ -14,6 +14,7 @@
 
 #include "hwgen/pe_design.hpp"
 #include "hwsim/aggregate_unit.hpp"
+#include "obs/obs.hpp"
 #include "hwsim/filter_stage.hpp"
 #include "hwsim/load_unit.hpp"
 #include "hwsim/memport.hpp"
@@ -34,6 +35,8 @@ struct ChunkStats {
   std::uint64_t bytes_read = 0;     ///< Including static-mode padding.
   std::uint64_t bytes_written = 0;  ///< Including static-mode padding.
   std::vector<std::uint64_t> stage_pass_counts;
+  std::vector<std::uint64_t> stage_stall_in;   ///< Per filter stage.
+  std::vector<std::uint64_t> stage_stall_out;  ///< Per filter stage.
   // Aggregation extension (valid when the PE has an aggregate unit and a
   // non-kNone op was configured):
   std::uint64_t agg_result = 0;  ///< Raw 64-bit result bits.
@@ -75,9 +78,11 @@ class SimulatedPE final : public Module {
  private:
   void start_run(std::uint64_t now);
   void finish_run(std::uint64_t now);
+  void publish_observability(std::uint64_t now);
   [[nodiscard]] bool pipeline_upstream_drained() const noexcept;
 
   hwgen::PEDesign design_;
+  SimKernel* kernel_;  ///< Non-owning; carries the observability context.
   SimRegFile regs_;
   // Separate read/write masters, mirroring the independent AXI4 read and
   // write channels (sharing one port can deadlock the elastic pipeline:
@@ -122,6 +127,9 @@ class PETestBench {
   [[nodiscard]] AxiInterconnect& interconnect() noexcept {
     return *interconnect_;
   }
+  /// Metrics registry + trace attachment point for the whole bench;
+  /// attach a TraceSink via `observability().trace = &sink`.
+  [[nodiscard]] obs::Observability& observability() noexcept { return obs_; }
 
   /// Configures one filter stage through MMIO (like the generated
   /// software interface's <pe>_set_filter).
@@ -134,6 +142,7 @@ class PETestBench {
 
  private:
   SimMemory memory_;
+  obs::Observability obs_;
   SimKernel kernel_;
   std::unique_ptr<AxiInterconnect> interconnect_;
   std::unique_ptr<SimulatedPE> pe_;

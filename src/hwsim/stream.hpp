@@ -23,6 +23,9 @@ class StreamBase {
   virtual void reset() = 0;
   [[nodiscard]] virtual bool empty() const noexcept = 0;
   [[nodiscard]] virtual std::size_t occupancy() const noexcept = 0;
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+  /// Highest occupancy ever observed (since construction or reset).
+  [[nodiscard]] virtual std::size_t high_water() const noexcept = 0;
 };
 
 template <typename T>
@@ -42,6 +45,8 @@ class Stream final : public StreamBase {
   void push(T value) {
     NDPGEN_CHECK(can_push(), "push on full stream '" + name_ + "'");
     staged_.push_back(std::move(value));
+    const std::size_t occ = queue_.size() + staged_.size();
+    if (occ > high_water_) high_water_ = occ;
   }
 
   /// Consumer side: true if a value is available this cycle.
@@ -69,6 +74,7 @@ class Stream final : public StreamBase {
   void reset() override {
     queue_.clear();
     staged_.clear();
+    high_water_ = 0;
   }
 
   [[nodiscard]] bool empty() const noexcept override {
@@ -79,12 +85,18 @@ class Stream final : public StreamBase {
     return queue_.size() + staged_.size();
   }
 
-  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
   [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t high_water() const noexcept override {
+    return high_water_;
+  }
 
  private:
   std::string name_;
   std::size_t depth_;
+  std::size_t high_water_ = 0;
   std::deque<T> queue_;   ///< Visible to the consumer.
   std::deque<T> staged_;  ///< Pushed this cycle; committed at cycle end.
 };

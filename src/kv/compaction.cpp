@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kv/sst_reader.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace ndpgen::kv {
@@ -69,6 +70,10 @@ std::uint64_t Compactor::run() {
 void Compactor::compact_level(std::uint32_t level) {
   NDPGEN_CHECK_ARG(level >= 1 && level < kMaxLevels,
                    "cannot compact the bottom level further");
+  // The flash model carries the platform's observability context.
+  obs::Observability* obs = flash_.observability();
+  const platform::SimTime compact_start = flash_.queue().now();
+  const std::uint64_t records_in_before = stats_.records_in;
   const std::uint32_t target = level + 1;
   // Tombstones may be dropped once no deeper level could still hold an
   // older version of the key.
@@ -197,6 +202,7 @@ void Compactor::compact_level(std::uint32_t level) {
   }
 
   // Install: remove inputs, add outputs.
+  const std::size_t output_count = outputs.size();
   for (const auto& table : inputs) {
     version_.remove(table->level, table->id);
   }
@@ -204,6 +210,26 @@ void Compactor::compact_level(std::uint32_t level) {
     version_.add(target, std::move(table));
   }
   ++stats_.compactions;
+
+  if (obs != nullptr) {
+    obs::MetricsRegistry& m = obs->metrics;
+    m.add(m.counter("kv.compaction.runs"), 1);
+    m.add(m.counter("kv.compaction.records_in"),
+          stats_.records_in - records_in_before);
+    m.add(m.counter("kv.compaction.input_tables"), inputs.size());
+    m.add(m.counter("kv.compaction.output_tables"), output_count);
+    if (obs->tracing()) {
+      const platform::SimTime now = flash_.queue().now();
+      obs->trace->complete(
+          obs->trace->track("kv.compaction"),
+          "L" + std::to_string(level) + "->L" + std::to_string(target),
+          "kv", compact_start, now - compact_start,
+          "{\"inputs\":" + std::to_string(inputs.size()) +
+              ",\"outputs\":" + std::to_string(output_count) +
+              ",\"records_in\":" +
+              std::to_string(stats_.records_in - records_in_before) + "}");
+    }
+  }
 }
 
 }  // namespace ndpgen::kv

@@ -1,6 +1,7 @@
 #include "kv/sst_reader.hpp"
 
 #include "kv/block_format.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace ndpgen::kv {
@@ -23,6 +24,17 @@ std::vector<std::uint8_t> SSTReader::read_block(std::uint32_t index) const {
   }
   NDPGEN_CHECK(block.size() == kDataBlockBytes,
                "assembled block has wrong size");
+  if (obs::Observability* obs = flash_.observability(); obs != nullptr) {
+    obs->metrics.add(obs->metrics.counter("kv.sst.blocks_read"), 1);
+    if (obs->tracing()) {
+      obs->trace->instant(
+          obs->trace->track("kv.sst"), "read_block", "kv",
+          flash_.queue().now(),
+          "{\"sst\":" + std::to_string(table_.id) +
+              ",\"level\":" + std::to_string(table_.level) +
+              ",\"block\":" + std::to_string(index) + "}");
+    }
+  }
   return block;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "kv/sst_reader.hpp"
+#include "obs/obs.hpp"
 #include "support/bitvec.hpp"
 #include "support/error.hpp"
 
@@ -172,6 +173,8 @@ ScanStats HybridExecutor::scan_blocks(
   }
   std::unordered_set<kv::Key, kv::KeyHash> seen;
 
+  obs::Observability& obs = platform.observability();
+
   std::vector<bool> pe_configured(workers, false);
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     const std::size_t w = b % workers;
@@ -253,7 +256,17 @@ ScanStats HybridExecutor::scan_blocks(
       stats.tuples_scanned += result.tuples_in;
     }
 
-    worker_free[w] = std::max(worker_free[w], ready[b]) + cost;
+    // Per-block worker span: the block starts when both its flash pages
+    // and the worker are available; `cost` is its processing time.
+    const platform::SimTime block_start = std::max(worker_free[w], ready[b]);
+    worker_free[w] = block_start + cost;
+    if (obs.tracing()) {
+      obs.trace->complete(
+          obs.trace->track("ndp.worker" + std::to_string(w)), "block", "ndp",
+          block_start, cost,
+          "{\"block\":" + std::to_string(b) +
+              ",\"matched\":" + std::to_string(matched) + "}");
+    }
     stats.tuples_matched += matched;
     ++stats.blocks;
 
@@ -290,6 +303,27 @@ ScanStats HybridExecutor::scan_blocks(
   }
   if (end > queue.now()) queue.advance_to(end);
   stats.elapsed = end - t0;
+
+  obs::MetricsRegistry& m = obs.metrics;
+  m.add(m.counter("ndp.scan.commands"), 1);
+  m.add(m.counter("ndp.scan.blocks"), stats.blocks);
+  m.add(m.counter("ndp.scan.blocks_via_software"),
+        stats.blocks_via_software);
+  m.add(m.counter("ndp.scan.tuples_scanned"), stats.tuples_scanned);
+  m.add(m.counter("ndp.scan.tuples_matched"), stats.tuples_matched);
+  m.add(m.counter("ndp.scan.results"), stats.results);
+  m.add(m.counter("ndp.scan.bytes_from_flash"), stats.bytes_from_flash);
+  m.add(m.counter("ndp.scan.result_bytes"), stats.result_bytes);
+  m.observe(m.histogram("ndp.scan.elapsed_ns"), stats.elapsed);
+  if (obs.tracing()) {
+    obs.trace->complete(
+        obs.trace->track("ndp"), "scan", "ndp", t0, stats.elapsed,
+        std::string("{\"mode\":\"") + std::string(to_string(config_.mode)) +
+            "\",\"blocks\":" + std::to_string(stats.blocks) +
+            ",\"tuples_scanned\":" + std::to_string(stats.tuples_scanned) +
+            ",\"tuples_matched\":" + std::to_string(stats.tuples_matched) +
+            ",\"results\":" + std::to_string(stats.results) + "}");
+  }
   return stats;
 }
 
@@ -525,6 +559,21 @@ AggregateStats HybridExecutor::aggregate(
   end += timing.nvme_transfer_time(stats.result_bytes);
   if (end > queue.now()) queue.advance_to(end);
   stats.elapsed = end - t0;
+
+  obs::Observability& obs = platform.observability();
+  obs::MetricsRegistry& m = obs.metrics;
+  m.add(m.counter("ndp.aggregate.commands"), 1);
+  m.add(m.counter("ndp.aggregate.blocks"), stats.blocks);
+  m.add(m.counter("ndp.aggregate.tuples_scanned"), stats.tuples_scanned);
+  m.add(m.counter("ndp.aggregate.folded"), stats.folded);
+  m.observe(m.histogram("ndp.aggregate.elapsed_ns"), stats.elapsed);
+  if (obs.tracing()) {
+    obs.trace->complete(
+        obs.trace->track("ndp"), "aggregate", "ndp", t0, stats.elapsed,
+        std::string("{\"mode\":\"") + std::string(to_string(config_.mode)) +
+            "\",\"blocks\":" + std::to_string(stats.blocks) +
+            ",\"folded\":" + std::to_string(stats.folded) + "}");
+  }
   return stats;
 }
 
@@ -535,7 +584,34 @@ GetStats HybridExecutor::get(const kv::Key& key) {
   auto& flash = platform.flash();
   const platform::SimTime t0 = queue.now();
 
+  obs::Observability& obs = platform.observability();
+  // Publish + trace on every exit path (GET returns early on a MemTable
+  // hit or tombstone).
+  struct Publish {
+    obs::Observability& obs;
+    const GetStats& stats;
+    ExecMode mode;
+    platform::SimTime t0;
+    ~Publish() {
+      obs::MetricsRegistry& m = obs.metrics;
+      m.add(m.counter("ndp.get.commands"), 1);
+      if (stats.found) m.add(m.counter("ndp.get.hits"), 1);
+      m.add(m.counter("ndp.get.tables_probed"), stats.tables_probed);
+      m.add(m.counter("ndp.get.blocks_fetched"), stats.blocks_fetched);
+      m.observe(m.histogram("ndp.get.elapsed_ns"), stats.elapsed);
+      if (obs.tracing()) {
+        obs.trace->complete(
+            obs.trace->track("ndp"), "get", "ndp", t0, stats.elapsed,
+            std::string("{\"mode\":\"") + std::string(to_string(mode)) +
+                "\",\"found\":" + (stats.found ? "true" : "false") +
+                ",\"blocks_fetched\":" +
+                std::to_string(stats.blocks_fetched) + "}");
+      }
+    }
+  };
+
   GetStats stats;
+  const Publish publish{obs, stats, config_.mode, t0};
   // Device firmware handles one NDP command per GET.
   arm.ndp_command();
   // C0: MemTable probe.

@@ -1,0 +1,69 @@
+// Minimal deterministic JSON emission helpers for the observability layer.
+//
+// Everything written by obs (metrics dumps, Chrome traces, bench results)
+// must be byte-identical across identical runs, so all formatting here is
+// integer-based: no locale, no floating-point printf, no pointer values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ndpgen::obs {
+
+/// Escapes a string for embedding inside a JSON string literal.
+[[nodiscard]] inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Chrome trace timestamps are microseconds; we key everything on integer
+/// nanoseconds of virtual time and render "<us>.<frac3>" without going
+/// through floating point (determinism).
+[[nodiscard]] inline std::string json_micros(std::uint64_t ns) {
+  const std::uint64_t whole = ns / 1000;
+  const std::uint64_t frac = ns % 1000;
+  std::string out = std::to_string(whole);
+  out += '.';
+  if (frac < 100) out += '0';
+  if (frac < 10) out += '0';
+  out += std::to_string(frac);
+  return out;
+}
+
+/// Renders a double produced by a bench as JSON with fixed 6-digit
+/// precision, without locale dependence. Values are expected to be
+/// non-negative and well within uint64 range (seconds, MB/s, percents).
+[[nodiscard]] inline std::string json_fixed(double value) {
+  const bool negative = value < 0;
+  if (negative) value = -value;
+  const auto scaled = static_cast<std::uint64_t>(value * 1e6 + 0.5);
+  std::string out = negative ? "-" : "";
+  out += std::to_string(scaled / 1000000);
+  out += '.';
+  std::string frac = std::to_string(scaled % 1000000);
+  out.append(6 - frac.size(), '0');
+  out += frac;
+  return out;
+}
+
+}  // namespace ndpgen::obs

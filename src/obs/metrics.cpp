@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::obs {
+
+std::uint32_t MetricsRegistry::register_metric(std::string_view name,
+                                               Kind kind) {
+  NDPGEN_CHECK_ARG(!name.empty(), "metric name must not be empty");
+  const auto [it, inserted] = index_.try_emplace(
+      std::string(name), kind, std::uint32_t{0});
+  if (!inserted) {
+    NDPGEN_CHECK_ARG(it->second.first == kind,
+                     "metric '" + std::string(name) +
+                         "' already registered with a different kind");
+    return it->second.second;
+  }
+  std::uint32_t index = 0;
+  switch (kind) {
+    case Kind::kCounter:
+      index = static_cast<std::uint32_t>(counters_.size());
+      counters_.push_back(Counter{std::string(name), 0});
+      break;
+    case Kind::kGauge:
+      index = static_cast<std::uint32_t>(gauges_.size());
+      gauges_.push_back(Gauge{std::string(name), 0, 0});
+      break;
+    case Kind::kHistogram:
+      index = static_cast<std::uint32_t>(histograms_.size());
+      histograms_.push_back(Histogram{
+          std::string(name), 0, 0, 0, 0,
+          std::vector<std::uint64_t>(kHistogramBuckets, 0)});
+      break;
+  }
+  it->second.second = index;
+  return index;
+}
+
+CounterHandle MetricsRegistry::counter(std::string_view name) {
+  return CounterHandle{register_metric(name, Kind::kCounter)};
+}
+
+GaugeHandle MetricsRegistry::gauge(std::string_view name) {
+  return GaugeHandle{register_metric(name, Kind::kGauge)};
+}
+
+HistogramHandle MetricsRegistry::histogram(std::string_view name) {
+  return HistogramHandle{register_metric(name, Kind::kHistogram)};
+}
+
+void MetricsRegistry::observe(HistogramHandle handle,
+                              std::uint64_t sample) noexcept {
+  Histogram& histogram = histograms_[handle.index];
+  if (histogram.count == 0 || sample < histogram.min) histogram.min = sample;
+  if (sample > histogram.max) histogram.max = sample;
+  ++histogram.count;
+  histogram.sum += sample;
+  ++histogram.buckets[static_cast<std::size_t>(std::bit_width(sample))];
+}
+
+namespace {
+
+template <typename Table>
+const auto& find_metric(const Table& table, std::string_view name,
+                        const char* kind) {
+  for (const auto& entry : table) {
+    if (entry.name == name) return entry;
+  }
+  ndpgen::raise(ErrorKind::kInvalidArg,
+                std::string("unknown ") + kind + " metric '" +
+                    std::string(name) + "'");
+}
+
+}  // namespace
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  return find_metric(counters_, name, "counter").value;
+}
+
+std::uint64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  return find_metric(gauges_, name, "gauge").value;
+}
+
+std::uint64_t MetricsRegistry::gauge_max(std::string_view name) const {
+  return find_metric(gauges_, name, "gauge").max;
+}
+
+std::uint64_t MetricsRegistry::histogram_count(std::string_view name) const {
+  return find_metric(histograms_, name, "histogram").count;
+}
+
+std::uint64_t MetricsRegistry::histogram_sum(std::string_view name) const {
+  return find_metric(histograms_, name, "histogram").sum;
+}
+
+std::string MetricsRegistry::dump_json() const {
+  // Sort each section by name for deterministic output regardless of
+  // registration order differences between runs (there are none when runs
+  // are identical, but sorting also makes the dump diffable by humans).
+  auto sorted_indices = [](const auto& table) {
+    std::vector<std::size_t> order(table.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&table](std::size_t a, std::size_t b) {
+                return table[a].name < table[b].name;
+              });
+    return order;
+  };
+
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const std::size_t i : sorted_indices(counters_)) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(counters_[i].name) +
+           "\": " + std::to_string(counters_[i].value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const std::size_t i : sorted_indices(gauges_)) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const Gauge& gauge = gauges_[i];
+    out += "    \"" + json_escape(gauge.name) +
+           "\": {\"value\": " + std::to_string(gauge.value) +
+           ", \"max\": " + std::to_string(gauge.max) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const std::size_t i : sorted_indices(histograms_)) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const Histogram& histogram = histograms_[i];
+    out += "    \"" + json_escape(histogram.name) +
+           "\": {\"count\": " + std::to_string(histogram.count) +
+           ", \"sum\": " + std::to_string(histogram.sum) +
+           ", \"min\": " + std::to_string(histogram.min) +
+           ", \"max\": " + std::to_string(histogram.max) + ", \"buckets\": [";
+    // Sparse bucket encoding: [bit_width, count] pairs for non-empty ones.
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {
+      if (histogram.buckets[b] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[" + std::to_string(b) + ", " +
+             std::to_string(histogram.buckets[b]) + "]";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::reset_values() noexcept {
+  for (auto& counter : counters_) counter.value = 0;
+  for (auto& gauge : gauges_) {
+    gauge.value = 0;
+    gauge.max = 0;
+  }
+  for (auto& histogram : histograms_) {
+    histogram.count = 0;
+    histogram.sum = 0;
+    histogram.min = 0;
+    histogram.max = 0;
+    std::fill(histogram.buckets.begin(), histogram.buckets.end(), 0);
+  }
+}
+
+}  // namespace ndpgen::obs

@@ -1,0 +1,107 @@
+// MetricsRegistry: named counters, gauges and log-bucketed histograms.
+//
+// Designed for the hwsim hot path: a metric name is resolved to a handle
+// ONCE at registration time; every subsequent update is a plain array
+// indexing on a uint64_t slot — no map lookup, no allocation, no branch on
+// sink state. Dumps are deterministic (sorted by name, integer-only
+// formatting) so two identical simulation runs produce byte-identical
+// metrics files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ndpgen::obs {
+
+/// Typed handles keep the per-kind slot arrays branch-free on update.
+struct CounterHandle {
+  std::uint32_t index = 0;
+};
+struct GaugeHandle {
+  std::uint32_t index = 0;
+};
+struct HistogramHandle {
+  std::uint32_t index = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Number of log2 histogram buckets: bucket b counts samples whose
+  /// bit-width is b, i.e. values in [2^(b-1), 2^b) (bucket 0 counts 0).
+  static constexpr std::size_t kHistogramBuckets = 65;
+
+  // --- Registration (get-or-create; same name -> same handle) ----------
+  CounterHandle counter(std::string_view name);
+  GaugeHandle gauge(std::string_view name);
+  HistogramHandle histogram(std::string_view name);
+
+  // --- Hot-path updates -------------------------------------------------
+  void add(CounterHandle handle, std::uint64_t delta = 1) noexcept {
+    counters_[handle.index].value += delta;
+  }
+  /// Sets the gauge value; the registry tracks the high-water mark.
+  void set(GaugeHandle handle, std::uint64_t value) noexcept {
+    Gauge& gauge = gauges_[handle.index];
+    gauge.value = value;
+    if (value > gauge.max) gauge.max = value;
+  }
+  /// Raises the gauge to `value` if it is below it (pure high-water use).
+  void raise(GaugeHandle handle, std::uint64_t value) noexcept {
+    Gauge& gauge = gauges_[handle.index];
+    if (value > gauge.value) gauge.value = value;
+    if (value > gauge.max) gauge.max = value;
+  }
+  void observe(HistogramHandle handle, std::uint64_t sample) noexcept;
+
+  // --- Readers (tests, reporting) ---------------------------------------
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] std::uint64_t gauge_value(std::string_view name) const;
+  [[nodiscard]] std::uint64_t gauge_max(std::string_view name) const;
+  [[nodiscard]] std::uint64_t histogram_count(std::string_view name) const;
+  [[nodiscard]] std::uint64_t histogram_sum(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const noexcept {
+    return index_.contains(std::string(name));
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+
+  /// Deterministic JSON dump: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}}, every section sorted by metric name.
+  [[nodiscard]] std::string dump_json() const;
+
+  /// Zeroes all values; registered names and handles stay valid.
+  void reset_values() noexcept;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    std::uint64_t value = 0;
+    std::uint64_t max = 0;
+  };
+  struct Histogram {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::vector<std::uint64_t> buckets;  ///< kHistogramBuckets entries.
+  };
+
+  std::uint32_t register_metric(std::string_view name, Kind kind);
+
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<Histogram> histograms_;
+  /// name -> (kind, index). Only touched at registration and dump time.
+  std::unordered_map<std::string, std::pair<Kind, std::uint32_t>> index_;
+};
+
+}  // namespace ndpgen::obs

@@ -1,0 +1,28 @@
+// Observability context: one MetricsRegistry plus an optional TraceSink.
+//
+// Components that want to be observable hold a non-owning
+// `Observability*` (null = fully disabled, the default for bare unit-test
+// setups). The registry is always present and cheap (handle-indexed
+// uint64 slots); tracing costs nothing unless a sink is attached:
+//
+//   if (obs_ != nullptr && obs_->tracing()) { ... emit spans ... }
+//
+// Ownership: `CosmosPlatform` and `hwsim::PETestBench` each own one
+// context and hand the pointer down to their children; the TraceSink is
+// owned by whoever wants the trace (CLI, test) and attached via
+// `Observability::trace`.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ndpgen::obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  TraceSink* trace = nullptr;  ///< Non-owning; null disables tracing.
+
+  [[nodiscard]] bool tracing() const noexcept { return trace != nullptr; }
+};
+
+}  // namespace ndpgen::obs

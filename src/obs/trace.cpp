@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace ndpgen::obs {
+
+TrackId TraceSink::track(std::string_view name, std::uint32_t pid) {
+  // Linear scan: the track population is small (one per pipeline stage,
+  // flash channel, worker...) and track() is called once per event at
+  // most — and only while tracing is enabled at all.
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].name == name && tracks_[i].pid == pid) {
+      return static_cast<TrackId>(i + 1);
+    }
+  }
+  tracks_.push_back(Track{std::string(name), pid});
+  return static_cast<TrackId>(tracks_.size());
+}
+
+void TraceSink::complete(TrackId track, std::string_view name,
+                         std::string_view cat, std::uint64_t ts_ns,
+                         std::uint64_t dur_ns, std::string args_json) {
+  const std::uint32_t pid =
+      track >= 1 && track <= tracks_.size() ? tracks_[track - 1].pid
+                                            : kPidPlatform;
+  events_.push_back(Event{Phase::kComplete, std::string(name),
+                          std::string(cat), ts_ns, dur_ns, pid, track, 0,
+                          std::move(args_json)});
+}
+
+void TraceSink::instant(TrackId track, std::string_view name,
+                        std::string_view cat, std::uint64_t ts_ns,
+                        std::string args_json) {
+  const std::uint32_t pid =
+      track >= 1 && track <= tracks_.size() ? tracks_[track - 1].pid
+                                            : kPidPlatform;
+  events_.push_back(Event{Phase::kInstant, std::string(name),
+                          std::string(cat), ts_ns, 0, pid, track, 0,
+                          std::move(args_json)});
+}
+
+void TraceSink::counter(std::string_view name, std::uint64_t ts_ns,
+                        std::uint64_t value, std::uint32_t pid) {
+  events_.push_back(Event{Phase::kCounter, std::string(name), "counter",
+                          ts_ns, 0, pid, 0, value, {}});
+}
+
+void TraceSink::write_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& event : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+        << json_escape(event.cat) << "\",\"ph\":\"";
+    switch (event.phase) {
+      case Phase::kComplete:
+        out << "X\",\"ts\":" << json_micros(event.ts_ns)
+            << ",\"dur\":" << json_micros(event.dur_ns);
+        break;
+      case Phase::kInstant:
+        out << "i\",\"s\":\"t\",\"ts\":" << json_micros(event.ts_ns);
+        break;
+      case Phase::kCounter:
+        out << "C\",\"ts\":" << json_micros(event.ts_ns);
+        break;
+    }
+    out << ",\"pid\":" << event.pid;
+    if (event.phase == Phase::kCounter) {
+      out << ",\"args\":{\"value\":" << event.value << "}";
+    } else {
+      out << ",\"tid\":" << event.tid;
+      if (!event.args_json.empty()) out << ",\"args\":" << event.args_json;
+    }
+    out << "}";
+  }
+  // Metadata: name the two time-domain processes and every track.
+  auto meta = [&](const char* text) {
+    if (!first) out << ",\n";
+    first = false;
+    out << text;
+  };
+  meta("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":"
+       "\"platform (DES virtual ns)\"}}");
+  meta("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":"
+       "\"hwsim (PE cycles @ 10 ns)\"}}");
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+        << tracks_[i].pid << ",\"tid\":" << (i + 1)
+        << ",\"args\":{\"name\":\"" << json_escape(tracks_[i].name)
+        << "\"}}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+std::string TraceSink::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+void TraceSink::clear() noexcept {
+  tracks_.clear();
+  events_.clear();
+}
+
+}  // namespace ndpgen::obs

@@ -1,0 +1,82 @@
+// TraceSink: deterministic simulation-time tracing in Chrome trace_event
+// format (loadable in chrome://tracing and Perfetto).
+//
+// Every timestamp is VIRTUAL time supplied by the caller (platform
+// nanoseconds for the DES domain, PE-clock nanoseconds for the cycle
+// simulator) — never wall clock — so two identical runs emit byte-identical
+// trace files. Tracks ("threads" in the Chrome model) are created on demand
+// and named through metadata events; the two time domains are separated as
+// two trace "processes".
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndpgen::obs {
+
+/// Chrome trace process ids for the two simulation time domains.
+inline constexpr std::uint32_t kPidPlatform = 1;  ///< DES, virtual ns.
+inline constexpr std::uint32_t kPidHwsim = 2;     ///< PE cycles @ 10 ns.
+
+using TrackId = std::uint32_t;
+
+class TraceSink {
+ public:
+  /// Returns the track id for `name`, creating it on first use.
+  TrackId track(std::string_view name, std::uint32_t pid = kPidPlatform);
+
+  /// Complete span ("X"): [ts_ns, ts_ns + dur_ns) on `track`.
+  /// `args_json`, when non-empty, must be a rendered JSON object.
+  void complete(TrackId track, std::string_view name, std::string_view cat,
+                std::uint64_t ts_ns, std::uint64_t dur_ns,
+                std::string args_json = {});
+
+  /// Instant event ("i", thread-scoped).
+  void instant(TrackId track, std::string_view name, std::string_view cat,
+               std::uint64_t ts_ns, std::string args_json = {});
+
+  /// Counter sample ("C"): plots `value` under series `name` over time.
+  void counter(std::string_view name, std::uint64_t ts_ns,
+               std::uint64_t value, std::uint32_t pid = kPidPlatform);
+
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return events_.size();
+  }
+  [[nodiscard]] std::size_t track_count() const noexcept {
+    return tracks_.size();
+  }
+
+  /// Serializes the whole trace; insertion order is preserved, metadata
+  /// (process/thread names) is appended in track-creation order.
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string to_json() const;
+
+  void clear() noexcept;
+
+ private:
+  enum class Phase : std::uint8_t { kComplete, kInstant, kCounter };
+
+  struct Track {
+    std::string name;
+    std::uint32_t pid;
+  };
+  struct Event {
+    Phase phase;
+    std::string name;
+    std::string cat;
+    std::uint64_t ts_ns;
+    std::uint64_t dur_ns;    ///< kComplete only.
+    std::uint32_t pid;
+    TrackId tid;             ///< Unused for kCounter.
+    std::uint64_t value;     ///< kCounter only.
+    std::string args_json;
+  };
+
+  std::vector<Track> tracks_;  ///< tid = index + 1.
+  std::vector<Event> events_;
+};
+
+}  // namespace ndpgen::obs

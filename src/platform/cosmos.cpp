@@ -15,6 +15,33 @@ CosmosPlatform::CosmosPlatform(CosmosConfig config)
       mmio_(arm_) {
   axi_ = std::make_unique<hwsim::AxiInterconnect>(dram_.memory(), config_.axi);
   pe_kernel_.add_module(axi_.get());
+  // One observability context for the whole device: DES models and the PE
+  // cycle kernel all publish into it (kv/ndp reach it through flash()).
+  flash_.set_observability(&obs_);
+  nvme_.set_observability(&obs_);
+  pe_kernel_.set_observability(&obs_);
+}
+
+void CosmosPlatform::publish_metrics() {
+  obs::MetricsRegistry& m = obs_.metrics;
+  m.raise(m.gauge("platform.event_queue.max_pending"), queue_.max_pending());
+  m.raise(m.gauge("platform.events.dispatched"), queue_.dispatched());
+  m.raise(m.gauge("platform.sim_time_ns"), queue_.now());
+  m.raise(m.gauge("platform.flash.pages_read"), flash_.pages_read());
+  m.raise(m.gauge("platform.flash.pages_programmed"),
+          flash_.pages_programmed());
+  m.raise(m.gauge("platform.flash.bus_busy_ns"), flash_.bus_busy_ns());
+  // Aggregate channel-bus utilization in permille (integer for byte-exact
+  // dumps): busy-ns summed over buses / (bus count x elapsed virtual time).
+  const std::uint64_t elapsed = queue_.now();
+  const std::uint64_t buses = std::uint64_t{config_.flash.controllers} *
+                              config_.flash.channels_per_controller;
+  if (elapsed > 0 && buses > 0) {
+    m.raise(m.gauge("platform.flash.bus_utilization_permille"),
+            flash_.bus_busy_ns() * 1000 / (buses * elapsed));
+  }
+  m.raise(m.gauge("platform.nvme.bytes_to_host"), nvme_.bytes_to_host());
+  m.raise(m.gauge("platform.nvme.commands"), nvme_.commands());
 }
 
 std::uint64_t CosmosPlatform::attach_pe(const hw::PEDesign& design) {

@@ -46,6 +46,15 @@ class CosmosPlatform {
   [[nodiscard]] NvmeLink& nvme() noexcept { return nvme_; }
   [[nodiscard]] MmioBus& mmio() noexcept { return mmio_; }
 
+  /// Observability context shared by every device model and the PE cycle
+  /// kernel. Attach a TraceSink via `observability().trace = &sink`.
+  [[nodiscard]] obs::Observability& observability() noexcept { return obs_; }
+
+  /// Publishes platform-level gauges (event-queue depth high-water, flash
+  /// page counts, channel-bus utilization) into the metrics registry.
+  /// Call once at the end of a run, before dumping metrics.
+  void publish_metrics();
+
   /// Attaches a PE built from `design`; returns its MMIO window base.
   std::uint64_t attach_pe(const hwgen::PEDesign& design);
 
@@ -89,6 +98,7 @@ class CosmosPlatform {
 
  private:
   CosmosConfig config_;
+  obs::Observability obs_;
   EventQueue queue_;
   FlashModel flash_;
   DramModel dram_;

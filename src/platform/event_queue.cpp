@@ -9,6 +9,7 @@ EventId EventQueue::schedule_at(SimTime at, std::function<void()> fn) {
   NDPGEN_CHECK_ARG(static_cast<bool>(fn), "event needs a callable");
   const EventId id = next_id_++;
   heap_.push(Event{at, id, std::move(fn)});
+  if (heap_.size() > max_pending_) max_pending_ = heap_.size();
   return id;
 }
 

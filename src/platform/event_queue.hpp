@@ -54,6 +54,11 @@ class EventQueue {
     return dispatched_;
   }
 
+  /// High-water mark of pending() since construction (queue-depth gauge).
+  [[nodiscard]] std::size_t max_pending() const noexcept {
+    return max_pending_;
+  }
+
  private:
   struct Event {
     SimTime at;
@@ -71,6 +76,7 @@ class EventQueue {
   SimTime now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::size_t max_pending_ = 0;
 };
 
 }  // namespace ndpgen::platform

@@ -1,8 +1,22 @@
 #include "platform/flash.hpp"
 
+#include <numeric>
+
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace ndpgen::platform {
+
+namespace {
+
+/// Per-channel trace track, e.g. "flash.c0.ch2".
+obs::TrackId flash_track(obs::TraceSink& sink, const FlashAddr& addr) {
+  return sink.track("flash.c" + std::to_string(addr.controller) + ".ch" +
+                        std::to_string(addr.channel),
+                    obs::kPidPlatform);
+}
+
+}  // namespace
 
 FlashModel::FlashModel(EventQueue& queue, const TimingConfig& timing,
                        FlashTopology topology)
@@ -13,6 +27,7 @@ FlashModel::FlashModel(EventQueue& queue, const TimingConfig& timing,
   bus_free_.assign(
       std::size_t{topology_.controllers} * topology_.channels_per_controller,
       0);
+  bus_busy_ns_.assign(bus_free_.size(), 0);
 }
 
 SimTime FlashModel::page_transfer_time() const noexcept {
@@ -124,7 +139,16 @@ void FlashModel::read_page(const FlashAddr& addr,
   // (the parallelism nKV's placement exploits, §III-B).
   lun_free_[lun] = bus_end;
   bus_free_[bus] = bus_end;
+  bus_busy_ns_[bus] += bus_end - bus_start;
   ++pages_read_;
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs_->trace->complete(
+        flash_track(*obs_->trace, addr), "read", "flash", sense_start,
+        bus_end - sense_start,
+        "{\"lun\":" + std::to_string(addr.lun) +
+            ",\"block\":" + std::to_string(addr.block) +
+            ",\"page\":" + std::to_string(addr.page) + "}");
+  }
   queue_.schedule_at(bus_end, std::move(on_done));
 }
 
@@ -140,7 +164,16 @@ void FlashModel::charge_program(const FlashAddr& addr,
   const SimTime prog_end = prog_start + timing_.flash_program_page_latency;
   bus_free_[bus] = bus_end;
   lun_free_[lun] = prog_end;
+  bus_busy_ns_[bus] += bus_end - bus_start;
   ++pages_programmed_;
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs_->trace->complete(
+        flash_track(*obs_->trace, addr), "program", "flash", bus_start,
+        prog_end - bus_start,
+        "{\"lun\":" + std::to_string(addr.lun) +
+            ",\"block\":" + std::to_string(addr.block) +
+            ",\"page\":" + std::to_string(addr.page) + "}");
+  }
   queue_.schedule_at(prog_end, std::move(on_done));
 }
 
@@ -160,9 +193,15 @@ SimTime FlashModel::estimate_read_completion(const FlashAddr& addr) const {
          page_transfer_time();
 }
 
+SimTime FlashModel::bus_busy_ns() const noexcept {
+  return std::accumulate(bus_busy_ns_.begin(), bus_busy_ns_.end(),
+                         SimTime{0});
+}
+
 void FlashModel::reset_stats() noexcept {
   pages_read_ = 0;
   pages_programmed_ = 0;
+  std::fill(bus_busy_ns_.begin(), bus_busy_ns_.end(), 0);
 }
 
 }  // namespace ndpgen::platform

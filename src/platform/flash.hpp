@@ -22,6 +22,10 @@
 #include "platform/event_queue.hpp"
 #include "platform/timing.hpp"
 
+namespace ndpgen::obs {
+struct Observability;
+}  // namespace ndpgen::obs
+
 namespace ndpgen::platform {
 
 struct FlashTopology {
@@ -112,7 +116,22 @@ class FlashModel {
   [[nodiscard]] std::uint64_t bytes_read() const noexcept {
     return pages_read_ * topology_.page_bytes;
   }
+  /// Total nanoseconds any channel bus spent transferring pages (sum over
+  /// buses; divide by bus count x elapsed time for utilization).
+  [[nodiscard]] SimTime bus_busy_ns() const noexcept;
+  /// Busy nanoseconds of one channel bus (see bus_index ordering).
+  [[nodiscard]] const std::vector<SimTime>& bus_busy() const noexcept {
+    return bus_busy_ns_;
+  }
   void reset_stats() noexcept;
+
+  /// Observability context shared with the owning platform (null = off).
+  /// The flash model doubles as the carrier for the kv layer: compaction
+  /// and SST readers already hold a FlashModel reference.
+  void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
+  [[nodiscard]] obs::Observability* observability() const noexcept {
+    return obs_;
+  }
 
  private:
   [[nodiscard]] std::size_t lun_index(const FlashAddr& addr) const;
@@ -131,9 +150,11 @@ class FlashModel {
   /// the per-controller throughput cap is split across them).
   std::vector<SimTime> lun_free_;
   std::vector<SimTime> bus_free_;
+  std::vector<SimTime> bus_busy_ns_;  ///< Accumulated transfer time per bus.
 
   std::uint64_t pages_read_ = 0;
   std::uint64_t pages_programmed_ = 0;
+  obs::Observability* obs_ = nullptr;  ///< Non-owning.
 };
 
 }  // namespace ndpgen::platform

@@ -1,19 +1,32 @@
 #include "platform/nvme.hpp"
 
+#include "obs/obs.hpp"
+
 namespace ndpgen::platform {
 
 SimTime NvmeLink::transfer_to_host(std::uint64_t payload_bytes) {
+  const SimTime start = queue_.now();
   const SimTime cost = timing_.nvme_transfer_time(payload_bytes);
-  queue_.run_until(queue_.now() + cost);
+  queue_.run_until(start + cost);
   bytes_to_host_ += payload_bytes;
   ++commands_;
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs_->trace->complete(
+        obs_->trace->track("nvme"), "transfer_to_host", "nvme", start, cost,
+        "{\"bytes\":" + std::to_string(payload_bytes) + "}");
+  }
   return cost;
 }
 
 SimTime NvmeLink::command() {
+  const SimTime start = queue_.now();
   const SimTime cost = timing_.nvme_command_latency;
-  queue_.run_until(queue_.now() + cost);
+  queue_.run_until(start + cost);
   ++commands_;
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs_->trace->complete(obs_->trace->track("nvme"), "command", "nvme",
+                          start, cost);
+  }
   return cost;
 }
 

@@ -10,6 +10,10 @@
 #include "platform/event_queue.hpp"
 #include "platform/timing.hpp"
 
+namespace ndpgen::obs {
+struct Observability;
+}  // namespace ndpgen::obs
+
 namespace ndpgen::platform {
 
 class NvmeLink {
@@ -33,11 +37,15 @@ class NvmeLink {
     commands_ = 0;
   }
 
+  /// Observability context shared with the owning platform (null = off).
+  void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
+
  private:
   EventQueue& queue_;
   const TimingConfig& timing_;
   std::uint64_t bytes_to_host_ = 0;
   std::uint64_t commands_ = 0;
+  obs::Observability* obs_ = nullptr;  ///< Non-owning.
 };
 
 }  // namespace ndpgen::platform

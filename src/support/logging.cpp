@@ -1,13 +1,29 @@
 #include "support/logging.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 namespace ndpgen::support {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+/// Count of active component overrides; 0 keeps log_enabled() lock-free.
+std::atomic<int> g_override_count{0};
+
+std::mutex& override_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<std::pair<std::string, LogLevel>>& overrides() {
+  static std::vector<std::pair<std::string, LogLevel>> table;
+  return table;
+}
 
 constexpr std::string_view level_name(LogLevel level) noexcept {
   switch (level) {
@@ -31,9 +47,53 @@ void set_log_level(LogLevel level) noexcept {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void set_component_level(std::string_view component, LogLevel level) {
+  const std::lock_guard<std::mutex> lock(override_mutex());
+  auto& table = overrides();
+  for (auto& entry : table) {
+    if (entry.first == component) {
+      entry.second = level;
+      return;
+    }
+  }
+  table.emplace_back(std::string(component), level);
+  g_override_count.store(static_cast<int>(table.size()),
+                         std::memory_order_release);
+}
+
+void clear_component_level(std::string_view component) {
+  const std::lock_guard<std::mutex> lock(override_mutex());
+  auto& table = overrides();
+  table.erase(std::remove_if(table.begin(), table.end(),
+                             [component](const auto& entry) {
+                               return entry.first == component;
+                             }),
+              table.end());
+  g_override_count.store(static_cast<int>(table.size()),
+                         std::memory_order_release);
+}
+
+void clear_component_levels() {
+  const std::lock_guard<std::mutex> lock(override_mutex());
+  overrides().clear();
+  g_override_count.store(0, std::memory_order_release);
+}
+
+bool log_enabled(LogLevel level, std::string_view component) noexcept {
+  if (g_override_count.load(std::memory_order_acquire) != 0) {
+    const std::lock_guard<std::mutex> lock(override_mutex());
+    for (const auto& entry : overrides()) {
+      if (entry.first == component) {
+        return static_cast<int>(level) >= static_cast<int>(entry.second);
+      }
+    }
+  }
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
 void log_message(LogLevel level, std::string_view component,
                  std::string_view message) {
-  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  if (!log_enabled(level, component)) return;
   // One fprintf per line keeps messages atomic enough for a CLI tool.
   std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
                static_cast<int>(level_name(level).size()),

@@ -1,9 +1,12 @@
-// Minimal leveled logger.
+// Minimal leveled logger with per-component overrides.
 //
 // The simulator and generator are libraries first: logging defaults to
-// warnings-and-above on stderr and is globally adjustable. No global
-// mutable state beyond one atomic level; thread-safe by construction
-// (each message is a single write).
+// warnings-and-above on stderr and is globally adjustable. A component may
+// be given its own level ("trace just hwsim without flooding the rest"):
+// overrides win over the global level for that component. The common case
+// (no overrides) stays a single relaxed atomic load; message formatting is
+// fully short-circuited for disabled levels — operator<< chains on a
+// disabled LogLine never touch the ostringstream.
 #pragma once
 
 #include <atomic>
@@ -28,30 +31,51 @@ enum class LogLevel : int {
 /// Sets the process-wide log level.
 void set_log_level(LogLevel level) noexcept;
 
-/// Emits one formatted line to stderr if `level` is enabled.
+/// Gives `component` its own level, overriding the global one in both
+/// directions (more OR less verbose). Replaces an existing override.
+void set_component_level(std::string_view component, LogLevel level);
+
+/// Removes the override for `component`; no-op if there is none.
+void clear_component_level(std::string_view component);
+
+/// Removes every per-component override.
+void clear_component_levels();
+
+/// True if a message at `level` from `component` would be emitted.
+[[nodiscard]] bool log_enabled(LogLevel level,
+                               std::string_view component) noexcept;
+
+/// Emits one formatted line to stderr if enabled for the component.
 void log_message(LogLevel level, std::string_view component,
                  std::string_view message);
 
 namespace detail {
 
-/// Stream-style helper that emits on destruction.
+/// Stream-style helper that emits on destruction. Carries its own enabled
+/// flag so directly-constructed lines on a disabled level skip all
+/// formatting work, not just the final write.
 class LogLine {
  public:
   LogLine(LogLevel level, std::string_view component)
-      : level_(level), component_(component) {}
+      : level_(level),
+        component_(component),
+        enabled_(log_enabled(level, component)) {}
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
-  ~LogLine() { log_message(level_, component_, stream_.str()); }
+  ~LogLine() {
+    if (enabled_) log_message(level_, component_, stream_.str());
+  }
 
   template <typename T>
   LogLine& operator<<(const T& value) {
-    stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
   std::string component_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 
@@ -60,8 +84,7 @@ class LogLine {
 }  // namespace ndpgen::support
 
 #define NDPGEN_LOG(level, component)                                   \
-  if (static_cast<int>(level) >= static_cast<int>(                     \
-          ::ndpgen::support::log_level()))                             \
+  if (::ndpgen::support::log_enabled(level, component))                \
   ::ndpgen::support::detail::LogLine(level, component)
 
 #define NDPGEN_LOG_DEBUG(component) \

@@ -1,0 +1,166 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ndpgen::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterStartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  const CounterHandle handle = registry.counter("foo.count");
+  EXPECT_EQ(registry.counter_value("foo.count"), 0u);
+  registry.add(handle);
+  registry.add(handle, 41);
+  EXPECT_EQ(registry.counter_value("foo.count"), 42u);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsGetOrCreate) {
+  MetricsRegistry registry;
+  const CounterHandle a = registry.counter("same");
+  const CounterHandle b = registry.counter("same");
+  EXPECT_EQ(a.index, b.index);
+  registry.add(a, 1);
+  registry.add(b, 2);
+  EXPECT_EQ(registry.counter_value("same"), 3u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchOnReRegistrationThrows) {
+  MetricsRegistry registry;
+  registry.counter("metric");
+  EXPECT_THROW(registry.gauge("metric"), Error);
+  EXPECT_THROW(registry.histogram("metric"), Error);
+}
+
+TEST(MetricsRegistryTest, EmptyNameThrows) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter(""), Error);
+}
+
+TEST(MetricsRegistryTest, UnknownMetricReadThrows) {
+  const MetricsRegistry registry;
+  EXPECT_THROW(registry.counter_value("nope"), Error);
+  EXPECT_THROW(registry.gauge_value("nope"), Error);
+  EXPECT_THROW(registry.histogram_count("nope"), Error);
+}
+
+TEST(MetricsRegistryTest, GaugeSetTracksHighWater) {
+  MetricsRegistry registry;
+  const GaugeHandle handle = registry.gauge("depth");
+  registry.set(handle, 7);
+  registry.set(handle, 3);
+  EXPECT_EQ(registry.gauge_value("depth"), 3u);
+  EXPECT_EQ(registry.gauge_max("depth"), 7u);
+}
+
+TEST(MetricsRegistryTest, GaugeRaiseNeverLowers) {
+  MetricsRegistry registry;
+  const GaugeHandle handle = registry.gauge("hwm");
+  registry.raise(handle, 5);
+  registry.raise(handle, 2);
+  EXPECT_EQ(registry.gauge_value("hwm"), 5u);
+  registry.raise(handle, 9);
+  EXPECT_EQ(registry.gauge_value("hwm"), 9u);
+  EXPECT_EQ(registry.gauge_max("hwm"), 9u);
+}
+
+TEST(MetricsRegistryTest, HistogramTracksCountSumMinMax) {
+  MetricsRegistry registry;
+  const HistogramHandle handle = registry.histogram("lat");
+  registry.observe(handle, 10);
+  registry.observe(handle, 4);
+  registry.observe(handle, 100);
+  EXPECT_EQ(registry.histogram_count("lat"), 3u);
+  EXPECT_EQ(registry.histogram_sum("lat"), 114u);
+  const std::string dump = registry.dump_json();
+  EXPECT_NE(dump.find("\"min\": 4"), std::string::npos);
+  EXPECT_NE(dump.find("\"max\": 100"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsByBitWidth) {
+  MetricsRegistry registry;
+  const HistogramHandle handle = registry.histogram("h");
+  // 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 1000 -> bucket 10.
+  registry.observe(handle, 0);
+  registry.observe(handle, 1);
+  registry.observe(handle, 2);
+  registry.observe(handle, 3);
+  registry.observe(handle, 1000);
+  const std::string dump = registry.dump_json();
+  EXPECT_NE(dump.find("[0, 1]"), std::string::npos);
+  EXPECT_NE(dump.find("[1, 1]"), std::string::npos);
+  EXPECT_NE(dump.find("[2, 2]"), std::string::npos);
+  EXPECT_NE(dump.find("[10, 1]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpJsonSortsByName) {
+  MetricsRegistry registry;
+  registry.add(registry.counter("zzz"), 1);
+  registry.add(registry.counter("aaa"), 2);
+  registry.add(registry.counter("mmm"), 3);
+  const std::string dump = registry.dump_json();
+  const auto a = dump.find("\"aaa\"");
+  const auto m = dump.find("\"mmm\"");
+  const auto z = dump.find("\"zzz\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+TEST(MetricsRegistryTest, DumpJsonIsDeterministic) {
+  auto populate = [](MetricsRegistry& registry) {
+    registry.add(registry.counter("c"), 5);
+    registry.set(registry.gauge("g"), 17);
+    registry.observe(registry.histogram("h"), 123);
+  };
+  MetricsRegistry one;
+  MetricsRegistry two;
+  populate(one);
+  populate(two);
+  EXPECT_EQ(one.dump_json(), two.dump_json());
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryDumpsEmptySections) {
+  const MetricsRegistry registry;
+  const std::string dump = registry.dump_json();
+  EXPECT_NE(dump.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(dump.find("\"gauges\": {}"), std::string::npos);
+  EXPECT_NE(dump.find("\"histograms\": {}"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsHandlesValid) {
+  MetricsRegistry registry;
+  const CounterHandle counter = registry.counter("c");
+  const GaugeHandle gauge = registry.gauge("g");
+  const HistogramHandle histogram = registry.histogram("h");
+  registry.add(counter, 10);
+  registry.raise(gauge, 20);
+  registry.observe(histogram, 30);
+  registry.reset_values();
+  EXPECT_EQ(registry.counter_value("c"), 0u);
+  EXPECT_EQ(registry.gauge_value("g"), 0u);
+  EXPECT_EQ(registry.gauge_max("g"), 0u);
+  EXPECT_EQ(registry.histogram_count("h"), 0u);
+  EXPECT_EQ(registry.histogram_sum("h"), 0u);
+  registry.add(counter, 1);
+  EXPECT_EQ(registry.counter_value("c"), 1u);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, ContainsSeesAllKinds) {
+  MetricsRegistry registry;
+  registry.counter("c");
+  registry.gauge("g");
+  registry.histogram("h");
+  EXPECT_TRUE(registry.contains("c"));
+  EXPECT_TRUE(registry.contains("g"));
+  EXPECT_TRUE(registry.contains("h"));
+  EXPECT_FALSE(registry.contains("x"));
+}
+
+}  // namespace
+}  // namespace ndpgen::obs

@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+
+namespace ndpgen::obs {
+namespace {
+
+TEST(TraceSinkTest, TrackIsDedupedByNameAndPid) {
+  TraceSink sink;
+  const TrackId a = sink.track("flash.c0.ch0");
+  const TrackId b = sink.track("flash.c0.ch0");
+  EXPECT_EQ(a, b);
+  // Same name in the other time domain is a distinct track.
+  const TrackId c = sink.track("flash.c0.ch0", kPidHwsim);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(sink.track_count(), 2u);
+}
+
+TEST(TraceSinkTest, TrackIdsStartAtOne) {
+  TraceSink sink;
+  EXPECT_EQ(sink.track("first"), 1u);
+  EXPECT_EQ(sink.track("second"), 2u);
+}
+
+TEST(TraceSinkTest, CompleteSpanRendersMicroseconds) {
+  TraceSink sink;
+  const TrackId track = sink.track("nvme");
+  sink.complete(track, "command", "platform", 1500, 2500);
+  const std::string json = sink.to_json();
+  // 1500 ns -> 1.500 us, 2500 ns -> 2.500 us.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":1.500,\"dur\":2.500"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"command\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"platform\""), std::string::npos);
+}
+
+TEST(TraceSinkTest, EventsCarryTheTrackPid) {
+  TraceSink sink;
+  const TrackId hw = sink.track("pe.Scan", kPidHwsim);
+  sink.complete(hw, "chunk", "hwsim", 0, 100);
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":1"), std::string::npos);
+}
+
+TEST(TraceSinkTest, InstantEventIsThreadScoped) {
+  TraceSink sink;
+  sink.instant(sink.track("kv.sst"), "read_block", "kv", 42,
+               "{\"block\":7}");
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"t\",\"ts\":0.042"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"block\":7}"), std::string::npos);
+}
+
+TEST(TraceSinkTest, CounterEventCarriesValue) {
+  TraceSink sink;
+  sink.counter("queue_depth", 1000, 17);
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"ph\":\"C\",\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":17}"), std::string::npos);
+}
+
+TEST(TraceSinkTest, MetadataNamesProcessesAndTracks) {
+  TraceSink sink;
+  sink.track("alpha");
+  sink.track("beta", kPidHwsim);
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"platform (DES virtual ns)\""), std::string::npos);
+  EXPECT_NE(json.find("\"hwsim (PE cycles @ 10 ns)\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":1,\"args\":{\"name\":\"alpha\"}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,"
+                      "\"tid\":2,\"args\":{\"name\":\"beta\"}}"),
+            std::string::npos);
+}
+
+TEST(TraceSinkTest, ToJsonIsDeterministic) {
+  auto build = [] {
+    TraceSink sink;
+    const TrackId t = sink.track("worker0");
+    sink.complete(t, "block", "ndp", 10, 90, "{\"matched\":3}");
+    sink.instant(t, "mark", "ndp", 55);
+    sink.counter("depth", 60, 4);
+    return sink.to_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(TraceSinkTest, ClearEmptiesEventsAndTracks) {
+  TraceSink sink;
+  sink.complete(sink.track("t"), "span", "c", 0, 1);
+  EXPECT_EQ(sink.event_count(), 1u);
+  sink.clear();
+  EXPECT_EQ(sink.event_count(), 0u);
+  EXPECT_EQ(sink.track_count(), 0u);
+}
+
+TEST(TraceSinkTest, EscapesEventNames) {
+  TraceSink sink;
+  sink.instant(sink.track("t"), "with \"quotes\"", "c", 0);
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"name\":\"with \\\"quotes\\\"\""), std::string::npos);
+}
+
+TEST(JsonHelpersTest, MicrosPadsFraction) {
+  EXPECT_EQ(json_micros(0), "0.000");
+  EXPECT_EQ(json_micros(7), "0.007");
+  EXPECT_EQ(json_micros(42), "0.042");
+  EXPECT_EQ(json_micros(999), "0.999");
+  EXPECT_EQ(json_micros(1000), "1.000");
+  EXPECT_EQ(json_micros(123456789), "123456.789");
+}
+
+TEST(JsonHelpersTest, FixedRendersSixDigits) {
+  EXPECT_EQ(json_fixed(0.0), "0.000000");
+  EXPECT_EQ(json_fixed(1.5), "1.500000");
+  EXPECT_EQ(json_fixed(-2.25), "-2.250000");
+  EXPECT_EQ(json_fixed(0.0000005), "0.000001");
+}
+
+TEST(JsonHelpersTest, EscapeHandlesControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace ndpgen::obs

@@ -22,9 +22,12 @@
 #include "hwgen/testbench_emitter.hpp"
 #include "hwsim/pe_sim.hpp"
 #include "hwsim/tuple_buffer.hpp"
+#include "ndp/executor.hpp"
 #include "ndp/predicate.hpp"
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "workload/pubgraph.hpp"
 
 namespace {
 
@@ -44,8 +47,47 @@ int usage() {
                "  testbench <spec-file> <parser> [--tuples N]\n"
                "           [--stage s:field,op,value]\n"
                "                                      emit a self-checking "
-               "Verilog testbench\n");
+               "Verilog testbench\n"
+               "  scan [--dataset papers|refs] [--mode sw|hw|host]\n"
+               "       [--scale N] [--predicate field,op,value]...\n"
+               "       [--trace FILE] [--metrics FILE]\n"
+               "                                      run an NDP scan on the "
+               "built-in pubgraph\n"
+               "                                      workload over the full "
+               "simulated platform\n"
+               "\n"
+               "  simulate and scan accept --trace FILE (Chrome trace_event "
+               "JSON for\n"
+               "  chrome://tracing / Perfetto) and --metrics FILE (flat "
+               "metrics JSON).\n");
   return 2;
+}
+
+/// Writes the trace and/or metrics files requested via --trace/--metrics.
+void write_observability(const obs::Observability& obs,
+                         const obs::TraceSink& sink,
+                         const std::string& trace_path,
+                         const std::string& metrics_path) {
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      throw Error(ErrorKind::kInvalidArg,
+                  "cannot write trace file '" + trace_path + "'");
+    }
+    sink.write_json(out);
+    std::fprintf(stderr, "wrote %s (%zu events)\n", trace_path.c_str(),
+                 sink.event_count());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      throw Error(ErrorKind::kInvalidArg,
+                  "cannot write metrics file '" + metrics_path + "'");
+    }
+    out << obs.metrics.dump_json();
+    std::fprintf(stderr, "wrote %s (%zu metrics)\n", metrics_path.c_str(),
+                 obs.metrics.size());
+  }
 }
 
 std::string read_file(const std::string& path) {
@@ -113,6 +155,8 @@ int cmd_report(const std::vector<std::string>& args) {
 int cmd_simulate(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   std::uint64_t tuples = 64;
+  std::string trace_path;
+  std::string metrics_path;
   struct StageArg {
     std::uint32_t stage;
     std::string field, op;
@@ -122,6 +166,10 @@ int cmd_simulate(const std::vector<std::string>& args) {
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i] == "--tuples" && i + 1 < args.size()) {
       tuples = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
     } else if (args[i] == "--stage" && i + 1 < args.size()) {
       const std::string& spec = args[++i];
       const auto colon = spec.find(':');
@@ -142,6 +190,8 @@ int cmd_simulate(const std::vector<std::string>& args) {
   const auto& layout = artifacts.analyzed.input;
 
   hwsim::PETestBench bench(artifacts.design);
+  obs::TraceSink sink;
+  if (!trace_path.empty()) bench.observability().trace = &sink;
   // Random tuples.
   support::Xoshiro256 rng(1234);
   std::vector<std::uint8_t> data;
@@ -181,6 +231,107 @@ int cmd_simulate(const std::vector<std::string>& args) {
     std::printf("  stage %zu passed %llu\n", s,
                 static_cast<unsigned long long>(stats.stage_pass_counts[s]));
   }
+  write_observability(bench.observability(), sink, trace_path, metrics_path);
+  return 0;
+}
+
+int cmd_scan(const std::vector<std::string>& args) {
+  std::string dataset = "papers";
+  std::string mode_name = "hw";
+  std::uint64_t scale = 32768;
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<ndp::FilterPredicate> predicates;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--dataset" && i + 1 < args.size()) {
+      dataset = args[++i];
+    } else if (args[i] == "--mode" && i + 1 < args.size()) {
+      mode_name = args[++i];
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      scale = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else if (args[i] == "--predicate" && i + 1 < args.size()) {
+      const auto pieces = support::split(args[++i], ',');
+      if (pieces.size() != 3) return usage();
+      predicates.push_back(ndp::FilterPredicate{
+          pieces[0], pieces[1],
+          std::strtoull(pieces[2].c_str(), nullptr, 0)});
+    } else {
+      return usage();
+    }
+  }
+  ndp::ExecMode mode;
+  if (mode_name == "sw") {
+    mode = ndp::ExecMode::kSoftware;
+  } else if (mode_name == "hw") {
+    mode = ndp::ExecMode::kHardware;
+  } else if (mode_name == "host") {
+    mode = ndp::ExecMode::kHostClassic;
+  } else {
+    return usage();
+  }
+  const bool papers = dataset == "papers";
+  if (!papers && dataset != "refs") return usage();
+
+  platform::CosmosPlatform cosmos;
+  obs::TraceSink sink;
+  if (!trace_path.empty()) cosmos.observability().trace = &sink;
+
+  core::Framework framework;
+  const auto compiled =
+      framework.compile(workload::pubgraph_spec_source());
+  const std::string parser_name = papers ? "PaperScan" : "RefScan";
+  const auto& artifacts = compiled.get(parser_name);
+
+  workload::PubGraphGenerator generator(
+      workload::PubGraphConfig{.scale_divisor = scale});
+  kv::DBConfig config;
+  config.record_bytes =
+      papers ? workload::PaperRecord::kBytes : workload::RefRecord::kBytes;
+  config.extractor = papers ? workload::paper_key : workload::ref_key;
+  kv::NKV db(cosmos, config);
+  const std::uint64_t loaded =
+      papers ? workload::load_papers(db, generator)
+             : workload::load_refs(db, generator);
+
+  if (predicates.empty()) {
+    if (papers) {
+      predicates.push_back(ndp::FilterPredicate{"year", "lt", 1990});
+    } else {
+      predicates.push_back(
+          ndp::FilterPredicate{"dst", "lt", generator.paper_count() / 2});
+    }
+  }
+
+  ndp::ExecutorConfig exec_config;
+  exec_config.mode = mode;
+  exec_config.result_key_extractor =
+      papers ? workload::paper_result_key : workload::ref_key;
+  if (mode == ndp::ExecMode::kHardware) {
+    exec_config.pe_indices = {
+        framework.instantiate(compiled, parser_name, cosmos)};
+  }
+  ndp::HybridExecutor executor(db, artifacts.analyzed,
+                               artifacts.design.operators, exec_config);
+  const auto stats = executor.scan(predicates);
+
+  std::printf(
+      "scan %s [%s]: %llu records loaded, %llu blocks, %llu scanned, "
+      "%llu matched, %llu results, %.3f ms virtual\n",
+      dataset.c_str(), std::string(to_string(mode)).c_str(),
+      static_cast<unsigned long long>(loaded),
+      static_cast<unsigned long long>(stats.blocks),
+      static_cast<unsigned long long>(stats.tuples_scanned),
+      static_cast<unsigned long long>(stats.tuples_matched),
+      static_cast<unsigned long long>(stats.results),
+      static_cast<double>(stats.elapsed) / 1e6);
+
+  cosmos.publish_metrics();
+  write_observability(cosmos.observability(), sink, trace_path,
+                      metrics_path);
   return 0;
 }
 
@@ -270,6 +421,9 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "testbench") {
       return cmd_testbench({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "scan") {
+      return cmd_scan({args.begin() + 1, args.end()});
     }
     return usage();
   } catch (const std::exception& error) {

@@ -1,0 +1,55 @@
+# Determinism check for the observability layer, run as a ctest target:
+#
+#   cmake -DNDPGEN_BIN=<path to ndpgen> -DWORK_DIR=<scratch dir> \
+#         -P obs_determinism.cmake
+#
+# Runs the same small hardware scan twice with --trace/--metrics and
+# verifies both output pairs are byte-identical. All trace timestamps are
+# virtual simulation time, so any difference means nondeterminism crept
+# into the pipeline (wall clock, pointer values, unordered iteration...).
+if(NOT NDPGEN_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DNDPGEN_BIN=... -DWORK_DIR=... -P obs_determinism.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+foreach(run 1 2)
+  execute_process(
+    COMMAND "${NDPGEN_BIN}" scan --dataset papers --mode hw --scale 65536
+            --trace "${WORK_DIR}/trace_${run}.json"
+            --metrics "${WORK_DIR}/metrics_${run}.json"
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "ndpgen scan run ${run} failed (${status}):\n${stdout}\n${stderr}")
+  endif()
+endforeach()
+
+foreach(kind trace metrics)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/${kind}_1.json" "${WORK_DIR}/${kind}_2.json"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "${kind} files differ between identical runs — observability output is nondeterministic")
+  endif()
+endforeach()
+
+# Cheap structural sanity: the trace must hold events and the metrics dump
+# must contain the acceptance-criteria metric families.
+file(READ "${WORK_DIR}/trace_1.json" trace)
+if(NOT trace MATCHES "traceEvents")
+  message(FATAL_ERROR "trace file is missing the traceEvents array")
+endif()
+file(READ "${WORK_DIR}/metrics_1.json" metrics)
+foreach(needle
+    "hwsim." "stall_in" "platform.flash.bus_utilization_permille"
+    "platform.event_queue.max_pending" "ndp.scan.tuples_matched")
+  string(FIND "${metrics}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "metrics file is missing expected metric '${needle}'")
+  endif()
+endforeach()
+
+message(STATUS "obs determinism check passed")

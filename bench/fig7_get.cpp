@@ -29,9 +29,12 @@ const char* name_of(Variant variant) {
 }
 
 double run_gets(Variant variant, std::uint64_t scale, double firmware_factor,
-                std::uint64_t num_gets) {
+                std::uint64_t num_gets,
+                const fault::FaultProfile& fault_profile,
+                bench::FaultCounters& faults) {
   platform::CosmosConfig cosmos_config;
   cosmos_config.timing.firmware_overhead_factor = firmware_factor;
+  cosmos_config.fault = fault_profile;
   platform::CosmosPlatform cosmos(cosmos_config);
   const core::Framework framework;
   const auto compiled = framework.compile(workload::pubgraph_spec_source());
@@ -67,6 +70,7 @@ double run_gets(Variant variant, std::uint64_t scale, double firmware_factor,
     const auto stats = executor.get(key);
     total += stats.elapsed;
     found += stats.found ? 1 : 0;
+    faults.accumulate(stats);
   }
   if (found != num_gets) {
     std::fprintf(stderr, "warning: only %llu/%llu GETs found their key\n",
@@ -89,6 +93,11 @@ int main() {
               static_cast<unsigned long long>(scale),
               static_cast<unsigned long long>(kGets));
 
+  const fault::FaultProfile fault_profile = bench::fault_profile_from_env();
+  if (fault_profile.any_enabled()) {
+    std::fprintf(stderr, "%s\n", fault_profile.summary().c_str());
+  }
+
   std::printf("%-22s %16s %22s\n", "variant", "updated fw [ms]",
               "original fw [1] [ms]");
   bench::JsonResult json("fig7_get");
@@ -96,12 +105,18 @@ int main() {
   const Variant variants[] = {Variant::kSoftware, Variant::kHwBaseline,
                               Variant::kHwGenerated};
   for (int v = 0; v < 3; ++v) {
-    updated[v] = run_gets(variants[v], scale, 1.10, kGets);
-    original[v] = run_gets(variants[v], scale, 1.00, kGets);
+    bench::FaultCounters faults;
+    updated[v] = run_gets(variants[v], scale, 1.10, kGets, fault_profile,
+                          faults);
+    original[v] = run_gets(variants[v], scale, 1.00, kGets, fault_profile,
+                           faults);
     std::printf("%-22s %16.3f %22.3f\n", name_of(variants[v]), updated[v],
                 original[v]);
     json.add(name_of(variants[v]), "updated_fw", updated[v], "ms");
     json.add(name_of(variants[v]), "original_fw", original[v], "ms");
+    if (fault_profile.any_enabled()) {
+      bench::add_fault_rows(json, name_of(variants[v]), faults);
+    }
   }
   json.write();
 

@@ -35,7 +35,8 @@ const char* name_of(Variant variant) {
 double run_scan(kv::NKV& db, const core::ParserArtifacts& artifacts,
                 Variant variant, platform::CosmosPlatform& cosmos,
                 const std::vector<ndp::FilterPredicate>& predicates,
-                kv::KeyExtractor result_key, std::uint64_t scale) {
+                kv::KeyExtractor result_key, std::uint64_t scale,
+                bench::FaultCounters& faults) {
   ndp::ExecutorConfig config;
   config.result_key_extractor = std::move(result_key);
   if (variant == Variant::kSoftware) {
@@ -56,6 +57,7 @@ double run_scan(kv::NKV& db, const core::ParserArtifacts& artifacts,
   ndp::HybridExecutor executor(db, artifacts.analyzed,
                                artifacts.design.operators, config);
   const auto stats = executor.scan(predicates);
+  faults.accumulate(stats);
   return bench::to_seconds(stats.elapsed) * static_cast<double>(scale);
 }
 
@@ -74,6 +76,10 @@ int main() {
   const auto compiled = framework.compile(workload::pubgraph_spec_source());
   const workload::PubGraphGenerator generator(
       workload::PubGraphConfig{.scale_divisor = scale});
+  const fault::FaultProfile fault_profile = bench::fault_profile_from_env();
+  if (fault_profile.any_enabled()) {
+    std::fprintf(stderr, "%s\n", fault_profile.summary().c_str());
+  }
 
   std::printf("%-22s %12s %12s %12s\n", "variant", "papers [s]", "refs [s]",
               "total [s]");
@@ -85,7 +91,9 @@ int main() {
     // Fresh platform per variant so flash/DES state never leaks across.
     // The two stores share the device, so they must share the placement
     // policy (one physical page allocator per flash device).
-    platform::CosmosPlatform cosmos;
+    platform::CosmosConfig cosmos_config;
+    cosmos_config.fault = fault_profile;
+    platform::CosmosPlatform cosmos(cosmos_config);
     // Evaluation placement: stripe over every channel (group count 1) so
     // the scan sees the full ~200 MB/s aggregate (§III-B parallelism).
     auto placement = std::make_shared<kv::PlacementPolicy>(
@@ -99,20 +107,31 @@ int main() {
     kv::NKV refs(cosmos, refs_config);
     workload::load_refs(refs, generator);
 
+    bench::FaultCounters faults;
     outcomes[v].papers_s = run_scan(
         papers, compiled.get("PaperScan"), variants[v], cosmos,
-        {{"year", "lt", 1990}}, workload::paper_result_key, scale);
+        {{"year", "lt", 1990}}, workload::paper_result_key, scale, faults);
     outcomes[v].refs_s = run_scan(
         refs, compiled.get("RefScan"), variants[v], cosmos,
         {{"dst", "ge", generator.paper_count() / 4},
          {"dst", "lt", generator.paper_count() / 2}},
-        workload::ref_key, scale);
+        workload::ref_key, scale, faults);
     std::printf("%-22s %12.3f %12.3f %12.3f\n", name_of(variants[v]),
                 outcomes[v].papers_s, outcomes[v].refs_s,
                 outcomes[v].total());
     json.add(name_of(variants[v]), "papers", outcomes[v].papers_s, "s");
     json.add(name_of(variants[v]), "refs", outcomes[v].refs_s, "s");
     json.add(name_of(variants[v]), "total", outcomes[v].total(), "s");
+    if (fault_profile.any_enabled()) {
+      std::printf("%-22s degraded media: %llu retried, %llu uncorrectable, "
+                  "%llu degraded to SW\n", "",
+                  static_cast<unsigned long long>(faults.blocks_retried),
+                  static_cast<unsigned long long>(
+                      faults.uncorrectable_blocks),
+                  static_cast<unsigned long long>(
+                      faults.blocks_degraded_to_software));
+      bench::add_fault_rows(json, name_of(variants[v]), faults);
+    }
   }
   json.write();
 

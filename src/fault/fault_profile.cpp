@@ -1,0 +1,104 @@
+#include "fault/fault_profile.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace ndpgen::fault {
+
+namespace {
+
+[[nodiscard]] bool parse_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && !text.empty() && out >= 0.0;
+}
+
+[[nodiscard]] bool parse_u64(const std::string& text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 0);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+}  // namespace
+
+Result<FaultProfile> FaultProfile::parse(std::string_view text) {
+  FaultProfile profile;
+  for (const std::string& item : support::split(text, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Result<FaultProfile>::failure(
+          ErrorKind::kInvalidArg,
+          "fault profile item '" + item + "' is not key=value");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    bool ok = true;
+    std::uint64_t u = 0;
+    if (key == "seed") {
+      ok = parse_u64(value, profile.seed);
+    } else if (key == "read_ber") {
+      ok = parse_double(value, profile.read_ber);
+    } else if (key == "wear_alpha") {
+      ok = parse_double(value, profile.wear_alpha);
+    } else if (key == "retention_alpha") {
+      ok = parse_double(value, profile.retention_alpha);
+    } else if (key == "ecc_bits") {
+      ok = parse_u64(value, u) && u <= 0xFFFFFFFFull;
+      profile.ecc_correctable_bits = static_cast<std::uint32_t>(u);
+    } else if (key == "retry_factor") {
+      ok = parse_double(value, profile.retry_error_factor) &&
+           profile.retry_error_factor < 1.0;
+    } else if (key == "max_retries") {
+      ok = parse_u64(value, u) && u <= 64;
+      profile.max_read_retries = static_cast<std::uint32_t>(u);
+    } else if (key == "bad_block_rate") {
+      ok = parse_double(value, profile.bad_block_rate) &&
+           profile.bad_block_rate < 1.0;
+    } else if (key == "silent_rate") {
+      ok = parse_double(value, profile.silent_corruption_rate) &&
+           profile.silent_corruption_rate <= 1.0;
+    } else if (key == "nvme_timeout_rate") {
+      ok = parse_double(value, profile.nvme_timeout_rate) &&
+           profile.nvme_timeout_rate <= 1.0;
+    } else if (key == "nvme_max_retries") {
+      ok = parse_u64(value, u) && u <= 16;
+      profile.nvme_max_retries = static_cast<std::uint32_t>(u);
+    } else if (key == "pe_fault_rate") {
+      ok = parse_double(value, profile.pe_fault_rate) &&
+           profile.pe_fault_rate <= 1.0;
+    } else {
+      return Result<FaultProfile>::failure(
+          ErrorKind::kInvalidArg, "unknown fault profile key '" + key + "'");
+    }
+    if (!ok) {
+      return Result<FaultProfile>::failure(
+          ErrorKind::kInvalidArg,
+          "bad value '" + value + "' for fault profile key '" + key + "'");
+    }
+  }
+  return profile;
+}
+
+std::string FaultProfile::summary() const {
+  if (!any_enabled()) return "faults: none";
+  std::ostringstream out;
+  out << "faults: seed=" << seed;
+  if (read_ber > 0.0) {
+    out << " read_ber=" << read_ber << " ecc_bits=" << ecc_correctable_bits
+        << " max_retries=" << max_read_retries;
+  }
+  if (bad_block_rate > 0.0) out << " bad_block_rate=" << bad_block_rate;
+  if (silent_corruption_rate > 0.0) {
+    out << " silent_rate=" << silent_corruption_rate;
+  }
+  if (nvme_timeout_rate > 0.0) {
+    out << " nvme_timeout_rate=" << nvme_timeout_rate;
+  }
+  if (pe_fault_rate > 0.0) out << " pe_fault_rate=" << pe_fault_rate;
+  return out.str();
+}
+
+}  // namespace ndpgen::fault

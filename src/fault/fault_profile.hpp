@@ -1,0 +1,81 @@
+// FaultProfile: declarative description of the fault environment.
+//
+// The simulated Cosmos+ platform is fault-free by default; a FaultProfile
+// turns on individual fault classes with explicit rates, all driven by one
+// seed so every run is exactly reproducible (same contract as
+// support/rng.hpp). Profiles are parsed from "key=value,key=value" strings
+// so the CLI (`--fault-profile`) and the benches (NDPGEN_FAULT_PROFILE)
+// share one syntax.
+//
+// Fault classes and the layer that injects them:
+//  * NAND raw bit errors  — FlashModel timed reads (ECC + read-retry).
+//  * grown bad blocks     — PlacementPolicy allocation (remapped around).
+//  * silent corruption    — ECC-missed bytes; caught by the SST block
+//                           CRC32C and routed into the degraded-read path.
+//  * NVMe command timeout — NvmeLink (bounded retry, exponential backoff).
+//  * PE hang              — HardwareNdp dispatch (watchdog detection,
+//                           block degraded to the software NDP path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+
+namespace ndpgen::fault {
+
+struct FaultProfile {
+  std::uint64_t seed = 0x5eedfa17ULL;
+
+  // --- NAND reliability --------------------------------------------------
+  /// Raw bit-error probability per stored bit per read (fresh media).
+  double read_ber = 0.0;
+  /// BER multiplier per program/erase cycle of the block (wear-out).
+  double wear_alpha = 0.0;
+  /// BER multiplier per second of retention (time since program).
+  double retention_alpha = 0.0;
+  /// ECC correction strength: raw bit errors per page the engine corrects.
+  std::uint32_t ecc_correctable_bits = 40;
+  /// Each read-retry step (shifted read voltages) keeps this fraction of
+  /// the raw errors; a step costs TimingConfig::flash_read_retry_latency.
+  double retry_error_factor = 0.5;
+  /// Read-retry steps before the page is declared uncorrectable.
+  std::uint32_t max_read_retries = 5;
+  /// Probability that a grown bad block occupies a (LUN, block) slot.
+  double bad_block_rate = 0.0;
+  /// Probability per page read that ECC miscorrects: the read "succeeds"
+  /// but delivers corrupt bytes. Caught by the SST block checksum.
+  double silent_corruption_rate = 0.0;
+
+  // --- NVMe / platform ---------------------------------------------------
+  /// Probability that one NVMe command attempt times out.
+  double nvme_timeout_rate = 0.0;
+  /// Retry attempts before the controller escalates to a reset.
+  std::uint32_t nvme_max_retries = 3;
+
+  // --- NDP ---------------------------------------------------------------
+  /// Probability that a PE dispatch hangs (no ready/valid progress); the
+  /// firmware watchdog detects it and the executor degrades the block to
+  /// the software path.
+  double pe_fault_rate = 0.0;
+
+  /// True when any fault class can fire; false keeps every hook on its
+  /// zero-cost default path.
+  [[nodiscard]] bool any_enabled() const noexcept {
+    return read_ber > 0.0 || bad_block_rate > 0.0 ||
+           silent_corruption_rate > 0.0 || nvme_timeout_rate > 0.0 ||
+           pe_fault_rate > 0.0;
+  }
+
+  /// Parses "seed=7,read_ber=1e-6,bad_block_rate=0.01" (any subset of the
+  /// documented keys, in any order). Unknown keys and malformed numbers
+  /// fail with kInvalidArg.
+  [[nodiscard]] static Result<FaultProfile> parse(std::string_view text);
+
+  /// One-line human summary ("faults: read_ber=1e-06 ..." or
+  /// "faults: none").
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace ndpgen::fault

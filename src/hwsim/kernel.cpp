@@ -22,12 +22,26 @@ void SimKernel::tick() {
 std::uint64_t SimKernel::run_until(const std::function<bool()>& done,
                                    std::uint64_t max_cycles) {
   const std::uint64_t start = now_;
+  std::uint64_t last_transfers = total_transfers();
+  std::uint64_t stalled_since = now_;
   while (!done()) {
     if (now_ - start >= max_cycles) {
       ndpgen::raise(ErrorKind::kSimulation,
                     "simulation did not converge within " +
                         std::to_string(max_cycles) +
                         " cycles (possible deadlock)");
+    }
+    if (watchdog_cycles_ > 0) {
+      const std::uint64_t transfers = total_transfers();
+      if (transfers != last_transfers) {
+        last_transfers = transfers;
+        stalled_since = now_;
+      } else if (now_ - stalled_since >= watchdog_cycles_) {
+        ndpgen::raise(ErrorKind::kSimulation,
+                      "watchdog: no ready/valid progress for " +
+                          std::to_string(watchdog_cycles_) +
+                          " cycles (hung kernel)");
+      }
     }
     tick();
   }
@@ -38,6 +52,12 @@ void SimKernel::reset() {
   for (Module* module : modules_) module->reset();
   for (auto& stream : streams_) stream->reset();
   now_ = 0;
+}
+
+std::uint64_t SimKernel::total_transfers() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& stream : streams_) total += stream->transfers();
+  return total;
 }
 
 bool SimKernel::streams_empty() const noexcept {

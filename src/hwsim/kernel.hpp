@@ -56,9 +56,24 @@ class SimKernel {
 
   /// Advances until `done()` returns true or `max_cycles` elapse.
   /// Returns the number of cycles advanced. Throws Error{kSimulation} on
-  /// timeout (deadlock detection).
+  /// timeout (deadlock detection) and, when a watchdog horizon is set,
+  /// when no stream makes ready/valid progress for that many consecutive
+  /// cycles (hung-kernel detection — fires long before the hard timeout).
   std::uint64_t run_until(const std::function<bool()>& done,
                           std::uint64_t max_cycles = 100'000'000);
+
+  /// Arms the ready/valid watchdog: run_until raises kSimulation when the
+  /// total stream transfer count stays flat for `cycles` consecutive
+  /// cycles before `done()` holds. 0 (the default) disables it.
+  void set_watchdog(std::uint64_t cycles) noexcept {
+    watchdog_cycles_ = cycles;
+  }
+  [[nodiscard]] std::uint64_t watchdog_cycles() const noexcept {
+    return watchdog_cycles_;
+  }
+
+  /// Sum of transfers() over all streams (the watchdog progress signal).
+  [[nodiscard]] std::uint64_t total_transfers() const noexcept;
 
   /// Resets modules, streams and the cycle counter.
   void reset();
@@ -85,6 +100,7 @@ class SimKernel {
   std::vector<Module*> modules_;
   std::vector<std::unique_ptr<StreamBase>> streams_;
   std::uint64_t now_ = 0;
+  std::uint64_t watchdog_cycles_ = 0;  ///< 0 = watchdog disabled.
   obs::Observability* obs_ = nullptr;  ///< Non-owning.
 };
 

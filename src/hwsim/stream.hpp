@@ -26,6 +26,10 @@ class StreamBase {
   [[nodiscard]] virtual const std::string& name() const noexcept = 0;
   /// Highest occupancy ever observed (since construction or reset).
   [[nodiscard]] virtual std::size_t high_water() const noexcept = 0;
+  /// Total values that ever crossed this stream (committed pushes). The
+  /// kernel watchdog sums this over all streams as its ready/valid
+  /// progress signal: a design whose transfer count stops moving is hung.
+  [[nodiscard]] virtual std::uint64_t transfers() const noexcept = 0;
 };
 
 template <typename T>
@@ -68,6 +72,7 @@ class Stream final : public StreamBase {
     while (!staged_.empty()) {
       queue_.push_back(std::move(staged_.front()));
       staged_.pop_front();
+      ++transfers_;
     }
   }
 
@@ -75,6 +80,7 @@ class Stream final : public StreamBase {
     queue_.clear();
     staged_.clear();
     high_water_ = 0;
+    transfers_ = 0;
   }
 
   [[nodiscard]] bool empty() const noexcept override {
@@ -92,11 +98,15 @@ class Stream final : public StreamBase {
   [[nodiscard]] std::size_t high_water() const noexcept override {
     return high_water_;
   }
+  [[nodiscard]] std::uint64_t transfers() const noexcept override {
+    return transfers_;
+  }
 
  private:
   std::string name_;
   std::size_t depth_;
   std::size_t high_water_ = 0;
+  std::uint64_t transfers_ = 0;
   std::deque<T> queue_;   ///< Visible to the consumer.
   std::deque<T> staged_;  ///< Pushed this cycle; committed at cycle end.
 };

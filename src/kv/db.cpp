@@ -28,6 +28,9 @@ NKV::NKV(platform::CosmosPlatform& platform, DBConfig config)
   NDPGEN_CHECK_ARG(config_.record_bytes > 0, "DBConfig.record_bytes required");
   NDPGEN_CHECK_ARG(static_cast<bool>(config_.extractor),
                    "DBConfig.extractor required");
+  if (platform.fault_injector().enabled()) {
+    placement_->set_fault_injector(&platform.fault_injector());
+  }
 }
 
 void NKV::charge_programs(const SSTable& table) {

@@ -8,7 +8,11 @@ namespace ndpgen::kv {
 namespace {
 
 constexpr std::uint32_t kManifestMagic = 0x6e4b564d;  // "nKVM"
-constexpr std::uint32_t kManifestVersion = 1;
+// Version history:
+//   1 — initial format.
+//   2 — BlockHandle carries a CRC32C over the 32 KiB block image.
+// Version-1 manifests still decode (handles get crc32c = 0 = unverified).
+constexpr std::uint32_t kManifestVersion = 2;
 
 void put_key(std::vector<std::uint8_t>& out, const Key& key) {
   support::put_u64(out, key.hi);
@@ -36,6 +40,7 @@ void encode_table(std::vector<std::uint8_t>& out, const SSTable& table) {
     put_key(out, block.first_key);
     put_key(out, block.last_key);
     support::put_u16(out, block.record_count);
+    support::put_u32(out, block.crc32c);
     support::put_varint(out, block.flash_pages.size());
     for (const auto page : block.flash_pages) support::put_u64(out, page);
   }
@@ -49,7 +54,8 @@ void encode_table(std::vector<std::uint8_t>& out, const SSTable& table) {
 }
 
 std::shared_ptr<SSTable> decode_table(std::span<const std::uint8_t> in,
-                                      std::size_t& offset) {
+                                      std::size_t& offset,
+                                      std::uint32_t version) {
   auto table = std::make_shared<SSTable>();
   table->id = support::get_u64(in, offset);
   offset += 8;
@@ -71,6 +77,10 @@ std::shared_ptr<SSTable> decode_table(std::span<const std::uint8_t> in,
     handle.last_key = get_key(in, offset);
     handle.record_count = support::get_u16(in, offset);
     offset += 2;
+    if (version >= 2) {
+      handle.crc32c = support::get_u32(in, offset);
+      offset += 4;
+    }
     const auto page_count = support::get_varint(in, offset);
     handle.flash_pages.reserve(page_count);
     for (std::uint64_t p = 0; p < page_count; ++p) {
@@ -118,7 +128,8 @@ Version decode_manifest(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 8 || support::get_u32(bytes, 0) != kManifestMagic) {
     ndpgen::raise(ErrorKind::kStorage, "bad manifest magic");
   }
-  if (support::get_u32(bytes, 4) != kManifestVersion) {
+  const std::uint32_t format_version = support::get_u32(bytes, 4);
+  if (format_version < 1 || format_version > kManifestVersion) {
     ndpgen::raise(ErrorKind::kStorage, "unsupported manifest version");
   }
   offset = 8;
@@ -126,7 +137,7 @@ Version decode_manifest(std::span<const std::uint8_t> bytes) {
   for (std::uint32_t level = 1; level <= kMaxLevels; ++level) {
     const auto table_count = support::get_varint(bytes, offset);
     for (std::uint64_t t = 0; t < table_count; ++t) {
-      version.add(level, decode_table(bytes, offset));
+      version.add(level, decode_table(bytes, offset, format_version));
     }
   }
   if (offset != bytes.size()) {

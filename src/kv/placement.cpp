@@ -1,5 +1,6 @@
 #include "kv/placement.hpp"
 
+#include "fault/fault_injector.hpp"
 #include "support/error.hpp"
 
 namespace ndpgen::kv {
@@ -55,6 +56,19 @@ std::vector<std::uint64_t> PlacementPolicy::allocate_block_pages(
           luns[group_cursor_[group] % luns.size()];
       group_cursor_[group] =
           (group_cursor_[group] + 1) % static_cast<std::uint32_t>(luns.size());
+      // Grown bad blocks are skipped at allocation time (remapping), so
+      // no data block is ever placed on media the injector marked bad.
+      if (fault_ != nullptr && fault_->enabled()) {
+        while (next_page_[lun] < pages_per_lun &&
+               fault_->is_bad_block(
+                   lun, static_cast<std::uint32_t>(
+                            next_page_[lun] / topology_.pages_per_block))) {
+          const std::uint64_t bad_block =
+              next_page_[lun] / topology_.pages_per_block;
+          next_page_[lun] = (bad_block + 1) * topology_.pages_per_block;
+          ++blocks_remapped_;
+        }
+      }
       if (next_page_[lun] < pages_per_lun) {
         const std::uint64_t page_in_lun = next_page_[lun]++;
         // Linear number must match FlashModel::linearize: LUN-major

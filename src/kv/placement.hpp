@@ -11,6 +11,10 @@
 
 #include "platform/flash.hpp"
 
+namespace ndpgen::fault {
+class FaultInjector;
+}  // namespace ndpgen::fault
+
 namespace ndpgen::kv {
 
 class PlacementPolicy {
@@ -43,6 +47,16 @@ class PlacementPolicy {
   [[nodiscard]] std::vector<std::uint32_t> luns_of_level(
       std::uint32_t level) const;
 
+  /// Attaches the deterministic fault injector: allocation then skips
+  /// grown bad blocks (the factory bad-block table every real FTL keeps).
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+  /// Blocks the allocator skipped because the injector marked them bad.
+  [[nodiscard]] std::uint64_t blocks_remapped() const noexcept {
+    return blocks_remapped_;
+  }
+
  private:
   platform::FlashTopology topology_;
   std::uint32_t level_groups_;
@@ -51,6 +65,8 @@ class PlacementPolicy {
   /// Round-robin cursor within each group.
   std::vector<std::uint32_t> group_cursor_;
   std::uint64_t pages_allocated_ = 0;
+  fault::FaultInjector* fault_ = nullptr;  ///< Non-owning; null = no faults.
+  std::uint64_t blocks_remapped_ = 0;
 };
 
 }  // namespace ndpgen::kv

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/crc32c.hpp"
 #include "support/error.hpp"
 
 namespace ndpgen::kv {
@@ -99,6 +100,7 @@ void SSTBuilder::flush_block() {
   handle.record_count = static_cast<std::uint16_t>(
       block_builder_.record_count());
   const std::vector<std::uint8_t> block = block_builder_.finish();
+  handle.crc32c = support::crc32c(block);
 
   const std::uint32_t page_bytes = flash_.topology().page_bytes;
   const std::uint32_t pages = kDataBlockBytes / page_bytes;

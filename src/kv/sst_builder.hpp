@@ -31,6 +31,11 @@ struct BlockHandle {
   Key first_key;
   Key last_key;
   std::uint16_t record_count = 0;
+  /// CRC32C over the full 32 KiB block image, computed at build time and
+  /// verified on every checked read. Kept in the index metadata (device
+  /// DRAM) rather than the block trailer so the on-flash block geometry —
+  /// and with it records_per_block — is unchanged.
+  std::uint32_t crc32c = 0;
 };
 
 /// A tombstone recorded in the SST's metadata region.

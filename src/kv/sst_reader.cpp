@@ -2,6 +2,7 @@
 
 #include "kv/block_format.hpp"
 #include "obs/obs.hpp"
+#include "support/crc32c.hpp"
 #include "support/error.hpp"
 
 namespace ndpgen::kv {
@@ -36,6 +37,44 @@ std::vector<std::uint8_t> SSTReader::read_block(std::uint32_t index) const {
     }
   }
   return block;
+}
+
+Result<std::vector<std::uint8_t>> SSTReader::read_block_checked(
+    std::uint32_t index) const {
+  std::vector<std::uint8_t> block = read_block(index);
+  const BlockHandle& handle = table_.blocks[index];
+  // Materialize any pending ECC miscorrection: the reliability model only
+  // *marked* the page; flipping one bit in the assembled copy makes the
+  // corruption real enough for the CRC to catch, while the flash content
+  // itself stays correct for the recovery re-read.
+  const std::uint32_t page_bytes = flash_.topology().page_bytes;
+  for (std::size_t i = 0; i < handle.flash_pages.size(); ++i) {
+    if (flash_.consume_silent_corruption(handle.flash_pages[i])) {
+      block[i * page_bytes] ^= 0x01;
+    }
+  }
+  // crc32c == 0 means "unknown" (a table restored from a pre-checksum
+  // manifest); such blocks are accepted unverified.
+  if (handle.crc32c != 0 && support::crc32c(block) != handle.crc32c) {
+    if (obs::Observability* obs = flash_.observability(); obs != nullptr) {
+      obs->metrics.add(obs->metrics.counter("kv.sst.checksum_mismatches"), 1);
+    }
+    return Result<std::vector<std::uint8_t>>::failure(
+        ErrorKind::kStorage,
+        "checksum mismatch in sst " + std::to_string(table_.id) + " block " +
+            std::to_string(index));
+  }
+  return block;
+}
+
+std::vector<std::uint8_t> SSTReader::reread_block_recovered(
+    std::uint32_t index) const {
+  // Drop any still-pending corruption marks first so the recovered copy
+  // assembles from clean content.
+  for (const std::uint64_t page : table_.blocks[index].flash_pages) {
+    (void)flash_.consume_silent_corruption(page);
+  }
+  return read_block(index);
 }
 
 std::optional<std::vector<std::uint8_t>> SSTReader::get(const Key& key) const {

@@ -12,6 +12,7 @@
 
 #include "kv/sst_builder.hpp"
 #include "platform/flash.hpp"
+#include "support/error.hpp"
 
 namespace ndpgen::kv {
 
@@ -22,6 +23,21 @@ class SSTReader {
 
   /// Assembles data block `index` (32 KiB) from its flash pages.
   [[nodiscard]] std::vector<std::uint8_t> read_block(std::uint32_t index) const;
+
+  /// Checked assembly: materializes any pending silent-corruption mark the
+  /// reliability model left on the block's pages (a deterministic bit
+  /// flip), then verifies the index CRC32C. A mismatch comes back as
+  /// Status{kStorage} — a typed result, never an exception — so DES-driven
+  /// callers can route the block into the degraded-read path.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> read_block_checked(
+      std::uint32_t index) const;
+
+  /// Recovery companion of read_block_checked: re-assembles the block
+  /// from the (persistent, correct) flash content after the firmware's
+  /// soft-decision pass. Content equals read_block; the caller charges
+  /// flash_recovery_latency for the pass.
+  [[nodiscard]] std::vector<std::uint8_t> reread_block_recovered(
+      std::uint32_t index) const;
 
   /// Looks up `key`: index probe + in-block binary search.
   /// Returns the record bytes, or nullopt. Tombstones are NOT applied

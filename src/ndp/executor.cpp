@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "fault/fault_injector.hpp"
 #include "kv/sst_reader.hpp"
 #include "obs/obs.hpp"
 #include "support/bitvec.hpp"
@@ -16,6 +17,10 @@ namespace {
 
 /// Per-result software finalization cost (hash-set dedup + copy-out).
 constexpr platform::SimTime kFinalizePerResult = 35;  // ns
+
+/// Per-block media flags accumulated from the timed page reads.
+constexpr std::uint8_t kMediaRetried = 1;
+constexpr std::uint8_t kMediaUncorrectable = 2;
 
 }  // namespace
 
@@ -103,8 +108,13 @@ ScanStats HybridExecutor::scan_blocks(
   const auto& timing = platform.timing();
   const platform::SimTime t0 = queue.now();
   // One NDP command covers the whole scan, so the firmware command cost
-  // amortizes away (unlike GET).
+  // amortizes away (unlike GET). Its NVMe submission still owes any
+  // injected timeout/backoff latency (0 on a fault-free link).
   platform.arm().ndp_command();
+  if (const platform::SimTime penalty = platform.nvme().retry_penalty();
+      penalty > 0) {
+    queue.run_until(queue.now() + penalty);
+  }
 
   ScanStats stats;
   const std::uint32_t sw_stages =
@@ -140,13 +150,19 @@ ScanStats HybridExecutor::scan_blocks(
   //    flash completion times (this models the ~200 MB/s aggregate limit,
   //    LUN parallelism and controller-bus serialization).
   std::vector<platform::SimTime> ready(blocks.size(), 0);
+  std::vector<std::uint8_t> media_flags(blocks.size(), 0);
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     const auto& handle = blocks[b].table->blocks[blocks[b].block_index];
     auto remaining = std::make_shared<std::size_t>(handle.flash_pages.size());
     for (const std::uint64_t page : handle.flash_pages) {
-      flash.read_page(flash.delinearize(page), [&ready, b, remaining, &queue] {
-        if (--*remaining == 0) ready[b] = queue.now();
-      });
+      flash.read_page_checked(
+          flash.delinearize(page),
+          [&ready, &media_flags, b, remaining,
+           &queue](const platform::PageReadResult& r) {
+            if (r.retries > 0) media_flags[b] |= kMediaRetried;
+            if (r.uncorrectable) media_flags[b] |= kMediaUncorrectable;
+            if (--*remaining == 0) ready[b] = queue.now();
+          });
     }
     stats.bytes_from_flash +=
         handle.flash_pages.size() * flash.topology().page_bytes;
@@ -175,10 +191,30 @@ ScanStats HybridExecutor::scan_blocks(
 
   obs::Observability& obs = platform.observability();
 
+  fault::FaultInjector* injector = flash.fault_injector();
+  const bool faults = injector != nullptr && injector->enabled();
+
   std::vector<bool> pe_configured(workers, false);
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     const std::size_t w = b % workers;
-    const std::vector<std::uint8_t> block = assemble_block(blocks[b]);
+
+    // Checked block assembly: an uncorrectable page, or a checksum
+    // mismatch from an ECC miscorrection, routes the block through the
+    // firmware recovery pass (soft-decision re-read) instead of aborting
+    // the scan — degraded, never failed.
+    kv::SSTReader reader(*blocks[b].table, db_.platform().flash(),
+                         db_.config().extractor);
+    bool needs_recovery = (media_flags[b] & kMediaUncorrectable) != 0;
+    std::vector<std::uint8_t> block;
+    if (auto checked = reader.read_block_checked(blocks[b].block_index);
+        checked.ok()) {
+      block = std::move(checked).value();
+    } else {
+      needs_recovery = true;
+      block = reader.reread_block_recovered(blocks[b].block_index);
+    }
+    if ((media_flags[b] & kMediaRetried) != 0) ++stats.blocks_retried;
+
     const kv::BlockTrailer trailer = kv::read_trailer(block);
     const std::uint64_t payload = kv::block_payload_bytes(trailer);
 
@@ -188,6 +224,16 @@ ScanStats HybridExecutor::scan_blocks(
     platform::SimTime cost = 0;
 
     bool use_hw = config_.mode == ExecMode::kHardware;
+    if (needs_recovery) {
+      ++stats.uncorrectable_blocks;
+      cost += timing.flash_recovery_latency;
+      if (use_hw) {
+        // The recovered copy is firmware-assembled; process it on the
+        // trusted software path rather than re-staging it for the PE.
+        use_hw = false;
+        ++stats.blocks_degraded_to_software;
+      }
+    }
     if (use_hw) {
       auto& hw = *hardware_[w];
       const std::uint32_t static_payload = hw.design().static_payload_bytes;
@@ -197,6 +243,16 @@ ScanStats HybridExecutor::scan_blocks(
         use_hw = false;
         ++stats.blocks_via_software;
       }
+    }
+    if (use_hw && faults &&
+        injector->next_pe_hang(config_.pe_indices[w])) {
+      // The injected hang makes no ready/valid progress; the kernel
+      // watchdog fires, firmware resets the PE (it must be reconfigured)
+      // and reroutes the block to software.
+      cost += timing.pe_cycles_to_ns(timing.pe_watchdog_cycles);
+      pe_configured[w] = false;
+      use_hw = false;
+      ++stats.blocks_degraded_to_software;
     }
 
     if (use_hw) {
@@ -212,7 +268,7 @@ ScanStats HybridExecutor::scan_blocks(
       // The generated software interface also DMAs the block DRAM->DRAM?
       // No: the PE reads the staged block directly; flash DMA already
       // deposited it. Cost = dispatch overhead + PE cycles.
-      cost = result.overhead + result.pe_time;
+      cost += result.overhead + result.pe_time;
       matched = result.stats.tuples_out;
       survivors = std::move(result.records);
       stats.tuples_scanned += result.stats.tuples_in;
@@ -240,17 +296,17 @@ ScanStats HybridExecutor::scan_blocks(
       // Classical path (Fig. 1, left): the whole block crosses the
       // intermediate layers and the NVMe link; the host CPU filters.
       const auto result = software_.filter_block(block, bound, true);
-      cost = timing.host_io_stack_per_block +
-             timing.nvme_transfer_time(kv::kDataBlockBytes) +
-             timing.host_parse_time(payload) +
-             result.tuples_in * bound.size() *
-                 (timing.arm_predicate_per_tuple / 3);
+      cost += timing.host_io_stack_per_block +
+              timing.nvme_transfer_time(kv::kDataBlockBytes) +
+              timing.host_parse_time(payload) +
+              result.tuples_in * bound.size() *
+                  (timing.arm_predicate_per_tuple / 3);
       matched = result.tuples_out;
       survivors = std::move(result.records);
       stats.tuples_scanned += result.tuples_in;
     } else {
       const auto result = software_.filter_block(block, bound, true);
-      cost = result.arm_cost;
+      cost += result.arm_cost;
       matched = result.tuples_out;
       survivors = std::move(result.records);
       stats.tuples_scanned += result.tuples_in;
@@ -299,7 +355,10 @@ ScanStats HybridExecutor::scan_blocks(
   for (const platform::SimTime t : worker_free) end = std::max(end, t);
   end += stats.results * kFinalizePerResult;
   if (config_.mode != ExecMode::kHostClassic) {
-    end += timing.nvme_transfer_time(stats.result_bytes);
+    // Result transfer owes the link its injected timeout/backoff share
+    // (retry_penalty() is 0 on a fault-free link).
+    end += timing.nvme_transfer_time(stats.result_bytes) +
+           platform.nvme().retry_penalty();
   }
   if (end > queue.now()) queue.advance_to(end);
   stats.elapsed = end - t0;
@@ -315,6 +374,15 @@ ScanStats HybridExecutor::scan_blocks(
   m.add(m.counter("ndp.scan.bytes_from_flash"), stats.bytes_from_flash);
   m.add(m.counter("ndp.scan.result_bytes"), stats.result_bytes);
   m.observe(m.histogram("ndp.scan.elapsed_ns"), stats.elapsed);
+  if (faults) {
+    // Registered only under a fault profile so the default metrics dump
+    // stays byte-identical to a fault-free build.
+    m.add(m.counter("ndp.scan.blocks_retried"), stats.blocks_retried);
+    m.add(m.counter("ndp.scan.blocks_degraded_to_software"),
+          stats.blocks_degraded_to_software);
+    m.add(m.counter("ndp.scan.uncorrectable_blocks"),
+          stats.uncorrectable_blocks);
+  }
   if (obs.tracing()) {
     obs.trace->complete(
         obs.trace->track("ndp"), "scan", "ndp", t0, stats.elapsed,
@@ -556,7 +624,8 @@ AggregateStats HybridExecutor::aggregate(
   stats.result_bytes = 16;
   platform::SimTime end = t0;
   for (const platform::SimTime t : worker_free) end = std::max(end, t);
-  end += timing.nvme_transfer_time(stats.result_bytes);
+  end += timing.nvme_transfer_time(stats.result_bytes) +
+         platform.nvme().retry_penalty();
   if (end > queue.now()) queue.advance_to(end);
   stats.elapsed = end - t0;
 
@@ -592,6 +661,7 @@ GetStats HybridExecutor::get(const kv::Key& key) {
     const GetStats& stats;
     ExecMode mode;
     platform::SimTime t0;
+    bool faults;
     ~Publish() {
       obs::MetricsRegistry& m = obs.metrics;
       m.add(m.counter("ndp.get.commands"), 1);
@@ -599,6 +669,13 @@ GetStats HybridExecutor::get(const kv::Key& key) {
       m.add(m.counter("ndp.get.tables_probed"), stats.tables_probed);
       m.add(m.counter("ndp.get.blocks_fetched"), stats.blocks_fetched);
       m.observe(m.histogram("ndp.get.elapsed_ns"), stats.elapsed);
+      if (faults) {
+        m.add(m.counter("ndp.get.blocks_retried"), stats.blocks_retried);
+        m.add(m.counter("ndp.get.blocks_degraded_to_software"),
+              stats.blocks_degraded_to_software);
+        m.add(m.counter("ndp.get.uncorrectable_blocks"),
+              stats.uncorrectable_blocks);
+      }
       if (obs.tracing()) {
         obs.trace->complete(
             obs.trace->track("ndp"), "get", "ndp", t0, stats.elapsed,
@@ -610,10 +687,19 @@ GetStats HybridExecutor::get(const kv::Key& key) {
     }
   };
 
+  fault::FaultInjector* injector = flash.fault_injector();
+  const bool faults = injector != nullptr && injector->enabled();
+
   GetStats stats;
-  const Publish publish{obs, stats, config_.mode, t0};
-  // Device firmware handles one NDP command per GET.
+  const Publish publish{obs, stats, config_.mode, t0, faults};
+  // Device firmware handles one NDP command per GET. The submission
+  // crosses the NVMe link: a timed-out command retries with exponential
+  // backoff before the device sees it (0-cost on a fault-free link).
   arm.ndp_command();
+  if (const platform::SimTime penalty = platform.nvme().retry_penalty();
+      penalty > 0) {
+    queue.run_until(queue.now() + penalty);
+  }
   // C0: MemTable probe.
   arm.index_probe(std::max<std::uint64_t>(1, db_.memtable().entry_count()));
   if (const kv::MemEntry* entry = db_.memtable().get(key)) {
@@ -662,28 +748,63 @@ GetStats HybridExecutor::get(const kv::Key& key) {
     const auto& handle =
         table->blocks[static_cast<std::size_t>(block_index)];
     bool fetched = false;
+    std::uint8_t media = 0;
     auto remaining = std::make_shared<std::size_t>(handle.flash_pages.size());
     for (const std::uint64_t page : handle.flash_pages) {
-      flash.read_page(flash.delinearize(page), [remaining, &fetched] {
-        if (--*remaining == 0) fetched = true;
-      });
+      flash.read_page_checked(
+          flash.delinearize(page),
+          [remaining, &fetched, &media](const platform::PageReadResult& r) {
+            if (r.retries > 0) media |= kMediaRetried;
+            if (r.uncorrectable) media |= kMediaUncorrectable;
+            if (--*remaining == 0) fetched = true;
+          });
     }
     while (!fetched && queue.step()) {
     }
     NDPGEN_CHECK(fetched, "flash read did not complete");
     ++stats.blocks_fetched;
+    if ((media & kMediaRetried) != 0) ++stats.blocks_retried;
 
     kv::SSTReader reader(*table, flash, db_.config().extractor);
-    const std::vector<std::uint8_t> block =
-        reader.read_block(static_cast<std::uint32_t>(block_index));
+    bool needs_recovery = (media & kMediaUncorrectable) != 0;
+    std::vector<std::uint8_t> block;
+    if (auto checked =
+            reader.read_block_checked(static_cast<std::uint32_t>(block_index));
+        checked.ok()) {
+      block = std::move(checked).value();
+    } else {
+      needs_recovery = true;
+      block = reader.reread_block_recovered(
+          static_cast<std::uint32_t>(block_index));
+    }
     const kv::BlockTrailer trailer = kv::read_trailer(block);
     const std::uint64_t payload = kv::block_payload_bytes(trailer);
 
     std::vector<std::vector<std::uint8_t>> survivors;
     bool use_hw = config_.mode == ExecMode::kHardware;
+    if (needs_recovery) {
+      // Firmware recovery pass; the recovered copy is handled on the
+      // trusted software path (graceful degradation, same as SCAN).
+      ++stats.uncorrectable_blocks;
+      queue.run_until(queue.now() + platform.timing().flash_recovery_latency);
+      if (use_hw) {
+        use_hw = false;
+        ++stats.blocks_degraded_to_software;
+      }
+    }
     if (use_hw && hardware_.front()->design().static_payload_bytes != 0 &&
         payload != hardware_.front()->design().static_payload_bytes) {
       use_hw = false;
+    }
+    if (use_hw && faults &&
+        injector->next_pe_hang(config_.pe_indices.front())) {
+      // Hung PE: the watchdog horizon elapses before firmware resets the
+      // unit and falls back to the software block search.
+      const auto& timing = platform.timing();
+      queue.run_until(queue.now() +
+                      timing.pe_cycles_to_ns(timing.pe_watchdog_cycles));
+      use_hw = false;
+      ++stats.blocks_degraded_to_software;
     }
     if (use_hw) {
       auto& hw = *hardware_.front();

@@ -55,6 +55,16 @@ struct ScanStats {
   platform::SimTime elapsed = 0;      ///< End-to-end virtual time.
   platform::SimTime flash_done = 0;   ///< When the last block left flash.
   std::uint64_t blocks_via_software = 0;  ///< Partial blocks on HW path.
+
+  // --- Reliability (all zero on fault-free media) -----------------------
+  /// Blocks that needed at least one ECC read-retry step on some page.
+  std::uint64_t blocks_retried = 0;
+  /// Blocks rerouted from the HW path to SoftwareNdp (uncorrectable
+  /// media, checksum mismatch, or a hung PE caught by the watchdog).
+  std::uint64_t blocks_degraded_to_software = 0;
+  /// Blocks whose read was uncorrectable or failed checksum verification
+  /// and went through the firmware recovery pass.
+  std::uint64_t uncorrectable_blocks = 0;
 };
 
 /// Result of an aggregate scan (extension; paper §VII outlook).
@@ -81,6 +91,11 @@ struct GetStats {
   platform::SimTime elapsed = 0;
   std::uint32_t tables_probed = 0;
   std::uint32_t blocks_fetched = 0;
+
+  // --- Reliability (all zero on fault-free media) -----------------------
+  std::uint64_t blocks_retried = 0;
+  std::uint64_t blocks_degraded_to_software = 0;
+  std::uint64_t uncorrectable_blocks = 0;
 };
 
 struct ExecutorConfig {

@@ -8,6 +8,7 @@ namespace hw = ndpgen::hwgen;
 
 CosmosPlatform::CosmosPlatform(CosmosConfig config)
     : config_(config),
+      fault_(config_.fault),
       flash_(queue_, config_.timing, config_.flash),
       dram_(queue_, config_.timing, config_.dram_bytes),
       arm_(queue_, config_.timing),
@@ -20,6 +21,13 @@ CosmosPlatform::CosmosPlatform(CosmosConfig config)
   flash_.set_observability(&obs_);
   nvme_.set_observability(&obs_);
   pe_kernel_.set_observability(&obs_);
+  // One fault injector for the whole device; the kv/ndp layers reach it
+  // through flash().fault_injector(). Armed only by a nonzero profile.
+  if (fault_.enabled()) {
+    flash_.set_fault_injector(&fault_);
+    nvme_.set_fault_injector(&fault_);
+    pe_kernel_.set_watchdog(config_.timing.pe_watchdog_cycles);
+  }
 }
 
 void CosmosPlatform::publish_metrics() {
@@ -42,6 +50,23 @@ void CosmosPlatform::publish_metrics() {
   }
   m.raise(m.gauge("platform.nvme.bytes_to_host"), nvme_.bytes_to_host());
   m.raise(m.gauge("platform.nvme.commands"), nvme_.commands());
+  // Reliability gauges only exist under a fault profile, so the default
+  // (fault-free) metrics dump stays byte-identical to earlier builds.
+  if (fault_.enabled()) {
+    m.raise(m.gauge("platform.fault.raw_bit_errors"),
+            flash_.raw_bit_errors());
+    m.raise(m.gauge("platform.fault.ecc_corrected_reads"),
+            flash_.ecc_corrected_reads());
+    m.raise(m.gauge("platform.fault.ecc_retry_steps"),
+            flash_.ecc_retry_steps());
+    m.raise(m.gauge("platform.fault.uncorrectable_reads"),
+            flash_.uncorrectable_reads());
+    m.raise(m.gauge("platform.fault.silent_corruptions"),
+            flash_.silent_corruptions());
+    m.raise(m.gauge("platform.fault.nvme_timeouts"), nvme_.timeouts());
+    m.raise(m.gauge("platform.fault.nvme_resets"), nvme_.resets());
+    m.raise(m.gauge("platform.fault.nvme_backoff_ns"), nvme_.backoff_ns());
+  }
 }
 
 std::uint64_t CosmosPlatform::attach_pe(const hw::PEDesign& design) {

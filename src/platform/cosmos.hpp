@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "hwsim/pe_sim.hpp"
 #include "platform/arm_core.hpp"
 #include "platform/dram.hpp"
@@ -30,6 +31,9 @@ struct CosmosConfig {
   FlashTopology flash{};
   std::size_t dram_bytes = 64 * 1024 * 1024;
   hwsim::AxiInterconnect::Config axi{};
+  /// Reliability model. The default (all rates zero) disables every fault
+  /// path and keeps runs byte-identical to a fault-free build.
+  fault::FaultProfile fault{};
 };
 
 class CosmosPlatform {
@@ -49,6 +53,13 @@ class CosmosPlatform {
   /// Observability context shared by every device model and the PE cycle
   /// kernel. Attach a TraceSink via `observability().trace = &sink`.
   [[nodiscard]] obs::Observability& observability() noexcept { return obs_; }
+
+  /// The platform-owned deterministic fault injector (enabled() is false
+  /// under the default profile). kv/ndp layers share this instance so all
+  /// fault streams draw from one seed.
+  [[nodiscard]] fault::FaultInjector& fault_injector() noexcept {
+    return fault_;
+  }
 
   /// Publishes platform-level gauges (event-queue depth high-water, flash
   /// page counts, channel-bus utilization) into the metrics registry.
@@ -99,6 +110,7 @@ class CosmosPlatform {
  private:
   CosmosConfig config_;
   obs::Observability obs_;
+  fault::FaultInjector fault_;
   EventQueue queue_;
   FlashModel flash_;
   DramModel dram_;

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
 
@@ -97,9 +98,18 @@ void FlashModel::write_page_immediate(const FlashAddr& addr,
   check_addr(addr);
   NDPGEN_CHECK_ARG(data.size() <= topology_.page_bytes,
                    "page data larger than the flash page");
-  auto& page = pages_[linearize(addr)];
+  const std::uint64_t linear = linearize(addr);
+  auto& page = pages_[linear];
   page.assign(topology_.page_bytes, 0);
   std::copy(data.begin(), data.end(), page.begin());
+  if (fault_ != nullptr && fault_->enabled()) {
+    // Wear/retention inputs of the reliability model; a rewrite also
+    // clears any pending miscorrection mark (fresh program, fresh data).
+    ++block_programs_[lun_index(addr) * topology_.blocks_per_lun +
+                      addr.block];
+    page_program_time_[linear] = queue_.now();
+    silently_corrupted_.erase(linear);
+  }
 }
 
 std::span<const std::uint8_t> FlashModel::page_data(
@@ -123,15 +133,63 @@ std::size_t FlashModel::bus_index(const FlashAddr& addr) const {
 
 void FlashModel::read_page(const FlashAddr& addr,
                            std::function<void()> on_done) {
+  read_page_checked(addr,
+                    [fn = std::move(on_done)](const PageReadResult&) { fn(); });
+}
+
+std::uint64_t FlashModel::block_pe_cycles(const FlashAddr& addr) const {
+  const auto it = block_programs_.find(
+      lun_index(addr) * topology_.blocks_per_lun + addr.block);
+  if (it == block_programs_.end()) return 0;
+  return it->second / topology_.pages_per_block;
+}
+
+bool FlashModel::consume_silent_corruption(std::uint64_t linear_page) {
+  return silently_corrupted_.erase(linear_page) > 0;
+}
+
+void FlashModel::read_page_checked(
+    const FlashAddr& addr,
+    std::function<void(const PageReadResult&)> on_done) {
   check_addr(addr);
   const std::size_t lun = lun_index(addr);
   const std::size_t bus = bus_index(addr);
   const SimTime now = queue_.now();
-  // tR on the LUN, then the serialized channel-bus transfer (the DMA into
-  // device DRAM; the per-channel buses together cap throughput at
-  // ~100 MB/s per Tiger4 controller).
+
+  PageReadResult result;
+  result.addr = addr;
+  SimTime retry_ns = 0;
+  if (fault_ != nullptr && fault_->enabled()) {
+    const std::uint64_t linear = linearize(addr);
+    SimTime retention = 0;
+    if (const auto it = page_program_time_.find(linear);
+        it != page_program_time_.end() && now > it->second) {
+      retention = now - it->second;
+    }
+    const fault::PageReadFault injected = fault_->on_page_read(
+        linear, std::uint64_t{topology_.page_bytes} * 8,
+        block_pe_cycles(addr), retention);
+    result.retries = injected.retries;
+    result.corrected = injected.corrected;
+    result.uncorrectable = injected.uncorrectable;
+    result.silent_corruption = injected.silent_corruption;
+    retry_ns = SimTime{injected.retries} * timing_.flash_read_retry_latency;
+    raw_bit_errors_ += injected.raw_bit_errors;
+    ecc_retry_steps_ += injected.retries;
+    if (injected.corrected) ++ecc_corrected_reads_;
+    if (injected.uncorrectable) ++uncorrectable_reads_;
+    if (injected.silent_corruption) {
+      ++silent_corruptions_;
+      silently_corrupted_.insert(linear);
+    }
+  }
+
+  // tR on the LUN (plus any read-retry steps), then the serialized
+  // channel-bus transfer (the DMA into device DRAM; the per-channel buses
+  // together cap throughput at ~100 MB/s per Tiger4 controller).
   const SimTime sense_start = std::max(now, lun_free_[lun]);
-  const SimTime sense_end = sense_start + timing_.flash_read_page_latency;
+  const SimTime sense_end =
+      sense_start + timing_.flash_read_page_latency + retry_ns;
   const SimTime bus_start = std::max(sense_end, bus_free_[bus]);
   const SimTime bus_end = bus_start + page_transfer_time();
   // The die's page register holds the data until the transfer completes,
@@ -142,14 +200,20 @@ void FlashModel::read_page(const FlashAddr& addr,
   bus_busy_ns_[bus] += bus_end - bus_start;
   ++pages_read_;
   if (obs_ != nullptr && obs_->tracing()) {
-    obs_->trace->complete(
-        flash_track(*obs_->trace, addr), "read", "flash", sense_start,
-        bus_end - sense_start,
-        "{\"lun\":" + std::to_string(addr.lun) +
-            ",\"block\":" + std::to_string(addr.block) +
-            ",\"page\":" + std::to_string(addr.page) + "}");
+    std::string args = "{\"lun\":" + std::to_string(addr.lun) +
+                       ",\"block\":" + std::to_string(addr.block) +
+                       ",\"page\":" + std::to_string(addr.page);
+    if (result.faulted()) {
+      args += ",\"retries\":" + std::to_string(result.retries) +
+              ",\"uncorrectable\":" +
+              (result.uncorrectable ? "true" : "false");
+    }
+    args += "}";
+    obs_->trace->complete(flash_track(*obs_->trace, addr), "read", "flash",
+                          sense_start, bus_end - sense_start, args);
   }
-  queue_.schedule_at(bus_end, std::move(on_done));
+  queue_.schedule_at(bus_end,
+                     [fn = std::move(on_done), result] { fn(result); });
 }
 
 void FlashModel::charge_program(const FlashAddr& addr,
@@ -201,6 +265,11 @@ SimTime FlashModel::bus_busy_ns() const noexcept {
 void FlashModel::reset_stats() noexcept {
   pages_read_ = 0;
   pages_programmed_ = 0;
+  ecc_corrected_reads_ = 0;
+  ecc_retry_steps_ = 0;
+  raw_bit_errors_ = 0;
+  uncorrectable_reads_ = 0;
+  silent_corruptions_ = 0;
   std::fill(bus_busy_ns_.begin(), bus_busy_ns_.end(), 0);
 }
 

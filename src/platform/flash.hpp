@@ -17,6 +17,7 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "platform/event_queue.hpp"
@@ -25,6 +26,10 @@
 namespace ndpgen::obs {
 struct Observability;
 }  // namespace ndpgen::obs
+
+namespace ndpgen::fault {
+class FaultInjector;
+}  // namespace ndpgen::fault
 
 namespace ndpgen::platform {
 
@@ -59,6 +64,21 @@ struct FlashAddr {
   [[nodiscard]] bool operator==(const FlashAddr&) const noexcept = default;
 };
 
+/// Reliability outcome of one timed page read (see fault/). All-false on
+/// a fault-free platform; `uncorrectable` means the controller could not
+/// deliver valid data and the caller must take a recovery path.
+struct PageReadResult {
+  FlashAddr addr;
+  std::uint32_t retries = 0;       ///< ECC read-retry steps (extra tR each).
+  bool corrected = false;          ///< ECC fixed raw bit errors.
+  bool uncorrectable = false;      ///< Beyond ECC even after retries.
+  bool silent_corruption = false;  ///< ECC miscorrected; data is suspect.
+
+  [[nodiscard]] bool faulted() const noexcept {
+    return retries > 0 || corrected || uncorrectable || silent_corruption;
+  }
+};
+
 /// The flash device: page store + DES timing.
 class FlashModel {
  public:
@@ -84,8 +104,17 @@ class FlashModel {
 
   // --- Timed operations (DES) -------------------------------------------
   /// Schedules a page read; `on_done` fires when the page data has been
-  /// transferred into device DRAM by the controller DMA.
+  /// transferred into device DRAM by the controller DMA. Fault-oblivious
+  /// convenience wrapper over read_page_checked (retry latency is still
+  /// charged; outcome flags are dropped).
   void read_page(const FlashAddr& addr, std::function<void()> on_done);
+
+  /// Schedules a page read and reports the reliability outcome: ECC
+  /// corrections, read-retry steps (each charged extra tR on the LUN) and
+  /// uncorrectable status. Callers on robust paths use this variant and
+  /// route uncorrectable pages into recovery instead of trusting the data.
+  void read_page_checked(const FlashAddr& addr,
+                         std::function<void(const PageReadResult&)> on_done);
 
   /// Schedules a page program.
   void program_page(const FlashAddr& addr, std::span<const std::uint8_t> data,
@@ -125,6 +154,38 @@ class FlashModel {
   }
   void reset_stats() noexcept;
 
+  // --- Reliability (see fault/) -----------------------------------------
+  /// Attaches the deterministic fault injector (null = fault-free).
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+  [[nodiscard]] fault::FaultInjector* fault_injector() const noexcept {
+    return fault_;
+  }
+  /// Program/erase wear proxy of the block containing `addr` (page
+  /// programs / pages_per_block).
+  [[nodiscard]] std::uint64_t block_pe_cycles(const FlashAddr& addr) const;
+  /// Consumes a pending silent-corruption mark on `linear_page` (set by a
+  /// faulted timed read). The content path uses this to decide whether the
+  /// bytes it assembles must be corrupted before checksum verification.
+  [[nodiscard]] bool consume_silent_corruption(std::uint64_t linear_page);
+
+  [[nodiscard]] std::uint64_t ecc_corrected_reads() const noexcept {
+    return ecc_corrected_reads_;
+  }
+  [[nodiscard]] std::uint64_t ecc_retry_steps() const noexcept {
+    return ecc_retry_steps_;
+  }
+  [[nodiscard]] std::uint64_t raw_bit_errors() const noexcept {
+    return raw_bit_errors_;
+  }
+  [[nodiscard]] std::uint64_t uncorrectable_reads() const noexcept {
+    return uncorrectable_reads_;
+  }
+  [[nodiscard]] std::uint64_t silent_corruptions() const noexcept {
+    return silent_corruptions_;
+  }
+
   /// Observability context shared with the owning platform (null = off).
   /// The flash model doubles as the carrier for the kv layer: compaction
   /// and SST readers already hold a FlashModel reference.
@@ -155,6 +216,23 @@ class FlashModel {
   std::uint64_t pages_read_ = 0;
   std::uint64_t pages_programmed_ = 0;
   obs::Observability* obs_ = nullptr;  ///< Non-owning.
+
+  // --- Reliability state -------------------------------------------------
+  fault::FaultInjector* fault_ = nullptr;  ///< Non-owning; null = no faults.
+  /// Page programs per block (linear block id), the wear input of the
+  /// reliability model.
+  std::unordered_map<std::uint64_t, std::uint64_t> block_programs_;
+  /// Last program time per linear page (retention input). Only populated
+  /// when a fault injector is attached.
+  std::unordered_map<std::uint64_t, SimTime> page_program_time_;
+  /// Pages whose last timed read miscorrected (consumed by the content
+  /// path so the block checksum can catch the corruption).
+  std::unordered_set<std::uint64_t> silently_corrupted_;
+  std::uint64_t ecc_corrected_reads_ = 0;
+  std::uint64_t ecc_retry_steps_ = 0;
+  std::uint64_t raw_bit_errors_ = 0;
+  std::uint64_t uncorrectable_reads_ = 0;
+  std::uint64_t silent_corruptions_ = 0;
 };
 
 }  // namespace ndpgen::platform

@@ -1,31 +1,65 @@
 #include "platform/nvme.hpp"
 
+#include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
 
 namespace ndpgen::platform {
 
+SimTime NvmeLink::retry_penalty() {
+  if (fault_ == nullptr || !fault_->enabled()) return 0;
+  const std::uint32_t attempts = fault_->next_nvme_timeouts();
+  if (attempts == 0) return 0;
+  timeouts_ += attempts;
+  SimTime penalty = 0;
+  SimTime backoff = timing_.nvme_retry_backoff;
+  for (std::uint32_t i = 0; i < attempts; ++i) {
+    penalty += timing_.nvme_timeout + backoff;
+    backoff *= 2;
+  }
+  if (attempts >= fault_->profile().nvme_max_retries) {
+    // Bounded retries exhausted: the driver resets the controller and
+    // requeues the command, which then completes.
+    ++resets_;
+    penalty += timing_.nvme_reset_recovery;
+  }
+  backoff_ns_ += penalty;
+  return penalty;
+}
+
 SimTime NvmeLink::transfer_to_host(std::uint64_t payload_bytes) {
   const SimTime start = queue_.now();
-  const SimTime cost = timing_.nvme_transfer_time(payload_bytes);
+  const SimTime penalty = retry_penalty();
+  const SimTime cost = penalty + timing_.nvme_transfer_time(payload_bytes);
   queue_.run_until(start + cost);
   bytes_to_host_ += payload_bytes;
   ++commands_;
   if (obs_ != nullptr && obs_->tracing()) {
-    obs_->trace->complete(
-        obs_->trace->track("nvme"), "transfer_to_host", "nvme", start, cost,
-        "{\"bytes\":" + std::to_string(payload_bytes) + "}");
+    std::string args = "{\"bytes\":" + std::to_string(payload_bytes);
+    if (penalty > 0) {
+      args += ",\"retry_penalty_ns\":" + std::to_string(penalty);
+    }
+    args += "}";
+    obs_->trace->complete(obs_->trace->track("nvme"), "transfer_to_host",
+                          "nvme", start, cost, args);
   }
   return cost;
 }
 
 SimTime NvmeLink::command() {
   const SimTime start = queue_.now();
-  const SimTime cost = timing_.nvme_command_latency;
+  const SimTime penalty = retry_penalty();
+  const SimTime cost = penalty + timing_.nvme_command_latency;
   queue_.run_until(start + cost);
   ++commands_;
   if (obs_ != nullptr && obs_->tracing()) {
-    obs_->trace->complete(obs_->trace->track("nvme"), "command", "nvme",
-                          start, cost);
+    if (penalty > 0) {
+      obs_->trace->complete(
+          obs_->trace->track("nvme"), "command", "nvme", start, cost,
+          "{\"retry_penalty_ns\":" + std::to_string(penalty) + "}");
+    } else {
+      obs_->trace->complete(obs_->trace->track("nvme"), "command", "nvme",
+                            start, cost);
+    }
   }
   return cost;
 }

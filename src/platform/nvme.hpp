@@ -14,6 +14,10 @@ namespace ndpgen::obs {
 struct Observability;
 }  // namespace ndpgen::obs
 
+namespace ndpgen::fault {
+class FaultInjector;
+}  // namespace ndpgen::fault
+
 namespace ndpgen::platform {
 
 class NvmeLink {
@@ -22,30 +26,59 @@ class NvmeLink {
       : queue_(queue), timing_(timing) {}
 
   /// Charges a host->device command round-trip carrying `payload_bytes`
-  /// back to the host; advances virtual time.
+  /// back to the host; advances virtual time. Injected command timeouts
+  /// are absorbed here: each timed-out attempt costs the detection timer
+  /// plus an exponentially growing backoff, bounded by
+  /// FaultProfile::nvme_max_retries; exhausting the bound escalates to a
+  /// controller reset (nvme_reset_recovery) and the command completes on
+  /// the requeue — the link degrades, it never fails the caller.
   SimTime transfer_to_host(std::uint64_t payload_bytes);
 
-  /// Charges a command submission without payload.
+  /// Charges a command submission without payload (same retry contract).
   SimTime command();
 
   [[nodiscard]] std::uint64_t bytes_to_host() const noexcept {
     return bytes_to_host_;
   }
   [[nodiscard]] std::uint64_t commands() const noexcept { return commands_; }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] std::uint64_t resets() const noexcept { return resets_; }
+  [[nodiscard]] SimTime backoff_ns() const noexcept { return backoff_ns_; }
   void reset_stats() noexcept {
     bytes_to_host_ = 0;
     commands_ = 0;
+    timeouts_ = 0;
+    resets_ = 0;
+    backoff_ns_ = 0;
   }
 
   /// Observability context shared with the owning platform (null = off).
   void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
 
+  /// Deterministic fault source (null = fault-free).
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
+  /// Draws timeouts for the next command and returns the extra latency
+  /// (detection timers + backoff, or reset recovery when exhausted);
+  /// always 0 on a fault-free link. Public for callers that account the
+  /// link arithmetically (the NDP executors charge nvme_transfer_time on
+  /// their makespan instead of running transfer_to_host on the DES) but
+  /// still owe the command its share of injected timeouts.
+  [[nodiscard]] SimTime retry_penalty();
+
  private:
+
   EventQueue& queue_;
   const TimingConfig& timing_;
   std::uint64_t bytes_to_host_ = 0;
   std::uint64_t commands_ = 0;
-  obs::Observability* obs_ = nullptr;  ///< Non-owning.
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t resets_ = 0;
+  SimTime backoff_ns_ = 0;
+  obs::Observability* obs_ = nullptr;      ///< Non-owning.
+  fault::FaultInjector* fault_ = nullptr;  ///< Non-owning.
 };
 
 }  // namespace ndpgen::platform

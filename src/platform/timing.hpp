@@ -30,6 +30,13 @@ struct TimingConfig {
   /// Controller bus throughput; 16 KiB page / 100 MB/s = ~164 us/page,
   /// i.e. ~200 MB/s aggregate with two controllers.
   double flash_controller_mbps = 100.0;
+  /// Extra sense time per ECC read-retry step (shifted read voltages);
+  /// charged on the LUN for every retry the reliability model takes.
+  SimTime flash_read_retry_latency = 40 * kNsPerUs;
+  /// Firmware recovery pass for an uncorrectable page (soft-decision
+  /// decode + parity rebuild), charged per affected data block before the
+  /// software path reprocesses it.
+  SimTime flash_recovery_latency = 400 * kNsPerUs;
 
   // --- DRAM (PS DDR, shared) -------------------------------------------
   double dram_bandwidth_mbps = 1600.0;
@@ -63,6 +70,19 @@ struct TimingConfig {
   // --- NVMe host link ----------------------------------------------------
   SimTime nvme_command_latency = 18 * kNsPerUs;  ///< Submission->device.
   double nvme_payload_mbps = 1400.0;             ///< PCIe Gen2 x4 effective.
+  /// Detection time for a lost/timed-out command (driver-level timer; kept
+  /// short relative to real NVMe timeouts so degraded runs stay tractable).
+  SimTime nvme_timeout = 2 * kNsPerMs;
+  /// First retry backoff; doubles per attempt (exponential backoff).
+  SimTime nvme_retry_backoff = 100 * kNsPerUs;
+  /// Controller reset + requeue when bounded retries are exhausted.
+  SimTime nvme_reset_recovery = 10 * kNsPerMs;
+
+  // --- Fault detection ---------------------------------------------------
+  /// Ready/valid watchdog horizon: a PE kernel that makes no stream
+  /// progress for this many cycles is declared hung (hwsim::SimKernel and
+  /// the HardwareNdp dispatch fault path).
+  std::uint64_t pe_watchdog_cycles = 100'000;
 
   // --- Classical (non-NDP) host path --------------------------------------
   /// Host CPU streaming parse/filter rate (a server core is faster than

@@ -1,0 +1,54 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// Used as the end-to-end integrity check on SST data blocks: ECC protects
+// each flash page against raw bit errors, but an ECC miscorrection (or a
+// fault anywhere between the NAND bus and DRAM staging) can hand back a
+// clean-looking page with wrong bytes. The block-level CRC32C catches
+// exactly that class, the same layering real storage engines use.
+//
+// Table-driven byte-at-a-time implementation; the table is computed at
+// compile time so the header stays dependency-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ndpgen::support {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc32c_table();
+
+}  // namespace detail
+
+/// Incremental update: feeds `data` into a running CRC (start from 0).
+[[nodiscard]] constexpr std::uint32_t crc32c_update(
+    std::uint32_t crc, std::span<const std::uint8_t> data) noexcept {
+  crc = ~crc;
+  for (const std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ detail::kCrc32cTable[(crc ^ byte) & 0xFFu];
+  }
+  return ~crc;
+}
+
+/// One-shot CRC32C of a byte span.
+[[nodiscard]] constexpr std::uint32_t crc32c(
+    std::span<const std::uint8_t> data) noexcept {
+  return crc32c_update(0, data);
+}
+
+}  // namespace ndpgen::support

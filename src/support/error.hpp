@@ -5,12 +5,19 @@
 // violations. Both are reported through ndpgen::Error, an exception
 // carrying a structured kind, so callers can react programmatically
 // while still getting a readable message.
+//
+// Paths that must not throw across discrete-event-simulation callbacks
+// (timed flash reads, degraded scans) return a Result<T> instead: an
+// expected-style value-or-Status carrier with the same ErrorKind
+// taxonomy, convertible back into an Error at a safe boundary.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <variant>
 
 namespace ndpgen {
 
@@ -58,6 +65,67 @@ class Error : public std::runtime_error {
 [[noreturn]] inline void raise(ErrorKind kind, const std::string& message) {
   throw Error(kind, message);
 }
+
+/// Process exit code for a failure of the given kind (see README "Exit
+/// codes"): distinct, stable values so scripts can react to the failure
+/// class without parsing stderr. 0 = success, 1 = unclassified, 2 = usage.
+[[nodiscard]] constexpr int exit_code(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kLex: return 10;
+    case ErrorKind::kParse: return 11;
+    case ErrorKind::kSemantic: return 12;
+    case ErrorKind::kGeneration: return 13;
+    case ErrorKind::kSimulation: return 14;
+    case ErrorKind::kStorage: return 15;
+    case ErrorKind::kInvalidArg: return 16;
+    case ErrorKind::kInternal: return 17;
+  }
+  return 1;
+}
+
+/// Non-throwing failure description (the error arm of Result<T>).
+struct Status {
+  ErrorKind kind = ErrorKind::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(ndpgen::to_string(kind)) + ": " + message;
+  }
+};
+
+/// Minimal expected-style carrier: either a T or a Status. Used on paths
+/// that run under DES callbacks, where throwing would unwind through the
+/// event queue.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {}     // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Result failure(ErrorKind kind, std::string message) {
+    return Result(Status{kind, std::move(message)});
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(state_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & { return std::get<T>(state_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(state_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(state_)); }
+
+  [[nodiscard]] const Status& status() const { return std::get<Status>(state_); }
+
+  /// Rethrows at a safe (non-DES) boundary; returns the value otherwise.
+  T& value_or_raise() & {
+    if (!ok()) raise(status().kind, status().message);
+    return value();
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
 
 }  // namespace ndpgen
 

@@ -1,0 +1,243 @@
+// End-to-end graceful degradation: scans and GETs over faulted media must
+// complete without throwing, return exactly the fault-free results, and
+// account for every retry/recovery in the new ScanStats/GetStats fields.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/framework.hpp"
+#include "fault/fault_profile.hpp"
+#include "kv/db.hpp"
+#include "ndp/executor.hpp"
+#include "workload/pubgraph.hpp"
+
+namespace ndpgen::fault {
+namespace {
+
+constexpr std::uint64_t kScale = 4096;
+
+/// One platform + paper store + PaperScan PE, optionally on faulted media.
+struct Scenario {
+  explicit Scenario(const core::Framework& framework,
+                    const core::CompileResult& compiled,
+                    const FaultProfile& profile = FaultProfile())
+      : cosmos(make_config(profile)), db(cosmos, db_config()) {
+    const workload::PubGraphGenerator generator(
+        workload::PubGraphConfig{.scale_divisor = kScale});
+    loaded = workload::load_papers(db, generator);
+    pe_index = framework.instantiate(compiled, "PaperScan", cosmos);
+  }
+
+  static platform::CosmosConfig make_config(const FaultProfile& profile) {
+    platform::CosmosConfig config;
+    config.fault = profile;
+    return config;
+  }
+
+  static kv::DBConfig db_config() {
+    kv::DBConfig config;
+    config.record_bytes = workload::PaperRecord::kBytes;
+    config.extractor = workload::paper_key;
+    return config;
+  }
+
+  ndp::HybridExecutor executor(const core::CompileResult& compiled,
+                               ndp::ExecMode mode) {
+    ndp::ExecutorConfig config;
+    config.mode = mode;
+    if (mode == ndp::ExecMode::kHardware) config.pe_indices = {pe_index};
+    config.result_key_extractor = workload::paper_result_key;
+    const auto& artifacts = compiled.get("PaperScan");
+    return ndp::HybridExecutor(db, artifacts.analyzed,
+                               artifacts.design.operators, config);
+  }
+
+  platform::CosmosPlatform cosmos;
+  kv::NKV db;
+  std::uint64_t loaded = 0;
+  std::size_t pe_index = 0;
+};
+
+class DegradedScanFixture : public ::testing::Test {
+ protected:
+  DegradedScanFixture()
+      : compiled_(framework_.compile(workload::pubgraph_spec_source())),
+        clean_(framework_, compiled_) {
+    reference_ = clean_.executor(compiled_, ndp::ExecMode::kSoftware)
+                     .scan(predicate());
+  }
+
+  static std::vector<ndp::FilterPredicate> predicate() {
+    return {{"year", "lt", 1990}};
+  }
+
+  ndp::ScanStats scan_with(const FaultProfile& profile, ndp::ExecMode mode) {
+    Scenario faulted(framework_, compiled_, profile);
+    return faulted.executor(compiled_, mode).scan(predicate());
+  }
+
+  core::Framework framework_;
+  core::CompileResult compiled_;
+  Scenario clean_;
+  ndp::ScanStats reference_;
+};
+
+FaultProfile retry_profile() {
+  FaultProfile profile;
+  profile.seed = 7;
+  profile.read_ber = 4e-4;  // ~52 raw errors/page > 40 ECC bits -> retries.
+  return profile;
+}
+
+FaultProfile uncorrectable_profile() {
+  FaultProfile profile;
+  profile.seed = 7;
+  // ~2600 raw errors/page; five halving retries still leave ~81 > 40, so
+  // every page is uncorrectable and every block takes the recovery path.
+  profile.read_ber = 2e-2;
+  return profile;
+}
+
+FaultProfile silent_profile() {
+  FaultProfile profile;
+  profile.seed = 7;
+  profile.silent_corruption_rate = 1.0;
+  return profile;
+}
+
+FaultProfile pe_hang_profile() {
+  FaultProfile profile;
+  profile.seed = 7;
+  profile.pe_fault_rate = 0.9;
+  return profile;
+}
+
+TEST_F(DegradedScanFixture, CleanDefaultReportsNoFaults) {
+  EXPECT_GT(reference_.results, 0u);
+  EXPECT_EQ(reference_.blocks_retried, 0u);
+  EXPECT_EQ(reference_.blocks_degraded_to_software, 0u);
+  EXPECT_EQ(reference_.uncorrectable_blocks, 0u);
+}
+
+TEST_F(DegradedScanFixture, EccRetriesKeepScanCorrect) {
+  const auto stats = scan_with(retry_profile(), ndp::ExecMode::kHardware);
+  EXPECT_EQ(stats.results, reference_.results);
+  EXPECT_EQ(stats.tuples_scanned, reference_.tuples_scanned);
+  EXPECT_GT(stats.blocks_retried, 0u);
+  EXPECT_EQ(stats.uncorrectable_blocks, 0u);
+}
+
+TEST_F(DegradedScanFixture, UncorrectableMediaDegradesToSoftware) {
+  const auto stats =
+      scan_with(uncorrectable_profile(), ndp::ExecMode::kHardware);
+  EXPECT_EQ(stats.results, reference_.results);
+  EXPECT_EQ(stats.uncorrectable_blocks, stats.blocks);
+  EXPECT_EQ(stats.blocks_degraded_to_software, stats.blocks);
+}
+
+TEST_F(DegradedScanFixture, SilentCorruptionCaughtByChecksum) {
+  const auto stats = scan_with(silent_profile(), ndp::ExecMode::kHardware);
+  EXPECT_EQ(stats.results, reference_.results);
+  // Every block fails CRC verification and goes through recovery.
+  EXPECT_EQ(stats.uncorrectable_blocks, stats.blocks);
+  EXPECT_GT(stats.blocks_degraded_to_software, 0u);
+}
+
+TEST_F(DegradedScanFixture, SoftwareScanSurvivesDegradedMedia) {
+  const auto stats =
+      scan_with(uncorrectable_profile(), ndp::ExecMode::kSoftware);
+  EXPECT_EQ(stats.results, reference_.results);
+  EXPECT_EQ(stats.uncorrectable_blocks, stats.blocks);
+  // Already on the software path: nothing to degrade to.
+  EXPECT_EQ(stats.blocks_degraded_to_software, 0u);
+}
+
+TEST_F(DegradedScanFixture, PeHangsRerouteBlocksToSoftware) {
+  const auto stats = scan_with(pe_hang_profile(), ndp::ExecMode::kHardware);
+  EXPECT_EQ(stats.results, reference_.results);
+  EXPECT_GT(stats.blocks_degraded_to_software, 0u);
+  EXPECT_EQ(stats.uncorrectable_blocks, 0u);
+}
+
+TEST_F(DegradedScanFixture, DegradationCostsVirtualTime) {
+  const auto degraded =
+      scan_with(uncorrectable_profile(), ndp::ExecMode::kHardware);
+  const auto clean_hw =
+      clean_.executor(compiled_, ndp::ExecMode::kHardware).scan(predicate());
+  EXPECT_GT(degraded.elapsed, clean_hw.elapsed);
+}
+
+TEST_F(DegradedScanFixture, SameSeedSameDegradationAccounting) {
+  const auto a = scan_with(retry_profile(), ndp::ExecMode::kHardware);
+  const auto b = scan_with(retry_profile(), ndp::ExecMode::kHardware);
+  EXPECT_EQ(a.blocks_retried, b.blocks_retried);
+  EXPECT_EQ(a.blocks_degraded_to_software, b.blocks_degraded_to_software);
+  EXPECT_EQ(a.uncorrectable_blocks, b.uncorrectable_blocks);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.results, b.results);
+}
+
+TEST_F(DegradedScanFixture, BadBlocksAreRemappedAtPlacement) {
+  FaultProfile profile;
+  profile.seed = 7;
+  profile.bad_block_rate = 0.2;
+  Scenario faulted(framework_, compiled_, profile);
+  EXPECT_GT(faulted.db.placement().blocks_remapped(), 0u);
+  const auto stats =
+      faulted.executor(compiled_, ndp::ExecMode::kHardware).scan(predicate());
+  EXPECT_EQ(stats.results, reference_.results);
+}
+
+TEST_F(DegradedScanFixture, GetSurvivesDegradedMedia) {
+  const kv::Key key{123, 0};
+  const auto reference =
+      clean_.executor(compiled_, ndp::ExecMode::kSoftware).get(key);
+  ASSERT_TRUE(reference.found);
+
+  Scenario faulted(framework_, compiled_, uncorrectable_profile());
+  auto executor = faulted.executor(compiled_, ndp::ExecMode::kHardware);
+  const auto stats = executor.get(key);
+  ASSERT_TRUE(stats.found);
+  EXPECT_EQ(stats.record, reference.record);
+  EXPECT_GT(stats.uncorrectable_blocks, 0u);
+  EXPECT_GT(stats.blocks_degraded_to_software, 0u);
+}
+
+TEST_F(DegradedScanFixture, GetSurvivesPeHangs) {
+  const kv::Key key{123, 0};
+  const auto reference =
+      clean_.executor(compiled_, ndp::ExecMode::kSoftware).get(key);
+  ASSERT_TRUE(reference.found);
+
+  FaultProfile profile;
+  profile.seed = 7;
+  profile.pe_fault_rate = 1.0;  // Every dispatch hangs; watchdog catches.
+  Scenario faulted(framework_, compiled_, profile);
+  auto executor = faulted.executor(compiled_, ndp::ExecMode::kHardware);
+  const auto stats = executor.get(key);
+  ASSERT_TRUE(stats.found);
+  EXPECT_EQ(stats.record, reference.record);
+  EXPECT_GT(stats.blocks_degraded_to_software, 0u);
+}
+
+TEST_F(DegradedScanFixture, NvmeTimeoutsDelayButCompleteScan) {
+  FaultProfile profile;
+  profile.seed = 7;
+  profile.nvme_timeout_rate = 0.5;
+  const auto stats = scan_with(profile, ndp::ExecMode::kHardware);
+  EXPECT_EQ(stats.results, reference_.results);
+
+  Scenario faulted(framework_, compiled_, profile);
+  auto executor = faulted.executor(compiled_, ndp::ExecMode::kHardware);
+  (void)executor.scan(predicate());
+  // Each NDP command draws its own timeout outcome; a handful of GETs
+  // guarantees the 50% per-attempt rate fires at least once.
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    (void)executor.get(kv::Key{k, 0});
+  }
+  EXPECT_GT(faulted.cosmos.nvme().timeouts(), 0u);
+  EXPECT_GT(faulted.cosmos.nvme().backoff_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace ndpgen::fault

@@ -1,0 +1,139 @@
+#include "hwsim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hwsim/stream.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::hwsim {
+namespace {
+
+class ProducerModule final : public Module {
+ public:
+  ProducerModule(Stream<int>* out, int limit)
+      : Module("producer"), out_(out), limit_(limit) {}
+  void cycle(std::uint64_t) override {
+    if (next_ < limit_ && out_->can_push()) out_->push(next_++);
+  }
+  void reset() override { next_ = 0; }
+  [[nodiscard]] bool idle() const noexcept override { return next_ == limit_; }
+
+ private:
+  Stream<int>* out_;
+  int limit_;
+  int next_ = 0;
+};
+
+class SinkModule final : public Module {
+ public:
+  explicit SinkModule(Stream<int>* in) : Module("sink"), in_(in) {}
+  void cycle(std::uint64_t) override {
+    if (in_->can_pop()) {
+      (void)in_->pop();
+      ++popped;
+    }
+  }
+  int popped = 0;
+
+ private:
+  Stream<int>* in_;
+};
+
+/// A PE stage that stalls forever: never pushes, never pops — the injected
+/// "hung kernel" the firmware watchdog must catch.
+class StuckModule final : public Module {
+ public:
+  StuckModule() : Module("stuck") {}
+  void cycle(std::uint64_t) override {}
+  void reset() override {}
+  [[nodiscard]] bool idle() const noexcept override { return false; }
+};
+
+TEST(Watchdog, DisabledByDefault) {
+  SimKernel kernel;
+  EXPECT_EQ(kernel.watchdog_cycles(), 0u);
+}
+
+TEST(Watchdog, StreamsCountCommittedTransfers) {
+  SimKernel kernel;
+  auto* stream = kernel.make_stream<int>("pipe", 2);
+  ProducerModule producer(stream, 10);
+  SinkModule sink(stream);
+  kernel.add_module(&producer);
+  kernel.add_module(&sink);
+  kernel.run_until([&] { return sink.popped == 10; }, 1000);
+  EXPECT_EQ(stream->transfers(), 10u);
+  EXPECT_EQ(kernel.total_transfers(), 10u);
+  kernel.reset();
+  EXPECT_EQ(stream->transfers(), 0u);
+}
+
+TEST(Watchdog, FiresOnStuckKernel) {
+  SimKernel kernel;
+  (void)kernel.make_stream<int>("pipe", 2);
+  StuckModule stuck;
+  kernel.add_module(&stuck);
+  kernel.set_watchdog(50);
+  EXPECT_EQ(kernel.watchdog_cycles(), 50u);
+  try {
+    kernel.run_until([] { return false; }, 100'000);
+    FAIL() << "watchdog did not fire";
+  } catch (const ndpgen::Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kSimulation);
+    EXPECT_NE(std::string(error.what()).find("watchdog"), std::string::npos);
+  }
+  // Fired at the stall horizon, far before the run_until deadline.
+  EXPECT_LT(kernel.now(), 1000u);
+}
+
+TEST(Watchdog, QuietWhileProgressing) {
+  // Steady ready/valid traffic keeps the stall counter at zero even with a
+  // tight watchdog horizon.
+  SimKernel kernel;
+  auto* stream = kernel.make_stream<int>("pipe", 2);
+  ProducerModule producer(stream, 200);
+  SinkModule sink(stream);
+  kernel.add_module(&producer);
+  kernel.add_module(&sink);
+  kernel.set_watchdog(10);
+  kernel.run_until([&] { return sink.popped == 200; }, 10'000);
+  EXPECT_EQ(sink.popped, 200);
+}
+
+TEST(Watchdog, DeadlineErrorIsNotAWatchdogError) {
+  // With the watchdog disabled a stuck kernel still hits the run_until
+  // deadline; the message must not claim a watchdog detection.
+  SimKernel kernel;
+  StuckModule stuck;
+  kernel.add_module(&stuck);
+  try {
+    kernel.run_until([] { return false; }, 100);
+    FAIL() << "deadline did not fire";
+  } catch (const ndpgen::Error& error) {
+    EXPECT_EQ(std::string(error.what()).find("watchdog"), std::string::npos);
+  }
+}
+
+TEST(Watchdog, FiresWhenPipelineDrainsToDeadlock) {
+  // Progress first, then deadlock: producer fills the stream, nobody
+  // drains it. The watchdog must measure the *last* transfer, not just
+  // start-of-run activity.
+  SimKernel kernel;
+  auto* stream = kernel.make_stream<int>("pipe", 4);
+  ProducerModule producer(stream, 100);  // Blocks once the stream is full.
+  kernel.add_module(&producer);
+  kernel.set_watchdog(50);
+  try {
+    kernel.run_until([] { return false; }, 100'000);
+    FAIL() << "watchdog did not fire";
+  } catch (const ndpgen::Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kSimulation);
+    EXPECT_NE(std::string(error.what()).find("watchdog"), std::string::npos);
+  }
+  EXPECT_EQ(stream->transfers(), 4u);  // Capacity-limited, then stalled.
+}
+
+}  // namespace
+}  // namespace ndpgen::hwsim

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/framework.hpp"
+#include "fault/fault_profile.hpp"
 #include "hwgen/testbench_emitter.hpp"
 #include "hwsim/pe_sim.hpp"
 #include "hwsim/tuple_buffer.hpp"
@@ -51,6 +52,7 @@ int usage() {
                "  scan [--dataset papers|refs] [--mode sw|hw|host]\n"
                "       [--scale N] [--predicate field,op,value]...\n"
                "       [--trace FILE] [--metrics FILE]\n"
+               "       [--fault-profile k=v,...]\n"
                "                                      run an NDP scan on the "
                "built-in pubgraph\n"
                "                                      workload over the full "
@@ -59,8 +61,26 @@ int usage() {
                "  simulate and scan accept --trace FILE (Chrome trace_event "
                "JSON for\n"
                "  chrome://tracing / Perfetto) and --metrics FILE (flat "
-               "metrics JSON).\n");
+               "metrics JSON).\n"
+               "  --fault-profile enables the deterministic storage "
+               "reliability model;\n"
+               "  keys: seed, read_ber, wear_alpha, retention_alpha, "
+               "ecc_bits,\n"
+               "  retry_factor, max_retries, bad_block_rate, silent_rate,\n"
+               "  nvme_timeout_rate, nvme_max_retries, pe_fault_rate.\n"
+               "\n"
+               "  exit codes: 0 ok, 2 usage, 10-17 by error kind "
+               "(see README).\n");
   return 2;
+}
+
+/// Parses --fault-profile's value or exits with the typed diagnostic.
+fault::FaultProfile parse_fault_profile(const std::string& text) {
+  auto parsed = fault::FaultProfile::parse(text);
+  if (!parsed.ok()) {
+    throw Error(parsed.status().kind, parsed.status().message);
+  }
+  return std::move(parsed).value();
 }
 
 /// Writes the trace and/or metrics files requested via --trace/--metrics.
@@ -157,6 +177,7 @@ int cmd_simulate(const std::vector<std::string>& args) {
   std::uint64_t tuples = 64;
   std::string trace_path;
   std::string metrics_path;
+  fault::FaultProfile fault_profile;
   struct StageArg {
     std::uint32_t stage;
     std::string field, op;
@@ -170,6 +191,8 @@ int cmd_simulate(const std::vector<std::string>& args) {
       trace_path = args[++i];
     } else if (args[i] == "--metrics" && i + 1 < args.size()) {
       metrics_path = args[++i];
+    } else if (args[i] == "--fault-profile" && i + 1 < args.size()) {
+      fault_profile = parse_fault_profile(args[++i]);
     } else if (args[i] == "--stage" && i + 1 < args.size()) {
       const std::string& spec = args[++i];
       const auto colon = spec.find(':');
@@ -192,6 +215,13 @@ int cmd_simulate(const std::vector<std::string>& args) {
   hwsim::PETestBench bench(artifacts.design);
   obs::TraceSink sink;
   if (!trace_path.empty()) bench.observability().trace = &sink;
+  if (fault_profile.any_enabled()) {
+    // A faulted simulation arms the ready/valid watchdog so a hung design
+    // fails fast with a typed kSimulation error instead of running into
+    // the (much larger) deadlock horizon.
+    bench.kernel().set_watchdog(platform::TimingConfig{}.pe_watchdog_cycles);
+    std::fprintf(stderr, "%s\n", fault_profile.summary().c_str());
+  }
   // Random tuples.
   support::Xoshiro256 rng(1234);
   std::vector<std::uint8_t> data;
@@ -241,6 +271,7 @@ int cmd_scan(const std::vector<std::string>& args) {
   std::uint64_t scale = 32768;
   std::string trace_path;
   std::string metrics_path;
+  fault::FaultProfile fault_profile;
   std::vector<ndp::FilterPredicate> predicates;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--dataset" && i + 1 < args.size()) {
@@ -253,6 +284,8 @@ int cmd_scan(const std::vector<std::string>& args) {
       trace_path = args[++i];
     } else if (args[i] == "--metrics" && i + 1 < args.size()) {
       metrics_path = args[++i];
+    } else if (args[i] == "--fault-profile" && i + 1 < args.size()) {
+      fault_profile = parse_fault_profile(args[++i]);
     } else if (args[i] == "--predicate" && i + 1 < args.size()) {
       const auto pieces = support::split(args[++i], ',');
       if (pieces.size() != 3) return usage();
@@ -276,9 +309,14 @@ int cmd_scan(const std::vector<std::string>& args) {
   const bool papers = dataset == "papers";
   if (!papers && dataset != "refs") return usage();
 
-  platform::CosmosPlatform cosmos;
+  platform::CosmosConfig cosmos_config;
+  cosmos_config.fault = fault_profile;
+  platform::CosmosPlatform cosmos(cosmos_config);
   obs::TraceSink sink;
   if (!trace_path.empty()) cosmos.observability().trace = &sink;
+  if (fault_profile.any_enabled()) {
+    std::fprintf(stderr, "%s\n", fault_profile.summary().c_str());
+  }
 
   core::Framework framework;
   const auto compiled =
@@ -328,6 +366,14 @@ int cmd_scan(const std::vector<std::string>& args) {
       static_cast<unsigned long long>(stats.tuples_matched),
       static_cast<unsigned long long>(stats.results),
       static_cast<double>(stats.elapsed) / 1e6);
+  if (fault_profile.any_enabled()) {
+    std::printf(
+        "  degraded media: %llu blocks retried, %llu uncorrectable, "
+        "%llu degraded to software\n",
+        static_cast<unsigned long long>(stats.blocks_retried),
+        static_cast<unsigned long long>(stats.uncorrectable_blocks),
+        static_cast<unsigned long long>(stats.blocks_degraded_to_software));
+  }
 
   cosmos.publish_metrics();
   write_observability(cosmos.observability(), sink, trace_path,
@@ -426,6 +472,13 @@ int main(int argc, char** argv) {
       return cmd_scan({args.begin() + 1, args.end()});
     }
     return usage();
+  } catch (const ndpgen::Error& error) {
+    // Typed failures carry their kind into the process exit code (10-17,
+    // see support/error.hpp) so scripts can distinguish a bad spec from a
+    // storage failure without parsing stderr; what() already leads with
+    // the kind name.
+    std::fprintf(stderr, "ndpgen: %s\n", error.what());
+    return ndpgen::exit_code(error.kind());
   } catch (const std::exception& error) {
     std::fprintf(stderr, "ndpgen: %s\n", error.what());
     return 1;

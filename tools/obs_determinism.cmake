@@ -36,6 +36,48 @@ foreach(kind trace metrics)
   endif()
 endforeach()
 
+# Same contract under a fault profile: the injector draws every fault from
+# (seed, stream, stable ids), so a fixed --fault-profile must reproduce the
+# exact same degraded run — retries, recoveries, backoff and all.
+foreach(run 1 2)
+  execute_process(
+    COMMAND "${NDPGEN_BIN}" scan --dataset papers --mode hw --scale 65536
+            --fault-profile "seed=11,read_ber=4e-4,silent_rate=0.01,pe_fault_rate=0.2,nvme_timeout_rate=0.2"
+            --trace "${WORK_DIR}/fault_trace_${run}.json"
+            --metrics "${WORK_DIR}/fault_metrics_${run}.json"
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "faulted ndpgen scan run ${run} failed (${status}):\n${stdout}\n${stderr}")
+  endif()
+endforeach()
+
+foreach(kind fault_trace fault_metrics)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/${kind}_1.json" "${WORK_DIR}/${kind}_2.json"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "${kind} files differ between identical faulted runs — fault injection is nondeterministic")
+  endif()
+endforeach()
+
+# The faulted metrics dump must expose the reliability counter families,
+# and the default-profile dump must NOT (zero-cost no-fault contract).
+file(READ "${WORK_DIR}/fault_metrics_1.json" fault_metrics)
+foreach(needle "platform.fault." "ndp.scan.blocks_retried")
+  string(FIND "${fault_metrics}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "faulted metrics file is missing expected metric '${needle}'")
+  endif()
+endforeach()
+file(READ "${WORK_DIR}/metrics_1.json" clean_metrics)
+string(FIND "${clean_metrics}" "platform.fault." at)
+if(NOT at EQUAL -1)
+  message(FATAL_ERROR "default-profile metrics leak fault counters — the no-fault path must stay byte-identical to pre-reliability builds")
+endif()
+
 # Cheap structural sanity: the trace must hold events and the metrics dump
 # must contain the acceptance-criteria metric families.
 file(READ "${WORK_DIR}/trace_1.json" trace)

@@ -31,7 +31,7 @@ const char* name_of(Variant variant) {
 double run_gets(Variant variant, std::uint64_t scale, double firmware_factor,
                 std::uint64_t num_gets,
                 const fault::FaultProfile& fault_profile,
-                bench::FaultCounters& faults) {
+                bench::FaultCounters& faults, std::uint32_t num_pes = 1) {
   platform::CosmosConfig cosmos_config;
   cosmos_config.timing.firmware_overhead_factor = firmware_factor;
   cosmos_config.fault = fault_profile;
@@ -46,6 +46,7 @@ double run_gets(Variant variant, std::uint64_t scale, double firmware_factor,
 
   ndp::ExecutorConfig config;
   config.result_key_extractor = workload::paper_result_key;
+  config.num_pes = num_pes;
   if (variant == Variant::kSoftware) {
     config.mode = ndp::ExecMode::kSoftware;
   } else {
@@ -117,6 +118,21 @@ int main() {
     if (fault_profile.any_enabled()) {
       bench::add_fault_rows(json, name_of(variants[v]), faults);
     }
+  }
+
+  // Multi-PE sweep: a GET touches one data block, so sharding cannot help
+  // — the sweep documents that --pes leaves point-lookup latency flat
+  // (the Fig. 10 scaling dimension only pays off for scans).
+  constexpr std::uint64_t kSweepGets = 16;
+  std::printf("\nmulti-PE sweep (HW generated, updated fw, %llu GETs):\n",
+              static_cast<unsigned long long>(kSweepGets));
+  for (const std::uint32_t pes : {1u, 2u, 4u}) {
+    bench::FaultCounters sweep_faults;
+    const double ms = run_gets(Variant::kHwGenerated, scale, 1.10,
+                               kSweepGets, fault_profile, sweep_faults, pes);
+    std::printf("  %u PE%s: %.3f ms/op\n", pes, pes == 1 ? " " : "s", ms);
+    json.add("HW generated, " + std::to_string(pes) + " PEs", "updated_fw",
+             ms, "ms");
   }
   json.write();
 

@@ -133,6 +133,54 @@ int main() {
       bench::add_fault_rows(json, name_of(variants[v]), faults);
     }
   }
+
+  // Fig. 10 dimension: replicate the generated PE over disjoint flash
+  // channel shards (--pes). Flash scheduling stays shared (honest bus
+  // serialization); the PE phase combines max-over-shards, so the sweep
+  // shows channel-parallel scaling, not a free N-fold speedup.
+  std::printf("\nmulti-PE sweep (HW generated, papers scan):\n");
+  std::printf("%6s %12s %20s %10s\n", "PEs", "papers [s]", "PE phase [cyc]",
+              "speedup");
+  std::uint64_t serial_pe_cycles = 0;
+  for (const std::uint32_t pes : {1u, 2u, 4u, 8u}) {
+    platform::CosmosConfig cosmos_config;
+    cosmos_config.fault = fault_profile;
+    platform::CosmosPlatform cosmos(cosmos_config);
+    auto placement = std::make_shared<kv::PlacementPolicy>(
+        cosmos.flash().topology(), 1);
+    auto papers_config = bench::paper_db_config();
+    papers_config.shared_placement = placement;
+    kv::NKV papers(cosmos, papers_config);
+    workload::load_papers(papers, generator);
+
+    const auto& artifacts = compiled.get("PaperScan");
+    ndp::ExecutorConfig config;
+    config.result_key_extractor = workload::paper_result_key;
+    config.mode = ndp::ExecMode::kHardware;
+    config.num_pes = pes;
+    cosmos.attach_pe(hwgen::build_pe_design(artifacts.analyzed, {}));
+    config.pe_indices = {cosmos.pe_count() - 1};
+    ndp::HybridExecutor executor(papers, artifacts.analyzed,
+                                 artifacts.design.operators, config);
+    const auto stats = executor.scan({{"year", "lt", 1990}});
+    if (pes == 1) serial_pe_cycles = stats.pe_phase_cycles;
+    const double seconds =
+        bench::to_seconds(stats.elapsed) * static_cast<double>(scale);
+    const double speedup =
+        stats.pe_phase_cycles == 0
+            ? 0.0
+            : static_cast<double>(serial_pe_cycles) /
+                  static_cast<double>(stats.pe_phase_cycles);
+    std::printf("%6u %12.3f %20llu %9.2fx\n", pes, seconds,
+                static_cast<unsigned long long>(stats.pe_phase_cycles),
+                speedup);
+    const std::string series =
+        "HW generated, " + std::to_string(pes) + " PEs";
+    json.add(series, "papers", seconds, "s");
+    json.add(series, "pe_phase_cycles",
+             static_cast<double>(stats.pe_phase_cycles), "cycles");
+    json.add(series, "pe_phase_speedup", speedup, "x");
+  }
   json.write();
 
   std::printf("\npaper-reported anchors (their testbed, absolute):\n");

@@ -16,6 +16,7 @@ enum Stream : std::uint64_t {
   kStreamBadBlock = 0x62616462ULL,      // "badb"
   kStreamNvme = 0x6e766d65ULL,          // "nvme"
   kStreamPeHang = 0x70656861ULL,        // "peha"
+  kStreamShardPeHang = 0x73686864ULL,   // "shhd"
 };
 
 [[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
@@ -129,6 +130,13 @@ bool FaultInjector::next_pe_hang(std::size_t pe_index) {
   if (!enabled_ || profile_.pe_fault_rate <= 0.0) return false;
   const std::uint64_t ordinal = pe_dispatch_seq_[pe_index]++;
   return u01(kStreamPeHang, pe_index, ordinal) < profile_.pe_fault_rate;
+}
+
+bool FaultInjector::next_shard_pe_hang(std::uint64_t shard_id) {
+  if (!enabled_ || profile_.pe_fault_rate <= 0.0) return false;
+  const std::uint64_t ordinal = shard_dispatch_seq_[shard_id]++;
+  return u01(kStreamShardPeHang, shard_id, ordinal) <
+         profile_.pe_fault_rate;
 }
 
 }  // namespace ndpgen::fault

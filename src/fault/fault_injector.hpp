@@ -65,6 +65,14 @@ class FaultInjector {
   /// progress until the watchdog fires).
   [[nodiscard]] bool next_pe_hang(std::size_t pe_index);
 
+  /// Per-shard variant for the multi-PE scan engine: the decision stream
+  /// is keyed by the stable shard id (not the platform PE index), on a
+  /// stream distinct from next_pe_hang, so shard outcomes depend only on
+  /// (seed, shard id, dispatch ordinal) — never on thread interleaving or
+  /// on how shards happen to map onto platform PEs. Draw serially, in
+  /// block order, before fanning work out to threads.
+  [[nodiscard]] bool next_shard_pe_hang(std::uint64_t shard_id);
+
   // --- Introspection (tests) --------------------------------------------
   [[nodiscard]] std::uint64_t page_reads_decided() const noexcept {
     return page_reads_decided_;
@@ -93,6 +101,8 @@ class FaultInjector {
   std::unordered_map<std::uint64_t, std::uint32_t> page_read_seq_;
   /// Per-PE dispatch ordinals.
   std::unordered_map<std::size_t, std::uint64_t> pe_dispatch_seq_;
+  /// Per-shard dispatch ordinals (multi-PE scan engine).
+  std::unordered_map<std::uint64_t, std::uint64_t> shard_dispatch_seq_;
   std::uint64_t nvme_command_seq_ = 0;
   std::uint64_t page_reads_decided_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "kv/placement.hpp"
 
+#include <algorithm>
+
 #include "fault/fault_injector.hpp"
 #include "support/error.hpp"
 
@@ -85,6 +87,87 @@ std::vector<std::uint64_t> PlacementPolicy::allocate_block_pages(
   }
   pages_allocated_ += page_count;
   return pages;
+}
+
+std::uint32_t PlacementPolicy::shard_of_page(
+    const platform::FlashTopology& topology, std::uint64_t first_linear_page,
+    std::uint32_t shard_count) {
+  NDPGEN_CHECK_ARG(shard_count >= 1, "need at least one shard");
+  if (shard_count == 1) return 0;
+  const std::uint32_t buses = topology.bus_count();
+  if (shard_count <= buses) {
+    // Contiguous bus groups: shard s owns buses [s*buses/shards, ...), so
+    // each PE streams from its own channels and never contends with a
+    // sibling shard for a NAND bus.
+    const std::uint32_t bus = topology.bus_of_linear_page(first_linear_page);
+    return bus * shard_count / buses;
+  }
+  // More shards than buses: fall back to contiguous LUN groups (bus
+  // sharing is then unavoidable; LUN affinity still keeps tR overlap).
+  const std::uint32_t luns = topology.total_luns();
+  const std::uint32_t lun =
+      static_cast<std::uint32_t>(first_linear_page % luns);
+  return static_cast<std::uint32_t>(
+      std::uint64_t{lun} * shard_count / std::max(shard_count, luns));
+}
+
+std::vector<std::vector<std::size_t>> PlacementPolicy::shard_blocks(
+    const platform::FlashTopology& topology,
+    const std::vector<std::uint64_t>& first_pages, std::uint32_t shard_count) {
+  NDPGEN_CHECK_ARG(shard_count >= 1, "need at least one shard");
+  std::vector<std::vector<std::size_t>> shards(shard_count);
+  if (shard_count == 1) {
+    for (std::size_t block = 0; block < first_pages.size(); ++block) {
+      shards[0].push_back(block);
+    }
+    return shards;
+  }
+
+  // Level groups may confine a store to a slice of the fabric (e.g. level
+  // 0 on two of eight buses), so shard over the buses/LUNs this block list
+  // ACTUALLY occupies, not the whole topology: rank the distinct buses in
+  // ascending order and hand each shard a contiguous rank range. When the
+  // list touches fewer buses than shards, refine to distinct-LUN ranks;
+  // when even LUN diversity is too low (tiny datasets), fall back to
+  // block-index round-robin — affinity is meaningless with fewer LUNs than
+  // PEs, and the round-robin is still a pure function of the block list.
+  std::vector<std::uint32_t> bus_of(first_pages.size());
+  std::vector<std::uint32_t> lun_of(first_pages.size());
+  std::vector<std::uint32_t> buses;
+  std::vector<std::uint32_t> luns;
+  for (std::size_t block = 0; block < first_pages.size(); ++block) {
+    bus_of[block] = topology.bus_of_linear_page(first_pages[block]);
+    lun_of[block] =
+        static_cast<std::uint32_t>(first_pages[block] % topology.total_luns());
+    buses.push_back(bus_of[block]);
+    luns.push_back(lun_of[block]);
+  }
+  const auto dedupe = [](std::vector<std::uint32_t>& values) {
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+  };
+  dedupe(buses);
+  dedupe(luns);
+  const auto rank_of = [](const std::vector<std::uint32_t>& sorted,
+                          std::uint32_t value) {
+    return static_cast<std::uint32_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), value) -
+        sorted.begin());
+  };
+  for (std::size_t block = 0; block < first_pages.size(); ++block) {
+    std::uint32_t shard;
+    if (buses.size() >= shard_count) {
+      shard = rank_of(buses, bus_of[block]) * shard_count /
+              static_cast<std::uint32_t>(buses.size());
+    } else if (luns.size() >= shard_count) {
+      shard = rank_of(luns, lun_of[block]) * shard_count /
+              static_cast<std::uint32_t>(luns.size());
+    } else {
+      shard = static_cast<std::uint32_t>(block % shard_count);
+    }
+    shards[shard].push_back(block);
+  }
+  return shards;
 }
 
 }  // namespace ndpgen::kv

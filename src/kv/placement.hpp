@@ -57,6 +57,29 @@ class PlacementPolicy {
     return blocks_remapped_;
   }
 
+  /// Channel-affine shard of the block whose first flash page is
+  /// `first_linear_page`: shards own contiguous, disjoint groups of
+  /// channel buses (or of LUNs once shard_count exceeds the bus count), so
+  /// a multi-PE executor can give each PE its own slice of the flash
+  /// fabric — the same placement dimension the LSM levels already use.
+  /// Deterministic: depends only on the topology and the page number.
+  [[nodiscard]] static std::uint32_t shard_of_page(
+      const platform::FlashTopology& topology, std::uint64_t first_linear_page,
+      std::uint32_t shard_count);
+
+  /// Groups block indices [0, first_pages.size()) into shard_count shards,
+  /// preserving ascending block order inside each shard. Unlike the pure
+  /// per-page shard_of_page, this ranks the buses (or, when bus diversity
+  /// is lower than shard_count, the LUNs) the list actually occupies, so a
+  /// store confined to a level group's channel slice still spreads over
+  /// all shards; with fewer distinct LUNs than shards it degrades to
+  /// block-index round-robin. Deterministic: a pure function of the
+  /// topology and the block list.
+  [[nodiscard]] static std::vector<std::vector<std::size_t>> shard_blocks(
+      const platform::FlashTopology& topology,
+      const std::vector<std::uint64_t>& first_pages,
+      std::uint32_t shard_count);
+
  private:
   platform::FlashTopology topology_;
   std::uint32_t level_groups_;

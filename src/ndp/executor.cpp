@@ -6,10 +6,13 @@
 #include <unordered_set>
 
 #include "fault/fault_injector.hpp"
+#include "kv/placement.hpp"
 #include "kv/sst_reader.hpp"
+#include "ndp/pe_shard.hpp"
 #include "obs/obs.hpp"
 #include "support/bitvec.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ndpgen::ndp {
 
@@ -97,11 +100,27 @@ ScanStats HybridExecutor::range_scan(
                      std::make_optional(std::make_pair(lo, hi)));
 }
 
+std::uint32_t HybridExecutor::effective_shards() const noexcept {
+  // The classical path ships whole blocks to the host; there is no
+  // device-side PE fabric to shard over.
+  if (config_.mode == ExecMode::kHostClassic) return 1;
+  std::uint32_t shards = std::max<std::uint32_t>(1, config_.num_pes);
+  if (config_.mode == ExecMode::kHardware) {
+    shards = std::max<std::uint32_t>(
+        shards, static_cast<std::uint32_t>(config_.pe_indices.size()));
+  }
+  return shards;
+}
+
 ScanStats HybridExecutor::scan_blocks(
     const std::vector<BlockRef>& blocks,
     const std::vector<FilterPredicate>& predicates,
     std::vector<std::vector<std::uint8_t>>* results,
     const std::optional<std::pair<kv::Key, kv::Key>>& key_range) {
+  if (const std::uint32_t shard_count = effective_shards(); shard_count > 1) {
+    return scan_blocks_sharded(blocks, predicates, results, key_range,
+                               shard_count);
+  }
   auto& platform = db_.platform();
   auto& queue = platform.events();
   auto& flash = platform.flash();
@@ -179,6 +198,7 @@ ScanStats HybridExecutor::scan_blocks(
   const std::size_t workers =
       config_.mode == ExecMode::kHardware ? hardware_.size() : 1;
   std::vector<platform::SimTime> worker_free(workers, t0);
+  std::vector<std::uint64_t> worker_cycles(workers, 0);
 
   // Recency/tombstone reconciliation state (software part of the hybrid).
   std::unordered_set<kv::Key, kv::KeyHash> deleted;
@@ -269,6 +289,7 @@ ScanStats HybridExecutor::scan_blocks(
       // No: the PE reads the staged block directly; flash DMA already
       // deposited it. Cost = dispatch overhead + PE cycles.
       cost += result.overhead + result.pe_time;
+      worker_cycles[w] += result.stats.cycles;
       matched = result.stats.tuples_out;
       survivors = std::move(result.records);
       stats.tuples_scanned += result.stats.tuples_in;
@@ -362,6 +383,9 @@ ScanStats HybridExecutor::scan_blocks(
   }
   if (end > queue.now()) queue.advance_to(end);
   stats.elapsed = end - t0;
+  for (const std::uint64_t cycles : worker_cycles) {
+    stats.pe_phase_cycles = std::max(stats.pe_phase_cycles, cycles);
+  }
 
   obs::MetricsRegistry& m = obs.metrics;
   m.add(m.counter("ndp.scan.commands"), 1);
@@ -388,6 +412,362 @@ ScanStats HybridExecutor::scan_blocks(
         obs.trace->track("ndp"), "scan", "ndp", t0, stats.elapsed,
         std::string("{\"mode\":\"") + std::string(to_string(config_.mode)) +
             "\",\"blocks\":" + std::to_string(stats.blocks) +
+            ",\"tuples_scanned\":" + std::to_string(stats.tuples_scanned) +
+            ",\"tuples_matched\":" + std::to_string(stats.tuples_matched) +
+            ",\"results\":" + std::to_string(stats.results) + "}");
+  }
+  return stats;
+}
+
+ScanStats HybridExecutor::scan_blocks_sharded(
+    const std::vector<BlockRef>& blocks,
+    const std::vector<FilterPredicate>& predicates,
+    std::vector<std::vector<std::uint8_t>>* results,
+    const std::optional<std::pair<kv::Key, kv::Key>>& key_range,
+    std::uint32_t shard_count) {
+  auto& platform = db_.platform();
+  auto& queue = platform.events();
+  auto& flash = platform.flash();
+  const auto& timing = platform.timing();
+  const platform::SimTime t0 = queue.now();
+  platform.arm().ndp_command();
+  if (const platform::SimTime penalty = platform.nvme().retry_penalty();
+      penalty > 0) {
+    queue.run_until(queue.now() + penalty);
+  }
+
+  ScanStats stats;
+  stats.shards = shard_count;
+  const bool hw_mode = config_.mode == ExecMode::kHardware;
+  const std::uint32_t sw_stages =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(predicates.size()));
+  const hwgen::PEDesign* design =
+      hw_mode ? &hardware_.front()->design() : nullptr;
+  const std::uint32_t hw_stages =
+      hw_mode ? design->filter_stage_count() : sw_stages;
+
+  std::vector<FilterPredicate> hw_predicates = predicates;
+  std::vector<BoundPredicate> post_filter;
+  if (hw_mode && predicates.size() > hw_stages) {
+    NDPGEN_CHECK_ARG(
+        parser_.mapping.identity,
+        "conjunction exceeds the PE's filter stages and the transform is "
+        "not identity: software post-filtering is impossible");
+    for (std::size_t i = hw_stages; i < predicates.size(); ++i) {
+      post_filter.push_back(
+          bind_predicate(parser_.input, operators_, predicates[i]));
+    }
+    hw_predicates.resize(hw_stages);
+  }
+  const auto bound = bind_conjunction(parser_.input, operators_,
+                                      hw_predicates,
+                                      hw_mode ? hw_stages : sw_stages);
+
+  // 1. Flash scheduling, exactly as in the serial path: every shard's
+  //    page reads share the same DES, LUN timing and controller-bus
+  //    serialization, so adding PEs never makes flash magically faster.
+  std::vector<platform::SimTime> ready(blocks.size(), 0);
+  std::vector<std::uint8_t> media_flags(blocks.size(), 0);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto& handle = blocks[b].table->blocks[blocks[b].block_index];
+    auto remaining = std::make_shared<std::size_t>(handle.flash_pages.size());
+    for (const std::uint64_t page : handle.flash_pages) {
+      flash.read_page_checked(
+          flash.delinearize(page),
+          [&ready, &media_flags, b, remaining,
+           &queue](const platform::PageReadResult& r) {
+            if (r.retries > 0) media_flags[b] |= kMediaRetried;
+            if (r.uncorrectable) media_flags[b] |= kMediaUncorrectable;
+            if (--*remaining == 0) ready[b] = queue.now();
+          });
+    }
+    stats.bytes_from_flash +=
+        handle.flash_pages.size() * flash.topology().page_bytes;
+  }
+  queue.run();
+  for (const platform::SimTime t : ready) {
+    stats.flash_done = std::max(stats.flash_done, t);
+  }
+  if (stats.flash_done > t0) stats.flash_done -= t0;
+
+  // 2. Channel-affine shard assignment: each shard owns a contiguous rank
+  //    range of the buses (or LUNs) the block list actually occupies, so
+  //    each PE streams from its own slice of the flash fabric even when a
+  //    level group confines the store to a few channels.
+  std::vector<std::uint64_t> first_pages(blocks.size(), 0);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto& handle = blocks[b].table->blocks[blocks[b].block_index];
+    if (!handle.flash_pages.empty()) {
+      first_pages[b] = handle.flash_pages.front();
+    }
+  }
+  const std::vector<std::vector<std::size_t>> shard_lists =
+      kv::PlacementPolicy::shard_blocks(flash.topology(), first_pages,
+                                        shard_count);
+  std::vector<std::uint32_t> shard_of(blocks.size(), 0);
+  for (std::uint32_t k = 0; k < shard_count; ++k) {
+    for (const std::size_t b : shard_lists[k]) shard_of[b] = k;
+  }
+
+  fault::FaultInjector* injector = flash.fault_injector();
+  const bool faults = injector != nullptr && injector->enabled();
+
+  // 3. Serial block assembly + fault pre-draws. Everything that mutates
+  //    shared state — the flash content path (checksums consume pending
+  //    silent-corruption marks), SSTReader recovery, and the injector's
+  //    per-shard dispatch ordinals — happens here, in global block order.
+  //    The parallel phase below is pure compute over owned buffers, which
+  //    is what makes the outcome independent of thread interleaving.
+  struct Work {
+    std::vector<std::uint8_t> block;
+    std::uint64_t payload = 0;
+    bool needs_recovery = false;
+    bool retried = false;
+    bool static_mismatch = false;
+    bool hang = false;
+  };
+  std::vector<Work> work(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    Work& item = work[b];
+    kv::SSTReader reader(*blocks[b].table, flash, db_.config().extractor);
+    item.needs_recovery = (media_flags[b] & kMediaUncorrectable) != 0;
+    if (auto checked = reader.read_block_checked(blocks[b].block_index);
+        checked.ok()) {
+      item.block = std::move(checked).value();
+    } else {
+      item.needs_recovery = true;
+      item.block = reader.reread_block_recovered(blocks[b].block_index);
+    }
+    item.retried = (media_flags[b] & kMediaRetried) != 0;
+    item.payload = kv::block_payload_bytes(kv::read_trailer(item.block));
+    if (hw_mode && !item.needs_recovery) {
+      const std::uint32_t static_payload = design->static_payload_bytes;
+      item.static_mismatch =
+          static_payload != 0 && item.payload != static_payload;
+      if (!item.static_mismatch && faults) {
+        item.hang = injector->next_shard_pe_hang(shard_of[b]);
+      }
+    }
+  }
+
+  obs::Observability& obs = platform.observability();
+
+  // 4. One thread-confined PE bench per shard (created serially so metric
+  //    registration order is deterministic).
+  std::vector<std::unique_ptr<PeShard>> shards;
+  if (hw_mode) {
+    shards.reserve(shard_count);
+    for (std::uint32_t k = 0; k < shard_count; ++k) {
+      shards.push_back(std::make_unique<PeShard>(
+          k, *design, timing, platform.config().axi, faults, obs.tracing()));
+    }
+  }
+
+  // 5. Parallel shard execution. Each task touches only its own shard's
+  //    slots (work/outcomes at its block indices, shard_free/shard_cycles
+  //    at its shard index) — no locks needed, nothing ordering-dependent.
+  struct Outcome {
+    platform::SimTime start = 0;
+    platform::SimTime cost = 0;
+    std::uint64_t matched = 0;
+    std::uint64_t tuples_in = 0;
+    std::vector<std::vector<std::uint8_t>> survivors;
+    bool degraded = false;
+    bool via_software = false;
+  };
+  std::vector<Outcome> outcomes(blocks.size());
+  std::vector<platform::SimTime> shard_free(shard_count, t0);
+  std::vector<std::uint64_t> shard_cycles(shard_count, 0);
+
+  auto run_shard = [&](std::size_t k) {
+    platform::SimTime free_at = t0;
+    for (const std::size_t b : shard_lists[k]) {
+      Work& item = work[b];
+      Outcome& out = outcomes[b];
+      platform::SimTime cost = 0;
+      bool use_hw = hw_mode;
+      if (item.needs_recovery) {
+        cost += timing.flash_recovery_latency;
+        if (use_hw) {
+          use_hw = false;
+          out.degraded = true;
+        }
+      }
+      if (use_hw && item.static_mismatch) {
+        use_hw = false;
+        out.via_software = true;
+      }
+      if (use_hw && item.hang) {
+        cost += timing.pe_cycles_to_ns(timing.pe_watchdog_cycles);
+        shards[k]->invalidate_config();
+        use_hw = false;
+        out.degraded = true;
+      }
+
+      std::uint64_t matched = 0;
+      std::vector<std::vector<std::uint8_t>> survivors;
+      if (use_hw) {
+        PeShard& shard = *shards[k];
+        if (!shard.configured() && shard.supports_aggregation()) {
+          shard.set_aggregate(hwgen::AggOp::kNone, 0);
+        }
+        auto result = shard.process_block(
+            std::span<const std::uint8_t>(item.block).first(item.payload),
+            bound, /*collect=*/true, /*reconfigure=*/!shard.configured());
+        cost += result.overhead + result.pe_time;
+        shard_cycles[k] += result.stats.cycles;
+        matched = result.stats.tuples_out;
+        survivors = std::move(result.records);
+        out.tuples_in = result.stats.tuples_in;
+        if (!post_filter.empty()) {
+          std::vector<std::vector<std::uint8_t>> kept;
+          for (auto& record : survivors) {
+            bool pass = true;
+            for (const auto& predicate : post_filter) {
+              if (!eval_predicate_sw(parser_.input, operators_, record,
+                                     predicate)) {
+                pass = false;
+                break;
+              }
+            }
+            if (pass) kept.push_back(std::move(record));
+          }
+          cost += survivors.size() * post_filter.size() *
+                  timing.arm_predicate_per_tuple;
+          survivors = std::move(kept);
+          matched = survivors.size();
+        }
+      } else {
+        const auto result = software_.filter_block(item.block, bound, true);
+        cost += result.arm_cost;
+        matched = result.tuples_out;
+        survivors = std::move(result.records);
+        out.tuples_in = result.tuples_in;
+      }
+
+      const platform::SimTime block_start = std::max(free_at, ready[b]);
+      free_at = block_start + cost;
+      out.start = block_start;
+      out.cost = cost;
+      out.matched = matched;
+      out.survivors = std::move(survivors);
+      item.block = {};  // Release the payload copy as soon as possible.
+    }
+    shard_free[k] = free_at;
+  };
+  {
+    const std::size_t threads =
+        config_.pe_threads != 0
+            ? config_.pe_threads
+            : support::ThreadPool::default_threads(shard_count);
+    support::ThreadPool pool(threads);
+    support::parallel_for(pool, shard_count, run_shard);
+  }
+
+  // 6. Deterministic merge, in GLOBAL block order — the same order the
+  //    serial path processes blocks, so dedup/tombstone resolution and the
+  //    result set are byte-identical for every shard count.
+  std::unordered_set<kv::Key, kv::KeyHash> deleted;
+  for (const auto& table : db_.version().recency_ordered()) {
+    for (const auto& tombstone : table->tombstones) {
+      deleted.insert(tombstone.key);
+    }
+  }
+  std::unordered_set<kv::Key, kv::KeyHash> seen;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    Outcome& out = outcomes[b];
+    if (work[b].retried) ++stats.blocks_retried;
+    if (work[b].needs_recovery) ++stats.uncorrectable_blocks;
+    if (out.degraded) ++stats.blocks_degraded_to_software;
+    if (out.via_software) ++stats.blocks_via_software;
+    stats.tuples_scanned += out.tuples_in;
+    stats.tuples_matched += out.matched;
+    ++stats.blocks;
+    if (obs.tracing()) {
+      obs.trace->complete(
+          obs.trace->track("ndp.shard" + std::to_string(shard_of[b])),
+          "block", "ndp", out.start, out.cost,
+          "{\"block\":" + std::to_string(b) +
+              ",\"matched\":" + std::to_string(out.matched) + "}");
+    }
+    for (auto& record : out.survivors) {
+      if (config_.result_key_extractor) {
+        const kv::Key key = config_.result_key_extractor(record);
+        if (key_range &&
+            (key < key_range->first || key_range->second < key)) {
+          continue;
+        }
+        if (deleted.contains(key)) continue;
+        if (!seen.insert(key).second) continue;
+      }
+      ++stats.results;
+      stats.result_bytes += record.size();
+      if (results != nullptr) results->push_back(std::move(record));
+    }
+  }
+
+  // 7. Timing composition: the PE phase ends when the SLOWEST shard
+  //    drains (max over shards — replicated PEs divide cycle work but the
+  //    critical path is the worst shard); finalization and the NVMe result
+  //    transfer stay serial behind it.
+  platform::SimTime pe_phase_end = t0;
+  for (const platform::SimTime t : shard_free) {
+    pe_phase_end = std::max(pe_phase_end, t);
+  }
+  for (const std::uint64_t cycles : shard_cycles) {
+    stats.pe_phase_cycles = std::max(stats.pe_phase_cycles, cycles);
+  }
+  platform::SimTime end = pe_phase_end + stats.results * kFinalizePerResult;
+  end += timing.nvme_transfer_time(stats.result_bytes) +
+         platform.nvme().retry_penalty();
+  if (end > queue.now()) queue.advance_to(end);
+  stats.elapsed = end - t0;
+
+  // 8. Fold the shard-local observability into the platform, in shard
+  //    order: counters add, gauges high-water, per-shard trace lanes get a
+  //    stable "shardN." prefix.
+  for (const auto& shard : shards) {
+    obs.metrics.merge_from(shard->metrics());
+  }
+  if (obs.tracing()) {
+    for (const auto& shard : shards) {
+      obs.trace->append_from(
+          shard->trace(),
+          "shard" + std::to_string(shard->shard_id()) + ".");
+    }
+    obs.trace->complete(
+        obs.trace->track("ndp"), "merge", "ndp", pe_phase_end,
+        end - pe_phase_end,
+        "{\"shards\":" + std::to_string(shard_count) +
+            ",\"results\":" + std::to_string(stats.results) + "}");
+  }
+
+  obs::MetricsRegistry& m = obs.metrics;
+  m.add(m.counter("ndp.scan.commands"), 1);
+  m.add(m.counter("ndp.scan.blocks"), stats.blocks);
+  m.add(m.counter("ndp.scan.blocks_via_software"),
+        stats.blocks_via_software);
+  m.add(m.counter("ndp.scan.tuples_scanned"), stats.tuples_scanned);
+  m.add(m.counter("ndp.scan.tuples_matched"), stats.tuples_matched);
+  m.add(m.counter("ndp.scan.results"), stats.results);
+  m.add(m.counter("ndp.scan.bytes_from_flash"), stats.bytes_from_flash);
+  m.add(m.counter("ndp.scan.result_bytes"), stats.result_bytes);
+  m.observe(m.histogram("ndp.scan.elapsed_ns"), stats.elapsed);
+  m.raise(m.gauge("ndp.scan.shards"), shard_count);
+  m.raise(m.gauge("ndp.scan.pe_phase_cycles"), stats.pe_phase_cycles);
+  if (faults) {
+    m.add(m.counter("ndp.scan.blocks_retried"), stats.blocks_retried);
+    m.add(m.counter("ndp.scan.blocks_degraded_to_software"),
+          stats.blocks_degraded_to_software);
+    m.add(m.counter("ndp.scan.uncorrectable_blocks"),
+          stats.uncorrectable_blocks);
+  }
+  if (obs.tracing()) {
+    obs.trace->complete(
+        obs.trace->track("ndp"), "scan", "ndp", t0, stats.elapsed,
+        std::string("{\"mode\":\"") + std::string(to_string(config_.mode)) +
+            "\",\"shards\":" + std::to_string(shard_count) +
+            ",\"blocks\":" + std::to_string(stats.blocks) +
             ",\"tuples_scanned\":" + std::to_string(stats.tuples_scanned) +
             ",\"tuples_matched\":" + std::to_string(stats.tuples_matched) +
             ",\"results\":" + std::to_string(stats.results) + "}");
@@ -463,6 +843,55 @@ void fold_raw(hwgen::AggOp op, const analysis::FieldLayout& field,
   }
 }
 
+/// Folds one block's (or shard's) hardware aggregation result into the
+/// running accumulator. Block results are already in ACCUMULATOR encoding
+/// (the PE widens floats to f64 and sign-extends integers), so combining
+/// is a plain 64-bit fold — the same code merges per-shard accumulators in
+/// shard order on the multi-PE path. Counts and integer min/max/sum
+/// combine associatively, so shard-order merging matches the serial fold
+/// exactly; float sums combine in shard order (see DESIGN.md for the
+/// ordering caveat).
+void fold_hw_agg(hwgen::AggOp op, const analysis::FieldLayout& field,
+                 std::uint64_t block_result, std::uint64_t& acc, bool first) {
+  using hwgen::AggOp;
+  if (op == AggOp::kCount) {
+    acc = (first ? 0 : acc) + block_result;
+    return;
+  }
+  if (op == AggOp::kSum) {
+    // Sums combine additively in the accumulator's own encoding.
+    if (spec::is_float(field.primitive)) {
+      const double current = first ? 0.0 : std::bit_cast<double>(acc);
+      acc = std::bit_cast<std::uint64_t>(
+          current + std::bit_cast<double>(block_result));
+    } else {
+      acc = (first ? 0 : acc) + block_result;
+    }
+    return;
+  }
+  // Min/max: fold the block result as a 64-bit value of the accumulator's
+  // interpretation.
+  if (first) {
+    acc = block_result;
+    return;
+  }
+  if (spec::is_float(field.primitive)) {
+    const double value = std::bit_cast<double>(block_result);
+    const double current = std::bit_cast<double>(acc);
+    if (op == AggOp::kMin ? value < current : value > current) {
+      acc = block_result;
+    }
+  } else if (spec::is_signed(field.primitive)) {
+    const auto value = static_cast<std::int64_t>(block_result);
+    const auto current = static_cast<std::int64_t>(acc);
+    if (op == AggOp::kMin ? value < current : value > current) {
+      acc = block_result;
+    }
+  } else if (op == AggOp::kMin ? block_result < acc : block_result > acc) {
+    acc = block_result;
+  }
+}
+
 }  // namespace
 
 AggregateStats HybridExecutor::aggregate(
@@ -513,13 +942,142 @@ AggregateStats HybridExecutor::aggregate(
   }
   queue.run();
 
+  // One pipeline per PE in hardware mode; the ARM core and the host CPU
+  // are single pipelines (kHostClassic previously computed 0 workers here
+  // and divided by it — a latent crash on the classical aggregate path).
   const std::size_t workers =
-      config_.mode == ExecMode::kSoftware ? 1 : hardware_.size();
+      config_.mode == ExecMode::kHardware
+          ? std::max<std::size_t>(std::size_t{1}, hardware_.size())
+          : 1;
   std::vector<platform::SimTime> worker_free(workers, t0);
   std::vector<bool> pe_configured(workers, false);
 
   std::uint64_t acc = 0;
   bool first = true;
+
+  // Multi-PE hardware aggregate: shard blocks by channel affinity, fold
+  // per-shard on thread-confined benches, then merge the per-shard
+  // accumulators in shard order with the same fold_hw_agg the serial path
+  // uses per block. Software folding stays serial: the SW path folds raw
+  // field values tuple-by-tuple and float sums would be order-sensitive.
+  if (const std::uint32_t shard_count = effective_shards();
+      shard_count > 1 && config_.mode == ExecMode::kHardware) {
+    stats.shards = shard_count;
+    NDPGEN_CHECK_ARG(hardware_.front()->supports_aggregation(),
+                     "executor PE lacks an aggregation unit (generate "
+                     "with enable_aggregation)");
+    const hwgen::PEDesign& design = hardware_.front()->design();
+
+    struct AggWork {
+      std::vector<std::uint8_t> block;
+      std::uint64_t payload = 0;
+    };
+    std::vector<AggWork> work(blocks.size());
+    std::vector<std::uint64_t> first_pages(blocks.size(), 0);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const auto& handle = blocks[b].table->blocks[blocks[b].block_index];
+      if (!handle.flash_pages.empty()) {
+        first_pages[b] = handle.flash_pages.front();
+      }
+      work[b].block = assemble_block(blocks[b]);
+      work[b].payload =
+          kv::block_payload_bytes(kv::read_trailer(work[b].block));
+    }
+    const std::vector<std::vector<std::size_t>> shard_lists =
+        kv::PlacementPolicy::shard_blocks(flash.topology(), first_pages,
+                                          shard_count);
+
+    obs::Observability& obs = platform.observability();
+    std::vector<std::unique_ptr<PeShard>> shards;
+    shards.reserve(shard_count);
+    for (std::uint32_t k = 0; k < shard_count; ++k) {
+      shards.push_back(std::make_unique<PeShard>(
+          k, design, timing, platform.config().axi, /*arm_watchdog=*/false,
+          obs.tracing()));
+    }
+
+    std::vector<platform::SimTime> shard_free(shard_count, t0);
+    std::vector<std::uint64_t> shard_acc(shard_count, 0);
+    std::vector<std::uint64_t> shard_folded(shard_count, 0);
+    std::vector<std::uint64_t> shard_tuples(shard_count, 0);
+    auto run_shard = [&](std::size_t k) {
+      PeShard& shard = *shards[k];
+      platform::SimTime free_at = t0;
+      bool shard_first = true;
+      for (const std::size_t b : shard_lists[k]) {
+        AggWork& item = work[b];
+        if (!shard.configured()) shard.set_aggregate(op, field_sel);
+        const auto result = shard.process_block(
+            std::span<const std::uint8_t>(item.block).first(item.payload),
+            bound, /*collect=*/false, /*reconfigure=*/!shard.configured());
+        shard_tuples[k] += result.stats.tuples_in;
+        if (result.stats.agg_folded > 0) {
+          fold_hw_agg(op, field, result.stats.agg_result, shard_acc[k],
+                      shard_first);
+          shard_first = false;
+          shard_folded[k] += result.stats.agg_folded;
+        }
+        free_at = std::max(free_at, ready[b]) + result.overhead +
+                  result.pe_time;
+        item.block = {};
+      }
+      shard_free[k] = free_at;
+    };
+    {
+      const std::size_t threads =
+          config_.pe_threads != 0
+              ? config_.pe_threads
+              : support::ThreadPool::default_threads(shard_count);
+      support::ThreadPool pool(threads);
+      support::parallel_for(pool, shard_count, run_shard);
+    }
+
+    // Merge in shard order.
+    for (std::uint32_t k = 0; k < shard_count; ++k) {
+      stats.tuples_scanned += shard_tuples[k];
+      if (shard_folded[k] == 0) continue;
+      fold_hw_agg(op, field, shard_acc[k], acc, first);
+      first = false;
+      stats.folded += shard_folded[k];
+    }
+    stats.blocks = blocks.size();
+    stats.raw_result = acc;
+    stats.result_bytes = 16;
+    platform::SimTime end = t0;
+    for (const platform::SimTime t : shard_free) end = std::max(end, t);
+    end += timing.nvme_transfer_time(stats.result_bytes) +
+           platform.nvme().retry_penalty();
+    if (end > queue.now()) queue.advance_to(end);
+    stats.elapsed = end - t0;
+
+    for (const auto& shard : shards) {
+      obs.metrics.merge_from(shard->metrics());
+    }
+    if (obs.tracing()) {
+      for (const auto& shard : shards) {
+        obs.trace->append_from(
+            shard->trace(),
+            "shard" + std::to_string(shard->shard_id()) + ".");
+      }
+    }
+    obs::MetricsRegistry& m = obs.metrics;
+    m.add(m.counter("ndp.aggregate.commands"), 1);
+    m.add(m.counter("ndp.aggregate.blocks"), stats.blocks);
+    m.add(m.counter("ndp.aggregate.tuples_scanned"), stats.tuples_scanned);
+    m.add(m.counter("ndp.aggregate.folded"), stats.folded);
+    m.observe(m.histogram("ndp.aggregate.elapsed_ns"), stats.elapsed);
+    m.raise(m.gauge("ndp.aggregate.shards"), shard_count);
+    if (obs.tracing()) {
+      obs.trace->complete(
+          obs.trace->track("ndp"), "aggregate", "ndp", t0, stats.elapsed,
+          std::string("{\"mode\":\"") +
+              std::string(to_string(config_.mode)) +
+              "\",\"shards\":" + std::to_string(shard_count) +
+              ",\"blocks\":" + std::to_string(stats.blocks) +
+              ",\"folded\":" + std::to_string(stats.folded) + "}");
+    }
+    return stats;
+  }
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     const std::size_t w = b % workers;
     const std::vector<std::uint8_t> block = assemble_block(blocks[b]);
@@ -541,41 +1099,7 @@ AggregateStats HybridExecutor::aggregate(
       stats.tuples_scanned += result.stats.tuples_in;
       // Combine the per-block hardware aggregate in software (cheap).
       if (result.stats.agg_folded > 0) {
-        if (op == hwgen::AggOp::kCount) {
-          acc = (first ? 0 : acc) + result.stats.agg_result;
-        } else if (op == hwgen::AggOp::kSum) {
-          fold_raw(op, field, /*raw combine below*/ 0, acc, first);
-          // Sums combine additively in the accumulator's own encoding.
-          if (spec::is_float(field.primitive)) {
-            acc = std::bit_cast<std::uint64_t>(
-                std::bit_cast<double>(acc) +
-                std::bit_cast<double>(result.stats.agg_result));
-          } else {
-            acc += result.stats.agg_result;
-          }
-        } else {
-          // Min/max: the block result is already in accumulator encoding;
-          // fold it as a 64-bit value of the accumulator's interpretation.
-          if (first) {
-            acc = result.stats.agg_result;
-          } else if (spec::is_float(field.primitive)) {
-            const double value = std::bit_cast<double>(result.stats.agg_result);
-            const double current = std::bit_cast<double>(acc);
-            if (op == hwgen::AggOp::kMin ? value < current : value > current) {
-              acc = result.stats.agg_result;
-            }
-          } else if (spec::is_signed(field.primitive)) {
-            const auto value =
-                static_cast<std::int64_t>(result.stats.agg_result);
-            const auto current = static_cast<std::int64_t>(acc);
-            if (op == hwgen::AggOp::kMin ? value < current : value > current) {
-              acc = result.stats.agg_result;
-            }
-          } else if (op == hwgen::AggOp::kMin ? result.stats.agg_result < acc
-                                              : result.stats.agg_result > acc) {
-            acc = result.stats.agg_result;
-          }
-        }
+        fold_hw_agg(op, field, result.stats.agg_result, acc, first);
         first = false;
         stats.folded += result.stats.agg_folded;
       }

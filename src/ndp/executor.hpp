@@ -56,6 +56,15 @@ struct ScanStats {
   platform::SimTime flash_done = 0;   ///< When the last block left flash.
   std::uint64_t blocks_via_software = 0;  ///< Partial blocks on HW path.
 
+  // --- Multi-PE scaling (paper Fig. 10) ---------------------------------
+  /// PE shards the scan ran on (1 = the serial single-pipeline path).
+  std::uint32_t shards = 1;
+  /// Simulated PE-phase critical path: the largest per-shard sum of PE
+  /// cycles (HW mode; 0 when no block ran on a PE). Sharding divides this
+  /// while the shared flash/bus serialization in `flash_done` does not —
+  /// which is exactly the paper-shaped speedup story.
+  std::uint64_t pe_phase_cycles = 0;
+
   // --- Reliability (all zero on fault-free media) -----------------------
   /// Blocks that needed at least one ECC read-retry step on some page.
   std::uint64_t blocks_retried = 0;
@@ -76,6 +85,7 @@ struct AggregateStats {
   std::uint64_t tuples_scanned = 0;
   platform::SimTime elapsed = 0;
   std::uint64_t result_bytes = 0;  ///< What crossed NVMe (registers only!).
+  std::uint32_t shards = 1;        ///< PE shards the aggregate ran on.
 
   /// Interprets raw_result for an unsigned integer field.
   [[nodiscard]] std::uint64_t as_u64() const noexcept { return raw_result; }
@@ -102,6 +112,18 @@ struct ExecutorConfig {
   ExecMode mode = ExecMode::kSoftware;
   /// PE indices on the platform (kHardware only); one pipeline per PE.
   std::vector<std::size_t> pe_indices;
+  /// Number of parallel PE shards for SCAN/AGGREGATE (multi-PE scaling,
+  /// paper Fig. 10). Blocks are sharded by flash channel affinity; each
+  /// shard runs its own thread-confined PE instance and the results merge
+  /// deterministically. 1 (the default) keeps the serial path and its
+  /// byte-identical output. kHardware uses max(num_pes, pe_indices.size())
+  /// effective shards; kHostClassic ignores this (the classical path has
+  /// no device-side parallelism to replicate).
+  std::uint32_t num_pes = 1;
+  /// Host worker threads driving the shard benches; 0 = one per shard,
+  /// capped at the hardware concurrency. The thread count NEVER affects
+  /// results, stats, traces or fault outcomes — only wall-clock time.
+  std::uint32_t pe_threads = 0;
   /// Collect result records (vs count-only aggregates).
   bool collect_results = false;
   /// Extracts the key from an OUTPUT-layout record, enabling recency
@@ -160,6 +182,18 @@ class HybridExecutor {
       const std::vector<FilterPredicate>& predicates,
       std::vector<std::vector<std::uint8_t>>* results,
       const std::optional<std::pair<kv::Key, kv::Key>>& key_range);
+
+  /// Multi-PE variant of scan_blocks: channel-affine sharding, one
+  /// thread-confined PE bench per shard, deterministic shard-order merge.
+  ScanStats scan_blocks_sharded(
+      const std::vector<BlockRef>& blocks,
+      const std::vector<FilterPredicate>& predicates,
+      std::vector<std::vector<std::uint8_t>>* results,
+      const std::optional<std::pair<kv::Key, kv::Key>>& key_range,
+      std::uint32_t shard_count);
+
+  /// Effective shard count for SCAN/AGGREGATE under the current config.
+  [[nodiscard]] std::uint32_t effective_shards() const noexcept;
 
   kv::NKV& db_;
   const analysis::AnalyzedParser& parser_;

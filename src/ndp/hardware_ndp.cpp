@@ -14,18 +14,22 @@ HardwareNdp::HardwareNdp(platform::CosmosPlatform& platform,
   dst_staging_ = platform_.dram().allocate(kv::kDataBlockBytes, 64);
 }
 
-platform::SimTime HardwareNdp::dispatch_overhead(bool reconfigure) const {
-  const auto& timing = platform_.timing();
-  const bool configurable =
-      pe_->design().flavor == hw::DesignFlavor::kGenerated;
+platform::SimTime hw_dispatch_overhead(const platform::TimingConfig& timing,
+                                       const hw::PEDesign& design,
+                                       bool reconfigure) {
+  const bool configurable = design.flavor == hw::DesignFlavor::kGenerated;
   // Address (4) + size (1, if configurable) + doorbell (1) + completion
   // readback (2) register accesses; 4 more per stage when reconfiguring.
   std::uint64_t accesses = 4 + (configurable ? 1 : 0) + 1 + 2;
   if (reconfigure) {
-    accesses += std::uint64_t{4} * pe_->design().filter_stage_count();
+    accesses += std::uint64_t{4} * design.filter_stage_count();
   }
   return timing.firmware(accesses * timing.register_access +
                          timing.pe_dispatch_overhead);
+}
+
+platform::SimTime HardwareNdp::dispatch_overhead(bool reconfigure) const {
+  return hw_dispatch_overhead(platform_.timing(), pe_->design(), reconfigure);
 }
 
 bool HardwareNdp::supports_aggregation() const noexcept {

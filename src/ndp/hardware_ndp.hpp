@@ -19,6 +19,15 @@
 
 namespace ndpgen::ndp {
 
+/// HW/SW-interface overhead of dispatching one block to a PE of `design`
+/// (excl. PE runtime): address/size register writes + doorbell +
+/// completion poll/readback, plus the filter-stage writes when
+/// reconfiguring. Pure function of the timing model and the design, so
+/// the thread-confined shard benches charge exactly what HardwareNdp does.
+[[nodiscard]] platform::SimTime hw_dispatch_overhead(
+    const platform::TimingConfig& timing, const hwgen::PEDesign& design,
+    bool reconfigure);
+
 /// Outcome of hardware-processing one data block.
 struct HwBlockResult {
   hwsim::ChunkStats stats;

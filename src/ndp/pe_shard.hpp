@@ -1,0 +1,83 @@
+// PeShard: a thread-confined PE instance for the multi-PE scan engine.
+//
+// The platform's PEs all advance in one shared SimKernel, which cannot be
+// ticked from several host threads at once. Each shard therefore owns a
+// self-contained PETestBench — its own SimMemory, AxiInterconnect,
+// SimKernel and SimulatedPE built from the SAME PEDesign — plus a private
+// Observability context and TraceSink. A shard never touches the DES, the
+// flash model or the platform registry; the executor merges its metrics,
+// trace events and timing into the platform deterministically (in shard
+// order) after all shard threads have joined.
+//
+// Cycle counts are identical to the platform path by construction: the
+// bench instantiates the same simulated modules with the same elastic
+// streams, and the HW/SW-interface overhead is charged through the shared
+// hw_dispatch_overhead formula.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hwsim/pe_sim.hpp"
+#include "ndp/hardware_ndp.hpp"
+#include "obs/trace.hpp"
+#include "platform/timing.hpp"
+
+namespace ndpgen::ndp {
+
+class PeShard {
+ public:
+  /// `axi` must be the platform's interconnect config so shard cycle
+  /// counts match the platform kernel exactly. `arm_watchdog` arms the
+  /// bench kernel's ready/valid watchdog with the timing model's horizon
+  /// (mirrors the platform under a fault profile). `enable_trace` attaches
+  /// the shard-local TraceSink so the PE emits per-chunk spans; the
+  /// executor later appends them to the platform sink under a "shardN."
+  /// lane prefix.
+  PeShard(std::size_t shard_id, const hwgen::PEDesign& design,
+          const platform::TimingConfig& timing,
+          hwsim::AxiInterconnect::Config axi, bool arm_watchdog,
+          bool enable_trace);
+
+  /// Same contract as HardwareNdp::process_block, confined to this shard's
+  /// bench. Safe to call from exactly one thread at a time.
+  [[nodiscard]] HwBlockResult process_block(
+      std::span<const std::uint8_t> payload,
+      const std::vector<BoundPredicate>& predicates, bool collect,
+      bool reconfigure);
+
+  /// Configures the PE's aggregation unit (AggOp::kNone = pass-through).
+  void set_aggregate(hwgen::AggOp op, std::uint32_t field_select);
+  [[nodiscard]] bool supports_aggregation() noexcept;
+
+  [[nodiscard]] const hwgen::PEDesign& design() noexcept {
+    return bench_.pe().design();
+  }
+  [[nodiscard]] std::size_t shard_id() const noexcept { return shard_id_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept {
+    return bench_.observability().metrics;
+  }
+  [[nodiscard]] const obs::TraceSink& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] bool tracing() const noexcept { return tracing_; }
+  /// True once a block was dispatched without reconfiguring being forced
+  /// (predicate registers are already programmed).
+  [[nodiscard]] bool configured() const noexcept { return configured_; }
+  /// Forces the next dispatch to reprogram the filter registers (used
+  /// after an injected hang: firmware resets the PE).
+  void invalidate_config() noexcept { configured_ = false; }
+
+ private:
+  std::size_t shard_id_;
+  const platform::TimingConfig& timing_;
+  obs::TraceSink trace_;
+  bool tracing_ = false;
+  hwsim::PETestBench bench_;
+  std::uint64_t src_staging_ = 0;
+  std::uint64_t dst_staging_ = 0;
+  bool configured_ = false;
+};
+
+}  // namespace ndpgen::ndp

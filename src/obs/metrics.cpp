@@ -11,6 +11,7 @@ namespace ndpgen::obs {
 std::uint32_t MetricsRegistry::register_metric(std::string_view name,
                                                Kind kind) {
   NDPGEN_CHECK_ARG(!name.empty(), "metric name must not be empty");
+  std::lock_guard<std::mutex> lock(register_mutex_);
   const auto [it, inserted] = index_.try_emplace(
       std::string(name), kind, std::uint32_t{0});
   if (!inserted) {
@@ -32,8 +33,8 @@ std::uint32_t MetricsRegistry::register_metric(std::string_view name,
     case Kind::kHistogram:
       index = static_cast<std::uint32_t>(histograms_.size());
       histograms_.push_back(Histogram{
-          std::string(name), 0, 0, 0, 0,
-          std::vector<std::uint64_t>(kHistogramBuckets, 0)});
+          std::string(name), 0, 0, kEmptyMin, 0,
+          std::vector<RelaxedU64>(kHistogramBuckets)});
       break;
   }
   it->second.second = index;
@@ -55,11 +56,11 @@ HistogramHandle MetricsRegistry::histogram(std::string_view name) {
 void MetricsRegistry::observe(HistogramHandle handle,
                               std::uint64_t sample) noexcept {
   Histogram& histogram = histograms_[handle.index];
-  if (histogram.count == 0 || sample < histogram.min) histogram.min = sample;
-  if (sample > histogram.max) histogram.max = sample;
-  ++histogram.count;
-  histogram.sum += sample;
-  ++histogram.buckets[static_cast<std::size_t>(std::bit_width(sample))];
+  histogram.min.lower_to(sample);
+  histogram.max.raise_to(sample);
+  histogram.count.add(1);
+  histogram.sum.add(sample);
+  histogram.buckets[static_cast<std::size_t>(std::bit_width(sample))].add(1);
 }
 
 namespace {
@@ -78,23 +79,32 @@ const auto& find_metric(const Table& table, std::string_view name,
 }  // namespace
 
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
-  return find_metric(counters_, name, "counter").value;
+  return find_metric(counters_, name, "counter").value.load();
 }
 
 std::uint64_t MetricsRegistry::gauge_value(std::string_view name) const {
-  return find_metric(gauges_, name, "gauge").value;
+  return find_metric(gauges_, name, "gauge").value.load();
 }
 
 std::uint64_t MetricsRegistry::gauge_max(std::string_view name) const {
-  return find_metric(gauges_, name, "gauge").max;
+  return find_metric(gauges_, name, "gauge").max.load();
 }
 
 std::uint64_t MetricsRegistry::histogram_count(std::string_view name) const {
-  return find_metric(histograms_, name, "histogram").count;
+  return find_metric(histograms_, name, "histogram").count.load();
 }
 
 std::uint64_t MetricsRegistry::histogram_sum(std::string_view name) const {
-  return find_metric(histograms_, name, "histogram").sum;
+  return find_metric(histograms_, name, "histogram").sum.load();
+}
+
+std::uint64_t MetricsRegistry::histogram_min(std::string_view name) const {
+  const auto& histogram = find_metric(histograms_, name, "histogram");
+  return histogram.count.load() == 0 ? 0 : histogram.min.load();
+}
+
+std::uint64_t MetricsRegistry::histogram_max(std::string_view name) const {
+  return find_metric(histograms_, name, "histogram").max.load();
 }
 
 std::string MetricsRegistry::dump_json() const {
@@ -117,7 +127,7 @@ std::string MetricsRegistry::dump_json() const {
     out += first ? "\n" : ",\n";
     first = false;
     out += "    \"" + json_escape(counters_[i].name) +
-           "\": " + std::to_string(counters_[i].value);
+           "\": " + std::to_string(counters_[i].value.load());
   }
   out += first ? "},\n" : "\n  },\n";
 
@@ -128,8 +138,8 @@ std::string MetricsRegistry::dump_json() const {
     first = false;
     const Gauge& gauge = gauges_[i];
     out += "    \"" + json_escape(gauge.name) +
-           "\": {\"value\": " + std::to_string(gauge.value) +
-           ", \"max\": " + std::to_string(gauge.max) + "}";
+           "\": {\"value\": " + std::to_string(gauge.value.load()) +
+           ", \"max\": " + std::to_string(gauge.max.load()) + "}";
   }
   out += first ? "},\n" : "\n  },\n";
 
@@ -139,19 +149,23 @@ std::string MetricsRegistry::dump_json() const {
     out += first ? "\n" : ",\n";
     first = false;
     const Histogram& histogram = histograms_[i];
+    const std::uint64_t count = histogram.count.load();
+    // An empty histogram reports min 0, matching the pre-sentinel format.
+    const std::uint64_t min = count == 0 ? 0 : histogram.min.load();
     out += "    \"" + json_escape(histogram.name) +
-           "\": {\"count\": " + std::to_string(histogram.count) +
-           ", \"sum\": " + std::to_string(histogram.sum) +
-           ", \"min\": " + std::to_string(histogram.min) +
-           ", \"max\": " + std::to_string(histogram.max) + ", \"buckets\": [";
+           "\": {\"count\": " + std::to_string(count) +
+           ", \"sum\": " + std::to_string(histogram.sum.load()) +
+           ", \"min\": " + std::to_string(min) +
+           ", \"max\": " + std::to_string(histogram.max.load()) +
+           ", \"buckets\": [";
     // Sparse bucket encoding: [bit_width, count] pairs for non-empty ones.
     bool first_bucket = true;
     for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {
-      if (histogram.buckets[b] == 0) continue;
+      const std::uint64_t bucket = histogram.buckets[b].load();
+      if (bucket == 0) continue;
       if (!first_bucket) out += ", ";
       first_bucket = false;
-      out += "[" + std::to_string(b) + ", " +
-             std::to_string(histogram.buckets[b]) + "]";
+      out += "[" + std::to_string(b) + ", " + std::to_string(bucket) + "]";
     }
     out += "]}";
   }
@@ -161,17 +175,47 @@ std::string MetricsRegistry::dump_json() const {
 }
 
 void MetricsRegistry::reset_values() noexcept {
-  for (auto& counter : counters_) counter.value = 0;
+  for (auto& counter : counters_) counter.value.store(0);
   for (auto& gauge : gauges_) {
-    gauge.value = 0;
-    gauge.max = 0;
+    gauge.value.store(0);
+    gauge.max.store(0);
   }
   for (auto& histogram : histograms_) {
-    histogram.count = 0;
-    histogram.sum = 0;
-    histogram.min = 0;
-    histogram.max = 0;
-    std::fill(histogram.buckets.begin(), histogram.buckets.end(), 0);
+    histogram.count.store(0);
+    histogram.sum.store(0);
+    histogram.min.store(kEmptyMin);
+    histogram.max.store(0);
+    for (auto& bucket : histogram.buckets) bucket.store(0);
+  }
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Inactive source metrics are skipped entirely (not even registered), so
+  // merging an idle shard leaves the target's dump byte-identical.
+  for (const Counter& source : other.counters_) {
+    const std::uint64_t value = source.value.load();
+    if (value != 0) add(counter(source.name), value);
+  }
+  for (const Gauge& source : other.gauges_) {
+    const std::uint64_t value = source.value.load();
+    const std::uint64_t max = source.max.load();
+    if (value == 0 && max == 0) continue;
+    Gauge& target = gauges_[gauge(source.name).index];
+    target.value.raise_to(value);
+    target.max.raise_to(max);
+  }
+  for (const Histogram& source : other.histograms_) {
+    const std::uint64_t count = source.count.load();
+    if (count == 0) continue;
+    Histogram& target = histograms_[histogram(source.name).index];
+    target.count.add(count);
+    target.sum.add(source.sum.load());
+    target.min.lower_to(source.min.load());
+    target.max.raise_to(source.max.load());
+    for (std::size_t b = 0; b < source.buckets.size(); ++b) {
+      const std::uint64_t bucket = source.buckets[b].load();
+      if (bucket != 0) target.buckets[b].add(bucket);
+    }
   }
 }
 

@@ -2,13 +2,24 @@
 //
 // Designed for the hwsim hot path: a metric name is resolved to a handle
 // ONCE at registration time; every subsequent update is a plain array
-// indexing on a uint64_t slot — no map lookup, no allocation, no branch on
-// sink state. Dumps are deterministic (sorted by name, integer-only
-// formatting) so two identical simulation runs produce byte-identical
-// metrics files.
+// indexing on an atomic uint64_t slot — no map lookup, no allocation, no
+// branch on sink state. Dumps are deterministic (sorted by name,
+// integer-only formatting) so two identical simulation runs produce
+// byte-identical metrics files.
+//
+// Thread safety: handle updates (add/set/raise/observe) are lock-free
+// relaxed atomics and may race freely; registration is mutex-protected and
+// slot tables are deques, so resolving a new handle never invalidates a
+// concurrent updater's slot. Relaxed ordering is sufficient because
+// metrics carry no inter-thread synchronization — readers (dump, tests)
+// run after the threads producing the values have been joined.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -27,6 +38,55 @@ struct HistogramHandle {
   std::uint32_t index = 0;
 };
 
+/// A relaxed-atomic uint64 that is copyable so it can live in slot tables.
+/// Copies are NOT atomic snapshots of anything larger than one word — they
+/// only happen at registration/merge time, never concurrently with updates
+/// to the copied-from slot's table entry.
+class RelaxedU64 {
+ public:
+  constexpr RelaxedU64(std::uint64_t value = 0) noexcept : value_(value) {}
+  RelaxedU64(const RelaxedU64& other) noexcept : value_(other.load()) {}
+  RelaxedU64& operator=(const RelaxedU64& other) noexcept {
+    store(other.load());
+    return *this;
+  }
+  RelaxedU64& operator=(std::uint64_t value) noexcept {
+    store(value);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void store(std::uint64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Monotonically raises the stored value to at least `value`.
+  void raise_to(std::uint64_t value) noexcept {
+    std::uint64_t current = load();
+    while (current < value &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  /// Monotonically lowers the stored value to at most `value`.
+  void lower_to(std::uint64_t value) noexcept {
+    std::uint64_t current = load();
+    while (current > value &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_;
+};
+
 class MetricsRegistry {
  public:
   /// Number of log2 histogram buckets: bucket b counts samples whose
@@ -38,21 +98,21 @@ class MetricsRegistry {
   GaugeHandle gauge(std::string_view name);
   HistogramHandle histogram(std::string_view name);
 
-  // --- Hot-path updates -------------------------------------------------
+  // --- Hot-path updates (lock-free, safe from any thread) ---------------
   void add(CounterHandle handle, std::uint64_t delta = 1) noexcept {
-    counters_[handle.index].value += delta;
+    counters_[handle.index].value.add(delta);
   }
   /// Sets the gauge value; the registry tracks the high-water mark.
   void set(GaugeHandle handle, std::uint64_t value) noexcept {
     Gauge& gauge = gauges_[handle.index];
-    gauge.value = value;
-    if (value > gauge.max) gauge.max = value;
+    gauge.value.store(value);
+    gauge.max.raise_to(value);
   }
   /// Raises the gauge to `value` if it is below it (pure high-water use).
   void raise(GaugeHandle handle, std::uint64_t value) noexcept {
     Gauge& gauge = gauges_[handle.index];
-    if (value > gauge.value) gauge.value = value;
-    if (value > gauge.max) gauge.max = value;
+    gauge.value.raise_to(value);
+    gauge.max.raise_to(value);
   }
   void observe(HistogramHandle handle, std::uint64_t sample) noexcept;
 
@@ -62,10 +122,18 @@ class MetricsRegistry {
   [[nodiscard]] std::uint64_t gauge_max(std::string_view name) const;
   [[nodiscard]] std::uint64_t histogram_count(std::string_view name) const;
   [[nodiscard]] std::uint64_t histogram_sum(std::string_view name) const;
+  /// Smallest observed sample; 0 when the histogram is empty (matching the
+  /// dump_json rendering of the empty-min sentinel).
+  [[nodiscard]] std::uint64_t histogram_min(std::string_view name) const;
+  [[nodiscard]] std::uint64_t histogram_max(std::string_view name) const;
   [[nodiscard]] bool contains(std::string_view name) const noexcept {
+    std::lock_guard<std::mutex> lock(register_mutex_);
     return index_.contains(std::string(name));
   }
-  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::lock_guard<std::mutex> lock(register_mutex_);
+    return index_.size();
+  }
 
   /// Deterministic JSON dump: {"counters":{...},"gauges":{...},
   /// "histograms":{...}}, every section sorted by metric name.
@@ -74,34 +142,49 @@ class MetricsRegistry {
   /// Zeroes all values; registered names and handles stay valid.
   void reset_values() noexcept;
 
+  /// Folds another registry into this one: counters add, gauges keep the
+  /// maximum of value/max, histograms merge count/sum/min/max/buckets.
+  /// Active missing metrics are registered here; metrics that never moved
+  /// are skipped outright, so merging an idle shard leaves the dump
+  /// byte-identical. Call after the threads producing `other` have been
+  /// joined.
+  void merge_from(const MetricsRegistry& other);
+
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
 
+  /// Sentinel for "no sample yet"; dumps render it as 0 while count == 0.
+  static constexpr std::uint64_t kEmptyMin =
+      std::numeric_limits<std::uint64_t>::max();
+
   struct Counter {
     std::string name;
-    std::uint64_t value = 0;
+    RelaxedU64 value;
   };
   struct Gauge {
     std::string name;
-    std::uint64_t value = 0;
-    std::uint64_t max = 0;
+    RelaxedU64 value;
+    RelaxedU64 max;
   };
   struct Histogram {
     std::string name;
-    std::uint64_t count = 0;
-    std::uint64_t sum = 0;
-    std::uint64_t min = 0;
-    std::uint64_t max = 0;
-    std::vector<std::uint64_t> buckets;  ///< kHistogramBuckets entries.
+    RelaxedU64 count;
+    RelaxedU64 sum;
+    RelaxedU64 min{kEmptyMin};
+    RelaxedU64 max;
+    std::vector<RelaxedU64> buckets;  ///< kHistogramBuckets entries.
   };
 
   std::uint32_t register_metric(std::string_view name, Kind kind);
 
-  std::vector<Counter> counters_;
-  std::vector<Gauge> gauges_;
-  std::vector<Histogram> histograms_;
+  // Deques: growth at registration never moves existing slots, so a handle
+  // resolved on one thread stays valid while another thread registers.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
   /// name -> (kind, index). Only touched at registration and dump time.
   std::unordered_map<std::string, std::pair<Kind, std::uint32_t>> index_;
+  mutable std::mutex register_mutex_;  ///< Guards index_ and table growth.
 };
 
 }  // namespace ndpgen::obs

@@ -47,6 +47,26 @@ void TraceSink::counter(std::string_view name, std::uint64_t ts_ns,
                           ts_ns, 0, pid, 0, value, {}});
 }
 
+void TraceSink::append_from(const TraceSink& other,
+                            std::string_view track_prefix) {
+  const std::string prefix(track_prefix);
+  // Remap other's track ids into this sink's track table.
+  std::vector<TrackId> tid_map(other.tracks_.size() + 1, 0);
+  for (std::size_t i = 0; i < other.tracks_.size(); ++i) {
+    tid_map[i + 1] =
+        track(prefix + other.tracks_[i].name, other.tracks_[i].pid);
+  }
+  for (const Event& source : other.events_) {
+    Event event = source;
+    if (event.phase == Phase::kCounter) {
+      event.name = prefix + event.name;
+    } else if (event.tid >= 1 && event.tid < tid_map.size()) {
+      event.tid = tid_map[event.tid];
+    }
+    events_.push_back(std::move(event));
+  }
+}
+
 void TraceSink::write_json(std::ostream& out) const {
   out << "{\"traceEvents\":[\n";
   bool first = true;

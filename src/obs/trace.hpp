@@ -49,6 +49,14 @@ class TraceSink {
     return tracks_.size();
   }
 
+  /// Appends every event of `other`, remapping its tracks into this sink
+  /// with `track_prefix` prepended to each track name (and to counter
+  /// series names) so per-shard traces land in distinct lanes. Process ids
+  /// are preserved; `other`'s events keep their insertion order. Callers
+  /// merge shards in ascending shard order, which keeps the combined trace
+  /// byte-deterministic.
+  void append_from(const TraceSink& other, std::string_view track_prefix);
+
   /// Serializes the whole trace; insertion order is preserved, metadata
   /// (process/thread names) is appended in track-creation order.
   void write_json(std::ostream& out) const;

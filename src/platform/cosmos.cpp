@@ -48,6 +48,12 @@ void CosmosPlatform::publish_metrics() {
     m.raise(m.gauge("platform.flash.bus_utilization_permille"),
             flash_.bus_busy_ns() * 1000 / (buses * elapsed));
   }
+  // Per-channel-bus busy time: the quantity multi-PE sharding contends on.
+  const std::vector<SimTime>& per_bus = flash_.bus_busy();
+  for (std::size_t b = 0; b < per_bus.size(); ++b) {
+    m.raise(m.gauge("platform.flash.bus." + std::to_string(b) + ".busy_ns"),
+            per_bus[b]);
+  }
   m.raise(m.gauge("platform.nvme.bytes_to_host"), nvme_.bytes_to_host());
   m.raise(m.gauge("platform.nvme.commands"), nvme_.commands());
   // Reliability gauges only exist under a fault profile, so the default

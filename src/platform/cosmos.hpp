@@ -41,6 +41,9 @@ class CosmosPlatform {
   explicit CosmosPlatform(CosmosConfig config = CosmosConfig());
 
   [[nodiscard]] EventQueue& events() noexcept { return queue_; }
+  [[nodiscard]] const CosmosConfig& config() const noexcept {
+    return config_;
+  }
   [[nodiscard]] const TimingConfig& timing() const noexcept {
     return config_.timing;
   }

@@ -51,6 +51,20 @@ struct FlashTopology {
   [[nodiscard]] std::uint32_t total_luns() const noexcept {
     return controllers * channels_per_controller * luns_per_channel;
   }
+  /// One NAND bus per channel, controller-major: bus = controller *
+  /// channels_per_controller + channel. Matches FlashModel's internal
+  /// bus accounting (bus_busy() ordering).
+  [[nodiscard]] std::uint32_t bus_count() const noexcept {
+    return controllers * channels_per_controller;
+  }
+  /// Channel-bus index serving a linear page number (the inverse of the
+  /// LUN-major linearization, reduced to the channel dimension). Lets
+  /// placement-aware callers reason about bus affinity without a model.
+  [[nodiscard]] std::uint32_t bus_of_linear_page(
+      std::uint64_t linear_page) const noexcept {
+    return static_cast<std::uint32_t>((linear_page % total_luns()) /
+                                      luns_per_channel);
+  }
 };
 
 /// Physical page address.

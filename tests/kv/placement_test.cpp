@@ -111,5 +111,92 @@ TEST(Placement, InvalidConfigRejected) {
   EXPECT_THROW(policy.allocate_block_pages(1, 0), ndpgen::Error);
 }
 
+// LUN-major linearization used throughout the repo: page p of LUN l is
+// linear p * total_luns + l (small_topology: 8 LUNs, 4 buses, 2 LUNs/bus).
+std::uint64_t page_on_lun(std::uint32_t lun, std::uint32_t page = 0) {
+  return std::uint64_t{page} * 8 + lun;
+}
+
+TEST(Placement, ShardOfPageGroupsContiguousBuses) {
+  const auto topology = small_topology();
+  // 2 shards over 4 buses: buses {0,1} -> shard 0, buses {2,3} -> shard 1.
+  EXPECT_EQ(PlacementPolicy::shard_of_page(topology, page_on_lun(0), 2), 0u);
+  EXPECT_EQ(PlacementPolicy::shard_of_page(topology, page_on_lun(3), 2), 0u);
+  EXPECT_EQ(PlacementPolicy::shard_of_page(topology, page_on_lun(4), 2), 1u);
+  EXPECT_EQ(PlacementPolicy::shard_of_page(topology, page_on_lun(7), 2), 1u);
+  // One shard owns everything; zero shards is a caller bug.
+  EXPECT_EQ(PlacementPolicy::shard_of_page(topology, page_on_lun(6), 1), 0u);
+  EXPECT_THROW(PlacementPolicy::shard_of_page(topology, 0, 0), ndpgen::Error);
+}
+
+TEST(Placement, ShardOfPageFallsBackToLunsBeyondBusCount) {
+  const auto topology = small_topology();
+  // 8 shards exceed the 4 buses, so each of the 8 LUNs gets its own shard.
+  for (std::uint32_t lun = 0; lun < 8; ++lun) {
+    EXPECT_EQ(PlacementPolicy::shard_of_page(topology, page_on_lun(lun), 8),
+              lun);
+  }
+}
+
+TEST(Placement, ShardBlocksSpreadsBusConfinedStore) {
+  const auto topology = small_topology();
+  // A level group confined to buses 0-1 (LUNs 0..3), as the default DB
+  // placement produces for level 0. Naive whole-topology mapping would put
+  // both buses into shard 0; ranking the buses IN USE splits them.
+  const std::vector<std::uint64_t> pages = {
+      page_on_lun(0), page_on_lun(2), page_on_lun(1), page_on_lun(3),
+      page_on_lun(0, 1), page_on_lun(2, 1)};
+  const auto shards = PlacementPolicy::shard_blocks(topology, pages, 2);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0], (std::vector<std::size_t>{0, 2, 4}));  // Bus 0.
+  EXPECT_EQ(shards[1], (std::vector<std::size_t>{1, 3, 5}));  // Bus 1.
+}
+
+TEST(Placement, ShardBlocksRefinesToLunRanks) {
+  const auto topology = small_topology();
+  // Everything on bus 0 (LUNs 0 and 1): bus diversity 1 < 2 shards, so
+  // distinct-LUN ranks take over.
+  const std::vector<std::uint64_t> pages = {
+      page_on_lun(0), page_on_lun(1), page_on_lun(0, 1), page_on_lun(1, 1)};
+  const auto shards = PlacementPolicy::shard_blocks(topology, pages, 2);
+  EXPECT_EQ(shards[0], (std::vector<std::size_t>{0, 2}));  // LUN 0.
+  EXPECT_EQ(shards[1], (std::vector<std::size_t>{1, 3}));  // LUN 1.
+}
+
+TEST(Placement, ShardBlocksRoundRobinWhenDiversityExhausted) {
+  const auto topology = small_topology();
+  // A single LUN cannot feed two shards by affinity; block-index
+  // round-robin still balances the compute.
+  const std::vector<std::uint64_t> pages = {
+      page_on_lun(5), page_on_lun(5, 1), page_on_lun(5, 2), page_on_lun(5, 3)};
+  const auto shards = PlacementPolicy::shard_blocks(topology, pages, 2);
+  EXPECT_EQ(shards[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(shards[1], (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Placement, ShardBlocksPartitionsAndIsDeterministic) {
+  const auto topology = small_topology();
+  std::vector<std::uint64_t> pages;
+  for (std::uint32_t i = 0; i < 23; ++i) {
+    pages.push_back(page_on_lun(i % 8, i / 8));
+  }
+  const auto shards = PlacementPolicy::shard_blocks(topology, pages, 4);
+  std::set<std::size_t> seen;
+  for (const auto& shard : shards) {
+    for (std::size_t i = 1; i < shard.size(); ++i) {
+      EXPECT_LT(shard[i - 1], shard[i]);  // Ascending inside each shard.
+    }
+    for (const std::size_t block : shard) {
+      EXPECT_TRUE(seen.insert(block).second);  // Exactly-once partition.
+    }
+  }
+  EXPECT_EQ(seen.size(), pages.size());
+  EXPECT_EQ(PlacementPolicy::shard_blocks(topology, pages, 4), shards);
+  // shard_count 1 keeps the serial order untouched.
+  const auto single = PlacementPolicy::shard_blocks(topology, pages, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].size(), pages.size());
+}
+
 }  // namespace
 }  // namespace ndpgen::kv

@@ -1,0 +1,186 @@
+// Multi-PE sharded scan engine: determinism matrix and scaling checks.
+//
+// The hard invariant under test: for a fixed dataset and predicate, the
+// RESULT SET is byte-identical for every PE count, and for a fixed PE
+// count every stat, trace byte and fault outcome is identical for every
+// host thread count (threads only buy wall-clock time, never visibility).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "fault/fault_profile.hpp"
+#include "kv/db.hpp"
+#include "ndp/executor.hpp"
+#include "obs/trace.hpp"
+#include "workload/pubgraph.hpp"
+
+namespace ndpgen::ndp {
+namespace {
+
+constexpr std::uint64_t kScale = 2048;
+
+/// A fault profile that exercises retries, recovery and PE hangs while
+/// staying small enough that every block still completes.
+fault::FaultProfile seeded_profile() {
+  auto parsed = fault::FaultProfile::parse(
+      "seed=11,read_ber=4e-4,silent_rate=0.01,pe_fault_rate=0.2");
+  return std::move(parsed).value();
+}
+
+/// One full run: fresh platform + paper store + PaperScan PE, a scan with
+/// the given shard/thread configuration, and every observable captured.
+struct RunOutput {
+  std::vector<std::vector<std::uint8_t>> results;
+  ScanStats stats;
+  std::string trace_json;
+};
+
+class MultiPeScanFixture : public ::testing::Test {
+ protected:
+  MultiPeScanFixture()
+      : compiled_(framework_.compile(workload::pubgraph_spec_source())) {}
+
+  static kv::DBConfig db_config() {
+    kv::DBConfig config;
+    config.record_bytes = workload::PaperRecord::kBytes;
+    config.extractor = workload::paper_key;
+    return config;
+  }
+
+  RunOutput run(ExecMode mode, std::uint32_t pes, std::uint32_t threads,
+                const fault::FaultProfile& profile = {}) {
+    platform::CosmosConfig cosmos_config;
+    cosmos_config.fault = profile;
+    platform::CosmosPlatform cosmos(cosmos_config);
+    obs::TraceSink sink;
+    cosmos.observability().trace = &sink;
+    kv::NKV db(cosmos, db_config());
+    const workload::PubGraphGenerator generator(
+        workload::PubGraphConfig{.scale_divisor = kScale});
+    workload::load_papers(db, generator);
+
+    ExecutorConfig config;
+    config.mode = mode;
+    config.num_pes = pes;
+    config.pe_threads = threads;
+    config.result_key_extractor = workload::paper_result_key;
+    if (mode == ExecMode::kHardware) {
+      config.pe_indices = {
+          framework_.instantiate(compiled_, "PaperScan", cosmos)};
+    }
+    const auto& artifacts = compiled_.get("PaperScan");
+    HybridExecutor executor(db, artifacts.analyzed,
+                            artifacts.design.operators, config);
+    RunOutput out;
+    out.stats = executor.scan({{"year", "lt", 1990}}, &out.results);
+    std::ostringstream trace;
+    sink.write_json(trace);
+    out.trace_json = trace.str();
+    return out;
+  }
+
+  static void expect_same_stats(const ScanStats& a, const ScanStats& b) {
+    EXPECT_EQ(a.blocks, b.blocks);
+    EXPECT_EQ(a.tuples_scanned, b.tuples_scanned);
+    EXPECT_EQ(a.tuples_matched, b.tuples_matched);
+    EXPECT_EQ(a.results, b.results);
+    EXPECT_EQ(a.result_bytes, b.result_bytes);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.flash_done, b.flash_done);
+    EXPECT_EQ(a.shards, b.shards);
+    EXPECT_EQ(a.pe_phase_cycles, b.pe_phase_cycles);
+    EXPECT_EQ(a.blocks_retried, b.blocks_retried);
+    EXPECT_EQ(a.blocks_degraded_to_software, b.blocks_degraded_to_software);
+    EXPECT_EQ(a.uncorrectable_blocks, b.uncorrectable_blocks);
+    EXPECT_EQ(a.blocks_via_software, b.blocks_via_software);
+  }
+
+  core::Framework framework_;
+  core::CompileResult compiled_;
+};
+
+TEST_F(MultiPeScanFixture, ResultsByteIdenticalAcrossPeCounts) {
+  const RunOutput reference = run(ExecMode::kHardware, 1, 0);
+  ASSERT_GT(reference.results.size(), 0u);
+  for (const std::uint32_t pes : {2u, 4u}) {
+    const RunOutput sharded = run(ExecMode::kHardware, pes, 0);
+    EXPECT_EQ(sharded.results, reference.results) << "pes=" << pes;
+    EXPECT_EQ(sharded.stats.results, reference.stats.results);
+    EXPECT_EQ(sharded.stats.tuples_scanned, reference.stats.tuples_scanned);
+    EXPECT_EQ(sharded.stats.tuples_matched, reference.stats.tuples_matched);
+    EXPECT_EQ(sharded.stats.shards, pes);
+  }
+}
+
+TEST_F(MultiPeScanFixture, EverythingIdenticalAcrossThreadCounts) {
+  // Same shard count, different host thread counts: results, stats AND
+  // trace bytes must match — the thread count is invisible to the model.
+  for (const std::uint32_t pes : {2u, 4u}) {
+    const RunOutput one = run(ExecMode::kHardware, pes, 1);
+    const RunOutput many = run(ExecMode::kHardware, pes, 4);
+    EXPECT_EQ(one.results, many.results) << "pes=" << pes;
+    expect_same_stats(one.stats, many.stats);
+    EXPECT_EQ(one.trace_json, many.trace_json) << "pes=" << pes;
+  }
+}
+
+TEST_F(MultiPeScanFixture, FaultOutcomesIdenticalAcrossThreadCounts) {
+  const auto profile = seeded_profile();
+  const RunOutput one = run(ExecMode::kHardware, 4, 1, profile);
+  const RunOutput many = run(ExecMode::kHardware, 4, 4, profile);
+  expect_same_stats(one.stats, many.stats);
+  EXPECT_EQ(one.results, many.results);
+  EXPECT_EQ(one.trace_json, many.trace_json);
+  // Degraded media still returns exactly the fault-free result set.
+  const RunOutput clean = run(ExecMode::kHardware, 4, 0);
+  EXPECT_EQ(one.results, clean.results);
+}
+
+TEST_F(MultiPeScanFixture, FaultedShardedMatchesFaultedSerialResults) {
+  const auto profile = seeded_profile();
+  const RunOutput serial = run(ExecMode::kHardware, 1, 0, profile);
+  const RunOutput sharded = run(ExecMode::kHardware, 4, 0, profile);
+  EXPECT_EQ(sharded.results, serial.results);
+  EXPECT_EQ(sharded.stats.results, serial.stats.results);
+  // Media faults are drawn on the (shared, serial) flash path, so their
+  // counts cannot depend on the shard count; only PE-hang injection moves
+  // to per-shard streams.
+  EXPECT_EQ(sharded.stats.blocks_retried, serial.stats.blocks_retried);
+  EXPECT_EQ(sharded.stats.uncorrectable_blocks,
+            serial.stats.uncorrectable_blocks);
+}
+
+TEST_F(MultiPeScanFixture, PePhaseCyclesScaleWithShards) {
+  const RunOutput serial = run(ExecMode::kHardware, 1, 0);
+  const RunOutput sharded = run(ExecMode::kHardware, 4, 0);
+  ASSERT_GT(serial.stats.pe_phase_cycles, 0u);
+  // Acceptance bar: >= 2.5x lower critical-path PE cycles at 4 shards.
+  EXPECT_LE(sharded.stats.pe_phase_cycles * 5,
+            serial.stats.pe_phase_cycles * 2)
+      << "pes=4 critical path " << sharded.stats.pe_phase_cycles
+      << " vs pes=1 " << serial.stats.pe_phase_cycles;
+  // And the end-to-end virtual time never regresses.
+  EXPECT_LE(sharded.stats.elapsed, serial.stats.elapsed);
+}
+
+TEST_F(MultiPeScanFixture, SoftwareModeShardsAgreeToo) {
+  // num_pes also shards the ARM-software pipeline; the result contract is
+  // the same even though no PE bench is involved.
+  const RunOutput serial = run(ExecMode::kSoftware, 1, 0);
+  const RunOutput sharded = run(ExecMode::kSoftware, 4, 0);
+  EXPECT_EQ(sharded.results, serial.results);
+  EXPECT_EQ(sharded.stats.results, serial.stats.results);
+  EXPECT_EQ(sharded.stats.shards, 4u);
+}
+
+TEST_F(MultiPeScanFixture, HostClassicIgnoresNumPes) {
+  const RunOutput run_a = run(ExecMode::kHostClassic, 4, 0);
+  EXPECT_EQ(run_a.stats.shards, 1u);
+  ASSERT_GT(run_a.results.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ndpgen::ndp

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "support/error.hpp"
 
 namespace ndpgen::obs {
@@ -160,6 +165,116 @@ TEST(MetricsRegistryTest, ContainsSeesAllKinds) {
   EXPECT_TRUE(registry.contains("g"));
   EXPECT_TRUE(registry.contains("h"));
   EXPECT_FALSE(registry.contains("x"));
+}
+
+TEST(MetricsRegistryTest, MergeFromAddsCountersAndFoldsGauges) {
+  MetricsRegistry target;
+  MetricsRegistry shard;
+  target.add(target.counter("shared.count"), 10);
+  shard.add(shard.counter("shared.count"), 5);
+  shard.add(shard.counter("shard.only"), 3);
+  shard.set(shard.gauge("depth"), 7);  // value 7, max 7.
+  target.set(target.gauge("depth"), 2);
+
+  target.merge_from(shard);
+  EXPECT_EQ(target.counter_value("shared.count"), 15u);
+  EXPECT_EQ(target.counter_value("shard.only"), 3u);
+  // Gauges merge as high-water marks, never lowering.
+  EXPECT_EQ(target.gauge_value("depth"), 7u);
+  EXPECT_EQ(target.gauge_max("depth"), 7u);
+}
+
+TEST(MetricsRegistryTest, MergeFromCombinesHistograms) {
+  MetricsRegistry target;
+  MetricsRegistry shard;
+  target.observe(target.histogram("lat"), 100);
+  shard.observe(shard.histogram("lat"), 10);
+  shard.observe(shard.histogram("lat"), 1000);
+
+  target.merge_from(shard);
+  EXPECT_EQ(target.histogram_count("lat"), 3u);
+  EXPECT_EQ(target.histogram_sum("lat"), 1110u);
+  EXPECT_EQ(target.histogram_min("lat"), 10u);
+  EXPECT_EQ(target.histogram_max("lat"), 1000u);
+}
+
+TEST(MetricsRegistryTest, MergeFromSkipsEmptyAndKeepsDumpFormat) {
+  MetricsRegistry target;
+  target.add(target.counter("a"), 1);
+  const std::string before = target.dump_json();
+  MetricsRegistry empty_shard;
+  empty_shard.counter("zero");       // Registered but never incremented.
+  empty_shard.histogram("no.samples");
+  target.merge_from(empty_shard);
+  // Zero-valued shard counters and empty histograms leave no trace, so a
+  // merge of idle shards keeps the dump byte-identical.
+  EXPECT_EQ(target.dump_json(), before);
+}
+
+TEST(MetricsRegistryTest, MergeOrderIsDeterministicForIdenticalShards) {
+  // The registry is neither copyable nor movable (atomics + mutex), so the
+  // shard-merge idiom works on registries in place.
+  auto populate = [](MetricsRegistry& shard, std::uint64_t base) {
+    shard.add(shard.counter("n"), base);
+    shard.observe(shard.histogram("h"), base);
+  };
+  auto merged_dump = [&populate] {
+    MetricsRegistry merged;
+    for (const std::uint64_t base : {1u, 2u}) {
+      MetricsRegistry shard;
+      populate(shard, base);
+      merged.merge_from(shard);
+    }
+    return merged.dump_json();
+  };
+  EXPECT_EQ(merged_dump(), merged_dump());
+}
+
+TEST(MetricsRegistryTest, ConcurrentAddsNeverLoseIncrements) {
+  MetricsRegistry registry;
+  const CounterHandle counter = registry.counter("hot");
+  const HistogramHandle histogram = registry.histogram("obs");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, counter, histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.add(counter, 1);
+        registry.observe(histogram, 16);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter_value("hot"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.histogram_count("obs"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.histogram_min("obs"), 16u);
+  EXPECT_EQ(registry.histogram_max("obs"), 16u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  // Shard benches register identical metric names from worker threads;
+  // get-or-create must neither crash nor duplicate.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 200; ++i) {
+        registry.add(registry.counter("same.name"), 1);
+        registry.raise(registry.gauge("same.gauge"), 5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter_value("same.name"),
+            static_cast<std::uint64_t>(kThreads) * 200);
+  EXPECT_EQ(registry.gauge_value("same.gauge"), 5u);
+  EXPECT_EQ(registry.size(), 2u);
 }
 
 }  // namespace

@@ -105,6 +105,64 @@ TEST(TraceSinkTest, EscapesEventNames) {
   EXPECT_NE(json.find("\"name\":\"with \\\"quotes\\\"\""), std::string::npos);
 }
 
+TEST(TraceSinkTest, AppendFromPrefixesTrackNames) {
+  TraceSink shard;
+  const TrackId track = shard.track("pe.Scan", kPidHwsim);
+  shard.complete(track, "chunk", "hwsim", 0, 100);
+
+  TraceSink merged;
+  merged.track("ndp.shard0");  // Pre-existing track keeps its id.
+  merged.append_from(shard, "shard0.");
+  const std::string json = merged.to_json();
+  EXPECT_NE(json.find("\"name\":\"shard0.pe.Scan\""), std::string::npos);
+  // The span survived with its timing and category intact.
+  EXPECT_NE(json.find("\"name\":\"chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":0.000,\"dur\":0.100"),
+            std::string::npos);
+  EXPECT_EQ(merged.track_count(), 2u);
+}
+
+TEST(TraceSinkTest, AppendFromRemapsTidsAndKeepsPid) {
+  // The shard's track id 1 collides with an existing track here; events
+  // must follow the remapped id, and hwsim spans stay in the hwsim pid.
+  TraceSink shard;
+  shard.complete(shard.track("inner", kPidHwsim), "work", "hwsim", 10, 20);
+
+  TraceSink merged;
+  merged.track("outer");  // Claims tid 1 in the merged sink.
+  merged.append_from(shard, "s3.");
+  const std::string json = merged.to_json();
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":2"), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"work\",\"cat\":\"hwsim\",\"ph\":\"X\","
+                      "\"ts\":0.010,\"dur\":0.020,\"pid\":2,\"tid\":1"),
+            std::string::npos);
+}
+
+TEST(TraceSinkTest, AppendFromPrefixesCounterNames) {
+  TraceSink shard;
+  shard.counter("queue_depth", 500, 3);
+
+  TraceSink merged;
+  merged.append_from(shard, "shard1.");
+  const std::string json = merged.to_json();
+  EXPECT_NE(json.find("\"name\":\"shard1.queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":3}"), std::string::npos);
+}
+
+TEST(TraceSinkTest, AppendFromIsDeterministic) {
+  auto build = [] {
+    TraceSink shard_a;
+    shard_a.complete(shard_a.track("pe", kPidHwsim), "a", "hwsim", 0, 10);
+    TraceSink shard_b;
+    shard_b.complete(shard_b.track("pe", kPidHwsim), "b", "hwsim", 0, 20);
+    TraceSink merged;
+    merged.append_from(shard_a, "shard0.");
+    merged.append_from(shard_b, "shard1.");
+    return merged.to_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
 TEST(JsonHelpersTest, MicrosPadsFraction) {
   EXPECT_EQ(json_micros(0), "0.000");
   EXPECT_EQ(json_micros(7), "0.007");

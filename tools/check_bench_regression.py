@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Guard virtual-time bench results against a committed baseline.
+
+The fig7 benches report *simulated* (virtual) time, so their numbers are
+deterministic for a fixed NDPGEN_SCALE — any change is a timing-model
+change, not machine noise. CI runs the benches with NDPGEN_BENCH_JSON_DIR
+set, then calls this script to compare every BENCH_*.json against
+bench/baseline.json and fails when scan throughput drops by more than the
+threshold (time/cycle rows grow, or speedup rows shrink).
+
+Usage:
+  check_bench_regression.py --baseline bench/baseline.json --results DIR
+  check_bench_regression.py --baseline bench/baseline.json --results DIR \
+      --update   # regenerate the baseline from the results instead
+
+Baseline format:
+  {"scale": 2048, "threshold": 0.15,
+   "benches": {"fig7_scan": {"<series>|<x>": {"value": v, "unit": u}, ...}}}
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Lower is better: virtual seconds / milliseconds / PE cycles.
+LOWER_BETTER = {"s", "ms", "cycles"}
+# Higher is better: speedup ratios.
+HIGHER_BETTER = {"x"}
+
+
+def load_results(results_dir):
+    benches = {}
+    for path in sorted(pathlib.Path(results_dir).glob("BENCH_*.json")):
+        data = json.loads(path.read_text())
+        rows = {}
+        for row in data["rows"]:
+            key = f"{row['series']}|{row['x']}"
+            rows[key] = {"value": row["value"], "unit": row.get("unit", "")}
+        benches[data["bench"]] = rows
+    return benches
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--results", required=True,
+                        help="directory holding BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="max relative throughput drop (default: from "
+                             "baseline file, else 0.15)")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="NDPGEN_SCALE the results were produced at "
+                             "(recorded with --update, checked otherwise)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the results")
+    args = parser.parse_args()
+
+    benches = load_results(args.results)
+    if not benches:
+        print(f"error: no BENCH_*.json files in {args.results}")
+        return 2
+
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update:
+        baseline = {
+            "scale": args.scale if args.scale is not None else 2048,
+            "threshold": args.threshold if args.threshold is not None
+            else 0.15,
+            "benches": benches,
+        }
+        baseline_path.write_text(json.dumps(baseline, indent=1,
+                                            sort_keys=True) + "\n")
+        rows = sum(len(r) for r in benches.values())
+        print(f"wrote {baseline_path} ({len(benches)} benches, {rows} rows)")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())
+    threshold = (args.threshold if args.threshold is not None
+                 else baseline.get("threshold", 0.15))
+    if args.scale is not None and args.scale != baseline.get("scale"):
+        print(f"error: results at scale {args.scale} cannot be compared "
+              f"against a scale-{baseline.get('scale')} baseline")
+        return 2
+
+    failures = []
+    compared = 0
+    for bench, base_rows in baseline["benches"].items():
+        new_rows = benches.get(bench)
+        if new_rows is None:
+            failures.append(f"{bench}: no BENCH_{bench}.json in results")
+            continue
+        for key, base in base_rows.items():
+            new = new_rows.get(key)
+            if new is None:
+                # Renamed/removed rows are reported, never fatal — benches
+                # may evolve; regenerate the baseline alongside.
+                print(f"note: {bench} {key} missing from results")
+                continue
+            unit = base.get("unit", "")
+            base_value, new_value = base["value"], new["value"]
+            if unit in LOWER_BETTER and base_value > 0:
+                # Throughput ~ 1/time: a drop of `threshold` means the
+                # time/cycle count grew past base / (1 - threshold).
+                compared += 1
+                limit = base_value / (1.0 - threshold)
+                if new_value > limit:
+                    drop = 1.0 - base_value / new_value
+                    failures.append(
+                        f"{bench} {key}: {new_value:.3f} {unit} vs baseline "
+                        f"{base_value:.3f} (throughput -{drop:.1%})")
+            elif unit in HIGHER_BETTER and base_value > 0:
+                compared += 1
+                limit = base_value * (1.0 - threshold)
+                if new_value < limit:
+                    drop = 1.0 - new_value / base_value
+                    failures.append(
+                        f"{bench} {key}: {new_value:.3f}{unit} vs baseline "
+                        f"{base_value:.3f} (-{drop:.1%})")
+
+    print(f"checked {compared} rows against {baseline_path} "
+          f"(threshold {threshold:.0%})")
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

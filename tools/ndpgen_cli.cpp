@@ -51,6 +51,7 @@ int usage() {
                "Verilog testbench\n"
                "  scan [--dataset papers|refs] [--mode sw|hw|host]\n"
                "       [--scale N] [--predicate field,op,value]...\n"
+               "       [--pes N] [--threads N]\n"
                "       [--trace FILE] [--metrics FILE]\n"
                "       [--fault-profile k=v,...]\n"
                "                                      run an NDP scan on the "
@@ -62,6 +63,11 @@ int usage() {
                "JSON for\n"
                "  chrome://tracing / Perfetto) and --metrics FILE (flat "
                "metrics JSON).\n"
+               "  --pes N shards the scan across N parallel PE instances "
+               "(multi-PE\n"
+               "  scaling; results are byte-identical to --pes 1); "
+               "--threads N caps the\n"
+               "  host threads driving the shards (0 = one per shard).\n"
                "  --fault-profile enables the deterministic storage "
                "reliability model;\n"
                "  keys: seed, read_ber, wear_alpha, retention_alpha, "
@@ -269,6 +275,8 @@ int cmd_scan(const std::vector<std::string>& args) {
   std::string dataset = "papers";
   std::string mode_name = "hw";
   std::uint64_t scale = 32768;
+  std::uint32_t pes = 1;
+  std::uint32_t threads = 0;
   std::string trace_path;
   std::string metrics_path;
   fault::FaultProfile fault_profile;
@@ -280,6 +288,13 @@ int cmd_scan(const std::vector<std::string>& args) {
       mode_name = args[++i];
     } else if (args[i] == "--scale" && i + 1 < args.size()) {
       scale = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--pes" && i + 1 < args.size()) {
+      pes = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+      if (pes == 0) return usage();
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
     } else if (args[i] == "--trace" && i + 1 < args.size()) {
       trace_path = args[++i];
     } else if (args[i] == "--metrics" && i + 1 < args.size()) {
@@ -346,6 +361,8 @@ int cmd_scan(const std::vector<std::string>& args) {
 
   ndp::ExecutorConfig exec_config;
   exec_config.mode = mode;
+  exec_config.num_pes = pes;
+  exec_config.pe_threads = threads;
   exec_config.result_key_extractor =
       papers ? workload::paper_result_key : workload::ref_key;
   if (mode == ndp::ExecMode::kHardware) {
@@ -366,6 +383,12 @@ int cmd_scan(const std::vector<std::string>& args) {
       static_cast<unsigned long long>(stats.tuples_matched),
       static_cast<unsigned long long>(stats.results),
       static_cast<double>(stats.elapsed) / 1e6);
+  if (mode == ndp::ExecMode::kHardware) {
+    std::printf(
+        "  PE phase: %u shard%s, %llu critical-path PE cycles\n",
+        stats.shards, stats.shards == 1 ? "" : "s",
+        static_cast<unsigned long long>(stats.pe_phase_cycles));
+  }
   if (fault_profile.any_enabled()) {
     std::printf(
         "  degraded media: %llu blocks retried, %llu uncorrectable, "

@@ -21,7 +21,56 @@ namespace {
   return end != nullptr && *end == '\0' && !text.empty();
 }
 
+// Named presets: a bare token in the profile string selects one of these
+// as the starting point; later key=value items override individual fields.
+// Rates are chosen so each preset lands in a distinct regime of the
+// degraded-read machinery (ECC only / read-retry / retry + remap + SW
+// fallback), matching the CI smoke profiles.
+[[nodiscard]] bool apply_preset(const std::string& name,
+                                FaultProfile& profile) {
+  const std::uint64_t seed = profile.seed;
+  if (name == "none") {
+    profile = FaultProfile{};
+  } else if (name == "aged") {
+    // End-of-warranty media: ECC corrects nearly everything, wear and
+    // retention start to matter, the occasional grown bad block.
+    profile = FaultProfile{};
+    profile.read_ber = 5e-5;
+    profile.wear_alpha = 1e-4;
+    profile.retention_alpha = 1e-3;
+    profile.bad_block_rate = 0.005;
+  } else if (name == "degraded") {
+    // Read-retry territory plus rare ECC miscorrections and NVMe
+    // timeouts: the checksummed read path earns its keep here.
+    profile = FaultProfile{};
+    profile.read_ber = 2e-4;
+    profile.wear_alpha = 5e-4;
+    profile.retention_alpha = 5e-3;
+    profile.bad_block_rate = 0.02;
+    profile.silent_corruption_rate = 0.002;
+    profile.nvme_timeout_rate = 0.01;
+  } else if (name == "stress") {
+    // Everything at once, including hung PEs; exercises every fallback.
+    profile = FaultProfile{};
+    profile.read_ber = 4e-4;
+    profile.wear_alpha = 1e-3;
+    profile.retention_alpha = 1e-2;
+    profile.bad_block_rate = 0.05;
+    profile.silent_corruption_rate = 0.01;
+    profile.nvme_timeout_rate = 0.05;
+    profile.pe_fault_rate = 0.2;
+  } else {
+    return false;
+  }
+  profile.seed = seed;
+  return true;
+}
+
 }  // namespace
+
+std::string FaultProfile::preset_names() {
+  return "none, aged, degraded, stress";
+}
 
 Result<FaultProfile> FaultProfile::parse(std::string_view text) {
   FaultProfile profile;
@@ -29,9 +78,13 @@ Result<FaultProfile> FaultProfile::parse(std::string_view text) {
     if (item.empty()) continue;
     const auto eq = item.find('=');
     if (eq == std::string::npos) {
-      return Result<FaultProfile>::failure(
-          ErrorKind::kInvalidArg,
-          "fault profile item '" + item + "' is not key=value");
+      if (!apply_preset(item, profile)) {
+        return Result<FaultProfile>::failure(
+            ErrorKind::kInvalidArg,
+            "unknown fault profile preset '" + item +
+                "' (valid presets: " + preset_names() + ")");
+      }
+      continue;
     }
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);

@@ -69,9 +69,15 @@ struct FaultProfile {
   }
 
   /// Parses "seed=7,read_ber=1e-6,bad_block_rate=0.01" (any subset of the
-  /// documented keys, in any order). Unknown keys and malformed numbers
-  /// fail with kInvalidArg.
+  /// documented keys, in any order). A bare token without '=' names a
+  /// preset ("none", "aged", "degraded", "stress") whose values later
+  /// key=value items override, so "aged,seed=7" is a seeded aged device.
+  /// Unknown keys, unknown preset names and malformed numbers fail with
+  /// kInvalidArg; the preset error lists the valid names.
   [[nodiscard]] static Result<FaultProfile> parse(std::string_view text);
+
+  /// Comma-separated list of the preset names parse() accepts.
+  [[nodiscard]] static std::string preset_names();
 
   /// One-line human summary ("faults: read_ber=1e-06 ..." or
   /// "faults: none").

@@ -11,8 +11,9 @@ constexpr std::uint32_t kManifestMagic = 0x6e4b564d;  // "nKVM"
 // Version history:
 //   1 — initial format.
 //   2 — BlockHandle carries a CRC32C over the 32 KiB block image.
-// Version-1 manifests still decode (handles get crc32c = 0 = unverified).
-constexpr std::uint32_t kManifestVersion = 2;
+//   3 — header gains last_sequence + next_sst_id (crash recovery).
+// Older manifests still decode (missing fields read as 0/unverified).
+constexpr std::uint32_t kManifestVersion = 3;
 
 void put_key(std::vector<std::uint8_t>& out, const Key& key) {
   support::put_u64(out, key.hi);
@@ -111,20 +112,21 @@ std::shared_ptr<SSTable> decode_table(std::span<const std::uint8_t> in,
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_manifest(const Version& version) {
+std::vector<std::uint8_t> encode_manifest_image(const ManifestImage& image) {
   std::vector<std::uint8_t> out;
   support::put_u32(out, kManifestMagic);
   support::put_u32(out, kManifestVersion);
+  support::put_u64(out, image.last_sequence);
+  support::put_u64(out, image.next_sst_id);
   for (std::uint32_t level = 1; level <= kMaxLevels; ++level) {
-    const auto& tables = version.level(level);
+    const auto& tables = image.version.level(level);
     support::put_varint(out, tables.size());
     for (const auto& table : tables) encode_table(out, *table);
   }
   return out;
 }
 
-Version decode_manifest(std::span<const std::uint8_t> bytes) {
-  std::size_t offset = 0;
+ManifestImage decode_manifest_image(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < 8 || support::get_u32(bytes, 0) != kManifestMagic) {
     ndpgen::raise(ErrorKind::kStorage, "bad manifest magic");
   }
@@ -132,18 +134,35 @@ Version decode_manifest(std::span<const std::uint8_t> bytes) {
   if (format_version < 1 || format_version > kManifestVersion) {
     ndpgen::raise(ErrorKind::kStorage, "unsupported manifest version");
   }
-  offset = 8;
-  Version version;
+  std::size_t offset = 8;
+  ManifestImage image;
+  if (format_version >= 3) {
+    image.last_sequence = support::get_u64(bytes, offset);
+    offset += 8;
+    image.next_sst_id = support::get_u64(bytes, offset);
+    offset += 8;
+  }
   for (std::uint32_t level = 1; level <= kMaxLevels; ++level) {
     const auto table_count = support::get_varint(bytes, offset);
     for (std::uint64_t t = 0; t < table_count; ++t) {
-      version.add(level, decode_table(bytes, offset, format_version));
+      image.version.add(level, decode_table(bytes, offset, format_version));
     }
   }
   if (offset != bytes.size()) {
     ndpgen::raise(ErrorKind::kStorage, "trailing bytes in manifest");
   }
-  return version;
+  return image;
+}
+
+std::vector<std::uint8_t> encode_manifest(const Version& version) {
+  ManifestImage image;
+  // Shallow-share the tables: Version holds shared_ptr<SSTable>.
+  image.version = version;
+  return encode_manifest_image(image);
+}
+
+Version decode_manifest(std::span<const std::uint8_t> bytes) {
+  return decode_manifest_image(bytes).version;
 }
 
 }  // namespace ndpgen::kv

@@ -15,6 +15,16 @@
 
 namespace ndpgen::kv {
 
+/// A manifest with its recovery header (format v3): besides the level
+/// state, a committed manifest records the sequence number every flushed
+/// entry is <= of (WAL replay drops entries at or below it) and the next
+/// SST id (so recovered stores never reuse an id a dangling orphan holds).
+struct ManifestImage {
+  Version version;
+  SequenceNumber last_sequence = 0;
+  std::uint64_t next_sst_id = 0;
+};
+
 /// Serializes every level's SST metadata.
 [[nodiscard]] std::vector<std::uint8_t> encode_manifest(
     const Version& version);
@@ -22,5 +32,12 @@ namespace ndpgen::kv {
 /// Rebuilds a Version from an encoded manifest.
 /// Throws Error{kStorage} on malformed input.
 [[nodiscard]] Version decode_manifest(std::span<const std::uint8_t> bytes);
+
+/// v3 variants carrying the recovery header. decode accepts v1..v3
+/// (older formats yield zero header fields).
+[[nodiscard]] std::vector<std::uint8_t> encode_manifest_image(
+    const ManifestImage& image);
+[[nodiscard]] ManifestImage decode_manifest_image(
+    std::span<const std::uint8_t> bytes);
 
 }  // namespace ndpgen::kv

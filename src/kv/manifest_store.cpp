@@ -1,0 +1,194 @@
+#include "kv/manifest_store.hpp"
+
+#include <memory>
+
+#include "support/bytes.hpp"
+#include "support/crc32c.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+
+namespace {
+
+constexpr std::uint32_t kPointerMagic = 0x6e4b4350;  // "nKCP"
+/// magic, commit_seq, slot, payload_bytes, payload_crc, pointer_crc.
+constexpr std::size_t kPointerRecordBytes = 4 + 8 + 4 + 4 + 4 + 4;
+
+}  // namespace
+
+ManifestStore::ManifestStore(platform::FlashModel& flash,
+                             PlacementPolicy& placement,
+                             std::uint32_t slot_blocks,
+                             std::uint32_t pointer_blocks, bool timed)
+    : flash_(flash), placement_(placement), timed_(timed) {
+  NDPGEN_CHECK_ARG(slot_blocks >= 1 && pointer_blocks >= 1,
+                   "manifest store needs at least one block per region");
+  for (auto& slot : slots_) {
+    slot.reserve(slot_blocks);
+    for (std::uint32_t i = 0; i < slot_blocks; ++i) {
+      slot.push_back(placement_.reserve_meta_block());
+    }
+  }
+  pointer_blocks_.reserve(pointer_blocks);
+  for (std::uint32_t i = 0; i < pointer_blocks; ++i) {
+    pointer_blocks_.push_back(placement_.reserve_meta_block());
+  }
+}
+
+std::uint64_t ManifestStore::slot_linear(std::uint64_t commit_seq,
+                                         std::uint64_t page) const {
+  const std::uint32_t per_block = flash_.topology().pages_per_block;
+  const auto& slot = slots_[commit_seq % 2];
+  return placement_.meta_page(
+      slot[static_cast<std::size_t>(page / per_block)],
+      static_cast<std::uint32_t>(page % per_block));
+}
+
+std::uint64_t ManifestStore::pointer_linear(std::uint64_t index) const {
+  const std::uint32_t per_block = flash_.topology().pages_per_block;
+  return placement_.meta_page(
+      pointer_blocks_[static_cast<std::size_t>(index / per_block)],
+      static_cast<std::uint32_t>(index % per_block));
+}
+
+void ManifestStore::program(const platform::FlashAddr& addr,
+                            std::span<const std::uint8_t> data) {
+  flash_.write_page_immediate(addr, data);
+  if (timed_) {
+    auto pending = std::make_shared<std::size_t>(1);
+    flash_.charge_program(addr, [pending] { --*pending; });
+    while (*pending > 0 && flash_.queue().step()) {
+    }
+  }
+}
+
+void ManifestStore::erase_slot(std::uint64_t commit_seq) {
+  for (const std::uint32_t block : slots_[commit_seq % 2]) {
+    const platform::FlashAddr addr =
+        flash_.delinearize(placement_.meta_page(block, 0));
+    flash_.erase_block_immediate(addr);
+    if (timed_) {
+      auto pending = std::make_shared<std::size_t>(1);
+      flash_.charge_erase(addr, [pending] { --*pending; });
+      while (*pending > 0 && flash_.queue().step()) {
+      }
+    }
+  }
+}
+
+void ManifestStore::commit(const ManifestImage& image) {
+  const std::vector<std::uint8_t> payload = encode_manifest_image(image);
+  const std::uint32_t page_bytes = flash_.topology().page_bytes;
+  const std::uint64_t pages =
+      (payload.size() + page_bytes - 1) / page_bytes;
+  const std::uint64_t next = commit_seq_ + 1;
+  const std::uint64_t slot_capacity =
+      std::uint64_t{static_cast<std::uint32_t>(slots_[next % 2].size())} *
+      flash_.topology().pages_per_block;
+  if (pages > slot_capacity) {
+    ndpgen::raise(ErrorKind::kStorage, "manifest outgrew its slot blocks");
+  }
+  if (pointer_cursor_ >= pointer_capacity()) {
+    ndpgen::raise(ErrorKind::kStorage, "manifest pointer log full");
+  }
+
+  // Phase 1 — stage: reclaim the slot (it held commit N-2, which the
+  // previous pointer no longer references), then program the payload.
+  erase_slot(next);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    const std::size_t begin = static_cast<std::size_t>(p) * page_bytes;
+    const std::size_t len =
+        std::min<std::size_t>(page_bytes, payload.size() - begin);
+    program(flash_.delinearize(slot_linear(next, p)),
+            std::span<const std::uint8_t>(payload).subspan(begin, len));
+  }
+
+  // Phase 2 — commit: one pointer-page program is the atomicity point.
+  std::vector<std::uint8_t> record;
+  record.reserve(kPointerRecordBytes);
+  support::put_u32(record, kPointerMagic);
+  support::put_u64(record, next);
+  support::put_u32(record, static_cast<std::uint32_t>(next % 2));
+  support::put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  support::put_u32(record, support::crc32c(payload));
+  support::put_u32(record, support::crc32c(record));
+  program(flash_.delinearize(pointer_linear(pointer_cursor_)), record);
+  ++pointer_cursor_;
+  commit_seq_ = next;
+}
+
+ManifestRecoverResult ManifestStore::recover() {
+  struct Candidate {
+    std::uint64_t commit_seq;
+    std::uint32_t slot;
+    std::uint32_t payload_bytes;
+    std::uint32_t payload_crc;
+  };
+  ManifestRecoverResult result;
+  std::vector<Candidate> candidates;
+  std::uint64_t index = 0;
+  for (; index < pointer_capacity(); ++index) {
+    const platform::FlashAddr addr =
+        flash_.delinearize(pointer_linear(index));
+    if (!flash_.page_written(addr)) break;
+    ++result.pointers_scanned;
+    const std::span<const std::uint8_t> data = flash_.page_data(addr);
+    bool valid = data.size() >= kPointerRecordBytes &&
+                 support::get_u32(data, 0) == kPointerMagic &&
+                 support::crc32c(data.subspan(0, kPointerRecordBytes - 4)) ==
+                     support::get_u32(data, kPointerRecordBytes - 4);
+    Candidate candidate{};
+    if (valid) {
+      candidate.commit_seq = support::get_u64(data, 4);
+      candidate.slot = support::get_u32(data, 12);
+      candidate.payload_bytes = support::get_u32(data, 16);
+      candidate.payload_crc = support::get_u32(data, 20);
+      valid = candidate.slot == candidate.commit_seq % 2;
+    }
+    if (valid) {
+      candidates.push_back(candidate);
+    } else {
+      // A torn phase-2 program: this commit never happened.
+      ++result.rollbacks;
+    }
+  }
+  // The pointer log is append-only, so later written pages can't be
+  // reprogrammed; future commits continue after everything found.
+  pointer_cursor_ = index;
+
+  const std::uint32_t page_bytes = flash_.topology().page_bytes;
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    // Reassemble the staged payload and verify it end to end; a failure
+    // (e.g. the slot was re-erased by an even newer, itself-torn commit)
+    // rolls this candidate back too.
+    std::vector<std::uint8_t> payload;
+    payload.reserve(it->payload_bytes);
+    const std::uint64_t pages =
+        (std::uint64_t{it->payload_bytes} + page_bytes - 1) / page_bytes;
+    bool readable = true;
+    for (std::uint64_t p = 0; p < pages && readable; ++p) {
+      const platform::FlashAddr addr =
+          flash_.delinearize(slot_linear(it->commit_seq, p));
+      if (!flash_.page_written(addr)) {
+        readable = false;
+        break;
+      }
+      const std::span<const std::uint8_t> data = flash_.page_data(addr);
+      const std::size_t len = std::min<std::size_t>(
+          page_bytes, it->payload_bytes - payload.size());
+      payload.insert(payload.end(), data.begin(), data.begin() + len);
+    }
+    if (!readable || support::crc32c(payload) != it->payload_crc) {
+      ++result.rollbacks;
+      continue;
+    }
+    result.found = true;
+    result.image = decode_manifest_image(payload);
+    result.commit_seq = it->commit_seq;
+    commit_seq_ = it->commit_seq;
+    break;
+  }
+  return result;
+}
+
+}  // namespace ndpgen::kv

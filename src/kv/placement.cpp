@@ -16,6 +16,25 @@ PlacementPolicy::PlacementPolicy(const platform::FlashTopology& topology,
       "fewer flash channels than level groups");
   next_page_.assign(topology_.total_luns(), 0);
   group_cursor_.assign(level_groups_, 0);
+  meta_low_ = topology_.blocks_per_lun;
+}
+
+std::uint32_t PlacementPolicy::reserve_meta_block() {
+  while (true) {
+    NDPGEN_CHECK(meta_low_ > 0, "flash LUN 0 exhausted by metadata blocks");
+    --meta_low_;
+    // Data pages on LUN 0 grow upward; the reservation must stay above the
+    // data cursor or the two regions would overwrite each other.
+    NDPGEN_CHECK(next_page_[0] <=
+                     std::uint64_t{meta_low_} * topology_.pages_per_block,
+                 "metadata reservation collides with allocated data pages");
+    if (fault_ != nullptr && fault_->enabled() &&
+        fault_->is_bad_block(0, meta_low_)) {
+      ++blocks_remapped_;
+      continue;
+    }
+    return meta_low_;
+  }
 }
 
 std::vector<std::uint32_t> PlacementPolicy::luns_of_level(
@@ -58,10 +77,15 @@ std::vector<std::uint64_t> PlacementPolicy::allocate_block_pages(
           luns[group_cursor_[group] % luns.size()];
       group_cursor_[group] =
           (group_cursor_[group] + 1) % static_cast<std::uint32_t>(luns.size());
+      // LUN 0 donates its topmost blocks to the metadata region (WAL,
+      // manifest); data allocation stops below it.
+      const std::uint64_t lun_limit =
+          lun == 0 ? std::uint64_t{meta_low_} * topology_.pages_per_block
+                   : pages_per_lun;
       // Grown bad blocks are skipped at allocation time (remapping), so
       // no data block is ever placed on media the injector marked bad.
       if (fault_ != nullptr && fault_->enabled()) {
-        while (next_page_[lun] < pages_per_lun &&
+        while (next_page_[lun] < lun_limit &&
                fault_->is_bad_block(
                    lun, static_cast<std::uint32_t>(
                             next_page_[lun] / topology_.pages_per_block))) {
@@ -71,7 +95,7 @@ std::vector<std::uint64_t> PlacementPolicy::allocate_block_pages(
           ++blocks_remapped_;
         }
       }
-      if (next_page_[lun] < pages_per_lun) {
+      if (next_page_[lun] < lun_limit) {
         const std::uint64_t page_in_lun = next_page_[lun]++;
         // Linear number must match FlashModel::linearize: LUN-major
         // interleave (page_in_lun * total_luns + lun).

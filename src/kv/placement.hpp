@@ -39,6 +39,33 @@ class PlacementPolicy {
   /// future allocations never collide with surviving data.
   void note_existing_page(std::uint64_t linear_page);
 
+  /// Reserves one whole block for store metadata (WAL segments, manifest
+  /// slots, the commit-pointer log) from the TOP of LUN 0, growing
+  /// downward; returns the block index within the LUN. Data allocation
+  /// grows from page 0 upward and never crosses into the reserved region.
+  /// Reservation order is deterministic, so a store reconstructed over the
+  /// same flash (recovery) reserves the exact same blocks. Skips grown bad
+  /// blocks; throws Error{kStorage} when the regions would collide.
+  [[nodiscard]] std::uint32_t reserve_meta_block();
+
+  /// Linear page number of page `page` in reserved meta block
+  /// `block_in_lun` (on LUN 0) — the inverse mapping WAL/manifest code
+  /// uses to address its reserved pages.
+  [[nodiscard]] std::uint64_t meta_page(std::uint32_t block_in_lun,
+                                        std::uint32_t page) const noexcept {
+    return (std::uint64_t{block_in_lun} * topology_.pages_per_block + page) *
+           topology_.total_luns();
+  }
+
+  /// True when `linear_page` lies inside the reserved metadata region
+  /// (recovery's orphan scan must leave those pages alone).
+  [[nodiscard]] bool is_meta_page(std::uint64_t linear_page) const noexcept {
+    const std::uint64_t luns = topology_.total_luns();
+    return linear_page % luns == 0 &&
+           linear_page / luns >=
+               std::uint64_t{meta_low_} * topology_.pages_per_block;
+  }
+
   [[nodiscard]] std::uint32_t level_groups() const noexcept {
     return level_groups_;
   }
@@ -90,6 +117,10 @@ class PlacementPolicy {
   std::uint64_t pages_allocated_ = 0;
   fault::FaultInjector* fault_ = nullptr;  ///< Non-owning; null = no faults.
   std::uint64_t blocks_remapped_ = 0;
+  /// Lowest block index of the reserved metadata region on LUN 0
+  /// (exclusive upper bound for data allocation there); == blocks_per_lun
+  /// when nothing is reserved.
+  std::uint32_t meta_low_ = 0;
 };
 
 }  // namespace ndpgen::kv

@@ -1,0 +1,168 @@
+#include "kv/wal.hpp"
+
+#include <memory>
+
+#include "support/bytes.hpp"
+#include "support/crc32c.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+
+namespace {
+
+constexpr std::uint32_t kWalPageMagic = 0x6e4b574c;  // "nKWL"
+/// Page header: magic, entry_bytes, page CRC32C over the entry region.
+constexpr std::size_t kWalPageHeader = 12;
+/// Entry header: chained CRC32C, seq, type, payload length.
+constexpr std::size_t kWalEntryHeader = 4 + 8 + 1 + 4;
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(platform::FlashModel& flash,
+                             PlacementPolicy& placement, std::uint32_t blocks,
+                             bool timed)
+    : flash_(flash), placement_(placement), timed_(timed) {
+  NDPGEN_CHECK_ARG(blocks >= 1, "WAL needs at least one flash block");
+  blocks_.reserve(blocks);
+  for (std::uint32_t i = 0; i < blocks; ++i) {
+    blocks_.push_back(placement_.reserve_meta_block());
+  }
+}
+
+std::uint64_t WriteAheadLog::linear_of(std::uint64_t page_index) const {
+  const std::uint32_t per_block = flash_.topology().pages_per_block;
+  return placement_.meta_page(
+      blocks_[static_cast<std::size_t>(page_index / per_block)],
+      static_cast<std::uint32_t>(page_index % per_block));
+}
+
+void WriteAheadLog::run_queue_until_done(
+    const std::shared_ptr<std::size_t>& pending) {
+  while (*pending > 0 && flash_.queue().step()) {
+  }
+}
+
+void WriteAheadLog::append(std::uint8_t type, SequenceNumber seq,
+                           std::span<const std::uint8_t> payload) {
+  NDPGEN_CHECK_ARG(type == kWalPut || type == kWalDelete,
+                   "unknown WAL entry type");
+  const std::size_t page_bytes = flash_.topology().page_bytes;
+  const std::size_t entry_size = kWalEntryHeader + payload.size();
+  NDPGEN_CHECK_ARG(kWalPageHeader + entry_size <= page_bytes,
+                   "WAL entry larger than one flash page");
+  if (kWalPageHeader + buffer_.size() + entry_size > page_bytes) {
+    sync();  // Seal the full page; the chain continues across pages.
+  }
+  // Entry body (everything the chained CRC covers).
+  std::vector<std::uint8_t> body;
+  body.reserve(entry_size - 4);
+  support::put_u64(body, seq);
+  body.push_back(type);
+  support::put_u32(body, static_cast<std::uint32_t>(payload.size()));
+  body.insert(body.end(), payload.begin(), payload.end());
+  const std::uint32_t entry_crc = support::crc32c_update(chain_crc_, body);
+  support::put_u32(buffer_, entry_crc);
+  buffer_.insert(buffer_.end(), body.begin(), body.end());
+  chain_crc_ = entry_crc;
+  ++buffered_entries_;
+}
+
+void WriteAheadLog::sync() {
+  if (buffered_entries_ == 0) return;
+  if (next_page_ >= capacity_pages()) {
+    ndpgen::raise(ErrorKind::kStorage,
+                  "WAL blocks exhausted (flush to truncate the log)");
+  }
+  std::vector<std::uint8_t> image;
+  image.reserve(kWalPageHeader + buffer_.size());
+  support::put_u32(image, kWalPageMagic);
+  support::put_u32(image, static_cast<std::uint32_t>(buffer_.size()));
+  support::put_u32(image, support::crc32c(buffer_));
+  image.insert(image.end(), buffer_.begin(), buffer_.end());
+
+  const platform::FlashAddr addr = flash_.delinearize(linear_of(next_page_));
+  flash_.write_page_immediate(addr, image);
+  if (timed_) {
+    auto pending = std::make_shared<std::size_t>(1);
+    flash_.charge_program(addr, [pending] { --*pending; });
+    run_queue_until_done(pending);
+  }
+  ++next_page_;
+  entries_synced_ += buffered_entries_;
+  buffer_.clear();
+  buffered_entries_ = 0;
+}
+
+void WriteAheadLog::reset() {
+  for (const std::uint32_t block : blocks_) {
+    const platform::FlashAddr addr =
+        flash_.delinearize(placement_.meta_page(block, 0));
+    flash_.erase_block_immediate(addr);
+    if (timed_) {
+      auto pending = std::make_shared<std::size_t>(1);
+      flash_.charge_erase(addr, [pending] { --*pending; });
+      run_queue_until_done(pending);
+    }
+  }
+  next_page_ = 0;
+  chain_crc_ = 0;
+  buffer_.clear();
+  buffered_entries_ = 0;
+}
+
+WalReplayResult WriteAheadLog::replay() const {
+  WalReplayResult result;
+  std::uint32_t chain = 0;
+  const std::size_t page_bytes = flash_.topology().page_bytes;
+  for (std::uint64_t index = 0; index < capacity_pages(); ++index) {
+    const platform::FlashAddr addr = flash_.delinearize(linear_of(index));
+    if (!flash_.page_written(addr)) break;  // End of the sealed log.
+    const std::span<const std::uint8_t> data = flash_.page_data(addr);
+    if (data.size() < kWalPageHeader ||
+        support::get_u32(data, 0) != kWalPageMagic) {
+      ++result.torn_pages;
+      break;
+    }
+    const std::uint32_t entry_bytes = support::get_u32(data, 4);
+    if (entry_bytes > page_bytes - kWalPageHeader ||
+        support::crc32c(data.subspan(kWalPageHeader, entry_bytes)) !=
+            support::get_u32(data, 8)) {
+      ++result.torn_pages;  // Program interrupted mid-page.
+      break;
+    }
+    std::size_t offset = kWalPageHeader;
+    const std::size_t end = kWalPageHeader + entry_bytes;
+    while (offset < end) {
+      if (offset + kWalEntryHeader > end) {
+        ++result.torn_pages;
+        return result;
+      }
+      const std::uint32_t entry_crc = support::get_u32(data, offset);
+      WalEntry entry;
+      entry.seq = support::get_u64(data, offset + 4);
+      entry.type = data[offset + 12];
+      const std::uint32_t len = support::get_u32(data, offset + 13);
+      if ((entry.type != kWalPut && entry.type != kWalDelete) ||
+          offset + kWalEntryHeader + len > end) {
+        ++result.torn_pages;
+        return result;
+      }
+      const auto body = data.subspan(offset + 4, 8 + 1 + 4 + len);
+      if (support::crc32c_update(chain, body) != entry_crc) {
+        // Chain break: stale bytes from before an interrupted truncation,
+        // or corruption — either way nothing past it is trustworthy.
+        ++result.torn_pages;
+        return result;
+      }
+      chain = entry_crc;
+      const auto payload = data.subspan(offset + kWalEntryHeader, len);
+      entry.payload.assign(payload.begin(), payload.end());
+      result.entries.push_back(std::move(entry));
+      offset += kWalEntryHeader + len;
+    }
+    ++result.pages_scanned;
+  }
+  return result;
+}
+
+}  // namespace ndpgen::kv

@@ -67,9 +67,18 @@ std::vector<std::uint8_t> HybridExecutor::assemble_block(
   return reader.read_block(ref.block_index);
 }
 
+void HybridExecutor::check_store_ready() const {
+  if (db_.recovering()) {
+    ndpgen::raise(ErrorKind::kStorage,
+                  "NDP offload refused: store is mid-recovery (retry after "
+                  "recover() completes)");
+  }
+}
+
 ScanStats HybridExecutor::scan(
     const std::vector<FilterPredicate>& predicates,
     std::vector<std::vector<std::uint8_t>>* results) {
+  check_store_ready();
   return scan_blocks(collect_blocks(), predicates, results, std::nullopt);
 }
 
@@ -77,6 +86,7 @@ ScanStats HybridExecutor::range_scan(
     const kv::Key& lo, const kv::Key& hi,
     const std::vector<FilterPredicate>& predicates,
     std::vector<std::vector<std::uint8_t>>* results) {
+  check_store_ready();
   NDPGEN_CHECK_ARG(!(hi < lo), "range_scan needs lo <= hi");
   NDPGEN_CHECK_ARG(static_cast<bool>(config_.result_key_extractor),
                    "range_scan requires result_key_extractor to enforce "
@@ -897,6 +907,7 @@ void fold_hw_agg(hwgen::AggOp op, const analysis::FieldLayout& field,
 AggregateStats HybridExecutor::aggregate(
     const std::vector<FilterPredicate>& predicates, hwgen::AggOp op,
     std::string_view field_path) {
+  check_store_ready();
   NDPGEN_CHECK_ARG(op != hwgen::AggOp::kNone,
                    "aggregate requires a real operation");
   auto& platform = db_.platform();
@@ -1171,6 +1182,7 @@ AggregateStats HybridExecutor::aggregate(
 }
 
 GetStats HybridExecutor::get(const kv::Key& key) {
+  check_store_ready();
   auto& platform = db_.platform();
   auto& queue = platform.events();
   auto& arm = platform.arm();

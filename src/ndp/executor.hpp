@@ -171,6 +171,10 @@ class HybridExecutor {
     std::uint32_t block_index;
   };
 
+  /// NDP offload must not observe a half-recovered store: every public
+  /// operation raises Error{kStorage} while db_.recovering().
+  void check_store_ready() const;
+
   [[nodiscard]] std::vector<BlockRef> collect_blocks() const;
   [[nodiscard]] std::vector<std::uint8_t> assemble_block(
       const BlockRef& ref) const;

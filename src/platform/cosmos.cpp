@@ -9,6 +9,7 @@ namespace hw = ndpgen::hwgen;
 CosmosPlatform::CosmosPlatform(CosmosConfig config)
     : config_(config),
       fault_(config_.fault),
+      crash_(config_.crash),
       flash_(queue_, config_.timing, config_.flash),
       dram_(queue_, config_.timing, config_.dram_bytes),
       arm_(queue_, config_.timing),
@@ -27,6 +28,11 @@ CosmosPlatform::CosmosPlatform(CosmosConfig config)
     flash_.set_fault_injector(&fault_);
     nvme_.set_fault_injector(&fault_);
     pe_kernel_.set_watchdog(config_.timing.pe_watchdog_cycles);
+  }
+  // Power-loss injection: armed only by a nonzero crash step, so default
+  // platforms never pay the per-program branch.
+  if (config_.crash.crash_at_step != 0) {
+    flash_.set_crash_scheduler(&crash_);
   }
 }
 
@@ -72,6 +78,17 @@ void CosmosPlatform::publish_metrics() {
     m.raise(m.gauge("platform.fault.nvme_timeouts"), nvme_.timeouts());
     m.raise(m.gauge("platform.fault.nvme_resets"), nvme_.resets());
     m.raise(m.gauge("platform.fault.nvme_backoff_ns"), nvme_.backoff_ns());
+  }
+  // Crash gauges only exist once a crash scheduler was attached, for the
+  // same dump-compatibility reason as the fault gauges above.
+  if (flash_.crash_scheduler() != nullptr) {
+    m.raise(m.gauge("platform.crash.write_steps"), crash_.steps_observed());
+    m.raise(m.gauge("platform.crash.crashed_step"), crash_.crashed_step());
+    m.raise(m.gauge("platform.crash.torn_programs"), flash_.torn_programs());
+    m.raise(m.gauge("platform.crash.interrupted_erases"),
+            flash_.interrupted_erases());
+    m.raise(m.gauge("platform.crash.dropped_writes"),
+            flash_.dropped_writes());
   }
 }
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/crash_scheduler.hpp"
 #include "fault/fault_injector.hpp"
 #include "hwsim/pe_sim.hpp"
 #include "platform/arm_core.hpp"
@@ -34,6 +35,10 @@ struct CosmosConfig {
   /// Reliability model. The default (all rates zero) disables every fault
   /// path and keeps runs byte-identical to a fault-free build.
   fault::FaultProfile fault{};
+  /// Power-loss model. The default (crash_at_step = 0) keeps the crash
+  /// scheduler detached so the write path is exactly as fast/deterministic
+  /// as before.
+  fault::CrashPlan crash{};
 };
 
 class CosmosPlatform {
@@ -62,6 +67,13 @@ class CosmosPlatform {
   /// fault streams draw from one seed.
   [[nodiscard]] fault::FaultInjector& fault_injector() noexcept {
     return fault_;
+  }
+
+  /// The platform-owned power-loss scheduler; attached to the flash model
+  /// only when CosmosConfig::crash names a crash step. "Power restored"
+  /// (before recovery) is flash().set_crash_scheduler(nullptr).
+  [[nodiscard]] fault::CrashScheduler& crash_scheduler() noexcept {
+    return crash_;
   }
 
   /// Publishes platform-level gauges (event-queue depth high-water, flash
@@ -114,6 +126,7 @@ class CosmosPlatform {
   CosmosConfig config_;
   obs::Observability obs_;
   fault::FaultInjector fault_;
+  fault::CrashScheduler crash_;
   EventQueue queue_;
   FlashModel flash_;
   DramModel dram_;

@@ -1,7 +1,9 @@
 #include "platform/flash.hpp"
 
+#include <algorithm>
 #include <numeric>
 
+#include "fault/crash_scheduler.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
@@ -99,9 +101,43 @@ void FlashModel::write_page_immediate(const FlashAddr& addr,
   NDPGEN_CHECK_ARG(data.size() <= topology_.page_bytes,
                    "page data larger than the flash page");
   const std::uint64_t linear = linearize(addr);
+  std::size_t completed = data.size();
+  bool torn = false;
+  if (crash_ != nullptr) {
+    switch (crash_->on_write_step(fault::WriteStepKind::kPageProgram,
+                                  linear)) {
+      case fault::CrashAction::kProceed:
+        break;
+      case fault::CrashAction::kDrop:
+        // Power is already gone: the program never reached the die.
+        ++dropped_writes_;
+        return;
+      case fault::CrashAction::kInterrupt:
+        // Power fails mid-program: a prefix of the image lands, the rest
+        // of the page is deterministic garbage (cells in undefined
+        // states), so any CRC over the written image fails downstream.
+        // The fraction applies to the bytes being transferred, so even a
+        // small record (a commit pointer, a WAL header) really tears.
+        torn = true;
+        completed = std::min(
+            data.size(),
+            static_cast<std::size_t>(static_cast<double>(data.size()) *
+                                     crash_->plan().torn_fraction));
+        break;
+    }
+  }
   auto& page = pages_[linear];
   page.assign(topology_.page_bytes, 0);
-  std::copy(data.begin(), data.end(), page.begin());
+  std::copy(data.begin(), data.begin() + completed, page.begin());
+  if (torn) {
+    for (std::size_t i = completed; i < page.size(); ++i) {
+      page[i] = crash_->garbage_byte(linear, i);
+    }
+    torn_pages_.insert(linear);
+    ++torn_programs_;
+  } else {
+    torn_pages_.erase(linear);
+  }
   if (fault_ != nullptr && fault_->enabled()) {
     // Wear/retention inputs of the reliability model; a rewrite also
     // clears any pending miscorrection mark (fresh program, fresh data).
@@ -110,6 +146,82 @@ void FlashModel::write_page_immediate(const FlashAddr& addr,
     page_program_time_[linear] = queue_.now();
     silently_corrupted_.erase(linear);
   }
+}
+
+void FlashModel::erase_block_immediate(const FlashAddr& addr) {
+  check_addr(addr);
+  const std::uint64_t block = global_block(addr);
+  bool interrupted = false;
+  if (crash_ != nullptr) {
+    switch (
+        crash_->on_write_step(fault::WriteStepKind::kBlockErase, block)) {
+      case fault::CrashAction::kProceed:
+        break;
+      case fault::CrashAction::kDrop:
+        ++dropped_writes_;
+        return;
+      case fault::CrashAction::kInterrupt:
+        interrupted = true;
+        break;
+    }
+  }
+  FlashAddr page_addr = addr;
+  for (std::uint32_t p = 0; p < topology_.pages_per_block; ++p) {
+    page_addr.page = p;
+    const std::uint64_t linear = linearize(page_addr);
+    pages_.erase(linear);
+    torn_pages_.erase(linear);
+    page_program_time_.erase(linear);
+    silently_corrupted_.erase(linear);
+  }
+  if (interrupted) {
+    // Cells are left in undefined states: no page reads back, and the
+    // block must be erased again before any program may target it.
+    unstable_blocks_.insert(block);
+    ++interrupted_erases_;
+  } else {
+    unstable_blocks_.erase(block);
+    ++blocks_erased_;
+  }
+}
+
+void FlashModel::charge_erase(const FlashAddr& addr,
+                              std::function<void()> on_done) {
+  check_addr(addr);
+  const std::size_t lun = lun_index(addr);
+  const SimTime start = std::max(queue_.now(), lun_free_[lun]);
+  const SimTime end = start + timing_.flash_erase_block_latency;
+  lun_free_[lun] = end;
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs_->trace->complete(flash_track(*obs_->trace, addr), "erase", "flash",
+                          start, end - start,
+                          "{\"lun\":" + std::to_string(addr.lun) +
+                              ",\"block\":" + std::to_string(addr.block) +
+                              "}");
+  }
+  queue_.schedule_at(end, std::move(on_done));
+}
+
+void FlashModel::discard_page(std::uint64_t linear_page) {
+  pages_.erase(linear_page);
+  torn_pages_.erase(linear_page);
+  page_program_time_.erase(linear_page);
+  silently_corrupted_.erase(linear_page);
+}
+
+std::vector<std::uint64_t> FlashModel::written_pages() const {
+  std::vector<std::uint64_t> pages;
+  pages.reserve(pages_.size());
+  for (const auto& [linear, _] : pages_) pages.push_back(linear);
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
+std::vector<std::uint64_t> FlashModel::unstable_blocks() const {
+  std::vector<std::uint64_t> blocks(unstable_blocks_.begin(),
+                                    unstable_blocks_.end());
+  std::sort(blocks.begin(), blocks.end());
+  return blocks;
 }
 
 std::span<const std::uint8_t> FlashModel::page_data(

@@ -29,6 +29,7 @@ struct Observability;
 
 namespace ndpgen::fault {
 class FaultInjector;
+class CrashScheduler;
 }  // namespace ndpgen::fault
 
 namespace ndpgen::platform {
@@ -116,6 +117,26 @@ class FlashModel {
       const FlashAddr& addr) const;
   [[nodiscard]] bool page_written(const FlashAddr& addr) const noexcept;
 
+  /// Erases every page of the block containing `addr` (addr.page is
+  /// ignored). Content-immediate, like write_page_immediate; one crash
+  /// step. An interrupted erase leaves the block *unstable*: its pages
+  /// read as unwritten and the block must be re-erased before reuse.
+  void erase_block_immediate(const FlashAddr& addr);
+
+  /// Schedules only the TIMING of a block erase (tBERS on the LUN) — the
+  /// content-side effect happens in erase_block_immediate, mirroring the
+  /// write_page_immediate / charge_program split of the program path.
+  void charge_erase(const FlashAddr& addr, std::function<void()> on_done);
+
+  /// Drops a page's content (orphan garbage collection during recovery):
+  /// the page reads as unwritten again. No crash step — this is host-side
+  /// bookkeeping, not a NAND operation.
+  void discard_page(std::uint64_t linear_page);
+
+  /// Linear pages currently holding content, ascending (recovery uses
+  /// this to find pages no committed manifest references).
+  [[nodiscard]] std::vector<std::uint64_t> written_pages() const;
+
   // --- Timed operations (DES) -------------------------------------------
   /// Schedules a page read; `on_done` fires when the page data has been
   /// transferred into device DRAM by the controller DMA. Fault-oblivious
@@ -184,6 +205,43 @@ class FlashModel {
   /// bytes it assembles must be corrupted before checksum verification.
   [[nodiscard]] bool consume_silent_corruption(std::uint64_t linear_page);
 
+  // --- Crash consistency (see fault/crash_scheduler.hpp) ----------------
+  /// Attaches the power-loss scheduler (null = never crashes). Every page
+  /// program and block erase is one crash step; the step at
+  /// CrashPlan::crash_at_step is interrupted and later ones are dropped.
+  void set_crash_scheduler(fault::CrashScheduler* scheduler) noexcept {
+    crash_ = scheduler;
+  }
+  [[nodiscard]] fault::CrashScheduler* crash_scheduler() const noexcept {
+    return crash_;
+  }
+  /// Global block id (LUN-major) of the block containing `addr`; the key
+  /// space of unstable_blocks().
+  [[nodiscard]] std::uint64_t global_block(const FlashAddr& addr) const {
+    return lun_index(addr) * topology_.blocks_per_lun + addr.block;
+  }
+  /// True when the page's last program was interrupted (its tail is
+  /// deterministic garbage; any CRC over the page fails).
+  [[nodiscard]] bool page_torn(std::uint64_t linear_page) const noexcept {
+    return torn_pages_.contains(linear_page);
+  }
+  /// Blocks whose erase was interrupted, ascending global block ids.
+  /// Recovery must re-erase them before the allocator may reuse them.
+  [[nodiscard]] std::vector<std::uint64_t> unstable_blocks() const;
+
+  [[nodiscard]] std::uint64_t torn_programs() const noexcept {
+    return torn_programs_;
+  }
+  [[nodiscard]] std::uint64_t interrupted_erases() const noexcept {
+    return interrupted_erases_;
+  }
+  [[nodiscard]] std::uint64_t dropped_writes() const noexcept {
+    return dropped_writes_;
+  }
+  [[nodiscard]] std::uint64_t blocks_erased() const noexcept {
+    return blocks_erased_;
+  }
+
   [[nodiscard]] std::uint64_t ecc_corrected_reads() const noexcept {
     return ecc_corrected_reads_;
   }
@@ -230,6 +288,17 @@ class FlashModel {
   std::uint64_t pages_read_ = 0;
   std::uint64_t pages_programmed_ = 0;
   obs::Observability* obs_ = nullptr;  ///< Non-owning.
+
+  // --- Crash-consistency state -------------------------------------------
+  fault::CrashScheduler* crash_ = nullptr;  ///< Non-owning; null = no crash.
+  /// Pages whose last program was interrupted (tail = garbage).
+  std::unordered_set<std::uint64_t> torn_pages_;
+  /// Global block ids whose erase was interrupted.
+  std::unordered_set<std::uint64_t> unstable_blocks_;
+  std::uint64_t torn_programs_ = 0;
+  std::uint64_t interrupted_erases_ = 0;
+  std::uint64_t dropped_writes_ = 0;
+  std::uint64_t blocks_erased_ = 0;
 
   // --- Reliability state -------------------------------------------------
   fault::FaultInjector* fault_ = nullptr;  ///< Non-owning; null = no faults.

@@ -1,0 +1,210 @@
+// Unit tests for the durability primitives: the CRC-chained WAL and the
+// two-phase ManifestStore, including precise crash-point injection via the
+// platform CrashScheduler.
+#include <gtest/gtest.h>
+
+#include "kv/manifest_store.hpp"
+#include "kv/wal.hpp"
+#include "platform/cosmos.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::kv {
+namespace {
+
+platform::CosmosConfig crashing_at(std::uint64_t step) {
+  platform::CosmosConfig config;
+  config.crash.crash_at_step = step;
+  return config;
+}
+
+std::vector<std::uint8_t> record_of(std::uint8_t fill, std::size_t size) {
+  return std::vector<std::uint8_t>(size, fill);
+}
+
+TEST(WalTest, RoundTripAcrossPages) {
+  platform::CosmosPlatform platform;
+  PlacementPolicy placement(platform.flash().topology(), 1);
+  WriteAheadLog wal(platform.flash(), placement, 1, /*timed=*/false);
+
+  // Large payloads force page seals mid-stream; the chain must continue
+  // across page boundaries.
+  const std::size_t big = platform.flash().topology().page_bytes / 2;
+  for (std::uint64_t i = 1; i <= 9; ++i) {
+    wal.append(i % 3 == 0 ? kWalDelete : kWalPut, i,
+               record_of(static_cast<std::uint8_t>(i), i % 3 == 0 ? 16 : big));
+    wal.sync();
+  }
+  EXPECT_EQ(wal.entries_synced(), 9u);
+
+  const WalReplayResult replayed = wal.replay();
+  EXPECT_EQ(replayed.torn_pages, 0u);
+  ASSERT_EQ(replayed.entries.size(), 9u);
+  for (std::uint64_t i = 1; i <= 9; ++i) {
+    const WalEntry& entry = replayed.entries[i - 1];
+    EXPECT_EQ(entry.seq, i);
+    EXPECT_EQ(entry.type, i % 3 == 0 ? kWalDelete : kWalPut);
+    EXPECT_EQ(entry.payload,
+              record_of(static_cast<std::uint8_t>(i), i % 3 == 0 ? 16 : big));
+  }
+}
+
+TEST(WalTest, TornTailPageIsDetectedAndCut) {
+  // Step 2 = the second WAL page program: entries on page 0 survive, the
+  // page-1 program tears mid-write.
+  platform::CosmosPlatform platform(crashing_at(2));
+  PlacementPolicy placement(platform.flash().topology(), 1);
+  WriteAheadLog wal(platform.flash(), placement, 1, /*timed=*/false);
+
+  const std::size_t big = platform.flash().topology().page_bytes / 3;
+  wal.append(kWalPut, 1, record_of(0x11, big));
+  wal.append(kWalPut, 2, record_of(0x22, big));
+  wal.sync();  // Page 0: entries 1+2, fully programmed.
+  wal.append(kWalPut, 3, record_of(0x33, big));
+  wal.sync();  // Page 1: torn by the crash.
+  ASSERT_TRUE(platform.crash_scheduler().crashed());
+
+  platform.flash().set_crash_scheduler(nullptr);
+  const WalReplayResult replayed = wal.replay();
+  EXPECT_EQ(replayed.torn_pages, 1u);
+  EXPECT_EQ(replayed.pages_scanned, 1u);
+  ASSERT_EQ(replayed.entries.size(), 2u);
+  EXPECT_EQ(replayed.entries[0].seq, 1u);
+  EXPECT_EQ(replayed.entries[1].seq, 2u);
+}
+
+TEST(WalTest, ResetTruncatesAndRestartsTheChain) {
+  platform::CosmosPlatform platform;
+  PlacementPolicy placement(platform.flash().topology(), 1);
+  WriteAheadLog wal(platform.flash(), placement, 1, /*timed=*/false);
+  wal.append(kWalPut, 1, record_of(0xAA, 64));
+  wal.sync();
+  wal.reset();
+  EXPECT_EQ(wal.replay().entries.size(), 0u);
+  wal.append(kWalPut, 7, record_of(0xBB, 64));
+  wal.sync();
+  const WalReplayResult replayed = wal.replay();
+  ASSERT_EQ(replayed.entries.size(), 1u);
+  EXPECT_EQ(replayed.entries[0].seq, 7u);
+}
+
+TEST(WalTest, RaisesWhenBlocksExhausted) {
+  platform::CosmosPlatform platform;
+  PlacementPolicy placement(platform.flash().topology(), 1);
+  WriteAheadLog wal(platform.flash(), placement, 1, /*timed=*/false);
+  const std::uint64_t capacity = wal.capacity_pages();
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    wal.append(kWalPut, i + 1, record_of(0x01, 32));
+    wal.sync();
+  }
+  wal.append(kWalPut, capacity + 1, record_of(0x02, 32));
+  try {
+    wal.sync();
+    FAIL() << "sync past capacity must throw";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kStorage);
+  }
+}
+
+ManifestImage image_with(SequenceNumber last_sequence) {
+  ManifestImage image;
+  image.last_sequence = last_sequence;
+  image.next_sst_id = last_sequence + 100;
+  return image;
+}
+
+TEST(ManifestStoreTest, RecoverReturnsNewestCommit) {
+  platform::CosmosPlatform platform;
+  auto placement =
+      std::make_shared<PlacementPolicy>(platform.flash().topology(), 1);
+  ManifestStore store(platform.flash(), *placement, 1, 1, /*timed=*/false);
+  store.commit(image_with(10));
+  store.commit(image_with(20));
+  store.commit(image_with(30));
+
+  // A fresh store over the same flash (recovery reconstructs reservations
+  // in the same deterministic order).
+  PlacementPolicy fresh(platform.flash().topology(), 1);
+  ManifestStore reopened(platform.flash(), fresh, 1, 1, /*timed=*/false);
+  const ManifestRecoverResult result = reopened.recover();
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.commit_seq, 3u);
+  EXPECT_EQ(result.rollbacks, 0u);
+  EXPECT_EQ(result.image.last_sequence, 30u);
+  EXPECT_EQ(result.image.next_sst_id, 130u);
+}
+
+TEST(ManifestStoreTest, TornPointerRollsBackToPreviousCommit) {
+  // Commit = erase_slot(1 step) + payload program(1) + pointer program(1).
+  // Step 6 is the second commit's pointer-page program — the atomicity
+  // point — so commit 2 must roll back to commit 1.
+  platform::CosmosPlatform platform(crashing_at(6));
+  {
+    PlacementPolicy placement(platform.flash().topology(), 1);
+    ManifestStore store(platform.flash(), placement, 1, 1, /*timed=*/false);
+    store.commit(image_with(10));
+    store.commit(image_with(20));  // Pointer page tears here.
+  }
+  ASSERT_TRUE(platform.crash_scheduler().crashed());
+  EXPECT_EQ(platform.crash_scheduler().crashed_step(), 6u);
+
+  platform.flash().set_crash_scheduler(nullptr);
+  PlacementPolicy fresh(platform.flash().topology(), 1);
+  ManifestStore reopened(platform.flash(), fresh, 1, 1, /*timed=*/false);
+  const ManifestRecoverResult result = reopened.recover();
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.rollbacks, 1u);
+  EXPECT_EQ(result.commit_seq, 1u);
+  EXPECT_EQ(result.image.last_sequence, 10u);
+
+  // The store must keep working after the rollback: the next commit lands
+  // after the torn pointer and wins.
+  reopened.commit(image_with(40));
+  PlacementPolicy fresh2(platform.flash().topology(), 1);
+  ManifestStore reopened2(platform.flash(), fresh2, 1, 1, /*timed=*/false);
+  const ManifestRecoverResult after = reopened2.recover();
+  EXPECT_TRUE(after.found);
+  EXPECT_EQ(after.image.last_sequence, 40u);
+}
+
+TEST(ManifestStoreTest, CrashDuringStageLeavesPreviousCommitIntact) {
+  // Step 5 = the second commit's payload program (phase 1): the pointer
+  // log never saw commit 2, so recovery finds commit 1 with NO rollback.
+  platform::CosmosPlatform platform(crashing_at(5));
+  {
+    PlacementPolicy placement(platform.flash().topology(), 1);
+    ManifestStore store(platform.flash(), placement, 1, 1, /*timed=*/false);
+    store.commit(image_with(10));
+    store.commit(image_with(20));
+  }
+  platform.flash().set_crash_scheduler(nullptr);
+  PlacementPolicy fresh(platform.flash().topology(), 1);
+  ManifestStore reopened(platform.flash(), fresh, 1, 1, /*timed=*/false);
+  const ManifestRecoverResult result = reopened.recover();
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.rollbacks, 0u);
+  EXPECT_EQ(result.image.last_sequence, 10u);
+}
+
+TEST(ManifestStoreTest, InterruptedSlotEraseLeavesUnstableBlock) {
+  // Step 4 = the second commit's erase_slot: the erase is interrupted and
+  // the slot block becomes unstable.
+  platform::CosmosPlatform platform(crashing_at(4));
+  {
+    PlacementPolicy placement(platform.flash().topology(), 1);
+    ManifestStore store(platform.flash(), placement, 1, 1, /*timed=*/false);
+    store.commit(image_with(10));
+    store.commit(image_with(20));
+  }
+  EXPECT_EQ(platform.flash().interrupted_erases(), 1u);
+  EXPECT_EQ(platform.flash().unstable_blocks().size(), 1u);
+
+  platform.flash().set_crash_scheduler(nullptr);
+  PlacementPolicy fresh(platform.flash().topology(), 1);
+  ManifestStore reopened(platform.flash(), fresh, 1, 1, /*timed=*/false);
+  const ManifestRecoverResult result = reopened.recover();
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.image.last_sequence, 10u);
+}
+
+}  // namespace
+}  // namespace ndpgen::kv

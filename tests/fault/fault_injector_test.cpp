@@ -50,6 +50,44 @@ TEST(FaultProfile, RejectsMalformedNumber) {
   EXPECT_FALSE(FaultProfile::parse("read_ber").ok());
 }
 
+TEST(FaultProfile, PresetNamesSelectCannedEnvironments) {
+  EXPECT_FALSE(FaultProfile::parse("none").value().any_enabled());
+  const FaultProfile aged = FaultProfile::parse("aged").value();
+  EXPECT_TRUE(aged.any_enabled());
+  EXPECT_GT(aged.read_ber, 0.0);
+  EXPECT_GT(aged.bad_block_rate, 0.0);
+  EXPECT_EQ(aged.pe_fault_rate, 0.0);
+  const FaultProfile degraded = FaultProfile::parse("degraded").value();
+  EXPECT_GT(degraded.read_ber, aged.read_ber);
+  EXPECT_GT(degraded.silent_corruption_rate, 0.0);
+  const FaultProfile stress = FaultProfile::parse("stress").value();
+  EXPECT_GT(stress.read_ber, degraded.read_ber);
+  EXPECT_GT(stress.pe_fault_rate, 0.0);
+}
+
+TEST(FaultProfile, PresetComposesWithOverridesInEitherOrder) {
+  // Later key=value items override the preset's fields...
+  const FaultProfile tweaked =
+      FaultProfile::parse("aged,read_ber=9e-3,seed=7").value();
+  EXPECT_EQ(tweaked.read_ber, 9e-3);
+  EXPECT_EQ(tweaked.seed, 7u);
+  EXPECT_GT(tweaked.bad_block_rate, 0.0);
+  // ...and a preset never clobbers an already-parsed seed, so the
+  // documented "seed=7,aged" spelling works too.
+  EXPECT_EQ(FaultProfile::parse("seed=7,aged").value().seed, 7u);
+  // "none" resets every rate a preceding preset turned on.
+  EXPECT_FALSE(FaultProfile::parse("stress,none").value().any_enabled());
+}
+
+TEST(FaultProfile, UnknownPresetListsTheValidNames) {
+  const auto parsed = FaultProfile::parse("agedd");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().kind, ErrorKind::kInvalidArg);
+  EXPECT_NE(parsed.status().message.find("agedd"), std::string::npos);
+  EXPECT_NE(parsed.status().message.find(FaultProfile::preset_names()),
+            std::string::npos);
+}
+
 TEST(FaultProfile, SeedAloneKeepsFaultsOff) {
   const auto parsed = FaultProfile::parse("seed=99");
   ASSERT_TRUE(parsed.ok());
@@ -80,6 +118,35 @@ TEST(FaultInjector, UncorrectableWhenRetriesExhausted) {
   EXPECT_EQ(FaultInjector::retries_needed(1000, 40, 0.5, 2, uncorrectable),
             2u);
   EXPECT_TRUE(uncorrectable);
+}
+
+TEST(FaultInjector, RetryBudgetExactlyExhaustedStillCorrects) {
+  bool uncorrectable = true;
+  // 160 -> 80 -> 40: the very last allowed retry lands exactly ON the
+  // ECC strength (residual == ecc_bits is correctable, the comparison is
+  // strict), so the page survives with zero margin.
+  EXPECT_EQ(FaultInjector::retries_needed(160, 40, 0.5, 2, uncorrectable),
+            2u);
+  EXPECT_FALSE(uncorrectable);
+  // One fewer retry in the budget and the same page is uncorrectable:
+  // 160 -> 80, budget spent, 80 > 40.
+  EXPECT_EQ(FaultInjector::retries_needed(160, 40, 0.5, 1, uncorrectable),
+            1u);
+  EXPECT_TRUE(uncorrectable);
+  // One more raw error and the exhausted budget is no longer enough:
+  // 161 -> 80 -> 40 still corrects (truncation), but 164 -> 82 -> 41
+  // leaves a single residual bit past the ECC strength.
+  EXPECT_EQ(FaultInjector::retries_needed(164, 40, 0.5, 2, uncorrectable),
+            2u);
+  EXPECT_TRUE(uncorrectable);
+  // A zero-retry budget degenerates to the pure ECC decision at the same
+  // strict boundary: 40 corrects, 41 does not, neither draws a retry.
+  EXPECT_EQ(FaultInjector::retries_needed(41, 40, 0.5, 0, uncorrectable),
+            0u);
+  EXPECT_TRUE(uncorrectable);
+  EXPECT_EQ(FaultInjector::retries_needed(40, 40, 0.5, 0, uncorrectable),
+            0u);
+  EXPECT_FALSE(uncorrectable);
 }
 
 TEST(FaultInjector, RetryCountScalesWithErrorMagnitude) {

@@ -174,6 +174,55 @@ TEST(Placement, ShardBlocksRoundRobinWhenDiversityExhausted) {
   EXPECT_EQ(shards[1], (std::vector<std::size_t>{1, 3}));
 }
 
+TEST(Placement, ShardBlocksEmptyListYieldsEmptyShards) {
+  const auto topology = small_topology();
+  // A freshly-created (or fully-compacted-away) level has no blocks; every
+  // shard must still exist so the executor's per-shard loop stays uniform.
+  for (const std::uint32_t count : {1u, 2u, 8u}) {
+    const auto shards =
+        PlacementPolicy::shard_blocks(topology, {}, count);
+    ASSERT_EQ(shards.size(), count);
+    for (const auto& shard : shards) EXPECT_TRUE(shard.empty());
+  }
+}
+
+TEST(Placement, ShardBlocksMoreShardsThanBlocks) {
+  const auto topology = small_topology();
+  // 3 blocks, 8 shards: every block lands exactly once, the surplus
+  // shards are empty rather than out-of-range, and the assignment is
+  // stable across calls.
+  const std::vector<std::uint64_t> pages = {
+      page_on_lun(0), page_on_lun(4), page_on_lun(7)};
+  const auto shards = PlacementPolicy::shard_blocks(topology, pages, 8);
+  ASSERT_EQ(shards.size(), 8u);
+  std::size_t placed = 0;
+  std::set<std::size_t> seen;
+  for (const auto& shard : shards) {
+    placed += shard.size();
+    for (const std::size_t block : shard) {
+      EXPECT_LT(block, pages.size());
+      EXPECT_TRUE(seen.insert(block).second);
+    }
+  }
+  EXPECT_EQ(placed, pages.size());
+  EXPECT_EQ(PlacementPolicy::shard_blocks(topology, pages, 8), shards);
+}
+
+TEST(Placement, ShardBlocksSingleLunMoreShardsThanBlocks) {
+  const auto topology = small_topology();
+  // Degenerate on both axes at once: one LUN (no affinity to exploit) AND
+  // fewer blocks than shards — the round-robin fallback assigns block i
+  // to shard i % count, leaving the tail shards empty.
+  const std::vector<std::uint64_t> pages = {page_on_lun(3),
+                                            page_on_lun(3, 1)};
+  const auto shards = PlacementPolicy::shard_blocks(topology, pages, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(shards[1], (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(shards[2].empty());
+  EXPECT_TRUE(shards[3].empty());
+}
+
 TEST(Placement, ShardBlocksPartitionsAndIsDeterministic) {
   const auto topology = small_topology();
   std::vector<std::uint64_t> pages;

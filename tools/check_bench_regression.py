@@ -8,6 +8,12 @@ set, then calls this script to compare every BENCH_*.json against
 bench/baseline.json and fails when scan throughput drops by more than the
 threshold (time/cycle rows grow, or speedup rows shrink).
 
+PE-phase critical-path cycles (rows whose x is "pe_phase_cycles") get
+their own, usually tighter, threshold via --pe-phase-threshold: these are
+pure PE-pipeline cycle counts, independent of flash timing, so they should
+barely move. Baselines recorded before the multi-PE work carry no such
+rows; the guard then notes the gap and passes instead of failing.
+
 Usage:
   check_bench_regression.py --baseline bench/baseline.json --results DIR
   check_bench_regression.py --baseline bench/baseline.json --results DIR \
@@ -27,6 +33,11 @@ import sys
 LOWER_BETTER = {"s", "ms", "cycles"}
 # Higher is better: speedup ratios.
 HIGHER_BETTER = {"x"}
+
+
+def is_pe_phase_row(key):
+    """True for PE-phase critical-path rows ("<series>|pe_phase_cycles")."""
+    return key.endswith("|pe_phase_cycles")
 
 
 def load_results(results_dir):
@@ -49,6 +60,11 @@ def main():
     parser.add_argument("--threshold", type=float, default=None,
                         help="max relative throughput drop (default: from "
                              "baseline file, else 0.15)")
+    parser.add_argument("--pe-phase-threshold", type=float, default=None,
+                        help="max relative growth of PE-phase critical-path "
+                             "cycle rows (default: the general threshold); "
+                             "noted and skipped when the baseline predates "
+                             "PE-phase rows")
     parser.add_argument("--scale", type=int, default=None,
                         help="NDPGEN_SCALE the results were produced at "
                              "(recorded with --update, checked otherwise)")
@@ -78,6 +94,8 @@ def main():
     baseline = json.loads(baseline_path.read_text())
     threshold = (args.threshold if args.threshold is not None
                  else baseline.get("threshold", 0.15))
+    pe_threshold = (args.pe_phase_threshold
+                    if args.pe_phase_threshold is not None else threshold)
     if args.scale is not None and args.scale != baseline.get("scale"):
         print(f"error: results at scale {args.scale} cannot be compared "
               f"against a scale-{baseline.get('scale')} baseline")
@@ -85,6 +103,7 @@ def main():
 
     failures = []
     compared = 0
+    pe_compared = 0
     for bench, base_rows in baseline["benches"].items():
         new_rows = benches.get(bench)
         if new_rows is None:
@@ -99,25 +118,40 @@ def main():
                 continue
             unit = base.get("unit", "")
             base_value, new_value = base["value"], new["value"]
+            row_threshold = threshold
+            tag = ""
+            if is_pe_phase_row(key):
+                pe_compared += 1
+                row_threshold = pe_threshold
+                tag = " [pe-phase]"
             if unit in LOWER_BETTER and base_value > 0:
                 # Throughput ~ 1/time: a drop of `threshold` means the
                 # time/cycle count grew past base / (1 - threshold).
                 compared += 1
-                limit = base_value / (1.0 - threshold)
+                limit = base_value / (1.0 - row_threshold)
                 if new_value > limit:
                     drop = 1.0 - base_value / new_value
                     failures.append(
                         f"{bench} {key}: {new_value:.3f} {unit} vs baseline "
-                        f"{base_value:.3f} (throughput -{drop:.1%})")
+                        f"{base_value:.3f} (throughput -{drop:.1%}){tag}")
             elif unit in HIGHER_BETTER and base_value > 0:
                 compared += 1
-                limit = base_value * (1.0 - threshold)
+                limit = base_value * (1.0 - row_threshold)
                 if new_value < limit:
                     drop = 1.0 - new_value / base_value
                     failures.append(
                         f"{bench} {key}: {new_value:.3f}{unit} vs baseline "
-                        f"{base_value:.3f} (-{drop:.1%})")
+                        f"{base_value:.3f} (-{drop:.1%}){tag}")
 
+    if pe_compared == 0:
+        # Grace path: a baseline recorded before the multi-PE benches has
+        # no pe_phase_cycles rows. The general guard still ran; the
+        # dedicated PE-phase guard just has nothing to hold on to.
+        print("note: baseline has no pe_phase_cycles rows; "
+              "PE-phase guard skipped (regenerate with --update to arm it)")
+    else:
+        print(f"pe-phase guard: {pe_compared} critical-path rows "
+              f"(threshold {pe_threshold:.0%})")
     print(f"checked {compared} rows against {baseline_path} "
           f"(threshold {threshold:.0%})")
     if failures:

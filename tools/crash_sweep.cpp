@@ -1,0 +1,118 @@
+// crash_sweep — exhaustive crash-point exploration over a seeded workload.
+//
+// Counts the write steps the full workload performs, then crashes at every
+// Nth step (all of them with --every 1), recovers, and lets the harness
+// verify the crash-consistency contract at each point. Exits non-zero (the
+// typed simulation exit code) on the first violation; on success prints
+// which recovery paths the sweep exercised and an aggregate hash over all
+// recovered states — byte-stable across repeated runs by the determinism
+// contract.
+//
+//   crash_sweep [--ops N] [--every K] [--seed S] [--torn-fraction F]
+//               [--key-space N] [--quiet]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "workload/crash_harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ndpgen;
+  workload::CrashHarnessConfig config;
+  std::uint64_t every = 1;
+  bool quiet = false;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--ops" && i + 1 < args.size()) {
+      config.ops = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--every" && i + 1 < args.size()) {
+      every = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      config.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--torn-fraction" && i + 1 < args.size()) {
+      config.torn_fraction = std::strtod(args[++i].c_str(), nullptr);
+    } else if (args[i] == "--key-space" && i + 1 < args.size()) {
+      config.key_space = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: crash_sweep [--ops N] [--every K] [--seed S]\n"
+                   "                   [--torn-fraction F] [--key-space N] "
+                   "[--quiet]\n");
+      return 2;
+    }
+  }
+  if (every == 0) every = 1;
+
+  try {
+    const workload::CrashHarness harness(config);
+    const std::uint64_t steps = harness.count_steps();
+    std::printf("workload: %llu ops -> %llu write steps; sweeping every "
+                "%llu%s\n",
+                static_cast<unsigned long long>(config.ops),
+                static_cast<unsigned long long>(steps),
+                static_cast<unsigned long long>(every),
+                every == 1 ? " (exhaustive)" : "");
+
+    std::uint64_t runs = 0;
+    std::uint64_t wal_torn = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t orphan_runs = 0;
+    std::uint64_t unstable_runs = 0;
+    std::uint64_t sweep_hash = 0xCBF29CE484222325ULL;
+    for (std::uint64_t step = 1; step <= steps; step += every) {
+      // run() throws Error{kSimulation} on any contract violation: a lost
+      // acknowledged write, a half-applied boundary op, or visible torn
+      // state. That propagates to the typed exit code below.
+      const workload::CrashRunResult result = harness.run(step);
+      ++runs;
+      wal_torn += result.report.wal_torn_pages > 0 ? 1 : 0;
+      rollbacks += result.report.manifest_rollbacks > 0 ? 1 : 0;
+      orphan_runs += result.report.orphan_pages_discarded > 0 ? 1 : 0;
+      unstable_runs += result.report.unstable_blocks_erased > 0 ? 1 : 0;
+      sweep_hash ^= result.state_hash + 0x9E3779B97F4A7C15ULL +
+                    (sweep_hash << 6) + (sweep_hash >> 2);
+      if (!quiet) {
+        std::printf(
+            "  step %4llu: acked %3llu, recovered %3llu records, "
+            "wal+%llu/-%llu torn %llu, rollbacks %llu, orphans %llu, "
+            "hash %016llx\n",
+            static_cast<unsigned long long>(step),
+            static_cast<unsigned long long>(result.acked_ops),
+            static_cast<unsigned long long>(result.recovered_records),
+            static_cast<unsigned long long>(
+                result.report.wal_entries_replayed),
+            static_cast<unsigned long long>(
+                result.report.wal_entries_skipped),
+            static_cast<unsigned long long>(result.report.wal_torn_pages),
+            static_cast<unsigned long long>(
+                result.report.manifest_rollbacks),
+            static_cast<unsigned long long>(
+                result.report.orphan_pages_discarded),
+            static_cast<unsigned long long>(result.state_hash));
+      }
+    }
+    std::printf(
+        "sweep ok: %llu crash points, contract held at every one\n"
+        "paths exercised: torn WAL %llu, manifest rollback %llu, orphan GC "
+        "%llu, unstable-block erase %llu\n"
+        "aggregate sweep hash %016llx\n",
+        static_cast<unsigned long long>(runs),
+        static_cast<unsigned long long>(wal_torn),
+        static_cast<unsigned long long>(rollbacks),
+        static_cast<unsigned long long>(orphan_runs),
+        static_cast<unsigned long long>(unstable_runs),
+        static_cast<unsigned long long>(sweep_hash));
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "crash_sweep: %s\n", error.what());
+    return exit_code(error.kind());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "crash_sweep: %s\n", error.what());
+    return 1;
+  }
+}

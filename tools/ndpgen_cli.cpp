@@ -28,6 +28,7 @@
 #include "obs/obs.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "workload/crash_harness.hpp"
 #include "workload/pubgraph.hpp"
 
 namespace {
@@ -53,11 +54,21 @@ int usage() {
                "       [--scale N] [--predicate field,op,value]...\n"
                "       [--pes N] [--threads N]\n"
                "       [--trace FILE] [--metrics FILE]\n"
-               "       [--fault-profile k=v,...]\n"
+               "       [--fault-profile preset|k=v,...]\n"
                "                                      run an NDP scan on the "
                "built-in pubgraph\n"
                "                                      workload over the full "
                "simulated platform\n"
+               "  recover [--ops N] [--crash-at N] [--torn-fraction F]\n"
+               "       [--seed S] [--trace FILE] [--metrics FILE]\n"
+               "                                      power-fail a durable "
+               "store at write step N\n"
+               "                                      (0 = end of workload), "
+               "recover, verify the\n"
+               "                                      crash-consistency "
+               "contract and print the\n"
+               "                                      recovery report "
+               "(kv.recovery.* metrics)\n"
                "\n"
                "  simulate and scan accept --trace FILE (Chrome trace_event "
                "JSON for\n"
@@ -70,6 +81,9 @@ int usage() {
                "  host threads driving the shards (0 = one per shard).\n"
                "  --fault-profile enables the deterministic storage "
                "reliability model;\n"
+               "  presets: none, aged, degraded, stress (bare token; later "
+               "k=v items\n"
+               "  override preset fields, e.g. \"aged,seed=7\");\n"
                "  keys: seed, read_ber, wear_alpha, retention_alpha, "
                "ecc_bits,\n"
                "  retry_factor, max_retries, bad_block_rate, silent_rate,\n"
@@ -404,6 +418,74 @@ int cmd_scan(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_recover(const std::vector<std::string>& args) {
+  workload::CrashHarnessConfig config;
+  std::uint64_t crash_at = 0;
+  std::string trace_path;
+  std::string metrics_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--ops" && i + 1 < args.size()) {
+      config.ops = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--crash-at" && i + 1 < args.size()) {
+      crash_at = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--torn-fraction" && i + 1 < args.size()) {
+      config.torn_fraction = std::strtod(args[++i].c_str(), nullptr);
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      config.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  obs::TraceSink sink;
+  if (!trace_path.empty()) config.trace = &sink;
+  const workload::CrashHarness harness(config);
+  // run() throws Error{kSimulation} (exit code 14) on any contract
+  // violation: lost acknowledged write, half-applied boundary op, torn
+  // state visible after recovery.
+  const workload::CrashRunResult result = harness.run(crash_at);
+  const auto& report = result.report;
+  std::printf("crash-at %llu: %s at write step %llu of %llu\n",
+              static_cast<unsigned long long>(crash_at),
+              result.crashed ? "power lost" : "ran to completion",
+              static_cast<unsigned long long>(result.crash_step),
+              static_cast<unsigned long long>(result.steps_total));
+  std::printf(
+      "recovered: %llu/%llu ops acknowledged, %llu records visible, "
+      "state hash %016llx\n",
+      static_cast<unsigned long long>(result.acked_ops),
+      static_cast<unsigned long long>(harness.config().ops),
+      static_cast<unsigned long long>(result.recovered_records),
+      static_cast<unsigned long long>(result.state_hash));
+  std::printf(
+      "report: manifest %s (commit %llu, rollbacks %llu), "
+      "%llu tables, %llu blocks verified, %llu torn SST blocks\n",
+      report.manifest_found ? "found" : "absent",
+      static_cast<unsigned long long>(report.manifest_commit_seq),
+      static_cast<unsigned long long>(report.manifest_rollbacks),
+      static_cast<unsigned long long>(report.tables_restored),
+      static_cast<unsigned long long>(report.sst_blocks_verified),
+      static_cast<unsigned long long>(report.torn_sst_blocks));
+  std::printf(
+      "        WAL %llu replayed, %llu skipped, %llu torn pages; "
+      "%llu orphan pages GCed (%llu torn), %llu unstable blocks erased\n",
+      static_cast<unsigned long long>(report.wal_entries_replayed),
+      static_cast<unsigned long long>(report.wal_entries_skipped),
+      static_cast<unsigned long long>(report.wal_torn_pages),
+      static_cast<unsigned long long>(report.orphan_pages_discarded),
+      static_cast<unsigned long long>(report.torn_pages_discarded),
+      static_cast<unsigned long long>(report.unstable_blocks_erased));
+  std::printf("        recovery took %llu ns simulated\n",
+              static_cast<unsigned long long>(report.elapsed));
+  result.platform->publish_metrics();
+  write_observability(result.platform->observability(), sink, trace_path,
+                      metrics_path);
+  return 0;
+}
+
 int cmd_testbench(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   std::uint64_t tuples = 32;
@@ -493,6 +575,9 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "scan") {
       return cmd_scan({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "recover") {
+      return cmd_recover({args.begin() + 1, args.end()});
     }
     return usage();
   } catch (const ndpgen::Error& error) {

@@ -1,0 +1,32 @@
+#include "host/arbiter.hpp"
+
+namespace ndpgen::host {
+
+WrrArbiter::WrrArbiter(std::vector<std::uint32_t> weights)
+    : weights_(std::move(weights)) {
+  NDPGEN_CHECK_ARG(!weights_.empty(), "arbiter needs at least one tenant");
+  for (const std::uint32_t weight : weights_) {
+    NDPGEN_CHECK_ARG(weight >= 1, "tenant weights must be at least 1");
+  }
+  credits_ = weights_[0];
+}
+
+std::optional<std::uint32_t> WrrArbiter::pick(
+    const std::vector<bool>& pending) {
+  NDPGEN_CHECK_ARG(pending.size() == weights_.size(),
+                   "pending mask must cover every tenant");
+  const std::uint32_t n = tenants();
+  // At most one full rotation past every tenant plus the cursor's own
+  // retry with refilled credits; beyond that nothing is pending.
+  for (std::uint32_t scanned = 0; scanned <= n; ++scanned) {
+    if (credits_ > 0 && pending[cursor_]) {
+      --credits_;
+      return cursor_;
+    }
+    cursor_ = (cursor_ + 1) % n;
+    credits_ = weights_[cursor_];
+  }
+  return std::nullopt;
+}
+
+}  // namespace ndpgen::host

@@ -1,0 +1,45 @@
+// Weighted round-robin arbiter across per-tenant submission queues.
+//
+// Classic WRR with per-tenant credits: the cursor tenant keeps winning
+// grants until its weight is spent or its queue runs empty, then the
+// cursor advances and the next tenant's credits refill. Over any window
+// where all queues stay backlogged, tenant t therefore receives
+// weight[t] / sum(weights) of the grants; an idle tenant costs nothing
+// (work-conserving). The arbiter is a pure state machine over explicit
+// inputs — no clocks, no randomness — so a grant sequence is a
+// deterministic function of the pick/pending history.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ndpgen::host {
+
+class WrrArbiter {
+ public:
+  /// One weight (>= 1) per tenant; at least one tenant.
+  explicit WrrArbiter(std::vector<std::uint32_t> weights);
+
+  /// Grants the next tenant among those with `pending[t] == true`, or
+  /// nullopt when none is pending. `pending` must have one entry per
+  /// tenant. Consumes one credit of the granted tenant.
+  std::optional<std::uint32_t> pick(const std::vector<bool>& pending);
+
+  [[nodiscard]] std::uint32_t tenants() const noexcept {
+    return static_cast<std::uint32_t>(weights_.size());
+  }
+  [[nodiscard]] std::uint32_t weight(std::uint32_t tenant) const {
+    NDPGEN_CHECK_ARG(tenant < weights_.size(), "tenant out of range");
+    return weights_[tenant];
+  }
+
+ private:
+  std::vector<std::uint32_t> weights_;
+  std::uint32_t cursor_ = 0;
+  std::uint32_t credits_ = 0;
+};
+
+}  // namespace ndpgen::host

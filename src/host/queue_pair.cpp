@@ -1,0 +1,47 @@
+#include "host/queue_pair.hpp"
+
+#include <algorithm>
+
+namespace ndpgen::host {
+
+QueuePair::QueuePair(std::uint32_t tenant, std::uint32_t depth)
+    : tenant_(tenant), depth_(depth) {
+  NDPGEN_CHECK_ARG(depth > 0, "queue pair depth must be at least 1");
+}
+
+ndpgen::Result<std::uint32_t> QueuePair::submit(const Request& request) {
+  if (sq_full()) {
+    ++rejected_busy_;
+    return ndpgen::Result<std::uint32_t>::failure(
+        ErrorKind::kBusy,
+        "tenant " + std::to_string(tenant_) + " submission queue full (" +
+            std::to_string(depth_) + " entries)");
+  }
+  sq_.push_back(request);
+  ++admitted_;
+  sq_high_water_ = std::max(sq_high_water_, sq_.size());
+  return static_cast<std::uint32_t>(sq_.size());
+}
+
+const Request* QueuePair::head() const noexcept {
+  return sq_.empty() ? nullptr : &sq_.front();
+}
+
+std::optional<Request> QueuePair::pop() {
+  if (sq_.empty()) return std::nullopt;
+  Request request = sq_.front();
+  sq_.pop_front();
+  return request;
+}
+
+void QueuePair::post(const Completion& completion) {
+  cq_.push_back(completion);
+  ++completed_;
+}
+
+void QueuePair::reap(std::vector<Completion>& out) {
+  for (const Completion& completion : cq_) out.push_back(completion);
+  cq_.clear();
+}
+
+}  // namespace ndpgen::host

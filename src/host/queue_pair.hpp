@@ -1,0 +1,103 @@
+// NVMe submission/completion queue pair for one tenant.
+//
+// The host query service models the NVMe driver view: each tenant owns a
+// bounded submission queue (SQ) and a completion queue (CQ). Admission
+// control is enforced here — a submit against a full SQ fails with a
+// typed Status{kBusy}, never silently drops — and the service layers the
+// retry/backoff policy on top. The SQ is strictly FIFO per tenant:
+// arbitration and batching pick how many head-of-line entries leave per
+// offload, but never reorder a tenant's own requests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "kv/key.hpp"
+#include "platform/event_queue.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::host {
+
+/// One client scan request over the inclusive key range [lo, hi].
+struct Request {
+  std::uint64_t id = 0;       ///< Unique, in generator issue order.
+  std::uint32_t tenant = 0;   ///< Queue pair the request targets.
+  std::uint32_t client = 0;   ///< Issuing closed-loop client (== tenant
+                              ///< stream index in open loop).
+  kv::Key lo;
+  kv::Key hi;
+  platform::SimTime arrival = 0;   ///< First submission attempt.
+  platform::SimTime admitted = 0;  ///< Doorbell completion (SQ entry live).
+  std::uint32_t attempts = 0;      ///< Submission attempts so far.
+};
+
+/// CQ entry: per-request outcome with the full latency breakdown.
+struct Completion {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  std::uint64_t results = 0;         ///< Records inside this request's range.
+  std::uint32_t batch_requests = 0;  ///< Size of the offload it rode in.
+  platform::SimTime arrival = 0;
+  platform::SimTime admitted = 0;
+  platform::SimTime dispatched = 0;
+  platform::SimTime completed = 0;
+
+  [[nodiscard]] platform::SimTime latency() const noexcept {
+    return completed - arrival;
+  }
+  [[nodiscard]] platform::SimTime queue_wait() const noexcept {
+    return dispatched - admitted;
+  }
+};
+
+class QueuePair {
+ public:
+  QueuePair(std::uint32_t tenant, std::uint32_t depth);
+
+  /// Admission control: enqueues into the SQ, or fails with Status{kBusy}
+  /// when the queue already holds `depth()` entries. Returns the
+  /// post-admission SQ depth on success. Never throws — the service's
+  /// event loop runs through here and rejection is an expected outcome.
+  ndpgen::Result<std::uint32_t> submit(const Request& request);
+
+  /// Head-of-line entry; nullptr when the SQ is empty.
+  [[nodiscard]] const Request* head() const noexcept;
+  /// Pops the head-of-line entry (device fetch at dispatch).
+  std::optional<Request> pop();
+
+  /// Posts a completion to the CQ.
+  void post(const Completion& completion);
+  /// Drains the CQ into `out` (client reap), preserving posting order.
+  void reap(std::vector<Completion>& out);
+
+  [[nodiscard]] std::uint32_t tenant() const noexcept { return tenant_; }
+  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t sq_depth() const noexcept { return sq_.size(); }
+  [[nodiscard]] bool sq_empty() const noexcept { return sq_.empty(); }
+  [[nodiscard]] bool sq_full() const noexcept { return sq_.size() >= depth_; }
+  [[nodiscard]] std::size_t cq_depth() const noexcept { return cq_.size(); }
+
+  // --- Stats (monotone counters over the pair's lifetime) ---------------
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected_busy() const noexcept {
+    return rejected_busy_;
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::size_t sq_high_water() const noexcept {
+    return sq_high_water_;
+  }
+
+ private:
+  std::uint32_t tenant_;
+  std::uint32_t depth_;
+  std::deque<Request> sq_;
+  std::deque<Completion> cq_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_busy_ = 0;
+  std::uint64_t completed_ = 0;
+  std::size_t sq_high_water_ = 0;
+};
+
+}  // namespace ndpgen::host

@@ -25,6 +25,33 @@ constexpr platform::SimTime kFinalizePerResult = 35;  // ns
 constexpr std::uint8_t kMediaRetried = 1;
 constexpr std::uint8_t kMediaUncorrectable = 2;
 
+/// Next key in the 128-bit lexicographic order (saturates at Key::max()).
+kv::Key key_successor(const kv::Key& key) noexcept {
+  if (key.lo != ~std::uint64_t{0}) return kv::Key{key.hi, key.lo + 1};
+  if (key.hi != ~std::uint64_t{0}) return kv::Key{key.hi + 1, 0};
+  return key;
+}
+
+/// True when `key` falls inside one of the sorted, disjoint ranges.
+bool key_in_ranges(const kv::Key& key,
+                   const std::vector<KeyRange>& ranges) noexcept {
+  for (const auto& range : ranges) {
+    if (key < range.first) return false;  // Sorted: later ranges start higher.
+    if (!(range.second < key)) return true;
+  }
+  return false;
+}
+
+/// True when [first, last] intersects any of the sorted, disjoint ranges.
+bool block_in_ranges(const kv::Key& first, const kv::Key& last,
+                     const std::vector<KeyRange>& ranges) noexcept {
+  for (const auto& range : ranges) {
+    if (last < range.first) return false;
+    if (!(range.second < first)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 HybridExecutor::HybridExecutor(kv::NKV& db,
@@ -79,7 +106,7 @@ ScanStats HybridExecutor::scan(
     const std::vector<FilterPredicate>& predicates,
     std::vector<std::vector<std::uint8_t>>* results) {
   check_store_ready();
-  return scan_blocks(collect_blocks(), predicates, results, std::nullopt);
+  return scan_blocks(collect_blocks(), predicates, results, {});
 }
 
 ScanStats HybridExecutor::range_scan(
@@ -106,8 +133,64 @@ ScanStats HybridExecutor::range_scan(
       blocks.push_back(BlockRef{table.get(), i});
     }
   }
-  return scan_blocks(blocks, predicates, results,
-                     std::make_optional(std::make_pair(lo, hi)));
+  return scan_blocks(blocks, predicates, results, {KeyRange{lo, hi}});
+}
+
+ScanStats HybridExecutor::multi_range_scan(
+    const std::vector<KeyRange>& ranges,
+    const std::vector<FilterPredicate>& predicates,
+    std::vector<std::vector<std::uint8_t>>* results) {
+  check_store_ready();
+  NDPGEN_CHECK_ARG(!ranges.empty(),
+                   "multi_range_scan needs at least one key range");
+  NDPGEN_CHECK_ARG(static_cast<bool>(config_.result_key_extractor),
+                   "multi_range_scan requires result_key_extractor to "
+                   "enforce the key bounds on survivors");
+  for (const auto& range : ranges) {
+    NDPGEN_CHECK_ARG(!(range.second < range.first),
+                     "multi_range_scan needs lo <= hi in every range");
+  }
+  // Normalize: sort by lo, merge overlapping and adjacent ranges, so block
+  // pruning and the per-record filter see disjoint sorted spans and a
+  // coalesced batch of touching tenant windows costs one span.
+  std::vector<KeyRange> spans = ranges;
+  std::sort(spans.begin(), spans.end());
+  std::vector<KeyRange> merged;
+  for (const auto& range : spans) {
+    if (!merged.empty() &&
+        !(key_successor(merged.back().second) < range.first)) {
+      merged.back().second = std::max(merged.back().second, range.second);
+    } else {
+      merged.push_back(range);
+    }
+  }
+
+  auto& arm = db_.platform().arm();
+  // Index pruning against the span set, mirroring range_scan: each
+  // consulted table costs one index probe regardless of span count — the
+  // whole point of coalescing is that the batch shares the index walk.
+  std::vector<BlockRef> blocks;
+  for (const auto& table : db_.version().recency_ordered()) {
+    if (table->max_key < merged.front().first ||
+        merged.back().second < table->min_key) {
+      continue;
+    }
+    arm.index_probe(std::max<std::size_t>(std::size_t{1},
+                                          table->blocks.size()));
+    for (std::uint32_t i = 0; i < table->blocks.size(); ++i) {
+      const auto& handle = table->blocks[i];
+      if (!block_in_ranges(handle.first_key, handle.last_key, merged)) {
+        continue;
+      }
+      blocks.push_back(BlockRef{table.get(), i});
+    }
+  }
+
+  obs::MetricsRegistry& m = db_.platform().observability().metrics;
+  m.add(m.counter("ndp.scan.range_batches"), 1);
+  m.add(m.counter("ndp.scan.ranges"), ranges.size());
+  m.add(m.counter("ndp.scan.merged_spans"), merged.size());
+  return scan_blocks(blocks, predicates, results, merged);
 }
 
 std::uint32_t HybridExecutor::effective_shards() const noexcept {
@@ -126,9 +209,9 @@ ScanStats HybridExecutor::scan_blocks(
     const std::vector<BlockRef>& blocks,
     const std::vector<FilterPredicate>& predicates,
     std::vector<std::vector<std::uint8_t>>* results,
-    const std::optional<std::pair<kv::Key, kv::Key>>& key_range) {
+    const std::vector<KeyRange>& key_ranges) {
   if (const std::uint32_t shard_count = effective_shards(); shard_count > 1) {
-    return scan_blocks_sharded(blocks, predicates, results, key_range,
+    return scan_blocks_sharded(blocks, predicates, results, key_ranges,
                                shard_count);
   }
   auto& platform = db_.platform();
@@ -363,9 +446,8 @@ ScanStats HybridExecutor::scan_blocks(
     for (auto& record : survivors) {
       if (config_.result_key_extractor) {
         const kv::Key key = config_.result_key_extractor(record);
-        if (key_range &&
-            (key < key_range->first || key_range->second < key)) {
-          continue;  // Boundary-block record outside the range.
+        if (!key_ranges.empty() && !key_in_ranges(key, key_ranges)) {
+          continue;  // Boundary-block record outside every span.
         }
         if (deleted.contains(key)) continue;
         if (!seen.insert(key).second) continue;
@@ -386,10 +468,11 @@ ScanStats HybridExecutor::scan_blocks(
   for (const platform::SimTime t : worker_free) end = std::max(end, t);
   end += stats.results * kFinalizePerResult;
   if (config_.mode != ExecMode::kHostClassic) {
-    // Result transfer owes the link its injected timeout/backoff share
-    // (retry_penalty() is 0 on a fault-free link).
-    end += timing.nvme_transfer_time(stats.result_bytes) +
-           platform.nvme().retry_penalty();
+    // Result transfer reserves the shared host link: uncontended it costs
+    // exactly nvme_transfer_time plus the injected timeout/backoff share;
+    // under concurrent host-service traffic it additionally waits for
+    // earlier grants to drain.
+    end = platform.nvme().reserve(end, stats.result_bytes).done;
   }
   if (end > queue.now()) queue.advance_to(end);
   stats.elapsed = end - t0;
@@ -433,7 +516,7 @@ ScanStats HybridExecutor::scan_blocks_sharded(
     const std::vector<BlockRef>& blocks,
     const std::vector<FilterPredicate>& predicates,
     std::vector<std::vector<std::uint8_t>>* results,
-    const std::optional<std::pair<kv::Key, kv::Key>>& key_range,
+    const std::vector<KeyRange>& key_ranges,
     std::uint32_t shard_count) {
   auto& platform = db_.platform();
   auto& queue = platform.events();
@@ -703,8 +786,7 @@ ScanStats HybridExecutor::scan_blocks_sharded(
     for (auto& record : out.survivors) {
       if (config_.result_key_extractor) {
         const kv::Key key = config_.result_key_extractor(record);
-        if (key_range &&
-            (key < key_range->first || key_range->second < key)) {
+        if (!key_ranges.empty() && !key_in_ranges(key, key_ranges)) {
           continue;
         }
         if (deleted.contains(key)) continue;
@@ -728,8 +810,7 @@ ScanStats HybridExecutor::scan_blocks_sharded(
     stats.pe_phase_cycles = std::max(stats.pe_phase_cycles, cycles);
   }
   platform::SimTime end = pe_phase_end + stats.results * kFinalizePerResult;
-  end += timing.nvme_transfer_time(stats.result_bytes) +
-         platform.nvme().retry_penalty();
+  end = platform.nvme().reserve(end, stats.result_bytes).done;
   if (end > queue.now()) queue.advance_to(end);
   stats.elapsed = end - t0;
 
@@ -1056,8 +1137,7 @@ AggregateStats HybridExecutor::aggregate(
     stats.result_bytes = 16;
     platform::SimTime end = t0;
     for (const platform::SimTime t : shard_free) end = std::max(end, t);
-    end += timing.nvme_transfer_time(stats.result_bytes) +
-           platform.nvme().retry_penalty();
+    end = platform.nvme().reserve(end, stats.result_bytes).done;
     if (end > queue.now()) queue.advance_to(end);
     stats.elapsed = end - t0;
 
@@ -1159,8 +1239,7 @@ AggregateStats HybridExecutor::aggregate(
   stats.result_bytes = 16;
   platform::SimTime end = t0;
   for (const platform::SimTime t : worker_free) end = std::max(end, t);
-  end += timing.nvme_transfer_time(stats.result_bytes) +
-         platform.nvme().retry_penalty();
+  end = platform.nvme().reserve(end, stats.result_bytes).done;
   if (end > queue.now()) queue.advance_to(end);
   stats.elapsed = end - t0;
 

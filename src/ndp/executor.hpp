@@ -29,6 +29,9 @@
 
 namespace ndpgen::ndp {
 
+/// Inclusive key range [first, second] for range-scan style offloads.
+using KeyRange = std::pair<kv::Key, kv::Key>;
+
 enum class ExecMode : std::uint8_t {
   kSoftware,    ///< NDP in software on the device ARM cores.
   kHardware,    ///< NDP on generated/hand-crafted PEs.
@@ -154,6 +157,19 @@ class HybridExecutor {
                        std::vector<std::vector<std::uint8_t>>* results =
                            nullptr);
 
+  /// Batched offload entry point (host-service coalescing): scans several
+  /// key ranges under ONE NDP command. Ranges are normalized (sorted,
+  /// overlapping/adjacent ones merged), SSTs and data blocks that cannot
+  /// intersect any span are pruned via the index, and the software
+  /// finalization drops survivors outside every span — so the result set
+  /// equals the union of the per-range range_scan results, at the cost of
+  /// a single command/flash/PE/NVMe round-trip. Requires
+  /// result_key_extractor, like range_scan.
+  ScanStats multi_range_scan(const std::vector<KeyRange>& ranges,
+                             const std::vector<FilterPredicate>& predicates,
+                             std::vector<std::vector<std::uint8_t>>* results =
+                                 nullptr);
+
   /// Recency-correct point lookup with block-level HW/SW filtering.
   GetStats get(const kv::Key& key);
 
@@ -179,13 +195,14 @@ class HybridExecutor {
   [[nodiscard]] std::vector<std::uint8_t> assemble_block(
       const BlockRef& ref) const;
 
-  /// Shared scan core: processes `blocks`; when `key_range` is set, the
-  /// software finalization additionally drops records outside it.
+  /// Shared scan core: processes `blocks`; `key_ranges` (sorted, disjoint;
+  /// empty = unfiltered) additionally drops finalized records outside
+  /// every span.
   ScanStats scan_blocks(
       const std::vector<BlockRef>& blocks,
       const std::vector<FilterPredicate>& predicates,
       std::vector<std::vector<std::uint8_t>>* results,
-      const std::optional<std::pair<kv::Key, kv::Key>>& key_range);
+      const std::vector<KeyRange>& key_ranges);
 
   /// Multi-PE variant of scan_blocks: channel-affine sharding, one
   /// thread-confined PE bench per shard, deterministic shard-order merge.
@@ -193,7 +210,7 @@ class HybridExecutor {
       const std::vector<BlockRef>& blocks,
       const std::vector<FilterPredicate>& predicates,
       std::vector<std::vector<std::uint8_t>>* results,
-      const std::optional<std::pair<kv::Key, kv::Key>>& key_range,
+      const std::vector<KeyRange>& key_ranges,
       std::uint32_t shard_count);
 
   /// Effective shard count for SCAN/AGGREGATE under the current config.

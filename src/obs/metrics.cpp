@@ -107,6 +107,37 @@ std::uint64_t MetricsRegistry::histogram_max(std::string_view name) const {
   return find_metric(histograms_, name, "histogram").max.load();
 }
 
+std::uint64_t MetricsRegistry::histogram_percentile(std::string_view name,
+                                                    double p) const {
+  NDPGEN_CHECK_ARG(p >= 0.0 && p <= 1.0, "percentile must be in [0, 1]");
+  const auto& histogram = find_metric(histograms_, name, "histogram");
+  const std::uint64_t count = histogram.count.load();
+  if (count == 0) return 0;
+  // Nearest rank, integer-only: rank r is the smallest integer with
+  // r >= p * count (at least 1), found without touching libm so the value
+  // is bit-identical across platforms.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(count));
+  if (static_cast<double>(rank) < p * static_cast<double>(count)) ++rank;
+  rank = std::clamp<std::uint64_t>(rank, 1, count);
+  std::uint64_t cumulative = 0;
+  std::size_t bucket = histogram.buckets.size() - 1;
+  for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {
+    cumulative += histogram.buckets[b].load();
+    if (cumulative >= rank) {
+      bucket = b;
+      break;
+    }
+  }
+  // Bucket b holds samples of bit-width b, i.e. values in [2^(b-1), 2^b);
+  // report its inclusive upper bound, then clamp to the recorded extrema.
+  const std::uint64_t bound =
+      bucket == 0 ? 0
+      : bucket >= 64 ? std::numeric_limits<std::uint64_t>::max()
+                     : (std::uint64_t{1} << bucket) - 1;
+  return std::clamp(bound, histogram.min.load(), histogram.max.load());
+}
+
 std::string MetricsRegistry::dump_json() const {
   // Sort each section by name for deterministic output regardless of
   // registration order differences between runs (there are none when runs

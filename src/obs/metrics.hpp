@@ -126,6 +126,12 @@ class MetricsRegistry {
   /// dump_json rendering of the empty-min sentinel).
   [[nodiscard]] std::uint64_t histogram_min(std::string_view name) const;
   [[nodiscard]] std::uint64_t histogram_max(std::string_view name) const;
+  /// Nearest-rank percentile over the recorded bounds: the upper bound of
+  /// the log2 bucket holding the ceil(p*count)-th sample, clamped to the
+  /// exact observed [min, max] — so a single-sample histogram and p=1.0
+  /// report exact values. Empty histograms report 0. p must be in [0, 1].
+  [[nodiscard]] std::uint64_t histogram_percentile(std::string_view name,
+                                                   double p) const;
   [[nodiscard]] bool contains(std::string_view name) const noexcept {
     std::lock_guard<std::mutex> lock(register_mutex_);
     return index_.contains(std::string(name));

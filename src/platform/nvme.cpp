@@ -1,5 +1,7 @@
 #include "platform/nvme.hpp"
 
+#include <algorithm>
+
 #include "fault/fault_injector.hpp"
 #include "obs/obs.hpp"
 
@@ -26,17 +28,34 @@ SimTime NvmeLink::retry_penalty() {
   return penalty;
 }
 
-SimTime NvmeLink::transfer_to_host(std::uint64_t payload_bytes) {
-  const SimTime start = queue_.now();
-  const SimTime penalty = retry_penalty();
-  const SimTime cost = penalty + timing_.nvme_transfer_time(payload_bytes);
-  queue_.run_until(start + cost);
+LinkGrant NvmeLink::reserve(SimTime at, std::uint64_t payload_bytes) {
+  LinkGrant grant;
+  grant.seq = ++submissions_;
+  // One link, one command at a time: a submission waits for the previous
+  // grant to drain. Equal timestamps resolve in submission order (seq), so
+  // overlapping callers always serialize the same way.
+  grant.start = std::max(at, busy_until_);
+  grant.queued = grant.start - at;
+  grant.penalty = retry_penalty();
+  const SimTime transfer = payload_bytes == 0
+                               ? timing_.nvme_command_latency
+                               : timing_.nvme_transfer_time(payload_bytes);
+  grant.done = grant.start + grant.penalty + transfer;
+  busy_until_ = grant.done;
   bytes_to_host_ += payload_bytes;
   ++commands_;
+  return grant;
+}
+
+SimTime NvmeLink::transfer_to_host(std::uint64_t payload_bytes) {
+  const SimTime start = queue_.now();
+  const LinkGrant grant = reserve(start, payload_bytes);
+  const SimTime cost = grant.done - start;
+  queue_.run_until(grant.done);
   if (obs_ != nullptr && obs_->tracing()) {
     std::string args = "{\"bytes\":" + std::to_string(payload_bytes);
-    if (penalty > 0) {
-      args += ",\"retry_penalty_ns\":" + std::to_string(penalty);
+    if (grant.penalty > 0) {
+      args += ",\"retry_penalty_ns\":" + std::to_string(grant.penalty);
     }
     args += "}";
     obs_->trace->complete(obs_->trace->track("nvme"), "transfer_to_host",
@@ -47,15 +66,14 @@ SimTime NvmeLink::transfer_to_host(std::uint64_t payload_bytes) {
 
 SimTime NvmeLink::command() {
   const SimTime start = queue_.now();
-  const SimTime penalty = retry_penalty();
-  const SimTime cost = penalty + timing_.nvme_command_latency;
-  queue_.run_until(start + cost);
-  ++commands_;
+  const LinkGrant grant = reserve(start, 0);
+  const SimTime cost = grant.done - start;
+  queue_.run_until(grant.done);
   if (obs_ != nullptr && obs_->tracing()) {
-    if (penalty > 0) {
+    if (grant.penalty > 0) {
       obs_->trace->complete(
           obs_->trace->track("nvme"), "command", "nvme", start, cost,
-          "{\"retry_penalty_ns\":" + std::to_string(penalty) + "}");
+          "{\"retry_penalty_ns\":" + std::to_string(grant.penalty) + "}");
     } else {
       obs_->trace->complete(obs_->trace->track("nvme"), "command", "nvme",
                             start, cost);

@@ -20,6 +20,15 @@ class FaultInjector;
 
 namespace ndpgen::platform {
 
+/// Outcome of one serialized link reservation (see NvmeLink::reserve).
+struct LinkGrant {
+  SimTime start = 0;    ///< When the link began serving this command.
+  SimTime done = 0;     ///< Completion: start + retry penalty + transfer.
+  SimTime queued = 0;   ///< Contention wait: start - requested time.
+  SimTime penalty = 0;  ///< Injected timeout/backoff share of the cost.
+  std::uint64_t seq = 0;  ///< Submission sequence number (FIFO order).
+};
+
 class NvmeLink {
  public:
   NvmeLink(EventQueue& queue, const TimingConfig& timing)
@@ -36,6 +45,19 @@ class NvmeLink {
 
   /// Charges a command submission without payload (same retry contract).
   SimTime command();
+
+  /// Reserves the shared host link for one command carrying
+  /// `payload_bytes` submitted at virtual time `at`, WITHOUT advancing
+  /// the DES clock: the caller owns its own timeline (arithmetic makespan
+  /// accounting in the executors, host-service doorbells). Concurrent
+  /// submissions serialize on the single link — a command starts at
+  /// max(at, previous grant's done) — and submissions with EQUAL
+  /// timestamps tie-break by submission sequence (FIFO), so overlapping
+  /// callers observe one stable, deterministic order. A zero-byte payload
+  /// costs the bare command latency; otherwise the full transfer time.
+  /// Counts toward commands()/bytes_to_host() and draws the same injected
+  /// retry penalty as the clock-advancing entry points.
+  LinkGrant reserve(SimTime at, std::uint64_t payload_bytes);
 
   [[nodiscard]] std::uint64_t bytes_to_host() const noexcept {
     return bytes_to_host_;
@@ -68,10 +90,15 @@ class NvmeLink {
   /// still owe the command its share of injected timeouts.
   [[nodiscard]] SimTime retry_penalty();
 
+  /// Completion time of the latest grant: the link is busy until then.
+  [[nodiscard]] SimTime busy_until() const noexcept { return busy_until_; }
+
  private:
 
   EventQueue& queue_;
   const TimingConfig& timing_;
+  SimTime busy_until_ = 0;
+  std::uint64_t submissions_ = 0;
   std::uint64_t bytes_to_host_ = 0;
   std::uint64_t commands_ = 0;
   std::uint64_t timeouts_ = 0;

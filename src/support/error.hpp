@@ -31,6 +31,7 @@ enum class ErrorKind : std::uint8_t {
   kStorage,      ///< KV-store / flash-storage error.
   kInvalidArg,   ///< API misuse detected at a public boundary.
   kInternal,     ///< Invariant violation inside the framework.
+  kBusy,         ///< Admission rejected: bounded queue at capacity.
 };
 
 /// Returns a stable lowercase name for an ErrorKind ("parse", "storage"...).
@@ -44,6 +45,7 @@ enum class ErrorKind : std::uint8_t {
     case ErrorKind::kStorage: return "storage";
     case ErrorKind::kInvalidArg: return "invalid-argument";
     case ErrorKind::kInternal: return "internal";
+    case ErrorKind::kBusy: return "busy";
   }
   return "unknown";
 }
@@ -79,6 +81,7 @@ class Error : public std::runtime_error {
     case ErrorKind::kStorage: return 15;
     case ErrorKind::kInvalidArg: return 16;
     case ErrorKind::kInternal: return 17;
+    case ErrorKind::kBusy: return 18;
   }
   return 1;
 }

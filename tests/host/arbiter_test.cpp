@@ -1,0 +1,77 @@
+// Tests of the weighted-round-robin arbiter (pure state machine).
+#include "host/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ndpgen::host {
+namespace {
+
+TEST(WrrArbiterTest, EqualWeightsAlternate) {
+  WrrArbiter arbiter({1, 1});
+  const std::vector<bool> both = {true, true};
+  EXPECT_EQ(arbiter.pick(both), 0u);
+  EXPECT_EQ(arbiter.pick(both), 1u);
+  EXPECT_EQ(arbiter.pick(both), 0u);
+  EXPECT_EQ(arbiter.pick(both), 1u);
+}
+
+TEST(WrrArbiterTest, WeightsGrantProportionalShares) {
+  WrrArbiter arbiter({3, 1});
+  const std::vector<bool> both = {true, true};
+  std::vector<std::uint32_t> wins(2, 0);
+  for (int i = 0; i < 40; ++i) ++wins[*arbiter.pick(both)];
+  EXPECT_EQ(wins[0], 30u);
+  EXPECT_EQ(wins[1], 10u);
+}
+
+TEST(WrrArbiterTest, KeepsGrantUntilWeightSpent) {
+  WrrArbiter arbiter({3, 1});
+  const std::vector<bool> both = {true, true};
+  EXPECT_EQ(arbiter.pick(both), 0u);
+  EXPECT_EQ(arbiter.pick(both), 0u);
+  EXPECT_EQ(arbiter.pick(both), 0u);
+  EXPECT_EQ(arbiter.pick(both), 1u);
+  EXPECT_EQ(arbiter.pick(both), 0u);
+}
+
+TEST(WrrArbiterTest, WorkConservingSkipsIdleTenants) {
+  WrrArbiter arbiter({3, 1, 2});
+  // Only tenant 2 has work: it wins every grant regardless of weights.
+  const std::vector<bool> only_last = {false, false, true};
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(arbiter.pick(only_last), 2u);
+  // Once others wake up the rotation resumes.
+  const std::vector<bool> all = {true, true, true};
+  EXPECT_TRUE(arbiter.pick(all).has_value());
+}
+
+TEST(WrrArbiterTest, NothingPendingYieldsNoGrant) {
+  WrrArbiter arbiter({2, 2});
+  EXPECT_FALSE(arbiter.pick({false, false}).has_value());
+  // And the arbiter still works afterwards.
+  EXPECT_TRUE(arbiter.pick({true, false}).has_value());
+}
+
+TEST(WrrArbiterTest, DeterministicReplay) {
+  WrrArbiter a({2, 1, 1});
+  WrrArbiter b({2, 1, 1});
+  const std::vector<std::vector<bool>> masks = {
+      {true, true, false}, {true, true, true},  {false, true, true},
+      {true, false, true}, {false, false, false}, {true, true, true}};
+  for (int round = 0; round < 8; ++round) {
+    for (const auto& mask : masks) EXPECT_EQ(a.pick(mask), b.pick(mask));
+  }
+}
+
+TEST(WrrArbiterTest, ValidatesWeights) {
+  EXPECT_THROW(WrrArbiter({}), Error);
+  EXPECT_THROW(WrrArbiter({1, 0, 2}), Error);
+  WrrArbiter arbiter({1, 1});
+  EXPECT_THROW(arbiter.pick({true}), Error);  // Mask/tenant mismatch.
+}
+
+}  // namespace
+}  // namespace ndpgen::host

@@ -1,0 +1,98 @@
+// Tests of the per-tenant NVMe submission/completion queue pair.
+#include "host/queue_pair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace ndpgen::host {
+namespace {
+
+Request make_request(std::uint64_t id) {
+  Request request;
+  request.id = id;
+  request.lo = kv::Key{id, 0};
+  request.hi = kv::Key{id + 10, 0};
+  return request;
+}
+
+TEST(QueuePairTest, SubmitReturnsPostAdmissionDepth) {
+  QueuePair qp(0, 4);
+  EXPECT_EQ(qp.submit(make_request(1)).value(), 1u);
+  EXPECT_EQ(qp.submit(make_request(2)).value(), 2u);
+  EXPECT_EQ(qp.sq_depth(), 2u);
+  EXPECT_EQ(qp.admitted(), 2u);
+}
+
+TEST(QueuePairTest, FullQueueRejectsWithTypedBusy) {
+  QueuePair qp(3, 2);
+  ASSERT_TRUE(qp.submit(make_request(1)).ok());
+  ASSERT_TRUE(qp.submit(make_request(2)).ok());
+  EXPECT_TRUE(qp.sq_full());
+  const auto rejected = qp.submit(make_request(3));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().kind, ErrorKind::kBusy);
+  // The message names the tenant so service logs stay attributable.
+  EXPECT_NE(rejected.status().message.find("tenant 3"), std::string::npos);
+  EXPECT_EQ(qp.rejected_busy(), 1u);
+  EXPECT_EQ(qp.admitted(), 2u);
+  // Rejection never mutates the queue: head is still request 1.
+  ASSERT_NE(qp.head(), nullptr);
+  EXPECT_EQ(qp.head()->id, 1u);
+}
+
+TEST(QueuePairTest, PopIsFifoAndFreesCapacity) {
+  QueuePair qp(0, 2);
+  ASSERT_TRUE(qp.submit(make_request(1)).ok());
+  ASSERT_TRUE(qp.submit(make_request(2)).ok());
+  ASSERT_FALSE(qp.submit(make_request(3)).ok());
+  EXPECT_EQ(qp.pop()->id, 1u);
+  EXPECT_FALSE(qp.sq_full());
+  ASSERT_TRUE(qp.submit(make_request(3)).ok());
+  EXPECT_EQ(qp.pop()->id, 2u);
+  EXPECT_EQ(qp.pop()->id, 3u);
+  EXPECT_FALSE(qp.pop().has_value());
+  EXPECT_EQ(qp.head(), nullptr);
+}
+
+TEST(QueuePairTest, HighWaterTracksDeepestQueue) {
+  QueuePair qp(0, 8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(qp.submit(make_request(i)).ok());
+  }
+  while (qp.pop().has_value()) {
+  }
+  ASSERT_TRUE(qp.submit(make_request(9)).ok());
+  EXPECT_EQ(qp.sq_high_water(), 5u);
+}
+
+TEST(QueuePairTest, CompletionsReapInPostingOrder) {
+  QueuePair qp(0, 4);
+  Completion first;
+  first.id = 7;
+  first.arrival = 100;
+  first.admitted = 150;
+  first.dispatched = 200;
+  first.completed = 450;
+  Completion second;
+  second.id = 8;
+  qp.post(first);
+  qp.post(second);
+  EXPECT_EQ(qp.cq_depth(), 2u);
+  EXPECT_EQ(qp.completed(), 2u);
+  std::vector<Completion> reaped;
+  qp.reap(reaped);
+  ASSERT_EQ(reaped.size(), 2u);
+  EXPECT_EQ(reaped[0].id, 7u);
+  EXPECT_EQ(reaped[1].id, 8u);
+  EXPECT_EQ(qp.cq_depth(), 0u);
+  EXPECT_EQ(reaped[0].latency(), 350u);
+  EXPECT_EQ(reaped[0].queue_wait(), 50u);
+}
+
+TEST(QueuePairTest, ZeroDepthIsInvalid) {
+  EXPECT_THROW(QueuePair(0, 0), Error);
+}
+
+}  // namespace
+}  // namespace ndpgen::host

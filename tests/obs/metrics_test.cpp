@@ -230,6 +230,68 @@ TEST(MetricsRegistryTest, MergeOrderIsDeterministicForIdenticalShards) {
   EXPECT_EQ(merged_dump(), merged_dump());
 }
 
+TEST(MetricsRegistryTest, PercentileOfEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  registry.histogram("empty");
+  EXPECT_EQ(registry.histogram_percentile("empty", 0.0), 0u);
+  EXPECT_EQ(registry.histogram_percentile("empty", 0.5), 0u);
+  EXPECT_EQ(registry.histogram_percentile("empty", 1.0), 0u);
+}
+
+TEST(MetricsRegistryTest, PercentileOfSingleSampleIsExactForAllP) {
+  MetricsRegistry registry;
+  const auto histogram = registry.histogram("one");
+  registry.observe(histogram, 12345);
+  // Min/max clamping makes a one-sample histogram exact regardless of
+  // the log2 bucket bound.
+  for (const double p : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(registry.histogram_percentile("one", p), 12345u) << p;
+  }
+}
+
+TEST(MetricsRegistryTest, PercentileAtOneIsExactMax) {
+  MetricsRegistry registry;
+  const auto histogram = registry.histogram("h");
+  for (std::uint64_t value = 1; value <= 100; ++value) {
+    registry.observe(histogram, value);
+  }
+  EXPECT_EQ(registry.histogram_percentile("h", 1.0), 100u);
+}
+
+TEST(MetricsRegistryTest, PercentileReportsBucketUpperBound) {
+  MetricsRegistry registry;
+  const auto histogram = registry.histogram("h");
+  for (std::uint64_t value = 1; value <= 100; ++value) {
+    registry.observe(histogram, value);
+  }
+  // Rank 50 lands in the [32, 64) bucket, whose recorded bound is 63.
+  EXPECT_EQ(registry.histogram_percentile("h", 0.5), 63u);
+  // Rank 1 is the exact min (bucket bound 1, clamped to min 1).
+  EXPECT_EQ(registry.histogram_percentile("h", 0.0), 1u);
+}
+
+TEST(MetricsRegistryTest, PercentileIsMonotoneInP) {
+  MetricsRegistry registry;
+  const auto histogram = registry.histogram("h");
+  for (std::uint64_t value = 0; value < 1000; ++value) {
+    registry.observe(histogram, value * value);
+  }
+  std::uint64_t previous = 0;
+  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::uint64_t current = registry.histogram_percentile("h", p);
+    EXPECT_GE(current, previous) << p;
+    previous = current;
+  }
+}
+
+TEST(MetricsRegistryTest, PercentileValidatesP) {
+  MetricsRegistry registry;
+  registry.histogram("h");
+  EXPECT_THROW(registry.histogram_percentile("h", -0.1), Error);
+  EXPECT_THROW(registry.histogram_percentile("h", 1.1), Error);
+  EXPECT_THROW(registry.histogram_percentile("missing", 0.5), Error);
+}
+
 TEST(MetricsRegistryTest, ConcurrentAddsNeverLoseIncrements) {
   MetricsRegistry registry;
   const CounterHandle counter = registry.counter("hot");

@@ -14,6 +14,12 @@ pure PE-pipeline cycle counts, independent of flash timing, so they should
 barely move. Baselines recorded before the multi-PE work carry no such
 rows; the guard then notes the gap and passes instead of failing.
 
+Tail-latency rows (series named "p99*", from fig_host_service) likewise
+get a dedicated --p99-threshold: p99 is the host-service SLO, and a small
+mean-throughput win that fattens the tail must still fail CI. Same grace
+path — a baseline recorded before the host-service bench has no p99 rows,
+so the dedicated guard notes the gap and defers to the general one.
+
 Usage:
   check_bench_regression.py --baseline bench/baseline.json --results DIR
   check_bench_regression.py --baseline bench/baseline.json --results DIR \
@@ -38,6 +44,11 @@ HIGHER_BETTER = {"x"}
 def is_pe_phase_row(key):
     """True for PE-phase critical-path rows ("<series>|pe_phase_cycles")."""
     return key.endswith("|pe_phase_cycles")
+
+
+def is_p99_row(key):
+    """True for tail-latency rows ("p99*|<load point>")."""
+    return key.split("|", 1)[0].startswith("p99")
 
 
 def load_results(results_dir):
@@ -65,6 +76,11 @@ def main():
                              "cycle rows (default: the general threshold); "
                              "noted and skipped when the baseline predates "
                              "PE-phase rows")
+    parser.add_argument("--p99-threshold", type=float, default=None,
+                        help="max relative growth of p99 tail-latency rows "
+                             "(default: the general threshold); noted and "
+                             "skipped when the baseline predates the "
+                             "host-service bench")
     parser.add_argument("--scale", type=int, default=None,
                         help="NDPGEN_SCALE the results were produced at "
                              "(recorded with --update, checked otherwise)")
@@ -96,6 +112,8 @@ def main():
                  else baseline.get("threshold", 0.15))
     pe_threshold = (args.pe_phase_threshold
                     if args.pe_phase_threshold is not None else threshold)
+    p99_threshold = (args.p99_threshold
+                     if args.p99_threshold is not None else threshold)
     if args.scale is not None and args.scale != baseline.get("scale"):
         print(f"error: results at scale {args.scale} cannot be compared "
               f"against a scale-{baseline.get('scale')} baseline")
@@ -104,6 +122,7 @@ def main():
     failures = []
     compared = 0
     pe_compared = 0
+    p99_compared = 0
     for bench, base_rows in baseline["benches"].items():
         new_rows = benches.get(bench)
         if new_rows is None:
@@ -124,6 +143,10 @@ def main():
                 pe_compared += 1
                 row_threshold = pe_threshold
                 tag = " [pe-phase]"
+            elif is_p99_row(key):
+                p99_compared += 1
+                row_threshold = p99_threshold
+                tag = " [p99]"
             if unit in LOWER_BETTER and base_value > 0:
                 # Throughput ~ 1/time: a drop of `threshold` means the
                 # time/cycle count grew past base / (1 - threshold).
@@ -152,6 +175,13 @@ def main():
     else:
         print(f"pe-phase guard: {pe_compared} critical-path rows "
               f"(threshold {pe_threshold:.0%})")
+    if p99_compared == 0:
+        # Same grace path for baselines predating the host-service bench.
+        print("note: baseline has no p99 rows; tail-latency guard skipped "
+              "(regenerate with --update to arm it)")
+    else:
+        print(f"p99 guard: {p99_compared} tail-latency rows "
+              f"(threshold {p99_threshold:.0%})")
     print(f"checked {compared} rows against {baseline_path} "
           f"(threshold {threshold:.0%})")
     if failures:

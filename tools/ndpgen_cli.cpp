@@ -20,6 +20,7 @@
 
 #include "core/framework.hpp"
 #include "fault/fault_profile.hpp"
+#include "host/service.hpp"
 #include "hwgen/testbench_emitter.hpp"
 #include "hwsim/pe_sim.hpp"
 #include "hwsim/tuple_buffer.hpp"
@@ -59,6 +60,22 @@ int usage() {
                "built-in pubgraph\n"
                "                                      workload over the full "
                "simulated platform\n"
+               "  serve [--tenants N] [--qd D] [--arrival-rate R]\n"
+               "       [--requests N] [--batch B] [--weights a,b,...]\n"
+               "       [--closed-loop C] [--think-us T] [--span K]\n"
+               "       [--max-retries N] [--backoff-us T] [--seed S]\n"
+               "       [--scale N] [--mode sw|hw|host] [--pes N]\n"
+               "       [--threads N] [--predicate field,op,value]...\n"
+               "       [--trace FILE] [--metrics FILE]\n"
+               "       [--fault-profile preset|k=v,...]\n"
+               "                                      drive the multi-tenant "
+               "host query service\n"
+               "                                      (NVMe queue pairs, WRR "
+               "arbitration, batching)\n"
+               "                                      against the NDP "
+               "executor; prints per-tenant\n"
+               "                                      throughput and "
+               "p50/p95/p99 latency\n"
                "  recover [--ops N] [--crash-at N] [--torn-fraction F]\n"
                "       [--seed S] [--trace FILE] [--metrics FILE]\n"
                "                                      power-fail a durable "
@@ -89,8 +106,10 @@ int usage() {
                "  retry_factor, max_retries, bad_block_rate, silent_rate,\n"
                "  nvme_timeout_rate, nvme_max_retries, pe_fault_rate.\n"
                "\n"
-               "  exit codes: 0 ok, 2 usage, 10-17 by error kind "
-               "(see README).\n");
+               "  exit codes: 0 ok, 2 usage, 10-18 by error kind "
+               "(see README); serve\n"
+               "  exits 18 (busy) when sustained overload dropped requests "
+               "after retries.\n");
   return 2;
 }
 
@@ -418,6 +437,192 @@ int cmd_scan(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  host::ServiceConfig service_config;
+  host::LoadConfig load_config;
+  std::string mode_name = "hw";
+  std::uint64_t scale = 32768;
+  std::uint32_t pes = 1;
+  std::uint32_t threads = 0;
+  std::string trace_path;
+  std::string metrics_path;
+  fault::FaultProfile fault_profile;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--tenants" && i + 1 < args.size()) {
+      const auto tenants = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+      if (tenants == 0) return usage();
+      service_config.tenants = tenants;
+      load_config.tenants = tenants;
+    } else if (args[i] == "--qd" && i + 1 < args.size()) {
+      service_config.queue_depth = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--arrival-rate" && i + 1 < args.size()) {
+      load_config.arrival_rate =
+          std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--requests" && i + 1 < args.size()) {
+      load_config.requests = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--batch" && i + 1 < args.size()) {
+      service_config.batch_limit = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--weights" && i + 1 < args.size()) {
+      service_config.weights.clear();
+      for (const auto& piece : support::split(args[++i], ',')) {
+        service_config.weights.push_back(static_cast<std::uint32_t>(
+            std::strtoul(piece.c_str(), nullptr, 10)));
+      }
+    } else if (args[i] == "--closed-loop" && i + 1 < args.size()) {
+      load_config.closed_loop_clients = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--think-us" && i + 1 < args.size()) {
+      load_config.think_time =
+          std::strtoull(args[++i].c_str(), nullptr, 10) *
+          platform::kNsPerUs;
+    } else if (args[i] == "--span" && i + 1 < args.size()) {
+      load_config.span_keys = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--max-retries" && i + 1 < args.size()) {
+      service_config.max_retries = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--backoff-us" && i + 1 < args.size()) {
+      service_config.retry_backoff =
+          std::strtoull(args[++i].c_str(), nullptr, 10) *
+          platform::kNsPerUs;
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      load_config.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      scale = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--mode" && i + 1 < args.size()) {
+      mode_name = args[++i];
+    } else if (args[i] == "--pes" && i + 1 < args.size()) {
+      pes = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+      if (pes == 0) return usage();
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else if (args[i] == "--fault-profile" && i + 1 < args.size()) {
+      fault_profile = parse_fault_profile(args[++i]);
+    } else if (args[i] == "--predicate" && i + 1 < args.size()) {
+      const auto pieces = support::split(args[++i], ',');
+      if (pieces.size() != 3) return usage();
+      service_config.predicates.push_back(ndp::FilterPredicate{
+          pieces[0], pieces[1],
+          std::strtoull(pieces[2].c_str(), nullptr, 0)});
+    } else {
+      return usage();
+    }
+  }
+  ndp::ExecMode mode;
+  if (mode_name == "sw") {
+    mode = ndp::ExecMode::kSoftware;
+  } else if (mode_name == "hw") {
+    mode = ndp::ExecMode::kHardware;
+  } else if (mode_name == "host") {
+    mode = ndp::ExecMode::kHostClassic;
+  } else {
+    return usage();
+  }
+
+  platform::CosmosConfig cosmos_config;
+  cosmos_config.fault = fault_profile;
+  platform::CosmosPlatform cosmos(cosmos_config);
+  obs::TraceSink sink;
+  if (!trace_path.empty()) cosmos.observability().trace = &sink;
+  if (fault_profile.any_enabled()) {
+    std::fprintf(stderr, "%s\n", fault_profile.summary().c_str());
+  }
+
+  core::Framework framework;
+  const auto compiled =
+      framework.compile(workload::pubgraph_spec_source());
+  const auto& artifacts = compiled.get("PaperScan");
+
+  workload::PubGraphGenerator generator(
+      workload::PubGraphConfig{.scale_divisor = scale});
+  kv::DBConfig db_config;
+  db_config.record_bytes = workload::PaperRecord::kBytes;
+  db_config.extractor = workload::paper_key;
+  kv::NKV db(cosmos, db_config);
+  const std::uint64_t loaded = workload::load_papers(db, generator);
+  load_config.key_space = generator.paper_count();
+  service_config.result_key = workload::paper_result_key;
+
+  ndp::ExecutorConfig exec_config;
+  exec_config.mode = mode;
+  exec_config.num_pes = pes;
+  exec_config.pe_threads = threads;
+  exec_config.result_key_extractor = workload::paper_result_key;
+  if (mode == ndp::ExecMode::kHardware) {
+    exec_config.pe_indices = {
+        framework.instantiate(compiled, "PaperScan", cosmos)};
+  }
+  ndp::HybridExecutor executor(db, artifacts.analyzed,
+                               artifacts.design.operators, exec_config);
+
+  host::QueryService service(executor, cosmos, service_config);
+  host::LoadGenerator load(load_config);
+  const host::ServiceReport report = service.run(load);
+
+  std::printf(
+      "serve [%s, %u PE%s]: %llu records loaded, %llu requests "
+      "(%s, %u tenant%s, qd %u)\n",
+      std::string(to_string(mode)).c_str(), pes, pes == 1 ? "" : "s",
+      static_cast<unsigned long long>(loaded),
+      static_cast<unsigned long long>(report.submitted),
+      load.open_loop() ? "open loop" : "closed loop",
+      service_config.tenants, service_config.tenants == 1 ? "" : "s",
+      service_config.queue_depth);
+  std::printf(
+      "  completed %llu, dropped %llu (%llu kBusy rejections, "
+      "%llu retries), %llu results\n",
+      static_cast<unsigned long long>(report.completed),
+      static_cast<unsigned long long>(report.dropped),
+      static_cast<unsigned long long>(report.rejected_busy),
+      static_cast<unsigned long long>(report.retries),
+      static_cast<unsigned long long>(report.results));
+  std::printf(
+      "  offloads %llu (coalesced %llu, max batch %llu), device "
+      "utilization %.1f%%\n",
+      static_cast<unsigned long long>(report.batches),
+      static_cast<unsigned long long>(report.coalesced),
+      static_cast<unsigned long long>(report.max_batch),
+      100.0 * report.utilization());
+  std::printf(
+      "  throughput %.1f req/s over %.3f ms virtual; latency p50 %.3f ms, "
+      "p95 %.3f ms, p99 %.3f ms\n",
+      report.throughput_rps,
+      static_cast<double>(report.makespan_ns) / 1e6,
+      static_cast<double>(report.p50_ns) / 1e6,
+      static_cast<double>(report.p95_ns) / 1e6,
+      static_cast<double>(report.p99_ns) / 1e6);
+  for (std::size_t t = 0; t < report.tenants.size(); ++t) {
+    const host::TenantReport& tr = report.tenants[t];
+    std::printf(
+        "  tenant %zu: %llu submitted, %llu completed, %llu dropped, "
+        "%.1f req/s, p99 %.3f ms, SQ high-water %zu\n",
+        t, static_cast<unsigned long long>(tr.submitted),
+        static_cast<unsigned long long>(tr.completed),
+        static_cast<unsigned long long>(tr.dropped), tr.throughput_rps,
+        static_cast<double>(tr.p99_ns) / 1e6, tr.sq_high_water);
+  }
+
+  cosmos.publish_metrics();
+  write_observability(cosmos.observability(), sink, trace_path,
+                      metrics_path);
+  if (report.dropped > 0) {
+    std::fprintf(stderr,
+                 "ndpgen: serve dropped %llu request(s) after exhausting "
+                 "retries — sustained overload (busy)\n",
+                 static_cast<unsigned long long>(report.dropped));
+    return exit_code(ErrorKind::kBusy);
+  }
+  return 0;
+}
+
 int cmd_recover(const std::vector<std::string>& args) {
   workload::CrashHarnessConfig config;
   std::uint64_t crash_at = 0;
@@ -575,6 +780,9 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "scan") {
       return cmd_scan({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "serve") {
+      return cmd_serve({args.begin() + 1, args.end()});
     }
     if (args[0] == "recover") {
       return cmd_recover({args.begin() + 1, args.end()});

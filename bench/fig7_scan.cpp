@@ -180,6 +180,21 @@ int main() {
     json.add(series, "pe_phase_cycles",
              static_cast<double>(stats.pe_phase_cycles), "cycles");
     json.add(series, "pe_phase_speedup", speedup, "x");
+    // Cycle attribution (ns rows are informational — the regression guard
+    // only arms "s"/"ms"/"cycles"/"x" units, so these need no baseline).
+    for (std::size_t p = 0; p < obs::kRequestPhaseCount; ++p) {
+      const auto phase = static_cast<obs::RequestPhase>(p);
+      json.add(series, "phase_" + std::string(obs::phase_name(phase)),
+               static_cast<double>(stats.phases[phase]), "ns");
+    }
+    cosmos.publish_metrics();
+    const auto& metrics = cosmos.observability().metrics;
+    if (metrics.contains("hwsim.idle_cycle_fraction")) {
+      json.add(series, "idle_cycle_fraction",
+               static_cast<double>(
+                   metrics.gauge_value("hwsim.idle_cycle_fraction")),
+               "permille");
+    }
   }
   json.write();
 

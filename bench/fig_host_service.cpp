@@ -91,7 +91,8 @@ bool reports_equal(const host::ServiceReport& a,
          a.batches == b.batches && a.coalesced == b.coalesced &&
          a.max_batch == b.max_batch && a.makespan_ns == b.makespan_ns &&
          a.device_busy_ns == b.device_busy_ns && a.p50_ns == b.p50_ns &&
-         a.p95_ns == b.p95_ns && a.p99_ns == b.p99_ns;
+         a.p95_ns == b.p95_ns && a.p99_ns == b.p99_ns &&
+         a.phases.ns == b.phases.ns;
 }
 
 }  // namespace
@@ -135,6 +136,17 @@ int main() {
   json.add("capacity_batch", "closed", capacity, "rps");
   json.add("capacity_nobatch", "closed", capacity_nobatch, "rps");
   json.add("batching_speedup", "saturation", batching_gain, "x");
+  // Where did the saturated latency go? Phase attribution summed over
+  // every completion (ns rows are informational for the guard).
+  std::printf("saturated phase attribution:");
+  for (std::size_t p = 0; p < obs::kRequestPhaseCount; ++p) {
+    const auto phase = static_cast<obs::RequestPhase>(p);
+    std::printf(" %s %.3f ms", std::string(obs::phase_name(phase)).c_str(),
+                bench::to_millis(saturated.phases[phase]));
+    json.add("phase_ns_closed", std::string(obs::phase_name(phase)),
+             static_cast<double>(saturated.phases[phase]), "ns");
+  }
+  std::printf("\n\n");
 
   // --- 2.+3. open-loop load sweep at fractions of batched capacity.
   struct Fraction {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "kv/key.hpp"
+#include "obs/request_trace.hpp"
 #include "platform/event_queue.hpp"
 #include "support/error.hpp"
 
@@ -30,6 +31,9 @@ struct Request {
   kv::Key hi;
   platform::SimTime arrival = 0;   ///< First submission attempt.
   platform::SimTime admitted = 0;  ///< Doorbell completion (SQ entry live).
+  /// Host-side doorbell cost of the winning attempt (admitted - submit
+  /// time): the zero-payload reservation on the shared NVMe link.
+  platform::SimTime doorbell_ns = 0;
   std::uint32_t attempts = 0;      ///< Submission attempts so far.
 };
 
@@ -43,6 +47,8 @@ struct Completion {
   platform::SimTime admitted = 0;
   platform::SimTime dispatched = 0;
   platform::SimTime completed = 0;
+  /// End-to-end attribution; phases.total() == latency() (test-enforced).
+  obs::PhaseBreakdown phases;
 
   [[nodiscard]] platform::SimTime latency() const noexcept {
     return completed - arrival;

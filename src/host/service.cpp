@@ -112,8 +112,11 @@ void QueryService::handle_submit(Request request, LoadGenerator& load) {
   if (!qp.sq_full()) {
     // Doorbell: a zero-payload command on the shared host link, serialized
     // against every other submission and result transfer. The SQ entry is
-    // live (dispatchable) once the grant drains.
-    attempt.admitted = platform_.nvme().reserve(now_, 0).done;
+    // live (dispatchable) once the grant drains. The grant's span of the
+    // link is this request's host-side doorbell phase.
+    const platform::LinkGrant grant = platform_.nvme().reserve(now_, 0);
+    attempt.admitted = grant.done;
+    attempt.doorbell_ns = grant.done - now_;
   }
   auto admitted = qp.submit(attempt);
   if (!admitted.ok()) {
@@ -189,11 +192,25 @@ void QueryService::try_dispatch() {
   }
   std::vector<std::vector<std::uint8_t>> records;
   // One coalesced offload; executor errors (typed kStorage while the
-  // store recovers) unwind through run() to the caller.
-  const ndp::ScanStats stats =
-      executor_.multi_range_scan(ranges, config_.predicates, &records);
+  // store recovers) unwind through run() to the caller. The request
+  // context is minted from the batch head's id (head-of-line requests are
+  // issued in generator order, so the id — and every span tagged with it —
+  // is invariant across pes/threads) and cleared before control returns
+  // to the event loop.
+  obs::Observability& obs = platform_.observability();
+  obs.request_ctx = obs::RequestContext::mint(batch.requests.front().id);
+  ndp::ScanStats stats;
+  try {
+    stats = executor_.multi_range_scan(ranges, config_.predicates, &records);
+  } catch (...) {
+    obs.request_ctx = obs::RequestContext{};
+    throw;
+  }
+  obs.request_ctx = obs::RequestContext{};
 
   batch.dispatched = start;
+  batch.service_ns = stats.elapsed;
+  batch.device_phases = stats.phases;
   batch.results_per_request.assign(batch.requests.size(), 0);
   for (const auto& record : records) {
     const kv::Key key = config_.result_key(record);
@@ -205,7 +222,6 @@ void QueryService::try_dispatch() {
     }
   }
 
-  obs::Observability& obs = platform_.observability();
   obs::MetricsRegistry& m = obs.metrics;
   ++report_.batches;
   report_.coalesced += batch.requests.size() - 1;
@@ -220,12 +236,19 @@ void QueryService::try_dispatch() {
     m.observe(m_queue_wait_, start - std::min(start, request.admitted));
   }
   if (obs.tracing()) {
+    const obs::TrackId device = obs.trace->track("host.device");
     obs.trace->complete(
-        obs.trace->track("host.device"), "offload", "host", start,
-        stats.elapsed,
+        device, "offload", "host", start, stats.elapsed,
         "{\"tenant\":" + std::to_string(batch.tenant) +
             ",\"requests\":" + std::to_string(batch.requests.size()) +
-            ",\"results\":" + std::to_string(stats.results) + "}");
+            ",\"results\":" + std::to_string(stats.results) +
+            ",\"head\":" + std::to_string(batch.requests.front().id) + "}");
+    // One flow step per coalesced request, binding every rider's request
+    // flow to the offload slice it travelled in.
+    for (const Request& request : batch.requests) {
+      obs.trace->flow_step(device, "request", "request", start,
+                           obs::RequestContext::mint(request.id).trace_id);
+    }
   }
 
   // CQ posting: completion interrupt one command latency after the
@@ -241,7 +264,8 @@ void QueryService::complete_batch(LoadGenerator& load) {
                "completion event without an in-flight offload");
   Batch batch = std::move(*in_flight_);
   in_flight_.reset();
-  obs::MetricsRegistry& m = platform_.observability().metrics;
+  obs::Observability& obs = platform_.observability();
+  obs::MetricsRegistry& m = obs.metrics;
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     const Request& request = batch.requests[i];
     Completion completion;
@@ -254,6 +278,38 @@ void QueryService::complete_batch(LoadGenerator& load) {
     completion.admitted = request.admitted;
     completion.dispatched = batch.dispatched;
     completion.completed = now_;
+    // End-to-end phase attribution. Every nanosecond of the request's
+    // latency lands in exactly one bucket, so phases.total() == latency():
+    //  * queueing  — arrival -> dispatch, minus the winning doorbell;
+    //    covers SQ wait, kBusy backoff, and batch head-of-line delay;
+    //  * doorbell  — host link reservation + device command/retry phase;
+    //  * transfer  — device result DMA + the host-side completion
+    //    residual (CQ interrupt latency and any device-queue skew);
+    //  * flash/pe/merge — taken verbatim from the offload's breakdown.
+    // Riders inherit the shared offload's device phases: the device
+    // genuinely spent those cycles on the coalesced command they rode in.
+    using obs::RequestPhase;
+    const platform::SimTime pre_dispatch =
+        completion.dispatched - completion.arrival;
+    NDPGEN_CHECK(pre_dispatch >= request.doorbell_ns,
+                 "dispatch precedes the admitting doorbell");
+    const platform::SimTime post_dispatch =
+        completion.completed - completion.dispatched;
+    NDPGEN_CHECK(post_dispatch >= batch.service_ns,
+                 "completion precedes the offload's service time");
+    completion.phases[RequestPhase::kQueueing] =
+        pre_dispatch - request.doorbell_ns;
+    completion.phases[RequestPhase::kDoorbell] =
+        request.doorbell_ns + batch.device_phases[RequestPhase::kDoorbell];
+    completion.phases[RequestPhase::kTransfer] =
+        batch.device_phases[RequestPhase::kTransfer] +
+        (post_dispatch - batch.service_ns);
+    completion.phases[RequestPhase::kFlash] =
+        batch.device_phases[RequestPhase::kFlash];
+    completion.phases[RequestPhase::kPe] =
+        batch.device_phases[RequestPhase::kPe];
+    completion.phases[RequestPhase::kMerge] =
+        batch.device_phases[RequestPhase::kMerge];
     queues_[request.tenant].post(completion);
 
     TenantMetrics& tm = tenant_metrics_[request.tenant];
@@ -268,7 +324,37 @@ void QueryService::complete_batch(LoadGenerator& load) {
     m.add(tm.results, completion.results);
     m.observe(m_latency_, completion.latency());
     m.observe(tm.latency, completion.latency());
+    report_.phases += completion.phases;
+    tr.phases += completion.phases;
     last_completion_ = now_;
+
+    if (obs.tracing()) {
+      const obs::TrackId track = obs.trace->track(
+          "host.tenant" + std::to_string(request.tenant));
+      const std::uint64_t flow =
+          obs::RequestContext::mint(request.id).trace_id;
+      obs.trace->complete(
+          track, "request", "host", completion.arrival,
+          completion.latency(),
+          "{\"request\":" + std::to_string(request.id) +
+              ",\"results\":" + std::to_string(completion.results) +
+              ",\"batch\":" + std::to_string(completion.batch_requests) +
+              ",\"dominant\":\"" +
+              std::string(obs::phase_name(completion.phases.dominant())) +
+              "\",\"phases\":" + completion.phases.json() + "}");
+      // Causal chain: request span (begin) -> offload slice (step) ->
+      // device scan span (step, emitted by the executor) -> completion
+      // (end), all keyed by the request-derived flow id.
+      obs.trace->flow_begin(track, "request", "request", completion.arrival,
+                            flow);
+      obs.trace->flow_end(track, "request", "request", completion.completed,
+                          flow);
+    }
+    if (obs.profiling()) {
+      obs.profiler->record(obs::RequestProfile{
+          completion.id, completion.tenant, completion.arrival,
+          completion.completed, completion.phases});
+    }
 
     if (!load.open_loop()) {
       if (auto next = load.next_for_client(

@@ -75,6 +75,9 @@ struct TenantReport {
   platform::SimTime p95_ns = 0;
   platform::SimTime p99_ns = 0;
   double throughput_rps = 0.0;  ///< completed / makespan.
+  /// Summed per-request phase attribution (queueing/doorbell/transfer/
+  /// flash/pe/merge) over this tenant's completions.
+  obs::PhaseBreakdown phases;
 };
 
 struct ServiceReport {
@@ -95,6 +98,10 @@ struct ServiceReport {
   platform::SimTime p95_ns = 0;
   platform::SimTime p99_ns = 0;
   double throughput_rps = 0.0;
+  /// Summed per-request phase attribution over every completion. Each
+  /// request's phases sum to its latency, so phases.total() equals the
+  /// summed completion latency (test-enforced).
+  obs::PhaseBreakdown phases;
 
   [[nodiscard]] double utilization() const noexcept {
     return makespan_ns == 0
@@ -143,6 +150,8 @@ class QueryService {
     std::vector<Request> requests;
     std::vector<std::uint64_t> results_per_request;
     platform::SimTime dispatched = 0;
+    platform::SimTime service_ns = 0;    ///< Executor elapsed (device time).
+    obs::PhaseBreakdown device_phases;   ///< Executor phase attribution.
   };
 
   void push_event(platform::SimTime at, EventKind kind,

@@ -16,6 +16,31 @@ void SimKernel::tick() {
   for (auto& stream : streams_) {
     stream->commit();
   }
+  // Classify the tick that just elapsed. A committed stream transfer
+  // means data moved -> useful. Otherwise, in-flight module state or
+  // buffered stream data that failed to move -> stalled; a completely
+  // drained pipeline -> idle. Exactly one bucket per tick keeps the
+  // invariant useful + stalled + idle == now().
+  const std::uint64_t transfers = total_transfers();
+  if (transfers != last_transfer_count_) {
+    last_transfer_count_ = transfers;
+    ++cycle_stats_.useful;
+  } else {
+    bool quiescent = streams_empty();
+    if (quiescent) {
+      for (const Module* module : modules_) {
+        if (!module->idle()) {
+          quiescent = false;
+          break;
+        }
+      }
+    }
+    if (quiescent) {
+      ++cycle_stats_.idle;
+    } else {
+      ++cycle_stats_.stalled;
+    }
+  }
   ++now_;
 }
 
@@ -52,6 +77,8 @@ void SimKernel::reset() {
   for (Module* module : modules_) module->reset();
   for (auto& stream : streams_) stream->reset();
   now_ = 0;
+  cycle_stats_ = CycleStats{};
+  last_transfer_count_ = total_transfers();
 }
 
 std::uint64_t SimKernel::total_transfers() const noexcept {

@@ -36,6 +36,32 @@ class Module {
   std::string name_;
 };
 
+/// Per-kernel cycle classification: every tick lands in exactly one
+/// bucket, so useful + stalled + idle == cycles simulated. "Useful" means
+/// at least one stream transfer committed this tick (data moved through
+/// the pipeline); "idle" means nothing could have moved (all modules
+/// idle, all streams empty); "stalled" is everything between — modules
+/// hold in-flight work but no transfer fired (backpressure, memory wait).
+struct CycleStats {
+  std::uint64_t useful = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t idle = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return useful + stalled + idle;
+  }
+  CycleStats& operator+=(const CycleStats& other) noexcept {
+    useful += other.useful;
+    stalled += other.stalled;
+    idle += other.idle;
+    return *this;
+  }
+  CycleStats operator-(const CycleStats& other) const noexcept {
+    return CycleStats{useful - other.useful, stalled - other.stalled,
+                      idle - other.idle};
+  }
+};
+
 /// Owns modules and streams; advances the clock.
 class SimKernel {
  public:
@@ -80,6 +106,12 @@ class SimKernel {
 
   [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
 
+  /// Cumulative cycle classification since construction/reset.
+  /// Invariant: cycle_stats().total() == now() (every tick classified).
+  [[nodiscard]] const CycleStats& cycle_stats() const noexcept {
+    return cycle_stats_;
+  }
+
   /// True when every registered stream is empty.
   [[nodiscard]] bool streams_empty() const noexcept;
 
@@ -100,6 +132,8 @@ class SimKernel {
   std::vector<Module*> modules_;
   std::vector<std::unique_ptr<StreamBase>> streams_;
   std::uint64_t now_ = 0;
+  CycleStats cycle_stats_;
+  std::uint64_t last_transfer_count_ = 0;  ///< For useful-tick detection.
   std::uint64_t watchdog_cycles_ = 0;  ///< 0 = watchdog disabled.
   obs::Observability* obs_ = nullptr;  ///< Non-owning.
 };

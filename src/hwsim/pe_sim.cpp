@@ -131,6 +131,11 @@ void SimulatedPE::start_run(std::uint64_t now) {
 
   running_ = true;
   run_start_cycle_ = now;
+  // Snapshot the kernel's cycle classification; finish_run diffs against
+  // it to attribute this chunk's window. Both start_run and finish_run
+  // execute inside a tick BEFORE the kernel classifies it, so the delta
+  // covers exactly `cycles` ticks.
+  run_start_classes_ = kernel_->cycle_stats();
   regs_.hw_set(hw::reg::kBusy, 1);
 }
 
@@ -169,6 +174,10 @@ void SimulatedPE::finish_run(std::uint64_t now) {
   last_stats_.payload_bytes_out = out_buffer_->payload_bytes();
   last_stats_.bytes_read = load_->bytes_transferred();
   last_stats_.bytes_written = store_->bytes_transferred();
+  const CycleStats classes = kernel_->cycle_stats() - run_start_classes_;
+  last_stats_.cycles_useful = classes.useful;
+  last_stats_.cycles_stalled = classes.stalled;
+  last_stats_.cycles_idle = classes.idle;
   last_stats_.stage_pass_counts.clear();
   last_stats_.stage_stall_in.clear();
   last_stats_.stage_stall_out.clear();
@@ -212,6 +221,14 @@ void SimulatedPE::publish_observability(std::uint64_t now) {
   m.add(m.counter(prefix + "bytes_read"), last_stats_.bytes_read);
   m.add(m.counter(prefix + "bytes_written"), last_stats_.bytes_written);
   m.observe(m.histogram(prefix + "chunk_cycles"), last_stats_.cycles);
+  // Cycle classification, per design and rolled up globally (the global
+  // counters feed platform.publish_metrics's hwsim.idle_cycle_fraction).
+  m.add(m.counter(prefix + "cycles_useful"), last_stats_.cycles_useful);
+  m.add(m.counter(prefix + "cycles_stalled"), last_stats_.cycles_stalled);
+  m.add(m.counter(prefix + "cycles_idle"), last_stats_.cycles_idle);
+  m.add(m.counter("hwsim.cycles_useful"), last_stats_.cycles_useful);
+  m.add(m.counter("hwsim.cycles_stalled"), last_stats_.cycles_stalled);
+  m.add(m.counter("hwsim.cycles_idle"), last_stats_.cycles_idle);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const std::string stage = prefix + "filter_" + std::to_string(i) + ".";
     m.add(m.counter(stage + "pass"), stages_[i]->pass_count());
@@ -230,12 +247,20 @@ void SimulatedPE::publish_observability(std::uint64_t now) {
     const obs::TrackId track =
         obs.trace->track("pe." + design_.name, obs::kPidHwsim);
     const std::uint64_t kNsPerCycle = 10;
-    obs.trace->complete(
-        track, "chunk", "hwsim", run_start_cycle_ * kNsPerCycle,
-        (now - run_start_cycle_) * kNsPerCycle,
+    std::string args =
         "{\"tuples_in\":" + std::to_string(last_stats_.tuples_in) +
-            ",\"tuples_out\":" + std::to_string(last_stats_.tuples_out) +
-            ",\"cycles\":" + std::to_string(last_stats_.cycles) + "}");
+        ",\"tuples_out\":" + std::to_string(last_stats_.tuples_out) +
+        ",\"cycles\":" + std::to_string(last_stats_.cycles);
+    // Tag the chunk with the request that caused it so the hwsim timeline
+    // joins the request's causal span tree.
+    if (obs.request_ctx.active()) {
+      args += ",\"ctx\":" + std::to_string(obs.request_ctx.trace_id);
+    }
+    args += "}";
+    obs.trace->complete(track, "chunk", "hwsim",
+                        run_start_cycle_ * kNsPerCycle,
+                        (now - run_start_cycle_) * kNsPerCycle,
+                        std::move(args));
   }
 }
 

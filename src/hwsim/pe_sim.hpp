@@ -34,6 +34,11 @@ struct ChunkStats {
   std::uint64_t payload_bytes_out = 0;
   std::uint64_t bytes_read = 0;     ///< Including static-mode padding.
   std::uint64_t bytes_written = 0;  ///< Including static-mode padding.
+  // Kernel-cycle classification over this chunk's run window. Invariant:
+  // cycles_useful + cycles_stalled + cycles_idle == cycles.
+  std::uint64_t cycles_useful = 0;   ///< A stream transfer committed.
+  std::uint64_t cycles_stalled = 0;  ///< In-flight work, nothing moved.
+  std::uint64_t cycles_idle = 0;     ///< Pipeline fully drained.
   std::vector<std::uint64_t> stage_pass_counts;
   std::vector<std::uint64_t> stage_stall_in;   ///< Per filter stage.
   std::vector<std::uint64_t> stage_stall_out;  ///< Per filter stage.
@@ -105,6 +110,7 @@ class SimulatedPE final : public Module {
   bool running_ = false;
   bool start_pending_ = false;
   std::uint64_t run_start_cycle_ = 0;
+  CycleStats run_start_classes_;  ///< Kernel stats snapshot at start_run.
   ChunkStats last_stats_;
 };
 

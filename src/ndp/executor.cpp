@@ -52,6 +52,41 @@ bool block_in_ranges(const kv::Key& first, const kv::Key& last,
   return false;
 }
 
+/// Attributes a scan's [t0, end] window to the device-side phases via a
+/// clamped monotone boundary chain: each stage boundary is forced into
+/// [previous boundary, end], so every phase width is non-negative and the
+/// widths sum EXACTLY to end - t0 no matter how the stages overlap. The
+/// clamps are no-ops on the normal fully-ordered timeline (command ->
+/// flash -> pipeline -> finalize -> transfer).
+obs::PhaseBreakdown attribute_scan_phases(
+    platform::SimTime t0, platform::SimTime cmd_done,
+    platform::SimTime flash_end, platform::SimTime pipe_end,
+    platform::SimTime finalize_end, platform::SimTime end) {
+  obs::PhaseBreakdown phases;
+  const platform::SimTime c1 = std::clamp(cmd_done, t0, end);
+  const platform::SimTime c2 = std::clamp(flash_end, c1, end);
+  const platform::SimTime c3 = std::clamp(pipe_end, c2, end);
+  const platform::SimTime c4 = std::clamp(finalize_end, c3, end);
+  phases[obs::RequestPhase::kDoorbell] = c1 - t0;
+  phases[obs::RequestPhase::kFlash] = c2 - c1;
+  phases[obs::RequestPhase::kPe] = c3 - c2;
+  phases[obs::RequestPhase::kMerge] = c4 - c3;
+  phases[obs::RequestPhase::kTransfer] = end - c4;
+  return phases;
+}
+
+/// Publishes the device-side phase widths as "ndp.scan.phase.*_ns"
+/// counters (queueing is a host-service phase and stays out).
+void publish_scan_phases(obs::MetricsRegistry& m,
+                         const obs::PhaseBreakdown& phases) {
+  for (std::size_t i = 1; i < obs::kRequestPhaseCount; ++i) {
+    const auto phase = static_cast<obs::RequestPhase>(i);
+    m.add(m.counter("ndp.scan.phase." +
+                    std::string(obs::phase_name(phase)) + "_ns"),
+          phases[phase]);
+  }
+}
+
 }  // namespace
 
 HybridExecutor::HybridExecutor(kv::NKV& db,
@@ -227,6 +262,7 @@ ScanStats HybridExecutor::scan_blocks(
       penalty > 0) {
     queue.run_until(queue.now() + penalty);
   }
+  const platform::SimTime cmd_done = queue.now();
 
   ScanStats stats;
   const std::uint32_t sw_stages =
@@ -431,11 +467,15 @@ ScanStats HybridExecutor::scan_blocks(
     const platform::SimTime block_start = std::max(worker_free[w], ready[b]);
     worker_free[w] = block_start + cost;
     if (obs.tracing()) {
+      std::string block_args = "{\"block\":" + std::to_string(b) +
+                               ",\"matched\":" + std::to_string(matched);
+      if (obs.request_ctx.active()) {
+        block_args += ",\"ctx\":" + std::to_string(obs.request_ctx.trace_id);
+      }
+      block_args += "}";
       obs.trace->complete(
           obs.trace->track("ndp.worker" + std::to_string(w)), "block", "ndp",
-          block_start, cost,
-          "{\"block\":" + std::to_string(b) +
-              ",\"matched\":" + std::to_string(matched) + "}");
+          block_start, cost, std::move(block_args));
     }
     stats.tuples_matched += matched;
     ++stats.blocks;
@@ -464,9 +504,13 @@ ScanStats HybridExecutor::scan_blocks(
   //    The makespan is the SCAN's own critical path — concurrent unrelated
   //    device traffic (e.g. background compaction on other channels) only
   //    affects it through the per-block ready times above.
-  platform::SimTime end = t0;
-  for (const platform::SimTime t : worker_free) end = std::max(end, t);
-  end += stats.results * kFinalizePerResult;
+  platform::SimTime pipe_end = t0;
+  for (const platform::SimTime t : worker_free) {
+    pipe_end = std::max(pipe_end, t);
+  }
+  const platform::SimTime finalize_end =
+      pipe_end + stats.results * kFinalizePerResult;
+  platform::SimTime end = finalize_end;
   if (config_.mode != ExecMode::kHostClassic) {
     // Result transfer reserves the shared host link: uncontended it costs
     // exactly nvme_transfer_time plus the injected timeout/backoff share;
@@ -476,6 +520,8 @@ ScanStats HybridExecutor::scan_blocks(
   }
   if (end > queue.now()) queue.advance_to(end);
   stats.elapsed = end - t0;
+  stats.phases = attribute_scan_phases(t0, cmd_done, t0 + stats.flash_done,
+                                       pipe_end, finalize_end, end);
   for (const std::uint64_t cycles : worker_cycles) {
     stats.pe_phase_cycles = std::max(stats.pe_phase_cycles, cycles);
   }
@@ -491,6 +537,7 @@ ScanStats HybridExecutor::scan_blocks(
   m.add(m.counter("ndp.scan.bytes_from_flash"), stats.bytes_from_flash);
   m.add(m.counter("ndp.scan.result_bytes"), stats.result_bytes);
   m.observe(m.histogram("ndp.scan.elapsed_ns"), stats.elapsed);
+  publish_scan_phases(m, stats.phases);
   if (faults) {
     // Registered only under a fault profile so the default metrics dump
     // stays byte-identical to a fault-free build.
@@ -501,13 +548,26 @@ ScanStats HybridExecutor::scan_blocks(
           stats.uncorrectable_blocks);
   }
   if (obs.tracing()) {
-    obs.trace->complete(
-        obs.trace->track("ndp"), "scan", "ndp", t0, stats.elapsed,
+    std::string args =
         std::string("{\"mode\":\"") + std::string(to_string(config_.mode)) +
-            "\",\"blocks\":" + std::to_string(stats.blocks) +
-            ",\"tuples_scanned\":" + std::to_string(stats.tuples_scanned) +
-            ",\"tuples_matched\":" + std::to_string(stats.tuples_matched) +
-            ",\"results\":" + std::to_string(stats.results) + "}");
+        "\",\"blocks\":" + std::to_string(stats.blocks) +
+        ",\"tuples_scanned\":" + std::to_string(stats.tuples_scanned) +
+        ",\"tuples_matched\":" + std::to_string(stats.tuples_matched) +
+        ",\"results\":" + std::to_string(stats.results) +
+        ",\"phases\":" + stats.phases.json();
+    if (obs.request_ctx.active()) {
+      args += ",\"ctx\":" + std::to_string(obs.request_ctx.trace_id);
+    }
+    args += "}";
+    const obs::TrackId ndp_track = obs.trace->track("ndp");
+    obs.trace->complete(ndp_track, "scan", "ndp", t0, stats.elapsed,
+                        std::move(args));
+    if (obs.request_ctx.active()) {
+      // The flow arrow threads the request through the device: it binds
+      // to the scan slice just emitted on the "ndp" track.
+      obs.trace->flow_step(ndp_track, "request", "request", t0,
+                           obs.request_ctx.trace_id);
+    }
   }
   return stats;
 }
@@ -528,6 +588,7 @@ ScanStats HybridExecutor::scan_blocks_sharded(
       penalty > 0) {
     queue.run_until(queue.now() + penalty);
   }
+  const platform::SimTime cmd_done = queue.now();
 
   ScanStats stats;
   stats.shards = shard_count;
@@ -652,7 +713,8 @@ ScanStats HybridExecutor::scan_blocks_sharded(
     shards.reserve(shard_count);
     for (std::uint32_t k = 0; k < shard_count; ++k) {
       shards.push_back(std::make_unique<PeShard>(
-          k, *design, timing, platform.config().axi, faults, obs.tracing()));
+          k, *design, timing, platform.config().axi, faults, obs.tracing(),
+          obs.request_ctx));
     }
   }
 
@@ -777,11 +839,15 @@ ScanStats HybridExecutor::scan_blocks_sharded(
     stats.tuples_matched += out.matched;
     ++stats.blocks;
     if (obs.tracing()) {
+      std::string block_args = "{\"block\":" + std::to_string(b) +
+                               ",\"matched\":" + std::to_string(out.matched);
+      if (obs.request_ctx.active()) {
+        block_args += ",\"ctx\":" + std::to_string(obs.request_ctx.trace_id);
+      }
+      block_args += "}";
       obs.trace->complete(
           obs.trace->track("ndp.shard" + std::to_string(shard_of[b])),
-          "block", "ndp", out.start, out.cost,
-          "{\"block\":" + std::to_string(b) +
-              ",\"matched\":" + std::to_string(out.matched) + "}");
+          "block", "ndp", out.start, out.cost, std::move(block_args));
     }
     for (auto& record : out.survivors) {
       if (config_.result_key_extractor) {
@@ -809,10 +875,14 @@ ScanStats HybridExecutor::scan_blocks_sharded(
   for (const std::uint64_t cycles : shard_cycles) {
     stats.pe_phase_cycles = std::max(stats.pe_phase_cycles, cycles);
   }
-  platform::SimTime end = pe_phase_end + stats.results * kFinalizePerResult;
+  const platform::SimTime finalize_end =
+      pe_phase_end + stats.results * kFinalizePerResult;
+  platform::SimTime end = finalize_end;
   end = platform.nvme().reserve(end, stats.result_bytes).done;
   if (end > queue.now()) queue.advance_to(end);
   stats.elapsed = end - t0;
+  stats.phases = attribute_scan_phases(t0, cmd_done, t0 + stats.flash_done,
+                                       pe_phase_end, finalize_end, end);
 
   // 8. Fold the shard-local observability into the platform, in shard
   //    order: counters add, gauges high-water, per-shard trace lanes get a
@@ -826,11 +896,15 @@ ScanStats HybridExecutor::scan_blocks_sharded(
           shard->trace(),
           "shard" + std::to_string(shard->shard_id()) + ".");
     }
-    obs.trace->complete(
-        obs.trace->track("ndp"), "merge", "ndp", pe_phase_end,
-        end - pe_phase_end,
-        "{\"shards\":" + std::to_string(shard_count) +
-            ",\"results\":" + std::to_string(stats.results) + "}");
+    std::string merge_args = "{\"shards\":" + std::to_string(shard_count) +
+                             ",\"results\":" + std::to_string(stats.results);
+    if (obs.request_ctx.active()) {
+      merge_args += ",\"ctx\":" + std::to_string(obs.request_ctx.trace_id);
+    }
+    merge_args += "}";
+    obs.trace->complete(obs.trace->track("ndp"), "merge", "ndp",
+                        pe_phase_end, end - pe_phase_end,
+                        std::move(merge_args));
   }
 
   obs::MetricsRegistry& m = obs.metrics;
@@ -844,6 +918,7 @@ ScanStats HybridExecutor::scan_blocks_sharded(
   m.add(m.counter("ndp.scan.bytes_from_flash"), stats.bytes_from_flash);
   m.add(m.counter("ndp.scan.result_bytes"), stats.result_bytes);
   m.observe(m.histogram("ndp.scan.elapsed_ns"), stats.elapsed);
+  publish_scan_phases(m, stats.phases);
   m.raise(m.gauge("ndp.scan.shards"), shard_count);
   m.raise(m.gauge("ndp.scan.pe_phase_cycles"), stats.pe_phase_cycles);
   if (faults) {
@@ -854,14 +929,25 @@ ScanStats HybridExecutor::scan_blocks_sharded(
           stats.uncorrectable_blocks);
   }
   if (obs.tracing()) {
-    obs.trace->complete(
-        obs.trace->track("ndp"), "scan", "ndp", t0, stats.elapsed,
+    std::string args =
         std::string("{\"mode\":\"") + std::string(to_string(config_.mode)) +
-            "\",\"shards\":" + std::to_string(shard_count) +
-            ",\"blocks\":" + std::to_string(stats.blocks) +
-            ",\"tuples_scanned\":" + std::to_string(stats.tuples_scanned) +
-            ",\"tuples_matched\":" + std::to_string(stats.tuples_matched) +
-            ",\"results\":" + std::to_string(stats.results) + "}");
+        "\",\"shards\":" + std::to_string(shard_count) +
+        ",\"blocks\":" + std::to_string(stats.blocks) +
+        ",\"tuples_scanned\":" + std::to_string(stats.tuples_scanned) +
+        ",\"tuples_matched\":" + std::to_string(stats.tuples_matched) +
+        ",\"results\":" + std::to_string(stats.results) +
+        ",\"phases\":" + stats.phases.json();
+    if (obs.request_ctx.active()) {
+      args += ",\"ctx\":" + std::to_string(obs.request_ctx.trace_id);
+    }
+    args += "}";
+    const obs::TrackId ndp_track = obs.trace->track("ndp");
+    obs.trace->complete(ndp_track, "scan", "ndp", t0, stats.elapsed,
+                        std::move(args));
+    if (obs.request_ctx.active()) {
+      obs.trace->flow_step(ndp_track, "request", "request", t0,
+                           obs.request_ctx.trace_id);
+    }
   }
   return stats;
 }

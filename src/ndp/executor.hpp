@@ -26,6 +26,7 @@
 #include "ndp/hardware_ndp.hpp"
 #include "ndp/software_ndp.hpp"
 #include "ndp/predicate.hpp"
+#include "obs/request_trace.hpp"
 
 namespace ndpgen::ndp {
 
@@ -57,6 +58,13 @@ struct ScanStats {
   std::uint64_t result_bytes = 0;
   platform::SimTime elapsed = 0;      ///< End-to-end virtual time.
   platform::SimTime flash_done = 0;   ///< When the last block left flash.
+  /// Device-side phase attribution of `elapsed`: doorbell (NDP command +
+  /// retry penalty), flash (waiting on the last page read), pe (pipeline
+  /// makespan beyond flash), merge (cross-shard merge + per-result
+  /// finalization), transfer (result DMA to the host). queueing stays 0
+  /// here — it belongs to the host service. Invariant (test-enforced):
+  /// phases.total() == elapsed.
+  obs::PhaseBreakdown phases;
   std::uint64_t blocks_via_software = 0;  ///< Partial blocks on HW path.
 
   // --- Multi-PE scaling (paper Fig. 10) ---------------------------------

@@ -10,7 +10,7 @@ namespace hw = ndpgen::hwgen;
 PeShard::PeShard(std::size_t shard_id, const hw::PEDesign& design,
                  const platform::TimingConfig& timing,
                  hwsim::AxiInterconnect::Config axi, bool arm_watchdog,
-                 bool enable_trace)
+                 bool enable_trace, obs::RequestContext trace_ctx)
     : shard_id_(shard_id),
       timing_(timing),
       bench_(design, hwsim::PEBenchConfig{.axi = axi}) {
@@ -26,6 +26,7 @@ PeShard::PeShard(std::size_t shard_id, const hw::PEDesign& design,
     tracing_ = true;
     bench_.observability().trace = &trace_;
   }
+  bench_.observability().request_ctx = trace_ctx;
 }
 
 bool PeShard::supports_aggregation() noexcept {

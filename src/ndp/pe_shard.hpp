@@ -34,11 +34,15 @@ class PeShard {
   /// (mirrors the platform under a fault profile). `enable_trace` attaches
   /// the shard-local TraceSink so the PE emits per-chunk spans; the
   /// executor later appends them to the platform sink under a "shardN."
-  /// lane prefix.
+  /// lane prefix. `trace_ctx` (trace_id 0 = none) propagates the request
+  /// context into the bench so per-chunk spans carry the request tag;
+  /// flow ids are request-derived, so the merged trace keeps its causal
+  /// links for every shard count.
   PeShard(std::size_t shard_id, const hwgen::PEDesign& design,
           const platform::TimingConfig& timing,
           hwsim::AxiInterconnect::Config axi, bool arm_watchdog,
-          bool enable_trace);
+          bool enable_trace,
+          obs::RequestContext trace_ctx = obs::RequestContext{});
 
   /// Same contract as HardwareNdp::process_block, confined to this shard's
   /// bench. Safe to call from exactly one thread at a time.

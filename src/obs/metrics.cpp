@@ -113,6 +113,12 @@ std::uint64_t MetricsRegistry::histogram_percentile(std::string_view name,
   const auto& histogram = find_metric(histograms_, name, "histogram");
   const std::uint64_t count = histogram.count.load();
   if (count == 0) return 0;
+  // Degenerate ranks have exact answers that need no bucket walk: p=0 is
+  // the observed minimum (NOT the rank-1 bucket bound, which can overshoot
+  // it), p=1 the observed maximum, and a single-sample histogram holds
+  // only its minimum.
+  if (p == 0.0 || count == 1) return histogram.min.load();
+  if (p == 1.0) return histogram.max.load();
   // Nearest rank, integer-only: rank r is the smallest integer with
   // r >= p * count (at least 1), found without touching libm so the value
   // is bit-identical across platforms.

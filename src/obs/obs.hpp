@@ -14,6 +14,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/trace.hpp"
 
 namespace ndpgen::obs {
@@ -22,7 +23,16 @@ struct Observability {
   MetricsRegistry metrics;
   TraceSink* trace = nullptr;  ///< Non-owning; null disables tracing.
 
+  /// Request currently being serviced (trace_id 0 = none). The host
+  /// service (or CLI) sets it around each offload; the NVMe link,
+  /// executor and PE shards read it to tag their spans and flow arrows.
+  RequestContext request_ctx;
+
+  /// Attribution collector; null disables per-request profiling.
+  RequestProfiler* profiler = nullptr;  ///< Non-owning.
+
   [[nodiscard]] bool tracing() const noexcept { return trace != nullptr; }
+  [[nodiscard]] bool profiling() const noexcept { return profiler != nullptr; }
 };
 
 }  // namespace ndpgen::obs

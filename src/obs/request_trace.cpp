@@ -1,0 +1,207 @@
+#include "obs/request_trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::obs {
+
+namespace {
+
+constexpr std::array<std::string_view, kRequestPhaseCount> kPhaseNames{
+    "queueing", "doorbell", "transfer", "flash", "pe", "merge"};
+
+}  // namespace
+
+std::string_view phase_name(RequestPhase phase) noexcept {
+  return kPhaseNames[static_cast<std::size_t>(phase)];
+}
+
+std::uint64_t PhaseBreakdown::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : ns) sum += v;
+  return sum;
+}
+
+RequestPhase PhaseBreakdown::dominant() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < kRequestPhaseCount; ++i) {
+    if (ns[i] > ns[best]) best = i;  // Strict: ties keep the earliest phase.
+  }
+  return static_cast<RequestPhase>(best);
+}
+
+PhaseBreakdown& PhaseBreakdown::operator+=(
+    const PhaseBreakdown& other) noexcept {
+  for (std::size_t i = 0; i < kRequestPhaseCount; ++i) ns[i] += other.ns[i];
+  return *this;
+}
+
+std::string PhaseBreakdown::json() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < kRequestPhaseCount; ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << kPhaseNames[i] << "\":" << ns[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+void RequestProfiler::record(const RequestProfile& profile) {
+  NDPGEN_CHECK_ARG(profile.completed_ns >= profile.arrival_ns,
+                   "request completed before it arrived");
+  NDPGEN_CHECK(profile.phases.total() == profile.latency_ns(),
+               "phase breakdown does not sum to the request latency");
+  requests_.push_back(profile);
+}
+
+PhaseBreakdown RequestProfiler::totals() const {
+  PhaseBreakdown sum;
+  for (const RequestProfile& r : requests_) sum += r.phases;
+  return sum;
+}
+
+std::vector<TenantAttribution> RequestProfiler::tenants() const {
+  // Group by tenant id; tenant populations are tiny (single digits), so a
+  // sorted vector beats a map for determinism clarity.
+  std::vector<TenantAttribution> out;
+  for (const RequestProfile& r : requests_) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const auto& t) {
+      return t.tenant == r.tenant;
+    });
+    if (it == out.end()) {
+      out.push_back(TenantAttribution{r.tenant});
+      it = out.end() - 1;
+    }
+    ++it->requests;
+    it->phases += r.phases;
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.tenant < b.tenant;
+  });
+  // Nearest-rank p99 per tenant; the rank request's dominant phase is the
+  // tail attribution. Ties on latency break toward the smaller request id
+  // so the answer never depends on record() order.
+  for (TenantAttribution& tenant : out) {
+    std::vector<const RequestProfile*> members;
+    for (const RequestProfile& r : requests_) {
+      if (r.tenant == tenant.tenant) members.push_back(&r);
+    }
+    std::sort(members.begin(), members.end(), [](const auto* a,
+                                                 const auto* b) {
+      if (a->latency_ns() != b->latency_ns()) {
+        return a->latency_ns() < b->latency_ns();
+      }
+      return a->id < b->id;
+    });
+    // rank = ceil(0.99 * n), 1-based.
+    const std::size_t n = members.size();
+    const std::size_t rank = (99 * n + 99) / 100;
+    const RequestProfile& at = *members[std::min(rank, n) - 1];
+    tenant.p99_latency_ns = at.latency_ns();
+    tenant.p99_dominant = at.phases.dominant();
+  }
+  return out;
+}
+
+void RequestProfiler::publish(MetricsRegistry& metrics) const {
+  const PhaseBreakdown sum = totals();
+  for (std::size_t i = 0; i < kRequestPhaseCount; ++i) {
+    metrics.add(
+        metrics.counter("host.phase." + std::string(kPhaseNames[i]) + "_ns"),
+        sum.ns[i]);
+  }
+  for (const TenantAttribution& tenant : tenants()) {
+    const std::string prefix =
+        "host.tenant" + std::to_string(tenant.tenant) + ".phase.";
+    for (std::size_t i = 0; i < kRequestPhaseCount; ++i) {
+      metrics.add(
+          metrics.counter(prefix + std::string(kPhaseNames[i]) + "_ns"),
+          tenant.phases.ns[i]);
+    }
+  }
+}
+
+void RequestProfiler::write_report(std::ostream& out,
+                                   std::size_t top_k) const {
+  const PhaseBreakdown sum = totals();
+  const std::uint64_t grand = sum.total();
+  out << "Per-phase latency breakdown (" << requests_.size()
+      << " requests, " << grand << " ns attributed):\n";
+  out << "  phase      total_ns        share\n";
+  for (std::size_t i = 0; i < kRequestPhaseCount; ++i) {
+    const double share =
+        grand == 0 ? 0.0 : 100.0 * static_cast<double>(sum.ns[i]) /
+                               static_cast<double>(grand);
+    out << "  " << std::left << std::setw(9) << kPhaseNames[i] << std::right
+        << std::setw(13) << sum.ns[i] << std::setw(12) << std::fixed
+        << std::setprecision(1) << share << "%\n";
+  }
+
+  // Top-k slowest requests, latency descending, request id ascending on
+  // ties — deterministic regardless of completion interleaving.
+  std::vector<const RequestProfile*> slowest;
+  slowest.reserve(requests_.size());
+  for (const RequestProfile& r : requests_) slowest.push_back(&r);
+  std::sort(slowest.begin(), slowest.end(), [](const auto* a, const auto* b) {
+    if (a->latency_ns() != b->latency_ns()) {
+      return a->latency_ns() > b->latency_ns();
+    }
+    return a->id < b->id;
+  });
+  if (slowest.size() > top_k) slowest.resize(top_k);
+  out << "Top-" << slowest.size() << " slowest requests:\n";
+  for (const RequestProfile* r : slowest) {
+    out << "  request " << r->id << " tenant " << r->tenant << ": "
+        << r->latency_ns() << " ns, dominant phase "
+        << phase_name(r->phases.dominant()) << " ("
+        << r->phases[r->phases.dominant()] << " ns)\n";
+  }
+
+  out << "Per-tenant p99 attribution:\n";
+  for (const TenantAttribution& tenant : tenants()) {
+    out << "  tenant " << tenant.tenant << ": " << tenant.requests
+        << " requests, p99 " << tenant.p99_latency_ns
+        << " ns, tail dominated by " << phase_name(tenant.p99_dominant)
+        << "\n";
+  }
+}
+
+void RequestProfiler::write_json(std::ostream& out) const {
+  std::vector<const RequestProfile*> by_id;
+  by_id.reserve(requests_.size());
+  for (const RequestProfile& r : requests_) by_id.push_back(&r);
+  std::sort(by_id.begin(), by_id.end(), [](const auto* a, const auto* b) {
+    return a->id < b->id;
+  });
+  out << "{\"requests\":[";
+  bool first = true;
+  for (const RequestProfile* r : by_id) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"id\":" << r->id << ",\"tenant\":" << r->tenant
+        << ",\"arrival_ns\":" << r->arrival_ns
+        << ",\"completed_ns\":" << r->completed_ns
+        << ",\"latency_ns\":" << r->latency_ns()
+        << ",\"phases\":" << r->phases.json() << ",\"dominant\":\""
+        << phase_name(r->phases.dominant()) << "\"}";
+  }
+  out << "],\"totals\":" << totals().json() << ",\"tenants\":[";
+  first = true;
+  for (const TenantAttribution& tenant : tenants()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"tenant\":" << tenant.tenant
+        << ",\"requests\":" << tenant.requests
+        << ",\"p99_latency_ns\":" << tenant.p99_latency_ns
+        << ",\"p99_dominant\":\"" << phase_name(tenant.p99_dominant)
+        << "\",\"phases\":" << tenant.phases.json() << "}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace ndpgen::obs

@@ -1,0 +1,155 @@
+// Request-scoped causal tracing and cycle attribution.
+//
+// A RequestContext carries a deterministic trace id (minted from the
+// request id, which is issued in generator order and therefore invariant
+// across seeds of parallelism: PE count, host thread count). Components
+// that observe the context tag their spans with it and emit flow events,
+// so one request yields one causally-linked span tree in the Chrome trace.
+//
+// A PhaseBreakdown splits a request's end-to-end latency into six
+// non-overlapping phases that sum EXACTLY to the latency (integer virtual
+// nanoseconds, no rounding slop — enforced by tests):
+//
+//   queueing  SQ wait + WRR arbitration + batch formation
+//   doorbell  NVMe doorbell/command reservations (submit + device command)
+//   transfer  result DMA back over the NVMe link + completion posting
+//   flash     waiting on the slowest flash page read of the batch
+//   pe        PE pipeline occupancy (or host/ARM software scan time)
+//   merge     cross-shard merge + per-result finalization
+//
+// The RequestProfiler accumulates one RequestProfile per completed
+// request and renders the attribution report: totals table, top-k
+// slowest requests with their dominant phase, and per-tenant p99
+// attribution. All output is sorted by deterministic keys so the report
+// is byte-identical for any pes/threads combination at a fixed seed.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ndpgen::obs {
+
+class MetricsRegistry;
+
+/// Latency phases, in causal order. The order is load-bearing:
+/// PhaseBreakdown::dominant() breaks ties toward the earliest phase.
+enum class RequestPhase : std::uint8_t {
+  kQueueing = 0,
+  kDoorbell,
+  kTransfer,
+  kFlash,
+  kPe,
+  kMerge,
+};
+
+inline constexpr std::size_t kRequestPhaseCount = 6;
+
+/// Stable lower-case name ("queueing", "doorbell", ...).
+[[nodiscard]] std::string_view phase_name(RequestPhase phase) noexcept;
+
+/// Per-request latency attribution in virtual nanoseconds.
+struct PhaseBreakdown {
+  std::array<std::uint64_t, kRequestPhaseCount> ns{};
+
+  [[nodiscard]] std::uint64_t& operator[](RequestPhase phase) noexcept {
+    return ns[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] std::uint64_t operator[](RequestPhase phase) const noexcept {
+    return ns[static_cast<std::size_t>(phase)];
+  }
+
+  /// Sum of all phases. Equal to the request latency by construction.
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  /// Phase with the largest share; ties go to the earliest phase so the
+  /// answer is deterministic.
+  [[nodiscard]] RequestPhase dominant() const noexcept;
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& other) noexcept;
+
+  /// Rendered JSON object: {"queueing":...,"doorbell":...,...}.
+  [[nodiscard]] std::string json() const;
+};
+
+/// The propagation carrier: minted by the host service (or the CLI for
+/// standalone scans), read by the NVMe link, executor, and PE shards.
+/// trace_id 0 means "no request in flight" — components then emit their
+/// PR-1-era untagged spans, which keeps old traces byte-stable.
+struct RequestContext {
+  std::uint64_t trace_id = 0;
+
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+
+  /// Deterministic mint: request ids are issued in generator order
+  /// (seed-derived), so id+1 is invariant across pes/threads. The +1
+  /// keeps id 0 distinguishable from "no context".
+  [[nodiscard]] static RequestContext mint(std::uint64_t request_id) noexcept {
+    return RequestContext{request_id + 1};
+  }
+};
+
+/// One completed request's attribution record.
+struct RequestProfile {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  std::uint64_t arrival_ns = 0;
+  std::uint64_t completed_ns = 0;
+  PhaseBreakdown phases;
+
+  [[nodiscard]] std::uint64_t latency_ns() const noexcept {
+    return completed_ns - arrival_ns;
+  }
+};
+
+/// Per-tenant rollup computed by RequestProfiler.
+struct TenantAttribution {
+  std::uint32_t tenant = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t p99_latency_ns = 0;
+  RequestPhase p99_dominant = RequestPhase::kQueueing;
+  PhaseBreakdown phases;  ///< Summed over the tenant's requests.
+};
+
+/// Collects RequestProfiles and renders the attribution report.
+class RequestProfiler {
+ public:
+  void record(const RequestProfile& profile);
+
+  [[nodiscard]] const std::vector<RequestProfile>& requests() const noexcept {
+    return requests_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return requests_.empty(); }
+
+  /// Phase totals over every recorded request.
+  [[nodiscard]] PhaseBreakdown totals() const;
+
+  /// Per-tenant rollups, ascending tenant id. p99 uses the nearest-rank
+  /// request by latency (ties broken by ascending request id); its
+  /// dominant phase is the "what blew the tail" answer.
+  [[nodiscard]] std::vector<TenantAttribution> tenants() const;
+
+  /// Publishes phase totals as counters ("host.phase.<name>_ns" and
+  /// "host.tenant<T>.phase.<name>_ns") into `metrics`.
+  void publish(MetricsRegistry& metrics) const;
+
+  /// Human-readable report: breakdown table, top-k slowest requests with
+  /// dominant phase, per-tenant p99 attribution. Deterministic ordering.
+  void write_report(std::ostream& out, std::size_t top_k = 5) const;
+
+  /// Machine-readable attribution, sorted by request id:
+  /// {"requests":[...],"totals":{...},"tenants":[...]}.
+  void write_json(std::ostream& out) const;
+
+  void clear() noexcept { requests_.clear(); }
+
+ private:
+  std::vector<RequestProfile> requests_;
+};
+
+}  // namespace ndpgen::obs

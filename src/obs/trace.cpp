@@ -47,6 +47,39 @@ void TraceSink::counter(std::string_view name, std::uint64_t ts_ns,
                           ts_ns, 0, pid, 0, value, {}});
 }
 
+void TraceSink::flow_begin(TrackId track, std::string_view name,
+                           std::string_view cat, std::uint64_t ts_ns,
+                           std::uint64_t flow_id) {
+  const std::uint32_t pid =
+      track >= 1 && track <= tracks_.size() ? tracks_[track - 1].pid
+                                            : kPidPlatform;
+  events_.push_back(Event{Phase::kFlowBegin, std::string(name),
+                          std::string(cat), ts_ns, 0, pid, track, flow_id,
+                          {}});
+}
+
+void TraceSink::flow_step(TrackId track, std::string_view name,
+                          std::string_view cat, std::uint64_t ts_ns,
+                          std::uint64_t flow_id) {
+  const std::uint32_t pid =
+      track >= 1 && track <= tracks_.size() ? tracks_[track - 1].pid
+                                            : kPidPlatform;
+  events_.push_back(Event{Phase::kFlowStep, std::string(name),
+                          std::string(cat), ts_ns, 0, pid, track, flow_id,
+                          {}});
+}
+
+void TraceSink::flow_end(TrackId track, std::string_view name,
+                         std::string_view cat, std::uint64_t ts_ns,
+                         std::uint64_t flow_id) {
+  const std::uint32_t pid =
+      track >= 1 && track <= tracks_.size() ? tracks_[track - 1].pid
+                                            : kPidPlatform;
+  events_.push_back(Event{Phase::kFlowEnd, std::string(name),
+                          std::string(cat), ts_ns, 0, pid, track, flow_id,
+                          {}});
+}
+
 void TraceSink::append_from(const TraceSink& other,
                             std::string_view track_prefix) {
   const std::string prefix(track_prefix);
@@ -85,6 +118,21 @@ void TraceSink::write_json(std::ostream& out) const {
         break;
       case Phase::kCounter:
         out << "C\",\"ts\":" << json_micros(event.ts_ns);
+        break;
+      case Phase::kFlowBegin:
+        out << "s\",\"id\":" << event.value
+            << ",\"ts\":" << json_micros(event.ts_ns);
+        break;
+      case Phase::kFlowStep:
+        out << "t\",\"id\":" << event.value
+            << ",\"ts\":" << json_micros(event.ts_ns);
+        break;
+      case Phase::kFlowEnd:
+        // "bp":"e" binds the arrow to the ENCLOSING slice instead of the
+        // next one, which is what a completion landing inside the tenant
+        // lane's request span wants.
+        out << "f\",\"bp\":\"e\",\"id\":" << event.value
+            << ",\"ts\":" << json_micros(event.ts_ns);
         break;
     }
     out << ",\"pid\":" << event.pid;

@@ -42,6 +42,18 @@ class TraceSink {
   void counter(std::string_view name, std::uint64_t ts_ns,
                std::uint64_t value, std::uint32_t pid = kPidPlatform);
 
+  /// Flow events ("s"/"t"/"f"): a causal arrow chain with numeric `flow_id`
+  /// that binds to the enclosing slice on `track` at `ts_ns`. Used to link
+  /// a request's spans (admission -> offload -> completion) across tracks.
+  /// flow_end emits the terminating arrow with binding point "enclosing"
+  /// so viewers attach it to the slice it lands in.
+  void flow_begin(TrackId track, std::string_view name, std::string_view cat,
+                  std::uint64_t ts_ns, std::uint64_t flow_id);
+  void flow_step(TrackId track, std::string_view name, std::string_view cat,
+                 std::uint64_t ts_ns, std::uint64_t flow_id);
+  void flow_end(TrackId track, std::string_view name, std::string_view cat,
+                std::uint64_t ts_ns, std::uint64_t flow_id);
+
   [[nodiscard]] std::size_t event_count() const noexcept {
     return events_.size();
   }
@@ -65,7 +77,14 @@ class TraceSink {
   void clear() noexcept;
 
  private:
-  enum class Phase : std::uint8_t { kComplete, kInstant, kCounter };
+  enum class Phase : std::uint8_t {
+    kComplete,
+    kInstant,
+    kCounter,
+    kFlowBegin,
+    kFlowStep,
+    kFlowEnd,
+  };
 
   struct Track {
     std::string name;
@@ -79,7 +98,7 @@ class TraceSink {
     std::uint64_t dur_ns;    ///< kComplete only.
     std::uint32_t pid;
     TrackId tid;             ///< Unused for kCounter.
-    std::uint64_t value;     ///< kCounter only.
+    std::uint64_t value;     ///< kCounter value, or flow event id.
     std::string args_json;
   };
 

@@ -62,6 +62,24 @@ void CosmosPlatform::publish_metrics() {
   }
   m.raise(m.gauge("platform.nvme.bytes_to_host"), nvme_.bytes_to_host());
   m.raise(m.gauge("platform.nvme.commands"), nvme_.commands());
+  // Fraction of simulated PE-kernel cycles that did no useful work, in
+  // permille. This is the fast-forwarding opportunity (ROADMAP): every
+  // stalled/idle cycle is one the kernel could skip. Counters exist only
+  // once a PE chunk ran, so scans that never touch hardware keep their
+  // metrics dump byte-identical to earlier builds.
+  // (Merged-in shard registries drop never-moved counters, so each class
+  // must be read defensively.)
+  const auto counter_or_zero = [&m](std::string_view name) -> std::uint64_t {
+    return m.contains(name) ? m.counter_value(name) : 0;
+  };
+  const std::uint64_t useful = counter_or_zero("hwsim.cycles_useful");
+  const std::uint64_t stalled = counter_or_zero("hwsim.cycles_stalled");
+  const std::uint64_t idle = counter_or_zero("hwsim.cycles_idle");
+  const std::uint64_t total_classified = useful + stalled + idle;
+  if (total_classified > 0) {
+    m.raise(m.gauge("hwsim.idle_cycle_fraction"),
+            (stalled + idle) * 1000 / total_classified);
+  }
   // Reliability gauges only exist under a fault profile, so the default
   // (fault-free) metrics dump stays byte-identical to earlier builds.
   if (fault_.enabled()) {

@@ -44,6 +44,17 @@ LinkGrant NvmeLink::reserve(SimTime at, std::uint64_t payload_bytes) {
   busy_until_ = grant.done;
   bytes_to_host_ += payload_bytes;
   ++commands_;
+  if (obs_ != nullptr && obs_->tracing()) {
+    std::string args = "{\"bytes\":" + std::to_string(payload_bytes) +
+                       ",\"queued_ns\":" + std::to_string(grant.queued);
+    if (obs_->request_ctx.active()) {
+      args += ",\"ctx\":" + std::to_string(obs_->request_ctx.trace_id);
+    }
+    args += "}";
+    obs_->trace->complete(obs_->trace->track("nvme"), "reserve", "nvme",
+                          grant.start, grant.done - grant.start,
+                          std::move(args));
+  }
   return grant;
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "hwgen/template_builder.hpp"
 #include "ndp/predicate.hpp"
 #include "spec/parser.hpp"
@@ -70,6 +72,36 @@ TEST(PESim, FilterDropsNonMatching) {
   EXPECT_EQ(stats.stage_pass_counts[0], 16u);
   const auto first = bench.memory().read_bytes(8192, 4);
   EXPECT_EQ(support::get_u32(first, 0), 100 + 16);
+}
+
+TEST(PESim, CycleClassificationAccountsForEveryTick) {
+  PETestBench bench(design_for(kPointSpec, "P"));
+  const auto points = make_points(32);
+  bench.memory().write_bytes(0, points);
+  bench.set_filter(0, 0, 6 /* nop */, 0);
+  const auto stats = bench.run_chunk(0, 8192, points.size());
+  // Per-chunk classes partition the chunk's cycles...
+  EXPECT_EQ(stats.cycles_useful + stats.cycles_stalled + stats.cycles_idle,
+            stats.cycles);
+  EXPECT_GT(stats.cycles_useful, 0u);
+  // ...and the kernel-lifetime classes partition the kernel clock.
+  const CycleStats& classes = bench.kernel().cycle_stats();
+  EXPECT_EQ(classes.total(), bench.kernel().now());
+  EXPECT_GE(classes.total(), stats.cycles);
+}
+
+TEST(PESim, CycleClassificationIsDeterministic) {
+  auto classify = [] {
+    PETestBench bench(design_for(kPointSpec, "P"));
+    const auto points = make_points(16);
+    bench.memory().write_bytes(0, points);
+    bench.set_filter(0, 0, 3 /* ge */, 8);
+    const auto stats = bench.run_chunk(0, 4096, points.size());
+    return std::array<std::uint64_t, 3>{stats.cycles_useful,
+                                        stats.cycles_stalled,
+                                        stats.cycles_idle};
+  };
+  EXPECT_EQ(classify(), classify());
 }
 
 TEST(PESim, RegistersReflectRun) {

@@ -14,6 +14,7 @@
 #include "fault/fault_profile.hpp"
 #include "kv/db.hpp"
 #include "ndp/executor.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/trace.hpp"
 #include "workload/pubgraph.hpp"
 
@@ -96,6 +97,7 @@ class MultiPeScanFixture : public ::testing::Test {
     EXPECT_EQ(a.blocks_degraded_to_software, b.blocks_degraded_to_software);
     EXPECT_EQ(a.uncorrectable_blocks, b.uncorrectable_blocks);
     EXPECT_EQ(a.blocks_via_software, b.blocks_via_software);
+    EXPECT_EQ(a.phases.ns, b.phases.ns);
   }
 
   core::Framework framework_;
@@ -174,6 +176,28 @@ TEST_F(MultiPeScanFixture, SoftwareModeShardsAgreeToo) {
   EXPECT_EQ(sharded.results, serial.results);
   EXPECT_EQ(sharded.stats.results, serial.stats.results);
   EXPECT_EQ(sharded.stats.shards, 4u);
+}
+
+TEST_F(MultiPeScanFixture, PhaseAttributionSumsToElapsedAcrossMatrix) {
+  // The executor's device-side attribution must account for EVERY
+  // virtual nanosecond of the scan — no overlap, no gap — at any
+  // pes/threads combination, and stay byte-stable across thread counts.
+  for (const std::uint32_t pes : {1u, 2u, 4u}) {
+    const RunOutput one = run(ExecMode::kHardware, pes, 1);
+    ASSERT_GT(one.stats.elapsed, 0u);
+    EXPECT_EQ(one.stats.phases.total(), one.stats.elapsed) << "pes=" << pes;
+    // The device never spends time in host-side queueing.
+    EXPECT_EQ(one.stats.phases[obs::RequestPhase::kQueueing], 0u);
+    EXPECT_GT(one.stats.phases[obs::RequestPhase::kFlash], 0u);
+    const RunOutput many = run(ExecMode::kHardware, pes, 4);
+    EXPECT_EQ(one.stats.phases.ns, many.stats.phases.ns) << "pes=" << pes;
+  }
+}
+
+TEST_F(MultiPeScanFixture, SoftwarePhaseAttributionAlsoSumsToElapsed) {
+  const RunOutput sw = run(ExecMode::kSoftware, 2, 0);
+  ASSERT_GT(sw.stats.elapsed, 0u);
+  EXPECT_EQ(sw.stats.phases.total(), sw.stats.elapsed);
 }
 
 TEST_F(MultiPeScanFixture, HostClassicIgnoresNumPes) {

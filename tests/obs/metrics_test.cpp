@@ -270,6 +270,18 @@ TEST(MetricsRegistryTest, PercentileReportsBucketUpperBound) {
   EXPECT_EQ(registry.histogram_percentile("h", 0.0), 1u);
 }
 
+TEST(MetricsRegistryTest, PercentileAtZeroIsExactMinNotBucketBound) {
+  MetricsRegistry registry;
+  const auto histogram = registry.histogram("h");
+  registry.observe(histogram, 40);
+  registry.observe(histogram, 100);
+  // The rank-1 bucket of 40 is [32, 64) with bound 63, which clamping
+  // alone cannot pull down to the true minimum (min 40 < 63 < max 100):
+  // p=0 must short-circuit to the exact observed min.
+  EXPECT_EQ(registry.histogram_percentile("h", 0.0), 40u);
+  EXPECT_EQ(registry.histogram_percentile("h", 1.0), 100u);
+}
+
 TEST(MetricsRegistryTest, PercentileIsMonotoneInP) {
   MetricsRegistry registry;
   const auto histogram = registry.histogram("h");

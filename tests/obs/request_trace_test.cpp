@@ -1,0 +1,182 @@
+#include "obs/request_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::obs {
+namespace {
+
+PhaseBreakdown make_phases(std::uint64_t queueing, std::uint64_t doorbell,
+                           std::uint64_t transfer, std::uint64_t flash,
+                           std::uint64_t pe, std::uint64_t merge) {
+  PhaseBreakdown phases;
+  phases[RequestPhase::kQueueing] = queueing;
+  phases[RequestPhase::kDoorbell] = doorbell;
+  phases[RequestPhase::kTransfer] = transfer;
+  phases[RequestPhase::kFlash] = flash;
+  phases[RequestPhase::kPe] = pe;
+  phases[RequestPhase::kMerge] = merge;
+  return phases;
+}
+
+TEST(PhaseBreakdownTest, TotalSumsAllPhases) {
+  const PhaseBreakdown phases = make_phases(1, 2, 3, 4, 5, 6);
+  EXPECT_EQ(phases.total(), 21u);
+  EXPECT_EQ(PhaseBreakdown{}.total(), 0u);
+}
+
+TEST(PhaseBreakdownTest, DominantBreaksTiesTowardEarliestPhase) {
+  EXPECT_EQ(make_phases(0, 0, 0, 9, 2, 1).dominant(), RequestPhase::kFlash);
+  // flash and pe tie: the earlier (flash) wins.
+  EXPECT_EQ(make_phases(0, 0, 0, 5, 5, 0).dominant(), RequestPhase::kFlash);
+  // All zero: queueing, the earliest phase.
+  EXPECT_EQ(PhaseBreakdown{}.dominant(), RequestPhase::kQueueing);
+}
+
+TEST(PhaseBreakdownTest, AccumulateIsElementwise) {
+  PhaseBreakdown sum = make_phases(1, 0, 0, 10, 0, 0);
+  sum += make_phases(2, 3, 0, 5, 0, 1);
+  EXPECT_EQ(sum[RequestPhase::kQueueing], 3u);
+  EXPECT_EQ(sum[RequestPhase::kDoorbell], 3u);
+  EXPECT_EQ(sum[RequestPhase::kFlash], 15u);
+  EXPECT_EQ(sum[RequestPhase::kMerge], 1u);
+}
+
+TEST(PhaseBreakdownTest, JsonListsPhasesInCausalOrder) {
+  EXPECT_EQ(make_phases(1, 2, 3, 4, 5, 6).json(),
+            "{\"queueing\":1,\"doorbell\":2,\"transfer\":3,\"flash\":4,"
+            "\"pe\":5,\"merge\":6}");
+}
+
+TEST(PhaseNameTest, NamesAreStableLowercase) {
+  EXPECT_EQ(phase_name(RequestPhase::kQueueing), "queueing");
+  EXPECT_EQ(phase_name(RequestPhase::kDoorbell), "doorbell");
+  EXPECT_EQ(phase_name(RequestPhase::kTransfer), "transfer");
+  EXPECT_EQ(phase_name(RequestPhase::kFlash), "flash");
+  EXPECT_EQ(phase_name(RequestPhase::kPe), "pe");
+  EXPECT_EQ(phase_name(RequestPhase::kMerge), "merge");
+}
+
+TEST(RequestContextTest, MintOffsetsByOneSoIdZeroIsActive) {
+  EXPECT_FALSE(RequestContext{}.active());
+  const RequestContext ctx = RequestContext::mint(0);
+  EXPECT_TRUE(ctx.active());
+  EXPECT_EQ(ctx.trace_id, 1u);
+  EXPECT_EQ(RequestContext::mint(41).trace_id, 42u);
+}
+
+TEST(RequestProfilerTest, RecordRejectsPhaseSumMismatch) {
+  RequestProfiler profiler;
+  RequestProfile profile;
+  profile.arrival_ns = 100;
+  profile.completed_ns = 200;
+  profile.phases = make_phases(50, 0, 0, 49, 0, 0);  // Sums to 99, not 100.
+  EXPECT_THROW(profiler.record(profile), Error);
+  profile.phases[RequestPhase::kMerge] = 1;
+  profiler.record(profile);
+  EXPECT_EQ(profiler.size(), 1u);
+}
+
+TEST(RequestProfilerTest, RecordRejectsCompletionBeforeArrival) {
+  RequestProfiler profiler;
+  RequestProfile profile;
+  profile.arrival_ns = 10;
+  profile.completed_ns = 5;
+  EXPECT_THROW(profiler.record(profile), Error);
+}
+
+TEST(RequestProfilerTest, TotalsSumOverAllRequests) {
+  RequestProfiler profiler;
+  profiler.record(
+      RequestProfile{0, 0, 0, 10, make_phases(4, 0, 0, 6, 0, 0)});
+  profiler.record(
+      RequestProfile{1, 1, 5, 25, make_phases(2, 3, 0, 10, 5, 0)});
+  const PhaseBreakdown totals = profiler.totals();
+  EXPECT_EQ(totals[RequestPhase::kQueueing], 6u);
+  EXPECT_EQ(totals[RequestPhase::kFlash], 16u);
+  EXPECT_EQ(totals.total(), 30u);
+}
+
+TEST(RequestProfilerTest, TenantsUseNearestRankP99WithIdTiebreak) {
+  RequestProfiler profiler;
+  // Tenant 0: latencies 10, 20, 30 -> rank ceil(0.99*3)=3 -> 30 ns.
+  profiler.record(RequestProfile{0, 0, 0, 10, make_phases(10, 0, 0, 0, 0, 0)});
+  profiler.record(RequestProfile{2, 0, 0, 20, make_phases(0, 0, 0, 20, 0, 0)});
+  profiler.record(RequestProfile{4, 0, 0, 30, make_phases(0, 0, 0, 5, 25, 0)});
+  // Tenant 1: two requests with equal latency; rank request is the one
+  // with the larger id only if ids order it last — ties break ascending.
+  profiler.record(RequestProfile{5, 1, 0, 15, make_phases(0, 0, 0, 15, 0, 0)});
+  profiler.record(RequestProfile{1, 1, 0, 15, make_phases(15, 0, 0, 0, 0, 0)});
+
+  const std::vector<TenantAttribution> tenants = profiler.tenants();
+  ASSERT_EQ(tenants.size(), 2u);
+  EXPECT_EQ(tenants[0].tenant, 0u);
+  EXPECT_EQ(tenants[0].requests, 3u);
+  EXPECT_EQ(tenants[0].p99_latency_ns, 30u);
+  EXPECT_EQ(tenants[0].p99_dominant, RequestPhase::kPe);
+  EXPECT_EQ(tenants[0].phases.total(), 60u);
+  EXPECT_EQ(tenants[1].tenant, 1u);
+  EXPECT_EQ(tenants[1].requests, 2u);
+  EXPECT_EQ(tenants[1].p99_latency_ns, 15u);
+  // Equal latencies sort by ascending id (1 then 5); nearest-rank picks
+  // the last -> request 5, dominated by flash.
+  EXPECT_EQ(tenants[1].p99_dominant, RequestPhase::kFlash);
+}
+
+TEST(RequestProfilerTest, PublishEmitsGlobalAndPerTenantCounters) {
+  RequestProfiler profiler;
+  profiler.record(RequestProfile{0, 0, 0, 10, make_phases(4, 0, 0, 6, 0, 0)});
+  profiler.record(RequestProfile{1, 3, 0, 8, make_phases(0, 0, 0, 8, 0, 0)});
+  MetricsRegistry metrics;
+  profiler.publish(metrics);
+  EXPECT_EQ(metrics.counter_value("host.phase.queueing_ns"), 4u);
+  EXPECT_EQ(metrics.counter_value("host.phase.flash_ns"), 14u);
+  EXPECT_EQ(metrics.counter_value("host.tenant0.phase.flash_ns"), 6u);
+  EXPECT_EQ(metrics.counter_value("host.tenant3.phase.flash_ns"), 8u);
+}
+
+TEST(RequestProfilerTest, ReportAndJsonAreOrderInvariant) {
+  // The rendered artifacts must not depend on completion interleaving:
+  // recording the same profiles in a different order yields identical
+  // bytes. This is the contract that makes --threads byte-stable.
+  const std::vector<RequestProfile> profiles{
+      RequestProfile{3, 1, 0, 40, make_phases(10, 0, 0, 30, 0, 0)},
+      RequestProfile{1, 0, 0, 25, make_phases(5, 0, 0, 20, 0, 0)},
+      RequestProfile{2, 0, 5, 30, make_phases(0, 0, 0, 25, 0, 0)},
+  };
+  auto render = [&](const std::vector<std::size_t>& order) {
+    RequestProfiler profiler;
+    for (const std::size_t i : order) profiler.record(profiles[i]);
+    std::ostringstream report;
+    profiler.write_report(report, 2);
+    std::ostringstream json;
+    profiler.write_json(json);
+    return report.str() + "\n---\n" + json.str();
+  };
+  EXPECT_EQ(render({0, 1, 2}), render({2, 0, 1}));
+}
+
+TEST(RequestProfilerTest, JsonSortsRequestsByIdAndSumsTotals) {
+  RequestProfiler profiler;
+  profiler.record(RequestProfile{7, 0, 0, 10, make_phases(0, 0, 0, 10, 0, 0)});
+  profiler.record(RequestProfile{2, 0, 0, 4, make_phases(4, 0, 0, 0, 0, 0)});
+  std::ostringstream out;
+  profiler.write_json(out);
+  const std::string json = out.str();
+  const std::size_t first = json.find("\"id\":2");
+  const std::size_t second = json.find("\"id\":7");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_NE(json.find("\"dominant\":\"flash\""), std::string::npos);
+  EXPECT_NE(json.find("\"totals\":{\"queueing\":4,\"doorbell\":0,"
+                      "\"transfer\":0,\"flash\":10,\"pe\":0,\"merge\":0}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndpgen::obs

@@ -138,6 +138,42 @@ TEST(TraceSinkTest, AppendFromRemapsTidsAndKeepsPid) {
             std::string::npos);
 }
 
+TEST(TraceSinkTest, FlowEventsRenderChromeFlowPhases) {
+  TraceSink sink;
+  const TrackId track = sink.track("host.tenant0");
+  sink.flow_begin(track, "request", "request", 1000, 42);
+  sink.flow_step(track, "request", "request", 2000, 42);
+  sink.flow_end(track, "request", "request", 3000, 42);
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":42,\"ts\":1.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\",\"id\":42,\"ts\":2.000"),
+            std::string::npos);
+  // Flow ends bind to the enclosing slice ("bp":"e" — Chrome drops the
+  // arrow without it).
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":42,\"ts\":3.000"),
+            std::string::npos);
+}
+
+TEST(TraceSinkTest, AppendFromRemapsFlowTracksAndKeepsIds) {
+  // A PE shard traces its own flow steps; merging into the parent sink
+  // must remap the shard-local track ids but leave the request-derived
+  // flow id untouched — that id is the causal link across shards.
+  TraceSink shard;
+  const TrackId inner = shard.track("pe", kPidHwsim);
+  shard.flow_step(inner, "request", "request", 5000, 7);
+
+  TraceSink merged;
+  merged.track("outer");  // Claims tid 1 in the merged sink.
+  merged.append_from(shard, "s0.");
+  const std::string json = merged.to_json();
+  // The shard's tid-1 track was remapped past merged's "outer" (tid 1).
+  EXPECT_NE(json.find("\"ph\":\"t\",\"id\":7,\"ts\":5.000,\"pid\":2,\"tid\":2"),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"id\":7,\"ts\":5.000,\"pid\":2,\"tid\":1"),
+            std::string::npos);
+}
+
 TEST(TraceSinkTest, AppendFromPrefixesCounterNames) {
   TraceSink shard;
   shard.counter("queue_depth", 500, 3);

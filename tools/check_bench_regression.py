@@ -20,6 +20,13 @@ mean-throughput win that fattens the tail must still fail CI. Same grace
 path — a baseline recorded before the host-service bench has no p99 rows,
 so the dedicated guard notes the gap and defers to the general one.
 
+--obs-overhead-threshold arms the observability-overhead guard, which is
+self-referential rather than baseline-relative: within the results, any
+series carrying both an "<x>_traced" and an "<x>_untraced" row (emitted by
+`ndpgen profile`) must agree to within the threshold. Tracing reports
+virtual time, so the two should be *identical*; a drift means an
+observability hook perturbed the simulation it claims to observe.
+
 Usage:
   check_bench_regression.py --baseline bench/baseline.json --results DIR
   check_bench_regression.py --baseline bench/baseline.json --results DIR \
@@ -49,6 +56,31 @@ def is_pe_phase_row(key):
 def is_p99_row(key):
     """True for tail-latency rows ("p99*|<load point>")."""
     return key.split("|", 1)[0].startswith("p99")
+
+
+def check_obs_overhead(benches, threshold):
+    """Pairs *_traced/*_untraced rows within the results; returns
+    (pairs_compared, failure_messages)."""
+    compared = 0
+    failures = []
+    for bench, rows in sorted(benches.items()):
+        for key in sorted(rows):
+            if not key.endswith("_traced"):
+                continue
+            other = key[:-len("_traced")] + "_untraced"
+            if other not in rows:
+                continue
+            compared += 1
+            traced = rows[key]["value"]
+            untraced = rows[other]["value"]
+            reference = untraced if untraced != 0 else 1.0
+            drift = abs(traced - untraced) / abs(reference)
+            if drift > threshold:
+                failures.append(
+                    f"{bench} {key}: traced {traced:.3f} vs untraced "
+                    f"{untraced:.3f} (drift {drift:.1%} > "
+                    f"{threshold:.0%}) [obs-overhead]")
+    return compared, failures
 
 
 def load_results(results_dir):
@@ -81,6 +113,11 @@ def main():
                              "(default: the general threshold); noted and "
                              "skipped when the baseline predates the "
                              "host-service bench")
+    parser.add_argument("--obs-overhead-threshold", type=float, default=None,
+                        help="max relative drift between paired *_traced/"
+                             "*_untraced rows in the results (virtual time, "
+                             "so instrumentation must not move it); guard "
+                             "is off when the flag is absent")
     parser.add_argument("--scale", type=int, default=None,
                         help="NDPGEN_SCALE the results were produced at "
                              "(recorded with --update, checked otherwise)")
@@ -166,6 +203,16 @@ def main():
                         f"{bench} {key}: {new_value:.3f}{unit} vs baseline "
                         f"{base_value:.3f} (-{drop:.1%}){tag}")
 
+    if args.obs_overhead_threshold is not None:
+        obs_compared, obs_failures = check_obs_overhead(
+            benches, args.obs_overhead_threshold)
+        failures.extend(obs_failures)
+        if obs_compared == 0:
+            print("note: no *_traced/*_untraced row pairs in results; "
+                  "obs-overhead guard had nothing to compare")
+        else:
+            print(f"obs-overhead guard: {obs_compared} traced/untraced "
+                  f"pairs (threshold {args.obs_overhead_threshold:.0%})")
     if pe_compared == 0:
         # Grace path: a baseline recorded before the multi-PE benches has
         # no pe_phase_cycles rows. The general guard still ran; the

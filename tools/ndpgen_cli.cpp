@@ -11,9 +11,11 @@
 //   ndpgen report  <spec-file>
 //   ndpgen simulate <spec-file> <parser> [--tuples N] [--stage s:field,op,value]...
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,7 +28,9 @@
 #include "hwsim/tuple_buffer.hpp"
 #include "ndp/executor.hpp"
 #include "ndp/predicate.hpp"
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/request_trace.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "workload/crash_harness.hpp"
@@ -76,6 +80,26 @@ int usage() {
                "executor; prints per-tenant\n"
                "                                      throughput and "
                "p50/p95/p99 latency\n"
+               "  profile [--workload scan|serve] [--mode sw|hw|host]\n"
+               "       [--scale N] [--pes N] [--threads N] [--top K]\n"
+               "       [--tenants N] [--qd D] [--requests N] [--batch B]\n"
+               "       [--arrival-rate R] [--span K] [--seed S]\n"
+               "       [--predicate field,op,value]...\n"
+               "       [--attribution FILE] [--trace FILE] "
+               "[--metrics FILE]\n"
+               "       [--fault-profile preset|k=v,...]\n"
+               "                                      run the workload with "
+               "the cycle-attribution\n"
+               "                                      profiler: per-phase "
+               "latency breakdown\n"
+               "                                      (queueing/doorbell/"
+               "transfer/flash/pe/merge),\n"
+               "                                      top-K slowest "
+               "requests, per-tenant p99\n"
+               "                                      attribution, and the "
+               "hwsim idle-cycle\n"
+               "                                      fraction, plus an "
+               "uninstrumented control run\n"
                "  recover [--ops N] [--crash-at N] [--torn-fraction F]\n"
                "       [--seed S] [--trace FILE] [--metrics FILE]\n"
                "                                      power-fail a durable "
@@ -146,6 +170,26 @@ void write_observability(const obs::Observability& obs,
     out << obs.metrics.dump_json();
     std::fprintf(stderr, "wrote %s (%zu metrics)\n", metrics_path.c_str(),
                  obs.metrics.size());
+  }
+}
+
+/// Runs `body`; if it throws (typed Error or otherwise), invokes `flush`
+/// best-effort before rethrowing. Commands wrap their simulation phase in
+/// this so a run that dies with exit code 16/18 still leaves the
+/// requested --trace/--metrics files behind — the failing run is exactly
+/// the one whose trace you want to look at.
+template <typename Body, typename Flush>
+decltype(auto) with_flush_on_error(Body&& body, Flush&& flush) {
+  try {
+    return std::forward<Body>(body)();
+  } catch (...) {
+    try {
+      flush();
+    } catch (...) {
+      // Best-effort only: a failed flush must never mask the original
+      // error (and the original exit code).
+    }
+    throw;
   }
 }
 
@@ -283,8 +327,15 @@ int cmd_simulate(const std::vector<std::string>& args) {
                      bound.compare_value);
   }
 
-  const auto stats = bench.run_chunk(
-      0, 4 * 1024 * 1024, static_cast<std::uint32_t>(data.size()));
+  const auto stats = with_flush_on_error(
+      [&] {
+        return bench.run_chunk(0, 4 * 1024 * 1024,
+                               static_cast<std::uint32_t>(data.size()));
+      },
+      [&] {
+        write_observability(bench.observability(), sink, trace_path,
+                            metrics_path);
+      });
   std::printf("simulated %s: %llu tuples in, %llu out, %llu cycles "
               "(%.2f cyc/tuple, %.1f MB/s @100 MHz)\n",
               artifacts.analyzed.name.c_str(),
@@ -404,7 +455,13 @@ int cmd_scan(const std::vector<std::string>& args) {
   }
   ndp::HybridExecutor executor(db, artifacts.analyzed,
                                artifacts.design.operators, exec_config);
-  const auto stats = executor.scan(predicates);
+  const auto stats = with_flush_on_error(
+      [&] { return executor.scan(predicates); },
+      [&] {
+        cosmos.publish_metrics();
+        write_observability(cosmos.observability(), sink, trace_path,
+                            metrics_path);
+      });
 
   std::printf(
       "scan %s [%s]: %llu records loaded, %llu blocks, %llu scanned, "
@@ -565,7 +622,13 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   host::QueryService service(executor, cosmos, service_config);
   host::LoadGenerator load(load_config);
-  const host::ServiceReport report = service.run(load);
+  const host::ServiceReport report = with_flush_on_error(
+      [&] { return service.run(load); },
+      [&] {
+        cosmos.publish_metrics();
+        write_observability(cosmos.observability(), sink, trace_path,
+                            metrics_path);
+      });
 
   std::printf(
       "serve [%s, %u PE%s]: %llu records loaded, %llu requests "
@@ -623,6 +686,297 @@ int cmd_serve(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_profile(const std::vector<std::string>& args) {
+  std::string workload_name = "scan";
+  std::string mode_name = "hw";
+  std::uint64_t scale = 32768;
+  std::uint32_t pes = 1;
+  std::uint32_t threads = 0;
+  std::size_t top_k = 5;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string attribution_path;
+  fault::FaultProfile fault_profile;
+  std::vector<ndp::FilterPredicate> predicates;
+  host::ServiceConfig service_config;
+  host::LoadConfig load_config;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--workload" && i + 1 < args.size()) {
+      workload_name = args[++i];
+    } else if (args[i] == "--mode" && i + 1 < args.size()) {
+      mode_name = args[++i];
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      scale = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--pes" && i + 1 < args.size()) {
+      pes = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+      if (pes == 0) return usage();
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--top" && i + 1 < args.size()) {
+      top_k = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--tenants" && i + 1 < args.size()) {
+      const auto tenants = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+      if (tenants == 0) return usage();
+      service_config.tenants = tenants;
+      load_config.tenants = tenants;
+    } else if (args[i] == "--qd" && i + 1 < args.size()) {
+      service_config.queue_depth = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--requests" && i + 1 < args.size()) {
+      load_config.requests = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--arrival-rate" && i + 1 < args.size()) {
+      load_config.arrival_rate =
+          std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--batch" && i + 1 < args.size()) {
+      service_config.batch_limit = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      load_config.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--span" && i + 1 < args.size()) {
+      load_config.span_keys = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else if (args[i] == "--attribution" && i + 1 < args.size()) {
+      attribution_path = args[++i];
+    } else if (args[i] == "--fault-profile" && i + 1 < args.size()) {
+      fault_profile = parse_fault_profile(args[++i]);
+    } else if (args[i] == "--predicate" && i + 1 < args.size()) {
+      const auto pieces = support::split(args[++i], ',');
+      if (pieces.size() != 3) return usage();
+      predicates.push_back(ndp::FilterPredicate{
+          pieces[0], pieces[1],
+          std::strtoull(pieces[2].c_str(), nullptr, 0)});
+    } else {
+      return usage();
+    }
+  }
+  const bool serve = workload_name == "serve";
+  if (!serve && workload_name != "scan") return usage();
+  ndp::ExecMode mode;
+  if (mode_name == "sw") {
+    mode = ndp::ExecMode::kSoftware;
+  } else if (mode_name == "hw") {
+    mode = ndp::ExecMode::kHardware;
+  } else if (mode_name == "host") {
+    mode = ndp::ExecMode::kHostClassic;
+  } else {
+    return usage();
+  }
+
+  struct RunResult {
+    platform::SimTime elapsed = 0;  ///< Scan elapsed / serve makespan.
+    std::uint64_t completed = 0;
+    std::uint64_t idle_permille = 0;
+    bool have_idle = false;
+  };
+  // One full build-and-run of the selected workload on a fresh platform.
+  // The instrumented run (profiler + sink attached) is the measurement;
+  // the uninstrumented control proves the observability hooks do not
+  // perturb the simulation: virtual time must come out identical, and CI
+  // guards the two BENCH rows against each other.
+  auto run_once = [&](obs::RequestProfiler* profiler,
+                      obs::TraceSink* sink) -> RunResult {
+    platform::CosmosConfig cosmos_config;
+    cosmos_config.fault = fault_profile;
+    platform::CosmosPlatform cosmos(cosmos_config);
+    obs::Observability& ob = cosmos.observability();
+    if (sink != nullptr) ob.trace = sink;
+    if (profiler != nullptr) ob.profiler = profiler;
+    const bool instrumented = profiler != nullptr;
+
+    core::Framework framework;
+    const auto compiled =
+        framework.compile(workload::pubgraph_spec_source());
+    const auto& artifacts = compiled.get("PaperScan");
+    workload::PubGraphGenerator generator(
+        workload::PubGraphConfig{.scale_divisor = scale});
+    kv::DBConfig db_config;
+    db_config.record_bytes = workload::PaperRecord::kBytes;
+    db_config.extractor = workload::paper_key;
+    kv::NKV db(cosmos, db_config);
+    workload::load_papers(db, generator);
+
+    ndp::ExecutorConfig exec_config;
+    exec_config.mode = mode;
+    exec_config.num_pes = pes;
+    exec_config.pe_threads = threads;
+    exec_config.result_key_extractor = workload::paper_result_key;
+    if (mode == ndp::ExecMode::kHardware) {
+      exec_config.pe_indices = {
+          framework.instantiate(compiled, "PaperScan", cosmos)};
+    }
+    ndp::HybridExecutor executor(db, artifacts.analyzed,
+                                 artifacts.design.operators, exec_config);
+
+    RunResult out;
+    auto body = [&] {
+      if (serve) {
+        load_config.key_space = generator.paper_count();
+        service_config.result_key = workload::paper_result_key;
+        service_config.predicates = predicates;
+        host::QueryService service(executor, cosmos, service_config);
+        host::LoadGenerator load(load_config);
+        const host::ServiceReport report = service.run(load);
+        out.elapsed = report.makespan_ns;
+        out.completed = report.completed;
+      } else {
+        auto preds = predicates;
+        if (preds.empty()) {
+          preds.push_back(ndp::FilterPredicate{"year", "lt", 1990});
+        }
+        // A standalone scan is profiled as one pseudo-request (id 0,
+        // tenant 0): the CLI mints the context the host service would
+        // have minted, so the device emits the same ctx-tagged span tree.
+        const platform::SimTime t0 = cosmos.events().now();
+        ob.request_ctx = obs::RequestContext::mint(0);
+        ndp::ScanStats stats;
+        try {
+          stats = executor.scan(preds);
+        } catch (...) {
+          ob.request_ctx = obs::RequestContext{};
+          throw;
+        }
+        ob.request_ctx = obs::RequestContext{};
+        const platform::SimTime t1 = t0 + stats.elapsed;
+        if (ob.tracing()) {
+          const obs::TrackId track = ob.trace->track("host.cli");
+          const std::uint64_t flow = obs::RequestContext::mint(0).trace_id;
+          ob.trace->complete(
+              track, "request", "host", t0, stats.elapsed,
+              "{\"request\":0,\"results\":" + std::to_string(stats.results) +
+                  ",\"dominant\":\"" +
+                  std::string(obs::phase_name(stats.phases.dominant())) +
+                  "\",\"phases\":" + stats.phases.json() + "}");
+          ob.trace->flow_begin(track, "request", "request", t0, flow);
+          ob.trace->flow_end(track, "request", "request", t1, flow);
+        }
+        if (profiler != nullptr) {
+          profiler->record(obs::RequestProfile{0, 0, t0, t1, stats.phases});
+        }
+        out.elapsed = stats.elapsed;
+        out.completed = 1;
+      }
+      if (instrumented) {
+        profiler->publish(ob.metrics);
+        cosmos.publish_metrics();
+        if (ob.metrics.contains("hwsim.idle_cycle_fraction")) {
+          out.idle_permille =
+              ob.metrics.gauge_value("hwsim.idle_cycle_fraction");
+          out.have_idle = true;
+        }
+        write_observability(ob, *sink, trace_path, metrics_path);
+      }
+    };
+    if (instrumented) {
+      with_flush_on_error(body, [&] {
+        cosmos.publish_metrics();
+        write_observability(ob, *sink, trace_path, metrics_path);
+      });
+    } else {
+      body();
+    }
+    return out;
+  };
+
+  obs::RequestProfiler profiler;
+  obs::TraceSink sink;
+  const RunResult traced = run_once(&profiler, &sink);
+  const RunResult untraced = run_once(nullptr, nullptr);
+
+  std::printf(
+      "profile %s [%s, %u PE%s]: %llu request%s profiled, %.3f ms "
+      "virtual\n",
+      workload_name.c_str(), std::string(to_string(mode)).c_str(), pes,
+      pes == 1 ? "" : "s",
+      static_cast<unsigned long long>(profiler.size()),
+      profiler.size() == 1 ? "" : "s",
+      static_cast<double>(traced.elapsed) / 1e6);
+  profiler.write_report(std::cout, top_k);
+  if (traced.have_idle) {
+    std::printf("hwsim idle cycle fraction: %llu permille (%.1f%%)\n",
+                static_cast<unsigned long long>(traced.idle_permille),
+                static_cast<double>(traced.idle_permille) / 10.0);
+  }
+  // The control run proves observability is free in virtual time: any
+  // drift here means a hook perturbed the simulation.
+  const double delta =
+      untraced.elapsed == 0
+          ? 0.0
+          : (static_cast<double>(traced.elapsed) -
+             static_cast<double>(untraced.elapsed)) *
+                100.0 / static_cast<double>(untraced.elapsed);
+  std::printf(
+      "control (uninstrumented): %.3f ms virtual, traced/untraced delta "
+      "%+.3f%%\n",
+      static_cast<double>(untraced.elapsed) / 1e6, delta);
+
+  if (!attribution_path.empty()) {
+    std::ofstream out(attribution_path);
+    if (!out) {
+      throw Error(ErrorKind::kInvalidArg,
+                  "cannot write attribution file '" + attribution_path +
+                      "'");
+    }
+    profiler.write_json(out);
+    std::fprintf(stderr, "wrote %s (%zu requests)\n",
+                 attribution_path.c_str(), profiler.size());
+  }
+
+  // Machine-readable companion rows, same schema as the bench binaries
+  // (check_bench_regression.py pairs the *_traced/*_untraced elapsed rows
+  // for the observability-overhead guard).
+  if (const char* dir = std::getenv("NDPGEN_BENCH_JSON_DIR");
+      dir != nullptr && *dir != '\0') {
+    const std::string bench_name = "profile_" + workload_name;
+    const std::string path =
+        std::string(dir) + "/BENCH_" + bench_name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "ndpgen: cannot write %s\n", path.c_str());
+    } else {
+      const obs::PhaseBreakdown totals = profiler.totals();
+      std::vector<std::string> rows;
+      for (std::size_t p = 0; p < obs::kRequestPhaseCount; ++p) {
+        rows.push_back(
+            "{\"series\":\"phase_ns\",\"x\":\"" +
+            std::string(obs::phase_name(static_cast<obs::RequestPhase>(p))) +
+            "\",\"value\":" + obs::json_fixed(static_cast<double>(totals.ns[p])) +
+            ",\"unit\":\"ns\"}");
+      }
+      rows.push_back("{\"series\":\"elapsed_ms\",\"x\":\"" + workload_name +
+                     "_traced\",\"value\":" +
+                     obs::json_fixed(static_cast<double>(traced.elapsed) /
+                                     1e6) +
+                     ",\"unit\":\"ms\"}");
+      rows.push_back("{\"series\":\"elapsed_ms\",\"x\":\"" + workload_name +
+                     "_untraced\",\"value\":" +
+                     obs::json_fixed(static_cast<double>(untraced.elapsed) /
+                                     1e6) +
+                     ",\"unit\":\"ms\"}");
+      if (traced.have_idle) {
+        rows.push_back(
+            "{\"series\":\"idle_fraction\",\"x\":\"hwsim\",\"value\":" +
+            obs::json_fixed(static_cast<double>(traced.idle_permille)) +
+            ",\"unit\":\"permille\"}");
+      }
+      out << "{\"bench\":\"" << obs::json_escape(bench_name)
+          << "\",\"rows\":[\n";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        out << rows[i] << (i + 1 < rows.size() ? ",\n" : "\n");
+      }
+      out << "]}\n";
+      std::fprintf(stderr, "ndpgen: wrote %s (%zu rows)\n", path.c_str(),
+                   rows.size());
+    }
+  }
+  return 0;
+}
+
 int cmd_recover(const std::vector<std::string>& args) {
   workload::CrashHarnessConfig config;
   std::uint64_t crash_at = 0;
@@ -651,7 +1005,16 @@ int cmd_recover(const std::vector<std::string>& args) {
   // run() throws Error{kSimulation} (exit code 14) on any contract
   // violation: lost acknowledged write, half-applied boundary op, torn
   // state visible after recovery.
-  const workload::CrashRunResult result = harness.run(crash_at);
+  // The platform (and its metrics) lives inside the harness, so an error
+  // here can only flush the externally-owned trace sink.
+  const workload::CrashRunResult result = with_flush_on_error(
+      [&] { return harness.run(crash_at); },
+      [&] {
+        if (!trace_path.empty()) {
+          std::ofstream out(trace_path);
+          if (out) sink.write_json(out);
+        }
+      });
   const auto& report = result.report;
   std::printf("crash-at %llu: %s at write step %llu of %llu\n",
               static_cast<unsigned long long>(crash_at),
@@ -783,6 +1146,9 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "serve") {
       return cmd_serve({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "profile") {
+      return cmd_profile({args.begin() + 1, args.end()});
     }
     if (args[0] == "recover") {
       return cmd_recover({args.begin() + 1, args.end()});

@@ -1,0 +1,151 @@
+# Determinism check for the request-tracing profiler, run as a ctest
+# target:
+#
+#   cmake -DNDPGEN_BIN=<path to ndpgen> -DWORK_DIR=<scratch dir> \
+#         [-DPYTHON=<python3>] [-DTRACE_REPORT=<trace_report.py>] \
+#         -P profile_determinism.cmake
+#
+# Contract under test (DESIGN.md §10):
+#  * for a fixed PE count, every profiler artifact (trace, metrics,
+#    attribution) is byte-identical for any --threads value and across
+#    repeated runs;
+#  * across PE counts the request attribution changes only where the
+#    hardware legitimately changes (pe/doorbell phases), but the causal
+#    structure — the set of completed request flows, each with exactly one
+#    begin and one end — is identical (checked via trace_report.py
+#    --structure when python3 is available);
+#  * a run that dies with a typed error still flushes --trace/--metrics
+#    (exit code 16 path).
+if(NOT NDPGEN_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DNDPGEN_BIN=... -DWORK_DIR=... -P profile_determinism.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(common --workload serve --scale 65536 --requests 24 --seed 7)
+
+# Matrix: pes x threads x repeat. Artifacts are keyed pes<p>_t<t>_r<r>.
+foreach(pes 1 4)
+  foreach(threads 1 4)
+    foreach(run 1 2)
+      set(tag "pes${pes}_t${threads}_r${run}")
+      execute_process(
+        COMMAND "${NDPGEN_BIN}" profile ${common}
+                --pes ${pes} --threads ${threads}
+                --trace "${WORK_DIR}/trace_${tag}.json"
+                --metrics "${WORK_DIR}/metrics_${tag}.json"
+                --attribution "${WORK_DIR}/attr_${tag}.json"
+        RESULT_VARIABLE status
+        OUTPUT_VARIABLE stdout
+        ERROR_VARIABLE stderr)
+      if(NOT status EQUAL 0)
+        message(FATAL_ERROR "ndpgen profile ${tag} failed (${status}):\n${stdout}\n${stderr}")
+      endif()
+    endforeach()
+  endforeach()
+endforeach()
+
+# Thread- and rerun-invariance: for each pes, all four artifacts triples
+# must equal the pes<p>_t1_r1 reference byte-for-byte.
+foreach(pes 1 4)
+  foreach(tag "pes${pes}_t1_r2" "pes${pes}_t4_r1" "pes${pes}_t4_r2")
+    foreach(kind trace metrics attr)
+      execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${WORK_DIR}/${kind}_pes${pes}_t1_r1.json"
+                "${WORK_DIR}/${kind}_${tag}.json"
+        RESULT_VARIABLE same)
+      if(NOT same EQUAL 0)
+        message(FATAL_ERROR "${kind} differs between pes${pes}_t1_r1 and ${tag} — profiler output depends on host threading or reruns")
+      endif()
+    endforeach()
+  endforeach()
+endforeach()
+
+# The attribution must contain every request and the phase vocabulary.
+file(READ "${WORK_DIR}/attr_pes1_t1_r1.json" attribution)
+foreach(needle "\"requests\":" "\"totals\":" "\"tenants\":"
+        "\"queueing\":" "\"doorbell\":" "\"transfer\":" "\"flash\":"
+        "\"pe\":" "\"merge\":" "\"dominant\":")
+  string(FIND "${attribution}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "attribution file is missing '${needle}'")
+  endif()
+endforeach()
+
+# The metrics dump must expose the profiler families and the idle-cycle
+# rollup the acceptance criteria name.
+file(READ "${WORK_DIR}/metrics_pes1_t1_r1.json" metrics)
+foreach(needle "host.phase.flash_ns" "host.tenant0.phase.queueing_ns"
+        "hwsim.idle_cycle_fraction" "hwsim.cycles_useful")
+  string(FIND "${metrics}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "metrics file is missing expected metric '${needle}'")
+  endif()
+endforeach()
+
+# Cross-pes structural identity, when python3 is around to project it.
+find_program(PYTHON3 NAMES python3 python)
+if(PYTHON3 AND TRACE_REPORT)
+  foreach(pes 1 4)
+    execute_process(
+      COMMAND "${PYTHON3}" "${TRACE_REPORT}"
+              "${WORK_DIR}/trace_pes${pes}_t1_r1.json"
+              --attribution "${WORK_DIR}/attr_pes${pes}_t1_r1.json"
+              --validate
+      RESULT_VARIABLE status
+      OUTPUT_VARIABLE stdout
+      ERROR_VARIABLE stderr)
+    if(NOT status EQUAL 0)
+      message(FATAL_ERROR "trace_report --validate failed for pes${pes}:\n${stdout}\n${stderr}")
+    endif()
+    execute_process(
+      COMMAND "${PYTHON3}" "${TRACE_REPORT}"
+              "${WORK_DIR}/trace_pes${pes}_t1_r1.json" --structure
+      RESULT_VARIABLE status
+      OUTPUT_VARIABLE structure
+      ERROR_VARIABLE stderr)
+    if(NOT status EQUAL 0)
+      message(FATAL_ERROR "trace_report --structure failed for pes${pes}:\n${stderr}")
+    endif()
+    file(WRITE "${WORK_DIR}/structure_pes${pes}.txt" "${structure}")
+  endforeach()
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/structure_pes1.txt"
+            "${WORK_DIR}/structure_pes4.txt"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "request-flow structure differs between pes=1 and pes=4 — causal links are not pes-invariant")
+  endif()
+else()
+  message(STATUS "python3 or TRACE_REPORT unavailable; skipping structural projection")
+endif()
+
+# Abnormal-exit flush: a bad predicate field is a typed kInvalidArg (exit
+# 16) thrown mid-run; --trace/--metrics must still be written.
+execute_process(
+  COMMAND "${NDPGEN_BIN}" scan --dataset papers --mode hw --scale 65536
+          --predicate "no_such_field,lt,1"
+          --trace "${WORK_DIR}/err_trace.json"
+          --metrics "${WORK_DIR}/err_metrics.json"
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT status EQUAL 16)
+  message(FATAL_ERROR "bad-predicate scan exited ${status}, expected 16 (kInvalidArg):\n${stdout}\n${stderr}")
+endif()
+foreach(artifact err_trace.json err_metrics.json)
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "typed-error exit did not flush ${artifact} — observability lost exactly when it matters most")
+  endif()
+endforeach()
+# The bad predicate dies at bind time (before any simulated cycle), so
+# only the platform gauge families are expected in the flushed dump.
+file(READ "${WORK_DIR}/err_metrics.json" err_metrics)
+string(FIND "${err_metrics}" "platform." at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "flushed error metrics are empty of platform gauges")
+endif()
+
+message(STATUS "profile determinism check passed")

@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Offline renderer/validator for ndpgen observability artifacts.
+
+Inputs:
+  * a Chrome trace_event JSON written by --trace (chrome://tracing format),
+  * optionally the request-attribution JSON written by `ndpgen profile
+    --attribution` ({"requests":[...],"totals":{...},"tenants":[...]}).
+
+Modes:
+  --validate    schema-check the trace (and attribution, when given):
+                event fields, flow-event pairing, phase sums. Exit 1 with
+                a diagnostic on the first violation; CI runs this against
+                the bench-smoke artifacts.
+  --structure   print a canonical, timing-free projection of the request
+                flows (one line per flow id plus per-context span counts).
+                The projection is invariant across --pes/--threads at a
+                fixed seed, so diffing two runs' structures checks causal-
+                link determinism without requiring byte-equal timings.
+  (default)     human-readable report: event census from the trace, and —
+                when --attribution is given — the per-phase breakdown,
+                top-K slowest requests, and per-tenant p99 attribution.
+
+Only the standard library is used.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+PHASES = ("queueing", "doorbell", "transfer", "flash", "pe", "merge")
+COMPLETE_REQUIRED = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+FLOW_REQUIRED = ("name", "cat", "ph", "ts", "id", "pid", "tid")
+KNOWN_PHASES = {"X", "i", "C", "M", "s", "t", "f"}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(message):
+    raise ValidationError(message)
+
+
+def load_json(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{what} '{path}': {error}")
+
+
+def validate_trace(trace):
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail("trace: top level must be an object with 'traceEvents'")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        fail("trace: 'traceEvents' must be a list")
+    flows = collections.defaultdict(lambda: {"s": [], "t": [], "f": []})
+    for index, event in enumerate(events):
+        where = f"trace event #{index}"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"{where}: unknown ph {ph!r}")
+        if ph == "M":  # metadata (track names)
+            continue
+        required = FLOW_REQUIRED if ph in ("s", "t", "f") else (
+            COMPLETE_REQUIRED if ph == "X" else ("name", "cat", "ph", "ts"))
+        for key in required:
+            if key not in event:
+                fail(f"{where}: ph {ph!r} missing field {key!r}")
+        if ph == "X" and event["dur"] < 0:
+            fail(f"{where}: negative dur")
+        if ph in ("s", "t", "f"):
+            if not isinstance(event["id"], int) or event["id"] <= 0:
+                fail(f"{where}: flow id must be a positive integer")
+            if ph == "f" and event.get("bp") != "e":
+                fail(f"{where}: flow end must carry bp='e'")
+            flows[event["id"]][ph].append(event["ts"])
+        ctx = event.get("args", {}).get("ctx")
+        if ctx is not None and (not isinstance(ctx, int) or ctx <= 0):
+            fail(f"{where}: args.ctx must be a positive integer")
+    for flow_id in sorted(flows):
+        record = flows[flow_id]
+        if len(record["s"]) != 1 or len(record["f"]) != 1:
+            fail(f"flow {flow_id}: expected exactly one begin and one end, "
+                 f"got {len(record['s'])} begin(s), {len(record['f'])} "
+                 f"end(s)")
+        begin, end = record["s"][0], record["f"][0]
+        if begin > end:
+            fail(f"flow {flow_id}: begin ts {begin} after end ts {end}")
+        for step in record["t"]:
+            if not (begin <= step <= end):
+                fail(f"flow {flow_id}: step ts {step} outside "
+                     f"[{begin}, {end}]")
+    return flows
+
+
+def validate_attribution(attribution):
+    for key in ("requests", "totals", "tenants"):
+        if key not in attribution:
+            fail(f"attribution: missing top-level key {key!r}")
+    previous_id = None
+    summed = {phase: 0 for phase in PHASES}
+    for request in attribution["requests"]:
+        rid = request["id"]
+        if previous_id is not None and rid <= previous_id:
+            fail(f"attribution: requests not sorted by id at id {rid}")
+        previous_id = rid
+        phases = request["phases"]
+        total = 0
+        for phase in PHASES:
+            if phase not in phases:
+                fail(f"attribution request {rid}: missing phase {phase!r}")
+            total += phases[phase]
+            summed[phase] += phases[phase]
+        if total != request["latency_ns"]:
+            fail(f"attribution request {rid}: phases sum {total} != "
+                 f"latency {request['latency_ns']}")
+        if request["completed_ns"] - request["arrival_ns"] != \
+                request["latency_ns"]:
+            fail(f"attribution request {rid}: latency inconsistent with "
+                 f"arrival/completed")
+    for phase in PHASES:
+        if attribution["totals"].get(phase) != summed[phase]:
+            fail(f"attribution totals.{phase}: "
+                 f"{attribution['totals'].get(phase)} != per-request sum "
+                 f"{summed[phase]}")
+    tenant_requests = sum(t["requests"] for t in attribution["tenants"])
+    if tenant_requests != len(attribution["requests"]):
+        fail(f"attribution tenants: request counts sum to "
+             f"{tenant_requests}, expected {len(attribution['requests'])}")
+    return summed
+
+
+def structure_lines(trace, flows):
+    """Timing-free projection; byte-stable across --pes/--threads.
+
+    Only pes-invariant facts are projected: the set of completed request
+    flows (each with exactly one begin and one end — enforced by
+    validate_trace) and the per-cat request-span census. Step counts and
+    per-context span counts are deliberately excluded: which request heads
+    a coalesced batch depends on device service time, which legitimately
+    changes with the PE count.
+    """
+    del trace  # Flow records already carry everything pes-invariant.
+    lines = []
+    for flow_id in sorted(flows):
+        record = flows[flow_id]
+        lines.append(f"flow {flow_id} begin={len(record['s'])} "
+                     f"end={len(record['f'])}")
+    return lines
+
+
+def render_report(trace, attribution, top_k):
+    census = collections.Counter()
+    for event in trace["traceEvents"]:
+        if isinstance(event, dict) and "ph" in event:
+            census[(event.get("cat", "?"), event.get("name", "?"),
+                    event["ph"])] += 1
+    print(f"trace: {len(trace['traceEvents'])} events")
+    for (cat, name, ph), count in sorted(census.items()):
+        print(f"  {cat:10s} {name:12s} ph={ph}  x{count}")
+    if attribution is None:
+        return
+    requests = attribution["requests"]
+    totals = attribution["totals"]
+    grand = sum(totals[p] for p in PHASES) or 1
+    print(f"\nPer-phase latency breakdown ({len(requests)} requests, "
+          f"{sum(totals[p] for p in PHASES)} ns attributed):")
+    print(f"  {'phase':10s} {'total_ns':>14s} {'share':>8s}")
+    for phase in PHASES:
+        print(f"  {phase:10s} {totals[phase]:>14d} "
+              f"{100.0 * totals[phase] / grand:>7.1f}%")
+    slowest = sorted(requests, key=lambda r: (-r["latency_ns"], r["id"]))
+    print(f"\nTop-{min(top_k, len(slowest))} slowest requests:")
+    for request in slowest[:top_k]:
+        print(f"  request {request['id']} tenant {request['tenant']}: "
+              f"{request['latency_ns']} ns, dominant phase "
+              f"{request['dominant']}")
+    print("\nPer-tenant p99 attribution:")
+    for tenant in attribution["tenants"]:
+        print(f"  tenant {tenant['tenant']}: {tenant['requests']} requests, "
+              f"p99 {tenant['p99_latency_ns']} ns, tail dominated by "
+              f"{tenant['p99_dominant']}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace_event JSON (--trace)")
+    parser.add_argument("--attribution",
+                        help="attribution JSON (profile --attribution)")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check and exit")
+    parser.add_argument("--structure", action="store_true",
+                        help="print the timing-free structural projection")
+    parser.add_argument("--top", type=int, default=5,
+                        help="slowest requests to list (default 5)")
+    args = parser.parse_args()
+
+    try:
+        trace = load_json(args.trace, "trace")
+        flows = validate_trace(trace)
+        attribution = None
+        if args.attribution:
+            attribution = load_json(args.attribution, "attribution")
+            validate_attribution(attribution)
+        if args.validate:
+            suffix = (f", attribution {len(attribution['requests'])} "
+                      f"requests" if attribution else "")
+            print(f"OK: {len(trace['traceEvents'])} events, "
+                  f"{len(flows)} request flows{suffix}")
+            return 0
+        if args.structure:
+            for line in structure_lines(trace, flows):
+                print(line)
+            return 0
+        render_report(trace, attribution, args.top)
+        return 0
+    except ValidationError as error:
+        print(f"trace_report: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,503 @@
+#include "cluster/coordinator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace ndpgen::cluster {
+
+namespace {
+
+/// Per-result cost of the frontend's global k-way merge — the same
+/// per-record finalization rate the executor charges for its PE-shard
+/// merge (kFinalizePerResult in ndp/executor.cpp), so cluster merge time
+/// scales exactly like the device-side machinery it reuses.
+constexpr platform::SimTime kMergePerResult = 35;  // ns
+
+}  // namespace
+
+ClusterCoordinator::ClusterCoordinator(
+    CoordinatorConfig config,
+    std::vector<std::unique_ptr<SmartSsdDevice>> devices,
+    SpareLoader spare_loader)
+    : config_(std::move(config)),
+      devices_(std::move(devices)),
+      spare_loader_(std::move(spare_loader)),
+      placement_(config_.placement),
+      health_(static_cast<std::uint32_t>(devices_.size()), config_.health),
+      rebuild_(config_.rebuild),
+      injector_(config_.device_fault),
+      link_(queue_, config_.timing) {
+  NDPGEN_CHECK_ARG(devices_.size() >= config_.placement.devices,
+                   "fewer device stacks than ring members");
+  NDPGEN_CHECK_ARG(static_cast<bool>(config_.result_key),
+                   "cluster coordinator requires result_key for partition "
+                   "filtering and the global merge");
+  NDPGEN_CHECK_ARG(config_.hedge_factor >= 1.0,
+                   "hedge factor must be at least 1");
+  link_.set_observability(&obs_);
+  on_ring_.assign(devices_.size(), false);
+  for (std::uint32_t d = 0; d < config_.placement.devices; ++d) {
+    on_ring_[d] = true;
+  }
+  for (std::uint32_t d = config_.placement.devices; d < devices_.size();
+       ++d) {
+    spare_pool_.push_back(d);
+  }
+}
+
+void ClusterCoordinator::arm_faults(std::uint64_t request_budget) {
+  injector_.arm(request_budget);
+}
+
+platform::LinkGrant ClusterCoordinator::doorbell(platform::SimTime at) {
+  // The doorbell stream is a host-timeline property (invariant across
+  // --pes/--threads), so it doubles as the fault trigger clock.
+  injector_.on_doorbell(at);
+  return link_.reserve(at, 0);
+}
+
+bool ClusterCoordinator::reachable_at(std::uint32_t device,
+                                      platform::SimTime t) const {
+  return injector_.alive_at(device, t) && injector_.link_up_at(device, t);
+}
+
+double ClusterCoordinator::latency_factor(std::uint32_t device,
+                                          platform::SimTime t) const {
+  double factor = injector_.latency_factor_at(device, t);
+  if (rebuild_.device_is_source_at(device, t)) {
+    factor *= rebuild_.source_inflation();
+  }
+  return factor;
+}
+
+std::uint32_t ClusterCoordinator::serving_replica(
+    std::uint32_t partition, const std::vector<bool>& excluded) const {
+  const std::vector<std::uint32_t>& replicas =
+      placement_.replicas(partition);
+  std::vector<std::uint32_t> eligible;
+  std::vector<std::uint32_t> alive;
+  const platform::SimTime now = queue_.now();
+  for (const std::uint32_t d : replicas) {
+    if (excluded[d]) continue;
+    if (health_.state(d) == DeviceState::kDead) continue;
+    if (is_spare(d) && !rebuild_.spare_ready_at(d, now)) continue;
+    eligible.push_back(d);
+    if (health_.state(d) == DeviceState::kAlive) alive.push_back(d);
+  }
+  const std::vector<std::uint32_t>& pool = alive.empty() ? eligible : alive;
+  if (pool.empty()) {
+    raise(ErrorKind::kDeviceUnavailable,
+          "no live replica for partition " + std::to_string(partition) +
+              " (replication " +
+              std::to_string(config_.placement.replication) + ")");
+  }
+  // Rotate reads across replicas per query; the rotation is a pure
+  // function of (query seq, partition), so it is byte-deterministic.
+  return pool[(query_seq_ + partition) % pool.size()];
+}
+
+std::optional<platform::SimTime> ClusterCoordinator::hedge_deadline() const {
+  if (latency_samples_.size() < config_.hedge_min_samples) {
+    return std::nullopt;
+  }
+  // Nearest-rank p99 over the sorted sample window (same convention as
+  // the obs histogram percentiles).
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(latency_samples_.size())));
+  const std::size_t index =
+      std::min(latency_samples_.size() - 1, rank == 0 ? 0 : rank - 1);
+  const platform::SimTime p99 = latency_samples_[index];
+  const auto deadline = static_cast<platform::SimTime>(
+      std::llround(static_cast<double>(p99) * config_.hedge_factor));
+  return std::max(config_.hedge_floor_ns, deadline);
+}
+
+void ClusterCoordinator::record_latency_sample(platform::SimTime latency) {
+  latency_samples_.insert(
+      std::upper_bound(latency_samples_.begin(), latency_samples_.end(),
+                       latency),
+      latency);
+}
+
+obs::PhaseBreakdown ClusterCoordinator::scale_phases(
+    const obs::PhaseBreakdown& phases, platform::SimTime target) {
+  obs::PhaseBreakdown out;
+  const std::uint64_t total = phases.total();
+  if (total == 0) {
+    out[obs::RequestPhase::kFlash] = target;
+    return out;
+  }
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < phases.ns.size(); ++i) {
+    // 128-bit intermediate: phase and target are both nanosecond counts
+    // that can individually exceed 2^32.
+    const auto scaled = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(phases.ns[i]) * target / total);
+    out.ns[i] = scaled;
+    assigned += scaled;
+  }
+  // Rounding residual lands in the flash bucket (the dominant device
+  // phase), preserving sum == target exactly.
+  out[obs::RequestPhase::kFlash] += target - assigned;
+  return out;
+}
+
+ClusterCoordinator::SubScan ClusterCoordinator::run_subscan(
+    std::uint32_t device, std::vector<std::uint32_t> partitions,
+    platform::SimTime start_offset,
+    const std::vector<ndp::KeyRange>& ranges,
+    const std::vector<ndp::FilterPredicate>& predicates,
+    platform::SimTime now) {
+  SubScan sub;
+  sub.device = device;
+  sub.partitions = std::move(partitions);
+  sub.start_offset = start_offset;
+
+  std::vector<std::vector<std::uint8_t>> raw;
+  sub.stats = devices_[device]->executor().multi_range_scan(ranges,
+                                                            predicates,
+                                                            &raw);
+  const double factor = latency_factor(device, now + start_offset);
+  sub.latency = static_cast<platform::SimTime>(std::llround(
+      static_cast<double>(sub.stats.elapsed) * factor));
+
+  // Replicas hold identical rows; keep only the partitions this device
+  // was assigned so every row is produced exactly once cluster-wide.
+  std::vector<bool> assigned(config_.placement.partitions, false);
+  for (const std::uint32_t p : sub.partitions) assigned[p] = true;
+  sub.records.reserve(raw.size());
+  for (auto& record : raw) {
+    const std::uint32_t p =
+        placement_.partition_of(config_.result_key(record));
+    if (assigned[p]) sub.records.push_back(std::move(record));
+  }
+
+  ++report_.subscans;
+  return sub;
+}
+
+void ClusterCoordinator::fail_over(std::uint32_t dead,
+                                   platform::SimTime now) {
+  on_ring_[dead] = false;
+  ++report_.failovers;
+  obs_.metrics.add(obs_.metrics.counter("cluster.failovers"), 1);
+  if (obs_.tracing()) {
+    obs_.trace->instant(obs_.trace->track("cluster"), "failover", "cluster",
+                        now,
+                        "{\"dead\":" + std::to_string(dead) + "}");
+  }
+  if (spare_pool_.empty()) return;  // Degraded: survivors carry R-1.
+
+  const std::uint32_t spare = spare_pool_.front();
+  spare_pool_.erase(spare_pool_.begin());
+  placement_.replace_device(dead, spare);
+  on_ring_[spare] = true;
+
+  // The spare inherits exactly the dead member's partitions. Copy sources
+  // are the surviving replicas of those partitions.
+  const std::vector<std::uint32_t> lost = placement_.partitions_of(spare);
+  std::vector<std::uint32_t> sources;
+  for (const std::uint32_t p : lost) {
+    for (const std::uint32_t d : placement_.replicas(p)) {
+      if (d == spare) continue;
+      if (health_.state(d) == DeviceState::kDead) continue;
+      if (std::find(sources.begin(), sources.end(), d) == sources.end()) {
+        sources.push_back(d);
+      }
+    }
+  }
+  if (sources.empty()) return;  // Data lost with the member; partitions
+                                // fail with kDeviceUnavailable on access.
+  std::sort(sources.begin(), sources.end());
+
+  if (spare_loader_) spare_loader_(*devices_[spare], lost);
+  const RebuildJob& job = rebuild_.start(
+      dead, spare, sources, devices_[spare]->bytes_loaded(), now);
+  ++report_.rebuilds;
+  obs_.metrics.add(obs_.metrics.counter("cluster.rebuilds"), 1);
+  if (obs_.tracing()) {
+    obs_.trace->complete(
+        obs_.trace->track("cluster"), "rebuild", "cluster", job.started,
+        job.completes - job.started,
+        "{\"dead\":" + std::to_string(dead) +
+            ",\"spare\":" + std::to_string(spare) +
+            ",\"bytes\":" + std::to_string(job.bytes) + "}");
+  }
+}
+
+void ClusterCoordinator::refresh_cluster_state(platform::SimTime now) {
+  // Heartbeats: probe every ring member at this dispatch instant. In a
+  // DES the probe itself is free; what matters is the deterministic
+  // (reachable, time) stream it feeds the monitor.
+  for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+    if (!on_ring_[d]) continue;
+    health_.record_heartbeat(d, reachable_at(d, now), now);
+  }
+  health_.refresh(now);
+  for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+    if (on_ring_[d] && health_.state(d) == DeviceState::kDead) {
+      fail_over(d, now);
+    }
+  }
+  report_.health_transitions = health_.transitions();
+}
+
+ndp::ScanStats ClusterCoordinator::multi_range_scan(
+    const std::vector<ndp::KeyRange>& ranges,
+    const std::vector<ndp::FilterPredicate>& predicates,
+    std::vector<std::vector<std::uint8_t>>* records) {
+  const platform::SimTime now = queue_.now();
+  ++query_seq_;
+  ++report_.queries;
+  refresh_cluster_state(now);
+
+  // Hedge deadline is derived from samples observed BEFORE this query, so
+  // sub-scan evaluation order cannot feed back into its own deadline.
+  const std::optional<platform::SimTime> deadline = hedge_deadline();
+
+  // --- Scatter: every partition to one serving replica. ----------------
+  std::vector<bool> excluded(devices_.size(), false);
+  std::vector<std::vector<std::uint32_t>> assigned(devices_.size());
+  for (std::uint32_t p = 0; p < config_.placement.partitions; ++p) {
+    assigned[serving_replica(p, excluded)].push_back(p);
+  }
+
+  std::vector<SubScan> done;
+  platform::SimTime round_offset = 0;
+  while (true) {
+    std::vector<std::uint32_t> failed_partitions;
+    bool any_failure = false;
+    for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+      if (assigned[d].empty()) continue;
+      if (!reachable_at(d, now + round_offset)) {
+        // The sub-scan never completes; the frontend detects it at the
+        // NVMe timeout, marks the device and re-scatters its partitions.
+        ++report_.subscan_failures;
+        obs_.metrics.add(obs_.metrics.counter("cluster.subscan_failures"),
+                         1);
+        health_.record_error(d, now + round_offset);
+        excluded[d] = true;
+        any_failure = true;
+        failed_partitions.insert(failed_partitions.end(),
+                                 assigned[d].begin(), assigned[d].end());
+        if (obs_.tracing()) {
+          obs_.trace->instant(
+              obs_.trace->track("cluster"), "subscan-timeout", "cluster",
+              now + round_offset,
+              "{\"device\":" + std::to_string(d) +
+                  ",\"partitions\":" + std::to_string(assigned[d].size()) +
+                  "}");
+        }
+        continue;
+      }
+      SubScan sub = run_subscan(d, std::move(assigned[d]), round_offset,
+                                ranges, predicates, now);
+      health_.record_success(d, now + round_offset);
+
+      // Hedged read: race a second replica when the primary blows the
+      // p99-derived deadline. Replicas hold identical rows, so the result
+      // bytes are invariant; only the latency (and the work accounting)
+      // changes.
+      if (deadline.has_value() && sub.latency > *deadline) {
+        ++report_.hedges;
+        obs_.metrics.add(obs_.metrics.counter("cluster.hedges"), 1);
+        std::vector<std::vector<std::uint32_t>> alt(devices_.size());
+        bool full_cover = true;
+        for (const std::uint32_t p : sub.partitions) {
+          const std::vector<std::uint32_t>& replicas =
+              placement_.replicas(p);
+          bool covered = false;
+          for (const std::uint32_t r : replicas) {
+            if (r == d || excluded[r]) continue;
+            if (health_.state(r) == DeviceState::kDead) continue;
+            if (is_spare(r) && !rebuild_.spare_ready_at(r, now)) continue;
+            if (!reachable_at(r, now + round_offset)) continue;
+            alt[r].push_back(p);
+            covered = true;
+            break;
+          }
+          full_cover = full_cover && covered;
+        }
+        if (full_cover) {
+          platform::SimTime hedge_latency = 0;
+          for (std::uint32_t r = 0; r < devices_.size(); ++r) {
+            if (alt[r].empty()) continue;
+            SubScan hedge = run_subscan(r, std::move(alt[r]), round_offset,
+                                        ranges, predicates, now);
+            hedge_latency = std::max(hedge_latency, hedge.latency);
+            // Fold the hedge's device work into the primary's stats; its
+            // records are byte-identical to the primary's and dropped.
+            sub.stats.blocks += hedge.stats.blocks;
+            sub.stats.tuples_scanned += hedge.stats.tuples_scanned;
+            sub.stats.bytes_from_flash += hedge.stats.bytes_from_flash;
+          }
+          const platform::SimTime hedged_path = *deadline + hedge_latency;
+          if (hedged_path < sub.latency) {
+            ++report_.hedge_wins;
+            obs_.metrics.add(obs_.metrics.counter("cluster.hedge_wins"), 1);
+            if (obs_.tracing()) {
+              obs_.trace->instant(
+                  obs_.trace->track("cluster"), "hedge-win", "cluster",
+                  now + round_offset,
+                  "{\"device\":" + std::to_string(d) + ",\"saved_ns\":" +
+                      std::to_string(sub.latency - hedged_path) + "}");
+            }
+            sub.latency = hedged_path;
+          }
+        }
+      }
+      // Record the *effective* (post-hedge) latency: feeding raw slow
+      // latencies back into the window would drag the p99-derived
+      // deadline up to the slow device's own level and disable hedging
+      // against a persistently degraded member.
+      record_latency_sample(sub.latency);
+      done.push_back(std::move(sub));
+    }
+    if (!any_failure) break;
+    // Failures are detected in parallel at the timeout; the retry round
+    // starts one detection window later.
+    round_offset += config_.timing.nvme_timeout;
+    assigned.assign(devices_.size(), {});
+    for (const std::uint32_t p : failed_partitions) {
+      assigned[serving_replica(p, excluded)].push_back(p);
+    }
+  }
+
+  // --- Gather: k-way merge by key into global order — byte-equal to one
+  // device scanning the whole dataset (each bulk-loaded member returns
+  // its rows key-ascending, and every partition was served exactly once).
+  ndp::ScanStats stats;
+  platform::SimTime critical = 0;
+  std::size_t critical_sub = 0;
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    const SubScan& sub = done[i];
+    stats.blocks += sub.stats.blocks;
+    stats.tuples_scanned += sub.stats.tuples_scanned;
+    stats.tuples_matched += sub.stats.tuples_matched;
+    stats.bytes_from_flash += sub.stats.bytes_from_flash;
+    stats.blocks_via_software += sub.stats.blocks_via_software;
+    stats.blocks_retried += sub.stats.blocks_retried;
+    stats.blocks_degraded_to_software +=
+        sub.stats.blocks_degraded_to_software;
+    stats.uncorrectable_blocks += sub.stats.uncorrectable_blocks;
+    stats.shards = std::max(stats.shards, sub.stats.shards);
+    stats.pe_phase_cycles =
+        std::max(stats.pe_phase_cycles, sub.stats.pe_phase_cycles);
+    const platform::SimTime completes = sub.start_offset + sub.latency;
+    if (completes > critical) {
+      critical = completes;
+      critical_sub = i;
+    }
+  }
+
+  std::vector<std::size_t> cursor(done.size(), 0);
+  while (true) {
+    std::size_t best = done.size();
+    kv::Key best_key{};
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      if (cursor[i] >= done[i].records.size()) continue;
+      const kv::Key key = config_.result_key(done[i].records[cursor[i]]);
+      if (best == done.size() || key < best_key) {
+        best = i;
+        best_key = key;
+      }
+    }
+    if (best == done.size()) break;
+    std::vector<std::uint8_t>& record = done[best].records[cursor[best]++];
+    ++stats.results;
+    stats.result_bytes += record.size();
+    if (records != nullptr) records->push_back(std::move(record));
+  }
+
+  // --- Timing composition (arithmetic; phases sum exactly to elapsed):
+  // critical sub-scan path, then the global merge, then the merged result
+  // crosses the frontend host link.
+  const platform::SimTime merge_ns = stats.results * kMergePerResult;
+  const platform::LinkGrant grant =
+      link_.reserve(now + critical + merge_ns, stats.result_bytes);
+  const platform::SimTime end = grant.done;
+  queue_.advance_to(end);
+  stats.elapsed = end - now;
+  stats.flash_done = critical;
+
+  if (!done.empty()) {
+    const SubScan& crit = done[critical_sub];
+    stats.phases = scale_phases(crit.stats.phases, crit.latency);
+    // Timeout-detection rounds are command-path time; the critical
+    // sub-scan attains `critical`, so start_offset + latency == critical.
+    stats.phases[obs::RequestPhase::kDoorbell] += crit.start_offset;
+  } else {
+    stats.phases[obs::RequestPhase::kDoorbell] = critical;
+  }
+  // += not =: the scaled critical sub-scan already carries the device's
+  // own merge/transfer share inside crit.latency; the frontend merge and
+  // host-link crossing stack on top of it.
+  stats.phases[obs::RequestPhase::kMerge] += merge_ns;
+  stats.phases[obs::RequestPhase::kDoorbell] += grant.penalty;
+  stats.phases[obs::RequestPhase::kTransfer] +=
+      (end - (now + critical + merge_ns)) - grant.penalty;
+
+  if (obs_.tracing()) {
+    obs_.trace->complete(
+        obs_.trace->track("cluster"), "scatter-gather", "cluster", now,
+        stats.elapsed,
+        "{\"subscans\":" + std::to_string(done.size()) +
+            ",\"results\":" + std::to_string(stats.results) +
+            ",\"critical_device\":" +
+            std::to_string(done.empty() ? 0 : done[critical_sub].device) +
+            "}");
+  }
+  obs_.metrics.add(obs_.metrics.counter("cluster.queries"), 1);
+  obs_.metrics.add(obs_.metrics.counter("cluster.subscans"), done.size());
+  return stats;
+}
+
+ndp::GetStats ClusterCoordinator::get(const kv::Key& key) {
+  const platform::SimTime now = queue_.now();
+  ++query_seq_;
+  refresh_cluster_state(now);
+  const std::uint32_t partition = placement_.partition_of(key);
+  std::vector<bool> excluded(devices_.size(), false);
+  for (;;) {
+    const std::uint32_t d = serving_replica(partition, excluded);
+    if (!reachable_at(d, now)) {
+      health_.record_error(d, now);
+      excluded[d] = true;
+      continue;
+    }
+    ndp::GetStats stats = devices_[d]->executor().get(key);
+    health_.record_success(d, now);
+    return stats;
+  }
+}
+
+void ClusterCoordinator::publish_metrics() {
+  obs::MetricsRegistry& m = obs_.metrics;
+  m.set(m.gauge("cluster.devices"), devices_.size());
+  m.set(m.gauge("cluster.replication"), config_.placement.replication);
+  m.set(m.gauge("cluster.health.transitions"), health_.transitions());
+  report_.health_transitions = health_.transitions();
+  for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+    const std::string prefix = "cluster.dev" + std::to_string(d) + ".";
+    m.set(m.gauge(prefix + "state"),
+          static_cast<std::uint64_t>(health_.state(d)));
+    m.set(m.gauge(prefix + "error_ewma_milli"),
+          static_cast<std::uint64_t>(
+              std::llround(health_.error_rate(d) * 1000.0)));
+    m.set(m.gauge(prefix + "on_ring"), on_ring_[d] ? 1 : 0);
+    m.set(m.gauge(prefix + "records"), devices_[d]->records_loaded());
+    // Fold the member's device-stack counters in as cluster-wide totals
+    // (counters add; gauges high-water), then its trace lanes under a
+    // stable devN. prefix.
+    devices_[d]->platform().publish_metrics();
+    m.merge_from(devices_[d]->platform().observability().metrics);
+    if (obs_.tracing() &&
+        devices_[d]->platform().observability().tracing()) {
+      obs_.trace->append_from(
+          *devices_[d]->platform().observability().trace, prefix);
+    }
+  }
+}
+
+}  // namespace ndpgen::cluster

@@ -1,0 +1,46 @@
+#include "cluster/device.hpp"
+
+namespace ndpgen::cluster {
+
+SmartSsdDevice::SmartSsdDevice(std::uint32_t id,
+                               platform::CosmosConfig cosmos_config,
+                               kv::DBConfig db_config)
+    : id_(id),
+      platform_(std::make_unique<platform::CosmosPlatform>(
+          std::move(cosmos_config))),
+      db_(std::make_unique<kv::NKV>(*platform_, std::move(db_config))) {}
+
+std::uint64_t SmartSsdDevice::load_sorted(
+    std::uint32_t level,
+    const std::function<bool(std::vector<std::uint8_t>&)>& next_record,
+    std::uint64_t records_per_sst) {
+  std::uint64_t loaded = 0;
+  std::uint64_t bytes = 0;
+  db_->bulk_load_sorted(
+      level,
+      [&](std::vector<std::uint8_t>& record) {
+        if (!next_record(record)) return false;
+        ++loaded;
+        bytes += record.size();
+        return true;
+      },
+      records_per_sst);
+  records_loaded_ += loaded;
+  bytes_loaded_ += bytes;
+  return loaded;
+}
+
+void SmartSsdDevice::attach_executor(
+    const analysis::AnalyzedParser& analyzed,
+    const hwgen::OperatorSet& operators, ndp::ExecutorConfig exec_config) {
+  NDPGEN_CHECK(executor_ == nullptr, "device executor already attached");
+  executor_ = std::make_unique<ndp::HybridExecutor>(
+      *db_, analyzed, operators, std::move(exec_config));
+}
+
+ndp::HybridExecutor& SmartSsdDevice::executor() {
+  NDPGEN_CHECK(executor_ != nullptr, "device executor not attached");
+  return *executor_;
+}
+
+}  // namespace ndpgen::cluster

@@ -1,0 +1,70 @@
+// One simulated smart-SSD cluster member.
+//
+// Each device is a full independent stack — its own CosmosPlatform (DES,
+// flash, NVMe link, PEs, fault injector seeded per device), its own nKV
+// store holding only the partitions placement assigned to it, and its own
+// HybridExecutor. Nothing is shared between members: device timelines,
+// fault streams and flash layouts are isolated, exactly like N physical
+// SSDs behind one host frontend. The coordinator talks to members only
+// through elapsed virtual time and result bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "kv/db.hpp"
+#include "ndp/executor.hpp"
+#include "platform/cosmos.hpp"
+
+namespace ndpgen::cluster {
+
+class SmartSsdDevice {
+ public:
+  /// Builds the platform + store; the executor attaches after the
+  /// builder instantiates the device's PEs (attach_executor).
+  SmartSsdDevice(std::uint32_t id, platform::CosmosConfig cosmos_config,
+                 kv::DBConfig db_config);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] platform::CosmosPlatform& platform() noexcept {
+    return *platform_;
+  }
+  [[nodiscard]] kv::NKV& db() noexcept { return *db_; }
+
+  /// Bulk-loads key-sorted records (this device's partition subset) and
+  /// tracks the payload volume for rebuild sizing.
+  std::uint64_t load_sorted(
+      std::uint32_t level,
+      const std::function<bool(std::vector<std::uint8_t>&)>& next_record,
+      std::uint64_t records_per_sst);
+
+  /// Attaches the NDP executor over artifacts owned by the caller (the
+  /// CompileResult outlives the cluster, as in every bench/test).
+  void attach_executor(const analysis::AnalyzedParser& analyzed,
+                       const hwgen::OperatorSet& operators,
+                       ndp::ExecutorConfig exec_config);
+
+  [[nodiscard]] bool has_executor() const noexcept {
+    return executor_ != nullptr;
+  }
+  [[nodiscard]] ndp::HybridExecutor& executor();
+
+  [[nodiscard]] std::uint64_t records_loaded() const noexcept {
+    return records_loaded_;
+  }
+  [[nodiscard]] std::uint64_t bytes_loaded() const noexcept {
+    return bytes_loaded_;
+  }
+
+ private:
+  std::uint32_t id_;
+  std::unique_ptr<platform::CosmosPlatform> platform_;
+  std::unique_ptr<kv::NKV> db_;
+  std::unique_ptr<ndp::HybridExecutor> executor_;
+  std::uint64_t records_loaded_ = 0;
+  std::uint64_t bytes_loaded_ = 0;
+};
+
+}  // namespace ndpgen::cluster

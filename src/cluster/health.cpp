@@ -1,0 +1,84 @@
+#include "cluster/health.hpp"
+
+namespace ndpgen::cluster {
+
+HealthMonitor::HealthMonitor(std::uint32_t devices, HealthConfig config)
+    : config_(config), entries_(devices) {
+  NDPGEN_CHECK_ARG(devices >= 1, "health monitor needs at least one device");
+  NDPGEN_CHECK_ARG(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                   "EWMA alpha must be in (0, 1]");
+  NDPGEN_CHECK_ARG(config_.suspect_threshold < config_.dead_threshold,
+                   "suspect threshold must be below the dead threshold");
+}
+
+void HealthMonitor::transition(Entry& entry, DeviceState next,
+                               platform::SimTime now) {
+  if (entry.state == next) return;
+  if (entry.state == DeviceState::kDead) return;  // Dead is sticky.
+  entry.state = next;
+  if (next == DeviceState::kSuspect) entry.suspect_since = now;
+  ++transitions_;
+}
+
+void HealthMonitor::observe(std::uint32_t device, bool ok,
+                            platform::SimTime now, bool can_kill) {
+  NDPGEN_CHECK_ARG(device < entries_.size(), "device out of range");
+  Entry& entry = entries_[device];
+  if (entry.state == DeviceState::kDead) return;
+  entry.error_ewma = config_.ewma_alpha * (ok ? 0.0 : 1.0) +
+                     (1.0 - config_.ewma_alpha) * entry.error_ewma;
+  if (ok) entry.last_ok = now;
+  if (entry.error_ewma >= config_.dead_threshold && can_kill) {
+    transition(entry, DeviceState::kDead, now);
+  } else if (entry.error_ewma >= config_.suspect_threshold) {
+    transition(entry, DeviceState::kSuspect, now);
+  } else if (ok) {
+    transition(entry, DeviceState::kAlive, now);
+  }
+}
+
+void HealthMonitor::record_heartbeat(std::uint32_t device, bool reachable,
+                                     platform::SimTime now) {
+  // A missed beat alone never kills — flaps must be able to recover; the
+  // stale-Suspect escalation in refresh() handles devices that stay gone.
+  if (!reachable) entries_.at(device).ever_missed = true;
+  observe(device, reachable, now, /*can_kill=*/false);
+}
+
+void HealthMonitor::record_success(std::uint32_t device,
+                                   platform::SimTime now) {
+  observe(device, true, now, /*can_kill=*/false);
+}
+
+void HealthMonitor::record_error(std::uint32_t device,
+                                 platform::SimTime now) {
+  observe(device, false, now, /*can_kill=*/true);
+}
+
+void HealthMonitor::refresh(platform::SimTime now) {
+  for (Entry& entry : entries_) {
+    if (entry.state == DeviceState::kSuspect && entry.ever_missed &&
+        now >= entry.last_ok &&
+        now - entry.last_ok >= config_.dead_after_ns) {
+      transition(entry, DeviceState::kDead, now);
+    }
+  }
+}
+
+void HealthMonitor::declare_dead(std::uint32_t device,
+                                 platform::SimTime now) {
+  NDPGEN_CHECK_ARG(device < entries_.size(), "device out of range");
+  transition(entries_[device], DeviceState::kDead, now);
+}
+
+DeviceState HealthMonitor::state(std::uint32_t device) const {
+  NDPGEN_CHECK_ARG(device < entries_.size(), "device out of range");
+  return entries_[device].state;
+}
+
+double HealthMonitor::error_rate(std::uint32_t device) const {
+  NDPGEN_CHECK_ARG(device < entries_.size(), "device out of range");
+  return entries_[device].error_ewma;
+}
+
+}  // namespace ndpgen::cluster

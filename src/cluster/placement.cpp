@@ -1,0 +1,119 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+
+namespace ndpgen::cluster {
+
+namespace {
+
+/// splitmix64 finalizer: the stateless mix used everywhere placement
+/// needs a hash, so the ring is a pure function of its inputs.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Domain separator so partition anchors never collide with vnode hashes.
+constexpr std::uint64_t kPartitionSalt = 0x636c757374657221ULL;  // "cluster!"
+
+}  // namespace
+
+ClusterPlacement::ClusterPlacement(PlacementConfig config)
+    : config_(config) {
+  NDPGEN_CHECK_ARG(config_.devices >= 1, "cluster needs at least one device");
+  NDPGEN_CHECK_ARG(config_.replication >= 1,
+                   "replication factor must be at least 1");
+  NDPGEN_CHECK_ARG(config_.replication <= config_.devices,
+                   "replication factor cannot exceed the device count");
+  NDPGEN_CHECK_ARG(config_.partitions >= 1, "need at least one partition");
+  NDPGEN_CHECK_ARG(config_.vnodes >= 1, "need at least one vnode per device");
+  ring_.reserve(static_cast<std::size_t>(config_.devices) * config_.vnodes);
+  for (std::uint32_t d = 0; d < config_.devices; ++d) {
+    for (std::uint32_t v = 0; v < config_.vnodes; ++v) {
+      const std::uint64_t h =
+          mix64(config_.seed ^ (static_cast<std::uint64_t>(d) << 32 | v));
+      ring_.push_back(VNode{h, d});
+    }
+  }
+  rebuild_tables();
+}
+
+void ClusterPlacement::rebuild_tables() {
+  std::sort(ring_.begin(), ring_.end(), [](const VNode& a, const VNode& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.device < b.device;
+  });
+  replica_table_.assign(config_.partitions, {});
+  for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+    const std::uint64_t h = mix64(config_.seed ^ kPartitionSalt ^ p);
+    // First vnode clockwise of the partition anchor, then walk until R
+    // distinct devices are collected.
+    auto it = std::lower_bound(ring_.begin(), ring_.end(), h,
+                               [](const VNode& node, std::uint64_t value) {
+                                 return node.hash < value;
+                               });
+    std::vector<std::uint32_t>& replicas = replica_table_[p];
+    for (std::size_t step = 0;
+         step < ring_.size() && replicas.size() < config_.replication;
+         ++step, ++it) {
+      if (it == ring_.end()) it = ring_.begin();
+      if (std::find(replicas.begin(), replicas.end(), it->device) ==
+          replicas.end()) {
+        replicas.push_back(it->device);
+      }
+    }
+    NDPGEN_CHECK(replicas.size() == config_.replication,
+                 "ring walk found fewer distinct devices than R");
+  }
+}
+
+std::uint32_t ClusterPlacement::partition_of(
+    const kv::Key& key) const noexcept {
+  return static_cast<std::uint32_t>(
+      mix64(config_.seed ^ (key.hi * 0x9e3779b97f4a7c15ULL) ^ key.lo) %
+      config_.partitions);
+}
+
+const std::vector<std::uint32_t>& ClusterPlacement::replicas(
+    std::uint32_t partition) const {
+  NDPGEN_CHECK_ARG(partition < config_.partitions, "partition out of range");
+  return replica_table_[partition];
+}
+
+std::vector<std::uint32_t> ClusterPlacement::partitions_of(
+    std::uint32_t device) const {
+  std::vector<std::uint32_t> owned;
+  for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+    if (replicates(device, p)) owned.push_back(p);
+  }
+  return owned;
+}
+
+bool ClusterPlacement::replicates(std::uint32_t device,
+                                  std::uint32_t partition) const {
+  const std::vector<std::uint32_t>& r = replicas(partition);
+  return std::find(r.begin(), r.end(), device) != r.end();
+}
+
+void ClusterPlacement::replace_device(std::uint32_t dead,
+                                      std::uint32_t spare) {
+  NDPGEN_CHECK_ARG(dead != spare, "cannot replace a device with itself");
+  bool found = false;
+  for (VNode& node : ring_) {
+    NDPGEN_CHECK_ARG(node.device != spare,
+                     "spare device is already on the ring");
+    if (node.device == dead) {
+      node.device = spare;
+      found = true;
+    }
+  }
+  NDPGEN_CHECK_ARG(found, "dead device is not on the ring");
+  for (std::vector<std::uint32_t>& replicas : replica_table_) {
+    for (std::uint32_t& device : replicas) {
+      if (device == dead) device = spare;
+    }
+  }
+}
+
+}  // namespace ndpgen::cluster

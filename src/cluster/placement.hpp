@@ -1,0 +1,76 @@
+// Consistent-hash data placement for the smart-SSD cluster.
+//
+// Keys hash into a fixed set of partitions; partitions map onto devices
+// through a consistent-hash ring with virtual nodes, R distinct devices
+// per partition (R-way replication). The ring — not a modulo table — so
+// losing a device moves only that device's partitions, and a spare can
+// inherit a dead member's ring positions verbatim (replace_device), which
+// keeps every surviving partition->replica assignment stable across a
+// rebuild.
+//
+// Everything is a pure function of (seed, device ids): no RNG stream is
+// consumed at lookup time, so placement is byte-deterministic and
+// invariant across --pes/--threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/key.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::cluster {
+
+struct PlacementConfig {
+  std::uint32_t devices = 4;      ///< Initial ring members (ids 0..N-1).
+  std::uint32_t replication = 2;  ///< Replicas per partition (<= devices).
+  std::uint32_t partitions = 64;  ///< Hash partitions (placement grain).
+  std::uint32_t vnodes = 16;      ///< Ring positions per device.
+  std::uint64_t seed = 20210521;  ///< Ring/partition hash seed.
+};
+
+class ClusterPlacement {
+ public:
+  explicit ClusterPlacement(PlacementConfig config);
+
+  [[nodiscard]] const PlacementConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Partition a key hashes into (0..partitions-1).
+  [[nodiscard]] std::uint32_t partition_of(const kv::Key& key) const noexcept;
+
+  /// The R distinct devices replicating `partition`, in ring walk order
+  /// (index 0 is the "primary" only by convention; any replica serves).
+  [[nodiscard]] const std::vector<std::uint32_t>& replicas(
+      std::uint32_t partition) const;
+
+  /// Every partition `device` replicates, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> partitions_of(
+      std::uint32_t device) const;
+
+  /// True when `device` is one of `partition`'s replicas.
+  [[nodiscard]] bool replicates(std::uint32_t device,
+                                std::uint32_t partition) const;
+
+  /// Swaps a dead member for a spare: the spare takes over the dead
+  /// device's ring positions, so it inherits exactly the dead device's
+  /// partitions and no other assignment moves. The dead id leaves the
+  /// ring permanently.
+  void replace_device(std::uint32_t dead, std::uint32_t spare);
+
+ private:
+  struct VNode {
+    std::uint64_t hash = 0;
+    std::uint32_t device = 0;
+  };
+
+  void rebuild_tables();
+
+  PlacementConfig config_;
+  std::vector<VNode> ring_;  ///< Sorted by hash (ties: device id).
+  /// partition -> replica device list (size == replication).
+  std::vector<std::vector<std::uint32_t>> replica_table_;
+};
+
+}  // namespace ndpgen::cluster

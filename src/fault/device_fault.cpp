@@ -1,0 +1,61 @@
+#include "fault/device_fault.hpp"
+
+#include <cmath>
+
+namespace ndpgen::fault {
+
+DeviceFaultInjector::DeviceFaultInjector(const FaultProfile& profile)
+    : profile_(profile) {
+  if (enabled() && profile_.device_fault_at_ns > 0) {
+    fire_ = static_cast<platform::SimTime>(profile_.device_fault_at_ns);
+  }
+}
+
+void DeviceFaultInjector::arm(std::uint64_t request_budget) {
+  if (!enabled() || fire_.has_value() || request_budget == 0) return;
+  const double frac = profile_.device_fault_at_frac;
+  const auto index = static_cast<std::uint64_t>(
+      std::llround(frac * static_cast<double>(request_budget)));
+  trigger_index_ = index == 0 ? 1 : index;
+}
+
+void DeviceFaultInjector::on_doorbell(platform::SimTime now) {
+  ++doorbells_;
+  if (trigger_index_ != 0 && !fire_.has_value() &&
+      doorbells_ == trigger_index_) {
+    fire_ = now;
+  }
+}
+
+bool DeviceFaultInjector::in_window(platform::SimTime t) const noexcept {
+  return fire_.has_value() && t >= *fire_ && t < *fire_ + duration();
+}
+
+bool DeviceFaultInjector::alive_at(std::uint32_t device,
+                                   platform::SimTime t) const noexcept {
+  if (!enabled() || device != profile_.device_fault_device) return true;
+  if (kind() != DeviceFaultKind::kCrash) return true;
+  return !(fire_.has_value() && t >= *fire_);
+}
+
+bool DeviceFaultInjector::link_up_at(std::uint32_t device,
+                                     platform::SimTime t) const noexcept {
+  if (!enabled() || device != profile_.device_fault_device) return true;
+  switch (kind()) {
+    case DeviceFaultKind::kCrash:
+      return !(fire_.has_value() && t >= *fire_);
+    case DeviceFaultKind::kLinkFlap:
+      return !in_window(t);
+    default:
+      return true;
+  }
+}
+
+double DeviceFaultInjector::latency_factor_at(
+    std::uint32_t device, platform::SimTime t) const noexcept {
+  if (!enabled() || device != profile_.device_fault_device) return 1.0;
+  if (kind() != DeviceFaultKind::kBrownout) return 1.0;
+  return in_window(t) ? profile_.brownout_factor : 1.0;
+}
+
+}  // namespace ndpgen::fault

@@ -1,0 +1,81 @@
+// Whole-device fault injection for the smart-SSD cluster frontend.
+//
+// The per-device FaultInjector models what goes wrong *inside* one device
+// (bit errors, bad blocks, command timeouts). This layer models losing a
+// whole cluster member: a crash (permanent death), a brownout (latency
+// multiplied for a window) or an NVMe link flap (link down for a window,
+// device data intact). Faults are scheduled, not sampled: the trigger is
+// either an absolute virtual time or "the K-th host doorbell", so the
+// failure timeline is byte-reproducible for a fixed seed and invariant
+// across --pes/--threads (doorbell order is a host-timeline property).
+//
+// The injector is a pure oracle: the cluster coordinator asks
+// alive_at/link_up_at/latency_factor_at with explicit timestamps and owns
+// every consequence (failover, health transitions, rebuild). Nothing here
+// advances a clock or mutates device state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault/fault_profile.hpp"
+#include "platform/event_queue.hpp"
+
+namespace ndpgen::fault {
+
+class DeviceFaultInjector {
+ public:
+  DeviceFaultInjector() = default;
+  explicit DeviceFaultInjector(const FaultProfile& profile);
+
+  /// Arms the request-count trigger: with no absolute trigger time the
+  /// fault latches at the K-th doorbell, K = max(1, round(frac * budget)).
+  /// A zero budget leaves the fault dormant.
+  void arm(std::uint64_t request_budget);
+
+  /// Counts one host doorbell at virtual time `now`; the K-th call latches
+  /// the fault's fire time to `now`.
+  void on_doorbell(platform::SimTime now);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return profile_.device_fault_enabled();
+  }
+  [[nodiscard]] DeviceFaultKind kind() const noexcept {
+    return profile_.device_fault;
+  }
+  [[nodiscard]] std::uint32_t device() const noexcept {
+    return profile_.device_fault_device;
+  }
+  /// Window length for brownout/flap faults.
+  [[nodiscard]] platform::SimTime duration() const noexcept {
+    return profile_.device_fault_duration_ns;
+  }
+
+  /// The latched fire time; nullopt until the trigger has fired (absolute
+  /// triggers know it from construction).
+  [[nodiscard]] std::optional<platform::SimTime> fired_at() const noexcept {
+    return fire_;
+  }
+
+  /// False once a crash-faulted device's fire time has passed.
+  [[nodiscard]] bool alive_at(std::uint32_t device,
+                              platform::SimTime t) const noexcept;
+  /// False while the device's NVMe link is unusable: permanently after a
+  /// crash, during the flap window for kLinkFlap.
+  [[nodiscard]] bool link_up_at(std::uint32_t device,
+                                platform::SimTime t) const noexcept;
+  /// Latency multiplier for work dispatched at `t` (> 1 only inside a
+  /// brownout window).
+  [[nodiscard]] double latency_factor_at(std::uint32_t device,
+                                         platform::SimTime t) const noexcept;
+
+ private:
+  [[nodiscard]] bool in_window(platform::SimTime t) const noexcept;
+
+  FaultProfile profile_{};
+  std::uint64_t trigger_index_ = 0;  ///< 0 = no count trigger armed.
+  std::uint64_t doorbells_ = 0;
+  std::optional<platform::SimTime> fire_;
+};
+
+}  // namespace ndpgen::fault

@@ -59,6 +59,15 @@ namespace {
     profile.silent_corruption_rate = 0.01;
     profile.nvme_timeout_rate = 0.05;
     profile.pe_fault_rate = 0.2;
+  } else if (name == "device-loss") {
+    // Cluster robustness drill: healthy media on every member, but one
+    // whole device crashes halfway through the run's request budget. The
+    // single-device stacks stay on the fault-free fast path; the cluster
+    // frontend's DeviceFaultInjector owns the crash.
+    profile = FaultProfile{};
+    profile.device_fault = DeviceFaultKind::kCrash;
+    profile.device_fault_device = 0;
+    profile.device_fault_at_frac = 0.5;
   } else {
     return false;
   }
@@ -66,10 +75,26 @@ namespace {
   return true;
 }
 
+[[nodiscard]] bool parse_device_fault_kind(const std::string& value,
+                                           DeviceFaultKind& out) {
+  if (value == "none") {
+    out = DeviceFaultKind::kNone;
+  } else if (value == "crash") {
+    out = DeviceFaultKind::kCrash;
+  } else if (value == "brownout") {
+    out = DeviceFaultKind::kBrownout;
+  } else if (value == "flap") {
+    out = DeviceFaultKind::kLinkFlap;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string FaultProfile::preset_names() {
-  return "none, aged, degraded, stress";
+  return "none, aged, degraded, stress, device-loss";
 }
 
 Result<FaultProfile> FaultProfile::parse(std::string_view text) {
@@ -122,6 +147,23 @@ Result<FaultProfile> FaultProfile::parse(std::string_view text) {
     } else if (key == "pe_fault_rate") {
       ok = parse_double(value, profile.pe_fault_rate) &&
            profile.pe_fault_rate <= 1.0;
+    } else if (key == "device_fault") {
+      ok = parse_device_fault_kind(value, profile.device_fault);
+    } else if (key == "device_fault_device") {
+      ok = parse_u64(value, u) && u <= 0xFFFFFFFFull;
+      profile.device_fault_device = static_cast<std::uint32_t>(u);
+    } else if (key == "device_fault_at_frac") {
+      ok = parse_double(value, profile.device_fault_at_frac) &&
+           profile.device_fault_at_frac <= 1.0;
+    } else if (key == "device_fault_at_us") {
+      ok = parse_u64(value, u);
+      profile.device_fault_at_ns = u * 1000ull;
+    } else if (key == "device_fault_duration_us") {
+      ok = parse_u64(value, u);
+      profile.device_fault_duration_ns = u * 1000ull;
+    } else if (key == "brownout_factor") {
+      ok = parse_double(value, profile.brownout_factor) &&
+           profile.brownout_factor >= 1.0;
     } else {
       return Result<FaultProfile>::failure(
           ErrorKind::kInvalidArg, "unknown fault profile key '" + key + "'");
@@ -136,9 +178,18 @@ Result<FaultProfile> FaultProfile::parse(std::string_view text) {
 }
 
 std::string FaultProfile::summary() const {
-  if (!any_enabled()) return "faults: none";
+  if (!any_enabled() && !device_fault_enabled()) return "faults: none";
   std::ostringstream out;
+  if (!any_enabled()) {
+    out << "faults: device_fault=" << to_string(device_fault)
+        << " device=" << device_fault_device;
+    return out.str();
+  }
   out << "faults: seed=" << seed;
+  if (device_fault_enabled()) {
+    out << " device_fault=" << to_string(device_fault)
+        << " device=" << device_fault_device;
+  }
   if (read_ber > 0.0) {
     out << " read_ber=" << read_ber << " ecc_bits=" << ecc_correctable_bits
         << " max_retries=" << max_read_retries;

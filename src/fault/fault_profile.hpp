@@ -25,6 +25,29 @@
 
 namespace ndpgen::fault {
 
+/// Whole-device fault classes injected by the cluster frontend's
+/// DeviceFaultInjector (src/fault/device_fault.hpp). A single-device
+/// stack ignores these fields — they describe what happens to one member
+/// of a cluster, not to the media inside it.
+enum class DeviceFaultKind : std::uint8_t {
+  kNone,      ///< No device-level fault scheduled.
+  kCrash,     ///< Device dies permanently at the trigger point.
+  kBrownout,  ///< Device latency is multiplied by brownout_factor for
+              ///< device_fault_duration.
+  kLinkFlap,  ///< NVMe link drops for device_fault_duration, then returns.
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    DeviceFaultKind kind) noexcept {
+  switch (kind) {
+    case DeviceFaultKind::kNone: return "none";
+    case DeviceFaultKind::kCrash: return "crash";
+    case DeviceFaultKind::kBrownout: return "brownout";
+    case DeviceFaultKind::kLinkFlap: return "flap";
+  }
+  return "?";
+}
+
 struct FaultProfile {
   std::uint64_t seed = 0x5eedfa17ULL;
 
@@ -60,8 +83,32 @@ struct FaultProfile {
   /// the software path.
   double pe_fault_rate = 0.0;
 
-  /// True when any fault class can fire; false keeps every hook on its
-  /// zero-cost default path.
+  // --- Device-level (cluster) --------------------------------------------
+  /// Scheduled whole-device fault; consumed by the cluster frontend's
+  /// DeviceFaultInjector, ignored by a single-device stack.
+  DeviceFaultKind device_fault = DeviceFaultKind::kNone;
+  /// Device index the fault targets.
+  std::uint32_t device_fault_device = 0;
+  /// Trigger point as a fraction of the run's request budget (the K-th
+  /// doorbell, K = round(frac * requests)); used when device_fault_at_ns
+  /// is 0. The device-loss preset sets 0.5 ("mid-run").
+  double device_fault_at_frac = 0.5;
+  /// Absolute virtual trigger time in ns; 0 = use device_fault_at_frac.
+  std::uint64_t device_fault_at_ns = 0;
+  /// Brownout / link-flap window length in ns.
+  std::uint64_t device_fault_duration_ns = 5'000'000;  // 5 ms virtual.
+  /// Brownout latency multiplier (kBrownout only).
+  double brownout_factor = 4.0;
+
+  [[nodiscard]] bool device_fault_enabled() const noexcept {
+    return device_fault != DeviceFaultKind::kNone;
+  }
+
+  /// True when any media/link fault class can fire; false keeps every hook
+  /// on its zero-cost default path. Device-level faults are deliberately
+  /// excluded: they live in the cluster frontend, not the per-device
+  /// stack, so a device-loss profile keeps each member platform on the
+  /// fault-free fast path.
   [[nodiscard]] bool any_enabled() const noexcept {
     return read_ber > 0.0 || bad_block_rate > 0.0 ||
            silent_corruption_rate > 0.0 || nvme_timeout_rate > 0.0 ||
@@ -70,8 +117,9 @@ struct FaultProfile {
 
   /// Parses "seed=7,read_ber=1e-6,bad_block_rate=0.01" (any subset of the
   /// documented keys, in any order). A bare token without '=' names a
-  /// preset ("none", "aged", "degraded", "stress") whose values later
-  /// key=value items override, so "aged,seed=7" is a seeded aged device.
+  /// preset ("none", "aged", "degraded", "stress", "device-loss") whose
+  /// values later key=value items override, so "aged,seed=7" is a seeded
+  /// aged device and "device-loss,device_fault_device=2" crashes device 2.
   /// Unknown keys, unknown preset names and malformed numbers fail with
   /// kInvalidArg; the preset error lists the valid names.
   [[nodiscard]] static Result<FaultProfile> parse(std::string_view text);

@@ -5,7 +5,7 @@
 namespace ndpgen::host {
 
 LoadGenerator::LoadGenerator(LoadConfig config)
-    : config_(config), rng_(config.seed) {
+    : config_(config), rng_(config.seed), clock_(config.start_ns) {
   NDPGEN_CHECK_ARG(config_.tenants >= 1, "load needs at least one tenant");
   NDPGEN_CHECK_ARG(config_.key_space >= 1,
                    "load needs a non-empty key space");

@@ -37,6 +37,11 @@ struct LoadConfig {
   std::uint32_t closed_loop_clients = 0;
   /// Closed loop: per-client pause between completion and next issue.
   platform::SimTime think_time = 0;
+  /// Open-loop arrival-clock origin. Lets a second load segment continue
+  /// a timeline whose device clock has already advanced (e.g. measuring a
+  /// cluster after failover): arrivals start here instead of at 0, so
+  /// completion latencies stay arrival-relative, not epoch-relative.
+  platform::SimTime start_ns = 0;
   /// Record ids span [1, key_space]; keys are (id, 0). Required.
   std::uint64_t key_space = 0;
   /// Ids covered per request range.

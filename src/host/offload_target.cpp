@@ -1,0 +1,8 @@
+#include "host/offload_target.hpp"
+
+namespace ndpgen::host {
+
+// Out-of-line key function anchoring the vtable.
+OffloadTarget::~OffloadTarget() = default;
+
+}  // namespace ndpgen::host

@@ -1,0 +1,91 @@
+// Device-side contract the host QueryService drives.
+//
+// PR 5 wired the service straight to one (HybridExecutor, CosmosPlatform)
+// pair. The cluster frontend needs the same host machinery — queue pairs,
+// WRR arbitration, coalescing, retry/backoff, phase accounting — on top
+// of N devices with replication and failover, so the device side is
+// abstracted into this narrow interface. The service's event loop only
+// ever needs five things from "the device": an observability context for
+// its host.* metrics, a doorbell on the shared host link, a device
+// timeline to align dispatches against, the CQ interrupt cost, and the
+// coalesced multi_range_scan offload itself.
+//
+// SingleDeviceTarget is the original topology, a pass-through adapter
+// whose call sequence is exactly what QueryService used to do inline —
+// single-device runs stay byte-identical. cluster::ClusterCoordinator is
+// the N-device implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ndp/executor.hpp"
+#include "obs/obs.hpp"
+#include "platform/cosmos.hpp"
+
+namespace ndpgen::host {
+
+class OffloadTarget {
+ public:
+  virtual ~OffloadTarget();
+
+  /// Observability context the service's host.* metrics, traces and
+  /// request profiles land in.
+  [[nodiscard]] virtual obs::Observability& observability() noexcept = 0;
+
+  /// Zero-payload command reservation on the shared host link at virtual
+  /// time `at` (the SQ doorbell). Serialized against every other
+  /// submission and result transfer; never advances a clock.
+  virtual platform::LinkGrant doorbell(platform::SimTime at) = 0;
+
+  /// Device timeline the offloads execute on.
+  [[nodiscard]] virtual platform::SimTime device_now() = 0;
+  virtual void advance_device_to(platform::SimTime at) = 0;
+
+  /// CQ interrupt cost charged once per offload after it drains.
+  [[nodiscard]] virtual platform::SimTime completion_latency() const = 0;
+
+  /// One coalesced offload; advances the device timeline by the scan's
+  /// elapsed time. Stats phases (excluding queueing) must sum exactly to
+  /// stats.elapsed — the service's end-to-end attribution builds on it.
+  virtual ndp::ScanStats multi_range_scan(
+      const std::vector<ndp::KeyRange>& ranges,
+      const std::vector<ndp::FilterPredicate>& predicates,
+      std::vector<std::vector<std::uint8_t>>* records) = 0;
+};
+
+/// The PR-5 topology: one HybridExecutor on one CosmosPlatform.
+class SingleDeviceTarget final : public OffloadTarget {
+ public:
+  SingleDeviceTarget(ndp::HybridExecutor& executor,
+                     platform::CosmosPlatform& platform)
+      : executor_(executor), platform_(platform) {}
+
+  [[nodiscard]] obs::Observability& observability() noexcept override {
+    return platform_.observability();
+  }
+  platform::LinkGrant doorbell(platform::SimTime at) override {
+    return platform_.nvme().reserve(at, 0);
+  }
+  [[nodiscard]] platform::SimTime device_now() override {
+    return platform_.events().now();
+  }
+  void advance_device_to(platform::SimTime at) override {
+    platform_.events().advance_to(at);
+  }
+  [[nodiscard]] platform::SimTime completion_latency() const override {
+    return platform_.timing().nvme_command_latency;
+  }
+  ndp::ScanStats multi_range_scan(
+      const std::vector<ndp::KeyRange>& ranges,
+      const std::vector<ndp::FilterPredicate>& predicates,
+      std::vector<std::vector<std::uint8_t>>* records) override {
+    return executor_.multi_range_scan(ranges, predicates, records);
+  }
+
+ private:
+  ndp::HybridExecutor& executor_;
+  platform::CosmosPlatform& platform_;
+};
+
+}  // namespace ndpgen::host

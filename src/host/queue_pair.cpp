@@ -2,11 +2,26 @@
 
 #include <algorithm>
 
+#include "support/rng.hpp"
+
 namespace ndpgen::host {
 
 QueuePair::QueuePair(std::uint32_t tenant, std::uint32_t depth)
     : tenant_(tenant), depth_(depth) {
   NDPGEN_CHECK_ARG(depth > 0, "queue pair depth must be at least 1");
+}
+
+platform::SimTime QueuePair::retry_jitter(const Request& request,
+                                          platform::SimTime backoff) noexcept {
+  const platform::SimTime window = backoff / 4;
+  if (window == 0) return 0;
+  // One SplitMix64 step over a (id, tenant, attempt) composite: cheap,
+  // stateless, and collision-free enough that concurrent rejects spread
+  // across the window instead of re-colliding at the same instant.
+  support::SplitMix64 mixer(request.id * 0x9e3779b97f4a7c15ULL ^
+                            (static_cast<std::uint64_t>(request.tenant) << 32) ^
+                            request.attempts);
+  return static_cast<platform::SimTime>(mixer.next() % window);
 }
 
 ndpgen::Result<std::uint32_t> QueuePair::submit(const Request& request) {

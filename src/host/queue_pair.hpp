@@ -62,6 +62,17 @@ class QueuePair {
  public:
   QueuePair(std::uint32_t tenant, std::uint32_t depth);
 
+  /// Deterministic retry-backoff jitter for one rejected attempt,
+  /// uniform-ish in [0, backoff/4). Seeded per request from (id, tenant,
+  /// attempt) — NOT from a shared RNG stream — so the retry timeline of
+  /// every request is a pure function of the request itself and stays
+  /// byte-identical under --threads/--pes variation and any interleaving
+  /// of other tenants' retries. Jitter breaks the retry convoys that a
+  /// bare exponential schedule forms when a burst is rejected at the same
+  /// instant.
+  [[nodiscard]] static platform::SimTime retry_jitter(
+      const Request& request, platform::SimTime backoff) noexcept;
+
   /// Admission control: enqueues into the SQ, or fails with Status{kBusy}
   /// when the queue already holds `depth()` entries. Returns the
   /// post-admission SQ depth on success. Never throws — the service's

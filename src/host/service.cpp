@@ -21,11 +21,20 @@ std::vector<std::uint32_t> normalized_weights(const ServiceConfig& config) {
 
 }  // namespace
 
+QueryService::QueryService(OffloadTarget& target, ServiceConfig config)
+    : QueryService(nullptr, &target, std::move(config)) {}
+
 QueryService::QueryService(ndp::HybridExecutor& executor,
                            platform::CosmosPlatform& platform,
                            ServiceConfig config)
-    : executor_(executor),
-      platform_(platform),
+    : QueryService(
+          std::make_unique<SingleDeviceTarget>(executor, platform), nullptr,
+          std::move(config)) {}
+
+QueryService::QueryService(std::unique_ptr<OffloadTarget> owned,
+                           OffloadTarget* target, ServiceConfig config)
+    : owned_target_(std::move(owned)),
+      target_(target != nullptr ? target : owned_target_.get()),
       config_(std::move(config)),
       arbiter_(normalized_weights(config_)) {
   NDPGEN_CHECK_ARG(config_.batch_limit >= 1,
@@ -37,9 +46,13 @@ QueryService::QueryService(ndp::HybridExecutor& executor,
   for (std::uint32_t t = 0; t < config_.tenants; ++t) {
     queues_.emplace_back(t, config_.queue_depth);
   }
+  resolve_metric_handles();
+}
+
+void QueryService::resolve_metric_handles() {
   // Handles are resolved once here so event handling never allocates and
   // metric registration order is a function of the config alone.
-  obs::MetricsRegistry& m = platform_.observability().metrics;
+  obs::MetricsRegistry& m = target_->observability().metrics;
   m_submitted_ = m.counter("host.submitted");
   m_retries_ = m.counter("host.retries");
   m_rejected_ = m.counter("host.rejected_busy");
@@ -90,7 +103,7 @@ void QueryService::seed_closed_loop(LoadGenerator& load) {
 }
 
 void QueryService::handle_submit(Request request, LoadGenerator& load) {
-  obs::Observability& obs = platform_.observability();
+  obs::Observability& obs = target_->observability();
   obs::MetricsRegistry& m = obs.metrics;
   TenantMetrics& tm = tenant_metrics_[request.tenant];
   TenantReport& tr = report_.tenants[request.tenant];
@@ -114,7 +127,7 @@ void QueryService::handle_submit(Request request, LoadGenerator& load) {
     // against every other submission and result transfer. The SQ entry is
     // live (dispatchable) once the grant drains. The grant's span of the
     // link is this request's host-side doorbell phase.
-    const platform::LinkGrant grant = platform_.nvme().reserve(now_, 0);
+    const platform::LinkGrant grant = target_->doorbell(now_);
     attempt.admitted = grant.done;
     attempt.doorbell_ns = grant.done - now_;
   }
@@ -136,10 +149,15 @@ void QueryService::handle_submit(Request request, LoadGenerator& load) {
     if (request.attempts <= config_.max_retries) {
       // Exponential client backoff: 1st retry after retry_backoff, then
       // doubling — the knob that turns sustained overload into drops
-      // instead of an unbounded retry storm.
+      // instead of an unbounded retry storm. Jitter is seeded per request
+      // (id + tenant + attempt), never from a shared stream, so the retry
+      // timeline is a pure function of the request and byte-identical
+      // under --threads variation.
       const platform::SimTime backoff = config_.retry_backoff
                                         << (request.attempts - 1);
-      push_event(now_ + backoff, EventKind::kRetry, request);
+      const platform::SimTime jitter =
+          QueuePair::retry_jitter(request, backoff);
+      push_event(now_ + backoff + jitter, EventKind::kRetry, request);
     } else {
       ++report_.dropped;
       ++tr.dropped;
@@ -181,9 +199,8 @@ void QueryService::try_dispatch() {
     batch.requests.push_back(*next);
   }
 
-  auto& queue = platform_.events();
-  if (ready > queue.now()) queue.advance_to(ready);
-  const platform::SimTime start = queue.now();
+  if (ready > target_->device_now()) target_->advance_device_to(ready);
+  const platform::SimTime start = target_->device_now();
 
   std::vector<ndp::KeyRange> ranges;
   ranges.reserve(batch.requests.size());
@@ -197,11 +214,11 @@ void QueryService::try_dispatch() {
   // issued in generator order, so the id — and every span tagged with it —
   // is invariant across pes/threads) and cleared before control returns
   // to the event loop.
-  obs::Observability& obs = platform_.observability();
+  obs::Observability& obs = target_->observability();
   obs.request_ctx = obs::RequestContext::mint(batch.requests.front().id);
   ndp::ScanStats stats;
   try {
-    stats = executor_.multi_range_scan(ranges, config_.predicates, &records);
+    stats = target_->multi_range_scan(ranges, config_.predicates, &records);
   } catch (...) {
     obs.request_ctx = obs::RequestContext{};
     throw;
@@ -254,7 +271,7 @@ void QueryService::try_dispatch() {
   // CQ posting: completion interrupt one command latency after the
   // offload (whose elapsed already covers the result transfer) drains.
   const platform::SimTime completed_at =
-      queue.now() + platform_.timing().nvme_command_latency;
+      target_->device_now() + target_->completion_latency();
   in_flight_ = std::move(batch);
   push_event(completed_at, EventKind::kCompletion, Request{});
 }
@@ -264,7 +281,7 @@ void QueryService::complete_batch(LoadGenerator& load) {
                "completion event without an in-flight offload");
   Batch batch = std::move(*in_flight_);
   in_flight_.reset();
-  obs::Observability& obs = platform_.observability();
+  obs::Observability& obs = target_->observability();
   obs::MetricsRegistry& m = obs.metrics;
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     const Request& request = batch.requests[i];
@@ -404,7 +421,7 @@ ServiceReport QueryService::run(LoadGenerator& load) {
     try_dispatch();
   }
 
-  obs::MetricsRegistry& m = platform_.observability().metrics;
+  obs::MetricsRegistry& m = target_->observability().metrics;
   if (last_completion_ > first_arrival_) {
     report_.makespan_ns = last_completion_ - first_arrival_;
   }

@@ -29,12 +29,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "host/arbiter.hpp"
 #include "host/load_generator.hpp"
+#include "host/offload_target.hpp"
 #include "host/queue_pair.hpp"
 #include "ndp/executor.hpp"
 #include "platform/cosmos.hpp"
@@ -113,6 +115,13 @@ struct ServiceReport {
 
 class QueryService {
  public:
+  /// Serves offloads from an arbitrary device-side target (single device
+  /// or a cluster frontend).
+  QueryService(OffloadTarget& target, ServiceConfig config);
+
+  /// Convenience for the original topology: wraps (executor, platform) in
+  /// an owned SingleDeviceTarget. Behavior is byte-identical to driving
+  /// the pair directly.
   QueryService(ndp::HybridExecutor& executor,
                platform::CosmosPlatform& platform, ServiceConfig config);
 
@@ -130,6 +139,12 @@ class QueryService {
   }
 
  private:
+  /// Delegation target for both public ctors: exactly one of `owned` /
+  /// `target` is set, so a throwing config check can never leak the
+  /// adapter (the unique_ptr member is constructed first).
+  QueryService(std::unique_ptr<OffloadTarget> owned, OffloadTarget* target,
+               ServiceConfig config);
+
   enum class EventKind : std::uint8_t { kArrival, kRetry, kCompletion };
 
   struct Event {
@@ -161,9 +176,10 @@ class QueryService {
   void complete_batch(LoadGenerator& load);
   void seed_closed_loop(LoadGenerator& load);
   void pull_open_arrival(LoadGenerator& load);
+  void resolve_metric_handles();
 
-  ndp::HybridExecutor& executor_;
-  platform::CosmosPlatform& platform_;
+  std::unique_ptr<OffloadTarget> owned_target_;  ///< Legacy-ctor adapter.
+  OffloadTarget* target_;  ///< Never null; the device side being driven.
   ServiceConfig config_;
   WrrArbiter arbiter_;
   std::vector<QueuePair> queues_;

@@ -32,6 +32,7 @@ enum class ErrorKind : std::uint8_t {
   kInvalidArg,   ///< API misuse detected at a public boundary.
   kInternal,     ///< Invariant violation inside the framework.
   kBusy,         ///< Admission rejected: bounded queue at capacity.
+  kDeviceUnavailable,  ///< No live replica can serve the request.
 };
 
 /// Returns a stable lowercase name for an ErrorKind ("parse", "storage"...).
@@ -46,6 +47,7 @@ enum class ErrorKind : std::uint8_t {
     case ErrorKind::kInvalidArg: return "invalid-argument";
     case ErrorKind::kInternal: return "internal";
     case ErrorKind::kBusy: return "busy";
+    case ErrorKind::kDeviceUnavailable: return "device-unavailable";
   }
   return "unknown";
 }
@@ -82,6 +84,7 @@ class Error : public std::runtime_error {
     case ErrorKind::kInvalidArg: return 16;
     case ErrorKind::kInternal: return 17;
     case ErrorKind::kBusy: return 18;
+    case ErrorKind::kDeviceUnavailable: return 19;
   }
   return 1;
 }

@@ -1,0 +1,124 @@
+// Consistent-hash placement: replica invariants, determinism, and the
+// replace_device stability guarantee a rebuild relies on.
+#include "cluster/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ndpgen::cluster {
+namespace {
+
+PlacementConfig small_config() {
+  PlacementConfig config;
+  config.devices = 4;
+  config.replication = 2;
+  config.partitions = 64;
+  config.vnodes = 16;
+  return config;
+}
+
+TEST(ClusterPlacementTest, EveryPartitionHasRDistinctReplicas) {
+  const ClusterPlacement placement(small_config());
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    const auto& replicas = placement.replicas(p);
+    ASSERT_EQ(replicas.size(), 2u) << p;
+    const std::set<std::uint32_t> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), replicas.size()) << p;
+    for (const std::uint32_t d : replicas) {
+      EXPECT_LT(d, 4u) << p;
+      EXPECT_TRUE(placement.replicates(d, p));
+    }
+  }
+}
+
+TEST(ClusterPlacementTest, PartitionsOfInvertsTheReplicaTable) {
+  const ClusterPlacement placement(small_config());
+  std::uint64_t assignments = 0;
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    for (const std::uint32_t p : placement.partitions_of(d)) {
+      EXPECT_TRUE(placement.replicates(d, p));
+      ++assignments;
+    }
+  }
+  // Each partition appears in exactly R per-device lists.
+  EXPECT_EQ(assignments, 64u * 2u);
+}
+
+TEST(ClusterPlacementTest, PureFunctionOfSeed) {
+  const ClusterPlacement a(small_config());
+  const ClusterPlacement b(small_config());
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(a.replicas(p), b.replicas(p)) << p;
+  }
+  PlacementConfig reseeded = small_config();
+  reseeded.seed = 7;
+  const ClusterPlacement c(reseeded);
+  bool any_differs = false;
+  for (std::uint32_t p = 0; p < 64 && !any_differs; ++p) {
+    any_differs = a.replicas(p) != c.replicas(p);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(ClusterPlacementTest, KeyPartitionIsStableAndInRange) {
+  const ClusterPlacement a(small_config());
+  const ClusterPlacement b(small_config());
+  std::set<std::uint32_t> touched;
+  for (std::uint64_t id = 1; id <= 512; ++id) {
+    const kv::Key key{id, 0};
+    const std::uint32_t p = a.partition_of(key);
+    EXPECT_LT(p, 64u);
+    EXPECT_EQ(p, b.partition_of(key));
+    touched.insert(p);
+  }
+  // 512 dense keys over 64 partitions: the hash must actually spread.
+  EXPECT_GT(touched.size(), 32u);
+}
+
+TEST(ClusterPlacementTest, ReplaceDeviceMovesOnlyTheDeadPartitions) {
+  ClusterPlacement placement(small_config());
+  const std::vector<std::uint32_t> lost = placement.partitions_of(1);
+  std::vector<std::vector<std::uint32_t>> before(64);
+  for (std::uint32_t p = 0; p < 64; ++p) before[p] = placement.replicas(p);
+
+  placement.replace_device(/*dead=*/1, /*spare=*/4);
+
+  // The spare inherits exactly the dead member's partitions; every other
+  // assignment is untouched (the property that bounds rebuild traffic).
+  EXPECT_EQ(placement.partitions_of(4), lost);
+  EXPECT_TRUE(placement.partitions_of(1).empty());
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    auto expected = before[p];
+    for (auto& d : expected) {
+      if (d == 1) d = 4;
+    }
+    EXPECT_EQ(placement.replicas(p), expected) << p;
+  }
+}
+
+TEST(ClusterPlacementTest, ReplaceDeviceValidates) {
+  ClusterPlacement placement(small_config());
+  // Spare already on the ring.
+  EXPECT_THROW(placement.replace_device(1, 2), Error);
+  // Dead id not on the ring.
+  EXPECT_THROW(placement.replace_device(9, 4), Error);
+  // A retired id can never come back.
+  placement.replace_device(1, 4);
+  EXPECT_THROW(placement.replace_device(1, 5), Error);
+}
+
+TEST(ClusterPlacementTest, ValidatesConfiguration) {
+  PlacementConfig config = small_config();
+  config.replication = 5;  // R > devices.
+  EXPECT_THROW(ClusterPlacement{config}, Error);
+  config = small_config();
+  config.partitions = 0;
+  EXPECT_THROW(ClusterPlacement{config}, Error);
+}
+
+}  // namespace
+}  // namespace ndpgen::cluster

@@ -1,0 +1,111 @@
+// Device-level fault oracle: scheduled triggers, crash/brownout/flap
+// semantics, and target isolation.
+#include "fault/device_fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ndpgen::fault {
+namespace {
+
+FaultProfile crash_profile() {
+  FaultProfile profile;
+  profile.device_fault = DeviceFaultKind::kCrash;
+  profile.device_fault_device = 1;
+  profile.device_fault_at_frac = 0.5;
+  return profile;
+}
+
+TEST(DeviceFaultInjectorTest, DisabledInjectorIsInert) {
+  DeviceFaultInjector injector;
+  injector.arm(100);
+  injector.on_doorbell(10);
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.fired_at().has_value());
+  EXPECT_TRUE(injector.alive_at(0, 1'000'000));
+  EXPECT_TRUE(injector.link_up_at(0, 1'000'000));
+  EXPECT_EQ(injector.latency_factor_at(0, 1'000'000), 1.0);
+}
+
+TEST(DeviceFaultInjectorTest, CrashLatchesAtTheKthDoorbell) {
+  DeviceFaultInjector injector(crash_profile());
+  injector.arm(10);  // frac 0.5 -> the 5th doorbell.
+  for (int i = 1; i <= 4; ++i) {
+    injector.on_doorbell(i * 100);
+    EXPECT_FALSE(injector.fired_at().has_value()) << i;
+    EXPECT_TRUE(injector.alive_at(1, i * 100));
+  }
+  injector.on_doorbell(500);
+  ASSERT_TRUE(injector.fired_at().has_value());
+  EXPECT_EQ(*injector.fired_at(), 500);
+  // Crash: permanently down from the fire instant, link included.
+  EXPECT_TRUE(injector.alive_at(1, 499));
+  EXPECT_FALSE(injector.alive_at(1, 500));
+  EXPECT_FALSE(injector.alive_at(1, 1'000'000'000));
+  EXPECT_FALSE(injector.link_up_at(1, 500));
+  // Only the targeted device is affected.
+  EXPECT_TRUE(injector.alive_at(0, 1'000'000'000));
+  EXPECT_TRUE(injector.link_up_at(2, 1'000'000'000));
+}
+
+TEST(DeviceFaultInjectorTest, ZeroBudgetLeavesTheFaultDormant) {
+  DeviceFaultInjector injector(crash_profile());
+  injector.arm(0);
+  for (int i = 0; i < 32; ++i) injector.on_doorbell(i);
+  EXPECT_FALSE(injector.fired_at().has_value());
+  EXPECT_TRUE(injector.alive_at(1, 1'000'000'000));
+}
+
+TEST(DeviceFaultInjectorTest, TinyBudgetStillFires) {
+  DeviceFaultInjector injector(crash_profile());
+  injector.arm(1);  // round(0.5 * 1) == 0 -> clamped to the 1st doorbell.
+  injector.on_doorbell(42);
+  ASSERT_TRUE(injector.fired_at().has_value());
+  EXPECT_EQ(*injector.fired_at(), 42);
+}
+
+TEST(DeviceFaultInjectorTest, AbsoluteTriggerIsKnownFromConstruction) {
+  FaultProfile profile = crash_profile();
+  profile.device_fault_at_ns = 7'000;
+  const DeviceFaultInjector injector(profile);
+  ASSERT_TRUE(injector.fired_at().has_value());
+  EXPECT_EQ(*injector.fired_at(), 7'000);
+  EXPECT_TRUE(injector.alive_at(1, 6'999));
+  EXPECT_FALSE(injector.alive_at(1, 7'000));
+}
+
+TEST(DeviceFaultInjectorTest, BrownoutMultipliesLatencyInsideTheWindow) {
+  FaultProfile profile;
+  profile.device_fault = DeviceFaultKind::kBrownout;
+  profile.device_fault_device = 0;
+  profile.device_fault_at_ns = 1'000'000;
+  profile.device_fault_duration_ns = 2'000'000;
+  profile.brownout_factor = 8.0;
+  const DeviceFaultInjector injector(profile);
+  EXPECT_EQ(injector.latency_factor_at(0, 999'999), 1.0);
+  EXPECT_EQ(injector.latency_factor_at(0, 1'000'000), 8.0);
+  EXPECT_EQ(injector.latency_factor_at(0, 2'999'999), 8.0);
+  EXPECT_EQ(injector.latency_factor_at(0, 3'000'000), 1.0);
+  // A brownout never takes the device or its link down.
+  EXPECT_TRUE(injector.alive_at(0, 2'000'000));
+  EXPECT_TRUE(injector.link_up_at(0, 2'000'000));
+  EXPECT_EQ(injector.latency_factor_at(1, 2'000'000), 1.0);
+}
+
+TEST(DeviceFaultInjectorTest, LinkFlapDropsOnlyTheLinkAndRecovers) {
+  FaultProfile profile;
+  profile.device_fault = DeviceFaultKind::kLinkFlap;
+  profile.device_fault_device = 2;
+  profile.device_fault_at_ns = 1'000'000;
+  profile.device_fault_duration_ns = 500'000;
+  const DeviceFaultInjector injector(profile);
+  EXPECT_TRUE(injector.link_up_at(2, 999'999));
+  EXPECT_FALSE(injector.link_up_at(2, 1'000'000));
+  EXPECT_FALSE(injector.link_up_at(2, 1'499'999));
+  EXPECT_TRUE(injector.link_up_at(2, 1'500'000));  // Window over.
+  // Data intact, latency untouched.
+  EXPECT_TRUE(injector.alive_at(2, 1'200'000));
+  EXPECT_EQ(injector.latency_factor_at(2, 1'200'000), 1.0);
+}
+
+}  // namespace
+}  // namespace ndpgen::fault

@@ -66,6 +66,27 @@ TEST(WrrArbiterTest, DeterministicReplay) {
   }
 }
 
+TEST(WrrArbiterTest, TenantDrainingMidRoundForfeitsLeftoverCredit) {
+  WrrArbiter arbiter({3, 1});
+  const std::vector<bool> both = {true, true};
+  const std::vector<bool> only_second = {false, true};
+  // Tenant 0 spends two of its three credits, then its queue drains.
+  EXPECT_EQ(arbiter.pick(both), 0u);
+  EXPECT_EQ(arbiter.pick(both), 0u);
+  // Work conserving: the grant moves on immediately, every time.
+  EXPECT_EQ(arbiter.pick(only_second), 1u);
+  EXPECT_EQ(arbiter.pick(only_second), 1u);
+  EXPECT_EQ(arbiter.pick(only_second), 1u);
+  // When tenant 0 refills it gets a fresh round of exactly weight
+  // credits — the credit abandoned at drain time is forfeited, not
+  // banked, so a bursty tenant cannot stockpile service.
+  EXPECT_EQ(arbiter.pick(both), 0u);
+  EXPECT_EQ(arbiter.pick(both), 0u);
+  EXPECT_EQ(arbiter.pick(both), 0u);
+  EXPECT_EQ(arbiter.pick(both), 1u);
+  EXPECT_EQ(arbiter.pick(both), 0u);
+}
+
 TEST(WrrArbiterTest, ValidatesWeights) {
   EXPECT_THROW(WrrArbiter({}), Error);
   EXPECT_THROW(WrrArbiter({1, 0, 2}), Error);

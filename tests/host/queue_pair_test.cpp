@@ -94,5 +94,61 @@ TEST(QueuePairTest, ZeroDepthIsInvalid) {
   EXPECT_THROW(QueuePair(0, 0), Error);
 }
 
+TEST(QueuePairTest, BurstAtCapacityAdmitsExactlyDepthRequests) {
+  // A burst of 2x depth arriving at one instant: admission must take
+  // exactly `depth` requests — not depth-1, not depth+1 — and the Nth
+  // rejection must leave the SQ untouched.
+  constexpr std::uint32_t kDepth = 4;
+  QueuePair qp(1, kDepth);
+  for (std::uint64_t i = 0; i < 2 * kDepth; ++i) {
+    const auto admitted = qp.submit(make_request(i));
+    if (i < kDepth) {
+      ASSERT_TRUE(admitted.ok()) << i;
+      EXPECT_EQ(admitted.value(), i + 1) << i;
+      EXPECT_EQ(qp.sq_full(), i + 1 == kDepth) << i;
+    } else {
+      ASSERT_FALSE(admitted.ok()) << i;
+      EXPECT_EQ(admitted.status().kind, ErrorKind::kBusy) << i;
+    }
+  }
+  EXPECT_EQ(qp.admitted(), kDepth);
+  EXPECT_EQ(qp.rejected_busy(), kDepth);
+  EXPECT_EQ(qp.sq_depth(), kDepth);
+  EXPECT_EQ(qp.sq_high_water(), kDepth);
+  // Freeing one slot re-opens admission for exactly one request.
+  EXPECT_EQ(qp.pop()->id, 0u);
+  ASSERT_TRUE(qp.submit(make_request(100)).ok());
+  ASSERT_FALSE(qp.submit(make_request(101)).ok());
+}
+
+TEST(QueuePairTest, RetryJitterIsSeededPerRequestAttempt) {
+  constexpr platform::SimTime kBackoff = 40'000;
+  Request request = make_request(7);
+  request.tenant = 3;
+  request.attempts = 1;
+  const platform::SimTime first = QueuePair::retry_jitter(request, kBackoff);
+  // Pure function of (id, tenant, attempt): replays byte-identically, no
+  // shared stream to be perturbed by other tenants' retries.
+  EXPECT_EQ(QueuePair::retry_jitter(request, kBackoff), first);
+  EXPECT_LT(first, kBackoff / 4);
+
+  // Different attempt / tenant / id each re-seed the jitter; a rejected
+  // burst must spread instead of re-colliding at the same instant.
+  Request next_attempt = request;
+  next_attempt.attempts = 2;
+  Request other_tenant = request;
+  other_tenant.tenant = 4;
+  Request other_id = request;
+  other_id.id = 8;
+  const bool any_differs =
+      QueuePair::retry_jitter(next_attempt, kBackoff) != first ||
+      QueuePair::retry_jitter(other_tenant, kBackoff) != first ||
+      QueuePair::retry_jitter(other_id, kBackoff) != first;
+  EXPECT_TRUE(any_differs);
+
+  // Degenerate window: backoff too small to jitter stays exact.
+  EXPECT_EQ(QueuePair::retry_jitter(request, 3), 0u);
+}
+
 }  // namespace
 }  // namespace ndpgen::host

@@ -20,6 +20,13 @@ mean-throughput win that fattens the tail must still fail CI. Same grace
 path — a baseline recorded before the host-service bench has no p99 rows,
 so the dedicated guard notes the gap and defers to the general one.
 
+Failover-recovery rows (series "failover_p99", from fig_cluster_failover)
+get --failover-p99-threshold: the recovered-tail latency is the cluster's
+availability SLO, and a change to failover/rebuild/hedging must not
+quietly fatten it. Same grace path — a baseline recorded before the
+cluster bench has no failover_p99 rows, so the dedicated guard notes the
+gap and defers to the general one.
+
 --obs-overhead-threshold arms the observability-overhead guard, which is
 self-referential rather than baseline-relative: within the results, any
 series carrying both an "<x>_traced" and an "<x>_untraced" row (emitted by
@@ -56,6 +63,11 @@ def is_pe_phase_row(key):
 def is_p99_row(key):
     """True for tail-latency rows ("p99*|<load point>")."""
     return key.split("|", 1)[0].startswith("p99")
+
+
+def is_failover_p99_row(key):
+    """True for cluster failover-recovery rows ("failover_p99|<segment>")."""
+    return key.split("|", 1)[0] == "failover_p99"
 
 
 def check_obs_overhead(benches, threshold):
@@ -113,6 +125,11 @@ def main():
                              "(default: the general threshold); noted and "
                              "skipped when the baseline predates the "
                              "host-service bench")
+    parser.add_argument("--failover-p99-threshold", type=float, default=None,
+                        help="max relative growth of cluster failover_p99 "
+                             "rows (default: the general threshold); noted "
+                             "and skipped when the baseline predates the "
+                             "cluster-failover bench")
     parser.add_argument("--obs-overhead-threshold", type=float, default=None,
                         help="max relative drift between paired *_traced/"
                              "*_untraced rows in the results (virtual time, "
@@ -151,6 +168,9 @@ def main():
                     if args.pe_phase_threshold is not None else threshold)
     p99_threshold = (args.p99_threshold
                      if args.p99_threshold is not None else threshold)
+    failover_threshold = (args.failover_p99_threshold
+                          if args.failover_p99_threshold is not None
+                          else threshold)
     if args.scale is not None and args.scale != baseline.get("scale"):
         print(f"error: results at scale {args.scale} cannot be compared "
               f"against a scale-{baseline.get('scale')} baseline")
@@ -160,6 +180,7 @@ def main():
     compared = 0
     pe_compared = 0
     p99_compared = 0
+    failover_compared = 0
     for bench, base_rows in baseline["benches"].items():
         new_rows = benches.get(bench)
         if new_rows is None:
@@ -180,6 +201,10 @@ def main():
                 pe_compared += 1
                 row_threshold = pe_threshold
                 tag = " [pe-phase]"
+            elif is_failover_p99_row(key):
+                failover_compared += 1
+                row_threshold = failover_threshold
+                tag = " [failover-p99]"
             elif is_p99_row(key):
                 p99_compared += 1
                 row_threshold = p99_threshold
@@ -229,6 +254,13 @@ def main():
     else:
         print(f"p99 guard: {p99_compared} tail-latency rows "
               f"(threshold {p99_threshold:.0%})")
+    if failover_compared == 0:
+        # Same grace path for baselines predating the cluster bench.
+        print("note: baseline has no failover_p99 rows; failover-recovery "
+              "guard skipped (regenerate with --update to arm it)")
+    else:
+        print(f"failover-p99 guard: {failover_compared} recovery rows "
+              f"(threshold {failover_threshold:.0%})")
     print(f"checked {compared} rows against {baseline_path} "
           f"(threshold {threshold:.0%})")
     if failures:

@@ -1,0 +1,85 @@
+# Cluster failover smoke, run as a ctest target:
+#
+#   cmake -DNDPGEN_BIN=<path to ndpgen> -DWORK_DIR=<scratch dir> \
+#         -P cluster_failover_smoke.cmake
+#
+# Serves an open-loop workload from a 4-member R=2 cluster while the
+# "device-loss" preset crashes device 0 mid-run, and checks the ISSUE
+# acceptance story end-to-end through the CLI: exit 0 (no query dropped),
+# exactly one failover + rebuild in the report, cluster counters in the
+# metrics dump, and a byte-identical replay — including a --threads 4
+# replay, since the failure timeline is part of the determinism contract.
+if(NOT NDPGEN_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DNDPGEN_BIN=... -DWORK_DIR=... -P cluster_failover_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(serve_args serve --devices 4 --replication 2 --spares 1
+    --requests 48 --arrival-rate 2000 --scale 65536
+    --fault-profile device-loss)
+
+foreach(run 1 2)
+  execute_process(
+    COMMAND "${NDPGEN_BIN}" ${serve_args}
+            --trace "${WORK_DIR}/trace_${run}.json"
+            --metrics "${WORK_DIR}/metrics_${run}.json"
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "cluster serve run ${run} failed (${status}) — a "
+            "device loss under R=2 must not drop queries:\n${stdout}\n${stderr}")
+  endif()
+  set(stdout_${run} "${stdout}")
+endforeach()
+
+# Third run with host threads driving the PE shards: virtual time and
+# every artifact must be unchanged.
+execute_process(
+  COMMAND "${NDPGEN_BIN}" ${serve_args} --threads 4
+          --trace "${WORK_DIR}/trace_3.json"
+          --metrics "${WORK_DIR}/metrics_3.json"
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE stdout_3
+  ERROR_VARIABLE stderr)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "threaded cluster serve failed (${status}):\n${stdout_3}\n${stderr}")
+endif()
+
+foreach(run 2 3)
+  foreach(kind trace metrics)
+    execute_process(
+      COMMAND "${CMAKE_COMMAND}" -E compare_files
+              "${WORK_DIR}/${kind}_1.json" "${WORK_DIR}/${kind}_${run}.json"
+      RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+      message(FATAL_ERROR "${kind} files differ between identical cluster runs (run ${run}) — the failure timeline is nondeterministic")
+    endif()
+  endforeach()
+  if(NOT stdout_${run} STREQUAL stdout_1)
+    message(FATAL_ERROR "serve report differs between identical cluster runs (run ${run})")
+  endif()
+endforeach()
+
+# The report must show the failover actually happened (a dormant injector
+# would pass the runs above trivially).
+if(NOT stdout_1 MATCHES "1 failover")
+  message(FATAL_ERROR "serve report is missing the failover:\n${stdout_1}")
+endif()
+if(NOT stdout_1 MATCHES "1 rebuild")
+  message(FATAL_ERROR "serve report is missing the rebuild:\n${stdout_1}")
+endif()
+
+# Cluster counter families land in the metrics dump; the crashed member
+# must be off the ring (cluster.dev0.on_ring 0) with the spare serving.
+file(READ "${WORK_DIR}/metrics_1.json" metrics)
+foreach(needle "cluster.failovers" "cluster.rebuilds" "cluster.dev0.state"
+        "cluster.dev4.on_ring")
+  string(FIND "${metrics}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "cluster metrics dump is missing '${needle}'")
+  endif()
+endforeach()
+
+message(STATUS "cluster failover smoke passed")

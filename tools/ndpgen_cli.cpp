@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/pubgraph_cluster.hpp"
 #include "core/framework.hpp"
 #include "fault/fault_profile.hpp"
 #include "host/service.hpp"
@@ -70,6 +71,7 @@ int usage() {
                "       [--max-retries N] [--backoff-us T] [--seed S]\n"
                "       [--scale N] [--mode sw|hw|host] [--pes N]\n"
                "       [--threads N] [--predicate field,op,value]...\n"
+               "       [--devices N] [--replication R] [--spares S]\n"
                "       [--trace FILE] [--metrics FILE]\n"
                "       [--fault-profile preset|k=v,...]\n"
                "                                      drive the multi-tenant "
@@ -79,7 +81,15 @@ int usage() {
                "                                      against the NDP "
                "executor; prints per-tenant\n"
                "                                      throughput and "
-               "p50/p95/p99 latency\n"
+               "p50/p95/p99 latency.\n"
+               "                                      --devices N > 1 serves "
+               "from a cluster of N\n"
+               "                                      smart SSDs with R-way "
+               "replication, health-\n"
+               "                                      driven failover, "
+               "hedged reads and spare\n"
+               "                                      rebuild (see "
+               "DESIGN.md §11)\n"
                "  profile [--workload scan|serve] [--mode sw|hw|host]\n"
                "       [--scale N] [--pes N] [--threads N] [--top K]\n"
                "       [--tenants N] [--qd D] [--requests N] [--batch B]\n"
@@ -122,18 +132,26 @@ int usage() {
                "  host threads driving the shards (0 = one per shard).\n"
                "  --fault-profile enables the deterministic storage "
                "reliability model;\n"
-               "  presets: none, aged, degraded, stress (bare token; later "
-               "k=v items\n"
-               "  override preset fields, e.g. \"aged,seed=7\");\n"
+               "  presets: none, aged, degraded, stress, device-loss (bare "
+               "token; later\n"
+               "  k=v items override preset fields, e.g. \"aged,seed=7\");\n"
                "  keys: seed, read_ber, wear_alpha, retention_alpha, "
                "ecc_bits,\n"
                "  retry_factor, max_retries, bad_block_rate, silent_rate,\n"
-               "  nvme_timeout_rate, nvme_max_retries, pe_fault_rate.\n"
+               "  nvme_timeout_rate, nvme_max_retries, pe_fault_rate,\n"
+               "  device_fault (crash|brownout|linkflap), "
+               "device_fault_device,\n"
+               "  device_fault_at_frac, device_fault_at_us, "
+               "device_fault_duration_us,\n"
+               "  brownout_factor (device_* keys act on serve --devices "
+               "clusters).\n"
                "\n"
-               "  exit codes: 0 ok, 2 usage, 10-18 by error kind "
+               "  exit codes: 0 ok, 2 usage, 10-19 by error kind "
                "(see README); serve\n"
                "  exits 18 (busy) when sustained overload dropped requests "
-               "after retries.\n");
+               "after retries\n"
+               "  and 19 (device-unavailable) when no live replica can "
+               "serve a partition.\n");
   return 2;
 }
 
@@ -494,6 +512,69 @@ int cmd_scan(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// The serve report block shared by the single-device and cluster paths.
+void print_serve_report(ndp::ExecMode mode, std::uint32_t pes,
+                        std::uint64_t loaded,
+                        const host::ServiceConfig& service_config,
+                        const host::LoadGenerator& load,
+                        const host::ServiceReport& report) {
+  std::printf(
+      "serve [%s, %u PE%s]: %llu records loaded, %llu requests "
+      "(%s, %u tenant%s, qd %u)\n",
+      std::string(to_string(mode)).c_str(), pes, pes == 1 ? "" : "s",
+      static_cast<unsigned long long>(loaded),
+      static_cast<unsigned long long>(report.submitted),
+      load.open_loop() ? "open loop" : "closed loop",
+      service_config.tenants, service_config.tenants == 1 ? "" : "s",
+      service_config.queue_depth);
+  std::printf(
+      "  completed %llu, dropped %llu (%llu kBusy rejections, "
+      "%llu retries), %llu results\n",
+      static_cast<unsigned long long>(report.completed),
+      static_cast<unsigned long long>(report.dropped),
+      static_cast<unsigned long long>(report.rejected_busy),
+      static_cast<unsigned long long>(report.retries),
+      static_cast<unsigned long long>(report.results));
+  std::printf(
+      "  offloads %llu (coalesced %llu, max batch %llu), device "
+      "utilization %.1f%%\n",
+      static_cast<unsigned long long>(report.batches),
+      static_cast<unsigned long long>(report.coalesced),
+      static_cast<unsigned long long>(report.max_batch),
+      100.0 * report.utilization());
+  std::printf(
+      "  throughput %.1f req/s over %.3f ms virtual; latency p50 %.3f ms, "
+      "p95 %.3f ms, p99 %.3f ms\n",
+      report.throughput_rps,
+      static_cast<double>(report.makespan_ns) / 1e6,
+      static_cast<double>(report.p50_ns) / 1e6,
+      static_cast<double>(report.p95_ns) / 1e6,
+      static_cast<double>(report.p99_ns) / 1e6);
+  for (std::size_t t = 0; t < report.tenants.size(); ++t) {
+    const host::TenantReport& tr = report.tenants[t];
+    std::printf(
+        "  tenant %zu: %llu submitted, %llu completed, %llu dropped, "
+        "%.1f req/s, p99 %.3f ms, SQ high-water %zu\n",
+        t, static_cast<unsigned long long>(tr.submitted),
+        static_cast<unsigned long long>(tr.completed),
+        static_cast<unsigned long long>(tr.dropped), tr.throughput_rps,
+        static_cast<double>(tr.p99_ns) / 1e6, tr.sq_high_water);
+  }
+}
+
+/// Overload-drop epilogue shared by both serve paths: a run that dropped
+/// requests after exhausting retries exits 18 (busy).
+int serve_exit_code(const host::ServiceReport& report) {
+  if (report.dropped > 0) {
+    std::fprintf(stderr,
+                 "ndpgen: serve dropped %llu request(s) after exhausting "
+                 "retries — sustained overload (busy)\n",
+                 static_cast<unsigned long long>(report.dropped));
+    return exit_code(ErrorKind::kBusy);
+  }
+  return 0;
+}
+
 int cmd_serve(const std::vector<std::string>& args) {
   host::ServiceConfig service_config;
   host::LoadConfig load_config;
@@ -501,6 +582,9 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::uint64_t scale = 32768;
   std::uint32_t pes = 1;
   std::uint32_t threads = 0;
+  std::uint32_t devices = 1;
+  std::uint32_t replication = 2;
+  std::uint32_t spares = 1;
   std::string trace_path;
   std::string metrics_path;
   fault::FaultProfile fault_profile;
@@ -557,6 +641,17 @@ int cmd_serve(const std::vector<std::string>& args) {
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       threads = static_cast<std::uint32_t>(
           std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--devices" && i + 1 < args.size()) {
+      devices = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+      if (devices == 0) return usage();
+    } else if (args[i] == "--replication" && i + 1 < args.size()) {
+      replication = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+      if (replication == 0) return usage();
+    } else if (args[i] == "--spares" && i + 1 < args.size()) {
+      spares = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
     } else if (args[i] == "--trace" && i + 1 < args.size()) {
       trace_path = args[++i];
     } else if (args[i] == "--metrics" && i + 1 < args.size()) {
@@ -582,6 +677,76 @@ int cmd_serve(const std::vector<std::string>& args) {
     mode = ndp::ExecMode::kHostClassic;
   } else {
     return usage();
+  }
+
+  if (devices > 1) {
+    // Cluster mode: N member stacks + spares behind one coordinator that
+    // implements host::OffloadTarget, so the same QueryService drives it.
+    if (replication > devices) {
+      std::fprintf(stderr,
+                   "ndpgen: --replication %u exceeds --devices %u\n",
+                   replication, devices);
+      return usage();
+    }
+    cluster::ClusterBuildConfig build;
+    build.devices = devices;
+    build.replication = replication;
+    build.spares = spares;
+    build.scale_divisor = scale;
+    build.mode = mode;
+    build.pes = pes;
+    build.threads = threads;
+    build.device_fault = fault_profile;
+    build.media_fault = fault_profile;
+    const auto cluster_stack = cluster::build_pubgraph_cluster(build);
+    cluster::ClusterCoordinator& coord = *cluster_stack->coordinator;
+    obs::TraceSink sink;
+    if (!trace_path.empty()) coord.observability().trace = &sink;
+    if (fault_profile.any_enabled() ||
+        fault_profile.device_fault_enabled()) {
+      std::fprintf(stderr, "%s\n", fault_profile.summary().c_str());
+    }
+
+    std::uint64_t loaded = 0;
+    for (std::uint32_t d = 0; d < devices; ++d) {
+      loaded += coord.device(d).records_loaded();
+    }
+    load_config.key_space = cluster_stack->generator.paper_count();
+    service_config.result_key = workload::paper_result_key;
+    coord.arm_faults(load_config.requests);
+
+    host::QueryService service(coord, service_config);
+    host::LoadGenerator load(load_config);
+    const host::ServiceReport report = with_flush_on_error(
+        [&] { return service.run(load); },
+        [&] {
+          coord.publish_metrics();
+          write_observability(coord.observability(), sink, trace_path,
+                              metrics_path);
+        });
+
+    print_serve_report(mode, pes, loaded, service_config, load, report);
+    const cluster::ClusterReport& cr = coord.report();
+    std::printf(
+        "  cluster: %u devices (R=%u, %u spare%s), %llu sub-scans "
+        "(%llu timed out), %llu hedges (%llu won)\n",
+        devices, replication, spares, spares == 1 ? "" : "s",
+        static_cast<unsigned long long>(cr.subscans),
+        static_cast<unsigned long long>(cr.subscan_failures),
+        static_cast<unsigned long long>(cr.hedges),
+        static_cast<unsigned long long>(cr.hedge_wins));
+    std::printf(
+        "  health: %llu transitions, %llu failover%s, %llu rebuild%s\n",
+        static_cast<unsigned long long>(cr.health_transitions),
+        static_cast<unsigned long long>(cr.failovers),
+        cr.failovers == 1 ? "" : "s",
+        static_cast<unsigned long long>(cr.rebuilds),
+        cr.rebuilds == 1 ? "" : "s");
+
+    coord.publish_metrics();
+    write_observability(coord.observability(), sink, trace_path,
+                        metrics_path);
+    return serve_exit_code(report);
   }
 
   platform::CosmosConfig cosmos_config;
@@ -630,60 +795,12 @@ int cmd_serve(const std::vector<std::string>& args) {
                             metrics_path);
       });
 
-  std::printf(
-      "serve [%s, %u PE%s]: %llu records loaded, %llu requests "
-      "(%s, %u tenant%s, qd %u)\n",
-      std::string(to_string(mode)).c_str(), pes, pes == 1 ? "" : "s",
-      static_cast<unsigned long long>(loaded),
-      static_cast<unsigned long long>(report.submitted),
-      load.open_loop() ? "open loop" : "closed loop",
-      service_config.tenants, service_config.tenants == 1 ? "" : "s",
-      service_config.queue_depth);
-  std::printf(
-      "  completed %llu, dropped %llu (%llu kBusy rejections, "
-      "%llu retries), %llu results\n",
-      static_cast<unsigned long long>(report.completed),
-      static_cast<unsigned long long>(report.dropped),
-      static_cast<unsigned long long>(report.rejected_busy),
-      static_cast<unsigned long long>(report.retries),
-      static_cast<unsigned long long>(report.results));
-  std::printf(
-      "  offloads %llu (coalesced %llu, max batch %llu), device "
-      "utilization %.1f%%\n",
-      static_cast<unsigned long long>(report.batches),
-      static_cast<unsigned long long>(report.coalesced),
-      static_cast<unsigned long long>(report.max_batch),
-      100.0 * report.utilization());
-  std::printf(
-      "  throughput %.1f req/s over %.3f ms virtual; latency p50 %.3f ms, "
-      "p95 %.3f ms, p99 %.3f ms\n",
-      report.throughput_rps,
-      static_cast<double>(report.makespan_ns) / 1e6,
-      static_cast<double>(report.p50_ns) / 1e6,
-      static_cast<double>(report.p95_ns) / 1e6,
-      static_cast<double>(report.p99_ns) / 1e6);
-  for (std::size_t t = 0; t < report.tenants.size(); ++t) {
-    const host::TenantReport& tr = report.tenants[t];
-    std::printf(
-        "  tenant %zu: %llu submitted, %llu completed, %llu dropped, "
-        "%.1f req/s, p99 %.3f ms, SQ high-water %zu\n",
-        t, static_cast<unsigned long long>(tr.submitted),
-        static_cast<unsigned long long>(tr.completed),
-        static_cast<unsigned long long>(tr.dropped), tr.throughput_rps,
-        static_cast<double>(tr.p99_ns) / 1e6, tr.sq_high_water);
-  }
+  print_serve_report(mode, pes, loaded, service_config, load, report);
 
   cosmos.publish_metrics();
   write_observability(cosmos.observability(), sink, trace_path,
                       metrics_path);
-  if (report.dropped > 0) {
-    std::fprintf(stderr,
-                 "ndpgen: serve dropped %llu request(s) after exhausting "
-                 "retries — sustained overload (busy)\n",
-                 static_cast<unsigned long long>(report.dropped));
-    return exit_code(ErrorKind::kBusy);
-  }
-  return 0;
+  return serve_exit_code(report);
 }
 
 int cmd_profile(const std::vector<std::string>& args) {

@@ -34,6 +34,8 @@ class SimAggregateUnit final : public Module {
 
   void cycle(std::uint64_t now) override;
   void reset() override;
+  [[nodiscard]] std::uint64_t next_activity(
+      std::uint64_t now) const noexcept override;
 
   [[nodiscard]] hwgen::AggOp op() const noexcept { return op_; }
   /// Raw 64-bit result (sum/min/max bits, or the count for kCount).
@@ -41,6 +43,8 @@ class SimAggregateUnit final : public Module {
   [[nodiscard]] std::uint64_t folded() const noexcept { return folded_; }
 
  private:
+  friend class FastChunkEngine;
+
   struct FieldInfo {
     std::uint32_t padded_offset;
     std::uint32_t true_width;

@@ -1,0 +1,42 @@
+// Fused analytic replay of one PE chunk run (fast sim mode).
+//
+// The elastic-pipeline semantics of a chunk run are fully determined by
+// integer occupancy state: which tuple passes which filter stage depends
+// only on the payload bytes, and *when* each module moves depends only
+// on FIFO occupancies, the AXI round-robin state and the read latency.
+// FastChunkEngine exploits this: it precomputes every data decision
+// (filter pass/drop, aggregate folds, transformed output bits) directly
+// from DRAM, then replays the cycle-by-cycle timing with plain integer
+// counters instead of ticking module objects and moving BitVectors
+// through deques. The replay is cycle-exact by construction, so the
+// write-back phase can synthesize the very same stats, counters, stream
+// transfer/high-water marks, registers, metrics and trace events the
+// tick loop would have produced — byte-identical, at a fraction of the
+// wall-clock cost.
+//
+// Structural-event boundaries drop back to the cycle-exact path: any
+// foreign in-flight state at chunk start, a mid-chunk watchdog trip or
+// deadlock horizon, invalid register programming, or an out-of-bounds
+// DRAM window all make run() return false without mutating anything, and
+// the caller re-runs the chunk through SimKernel::run_until so every
+// raise/fault behavior is bit-preserved.
+#pragma once
+
+#include <cstdint>
+
+namespace ndpgen::hwsim {
+
+class SimKernel;
+class SimulatedPE;
+
+class FastChunkEngine {
+ public:
+  /// Attempts to run the chunk started on `pe` (START written, run not
+  /// yet begun) to completion analytically. Returns true when the fast
+  /// path applied; false means nothing was touched and the caller must
+  /// fall back to the cycle-exact run_until loop.
+  static bool run(SimKernel& kernel, SimulatedPE& pe,
+                  std::uint64_t max_cycles);
+};
+
+}  // namespace ndpgen::hwsim

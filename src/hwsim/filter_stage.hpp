@@ -31,6 +31,12 @@ class SimFilterStage final : public Module {
 
   void cycle(std::uint64_t now) override;
   void reset() override;
+  /// Only an input tuple makes this stage do anything beyond bumping its
+  /// input-stall counter — which credit_idle_cycles() reproduces
+  /// arithmetically across a fast-forward jump.
+  [[nodiscard]] std::uint64_t next_activity(
+      std::uint64_t now) const noexcept override;
+  void credit_idle_cycles(std::uint64_t cycles) noexcept override;
 
   [[nodiscard]] std::uint64_t pass_count() const noexcept {
     return pass_count_;
@@ -48,6 +54,8 @@ class SimFilterStage final : public Module {
   }
 
  private:
+  friend class FastChunkEngine;
+
   struct FieldInfo {
     std::uint32_t padded_offset;
     std::uint32_t true_width;

@@ -1,8 +1,29 @@
 #include "hwsim/kernel.hpp"
 
+#include <cstdlib>
+
 #include "support/error.hpp"
 
 namespace ndpgen::hwsim {
+
+bool parse_sim_mode(const std::string& text, SimMode* out) noexcept {
+  if (text == "exact") {
+    *out = SimMode::kExact;
+    return true;
+  }
+  if (text == "fast") {
+    *out = SimMode::kFast;
+    return true;
+  }
+  return false;
+}
+
+SimMode sim_mode_from_env() noexcept {
+  const char* env = std::getenv("NDPGEN_SIM_MODE");
+  SimMode mode = SimMode::kFast;
+  if (env != nullptr) parse_sim_mode(env, &mode);
+  return mode;
+}
 
 void SimKernel::add_module(Module* module) {
   NDPGEN_CHECK_ARG(module != nullptr, "null module");
@@ -25,23 +46,33 @@ void SimKernel::tick() {
   if (transfers != last_transfer_count_) {
     last_transfer_count_ = transfers;
     ++cycle_stats_.useful;
+  } else if (quiescent()) {
+    ++cycle_stats_.idle;
   } else {
-    bool quiescent = streams_empty();
-    if (quiescent) {
-      for (const Module* module : modules_) {
-        if (!module->idle()) {
-          quiescent = false;
-          break;
-        }
-      }
-    }
-    if (quiescent) {
-      ++cycle_stats_.idle;
-    } else {
-      ++cycle_stats_.stalled;
-    }
+    ++cycle_stats_.stalled;
   }
   ++now_;
+}
+
+bool SimKernel::quiescent() const noexcept {
+  if (!streams_empty()) return false;
+  for (const Module* module : modules_) {
+    if (!module->idle()) return false;
+  }
+  return true;
+}
+
+std::uint64_t SimKernel::next_activity_horizon() const noexcept {
+  // Buffered stream data can wake a reactive consumer on the very next
+  // tick, even when every module reports a distant (or no) wake time.
+  if (!streams_empty()) return now_ + 1;
+  std::uint64_t horizon = kNeverActive;
+  for (const Module* module : modules_) {
+    const std::uint64_t next = module->next_activity(now_);
+    if (next < horizon) horizon = next;
+    if (horizon <= now_ + 1) break;  // Already pinned to exact ticking.
+  }
+  return horizon;
 }
 
 std::uint64_t SimKernel::run_until(const std::function<bool()>& done,
@@ -66,6 +97,37 @@ std::uint64_t SimKernel::run_until(const std::function<bool()>& done,
                       "watchdog: no ready/valid progress for " +
                           std::to_string(watchdog_cycles_) +
                           " cycles (hung kernel)");
+      }
+    }
+    if (mode_ == SimMode::kFast) {
+      const std::uint64_t horizon = next_activity_horizon();
+      if (horizon > now_ + 1) {
+        // Event-driven fast-forward: no module can change dataflow state
+        // before `horizon`, so the whole gap collapses into one
+        // arithmetic credit — same classification buckets, same
+        // per-tick counter effects (via credit_idle_cycles), and
+        // total() == now() preserved. The jump is capped so the
+        // deadlock and watchdog raises above still fire at exactly the
+        // cycle the tick-by-tick loop would have reached.
+        const std::uint64_t deadline = (max_cycles > kNeverActive - start)
+                                           ? kNeverActive
+                                           : start + max_cycles;
+        std::uint64_t target = horizon < deadline ? horizon : deadline;
+        if (watchdog_cycles_ > 0 &&
+            stalled_since + watchdog_cycles_ < target) {
+          target = stalled_since + watchdog_cycles_;
+        }
+        if (target > now_) {
+          const std::uint64_t jump = target - now_;
+          const bool was_quiescent = quiescent();
+          for (Module* module : modules_) {
+            module->credit_idle_cycles(jump);
+          }
+          (was_quiescent ? cycle_stats_.idle : cycle_stats_.stalled) +=
+              jump;
+          now_ = target;
+          continue;
+        }
       }
     }
     tick();

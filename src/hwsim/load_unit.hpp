@@ -26,6 +26,8 @@ class SimLoadUnit final : public Module {
   void cycle(std::uint64_t now) override;
   void reset() override;
   [[nodiscard]] bool idle() const noexcept override;
+  [[nodiscard]] std::uint64_t next_activity(
+      std::uint64_t now) const noexcept override;
 
   /// True once every requested word has been pushed downstream.
   [[nodiscard]] bool done() const noexcept {
@@ -44,6 +46,8 @@ class SimLoadUnit final : public Module {
   }
 
  private:
+  friend class FastChunkEngine;
+
   AxiPort* port_;
   Stream<std::uint64_t>* out_;
   std::uint32_t chunk_bytes_;

@@ -1,5 +1,6 @@
 #include "hwsim/pe_sim.hpp"
 
+#include "hwsim/fast_path.hpp"
 #include "support/error.hpp"
 
 namespace ndpgen::hwsim {
@@ -11,6 +12,7 @@ SimulatedPE::SimulatedPE(const hw::PEDesign& design, SimKernel& kernel,
     : Module("pe_" + design.name),
       design_(design),
       kernel_(&kernel),
+      interconnect_(&interconnect),
       regs_(design.regmap) {
   design_.validate();
   read_port_ = interconnect.create_port(design.name + ".rd");
@@ -271,9 +273,18 @@ void SimulatedPE::reset() {
   last_stats_ = ChunkStats{};
 }
 
+void SimulatedPE::run_to_completion(std::uint64_t max_cycles) {
+  if (kernel_->mode() == SimMode::kFast &&
+      FastChunkEngine::run(*kernel_, *this, max_cycles)) {
+    return;
+  }
+  kernel_->run_until([this] { return !busy(); }, max_cycles);
+}
+
 PETestBench::PETestBench(const hw::PEDesign& design, PEBenchConfig config)
     : memory_(config.dram_bytes) {
   kernel_.set_observability(&obs_);
+  kernel_.set_mode(config.sim_mode);
   interconnect_ = std::make_unique<AxiInterconnect>(memory_, config.axi);
   kernel_.add_module(interconnect_.get());
   pe_ = std::make_unique<SimulatedPE>(design, kernel_, *interconnect_);
@@ -307,7 +318,7 @@ ChunkStats PETestBench::run_chunk(std::uint64_t src_addr,
     pe_->mmio_write(map.offset_of(hw::reg::kInSize), payload_bytes);
   }
   pe_->mmio_write(map.offset_of(hw::reg::kStart), 1);
-  kernel_.run_until([this] { return !pe_->busy(); });
+  pe_->run_to_completion();
   return pe_->last_stats();
 }
 

@@ -67,6 +67,19 @@ class SimulatedPE final : public Module {
   void cycle(std::uint64_t now) override;
   void reset() override;
   [[nodiscard]] bool idle() const noexcept override { return !busy(); }
+  [[nodiscard]] std::uint64_t next_activity(
+      std::uint64_t now) const noexcept override {
+    return busy() ? now + 1 : kNeverActive;
+  }
+
+  /// Drives the kernel until this PE's current run completes (the START
+  /// bit must have been written). In fast mode this dispatches to the
+  /// fused analytic chunk engine when the kernel state is eligible,
+  /// producing byte-identical stats/metrics/traces at a fraction of the
+  /// wall-clock cost; otherwise (exact mode, foreign in-flight state,
+  /// structural boundaries like an armed-watchdog trip) it falls back to
+  /// the cycle-exact run_until loop.
+  void run_to_completion(std::uint64_t max_cycles = 100'000'000);
 
   /// Statistics of the most recently completed run.
   [[nodiscard]] const ChunkStats& last_stats() const noexcept {
@@ -81,6 +94,8 @@ class SimulatedPE final : public Module {
   }
 
  private:
+  friend class FastChunkEngine;
+
   void start_run(std::uint64_t now);
   void finish_run(std::uint64_t now);
   void publish_observability(std::uint64_t now);
@@ -88,6 +103,7 @@ class SimulatedPE final : public Module {
 
   hwgen::PEDesign design_;
   SimKernel* kernel_;  ///< Non-owning; carries the observability context.
+  AxiInterconnect* interconnect_;  ///< Non-owning; for the fused engine.
   SimRegFile regs_;
   // Separate read/write masters, mirroring the independent AXI4 read and
   // write channels (sharing one port can deadlock the elastic pipeline:
@@ -118,6 +134,9 @@ class SimulatedPE final : public Module {
 struct PEBenchConfig {
   std::size_t dram_bytes = 8 * 1024 * 1024;
   AxiInterconnect::Config axi{};
+  /// Exact ticking vs event-driven fast-forward (results are identical
+  /// either way; see SimMode).
+  SimMode sim_mode = sim_mode_from_env();
 };
 
 /// Self-contained harness for single-PE experiments and unit tests:

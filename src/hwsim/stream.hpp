@@ -15,6 +15,8 @@
 
 namespace ndpgen::hwsim {
 
+class FastChunkEngine;
+
 /// Type-erased base so the kernel can commit all streams after each cycle.
 class StreamBase {
  public:
@@ -103,6 +105,10 @@ class Stream final : public StreamBase {
   }
 
  private:
+  // The fused fast path replays a chunk analytically and writes the
+  // transfer/high-water statistics the tick loop would have produced.
+  friend class FastChunkEngine;
+
   std::string name_;
   std::size_t depth_;
   std::size_t high_water_ = 0;

@@ -23,12 +23,16 @@ class SimTransformUnit final : public Module {
 
   void cycle(std::uint64_t now) override;
   void reset() override;
+  [[nodiscard]] std::uint64_t next_activity(
+      std::uint64_t now) const noexcept override;
 
   [[nodiscard]] std::uint64_t tuples_transformed() const noexcept {
     return tuples_transformed_;
   }
 
  private:
+  friend class FastChunkEngine;
+
   struct Wire {
     std::uint32_t src_offset;
     std::uint32_t dst_offset;

@@ -39,12 +39,16 @@ class SimTupleInputBuffer final : public Module {
   void cycle(std::uint64_t now) override;
   void reset() override;
   [[nodiscard]] bool idle() const noexcept override;
+  [[nodiscard]] std::uint64_t next_activity(
+      std::uint64_t now) const noexcept override;
 
   [[nodiscard]] std::uint64_t tuples_produced() const noexcept {
     return tuples_produced_;
   }
 
  private:
+  friend class FastChunkEngine;
+
   const analysis::TupleLayout& layout_;
   Stream<std::uint64_t>* in_;
   Stream<Tuple>* out_;
@@ -68,6 +72,8 @@ class SimTupleOutputBuffer final : public Module {
   void cycle(std::uint64_t now) override;
   void reset() override;
   [[nodiscard]] bool idle() const noexcept override;
+  [[nodiscard]] std::uint64_t next_activity(
+      std::uint64_t now) const noexcept override;
 
   /// Valid payload bytes emitted (before word-alignment padding).
   [[nodiscard]] std::uint64_t payload_bytes() const noexcept {
@@ -83,6 +89,8 @@ class SimTupleOutputBuffer final : public Module {
   }
 
  private:
+  friend class FastChunkEngine;
+
   const analysis::TupleLayout& layout_;
   Stream<Tuple>* in_;
   Stream<std::uint64_t>* out_;

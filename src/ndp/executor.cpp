@@ -714,7 +714,7 @@ ScanStats HybridExecutor::scan_blocks_sharded(
     for (std::uint32_t k = 0; k < shard_count; ++k) {
       shards.push_back(std::make_unique<PeShard>(
           k, *design, timing, platform.config().axi, faults, obs.tracing(),
-          obs.request_ctx));
+          obs.request_ctx, config_.sim_mode));
     }
   }
 
@@ -1171,7 +1171,7 @@ AggregateStats HybridExecutor::aggregate(
     for (std::uint32_t k = 0; k < shard_count; ++k) {
       shards.push_back(std::make_unique<PeShard>(
           k, design, timing, platform.config().axi, /*arm_watchdog=*/false,
-          obs.tracing()));
+          obs.tracing(), obs::RequestContext{}, config_.sim_mode));
     }
 
     std::vector<platform::SimTime> shard_free(shard_count, t0);

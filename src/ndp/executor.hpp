@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "hwsim/kernel.hpp"
 #include "kv/db.hpp"
 #include "ndp/hardware_ndp.hpp"
 #include "ndp/software_ndp.hpp"
@@ -135,6 +136,9 @@ struct ExecutorConfig {
   /// capped at the hardware concurrency. The thread count NEVER affects
   /// results, stats, traces or fault outcomes — only wall-clock time.
   std::uint32_t pe_threads = 0;
+  /// PE-kernel fidelity for shard benches (exact ticking vs event-driven
+  /// fast-forward). Results are byte-identical either way; see SimMode.
+  hwsim::SimMode sim_mode = hwsim::sim_mode_from_env();
   /// Collect result records (vs count-only aggregates).
   bool collect_results = false;
   /// Extracts the key from an OUTPUT-layout record, enabling recency

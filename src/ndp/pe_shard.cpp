@@ -10,10 +10,11 @@ namespace hw = ndpgen::hwgen;
 PeShard::PeShard(std::size_t shard_id, const hw::PEDesign& design,
                  const platform::TimingConfig& timing,
                  hwsim::AxiInterconnect::Config axi, bool arm_watchdog,
-                 bool enable_trace, obs::RequestContext trace_ctx)
+                 bool enable_trace, obs::RequestContext trace_ctx,
+                 hwsim::SimMode sim_mode)
     : shard_id_(shard_id),
       timing_(timing),
-      bench_(design, hwsim::PEBenchConfig{.axi = axi}) {
+      bench_(design, hwsim::PEBenchConfig{.axi = axi, .sim_mode = sim_mode}) {
   // Staging layout inside the bench's private memory: input block at the
   // bottom, output records in the upper half (same 64-byte alignment the
   // platform DRAM allocator hands HardwareNdp).

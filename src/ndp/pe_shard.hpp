@@ -42,7 +42,8 @@ class PeShard {
           const platform::TimingConfig& timing,
           hwsim::AxiInterconnect::Config axi, bool arm_watchdog,
           bool enable_trace,
-          obs::RequestContext trace_ctx = obs::RequestContext{});
+          obs::RequestContext trace_ctx = obs::RequestContext{},
+          hwsim::SimMode sim_mode = hwsim::sim_mode_from_env());
 
   /// Same contract as HardwareNdp::process_block, confined to this shard's
   /// bench. Safe to call from exactly one thread at a time.

@@ -16,6 +16,7 @@ CosmosPlatform::CosmosPlatform(CosmosConfig config)
       nvme_(queue_, config_.timing),
       mmio_(arm_) {
   axi_ = std::make_unique<hwsim::AxiInterconnect>(dram_.memory(), config_.axi);
+  pe_kernel_.set_mode(config_.sim_mode);
   pe_kernel_.add_module(axi_.get());
   // One observability context for the whole device: DES models and the PE
   // cycle kernel all publish into it (kv/ndp reach it through flash()).
@@ -157,7 +158,7 @@ hwsim::ChunkStats CosmosPlatform::run_pe_chunk(std::size_t pe_index,
 
   // Cycle-level execution of the chunk.
   const SimTime hw_start = queue_.now();
-  pe_kernel_.run_until([&pe] { return !pe.busy(); });
+  pe.run_to_completion();
   const hwsim::ChunkStats stats = pe.last_stats();
   const SimTime hw_end = hw_start + config_.timing.pe_cycles_to_ns(stats.cycles);
 
@@ -189,7 +190,7 @@ hwsim::ChunkStats CosmosPlatform::run_pe_chunk_raw(std::size_t pe_index,
     pe.mmio_write(map.offset_of(hw::reg::kInSize), payload_bytes);
   }
   pe.mmio_write(map.offset_of(hw::reg::kStart), 1);
-  pe_kernel_.run_until([&pe] { return !pe.busy(); });
+  pe.run_to_completion();
   return pe.last_stats();
 }
 

@@ -32,6 +32,9 @@ struct CosmosConfig {
   FlashTopology flash{};
   std::size_t dram_bytes = 64 * 1024 * 1024;
   hwsim::AxiInterconnect::Config axi{};
+  /// PE-kernel fidelity: exact ticking or event-driven fast-forward.
+  /// Results (stats, metrics, traces) are byte-identical either way.
+  hwsim::SimMode sim_mode = hwsim::sim_mode_from_env();
   /// Reliability model. The default (all rates zero) disables every fault
   /// path and keeps runs byte-identical to a fault-free build.
   fault::FaultProfile fault{};

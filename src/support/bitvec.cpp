@@ -17,7 +17,18 @@ BitVector::BitVector(std::size_t width_bits)
 
 BitVector BitVector::from_bytes(std::span<const std::uint8_t> bytes) {
   BitVector result(bytes.size() * 8);
-  for (std::size_t i = 0; i < bytes.size(); ++i) {
+  // Compose whole words at a time; the compiler turns the fixed 8-byte
+  // group into a single unaligned load on little-endian targets.
+  const std::size_t full_words = bytes.size() / 8;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    const std::uint8_t* p = bytes.data() + w * 8;
+    std::uint64_t value = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      value |= static_cast<std::uint64_t>(p[b]) << (b * 8);
+    }
+    result.words_[w] = value;
+  }
+  for (std::size_t i = full_words * 8; i < bytes.size(); ++i) {
     result.words_[i / 8] |=
         static_cast<std::uint64_t>(bytes[i]) << ((i % 8) * 8);
   }

@@ -1,0 +1,341 @@
+// Fast-forward kernel tests: the event-driven mode must produce exactly
+// the state the tick-by-tick loop produces — same virtual time, same
+// cycle classification, same stats, same memory — only faster.
+#include "hwsim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hwgen/register_map.hpp"
+#include "hwgen/template_builder.hpp"
+#include "hwsim/pe_sim.hpp"
+#include "spec/parser.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::hwsim {
+namespace {
+
+namespace hw = ndpgen::hwgen;
+
+/// Sleeps until a fixed virtual cycle, then emits one token. Declares its
+/// wake time through next_activity so fast mode can jump the gap.
+class TimerModule final : public Module {
+ public:
+  TimerModule(Stream<int>* out, std::uint64_t wake_at)
+      : Module("timer"), out_(out), wake_at_(wake_at) {}
+  void cycle(std::uint64_t now) override {
+    if (!fired_ && now >= wake_at_ && out_->can_push()) {
+      out_->push(1);
+      fired_ = true;
+    }
+  }
+  [[nodiscard]] bool idle() const noexcept override { return fired_; }
+  [[nodiscard]] std::uint64_t next_activity(
+      std::uint64_t now) const noexcept override {
+    if (fired_) return kNeverActive;
+    return wake_at_ > now ? wake_at_ : now + 1;
+  }
+
+ private:
+  Stream<int>* out_;
+  std::uint64_t wake_at_;
+  bool fired_ = false;
+};
+
+/// Consumes tokens and records the idle credit it was granted.
+class CreditSink final : public Module {
+ public:
+  explicit CreditSink(Stream<int>* in) : Module("sink"), in_(in) {}
+  void cycle(std::uint64_t) override {
+    if (in_->can_pop()) {
+      (void)in_->pop();
+      ++popped;
+    }
+  }
+  [[nodiscard]] std::uint64_t next_activity(
+      std::uint64_t) const noexcept override {
+    return kNeverActive;  // Purely reactive: the stream wakes the kernel.
+  }
+  void credit_idle_cycles(std::uint64_t cycles) noexcept override {
+    credited += cycles;
+  }
+  int popped = 0;
+  std::uint64_t credited = 0;
+
+ private:
+  Stream<int>* in_;
+};
+
+struct GapRun {
+  std::uint64_t now;
+  CycleStats stats;
+  std::uint64_t credited;
+};
+
+GapRun run_gap(SimMode mode, std::uint64_t wake_at) {
+  SimKernel kernel;
+  kernel.set_mode(mode);
+  auto* stream = kernel.make_stream<int>("wire");
+  TimerModule timer(stream, wake_at);
+  CreditSink sink(stream);
+  kernel.add_module(&timer);
+  kernel.add_module(&sink);
+  kernel.run_until([&] { return sink.popped == 1; });
+  return {kernel.now(), kernel.cycle_stats(), sink.credited};
+}
+
+TEST(FastForward, IdleGapCollapsesToArithmeticCredit) {
+  const auto exact = run_gap(SimMode::kExact, 100'000);
+  const auto fast = run_gap(SimMode::kFast, 100'000);
+  EXPECT_EQ(exact.now, fast.now);
+  EXPECT_EQ(exact.stats.useful, fast.stats.useful);
+  EXPECT_EQ(exact.stats.stalled, fast.stats.stalled);
+  EXPECT_EQ(exact.stats.idle, fast.stats.idle);
+  // Both partitions account for every tick...
+  EXPECT_EQ(fast.stats.total(), fast.now);
+  // ...and fast mode covered (almost) the whole gap with arithmetic
+  // credit rather than ticks, while exact mode never credits.
+  EXPECT_EQ(exact.credited, 0u);
+  EXPECT_GE(fast.credited, 99'000u);
+}
+
+TEST(FastForward, WatchdogTripsAtSameVirtualCycleUnderJumps) {
+  auto trip_cycle = [](SimMode mode) {
+    SimKernel kernel;
+    kernel.set_mode(mode);
+    auto* stream = kernel.make_stream<int>("wire");
+    TimerModule timer(stream, 10'000);  // Far beyond the watchdog horizon.
+    CreditSink sink(stream);
+    kernel.add_module(&timer);
+    kernel.add_module(&sink);
+    kernel.set_watchdog(137);
+    EXPECT_THROW(kernel.run_until([&] { return sink.popped == 1; }),
+                 Error);
+    return kernel.now();
+  };
+  EXPECT_EQ(trip_cycle(SimMode::kExact), trip_cycle(SimMode::kFast));
+}
+
+TEST(FastForward, DeadlockTimeoutAtSameVirtualCycle) {
+  auto timeout_cycle = [](SimMode mode) {
+    SimKernel kernel;
+    kernel.set_mode(mode);
+    auto* stream = kernel.make_stream<int>("wire");
+    TimerModule timer(stream, 50'000);
+    CreditSink sink(stream);
+    kernel.add_module(&timer);
+    kernel.add_module(&sink);
+    EXPECT_THROW(
+        kernel.run_until([&] { return sink.popped == 1; }, 1'000),
+        Error);
+    return kernel.now();
+  };
+  EXPECT_EQ(timeout_cycle(SimMode::kExact), timeout_cycle(SimMode::kFast));
+}
+
+// ---- Fused chunk replay vs exact ticking ------------------------------
+
+hw::PEDesign design_for(const std::string& source, const std::string& name,
+                        hw::DesignFlavor flavor = hw::DesignFlavor::kGenerated,
+                        bool aggregation = false) {
+  const auto module = spec::parse_spec(source);
+  hw::TemplateOptions options;
+  options.flavor = flavor;
+  options.enable_aggregation = aggregation;
+  return hw::build_pe_design(analysis::analyze_parser(module, name), options);
+}
+
+const std::string kPointSpec =
+    "/* @autogen define parser P with chunksize = 32, input = Point3D, "
+    "output = Point2D, mapping = { output.x = input.y, output.y = input.z } "
+    "*/"
+    "typedef struct { uint32_t x, y, z; } Point3D;"
+    "typedef struct { uint32_t x, y; } Point2D;";
+
+std::vector<std::uint8_t> make_points(std::uint32_t count) {
+  std::vector<std::uint8_t> data;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    support::put_u32(data, i);
+    support::put_u32(data, 100 + i);
+    support::put_u32(data, 1000 + i);
+  }
+  return data;
+}
+
+std::vector<std::uint8_t> to_vec(std::span<const std::uint8_t> bytes) {
+  return {bytes.begin(), bytes.end()};
+}
+
+void expect_chunk_eq(const ChunkStats& a, const ChunkStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.tuples_in, b.tuples_in);
+  EXPECT_EQ(a.tuples_out, b.tuples_out);
+  EXPECT_EQ(a.payload_bytes_in, b.payload_bytes_in);
+  EXPECT_EQ(a.payload_bytes_out, b.payload_bytes_out);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.cycles_useful, b.cycles_useful);
+  EXPECT_EQ(a.cycles_stalled, b.cycles_stalled);
+  EXPECT_EQ(a.cycles_idle, b.cycles_idle);
+  EXPECT_EQ(a.stage_pass_counts, b.stage_pass_counts);
+  EXPECT_EQ(a.stage_stall_in, b.stage_stall_in);
+  EXPECT_EQ(a.stage_stall_out, b.stage_stall_out);
+  EXPECT_EQ(a.agg_result, b.agg_result);
+  EXPECT_EQ(a.agg_folded, b.agg_folded);
+}
+
+PEBenchConfig bench_config(SimMode mode) {
+  PEBenchConfig config;
+  config.sim_mode = mode;
+  return config;
+}
+
+TEST(FastForward, FusedChunkMatchesExactTickingByteForByte) {
+  const auto design = design_for(kPointSpec, "P");
+  const auto points = make_points(32);
+  auto run = [&](SimMode mode) {
+    PETestBench bench(design, bench_config(mode));
+    bench.memory().write_bytes(0, points);
+    bench.set_filter(0, 0, 3 /* ge */, 8);
+    const ChunkStats stats = bench.run_chunk(0, 8192, points.size());
+    return std::tuple{stats, to_vec(bench.memory().read_bytes(8192, 24 * 8)),
+                      bench.observability().metrics.dump_json(),
+                      bench.kernel().now(), bench.kernel().cycle_stats()};
+  };
+  const auto [se, me, je, ne, ce] = run(SimMode::kExact);
+  const auto [sf, mf, jf, nf, cf] = run(SimMode::kFast);
+  expect_chunk_eq(se, sf);
+  EXPECT_EQ(me, mf);  // Output DRAM image.
+  EXPECT_EQ(je, jf);  // Published metrics.
+  EXPECT_EQ(ne, nf);  // Virtual clock.
+  EXPECT_EQ(ce.useful, cf.useful);
+  EXPECT_EQ(ce.stalled, cf.stalled);
+  EXPECT_EQ(ce.idle, cf.idle);
+}
+
+TEST(FastForward, MultiChunkKeepsCumulativeStateIdentical) {
+  const auto design = design_for(kPointSpec, "P");
+  const auto points = make_points(32);
+  auto run = [&](SimMode mode) {
+    PETestBench bench(design, bench_config(mode));
+    bench.memory().write_bytes(0, points);
+    bench.set_filter(0, 0, 4 /* lt */, 20);
+    ChunkStats last;
+    for (int i = 0; i < 3; ++i) {
+      last = bench.run_chunk(0, 8192 + i * 4096, points.size());
+    }
+    return std::tuple{last, bench.kernel().now(),
+                      bench.observability().metrics.dump_json()};
+  };
+  const auto [se, ne, je] = run(SimMode::kExact);
+  const auto [sf, nf, jf] = run(SimMode::kFast);
+  expect_chunk_eq(se, sf);
+  EXPECT_EQ(ne, nf);
+  EXPECT_EQ(je, jf);
+}
+
+TEST(FastForward, AggregateChunkMatchesExact) {
+  const std::string spec =
+      "typedef struct { uint64_t id; int32_t temp; float reading; } Sensor;"
+      "/* @autogen define parser S with input = Sensor, output = Sensor */";
+  const auto design =
+      design_for(spec, "S", hw::DesignFlavor::kGenerated, true);
+  std::vector<std::uint8_t> data;
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    support::put_u64(data, i);
+    support::put_u32(data, static_cast<std::uint32_t>(-40 + 7 * i));
+    support::put_u32(data, 0x3F800000u + i);  // float bits
+  }
+  auto run = [&](SimMode mode) {
+    PETestBench bench(design, bench_config(mode));
+    bench.memory().write_bytes(0, data);
+    const auto& map = bench.pe().regmap();
+    bench.pe().mmio_write(map.offset_of(hw::reg::kAggOp),
+                          static_cast<std::uint32_t>(hw::AggOp::kSum));
+    bench.pe().mmio_write(map.offset_of(hw::reg::kAggField), 1 /* temp */);
+    bench.set_filter(0, 0, 6 /* nop */, 0);
+    return bench.run_chunk(0, 8192, static_cast<std::uint32_t>(data.size()));
+  };
+  const ChunkStats exact = run(SimMode::kExact);
+  const ChunkStats fast = run(SimMode::kFast);
+  expect_chunk_eq(exact, fast);
+  EXPECT_EQ(exact.agg_folded, 24u);
+}
+
+TEST(FastForward, StaticBaselinePaddingMatchesExact) {
+  const auto design = design_for(kPointSpec, "P",
+                                 hw::DesignFlavor::kHandcraftedBaseline);
+  const auto points = make_points(2);  // 24 of 32 chunk bytes.
+  auto run = [&](SimMode mode) {
+    PETestBench bench(design, bench_config(mode));
+    bench.memory().write_bytes(0, points);
+    bench.set_filter(0, 0, 6 /* nop */, 0);
+    const ChunkStats stats =
+        bench.run_chunk(0, 8192, static_cast<std::uint32_t>(points.size()));
+    return std::pair{stats, to_vec(bench.memory().read_bytes(8192, 32768))};
+  };
+  const auto [se, me] = run(SimMode::kExact);
+  const auto [sf, mf] = run(SimMode::kFast);
+  expect_chunk_eq(se, sf);
+  EXPECT_EQ(me, mf);
+  // The hand-crafted baseline always writes the full 32 KiB chunk,
+  // zero-padding past the two real tuples.
+  EXPECT_EQ(se.bytes_written, 32768u);
+}
+
+TEST(FastForward, WatchdogMidChunkFallsBackToIdenticalRaise) {
+  const auto design = design_for(kPointSpec, "P");
+  const auto points = make_points(32);
+  auto raise_cycle = [&](SimMode mode) {
+    PETestBench bench(design, bench_config(mode));
+    bench.memory().write_bytes(0, points);
+    bench.set_filter(0, 0, 6 /* nop */, 0);
+    // Shorter than the AXI read latency: trips during the initial
+    // response ramp, mid-fast-forward. The fused engine must detect the
+    // horizon and drop back to exact replay, raising at the same cycle.
+    bench.kernel().set_watchdog(3);
+    std::string message;
+    try {
+      (void)bench.run_chunk(0, 8192, points.size());
+    } catch (const Error& e) {
+      message = e.what();
+    }
+    EXPECT_FALSE(message.empty());
+    return std::pair{bench.kernel().now(), message};
+  };
+  EXPECT_EQ(raise_cycle(SimMode::kExact), raise_cycle(SimMode::kFast));
+}
+
+TEST(FastForward, ForeignModuleForcesExactFallbackWithSameResults) {
+  // An unknown module type in the kernel is a structural boundary: the
+  // fused engine must refuse and the exact path must still produce the
+  // canonical results.
+  class OpaqueModule final : public Module {
+   public:
+    OpaqueModule() : Module("opaque") {}
+    void cycle(std::uint64_t) override {}
+  };
+  const auto design = design_for(kPointSpec, "P");
+  const auto points = make_points(16);
+  auto run = [&](SimMode mode, bool add_foreign) {
+    PETestBench bench(design, bench_config(mode));
+    OpaqueModule opaque;
+    if (add_foreign) bench.kernel().add_module(&opaque);
+    bench.memory().write_bytes(0, points);
+    bench.set_filter(0, 0, 3 /* ge */, 4);
+    const ChunkStats stats = bench.run_chunk(0, 4096, points.size());
+    return std::pair{stats, to_vec(bench.memory().read_bytes(4096, 12 * 8))};
+  };
+  const auto [se, me] = run(SimMode::kExact, false);
+  const auto [sf, mf] = run(SimMode::kFast, true);
+  expect_chunk_eq(se, sf);
+  EXPECT_EQ(me, mf);
+}
+
+}  // namespace
+}  // namespace ndpgen::hwsim

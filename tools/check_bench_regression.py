@@ -34,6 +34,15 @@ series carrying both an "<x>_traced" and an "<x>_untraced" row (emitted by
 virtual time, so the two should be *identical*; a drift means an
 observability hook perturbed the simulation it claims to observe.
 
+--sim-throughput-threshold arms the fast-forward speedup guard, also
+self-referential: any bench carrying both a "sim_throughput|fast" and a
+"sim_throughput|exact" row (wall-clock simulated cycles per second, from
+fig7_scan) must show fast mode at least `threshold` times the exact-mode
+throughput. These are the only wall-clock rows in the bench suite, so they
+never enter the baseline comparison; the ratio between the two modes in
+the *same* run is machine-independent enough to gate on, and a collapse
+means a change quietly forced the fused fast path back to exact ticking.
+
 Usage:
   check_bench_regression.py --baseline bench/baseline.json --results DIR
   check_bench_regression.py --baseline bench/baseline.json --results DIR \
@@ -95,6 +104,31 @@ def check_obs_overhead(benches, threshold):
     return compared, failures
 
 
+def check_sim_throughput(benches, floor):
+    """Pairs sim_throughput fast/exact rows within the results; returns
+    (pairs_compared, failure_messages)."""
+    compared = 0
+    failures = []
+    for bench, rows in sorted(benches.items()):
+        fast = rows.get("sim_throughput|fast")
+        exact = rows.get("sim_throughput|exact")
+        if fast is None or exact is None:
+            continue
+        compared += 1
+        if exact["value"] <= 0:
+            failures.append(
+                f"{bench} sim_throughput|exact: non-positive throughput "
+                f"{exact['value']:.3f} [sim-throughput]")
+            continue
+        speedup = fast["value"] / exact["value"]
+        if speedup < floor:
+            failures.append(
+                f"{bench} sim_throughput: fast {fast['value']:.0f} cyc/s is "
+                f"only {speedup:.1f}x exact {exact['value']:.0f} cyc/s "
+                f"(floor {floor:.1f}x) [sim-throughput]")
+    return compared, failures
+
+
 def load_results(results_dir):
     benches = {}
     for path in sorted(pathlib.Path(results_dir).glob("BENCH_*.json")):
@@ -135,6 +169,12 @@ def main():
                              "*_untraced rows in the results (virtual time, "
                              "so instrumentation must not move it); guard "
                              "is off when the flag is absent")
+    parser.add_argument("--sim-throughput-threshold", type=float,
+                        default=None,
+                        help="minimum sim_throughput|fast over "
+                             "sim_throughput|exact speedup within the "
+                             "results (wall-clock rows from fig7_scan); "
+                             "guard is off when the flag is absent")
     parser.add_argument("--scale", type=int, default=None,
                         help="NDPGEN_SCALE the results were produced at "
                              "(recorded with --update, checked otherwise)")
@@ -238,6 +278,16 @@ def main():
         else:
             print(f"obs-overhead guard: {obs_compared} traced/untraced "
                   f"pairs (threshold {args.obs_overhead_threshold:.0%})")
+    if args.sim_throughput_threshold is not None:
+        sim_compared, sim_failures = check_sim_throughput(
+            benches, args.sim_throughput_threshold)
+        failures.extend(sim_failures)
+        if sim_compared == 0:
+            print("note: no sim_throughput fast/exact row pairs in "
+                  "results; sim-throughput guard had nothing to compare")
+        else:
+            print(f"sim-throughput guard: {sim_compared} fast/exact pairs "
+                  f"(floor {args.sim_throughput_threshold:.1f}x)")
     if pe_compared == 0:
         # Grace path: a baseline recorded before the multi-PE benches has
         # no pe_phase_cycles rows. The general guard still ran; the

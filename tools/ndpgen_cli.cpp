@@ -58,7 +58,7 @@ int usage() {
                "Verilog testbench\n"
                "  scan [--dataset papers|refs] [--mode sw|hw|host]\n"
                "       [--scale N] [--predicate field,op,value]...\n"
-               "       [--pes N] [--threads N]\n"
+               "       [--pes N] [--threads N] [--sim-mode exact|fast]\n"
                "       [--trace FILE] [--metrics FILE]\n"
                "       [--fault-profile preset|k=v,...]\n"
                "                                      run an NDP scan on the "
@@ -73,6 +73,7 @@ int usage() {
                "       [--threads N] [--predicate field,op,value]...\n"
                "       [--devices N] [--replication R] [--spares S]\n"
                "       [--trace FILE] [--metrics FILE]\n"
+               "       [--sim-mode exact|fast]\n"
                "       [--fault-profile preset|k=v,...]\n"
                "                                      drive the multi-tenant "
                "host query service\n"
@@ -97,7 +98,8 @@ int usage() {
                "       [--predicate field,op,value]...\n"
                "       [--attribution FILE] [--trace FILE] "
                "[--metrics FILE]\n"
-               "       [--fault-profile preset|k=v,...]\n"
+               "       [--sim-mode exact|fast] "
+               "[--fault-profile preset|k=v,...]\n"
                "                                      run the workload with "
                "the cycle-attribution\n"
                "                                      profiler: per-phase "
@@ -130,6 +132,13 @@ int usage() {
                "  scaling; results are byte-identical to --pes 1); "
                "--threads N caps the\n"
                "  host threads driving the shards (0 = one per shard).\n"
+               "  --sim-mode picks the PE-kernel fidelity: exact ticks "
+               "every cycle,\n"
+               "  fast (the default, or NDPGEN_SIM_MODE) fast-forwards "
+               "idle gaps and\n"
+               "  replays chunks analytically — stats, metrics and traces "
+               "are\n"
+               "  byte-identical either way.\n"
                "  --fault-profile enables the deterministic storage "
                "reliability model;\n"
                "  presets: none, aged, degraded, stress, device-loss (bare "
@@ -162,6 +171,18 @@ fault::FaultProfile parse_fault_profile(const std::string& text) {
     throw Error(parsed.status().kind, parsed.status().message);
   }
   return std::move(parsed).value();
+}
+
+/// Parses --sim-mode's value and exports NDPGEN_SIM_MODE so every config
+/// default constructed later in the process (platform, shard benches,
+/// cluster devices) inherits the same PE-kernel fidelity choice.
+void set_sim_mode_flag(const std::string& text) {
+  hwsim::SimMode mode;
+  if (!hwsim::parse_sim_mode(text, &mode)) {
+    throw Error(ErrorKind::kInvalidArg,
+                "invalid --sim-mode '" + text + "' (expected exact|fast)");
+  }
+  setenv("NDPGEN_SIM_MODE", text.c_str(), 1);
 }
 
 /// Writes the trace and/or metrics files requested via --trace/--metrics.
@@ -401,6 +422,8 @@ int cmd_scan(const std::vector<std::string>& args) {
       trace_path = args[++i];
     } else if (args[i] == "--metrics" && i + 1 < args.size()) {
       metrics_path = args[++i];
+    } else if (args[i] == "--sim-mode" && i + 1 < args.size()) {
+      set_sim_mode_flag(args[++i]);
     } else if (args[i] == "--fault-profile" && i + 1 < args.size()) {
       fault_profile = parse_fault_profile(args[++i]);
     } else if (args[i] == "--predicate" && i + 1 < args.size()) {
@@ -656,6 +679,8 @@ int cmd_serve(const std::vector<std::string>& args) {
       trace_path = args[++i];
     } else if (args[i] == "--metrics" && i + 1 < args.size()) {
       metrics_path = args[++i];
+    } else if (args[i] == "--sim-mode" && i + 1 < args.size()) {
+      set_sim_mode_flag(args[++i]);
     } else if (args[i] == "--fault-profile" && i + 1 < args.size()) {
       fault_profile = parse_fault_profile(args[++i]);
     } else if (args[i] == "--predicate" && i + 1 < args.size()) {
@@ -860,6 +885,8 @@ int cmd_profile(const std::vector<std::string>& args) {
       metrics_path = args[++i];
     } else if (args[i] == "--attribution" && i + 1 < args.size()) {
       attribution_path = args[++i];
+    } else if (args[i] == "--sim-mode" && i + 1 < args.size()) {
+      set_sim_mode_flag(args[++i]);
     } else if (args[i] == "--fault-profile" && i + 1 < args.size()) {
       fault_profile = parse_fault_profile(args[++i]);
     } else if (args[i] == "--predicate" && i + 1 < args.size()) {

@@ -1,0 +1,111 @@
+// Partition digests for replica anti-entropy.
+//
+// Replicas of a partition hold the same logical records but pack them
+// into independently laid-out SSTs (each member's LSM mixes its whole
+// partition subset), so physical block CRCs are NOT comparable across
+// replicas. The unit of comparison is therefore a *logical* digest: per
+// partition, a small hash tree whose leaves XOR-accumulate an
+// order-independent hash of every live record bucketed by record hash.
+// Equal record multisets give equal trees regardless of SST layout,
+// compaction history or flush order; XOR makes add/remove self-inverse,
+// so the tree is maintained incrementally from the kv record hook
+// (flush / bulk load / compaction) without ever re-reading flash.
+//
+// Two trees exist per (device, partition):
+//  * maintained — what the device SHOULD hold, updated by the kv hook at
+//    write time (before any corruption can touch flash);
+//  * observed  — what the device's flash ACTUALLY holds, computed by
+//    reading SST content (compute_observed_digests, or incrementally by
+//    the scrubber).
+// Anti-entropy compares observed trees across replicas; a divergent
+// partition descends to its divergent leaves (the O(log n) localization:
+// only 1/kDigestLeaves of the records need attention), and the replica
+// whose observed tree matches its own maintained tree is the good copy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "kv/db.hpp"
+
+namespace ndpgen::cluster {
+
+/// Leaf buckets per partition tree. Divergence localizes to buckets, so
+/// repair verification touches ~records/kDigestLeaves records per leaf.
+inline constexpr std::uint32_t kDigestLeaves = 16;
+
+/// Order-independent per-record hash: CRC32C of the record bytes spread
+/// through a 64-bit finalizer so XOR accumulation has full-width entropy.
+/// A pure function of the record bytes — identical on every replica.
+[[nodiscard]] std::uint64_t record_digest_hash(
+    std::span<const std::uint8_t> record) noexcept;
+
+struct PartitionDigest {
+  std::array<std::uint64_t, kDigestLeaves> leaves{};
+
+  /// Deterministic fold of the leaves (position-salted so leaf swaps
+  /// cannot cancel).
+  [[nodiscard]] std::uint64_t root() const noexcept;
+
+  [[nodiscard]] bool operator==(const PartitionDigest&) const noexcept =
+      default;
+};
+
+/// One digest tree per partition.
+class PartitionDigestSet {
+ public:
+  PartitionDigestSet() = default;
+  explicit PartitionDigestSet(std::uint32_t partitions)
+      : digests_(partitions) {}
+
+  /// XOR-toggles a record hash in its leaf: the same call adds a record
+  /// and removes it again (self-inverse), which is exactly the semantics
+  /// the kv record hook needs.
+  void toggle(std::uint32_t partition, std::uint64_t record_hash);
+
+  [[nodiscard]] const PartitionDigest& digest(std::uint32_t partition) const;
+  [[nodiscard]] std::uint64_t root(std::uint32_t partition) const {
+    return digest(partition).root();
+  }
+  [[nodiscard]] std::uint32_t partitions() const noexcept {
+    return static_cast<std::uint32_t>(digests_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return digests_.empty(); }
+
+  /// Leaf indices where the two trees differ (the localized ranges an
+  /// anti-entropy round would re-sync).
+  [[nodiscard]] static std::vector<std::uint32_t> divergent_leaves(
+      const PartitionDigest& a, const PartitionDigest& b);
+
+ private:
+  std::vector<PartitionDigest> digests_;
+};
+
+/// Maps a record's key to its partition (the cluster placement hash,
+/// ring-independent).
+using PartitionOfKey = std::function<std::uint32_t(const kv::Key&)>;
+
+/// Reads every live SST record of `db` (actual flash content — sees any
+/// rot) and folds it into a fresh digest set. Content access is
+/// zero-time; callers charge any scan cost they want to model.
+[[nodiscard]] PartitionDigestSet compute_observed_digests(
+    kv::NKV& db, const PartitionOfKey& partition_of,
+    std::uint32_t partitions);
+
+/// Outcome of one cluster anti-entropy round (coordinator API).
+struct AntiEntropyReport {
+  std::uint64_t partitions_checked = 0;
+  /// Partitions whose replicas' observed roots disagreed.
+  std::uint64_t divergent_partitions = 0;
+  /// Divergent (partition, leaf) buckets across all divergent partitions —
+  /// the localization anti-entropy buys over full re-reads.
+  std::uint64_t divergent_leaves = 0;
+  std::uint64_t replicas_repaired = 0;
+  std::uint64_t bytes_repaired = 0;
+  bool converged = false;  ///< All replicas digest-identical afterwards.
+};
+
+}  // namespace ndpgen::cluster

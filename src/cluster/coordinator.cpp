@@ -36,6 +36,15 @@ ClusterCoordinator::ClusterCoordinator(
   NDPGEN_CHECK_ARG(config_.hedge_factor >= 1.0,
                    "hedge factor must be at least 1");
   link_.set_observability(&obs_);
+  if (config_.scrub.enabled) {
+    // Every device (spares included — they scrub once on the ring) gets a
+    // patrol walker over its own store.
+    scrubbers_.reserve(devices_.size());
+    for (auto& device : devices_) {
+      scrubbers_.push_back(
+          std::make_unique<DeviceScrubber>(*device, config_.scrub));
+    }
+  }
   on_ring_.assign(devices_.size(), false);
   for (std::uint32_t d = 0; d < config_.placement.devices; ++d) {
     on_ring_[d] = true;
@@ -67,6 +76,11 @@ double ClusterCoordinator::latency_factor(std::uint32_t device,
   double factor = injector_.latency_factor_at(device, t);
   if (rebuild_.device_is_source_at(device, t)) {
     factor *= rebuild_.source_inflation();
+  }
+  if (!scrubbers_.empty() && on_ring_[device]) {
+    // The patrol read steals scrub_share of the member's read bandwidth —
+    // same discipline as rebuild-source inflation.
+    factor *= 1.0 / (1.0 - config_.scrub.scrub_share);
   }
   return factor;
 }
@@ -226,6 +240,51 @@ void ClusterCoordinator::fail_over(std::uint32_t dead,
   }
 }
 
+void ClusterCoordinator::apply_bitrot(platform::SimTime now) {
+  if (bitrot_applied_ || !injector_.bitrot_due(now)) return;
+  bitrot_applied_ = true;
+  const std::uint32_t target = injector_.bitrot_device();
+  if (target >= devices_.size()) return;
+  const std::uint64_t rotted = devices_[target]->corrupt_blocks(
+      injector_.bitrot_blocks(), injector_.bitrot_seed(),
+      injector_.bitrot_wrong_data());
+  report_.bitrot_blocks_injected += rotted;
+  obs_.metrics.add(obs_.metrics.counter("cluster.bitrot.blocks_injected"),
+                   rotted);
+  if (obs_.tracing()) {
+    obs_.trace->instant(
+        obs_.trace->track("cluster"), "bitrot", "cluster", now,
+        "{\"device\":" + std::to_string(target) +
+            ",\"blocks\":" + std::to_string(rotted) +
+            ",\"wrong_data\":" +
+            (injector_.bitrot_wrong_data() ? "true" : "false") + "}");
+  }
+}
+
+void ClusterCoordinator::repair_device(std::uint32_t device,
+                                       platform::SimTime now,
+                                       const char* source) {
+  const std::uint64_t bytes = devices_[device]->repair_corruption();
+  if (bytes == 0) return;
+  ++report_.repairs;
+  report_.bytes_repaired += bytes;
+  obs::MetricsRegistry& m = obs_.metrics;
+  m.add(m.counter("cluster.repair.count"), 1);
+  m.add(m.counter("cluster.repair.bytes"), bytes);
+  // Charge the modeled background-write duration of the replica-sourced
+  // copy (full scrub-read bandwidth; the write happens off the query's
+  // critical path, so it is accounting, not critical-path time).
+  const auto repair_ns = static_cast<std::uint64_t>(
+      static_cast<double>(bytes) * 1000.0 / config_.scrub.bandwidth_mbps);
+  m.add(m.counter("cluster.repair.ns"), repair_ns);
+  if (obs_.tracing()) {
+    obs_.trace->complete(
+        obs_.trace->track("cluster"), "repair", "cluster", now, repair_ns,
+        "{\"device\":" + std::to_string(device) + ",\"bytes\":" +
+            std::to_string(bytes) + ",\"source\":\"" + source + "\"}");
+  }
+}
+
 void ClusterCoordinator::refresh_cluster_state(platform::SimTime now) {
   // Heartbeats: probe every ring member at this dispatch instant. In a
   // DES the probe itself is free; what matters is the deterministic
@@ -241,6 +300,27 @@ void ClusterCoordinator::refresh_cluster_state(platform::SimTime now) {
     }
   }
   report_.health_transitions = health_.transitions();
+
+  // Latent-fault machinery, all on the same deterministic dispatch clock:
+  // the armed bit-rot lands first, then the patrol scrubbers advance and
+  // repair whatever CRC-visible rot they catch.
+  apply_bitrot(now);
+  for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+    if (scrubbers_.empty() || !on_ring_[d]) continue;
+    if (!reachable_at(d, now)) continue;
+    const std::uint64_t failures = scrubbers_[d]->advance(now);
+    if (failures == 0) continue;
+    obs_.metrics.add(obs_.metrics.counter("cluster.scrub.detections"),
+                     failures);
+    health_.record_integrity_error(d, now);
+    if (obs_.tracing()) {
+      obs_.trace->instant(
+          obs_.trace->track("cluster"), "scrub-detect", "cluster", now,
+          "{\"device\":" + std::to_string(d) +
+              ",\"blocks\":" + std::to_string(failures) + "}");
+    }
+    repair_device(d, now, "scrub");
+  }
 }
 
 ndp::ScanStats ClusterCoordinator::multi_range_scan(
@@ -258,6 +338,7 @@ ndp::ScanStats ClusterCoordinator::multi_range_scan(
 
   // --- Scatter: every partition to one serving replica. ----------------
   std::vector<bool> excluded(devices_.size(), false);
+  std::vector<bool> integrity_excluded(devices_.size(), false);
   std::vector<std::vector<std::uint32_t>> assigned(devices_.size());
   for (std::uint32_t p = 0; p < config_.placement.partitions; ++p) {
     assigned[serving_replica(p, excluded)].push_back(p);
@@ -268,6 +349,7 @@ ndp::ScanStats ClusterCoordinator::multi_range_scan(
   while (true) {
     std::vector<std::uint32_t> failed_partitions;
     bool any_failure = false;
+    platform::SimTime next_offset = round_offset;
     for (std::uint32_t d = 0; d < devices_.size(); ++d) {
       if (assigned[d].empty()) continue;
       if (!reachable_at(d, now + round_offset)) {
@@ -279,6 +361,10 @@ ndp::ScanStats ClusterCoordinator::multi_range_scan(
         health_.record_error(d, now + round_offset);
         excluded[d] = true;
         any_failure = true;
+        // Unreachable members are detected in parallel at the NVMe
+        // timeout; the retry round starts one detection window later.
+        next_offset =
+            std::max(next_offset, round_offset + config_.timing.nvme_timeout);
         failed_partitions.insert(failed_partitions.end(),
                                  assigned[d].begin(), assigned[d].end());
         if (obs_.tracing()) {
@@ -293,6 +379,58 @@ ndp::ScanStats ClusterCoordinator::multi_range_scan(
       }
       SubScan sub = run_subscan(d, std::move(assigned[d]), round_offset,
                                 ranges, predicates, now);
+
+      // Online read-repair: the replica answered, but some of its blocks
+      // held persistent rot (CRC still bad after the recovery re-read).
+      // Its rows cannot be trusted — discard the whole sub-scan, re-fetch
+      // the partitions from healthy replicas (so the query's result bytes
+      // equal the uncorrupted run's) and repair the bad member off the
+      // critical path. Detection time is the sub-scan's own completion,
+      // not the NVMe timeout.
+      if (sub.stats.integrity_blocks > 0) {
+        ++report_.integrity_failures;
+        ++report_.read_repairs;
+        obs_.metrics.add(obs_.metrics.counter("cluster.integrity_failures"),
+                         1);
+        health_.record_integrity_error(d, now + round_offset);
+        excluded[d] = true;
+        integrity_excluded[d] = true;
+        any_failure = true;
+        next_offset = std::max(next_offset, round_offset + sub.latency);
+        // Repair needs a healthy source: every partition this sub-scan
+        // served must have some other replica with clean flash. If a
+        // partition's copies are ALL rotted, the divergence is
+        // unrepairable — the typed kIntegrity failure (exit 20).
+        for (const std::uint32_t p : sub.partitions) {
+          bool source = false;
+          for (const std::uint32_t r : placement_.replicas(p)) {
+            if (r == d || health_.state(r) == DeviceState::kDead) continue;
+            if (!devices_[r]->has_corruption()) {
+              source = true;
+              break;
+            }
+          }
+          if (!source) {
+            raise(ErrorKind::kIntegrity,
+                  "unrepairable divergence: every replica of partition " +
+                      std::to_string(p) + " holds corrupt data");
+          }
+        }
+        failed_partitions.insert(failed_partitions.end(),
+                                 sub.partitions.begin(),
+                                 sub.partitions.end());
+        if (obs_.tracing()) {
+          obs_.trace->instant(
+              obs_.trace->track("cluster"), "read-repair", "cluster",
+              now + round_offset,
+              "{\"device\":" + std::to_string(d) + ",\"bad_blocks\":" +
+                  std::to_string(sub.stats.integrity_blocks) +
+                  ",\"partitions\":" +
+                  std::to_string(sub.partitions.size()) + "}");
+        }
+        repair_device(d, now + round_offset + sub.latency, "read-repair");
+        continue;
+      }
       health_.record_success(d, now + round_offset);
 
       // Hedged read: race a second replica when the primary blows the
@@ -355,9 +493,10 @@ ndp::ScanStats ClusterCoordinator::multi_range_scan(
       done.push_back(std::move(sub));
     }
     if (!any_failure) break;
-    // Failures are detected in parallel at the timeout; the retry round
-    // starts one detection window later.
-    round_offset += config_.timing.nvme_timeout;
+    // The retry round starts at the latest detection instant of this
+    // round (timeout window for unreachable members, sub-scan completion
+    // for integrity discards).
+    round_offset = next_offset;
     assigned.assign(devices_.size(), {});
     for (const std::uint32_t p : failed_partitions) {
       assigned[serving_replica(p, excluded)].push_back(p);
@@ -381,6 +520,7 @@ ndp::ScanStats ClusterCoordinator::multi_range_scan(
     stats.blocks_degraded_to_software +=
         sub.stats.blocks_degraded_to_software;
     stats.uncorrectable_blocks += sub.stats.uncorrectable_blocks;
+    stats.integrity_blocks += sub.stats.integrity_blocks;
     stats.shards = std::max(stats.shards, sub.stats.shards);
     stats.pe_phase_cycles =
         std::max(stats.pe_phase_cycles, sub.stats.pe_phase_cycles);
@@ -472,12 +612,138 @@ ndp::GetStats ClusterCoordinator::get(const kv::Key& key) {
   }
 }
 
+AntiEntropyReport ClusterCoordinator::run_anti_entropy() {
+  const platform::SimTime start = queue_.now();
+  refresh_cluster_state(start);
+  AntiEntropyReport rep;
+  ++report_.antientropy_rounds;
+
+  // Observed digests: what each on-ring member's flash ACTUALLY holds.
+  std::vector<std::optional<PartitionDigestSet>> observed(devices_.size());
+  for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+    if (!on_ring_[d] || !devices_[d]->digests_enabled()) continue;
+    observed[d] = devices_[d]->observed_digests();
+  }
+
+  std::vector<bool> needs_repair(devices_.size(), false);
+  for (std::uint32_t p = 0; p < config_.placement.partitions; ++p) {
+    std::vector<std::uint32_t> members;
+    for (const std::uint32_t d : placement_.replicas(p)) {
+      if (observed[d].has_value()) members.push_back(d);
+    }
+    if (members.size() < 2) continue;  // Nothing to compare against.
+    ++rep.partitions_checked;
+    bool divergent = false;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      if (observed[members[i]]->digest(p) !=
+          observed[members[0]]->digest(p)) {
+        divergent = true;
+        break;
+      }
+    }
+    if (!divergent) continue;
+    ++rep.divergent_partitions;
+
+    // The good copy is the replica whose observed tree matches what its
+    // own write path says it should hold.
+    std::uint32_t good = devices_.size();
+    for (const std::uint32_t d : members) {
+      if (observed[d]->digest(p) ==
+          devices_[d]->maintained_digests().digest(p)) {
+        good = d;
+        break;
+      }
+    }
+    if (good == devices_.size()) {
+      raise(ErrorKind::kIntegrity,
+            "unrepairable divergence: no replica of partition " +
+                std::to_string(p) + " matches its maintained digest");
+    }
+    for (const std::uint32_t d : members) {
+      if (d == good) continue;
+      if (observed[d]->digest(p) == observed[good]->digest(p)) continue;
+      // Localization: only these leaf buckets need re-syncing.
+      rep.divergent_leaves += PartitionDigestSet::divergent_leaves(
+                                  observed[d]->digest(p),
+                                  observed[good]->digest(p))
+                                  .size();
+      needs_repair[d] = true;
+      health_.record_integrity_error(d, start);
+    }
+  }
+
+  for (std::uint32_t d = 0; d < devices_.size(); ++d) {
+    if (!needs_repair[d]) continue;
+    const std::uint64_t before = report_.bytes_repaired;
+    repair_device(d, start, "anti-entropy");
+    if (report_.bytes_repaired > before) {
+      ++rep.replicas_repaired;
+      rep.bytes_repaired += report_.bytes_repaired - before;
+    }
+    observed[d] = devices_[d]->observed_digests();
+  }
+
+  // Convergence: after repair every partition's replicas must agree.
+  rep.converged = true;
+  for (std::uint32_t p = 0; p < config_.placement.partitions; ++p) {
+    std::uint32_t first = devices_.size();
+    for (const std::uint32_t d : placement_.replicas(p)) {
+      if (!observed[d].has_value()) continue;
+      if (first == devices_.size()) {
+        first = d;
+      } else if (!(observed[d]->digest(p) == observed[first]->digest(p))) {
+        rep.converged = false;
+      }
+    }
+  }
+
+  obs::MetricsRegistry& m = obs_.metrics;
+  m.add(m.counter("cluster.antientropy.rounds"), 1);
+  m.add(m.counter("cluster.antientropy.divergent_partitions"),
+        rep.divergent_partitions);
+  m.add(m.counter("cluster.antientropy.divergent_leaves"),
+        rep.divergent_leaves);
+  m.add(m.counter("cluster.antientropy.replicas_repaired"),
+        rep.replicas_repaired);
+  if (obs_.tracing()) {
+    obs_.trace->complete(
+        obs_.trace->track("cluster"), "anti-entropy", "cluster", start,
+        queue_.now() - start,
+        "{\"checked\":" + std::to_string(rep.partitions_checked) +
+            ",\"divergent\":" + std::to_string(rep.divergent_partitions) +
+            ",\"repaired\":" + std::to_string(rep.replicas_repaired) +
+            ",\"converged\":" + (rep.converged ? std::string("true")
+                                               : std::string("false")) +
+            "}");
+  }
+  return rep;
+}
+
 void ClusterCoordinator::publish_metrics() {
   obs::MetricsRegistry& m = obs_.metrics;
   m.set(m.gauge("cluster.devices"), devices_.size());
   m.set(m.gauge("cluster.replication"), config_.placement.replication);
   m.set(m.gauge("cluster.health.transitions"), health_.transitions());
   report_.health_transitions = health_.transitions();
+  if (!scrubbers_.empty()) {
+    std::uint64_t blocks = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t transient = 0;
+    std::uint64_t failures = 0;
+    for (const auto& scrubber : scrubbers_) {
+      blocks += scrubber->report().blocks_verified;
+      bytes += scrubber->report().bytes_scanned;
+      transient += scrubber->report().transient_recovered;
+      failures += scrubber->report().crc_failures;
+    }
+    m.set(m.gauge("cluster.scrub.share_milli"),
+          static_cast<std::uint64_t>(
+              std::llround(config_.scrub.scrub_share * 1000.0)));
+    m.set(m.gauge("cluster.scrub.blocks_verified"), blocks);
+    m.set(m.gauge("cluster.scrub.bytes_scanned"), bytes);
+    m.set(m.gauge("cluster.scrub.transient_recovered"), transient);
+    m.set(m.gauge("cluster.scrub.crc_failures"), failures);
+  }
   for (std::uint32_t d = 0; d < devices_.size(); ++d) {
     const std::string prefix = "cluster.dev" + std::to_string(d) + ".";
     m.set(m.gauge(prefix + "state"),

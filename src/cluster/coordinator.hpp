@@ -44,6 +44,7 @@
 #include "cluster/health.hpp"
 #include "cluster/placement.hpp"
 #include "cluster/rebuild.hpp"
+#include "cluster/scrub.hpp"
 #include "fault/device_fault.hpp"
 #include "host/offload_target.hpp"
 
@@ -66,6 +67,8 @@ struct CoordinatorConfig {
   double hedge_factor = 3.0;
   platform::SimTime hedge_floor_ns = 200 * 1000;  // 200 us
   std::uint32_t hedge_min_samples = 16;
+  /// Background CRC scrubbing (off by default; see cluster/scrub.hpp).
+  ScrubConfig scrub;
 };
 
 /// Run-level counters the CLI/bench report next to the service report.
@@ -78,6 +81,15 @@ struct ClusterReport {
   std::uint64_t failovers = 0;  ///< Dead members replaced by spares.
   std::uint64_t rebuilds = 0;
   std::uint64_t health_transitions = 0;
+  // Replica integrity.
+  std::uint64_t bitrot_blocks_injected = 0;
+  /// Sub-scans discarded because the answering replica held persistent
+  /// rot; their partitions were re-fetched from healthy replicas.
+  std::uint64_t integrity_failures = 0;
+  std::uint64_t read_repairs = 0;  ///< Repairs triggered by a foreground read.
+  std::uint64_t repairs = 0;       ///< Replica repairs executed (all paths).
+  std::uint64_t bytes_repaired = 0;
+  std::uint64_t antientropy_rounds = 0;
 };
 
 class ClusterCoordinator final : public host::OffloadTarget {
@@ -121,6 +133,16 @@ class ClusterCoordinator final : public host::OffloadTarget {
   /// Recency-correct point lookup through the same placement/health path.
   ndp::GetStats get(const kv::Key& key);
 
+  /// One anti-entropy round: computes every on-ring member's OBSERVED
+  /// partition digests from actual flash content, compares them across
+  /// the replicas of each partition, localizes divergence to leaf buckets
+  /// and repairs bad replicas from a good one (the replica whose observed
+  /// tree matches its own maintained tree). Raises kIntegrity (exit 20)
+  /// when a divergent partition has no good replica left. Catches what
+  /// CRC scrubbing structurally cannot: wrong-data rot whose index CRC
+  /// was rewritten to match.
+  AntiEntropyReport run_anti_entropy();
+
   /// Folds per-device health gauges, cluster counters and (summed)
   /// device-stack metrics into the frontend registry; appends device
   /// traces under "devN." prefixes. Call once at the end of a run.
@@ -146,6 +168,14 @@ class ClusterCoordinator final : public host::OffloadTarget {
   }
   [[nodiscard]] SmartSsdDevice& device(std::uint32_t index) {
     return *devices_.at(index);
+  }
+  /// Per-member scrub counters (devices have a scrubber iff scrubbing is
+  /// enabled in the config).
+  [[nodiscard]] const ScrubReport& scrub_report(std::uint32_t index) const {
+    return scrubbers_.at(index)->report();
+  }
+  [[nodiscard]] bool scrubbing() const noexcept {
+    return !scrubbers_.empty();
   }
 
  private:
@@ -188,6 +218,14 @@ class ClusterCoordinator final : public host::OffloadTarget {
   /// newly-Dead members onto spares (placement swap + rebuild start).
   void refresh_cluster_state(platform::SimTime now);
   void fail_over(std::uint32_t dead, platform::SimTime now);
+  /// One-shot bit-rot application once the injector's trigger fires: the
+  /// armed device's flash content is really mutated (see
+  /// SmartSsdDevice::corrupt_blocks).
+  void apply_bitrot(platform::SimTime now);
+  /// Executes the replica-sourced repair of `device`'s ledgered rot:
+  /// restores content + CRCs, counts bytes, publishes metrics/trace.
+  void repair_device(std::uint32_t device, platform::SimTime now,
+                     const char* source);
   /// Proportionally rescales `phases` to sum to `target` (residual lands
   /// in kFlash), preserving the phase-sum invariant under latency factors.
   [[nodiscard]] static obs::PhaseBreakdown scale_phases(
@@ -206,6 +244,8 @@ class ClusterCoordinator final : public host::OffloadTarget {
   platform::NvmeLink link_;
   obs::Observability obs_;
 
+  std::vector<std::unique_ptr<DeviceScrubber>> scrubbers_;
+  bool bitrot_applied_ = false;
   std::vector<bool> on_ring_;         ///< Device currently a ring member.
   std::vector<std::uint32_t> spare_pool_;  ///< Unused spares, ascending.
   std::vector<platform::SimTime> latency_samples_;  ///< Sorted ascending.

@@ -1,6 +1,22 @@
 #include "cluster/device.hpp"
 
+#include "kv/sst_reader.hpp"
+#include "support/crc32c.hpp"
+
 namespace ndpgen::cluster {
+
+namespace {
+
+/// splitmix64 step: deterministic corruption-site stream per seed.
+[[nodiscard]] std::uint64_t next_rand(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 SmartSsdDevice::SmartSsdDevice(std::uint32_t id,
                                platform::CosmosConfig cosmos_config,
@@ -41,6 +57,112 @@ void SmartSsdDevice::attach_executor(
 ndp::HybridExecutor& SmartSsdDevice::executor() {
   NDPGEN_CHECK(executor_ != nullptr, "device executor not attached");
   return *executor_;
+}
+
+void SmartSsdDevice::enable_digests(std::uint32_t partitions,
+                                    PartitionOfKey partition_of) {
+  NDPGEN_CHECK(maintained_.empty(), "device digests already enabled");
+  NDPGEN_CHECK_ARG(partitions > 0, "digests need at least one partition");
+  NDPGEN_CHECK_ARG(static_cast<bool>(partition_of),
+                   "digests need a partition function");
+  partition_of_ = std::move(partition_of);
+  maintained_ = PartitionDigestSet(partitions);
+  const kv::KeyExtractor extractor = db_->config().extractor;
+  db_->set_record_hook(
+      [this, extractor](std::span<const std::uint8_t> record, bool added) {
+        // XOR toggling is self-inverse: add and remove are the same call.
+        (void)added;
+        maintained_.toggle(partition_of_(extractor(record)),
+                           record_digest_hash(record));
+      });
+}
+
+PartitionDigestSet SmartSsdDevice::observed_digests() {
+  NDPGEN_CHECK(digests_enabled(), "device digests not enabled");
+  return compute_observed_digests(*db_, partition_of_,
+                                  maintained_.partitions());
+}
+
+std::uint64_t SmartSsdDevice::corrupt_blocks(std::uint32_t count,
+                                             std::uint64_t seed,
+                                             bool wrong_data) {
+  struct Site {
+    std::shared_ptr<kv::SSTable> table;
+    std::uint32_t block_index;
+  };
+  std::vector<Site> sites;
+  for (const auto& table : db_->version().recency_ordered()) {
+    for (std::uint32_t b = 0;
+         b < static_cast<std::uint32_t>(table->blocks.size()); ++b) {
+      sites.push_back(Site{table, b});
+    }
+  }
+  if (sites.empty() || count == 0) return 0;
+
+  auto& flash = platform_->flash();
+  std::uint64_t state = seed;
+  std::vector<bool> picked(sites.size(), false);
+  std::uint64_t corrupted = 0;
+  // Bounded rejection sampling keeps the pick deterministic without ever
+  // spinning when count approaches the number of blocks.
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 64ull * count + 64;
+  while (corrupted < count && corrupted < sites.size() &&
+         attempts < max_attempts) {
+    ++attempts;
+    const std::size_t idx = next_rand(state) % sites.size();
+    if (picked[idx]) continue;
+    picked[idx] = true;
+    const Site& site = sites[idx];
+    kv::BlockHandle& handle = site.table->blocks[site.block_index];
+    if (handle.flash_pages.empty()) continue;
+
+    CorruptionRecord record;
+    record.table = site.table;
+    record.block_index = site.block_index;
+    record.original_crc = handle.crc32c;
+
+    // Rot one byte inside the block's FIRST record so both the CRC and
+    // the logical record digest change (padding flips would only trip
+    // the CRC). Save the untouched page image first.
+    const std::uint64_t page = handle.flash_pages.front();
+    const platform::FlashAddr addr = flash.delinearize(page);
+    const std::span<const std::uint8_t> before = flash.page_data(addr);
+    record.pages.emplace_back(
+        page, std::vector<std::uint8_t>(before.begin(), before.end()));
+    std::vector<std::uint8_t> rotted(before.begin(), before.end());
+    const std::size_t offset =
+        next_rand(state) % db_->config().record_bytes;
+    rotted[offset] ^= 0xFF;
+    flash.write_page_immediate(addr, rotted);
+
+    if (wrong_data) {
+      // Firmware-bug flavour: the index CRC is recomputed over the rotted
+      // content, so checked reads and the scrubber see a "valid" block.
+      // Only cross-replica digest comparison can catch this.
+      kv::SSTReader reader(*site.table, flash, db_->config().extractor);
+      const std::vector<std::uint8_t> block =
+          reader.read_block(site.block_index);
+      handle.crc32c = support::crc32c(block);
+    }
+    corruption_ledger_.push_back(std::move(record));
+    ++corrupted;
+  }
+  return corrupted;
+}
+
+std::uint64_t SmartSsdDevice::repair_corruption() {
+  auto& flash = platform_->flash();
+  std::uint64_t bytes = 0;
+  for (const CorruptionRecord& record : corruption_ledger_) {
+    for (const auto& [page, image] : record.pages) {
+      flash.write_page_immediate(flash.delinearize(page), image);
+      bytes += image.size();
+    }
+    record.table->blocks[record.block_index].crc32c = record.original_crc;
+  }
+  corruption_ledger_.clear();
+  return bytes;
 }
 
 }  // namespace ndpgen::cluster

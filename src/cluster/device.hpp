@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "cluster/antientropy.hpp"
 #include "kv/db.hpp"
 #include "ndp/executor.hpp"
 #include "platform/cosmos.hpp"
@@ -58,13 +60,65 @@ class SmartSsdDevice {
     return bytes_loaded_;
   }
 
+  // --- Replica integrity ------------------------------------------------
+
+  /// Turns on incremental partition digests: installs the store's record
+  /// hook so flush / bulk load / compaction keep the MAINTAINED trees
+  /// current. Must run before any data is loaded.
+  void enable_digests(std::uint32_t partitions, PartitionOfKey partition_of);
+
+  [[nodiscard]] bool digests_enabled() const noexcept {
+    return !maintained_.empty();
+  }
+  /// What this device SHOULD hold (updated at write time, pre-corruption).
+  [[nodiscard]] const PartitionDigestSet& maintained_digests() const noexcept {
+    return maintained_;
+  }
+  /// What this device's flash ACTUALLY holds (re-read every call).
+  [[nodiscard]] PartitionDigestSet observed_digests();
+  [[nodiscard]] const PartitionOfKey& partition_of() const noexcept {
+    return partition_of_;
+  }
+
+  /// Flips one record byte in `count` deterministically chosen SST blocks
+  /// (seeded pick over the current block list). With `wrong_data` the
+  /// block's index CRC is rewritten to match the rotted content, so only
+  /// digest comparison — not CRC scrubbing — can catch it. Original page
+  /// bytes and CRCs go into a repair ledger. Returns blocks corrupted.
+  std::uint64_t corrupt_blocks(std::uint32_t count, std::uint64_t seed,
+                               bool wrong_data = false);
+
+  /// Restores every ledgered page and CRC (the replica-sourced repair
+  /// write, content side; the coordinator charges its time). Returns
+  /// flash bytes rewritten.
+  std::uint64_t repair_corruption();
+
+  [[nodiscard]] bool has_corruption() const noexcept {
+    return !corruption_ledger_.empty();
+  }
+  [[nodiscard]] std::uint64_t corrupted_block_count() const noexcept {
+    return corruption_ledger_.size();
+  }
+
  private:
+  /// One corrupted block: enough state to undo the damage byte-exactly.
+  struct CorruptionRecord {
+    std::shared_ptr<kv::SSTable> table;
+    std::uint32_t block_index = 0;
+    std::uint32_t original_crc = 0;
+    /// (linear page number, original page image) per touched page.
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> pages;
+  };
+
   std::uint32_t id_;
   std::unique_ptr<platform::CosmosPlatform> platform_;
   std::unique_ptr<kv::NKV> db_;
   std::unique_ptr<ndp::HybridExecutor> executor_;
   std::uint64_t records_loaded_ = 0;
   std::uint64_t bytes_loaded_ = 0;
+  PartitionDigestSet maintained_;
+  PartitionOfKey partition_of_;
+  std::vector<CorruptionRecord> corruption_ledger_;
 };
 
 }  // namespace ndpgen::cluster

@@ -55,6 +55,13 @@ void HealthMonitor::record_error(std::uint32_t device,
   observe(device, false, now, /*can_kill=*/true);
 }
 
+void HealthMonitor::record_integrity_error(std::uint32_t device,
+                                           platform::SimTime now) {
+  // can_kill=false: corruption earns Suspect (route around, repair), never
+  // Dead — the member still answers and failover would be the wrong tool.
+  observe(device, false, now, /*can_kill=*/false);
+}
+
 void HealthMonitor::refresh(platform::SimTime now) {
   for (Entry& entry : entries_) {
     if (entry.state == DeviceState::kSuspect && entry.ever_missed &&

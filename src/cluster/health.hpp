@@ -66,6 +66,13 @@ class HealthMonitor {
   void record_success(std::uint32_t device, platform::SimTime now);
   void record_error(std::uint32_t device, platform::SimTime now);
 
+  /// A detected integrity fault (persistent CRC failure or digest
+  /// divergence) on `device`. Counts into the same error EWMA — repeated
+  /// corruption drives a replica to Suspect so reads route around it —
+  /// but never to Dead on its own: the device still answers, and repair
+  /// (not failover) is the proportionate response.
+  void record_integrity_error(std::uint32_t device, platform::SimTime now);
+
   /// Escalates stale Suspect devices to Dead; call at each dispatch.
   void refresh(platform::SimTime now);
 

@@ -67,6 +67,14 @@ std::unique_ptr<PubgraphCluster> build_pubgraph_cluster(
         config.media_fault.seed ^ (0x9e3779b97f4a7c15ULL * (d + 1));
     auto device = std::make_unique<SmartSsdDevice>(d, cosmos_config,
                                                    paper_db_config());
+    if (config.digests) {
+      // Before any load: the maintained trees must see every record the
+      // store ever gains. Spares get them too — they load at failover.
+      const ClusterPlacement hash(placement_config);
+      device->enable_digests(config.partitions, [hash](const kv::Key& key) {
+        return hash.partition_of(key);
+      });
+    }
     if (d < config.devices) {
       std::vector<bool> wanted(config.partitions, false);
       for (const std::uint32_t p : placement.partitions_of(d)) {
@@ -97,6 +105,7 @@ std::unique_ptr<PubgraphCluster> build_pubgraph_cluster(
   coord_config.hedge_factor = config.hedge_factor;
   coord_config.hedge_floor_ns = config.hedge_floor_ns;
   coord_config.hedge_min_samples = config.hedge_min_samples;
+  coord_config.scrub = config.scrub;
 
   // The rebuild copy is charged by the RebuildManager; this loader is the
   // structural stand-in that materializes the copied partitions on the

@@ -38,6 +38,11 @@ struct ClusterBuildConfig {
   double hedge_factor = 3.0;
   platform::SimTime hedge_floor_ns = 200 * 1000;
   std::uint32_t hedge_min_samples = 16;
+  /// Background CRC scrubbing (see cluster/scrub.hpp).
+  ScrubConfig scrub;
+  /// Maintain per-partition digest trees on every device (required for
+  /// anti-entropy; a few extra ns per loaded record when on).
+  bool digests = true;
 };
 
 /// Owns everything the coordinator's devices borrow (compiled artifacts,

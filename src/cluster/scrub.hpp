@@ -1,0 +1,85 @@
+// Background replica scrubbing.
+//
+// Each cluster member gets a DeviceScrubber that cyclically walks the
+// member's SST data blocks verifying the per-block CRC32C — the classic
+// patrol read that turns latent media rot into detected (and repairable)
+// errors before a foreground query trips over them. The scrubber is
+// budget-paced on the cluster's virtual clock: every coordinator dispatch
+// advances the scrubber to "now", accrues `scrub_share x bandwidth_mbps`
+// worth of byte budget for the elapsed interval, and verifies as many
+// whole blocks as the budget covers. Pacing off coordinator dispatch
+// times keeps the scrub schedule a pure function of the host timeline, so
+// the determinism invariant (byte-reproducible per seed, invariant across
+// --pes/--threads) holds with scrubbing enabled.
+//
+// The foreground cost is modeled the same way rebuild-source inflation
+// is: while scrubbing is enabled a member's sub-scan latency is scaled by
+// 1 / (1 - scrub_share) — the scrubber steals that share of the device's
+// read bandwidth.
+//
+// A CRC mismatch is first retried through the firmware recovery path
+// (reread_block_recovered): transient ECC marks come back clean and only
+// count as `transient_recovered`. A block that STILL mismatches holds
+// persistent rot; the scrubber reports it so the coordinator can run the
+// replica-sourced repair. Wrong-data corruption (content rotted AND index
+// CRC rewritten) passes every CRC check by construction — catching that
+// is anti-entropy's job (see cluster/antientropy.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/device.hpp"
+
+namespace ndpgen::cluster {
+
+struct ScrubConfig {
+  bool enabled = false;
+  /// Fraction of device read bandwidth the scrubber may steal. Foreground
+  /// sub-scans on a scrubbing member are inflated by 1/(1-scrub_share).
+  double scrub_share = 0.1;
+  /// Full-rate patrol-read bandwidth; the paced budget is
+  /// scrub_share x bandwidth_mbps.
+  double bandwidth_mbps = 200.0;
+};
+
+struct ScrubReport {
+  std::uint64_t blocks_verified = 0;
+  std::uint64_t bytes_scanned = 0;
+  /// Mismatches that came back clean on the recovery re-read.
+  std::uint64_t transient_recovered = 0;
+  /// Persistent CRC failures (real rot) detected.
+  std::uint64_t crc_failures = 0;
+};
+
+class DeviceScrubber {
+ public:
+  DeviceScrubber(SmartSsdDevice& device, ScrubConfig config);
+
+  /// Advances the patrol to `now`: accrues byte budget for the elapsed
+  /// interval and verifies as many whole blocks as it covers. Returns the
+  /// number of persistent CRC failures detected during THIS advance (the
+  /// coordinator's repair trigger).
+  std::uint64_t advance(platform::SimTime now);
+
+  [[nodiscard]] const ScrubReport& report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] const ScrubConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Verifies the block under the cursor; advances the cursor. Returns
+  /// true on a persistent CRC failure.
+  bool verify_block(const std::shared_ptr<kv::SSTable>& table,
+                    std::uint32_t block_index);
+
+  SmartSsdDevice& device_;
+  ScrubConfig config_;
+  platform::SimTime last_advance_ = 0;
+  double budget_bytes_ = 0.0;
+  std::uint64_t cursor_ = 0;  ///< Flat block index into the current walk.
+  ScrubReport report_;
+};
+
+}  // namespace ndpgen::cluster

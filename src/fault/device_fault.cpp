@@ -9,14 +9,24 @@ DeviceFaultInjector::DeviceFaultInjector(const FaultProfile& profile)
   if (enabled() && profile_.device_fault_at_ns > 0) {
     fire_ = static_cast<platform::SimTime>(profile_.device_fault_at_ns);
   }
+  if (bitrot_enabled() && profile_.device_bitrot_at_ns > 0) {
+    rot_fire_ = static_cast<platform::SimTime>(profile_.device_bitrot_at_ns);
+  }
 }
 
 void DeviceFaultInjector::arm(std::uint64_t request_budget) {
-  if (!enabled() || fire_.has_value() || request_budget == 0) return;
-  const double frac = profile_.device_fault_at_frac;
-  const auto index = static_cast<std::uint64_t>(
-      std::llround(frac * static_cast<double>(request_budget)));
-  trigger_index_ = index == 0 ? 1 : index;
+  if (request_budget == 0) return;
+  const auto frac_index = [request_budget](double frac) {
+    const auto index = static_cast<std::uint64_t>(
+        std::llround(frac * static_cast<double>(request_budget)));
+    return index == 0 ? std::uint64_t{1} : index;
+  };
+  if (enabled() && !fire_.has_value()) {
+    trigger_index_ = frac_index(profile_.device_fault_at_frac);
+  }
+  if (bitrot_enabled() && !rot_fire_.has_value()) {
+    rot_trigger_index_ = frac_index(profile_.device_bitrot_at_frac);
+  }
 }
 
 void DeviceFaultInjector::on_doorbell(platform::SimTime now) {
@@ -24,6 +34,10 @@ void DeviceFaultInjector::on_doorbell(platform::SimTime now) {
   if (trigger_index_ != 0 && !fire_.has_value() &&
       doorbells_ == trigger_index_) {
     fire_ = now;
+  }
+  if (rot_trigger_index_ != 0 && !rot_fire_.has_value() &&
+      doorbells_ == rot_trigger_index_) {
+    rot_fire_ = now;
   }
 }
 

@@ -57,6 +57,34 @@ class DeviceFaultInjector {
     return fire_;
   }
 
+  // --- Latent bit-rot (independent trigger, same doorbell clock) --------
+  [[nodiscard]] bool bitrot_enabled() const noexcept {
+    return profile_.device_bitrot_enabled();
+  }
+  [[nodiscard]] std::uint32_t bitrot_device() const noexcept {
+    return profile_.device_bitrot_device;
+  }
+  [[nodiscard]] std::uint32_t bitrot_blocks() const noexcept {
+    return profile_.device_bitrot_blocks;
+  }
+  [[nodiscard]] bool bitrot_wrong_data() const noexcept {
+    return profile_.device_bitrot_wrong_data;
+  }
+  [[nodiscard]] std::optional<platform::SimTime> bitrot_fired_at()
+      const noexcept {
+    return rot_fire_;
+  }
+  /// True once the rot trigger has fired by `t`. The caller (the cluster
+  /// coordinator) owns the one-shot application of the corruption; the
+  /// injector stays a pure oracle.
+  [[nodiscard]] bool bitrot_due(platform::SimTime t) const noexcept {
+    return bitrot_enabled() && rot_fire_.has_value() && t >= *rot_fire_;
+  }
+  /// Deterministic seed for picking the rotten blocks.
+  [[nodiscard]] std::uint64_t bitrot_seed() const noexcept {
+    return profile_.seed;
+  }
+
   /// False once a crash-faulted device's fire time has passed.
   [[nodiscard]] bool alive_at(std::uint32_t device,
                               platform::SimTime t) const noexcept;
@@ -74,8 +102,10 @@ class DeviceFaultInjector {
 
   FaultProfile profile_{};
   std::uint64_t trigger_index_ = 0;  ///< 0 = no count trigger armed.
+  std::uint64_t rot_trigger_index_ = 0;
   std::uint64_t doorbells_ = 0;
   std::optional<platform::SimTime> fire_;
+  std::optional<platform::SimTime> rot_fire_;
 };
 
 }  // namespace ndpgen::fault

@@ -68,6 +68,14 @@ namespace {
     profile.device_fault = DeviceFaultKind::kCrash;
     profile.device_fault_device = 0;
     profile.device_fault_at_frac = 0.5;
+  } else if (name == "bit-rot") {
+    // Replica-integrity drill: healthy media, but a handful of SST blocks
+    // on one member rot a quarter of the way through the request budget.
+    // The coordinator's scrub/read-repair/anti-entropy loop owns it.
+    profile = FaultProfile{};
+    profile.device_bitrot_blocks = 4;
+    profile.device_bitrot_device = 0;
+    profile.device_bitrot_at_frac = 0.25;
   } else {
     return false;
   }
@@ -94,7 +102,7 @@ namespace {
 }  // namespace
 
 std::string FaultProfile::preset_names() {
-  return "none, aged, degraded, stress, device-loss";
+  return "none, aged, degraded, stress, device-loss, bit-rot";
 }
 
 Result<FaultProfile> FaultProfile::parse(std::string_view text) {
@@ -164,6 +172,21 @@ Result<FaultProfile> FaultProfile::parse(std::string_view text) {
     } else if (key == "brownout_factor") {
       ok = parse_double(value, profile.brownout_factor) &&
            profile.brownout_factor >= 1.0;
+    } else if (key == "device_bitrot_blocks") {
+      ok = parse_u64(value, u) && u <= 0xFFFFFFFFull;
+      profile.device_bitrot_blocks = static_cast<std::uint32_t>(u);
+    } else if (key == "device_bitrot_device") {
+      ok = parse_u64(value, u) && u <= 0xFFFFFFFFull;
+      profile.device_bitrot_device = static_cast<std::uint32_t>(u);
+    } else if (key == "device_bitrot_at_frac") {
+      ok = parse_double(value, profile.device_bitrot_at_frac) &&
+           profile.device_bitrot_at_frac <= 1.0;
+    } else if (key == "device_bitrot_at_us") {
+      ok = parse_u64(value, u);
+      profile.device_bitrot_at_ns = u * 1000ull;
+    } else if (key == "device_bitrot_wrong_data") {
+      ok = parse_u64(value, u) && u <= 1;
+      profile.device_bitrot_wrong_data = u != 0;
     } else {
       return Result<FaultProfile>::failure(
           ErrorKind::kInvalidArg, "unknown fault profile key '" + key + "'");
@@ -178,17 +201,32 @@ Result<FaultProfile> FaultProfile::parse(std::string_view text) {
 }
 
 std::string FaultProfile::summary() const {
-  if (!any_enabled() && !device_fault_enabled()) return "faults: none";
+  if (!any_enabled() && !device_fault_enabled() && !device_bitrot_enabled()) {
+    return "faults: none";
+  }
   std::ostringstream out;
   if (!any_enabled()) {
-    out << "faults: device_fault=" << to_string(device_fault)
-        << " device=" << device_fault_device;
+    out << "faults:";
+    if (device_fault_enabled()) {
+      out << " device_fault=" << to_string(device_fault)
+          << " device=" << device_fault_device;
+    }
+    if (device_bitrot_enabled()) {
+      out << " bitrot_blocks=" << device_bitrot_blocks
+          << " bitrot_device=" << device_bitrot_device
+          << (device_bitrot_wrong_data ? " wrong_data" : "");
+    }
     return out.str();
   }
   out << "faults: seed=" << seed;
   if (device_fault_enabled()) {
     out << " device_fault=" << to_string(device_fault)
         << " device=" << device_fault_device;
+  }
+  if (device_bitrot_enabled()) {
+    out << " bitrot_blocks=" << device_bitrot_blocks
+        << " bitrot_device=" << device_bitrot_device
+        << (device_bitrot_wrong_data ? " wrong_data" : "");
   }
   if (read_ber > 0.0) {
     out << " read_ber=" << read_ber << " ecc_bits=" << ecc_correctable_bits

@@ -100,8 +100,31 @@ struct FaultProfile {
   /// Brownout latency multiplier (kBrownout only).
   double brownout_factor = 4.0;
 
+  // --- Latent bit-rot (cluster replica integrity) ------------------------
+  /// SST data blocks whose flash content rots on one member once the
+  /// trigger fires (0 = disabled). Unlike silent_rate — a per-read ECC
+  /// miscorrection that clears on the recovery re-read — bit-rot damages
+  /// the stored bytes, so only a repair write restores the replica.
+  std::uint32_t device_bitrot_blocks = 0;
+  /// Device index the rot lands on.
+  std::uint32_t device_bitrot_device = 0;
+  /// Trigger as a fraction of the run's request budget (K-th doorbell),
+  /// used when device_bitrot_at_ns is 0. Independent of the whole-device
+  /// fault trigger, so a profile can schedule both.
+  double device_bitrot_at_frac = 0.25;
+  /// Absolute virtual trigger time in ns; 0 = use device_bitrot_at_frac.
+  std::uint64_t device_bitrot_at_ns = 0;
+  /// Wrong-data variant: the corruption also rewrites the block's index
+  /// CRC32C to match the rotten bytes, so per-block checksums (scrubber,
+  /// checked reads) pass and only cross-replica digests catch it.
+  bool device_bitrot_wrong_data = false;
+
   [[nodiscard]] bool device_fault_enabled() const noexcept {
     return device_fault != DeviceFaultKind::kNone;
+  }
+
+  [[nodiscard]] bool device_bitrot_enabled() const noexcept {
+    return device_bitrot_blocks > 0;
   }
 
   /// True when any media/link fault class can fire; false keeps every hook

@@ -111,6 +111,7 @@ void Compactor::compact_level(std::uint32_t level) {
       entry.record.assign(record.begin(), record.end());
       entries.push_back(std::move(entry));
       ++records_in;
+      if (record_hook_) record_hook_(record, /*added=*/false);
     });
     for (const auto& tombstone : table->tombstones) {
       entries.push_back(
@@ -165,6 +166,7 @@ void Compactor::compact_level(std::uint32_t level) {
     }
     if (builder == nullptr) open_builder();
     builder->add(entry.record, entry.effective_seq);
+    if (record_hook_) record_hook_(entry.record, /*added=*/true);
     ++stats_.records_out;
     if (++records_in_output >= records_per_output) {
       close_builder();

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 
 #include "kv/placement.hpp"
 #include "kv/sst_builder.hpp"
@@ -19,6 +21,16 @@
 #include "platform/flash.hpp"
 
 namespace ndpgen::kv {
+
+/// Incremental digest hook: called with every record that becomes live in
+/// an SST (added=true: flush, bulk load, compaction output) and every
+/// record a compaction consumes from its inputs (added=false). XOR-style
+/// accumulators upstream (the cluster's partition digests) track the
+/// SST-resident record multiset without re-reading flash. Purged record
+/// versions are consumed but never re-added, so overwrites and dropped
+/// tombstone targets fall out of the digest naturally.
+using RecordHook =
+    std::function<void(std::span<const std::uint8_t>, bool added)>;
 
 struct CompactionConfig {
   /// C1 SST count that triggers compaction into C2.
@@ -63,6 +75,10 @@ class Compactor {
   [[nodiscard]] std::uint64_t next_sst_id() const noexcept { return next_id_; }
   void set_next_sst_id(std::uint64_t id) noexcept { next_id_ = id; }
 
+  /// Installs the incremental digest hook (see RecordHook above). Must be
+  /// set before the first compaction that should be tracked.
+  void set_record_hook(RecordHook hook) { record_hook_ = std::move(hook); }
+
  private:
   [[nodiscard]] std::uint64_t level_target_bytes(std::uint32_t level) const;
   [[nodiscard]] int pick_level() const;
@@ -74,6 +90,7 @@ class Compactor {
   std::uint32_t record_bytes_;
   CompactionConfig config_;
   CompactionStats stats_;
+  RecordHook record_hook_;  ///< Null = no digest tracking.
   std::uint64_t next_id_ = 1'000'000;  ///< Compaction-output SST ids.
 };
 

@@ -49,6 +49,12 @@ NKV::NKV(platform::CosmosPlatform& platform, DBConfig config)
   }
 }
 
+void NKV::set_record_hook(RecordHook hook) {
+  record_hook_ = std::move(hook);
+  // Compactions both consume and re-emit records through the same hook.
+  compactor_.set_record_hook(record_hook_);
+}
+
 void NKV::charge_programs(const SSTable& table) {
   auto pending = std::make_shared<std::size_t>(0);
   auto& flash = platform_.flash();
@@ -143,6 +149,7 @@ void NKV::flush() {
       builder.add_tombstone(it.key(), it.value().seq);
     } else {
       builder.add(it.value().record, it.value().seq);
+      if (record_hook_) record_hook_(it.value().record, /*added=*/true);
     }
   }
   auto table = builder.finish();
@@ -213,6 +220,7 @@ void NKV::bulk_load_sorted(
       in_current = 0;
     }
     builder->add(record, ++seq_);
+    if (record_hook_) record_hook_(record, /*added=*/true);
     if (++in_current >= records_per_sst) {
       version_.add(level, builder->finish());
       builder.reset();

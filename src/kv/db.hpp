@@ -184,6 +184,12 @@ class NKV {
 
   [[nodiscard]] SequenceNumber last_sequence() const noexcept { return seq_; }
 
+  /// Installs the incremental digest hook (see kv/compaction.hpp). Fires
+  /// for every record an SST gains (flush, bulk load, compaction output)
+  /// or loses (compaction input). Install before loading data so the
+  /// digest covers the whole store.
+  void set_record_hook(RecordHook hook);
+
  private:
   void charge_programs(const SSTable& table);
   void journal_put(SequenceNumber seq, std::span<const std::uint8_t> record);
@@ -196,6 +202,7 @@ class NKV {
   Version version_;
   std::unique_ptr<MemTable> memtable_;
   Compactor compactor_;
+  RecordHook record_hook_;  ///< Null = no digest tracking.
   SequenceNumber seq_ = 0;
   std::uint64_t next_sst_id_ = 1;
   DBStats stats_;

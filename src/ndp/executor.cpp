@@ -11,6 +11,7 @@
 #include "ndp/pe_shard.hpp"
 #include "obs/obs.hpp"
 #include "support/bitvec.hpp"
+#include "support/crc32c.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -361,6 +362,13 @@ ScanStats HybridExecutor::scan_blocks(
     } else {
       needs_recovery = true;
       block = reader.reread_block_recovered(blocks[b].block_index);
+      // Transient miscorrections clear on the recovery pass; content that
+      // still fails the index CRC is rotten on flash itself.
+      const kv::BlockHandle& handle =
+          blocks[b].table->blocks[blocks[b].block_index];
+      if (handle.crc32c != 0 && support::crc32c(block) != handle.crc32c) {
+        ++stats.integrity_blocks;
+      }
     }
     if ((media_flags[b] & kMediaRetried) != 0) ++stats.blocks_retried;
 
@@ -546,6 +554,7 @@ ScanStats HybridExecutor::scan_blocks(
           stats.blocks_degraded_to_software);
     m.add(m.counter("ndp.scan.uncorrectable_blocks"),
           stats.uncorrectable_blocks);
+    m.add(m.counter("ndp.scan.integrity_blocks"), stats.integrity_blocks);
   }
   if (obs.tracing()) {
     std::string args =
@@ -676,6 +685,7 @@ ScanStats HybridExecutor::scan_blocks_sharded(
     std::vector<std::uint8_t> block;
     std::uint64_t payload = 0;
     bool needs_recovery = false;
+    bool integrity = false;  ///< Still CRC-bad after the recovery re-read.
     bool retried = false;
     bool static_mismatch = false;
     bool hang = false;
@@ -691,6 +701,10 @@ ScanStats HybridExecutor::scan_blocks_sharded(
     } else {
       item.needs_recovery = true;
       item.block = reader.reread_block_recovered(blocks[b].block_index);
+      const kv::BlockHandle& handle =
+          blocks[b].table->blocks[blocks[b].block_index];
+      item.integrity =
+          handle.crc32c != 0 && support::crc32c(item.block) != handle.crc32c;
     }
     item.retried = (media_flags[b] & kMediaRetried) != 0;
     item.payload = kv::block_payload_bytes(kv::read_trailer(item.block));
@@ -833,6 +847,7 @@ ScanStats HybridExecutor::scan_blocks_sharded(
     Outcome& out = outcomes[b];
     if (work[b].retried) ++stats.blocks_retried;
     if (work[b].needs_recovery) ++stats.uncorrectable_blocks;
+    if (work[b].integrity) ++stats.integrity_blocks;
     if (out.degraded) ++stats.blocks_degraded_to_software;
     if (out.via_software) ++stats.blocks_via_software;
     stats.tuples_scanned += out.tuples_in;
@@ -927,6 +942,7 @@ ScanStats HybridExecutor::scan_blocks_sharded(
           stats.blocks_degraded_to_software);
     m.add(m.counter("ndp.scan.uncorrectable_blocks"),
           stats.uncorrectable_blocks);
+    m.add(m.counter("ndp.scan.integrity_blocks"), stats.integrity_blocks);
   }
   if (obs.tracing()) {
     std::string args =

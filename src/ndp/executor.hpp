@@ -86,6 +86,12 @@ struct ScanStats {
   /// Blocks whose read was uncorrectable or failed checksum verification
   /// and went through the firmware recovery pass.
   std::uint64_t uncorrectable_blocks = 0;
+  /// Blocks that STILL fail their index CRC after the recovery re-read:
+  /// the stored flash content itself is corrupt (latent bit-rot), so the
+  /// record bytes this scan produced from them are untrustworthy. The
+  /// cluster coordinator uses this to discard the sub-scan and re-fetch
+  /// its partitions from a healthy replica (read-repair).
+  std::uint64_t integrity_blocks = 0;
 };
 
 /// Result of an aggregate scan (extension; paper §VII outlook).

@@ -33,6 +33,7 @@ enum class ErrorKind : std::uint8_t {
   kInternal,     ///< Invariant violation inside the framework.
   kBusy,         ///< Admission rejected: bounded queue at capacity.
   kDeviceUnavailable,  ///< No live replica can serve the request.
+  kIntegrity,    ///< Unrepairable replica divergence (every copy is bad).
 };
 
 /// Returns a stable lowercase name for an ErrorKind ("parse", "storage"...).
@@ -48,6 +49,7 @@ enum class ErrorKind : std::uint8_t {
     case ErrorKind::kInternal: return "internal";
     case ErrorKind::kBusy: return "busy";
     case ErrorKind::kDeviceUnavailable: return "device-unavailable";
+    case ErrorKind::kIntegrity: return "integrity";
   }
   return "unknown";
 }
@@ -85,6 +87,7 @@ class Error : public std::runtime_error {
     case ErrorKind::kInternal: return 17;
     case ErrorKind::kBusy: return 18;
     case ErrorKind::kDeviceUnavailable: return 19;
+    case ErrorKind::kIntegrity: return 20;
   }
   return 1;
 }

@@ -32,6 +32,7 @@ struct ClusterParams {
   std::uint64_t requests = 48;
   std::uint64_t arrival_rate = 2000;
   fault::FaultProfile device_fault;
+  ScrubConfig scrub;
 };
 
 struct ClusterRun {
@@ -71,6 +72,7 @@ ClusterRun run_cluster(const ClusterParams& params) {
   build.pes = params.pes;
   build.threads = params.threads;
   build.device_fault = params.device_fault;
+  build.scrub = params.scrub;
   ClusterRun out;
   out.stack = build_pubgraph_cluster(build);
   ClusterCoordinator& coord = *out.stack->coordinator;
@@ -294,6 +296,167 @@ TEST(ClusterCoordinatorTest, ReplicaExhaustionRaisesTypedError) {
   } catch (const Error& error) {
     EXPECT_EQ(error.kind(), ErrorKind::kDeviceUnavailable);
     EXPECT_EQ(exit_code(error.kind()), 19);
+  }
+}
+
+TEST(ClusterCoordinatorTest, BitRotTriggersReadRepairWithByteEqualResults) {
+  const ClusterRun baseline = run_cluster(ClusterParams{});
+  ASSERT_EQ(baseline.cluster.read_repairs, 0u);
+
+  ClusterParams params;
+  auto profile = fault::FaultProfile::parse("bit-rot");
+  params.device_fault = profile.value_or_raise();
+  const ClusterRun run = run_cluster(params);
+
+  // Flash content really rotted mid-run; the foreground CRC check caught
+  // it, the coordinator discarded the rotted sub-scan, re-fetched the
+  // partitions from a healthy replica — byte-equal rows — and repaired
+  // the bad replica off the critical path.
+  EXPECT_GT(run.cluster.bitrot_blocks_injected, 0u);
+  EXPECT_GE(run.cluster.integrity_failures, 1u);
+  EXPECT_GE(run.cluster.read_repairs, 1u);
+  EXPECT_GE(run.cluster.repairs, 1u);
+  EXPECT_GT(run.cluster.bytes_repaired, 0u);
+  EXPECT_EQ(run.report.completed, 48u);
+  EXPECT_EQ(run.report.dropped, 0u);
+  EXPECT_EQ(run.report.results, baseline.report.results);
+  // The repair actually cleared the ledger: no corruption survives.
+  EXPECT_FALSE(run.stack->coordinator->device(0).has_corruption());
+  // Rot never costs a member: repair, not failover.
+  EXPECT_EQ(run.cluster.failovers, 0u);
+  EXPECT_NE(run.metrics_json.find("\"cluster.repair.count\""),
+            std::string::npos);
+}
+
+TEST(ClusterCoordinatorTest, ScrubDetectsRotBeforeForegroundReads) {
+  ClusterParams params;
+  auto profile = fault::FaultProfile::parse(
+      "bit-rot,device_bitrot_at_us=1");  // Rot before the first request.
+  params.device_fault = profile.value_or_raise();
+  params.scrub.enabled = true;
+  params.arrival_rate = 200;  // Slow arrivals leave the patrol headroom.
+  const ClusterRun run = run_cluster(params);
+
+  const ClusterCoordinator& coord = *run.stack->coordinator;
+  ASSERT_TRUE(coord.scrubbing());
+  std::uint64_t crc_failures = 0;
+  std::uint64_t blocks_verified = 0;
+  for (std::uint32_t d = 0; d < coord.device_count(); ++d) {
+    crc_failures += coord.scrub_report(d).crc_failures;
+    blocks_verified += coord.scrub_report(d).blocks_verified;
+  }
+  EXPECT_GT(blocks_verified, 0u);
+  EXPECT_GE(crc_failures, 1u);
+  EXPECT_GE(run.cluster.repairs, 1u);
+  EXPECT_EQ(run.report.dropped, 0u);
+  EXPECT_NE(run.metrics_json.find("\"cluster.scrub.blocks_verified\""),
+            std::string::npos);
+}
+
+TEST(ClusterCoordinatorTest, AntiEntropyConvergesAfterWrongDataRot) {
+  ClusterParams params;
+  auto profile =
+      fault::FaultProfile::parse("bit-rot,device_bitrot_wrong_data=1");
+  params.device_fault = profile.value_or_raise();
+  params.scrub.enabled = true;
+  const ClusterRun run = run_cluster(params);
+
+  // Wrong-data rot rewrites the index CRC to match the rotten bytes:
+  // every CRC check — patrol and foreground — passes by construction.
+  const ClusterCoordinator& coord = *run.stack->coordinator;
+  std::uint64_t crc_failures = 0;
+  for (std::uint32_t d = 0; d < coord.device_count(); ++d) {
+    crc_failures += coord.scrub_report(d).crc_failures;
+  }
+  EXPECT_EQ(crc_failures, 0u);
+  EXPECT_EQ(run.cluster.read_repairs, 0u);
+  ASSERT_GT(run.cluster.bitrot_blocks_injected, 0u);
+
+  // Only comparing logical digests across replicas finds it.
+  ClusterCoordinator& mutable_coord = *run.stack->coordinator;
+  const AntiEntropyReport round = mutable_coord.run_anti_entropy();
+  EXPECT_GE(round.divergent_partitions, 1u);
+  EXPECT_GE(round.divergent_leaves, round.divergent_partitions);
+  EXPECT_GE(round.replicas_repaired, 1u);
+  EXPECT_GT(round.bytes_repaired, 0u);
+  EXPECT_TRUE(round.converged);
+
+  // The next round is quiet: anti-entropy converged, not just patched.
+  const AntiEntropyReport quiet = mutable_coord.run_anti_entropy();
+  EXPECT_EQ(quiet.divergent_partitions, 0u);
+  EXPECT_EQ(quiet.replicas_repaired, 0u);
+  EXPECT_TRUE(quiet.converged);
+  EXPECT_EQ(mutable_coord.report().antientropy_rounds, 2u);
+}
+
+TEST(ClusterCoordinatorTest, ScrubbedRotTimelineIsByteDeterministic) {
+  ClusterParams params;
+  params.pes = 2;
+  params.threads = 1;
+  auto profile = fault::FaultProfile::parse("bit-rot");
+  params.device_fault = profile.value_or_raise();
+  params.scrub.enabled = true;
+
+  ClusterRun first = run_cluster(params);
+  const AntiEntropyReport first_ae =
+      first.stack->coordinator->run_anti_entropy();
+  ClusterRun second = run_cluster(params);
+  const AntiEntropyReport second_ae =
+      second.stack->coordinator->run_anti_entropy();
+  params.threads = 4;
+  ClusterRun threaded = run_cluster(params);
+  const AntiEntropyReport threaded_ae =
+      threaded.stack->coordinator->run_anti_entropy();
+
+  // Scrub pacing, rot injection and repair all live on the host
+  // timeline: the whole integrity story replays byte-identically and is
+  // invariant in the host thread count.
+  expect_reports_equal(first.report, second.report);
+  expect_reports_equal(first.report, threaded.report);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+  EXPECT_EQ(first.metrics_json, threaded.metrics_json);
+  for (const ClusterReport* cluster :
+       {&second.cluster, &threaded.cluster}) {
+    EXPECT_EQ(first.cluster.bitrot_blocks_injected,
+              cluster->bitrot_blocks_injected);
+    EXPECT_EQ(first.cluster.integrity_failures, cluster->integrity_failures);
+    EXPECT_EQ(first.cluster.read_repairs, cluster->read_repairs);
+    EXPECT_EQ(first.cluster.repairs, cluster->repairs);
+    EXPECT_EQ(first.cluster.bytes_repaired, cluster->bytes_repaired);
+  }
+  for (const AntiEntropyReport* ae : {&second_ae, &threaded_ae}) {
+    EXPECT_EQ(first_ae.divergent_partitions, ae->divergent_partitions);
+    EXPECT_EQ(first_ae.divergent_leaves, ae->divergent_leaves);
+    EXPECT_EQ(first_ae.replicas_repaired, ae->replicas_repaired);
+    EXPECT_EQ(first_ae.converged, ae->converged);
+  }
+}
+
+TEST(ClusterCoordinatorTest, UnrepairableRotRaisesTypedIntegrityError) {
+  // R=1: the rotted replica is the only copy, so read-repair has no
+  // healthy source and the query must fail typed, not return bad bytes.
+  ClusterBuildConfig build;
+  build.devices = 2;
+  build.replication = 1;
+  build.spares = 0;
+  build.scale_divisor = 32768;
+  build.mode = ndp::ExecMode::kSoftware;
+  fault::FaultProfile& fault = build.device_fault;
+  fault.device_bitrot_blocks = 2;
+  fault.device_bitrot_device = 0;
+  fault.device_bitrot_at_ns = 1;
+  const auto stack = build_pubgraph_cluster(build);
+  ClusterCoordinator& coord = *stack->coordinator;
+  coord.advance_device_to(1'000'000);  // Past the rot instant.
+
+  const std::uint64_t n = stack->generator.paper_count();
+  const std::vector<ndp::KeyRange> ranges = {{kv::Key{1, 0}, kv::Key{n, 0}}};
+  try {
+    coord.multi_range_scan(ranges, kPredicates, nullptr);
+    FAIL() << "a corrupt sole replica must raise kIntegrity, not serve rot";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kIntegrity);
+    EXPECT_EQ(exit_code(error.kind()), 20);
   }
 }
 

@@ -66,6 +66,27 @@ TEST(HealthMonitorTest, OffloadErrorsCanKillDirectly) {
   EXPECT_EQ(monitor.state(0), DeviceState::kDead);
 }
 
+TEST(HealthMonitorTest, IntegrityErrorsSuspectButNeverKill) {
+  HealthMonitor monitor(2, HealthConfig{});
+  monitor.record_integrity_error(0, 1 * kMs);  // EWMA 0.5 -> Suspect.
+  EXPECT_EQ(monitor.state(0), DeviceState::kSuspect);
+  // A replica that keeps serving rot must be routed around, but it still
+  // answers: repair — not failover — is the proportionate response, so
+  // integrity errors saturate the EWMA without ever reaching Dead.
+  for (int i = 2; i <= 8; ++i) {
+    monitor.record_integrity_error(0, i * kMs);
+  }
+  EXPECT_GT(monitor.error_rate(0), HealthConfig{}.dead_threshold);
+  EXPECT_EQ(monitor.state(0), DeviceState::kSuspect);
+  EXPECT_EQ(monitor.state(1), DeviceState::kAlive);
+
+  // Once repaired, successes decay the replica back to Alive.
+  for (int i = 9; i <= 16; ++i) {
+    monitor.record_success(0, i * kMs);
+  }
+  EXPECT_EQ(monitor.state(0), DeviceState::kAlive);
+}
+
 TEST(HealthMonitorTest, SuccessesDecayTheErrorRate) {
   HealthMonitor monitor(1, HealthConfig{});
   monitor.record_error(0, 1 * kMs);

@@ -111,6 +111,44 @@ TEST(ClusterPlacementTest, ReplaceDeviceValidates) {
   EXPECT_THROW(placement.replace_device(1, 5), Error);
 }
 
+TEST(ClusterPlacementTest, FullReplicationStillFailsOver) {
+  // R == devices: every partition lives everywhere. The degenerate edge
+  // must still place, invert, and hand a dead member's load to a spare.
+  PlacementConfig config = small_config();
+  config.replication = 4;
+  ClusterPlacement placement(config);
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    ASSERT_EQ(placement.replicas(p).size(), 4u) << p;
+  }
+  const std::vector<std::uint32_t> lost = placement.partitions_of(2);
+  EXPECT_EQ(lost.size(), 64u);
+  placement.replace_device(/*dead=*/2, /*spare=*/4);
+  EXPECT_EQ(placement.partitions_of(4), lost);
+  EXPECT_TRUE(placement.partitions_of(2).empty());
+}
+
+TEST(ClusterPlacementTest, SpareChainsSurviveRepeatedFailures) {
+  // Spare exhaustion story: member 1 dies -> spare 4 takes over; then
+  // spare 4 itself dies -> spare 5 inherits 4's (== 1's) partitions.
+  ClusterPlacement placement(small_config());
+  const std::vector<std::uint32_t> lost = placement.partitions_of(1);
+  placement.replace_device(1, 4);
+  ASSERT_EQ(placement.partitions_of(4), lost);
+
+  placement.replace_device(4, 5);
+  EXPECT_EQ(placement.partitions_of(5), lost);
+  EXPECT_TRUE(placement.partitions_of(4).empty());
+  // Both retired ids are gone for good.
+  EXPECT_THROW(placement.replace_device(1, 6), Error);
+  EXPECT_THROW(placement.replace_device(4, 6), Error);
+  // And the twice-moved partitions still resolve to exactly R replicas.
+  for (const std::uint32_t p : lost) {
+    const auto& replicas = placement.replicas(p);
+    EXPECT_EQ(replicas.size(), 2u) << p;
+    EXPECT_TRUE(placement.replicates(5, p)) << p;
+  }
+}
+
 TEST(ClusterPlacementTest, ValidatesConfiguration) {
   PlacementConfig config = small_config();
   config.replication = 5;  // R > devices.

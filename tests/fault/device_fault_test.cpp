@@ -91,6 +91,51 @@ TEST(DeviceFaultInjectorTest, BrownoutMultipliesLatencyInsideTheWindow) {
   EXPECT_EQ(injector.latency_factor_at(1, 2'000'000), 1.0);
 }
 
+TEST(DeviceFaultInjectorTest, BitRotFiresIndependentlyOfTheDeviceFault) {
+  FaultProfile profile = crash_profile();  // Crash at frac 0.5.
+  profile.device_bitrot_blocks = 4;
+  profile.device_bitrot_device = 2;
+  profile.device_bitrot_at_frac = 0.25;
+  DeviceFaultInjector injector(profile);
+  injector.arm(8);  // Rot at the 2nd doorbell, crash at the 4th.
+
+  injector.on_doorbell(100);
+  EXPECT_FALSE(injector.bitrot_due(100));
+  injector.on_doorbell(200);
+  ASSERT_TRUE(injector.bitrot_fired_at().has_value());
+  EXPECT_EQ(*injector.bitrot_fired_at(), 200);
+  EXPECT_TRUE(injector.bitrot_due(200));
+  EXPECT_FALSE(injector.bitrot_due(199));
+  // The whole-device trigger keeps its own, later schedule.
+  EXPECT_FALSE(injector.fired_at().has_value());
+  injector.on_doorbell(300);
+  injector.on_doorbell(400);
+  ASSERT_TRUE(injector.fired_at().has_value());
+  EXPECT_EQ(*injector.fired_at(), 400);
+  // Rot never touches liveness, link or latency — it damages bytes.
+  EXPECT_TRUE(injector.alive_at(2, 1'000'000));
+  EXPECT_EQ(injector.bitrot_device(), 2u);
+  EXPECT_EQ(injector.bitrot_blocks(), 4u);
+  EXPECT_FALSE(injector.bitrot_wrong_data());
+}
+
+TEST(DeviceFaultInjectorTest, BitRotAbsoluteTriggerNeedsNoArming) {
+  FaultProfile profile;
+  profile.device_bitrot_blocks = 1;
+  profile.device_bitrot_at_ns = 5'000;
+  const DeviceFaultInjector injector(profile);
+  ASSERT_TRUE(injector.bitrot_fired_at().has_value());
+  EXPECT_EQ(*injector.bitrot_fired_at(), 5'000);
+  EXPECT_FALSE(injector.bitrot_due(4'999));
+  EXPECT_TRUE(injector.bitrot_due(5'000));
+}
+
+TEST(DeviceFaultInjectorTest, DisabledBitRotIsNeverDue) {
+  const DeviceFaultInjector injector(crash_profile());
+  EXPECT_FALSE(injector.bitrot_enabled());
+  EXPECT_FALSE(injector.bitrot_due(1'000'000'000));
+}
+
 TEST(DeviceFaultInjectorTest, LinkFlapDropsOnlyTheLinkAndRecovers) {
   FaultProfile profile;
   profile.device_fault = DeviceFaultKind::kLinkFlap;

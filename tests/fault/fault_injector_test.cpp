@@ -65,6 +65,35 @@ TEST(FaultProfile, PresetNamesSelectCannedEnvironments) {
   EXPECT_GT(stress.pe_fault_rate, 0.0);
 }
 
+TEST(FaultProfile, ParsesBitRotKeysAndPreset) {
+  const auto parsed = FaultProfile::parse(
+      "device_bitrot_blocks=3,device_bitrot_device=1,"
+      "device_bitrot_at_frac=0.5,device_bitrot_at_us=250,"
+      "device_bitrot_wrong_data=1");
+  ASSERT_TRUE(parsed.ok());
+  const FaultProfile& p = parsed.value();
+  EXPECT_EQ(p.device_bitrot_blocks, 3u);
+  EXPECT_EQ(p.device_bitrot_device, 1u);
+  EXPECT_DOUBLE_EQ(p.device_bitrot_at_frac, 0.5);
+  EXPECT_EQ(p.device_bitrot_at_ns, 250'000u);
+  EXPECT_TRUE(p.device_bitrot_wrong_data);
+  EXPECT_TRUE(p.device_bitrot_enabled());
+  // Bit-rot is a cluster-level fault: the per-device media hooks stay on
+  // the fault-free fast path, but the summary must still report it.
+  EXPECT_FALSE(p.any_enabled());
+  EXPECT_NE(p.summary(), "faults: none");
+
+  const FaultProfile preset = FaultProfile::parse("bit-rot").value();
+  EXPECT_TRUE(preset.device_bitrot_enabled());
+  EXPECT_EQ(preset.device_bitrot_blocks, 4u);
+  EXPECT_EQ(preset.device_bitrot_device, 0u);
+  EXPECT_DOUBLE_EQ(preset.device_bitrot_at_frac, 0.25);
+  EXPECT_FALSE(preset.device_bitrot_wrong_data);
+  // Pure rot: media sampling stays clean so every CRC failure the
+  // scrubber reports traces back to the injected damage.
+  EXPECT_EQ(preset.read_ber, 0.0);
+}
+
 TEST(FaultProfile, PresetComposesWithOverridesInEitherOrder) {
   // Later key=value items override the preset's fields...
   const FaultProfile tweaked =

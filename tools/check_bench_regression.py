@@ -34,6 +34,15 @@ series carrying both an "<x>_traced" and an "<x>_untraced" row (emitted by
 virtual time, so the two should be *identical*; a drift means an
 observability hook perturbed the simulation it claims to observe.
 
+--scrub-overhead-threshold arms the scrub-overhead guard, also
+self-referential: within the results, any bench carrying a
+"foreground_p99|off" row plus "foreground_p99|<share>" rows (emitted by
+fig_scrub_repair) must keep each scrubbed p99 within the bandwidth-steal
+model bound share/(1-share) of the scrub-off p99, plus the threshold as
+slack. Scrubbing is licensed to cost exactly the bandwidth share it
+steals; overhead beyond model + slack means a change made background
+scrubbing leak into foreground latency some other way.
+
 --sim-throughput-threshold arms the fast-forward speedup guard, also
 self-referential: any bench carrying both a "sim_throughput|fast" and a
 "sim_throughput|exact" row (wall-clock simulated cycles per second, from
@@ -104,6 +113,42 @@ def check_obs_overhead(benches, threshold):
     return compared, failures
 
 
+def check_scrub_overhead(benches, slack):
+    """Pairs foreground_p99|off with every foreground_p99|<share> row in
+    the same bench; returns (pairs_compared, failure_messages).
+
+    The scrubber steals `share` of a member's read bandwidth, so the
+    timing model bounds foreground inflation at share/(1-share). The
+    guard allows that modeled cost plus `slack` on top — anything more
+    means scrubbing cost foreground latency it is not licensed to."""
+    compared = 0
+    failures = []
+    for bench, rows in sorted(benches.items()):
+        off = rows.get("foreground_p99|off")
+        if off is None or off["value"] <= 0:
+            continue
+        for key in sorted(rows):
+            series, _, x = key.partition("|")
+            if series != "foreground_p99" or x == "off":
+                continue
+            try:
+                share = float(x)
+            except ValueError:
+                continue
+            if not 0.0 < share < 1.0:
+                continue
+            compared += 1
+            overhead = rows[key]["value"] / off["value"] - 1.0
+            bound = share / (1.0 - share)
+            if overhead > bound + slack:
+                failures.append(
+                    f"{bench} {key}: p99 {rows[key]['value']:.3f} is "
+                    f"+{overhead:.1%} over scrub-off {off['value']:.3f} "
+                    f"(model bound {bound:.1%} + slack {slack:.0%}) "
+                    f"[scrub-overhead]")
+    return compared, failures
+
+
 def check_sim_throughput(benches, floor):
     """Pairs sim_throughput fast/exact rows within the results; returns
     (pairs_compared, failure_messages)."""
@@ -169,6 +214,14 @@ def main():
                              "*_untraced rows in the results (virtual time, "
                              "so instrumentation must not move it); guard "
                              "is off when the flag is absent")
+    parser.add_argument("--scrub-overhead-threshold", type=float,
+                        default=None,
+                        help="max foreground p99 overhead of each "
+                             "foreground_p99|<share> row over its "
+                             "foreground_p99|off pair, beyond the "
+                             "share/(1-share) model bound (slack, from "
+                             "fig_scrub_repair); guard is off when the "
+                             "flag is absent")
     parser.add_argument("--sim-throughput-threshold", type=float,
                         default=None,
                         help="minimum sim_throughput|fast over "
@@ -278,6 +331,16 @@ def main():
         else:
             print(f"obs-overhead guard: {obs_compared} traced/untraced "
                   f"pairs (threshold {args.obs_overhead_threshold:.0%})")
+    if args.scrub_overhead_threshold is not None:
+        scrub_compared, scrub_failures = check_scrub_overhead(
+            benches, args.scrub_overhead_threshold)
+        failures.extend(scrub_failures)
+        if scrub_compared == 0:
+            print("note: no foreground_p99 off/share row pairs in results; "
+                  "scrub-overhead guard had nothing to compare")
+        else:
+            print(f"scrub-overhead guard: {scrub_compared} share rows "
+                  f"(slack {args.scrub_overhead_threshold:.0%})")
     if args.sim_throughput_threshold is not None:
         sim_compared, sim_failures = check_sim_throughput(
             benches, args.sim_throughput_threshold)

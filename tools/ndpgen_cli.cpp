@@ -72,6 +72,7 @@ int usage() {
                "       [--scale N] [--mode sw|hw|host] [--pes N]\n"
                "       [--threads N] [--predicate field,op,value]...\n"
                "       [--devices N] [--replication R] [--spares S]\n"
+               "       [--scrub-share F]\n"
                "       [--trace FILE] [--metrics FILE]\n"
                "       [--sim-mode exact|fast]\n"
                "       [--fault-profile preset|k=v,...]\n"
@@ -91,6 +92,25 @@ int usage() {
                "hedged reads and spare\n"
                "                                      rebuild (see "
                "DESIGN.md §11)\n"
+               "  scrub [--devices N] [--replication R] [--spares S]\n"
+               "       [--requests N] [--scale N] [--seed S]\n"
+               "       [--scrub-share F] [--bandwidth-mbps B]\n"
+               "       [--mode sw|hw|host] [--pes N] [--threads N]\n"
+               "       [--trace FILE] [--metrics FILE]\n"
+               "       [--sim-mode exact|fast]\n"
+               "       [--fault-profile preset|k=v,...]\n"
+               "                                      replica-integrity "
+               "drill: serve a query\n"
+               "                                      load over a cluster "
+               "with background CRC\n"
+               "                                      scrubbing and seeded "
+               "bit-rot (default\n"
+               "                                      profile: bit-rot), "
+               "then run one\n"
+               "                                      anti-entropy round "
+               "and report scrub /\n"
+               "                                      read-repair / "
+               "digest-convergence results\n"
                "  profile [--workload scan|serve] [--mode sw|hw|host]\n"
                "       [--scale N] [--pes N] [--threads N] [--top K]\n"
                "       [--tenants N] [--qd D] [--requests N] [--batch B]\n"
@@ -141,9 +161,10 @@ int usage() {
                "  byte-identical either way.\n"
                "  --fault-profile enables the deterministic storage "
                "reliability model;\n"
-               "  presets: none, aged, degraded, stress, device-loss (bare "
-               "token; later\n"
-               "  k=v items override preset fields, e.g. \"aged,seed=7\");\n"
+               "  presets: none, aged, degraded, stress, device-loss, "
+               "bit-rot (bare\n"
+               "  token; later k=v items override preset fields, e.g. "
+               "\"aged,seed=7\");\n"
                "  keys: seed, read_ber, wear_alpha, retention_alpha, "
                "ecc_bits,\n"
                "  retry_factor, max_retries, bad_block_rate, silent_rate,\n"
@@ -152,15 +173,20 @@ int usage() {
                "device_fault_device,\n"
                "  device_fault_at_frac, device_fault_at_us, "
                "device_fault_duration_us,\n"
-               "  brownout_factor (device_* keys act on serve --devices "
-               "clusters).\n"
+               "  brownout_factor, device_bitrot_blocks, "
+               "device_bitrot_device,\n"
+               "  device_bitrot_at_frac, device_bitrot_at_us, "
+               "device_bitrot_wrong_data\n"
+               "  (device_* keys act on serve/scrub --devices clusters).\n"
                "\n"
-               "  exit codes: 0 ok, 2 usage, 10-19 by error kind "
+               "  exit codes: 0 ok, 2 usage, 10-20 by error kind "
                "(see README); serve\n"
                "  exits 18 (busy) when sustained overload dropped requests "
-               "after retries\n"
-               "  and 19 (device-unavailable) when no live replica can "
-               "serve a partition.\n");
+               "after retries,\n"
+               "  19 (device-unavailable) when no live replica can serve a "
+               "partition, and\n"
+               "  20 (integrity) when every replica of a partition holds "
+               "corrupt data.\n");
   return 2;
 }
 
@@ -608,6 +634,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::uint32_t devices = 1;
   std::uint32_t replication = 2;
   std::uint32_t spares = 1;
+  double scrub_share = 0.0;  // 0 = scrubbing off.
   std::string trace_path;
   std::string metrics_path;
   fault::FaultProfile fault_profile;
@@ -675,6 +702,9 @@ int cmd_serve(const std::vector<std::string>& args) {
     } else if (args[i] == "--spares" && i + 1 < args.size()) {
       spares = static_cast<std::uint32_t>(
           std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--scrub-share" && i + 1 < args.size()) {
+      scrub_share = std::strtod(args[++i].c_str(), nullptr);
+      if (scrub_share < 0.0 || scrub_share >= 1.0) return usage();
     } else if (args[i] == "--trace" && i + 1 < args.size()) {
       trace_path = args[++i];
     } else if (args[i] == "--metrics" && i + 1 < args.size()) {
@@ -723,6 +753,10 @@ int cmd_serve(const std::vector<std::string>& args) {
     build.threads = threads;
     build.device_fault = fault_profile;
     build.media_fault = fault_profile;
+    if (scrub_share > 0.0) {
+      build.scrub.enabled = true;
+      build.scrub.scrub_share = scrub_share;
+    }
     const auto cluster_stack = cluster::build_pubgraph_cluster(build);
     cluster::ClusterCoordinator& coord = *cluster_stack->coordinator;
     obs::TraceSink sink;
@@ -767,6 +801,28 @@ int cmd_serve(const std::vector<std::string>& args) {
         cr.failovers == 1 ? "" : "s",
         static_cast<unsigned long long>(cr.rebuilds),
         cr.rebuilds == 1 ? "" : "s");
+    if (coord.scrubbing() || cr.bitrot_blocks_injected > 0) {
+      std::uint64_t verified = 0;
+      std::uint64_t crc_failures = 0;
+      if (coord.scrubbing()) {
+        for (std::uint32_t d = 0; d < coord.device_count(); ++d) {
+          verified += coord.scrub_report(d).blocks_verified;
+          crc_failures += coord.scrub_report(d).crc_failures;
+        }
+      }
+      std::printf(
+          "  integrity: %llu bit-rot blocks injected, %llu blocks "
+          "scrubbed (%llu CRC failures), %llu read-repair%s, %llu "
+          "repair%s (%llu B restored)\n",
+          static_cast<unsigned long long>(cr.bitrot_blocks_injected),
+          static_cast<unsigned long long>(verified),
+          static_cast<unsigned long long>(crc_failures),
+          static_cast<unsigned long long>(cr.read_repairs),
+          cr.read_repairs == 1 ? "" : "s",
+          static_cast<unsigned long long>(cr.repairs),
+          cr.repairs == 1 ? "" : "s",
+          static_cast<unsigned long long>(cr.bytes_repaired));
+    }
 
     coord.publish_metrics();
     write_observability(coord.observability(), sink, trace_path,
@@ -825,6 +881,155 @@ int cmd_serve(const std::vector<std::string>& args) {
   cosmos.publish_metrics();
   write_observability(cosmos.observability(), sink, trace_path,
                       metrics_path);
+  return serve_exit_code(report);
+}
+
+int cmd_scrub(const std::vector<std::string>& args) {
+  cluster::ClusterBuildConfig build;
+  build.devices = 3;
+  host::ServiceConfig service_config;
+  host::LoadConfig load_config;
+  load_config.requests = 96;
+  std::string mode_name = "hw";
+  std::string trace_path;
+  std::string metrics_path;
+  fault::FaultProfile fault_profile =
+      parse_fault_profile("bit-rot");  // Default drill: seeded rot.
+  double scrub_share = 0.1;
+  double bandwidth_mbps = 200.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--devices" && i + 1 < args.size()) {
+      build.devices = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+      if (build.devices == 0) return usage();
+    } else if (args[i] == "--replication" && i + 1 < args.size()) {
+      build.replication = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+      if (build.replication == 0) return usage();
+    } else if (args[i] == "--spares" && i + 1 < args.size()) {
+      build.spares = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--requests" && i + 1 < args.size()) {
+      load_config.requests = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      build.scale_divisor = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      load_config.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--scrub-share" && i + 1 < args.size()) {
+      scrub_share = std::strtod(args[++i].c_str(), nullptr);
+      if (scrub_share <= 0.0 || scrub_share >= 1.0) return usage();
+    } else if (args[i] == "--bandwidth-mbps" && i + 1 < args.size()) {
+      bandwidth_mbps = std::strtod(args[++i].c_str(), nullptr);
+      if (bandwidth_mbps <= 0.0) return usage();
+    } else if (args[i] == "--mode" && i + 1 < args.size()) {
+      mode_name = args[++i];
+    } else if (args[i] == "--pes" && i + 1 < args.size()) {
+      build.pes = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+      if (build.pes == 0) return usage();
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      build.threads = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else if (args[i] == "--sim-mode" && i + 1 < args.size()) {
+      set_sim_mode_flag(args[++i]);
+    } else if (args[i] == "--fault-profile" && i + 1 < args.size()) {
+      fault_profile = parse_fault_profile(args[++i]);
+    } else {
+      return usage();
+    }
+  }
+  if (mode_name == "sw") {
+    build.mode = ndp::ExecMode::kSoftware;
+  } else if (mode_name == "hw") {
+    build.mode = ndp::ExecMode::kHardware;
+  } else if (mode_name == "host") {
+    build.mode = ndp::ExecMode::kHostClassic;
+  } else {
+    return usage();
+  }
+  if (build.replication > build.devices) {
+    std::fprintf(stderr, "ndpgen: --replication %u exceeds --devices %u\n",
+                 build.replication, build.devices);
+    return usage();
+  }
+
+  build.device_fault = fault_profile;
+  build.media_fault = fault_profile;
+  build.scrub.enabled = true;
+  build.scrub.scrub_share = scrub_share;
+  build.scrub.bandwidth_mbps = bandwidth_mbps;
+  const auto cluster_stack = cluster::build_pubgraph_cluster(build);
+  cluster::ClusterCoordinator& coord = *cluster_stack->coordinator;
+  obs::TraceSink sink;
+  if (!trace_path.empty()) coord.observability().trace = &sink;
+  std::fprintf(stderr, "%s\n", fault_profile.summary().c_str());
+
+  load_config.key_space = cluster_stack->generator.paper_count();
+  service_config.result_key = workload::paper_result_key;
+  coord.arm_faults(load_config.requests);
+
+  host::QueryService service(coord, service_config);
+  host::LoadGenerator load(load_config);
+  const auto flush = [&] {
+    coord.publish_metrics();
+    write_observability(coord.observability(), sink, trace_path,
+                        metrics_path);
+  };
+  const host::ServiceReport report =
+      with_flush_on_error([&] { return service.run(load); }, flush);
+  // The converging round runs through the same typed-error path: an
+  // unrepairable divergence surfaces as kIntegrity, exit 20.
+  const cluster::AntiEntropyReport ae =
+      with_flush_on_error([&] { return coord.run_anti_entropy(); }, flush);
+
+  const cluster::ClusterReport& cr = coord.report();
+  std::uint64_t verified = 0;
+  std::uint64_t bytes_scanned = 0;
+  std::uint64_t transient = 0;
+  std::uint64_t crc_failures = 0;
+  for (std::uint32_t d = 0; d < coord.device_count(); ++d) {
+    verified += coord.scrub_report(d).blocks_verified;
+    bytes_scanned += coord.scrub_report(d).bytes_scanned;
+    transient += coord.scrub_report(d).transient_recovered;
+    crc_failures += coord.scrub_report(d).crc_failures;
+  }
+  std::printf(
+      "scrub [%u devices, R=%u, share %.2f, %.0f MB/s]: %llu requests "
+      "served\n",
+      build.devices, build.replication, scrub_share, bandwidth_mbps,
+      static_cast<unsigned long long>(report.completed));
+  std::printf(
+      "  patrol: %llu blocks verified (%llu KiB), %llu transient "
+      "recoveries, %llu persistent CRC failures\n",
+      static_cast<unsigned long long>(verified),
+      static_cast<unsigned long long>(bytes_scanned / 1024),
+      static_cast<unsigned long long>(transient),
+      static_cast<unsigned long long>(crc_failures));
+  std::printf(
+      "  rot: %llu blocks injected; %llu read-repair%s, %llu repair%s "
+      "(%llu B restored)\n",
+      static_cast<unsigned long long>(cr.bitrot_blocks_injected),
+      static_cast<unsigned long long>(cr.read_repairs),
+      cr.read_repairs == 1 ? "" : "s",
+      static_cast<unsigned long long>(cr.repairs),
+      cr.repairs == 1 ? "" : "s",
+      static_cast<unsigned long long>(cr.bytes_repaired));
+  std::printf(
+      "  anti-entropy: %llu partitions checked, %llu divergent (%llu "
+      "leaf buckets), %llu replica%s repaired; converged: %s\n",
+      static_cast<unsigned long long>(ae.partitions_checked),
+      static_cast<unsigned long long>(ae.divergent_partitions),
+      static_cast<unsigned long long>(ae.divergent_leaves),
+      static_cast<unsigned long long>(ae.replicas_repaired),
+      ae.replicas_repaired == 1 ? "" : "s",
+      ae.converged ? "yes" : "NO");
+
+  flush();
+  if (!ae.converged) return exit_code(ErrorKind::kIntegrity);
   return serve_exit_code(report);
 }
 
@@ -1290,6 +1495,9 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "serve") {
       return cmd_serve({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "scrub") {
+      return cmd_scrub({args.begin() + 1, args.end()});
     }
     if (args[0] == "profile") {
       return cmd_profile({args.begin() + 1, args.end()});

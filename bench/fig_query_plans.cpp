@@ -1,0 +1,116 @@
+// Query-plan lowering figure: HW-chained vs forced-SW-fallback vs naive
+// host reference, over the whole plan suite.
+//
+// The paper generates one accelerator per format specification; the query
+// compiler generalizes that to logical plans, synthesizing a chained-PE
+// netlist per scan leaf and cutting to a SW tail where the template has
+// no unit. This bench reports, for every suite plan, the end-to-end
+// virtual time of (a) the compiled plan with PE offload, (b) the same
+// plan with the SW-fallback cut forced (classical host path), and (c)
+// the naive host-side reference executor — and byte-checks all three
+// against each other, so the figure can never drift from correctness.
+#include "bench_common.hpp"
+#include "query/compiler.hpp"
+#include "query/executor.hpp"
+#include "query/plan_parser.hpp"
+#include "query/plan_suite.hpp"
+#include "query/reference_executor.hpp"
+
+using namespace ndpgen;
+
+namespace {
+
+struct PlanRun {
+  double hw_ms = 0.0;
+  double sw_ms = 0.0;
+  double ref_ms = 0.0;
+  std::uint64_t rows = 0;
+  std::uint32_t hw_stages = 0;
+  bool offloaded = false;
+  bool byte_equal = false;
+};
+
+PlanRun run_plan(const query::Plan& plan, std::uint64_t scale) {
+  PlanRun run;
+
+  query::QueryExecOptions options;
+  options.scale_divisor = scale;
+  options.fault = bench::fault_profile_from_env();
+
+  auto hw = query::compile_plan(plan);
+  hw.value_or_raise();
+  query::QueryStats hw_stats;
+  const auto hw_table =
+      query::execute_plan(hw.value(), options, &hw_stats);
+  run.hw_ms = bench::to_millis(hw_stats.elapsed());
+  run.rows = hw_stats.rows_out;
+  run.offloaded = hw.value().any_offloaded();
+  run.hw_stages = hw.value().probe.pricing.filter_stages;
+
+  query::CompileOptions force_sw;
+  force_sw.force_software = true;
+  auto sw = query::compile_plan(plan, force_sw);
+  sw.value_or_raise();
+  query::QueryStats sw_stats;
+  const auto sw_table =
+      query::execute_plan(sw.value(), options, &sw_stats);
+  run.sw_ms = bench::to_millis(sw_stats.elapsed());
+
+  query::ReferenceStats ref_stats;
+  const auto ref_table = query::reference_execute(plan, scale, &ref_stats);
+  run.ref_ms = bench::to_millis(ref_stats.elapsed());
+
+  run.byte_equal = hw_table.to_bytes() == ref_table.to_bytes() &&
+                   sw_table.to_bytes() == ref_table.to_bytes();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t scale = bench::scale_divisor(2048);
+  bench::print_header(
+      "Figure — query plans: chained-PE offload vs SW fallback vs reference",
+      "generalizes Weber et al. IPPS'21 Fig. 9 (chained stages) to plans");
+  std::printf("dataset: pubgraph at 1/%llu scale; virtual milliseconds\n\n",
+              static_cast<unsigned long long>(scale));
+
+  bench::JsonResult json("fig_query_plans");
+  std::printf("%-12s %7s %10s %10s %10s %8s %6s\n", "plan", "stages",
+              "hw [ms]", "sw [ms]", "ref [ms]", "hw/sw", "rows");
+
+  bool all_equal = true;
+  bool any_chained = false;
+  bool hw_never_slower = true;
+  for (const auto& named : query::plan_suite()) {
+    auto parsed = query::parse_plan(named.source);
+    parsed.value_or_raise();
+    const PlanRun run = run_plan(parsed.value(), scale);
+
+    std::printf("%-12s %7u %10.3f %10.3f %10.3f %7.2fx %6llu%s\n",
+                named.name.c_str(), run.hw_stages, run.hw_ms, run.sw_ms,
+                run.ref_ms, run.sw_ms > 0 ? run.hw_ms / run.sw_ms : 0.0,
+                static_cast<unsigned long long>(run.rows),
+                run.byte_equal ? "" : "  MISMATCH");
+
+    json.add("query_elapsed_ms", named.name + "_hw", run.hw_ms, "ms");
+    json.add("query_elapsed_ms", named.name + "_sw", run.sw_ms, "ms");
+    json.add("query_elapsed_ms", named.name + "_ref", run.ref_ms, "ms");
+
+    all_equal = all_equal && run.byte_equal;
+    any_chained = any_chained || (run.offloaded && run.hw_stages >= 3);
+    hw_never_slower = hw_never_slower && run.hw_ms <= run.sw_ms;
+  }
+  json.write();
+
+  std::printf("\nshape checks:\n");
+  std::printf("  [%c] every plan byte-equal across hw / sw-fallback / "
+              "reference\n",
+              all_equal ? 'x' : ' ');
+  std::printf("  [%c] at least one plan lowers to a >=3-stage chained PE "
+              "netlist\n",
+              any_chained ? 'x' : ' ');
+  std::printf("  [%c] PE offload never slower than the forced SW fallback\n",
+              hw_never_slower ? 'x' : ' ');
+  return (all_equal && any_chained) ? 0 : 1;
+}

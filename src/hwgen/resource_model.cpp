@@ -250,4 +250,107 @@ std::string PEResourceReport::dump() const {
   return out.str();
 }
 
+namespace {
+
+/// Fill latency one tuple spends crossing a module of this kind, in PE
+/// cycles. Buffers pay their word-regrouping registers; the memory units
+/// pay the AXI handshake; every computation stage is one pipeline flop.
+std::uint32_t stage_fill_cycles(ModuleKind kind) noexcept {
+  switch (kind) {
+    case ModuleKind::kControlRegs: return 0;  // Off the datapath.
+    case ModuleKind::kLoadUnit: return 4;
+    case ModuleKind::kStoreUnit: return 4;
+    case ModuleKind::kTupleInputBuffer: return 2;
+    case ModuleKind::kTupleOutputBuffer: return 2;
+    case ModuleKind::kFilterStage: return 1;
+    case ModuleKind::kAggregateUnit: return 1;
+    case ModuleKind::kTransformUnit: return 1;
+  }
+  return 1;
+}
+
+}  // namespace
+
+ChainBudget default_chain_budget(DesignFlavor flavor, std::uint32_t slots) {
+  NDPGEN_CHECK_ARG(slots >= 1, "chain budget needs at least one PE slot");
+  const DeviceInfo& device = xc7z045();
+  const double free_slices =
+      static_cast<double>(device.total_slices) - platform_base_slices(flavor, slots);
+  ChainBudget budget;
+  budget.max_slices = free_slices / static_cast<double>(slots);
+  // Each generated PE maps its staging buffers onto BRAM; leave the same
+  // fraction of the device's BRAM to every slot.
+  budget.max_bram36 = static_cast<double>(device.total_bram36) /
+                      static_cast<double>(slots) * 0.25;
+  budget.max_stages = 16;
+  return budget;
+}
+
+Result<ChainPricing> price_chain(const PEDesign& design, SynthesisMode mode,
+                                 const ChainBudget& budget) {
+  const std::uint32_t stages = design.filter_stage_count();
+  if (stages > budget.max_stages) {
+    return Result<ChainPricing>::failure(
+        ErrorKind::kGeneration,
+        "chained PE '" + design.name + "' has " + std::to_string(stages) +
+            " filter stages, budget allows " +
+            std::to_string(budget.max_stages));
+  }
+
+  const PEResourceReport report = estimate_pe(design, mode);
+
+  ChainPricing pricing;
+  pricing.pe_name = design.name;
+  pricing.mode = mode;
+  pricing.filter_stages = stages;
+
+  // estimate_pe reports design.modules in order plus a trailing "glue"
+  // entry; fold the glue into the running total before the stage walk so
+  // the budget check prices the whole netlist, not just the datapath.
+  NDPGEN_CHECK(report.per_module.size() == design.modules.size() + 1,
+               "resource report does not line up with the module list");
+  pricing.total += report.per_module.back().second;
+
+  for (std::size_t i = 0; i < design.modules.size(); ++i) {
+    const ModuleInstance& module = design.modules[i];
+    ChainStage stage;
+    stage.name = module.name;
+    stage.kind = module.kind;
+    stage.resources = report.per_module[i].second;
+    stage.latency_cycles = stage_fill_cycles(module.kind);
+
+    pricing.total += stage.resources;
+    pricing.pipeline_fill_cycles += stage.latency_cycles;
+    pricing.stages.push_back(std::move(stage));
+
+    if (pricing.total.slices > budget.max_slices ||
+        pricing.total.bram36 > budget.max_bram36) {
+      std::ostringstream out;
+      out << "chained PE '" << design.name << "' exceeds the slot budget at "
+          << "stage '" << module.name << "': "
+          << static_cast<long>(pricing.total.slices + 0.5) << " slices / "
+          << pricing.total.bram36 << " BRAM36 against "
+          << static_cast<long>(budget.max_slices + 0.5) << " / "
+          << budget.max_bram36;
+      return Result<ChainPricing>::failure(ErrorKind::kGeneration, out.str());
+    }
+  }
+  return pricing;
+}
+
+std::string ChainPricing::dump() const {
+  std::ostringstream out;
+  out << "chain '" << pe_name << "' ("
+      << (mode == SynthesisMode::kInContext ? "in-context" : "out-of-context")
+      << "): " << static_cast<long>(total.slices + 0.5) << " slices, "
+      << total.bram36 << " BRAM36, " << filter_stages << " filter stages, "
+      << pipeline_fill_cycles << "-cycle fill\n";
+  for (const auto& stage : stages) {
+    out << "  " << stage.name << ": "
+        << static_cast<long>(stage.resources.slices + 0.5) << " slices, +"
+        << stage.latency_cycles << " cy\n";
+  }
+  return out.str();
+}
+
 }  // namespace ndpgen::hwgen

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hwgen/pe_design.hpp"
+#include "support/error.hpp"
 
 namespace ndpgen::hwgen {
 
@@ -68,6 +69,62 @@ struct PEResourceReport {
 /// Estimates the resources of one PE design.
 [[nodiscard]] PEResourceReport estimate_pe(const PEDesign& design,
                                            SynthesisMode mode);
+
+// --- Chained-PE pricing (query compiler) -------------------------------
+//
+// The query compiler lowers a plan's scan pipeline into one chained PE
+// (load -> input buffer -> filter stage x N -> [aggregate] -> transform ->
+// output buffer -> store). price_chain walks that pipeline in dataflow
+// order, prices every stage with the module formulas above and composes
+//   * area   — cumulative ResourceEstimate, checked against the budget at
+//              every stage so the rejection names the first stage that no
+//              longer fits;
+//   * latency — pipeline fill depth in PE cycles (the cycles before the
+//              first tuple emerges; steady-state is one tuple per cycle).
+
+/// Per-PE-slot budget a chained design must fit into.
+struct ChainBudget {
+  double max_slices = 0;
+  double max_bram36 = 0;
+  std::uint32_t max_stages = 16;  ///< Filter-stage chain length cap.
+};
+
+/// Default slot budget: the XC7Z045 area left after the platform base
+/// design, divided across `slots` PE ports.
+[[nodiscard]] ChainBudget default_chain_budget(
+    DesignFlavor flavor = DesignFlavor::kGenerated, std::uint32_t slots = 1);
+
+/// One priced pipeline stage of a chained PE.
+struct ChainStage {
+  std::string name;
+  ModuleKind kind = ModuleKind::kFilterStage;
+  ResourceEstimate resources;
+  std::uint32_t latency_cycles = 0;  ///< Fill latency through this stage.
+};
+
+/// Composition result for a whole chain.
+struct ChainPricing {
+  std::string pe_name;
+  SynthesisMode mode = SynthesisMode::kInContext;
+  std::vector<ChainStage> stages;  ///< Dataflow order (control regs first).
+  ResourceEstimate total;          ///< Including control/glue overhead.
+  std::uint32_t filter_stages = 0;
+  std::uint32_t pipeline_fill_cycles = 0;  ///< Sum of stage latencies.
+
+  [[nodiscard]] double slice_percent(
+      const DeviceInfo& device = xc7z045()) const noexcept {
+    return 100.0 * total.slices / device.total_slices;
+  }
+
+  [[nodiscard]] std::string dump() const;
+};
+
+/// Prices `design` as a chained pipeline against `budget`. Fails with
+/// kGeneration when the chain is longer than budget.max_stages or the
+/// cumulative area first exceeds the slice/BRAM budget, naming the stage.
+[[nodiscard]] Result<ChainPricing> price_chain(const PEDesign& design,
+                                               SynthesisMode mode,
+                                               const ChainBudget& budget);
 
 /// Slices of the surrounding Cosmos+ base design (NVMe core, two Tiger4
 /// flash controllers, DMA and the PE interconnect fabric). The refined

@@ -1,0 +1,388 @@
+#include "query/executor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "core/framework.hpp"
+#include "kv/db.hpp"
+#include "ndp/executor.hpp"
+#include "platform/cosmos.hpp"
+#include "workload/pubgraph.hpp"
+
+namespace ndpgen::query {
+
+namespace {
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  std::uint64_t bits = 1;
+  while ((std::uint64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+std::size_t column_index(const std::vector<std::string>& columns,
+                         const std::string& name) {
+  const auto it = std::find(columns.begin(), columns.end(), name);
+  NDPGEN_CHECK(it != columns.end(),
+               "tail operator references column '" + name +
+                   "' missing from the working schema");
+  return static_cast<std::size_t>(it - columns.begin());
+}
+
+/// Unsigned comparison by operator name (the validated plan vocabulary).
+bool compare(std::uint64_t lhs, const std::string& op, std::uint64_t rhs) {
+  if (op == "ne") return lhs != rhs;
+  if (op == "eq") return lhs == rhs;
+  if (op == "gt") return lhs > rhs;
+  if (op == "ge") return lhs >= rhs;
+  if (op == "lt") return lhs < rhs;
+  if (op == "le") return lhs <= rhs;
+  raise(ErrorKind::kInternal, "unknown comparison operator '" + op + "'");
+}
+
+/// Total-order row comparator for top-k: primary on `order` (descending
+/// or ascending), full-row lexicographic ascending tiebreak — no two
+/// distinct rows ever compare equal, so the sort is deterministic.
+struct TopKLess {
+  std::size_t order;
+  bool descending;
+
+  bool operator()(const Row& a, const Row& b) const {
+    if (a[order] != b[order]) {
+      return descending ? a[order] > b[order] : a[order] < b[order];
+    }
+    return a < b;
+  }
+};
+
+std::vector<ndp::FilterPredicate> to_filter_predicates(
+    const std::vector<PlanPredicate>& predicates) {
+  std::vector<ndp::FilterPredicate> out;
+  out.reserve(predicates.size());
+  for (const auto& pred : predicates) {
+    out.push_back(ndp::FilterPredicate{pred.column, pred.op, pred.value});
+  }
+  return out;
+}
+
+/// Byte-aligned LE field read; every pubgraph column is u32/u64 packed.
+std::uint64_t read_field(const std::vector<std::uint8_t>& record,
+                         std::uint32_t offset_bits,
+                         std::uint32_t width_bits) {
+  NDPGEN_CHECK(offset_bits % 8 == 0 && width_bits % 8 == 0 &&
+                   width_bits <= 64,
+               "query columns must be byte-aligned integer fields");
+  const std::size_t offset = offset_bits / 8;
+  const std::size_t width = width_bits / 8;
+  NDPGEN_CHECK(offset + width <= record.size(),
+               "record too short for column read");
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value |= static_cast<std::uint64_t>(record[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+struct LeafOutput {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  LeafRunStats stats;
+  /// Set for the on-device aggregate fold: the leaf IS the whole plan.
+  std::optional<ResultTable> direct;
+};
+
+LeafOutput run_leaf(const LeafPipeline& leaf, const QueryExecOptions& options,
+                    const std::string& aggregate_column,
+                    std::uint64_t* host_ns) {
+  LeafOutput out;
+  out.columns = leaf.columns;
+  out.stats.dataset = leaf.dataset;
+  out.stats.offloaded = leaf.offloaded;
+
+  const bool papers = leaf.dataset == Dataset::kPapers;
+
+  platform::CosmosConfig cosmos_config;
+  cosmos_config.fault = options.fault;
+  platform::CosmosPlatform cosmos(cosmos_config);
+
+  const core::Framework framework;
+  const auto compiled = framework.compile(leaf.spec_source);
+  const auto& artifacts = compiled.get(leaf.parser_name);
+
+  workload::PubGraphGenerator generator(
+      workload::PubGraphConfig{.scale_divisor = options.scale_divisor});
+  kv::DBConfig db_config;
+  db_config.record_bytes = papers ? workload::PaperRecord::kBytes
+                                  : workload::RefRecord::kBytes;
+  db_config.extractor = papers ? workload::paper_key : workload::ref_key;
+  kv::NKV db(cosmos, db_config);
+  out.stats.records_loaded = papers ? workload::load_papers(db, generator)
+                                    : workload::load_refs(db, generator);
+
+  ndp::ExecutorConfig exec_config;
+  exec_config.mode = leaf.offloaded ? ndp::ExecMode::kHardware
+                                    : ndp::ExecMode::kHostClassic;
+  exec_config.num_pes = options.pes;
+  exec_config.pe_threads = options.threads;
+  exec_config.sim_mode = options.sim_mode;
+  exec_config.collect_results = true;
+  exec_config.result_key_extractor =
+      papers ? workload::paper_result_key : workload::ref_key;
+  if (leaf.offloaded) {
+    exec_config.pe_indices = {
+        framework.instantiate(compiled, leaf.parser_name, cosmos)};
+    out.stats.hw_filter_stages = artifacts.design.filter_stage_count();
+  }
+  ndp::HybridExecutor executor(db, artifacts.analyzed,
+                               artifacts.design.operators, exec_config);
+  const auto predicates = to_filter_predicates(leaf.pushed);
+
+  if (leaf.hw_aggregate) {
+    const std::string field =
+        leaf.agg_column.empty() ? leaf.columns.front() : leaf.agg_column;
+    const auto agg = executor.aggregate(predicates, leaf.agg_op, field);
+    out.stats.blocks = agg.blocks;
+    out.stats.tuples_scanned = agg.tuples_scanned;
+    out.stats.elapsed = agg.elapsed;
+    out.stats.rows_out = 1;
+    ResultTable table;
+    table.columns = {aggregate_column};
+    table.rows = {Row{agg.as_u64()}};
+    out.direct = std::move(table);
+    return out;
+  }
+
+  std::vector<std::vector<std::uint8_t>> records;
+  const auto stats = executor.scan(predicates, &records);
+  out.stats.blocks = stats.blocks;
+  out.stats.tuples_scanned = stats.tuples_scanned;
+  out.stats.elapsed = stats.elapsed;
+  out.stats.blocks_degraded_to_software = stats.blocks_degraded_to_software;
+  out.stats.uncorrectable_blocks = stats.uncorrectable_blocks;
+
+  // Decode device records into rows via the generated output layout.
+  const analysis::TupleLayout& layout = artifacts.analyzed.output;
+  struct FieldRef {
+    std::uint32_t offset_bits;
+    std::uint32_t width_bits;
+  };
+  std::vector<FieldRef> fields;
+  for (const auto& column : leaf.columns) {
+    const auto index = layout.find_field(column);
+    NDPGEN_CHECK(index.has_value(),
+                 "leaf output layout is missing column '" + column + "'");
+    const auto& field = layout.fields[*index];
+    fields.push_back(FieldRef{field.storage_offset_bits,
+                              field.storage_width_bits});
+  }
+  out.rows.reserve(records.size());
+  for (const auto& record : records) {
+    Row row;
+    row.reserve(fields.size());
+    for (const auto& field : fields) {
+      row.push_back(read_field(record, field.offset_bits, field.width_bits));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  *host_ns += kHostDecodeNsPerRow * out.rows.size();
+
+  // Residual predicates past the HW cut run here, on the output rows.
+  if (!leaf.residual.empty()) {
+    std::vector<std::pair<std::size_t, const PlanPredicate*>> bound;
+    for (const auto& pred : leaf.residual) {
+      bound.emplace_back(column_index(out.columns, pred.column), &pred);
+    }
+    *host_ns += kHostFilterNsPerRowPred * out.rows.size() * bound.size();
+    std::erase_if(out.rows, [&](const Row& row) {
+      for (const auto& [index, pred] : bound) {
+        if (!compare(row[index], pred->op, pred->value)) return true;
+      }
+      return false;
+    });
+  }
+  out.stats.rows_out = out.rows.size();
+  return out;
+}
+
+/// SW aggregate accumulator matching the aggregate unit's fold semantics
+/// for unsigned fields (count/sum start at 0, min at ~0, max at 0).
+struct Accumulator {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t max = 0;
+
+  void fold(std::uint64_t value) {
+    ++count;
+    sum += value;
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  [[nodiscard]] std::uint64_t get(hwgen::AggOp op) const {
+    switch (op) {
+      case hwgen::AggOp::kCount: return count;
+      case hwgen::AggOp::kSum: return sum;
+      case hwgen::AggOp::kMin: return min;
+      case hwgen::AggOp::kMax: return max;
+      case hwgen::AggOp::kNone: break;
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+ResultTable execute_plan(const CompiledPlan& plan,
+                         const QueryExecOptions& options, QueryStats* stats) {
+  QueryStats local;
+  std::uint64_t host_ns = 0;
+
+  LeafOutput probe = run_leaf(plan.probe, options,
+                              plan.optimized.schema.aggregate_column,
+                              &host_ns);
+  local.device_ns += probe.stats.elapsed;
+  local.leaves.push_back(probe.stats);
+
+  if (probe.direct) {
+    // Whole plan folded on-device.
+    local.host_ns = host_ns;
+    local.rows_out = probe.direct->rows.size();
+    if (stats != nullptr) *stats = std::move(local);
+    return *std::move(probe.direct);
+  }
+
+  std::optional<LeafOutput> build;
+  if (plan.build) {
+    build = run_leaf(*plan.build, options,
+                     plan.optimized.schema.aggregate_column, &host_ns);
+    local.device_ns += build->stats.elapsed;
+    local.leaves.push_back(build->stats);
+  }
+
+  std::vector<std::string> columns = std::move(probe.columns);
+  std::vector<Row> rows = std::move(probe.rows);
+
+  for (const PlanOp& op : plan.optimized.tail) {
+    host_ns += kHostOpDispatchNs;
+    switch (op.kind) {
+      case OpKind::kScan:
+        raise(ErrorKind::kInternal, "scan cannot appear in the SW tail");
+      case OpKind::kFilter: {
+        std::vector<std::pair<std::size_t, const PlanPredicate*>> bound;
+        for (const auto& pred : op.predicates) {
+          bound.emplace_back(column_index(columns, pred.column), &pred);
+        }
+        host_ns += kHostFilterNsPerRowPred * rows.size() * bound.size();
+        std::erase_if(rows, [&](const Row& row) {
+          for (const auto& [index, pred] : bound) {
+            if (!compare(row[index], pred->op, pred->value)) return true;
+          }
+          return false;
+        });
+        break;
+      }
+      case OpKind::kProject: {
+        std::vector<std::size_t> indices;
+        for (const auto& name : op.columns) {
+          indices.push_back(column_index(columns, name));
+        }
+        host_ns += kHostProjectNsPerRow * rows.size();
+        for (auto& row : rows) {
+          Row projected;
+          projected.reserve(indices.size());
+          for (const std::size_t index : indices) {
+            projected.push_back(row[index]);
+          }
+          row = std::move(projected);
+        }
+        columns = op.columns;
+        break;
+      }
+      case OpKind::kHashJoin: {
+        NDPGEN_CHECK(build.has_value(), "join tail without a build leaf");
+        const std::size_t probe_index =
+            column_index(columns, op.probe_column);
+        const std::size_t build_index =
+            column_index(build->columns, op.build_column);
+        // Insertion-ordered buckets: probe order x build order makes the
+        // multi-match emission order deterministic.
+        std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> table;
+        table.reserve(build->rows.size());
+        const auto build_count =
+            static_cast<std::uint32_t>(build->rows.size());
+        for (std::uint32_t i = 0; i < build_count; ++i) {
+          table[build->rows[i][build_index]].push_back(i);
+        }
+        host_ns += kHostJoinBuildNsPerRow * build->rows.size() +
+                   kHostJoinProbeNsPerRow * rows.size();
+        std::vector<Row> joined;
+        for (const Row& row : rows) {
+          const auto it = table.find(row[probe_index]);
+          if (it == table.end()) continue;
+          for (const std::uint32_t i : it->second) {
+            Row out = row;
+            out.insert(out.end(), build->rows[i].begin(),
+                       build->rows[i].end());
+            joined.push_back(std::move(out));
+          }
+        }
+        host_ns += kHostJoinEmitNsPerRow * joined.size();
+        rows = std::move(joined);
+        const std::string prefix(to_string(op.build_dataset));
+        for (const auto& name : build->columns) {
+          columns.push_back(prefix + "." + name);
+        }
+        break;
+      }
+      case OpKind::kAggregate: {
+        const std::size_t value_index =
+            op.agg_column.empty() ? 0 : column_index(columns, op.agg_column);
+        std::string out_name(hwgen::to_string(op.agg_op));
+        if (!op.agg_column.empty()) out_name += "_" + op.agg_column;
+        host_ns += kHostGroupNsPerRow * rows.size();
+        if (op.group_column.empty()) {
+          Accumulator acc;
+          for (const Row& row : rows) acc.fold(row[value_index]);
+          rows = {Row{acc.get(op.agg_op)}};
+          // Empty input keeps the fold's init value, like the HW unit.
+          columns = {out_name};
+        } else {
+          const std::size_t group_index =
+              column_index(columns, op.group_column);
+          std::map<std::uint64_t, Accumulator> groups;  // Key-sorted out.
+          for (const Row& row : rows) {
+            groups[row[group_index]].fold(row[value_index]);
+          }
+          std::vector<Row> folded;
+          folded.reserve(groups.size());
+          for (const auto& [key, acc] : groups) {
+            folded.push_back(Row{key, acc.get(op.agg_op)});
+          }
+          rows = std::move(folded);
+          columns = {op.group_column, out_name};
+        }
+        break;
+      }
+      case OpKind::kTopK: {
+        const std::size_t order_index =
+            column_index(columns, op.order_column);
+        host_ns += kHostSortNsPerRowLog * rows.size() *
+                   ceil_log2(std::max<std::uint64_t>(rows.size(), 2));
+        std::sort(rows.begin(), rows.end(),
+                  TopKLess{order_index, op.descending});
+        if (rows.size() > op.k) rows.resize(op.k);
+        break;
+      }
+    }
+  }
+
+  ResultTable table;
+  table.columns = std::move(columns);
+  table.rows = std::move(rows);
+  local.host_ns = host_ns;
+  local.rows_out = table.rows.size();
+  if (stats != nullptr) *stats = std::move(local);
+  return table;
+}
+
+}  // namespace ndpgen::query

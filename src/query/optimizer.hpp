@@ -1,0 +1,54 @@
+// Plan validator/optimizer: pushdown + pruning facts for the compiler.
+//
+// Two classical rewrites, scoped to what the hardware template can absorb:
+//
+//  * predicate pushdown — filter conjunctions adjacent to the scan (i.e.
+//    before any schema-changing operator) move into the scan leaf, where
+//    the compiler maps them onto chained filter stages;
+//  * projection pruning — the leaf only emits the base columns the rest
+//    of the plan can still observe, so the generated PE's transform unit
+//    drops dead fields on-device (narrower output buffer, fewer result
+//    bytes over NVMe).
+//
+// Key-column rule: pruned leaf outputs always retain the dataset's key
+// fields in front (papers: id; refs: src+dst) so the executor's recency
+// dedup and the host service's result attribution keep working on the
+// projected records. The final `project` op still runs in the SW tail,
+// so user-visible column order is exact.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/plan.hpp"
+
+namespace ndpgen::query {
+
+struct OptimizedPlan {
+  Plan plan;          ///< The validated original.
+  PlanSchema schema;  ///< From validate().
+
+  /// Filters moved into the probe scan leaf (plan-text order).
+  std::vector<PlanPredicate> pushdown;
+  /// Pruned probe-leaf output columns, key fields first.
+  std::vector<std::string> probe_columns;
+
+  /// Build-side leaf of the hash-join, when present. Build leaves carry
+  /// no pushdown (the plan language attaches filters to the probe spine)
+  /// and keep their key fields like the probe leaf.
+  std::optional<Dataset> build_dataset;
+  std::vector<std::string> build_columns;
+
+  /// Remaining operators after the pushed filters were removed; executed
+  /// by the SW tail (or partially re-absorbed by the compiler's cut).
+  std::vector<PlanOp> tail;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Validates and rewrites `plan`. Fails with located kPlanInvalid on
+/// semantic errors (same contract as validate()).
+[[nodiscard]] Result<OptimizedPlan> optimize(const Plan& plan);
+
+}  // namespace ndpgen::query

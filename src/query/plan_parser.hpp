@@ -1,0 +1,34 @@
+// Textual plan language -> logical Plan.
+//
+// The language reuses the spec front-end's lexer (same tokens, same
+// comment syntax, same 1-based source locations), so plan diagnostics
+// come out of the same machinery as format-spec diagnostics. Grammar:
+//
+//   plan <Name> {
+//     scan <papers|refs> ;
+//     filter <column> <op> <uint> (, <column> <op> <uint>)* ;
+//     project <column> (, <column>)* ;
+//     join <papers|refs> on <column> eq <column> ;
+//     aggregate <count|sum|min|max> [<column>] [group <column>] ;
+//     topk <uint> by <column> [asc|desc] ;
+//   }
+//
+// Comparison operators are the names of hwgen::OperatorSet::standard()
+// (ne/eq/gt/ge/lt/le) — the same vocabulary the filter-stage hardware
+// decodes. Columns after a join may be dotted ("refs.dst").
+//
+// All failures (lexing, syntax, semantic validation) come back as a
+// located Status{kPlanInvalid} suitable for spec::render_caret.
+#pragma once
+
+#include <string_view>
+
+#include "query/plan.hpp"
+
+namespace ndpgen::query {
+
+/// Parses and validates one plan. Returns the plan with Plan::source set
+/// to `source` so callers can render caret diagnostics on later passes.
+[[nodiscard]] Result<Plan> parse_plan(std::string_view source);
+
+}  // namespace ndpgen::query

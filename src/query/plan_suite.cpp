@@ -1,0 +1,51 @@
+#include "query/plan_suite.hpp"
+
+namespace ndpgen::query {
+
+const std::vector<NamedPlan>& plan_suite() {
+  static const std::vector<NamedPlan> kSuite = {
+      {"recent_top",
+       "plan RecentTop {\n"
+       "  scan papers;\n"
+       "  filter year ge 2015;\n"
+       "  join refs on id eq dst;\n"
+       "  aggregate count group id;\n"
+       "  topk 100 by count desc;\n"
+       "}\n"},
+      {"hot_window",
+       "plan HotWindow {\n"
+       "  scan papers;\n"
+       "  filter year ge 2000, year le 2010, n_cited ge 50, n_refs ge 10;\n"
+       "  project id, year, n_cited;\n"
+       "}\n"},
+      {"edge_cut",
+       "plan EdgeCut {\n"
+       "  scan refs;\n"
+       "  filter src le 500, dst gt 100;\n"
+       "}\n"},
+      {"early_count",
+       "plan EarlyCount {\n"
+       "  scan papers;\n"
+       "  filter year lt 1960;\n"
+       "  aggregate count;\n"
+       "}\n"},
+      {"venue_hot",
+       "plan VenueHot {\n"
+       "  scan papers;\n"
+       "  filter n_cited ge 10;\n"
+       "  aggregate sum n_cited group venue_id;\n"
+       "  filter sum_n_cited ge 1000;\n"
+       "  topk 20 by sum_n_cited desc;\n"
+       "}\n"},
+  };
+  return kSuite;
+}
+
+const NamedPlan* find_plan(const std::string& name) {
+  for (const auto& plan : plan_suite()) {
+    if (plan.name == name) return &plan;
+  }
+  return nullptr;
+}
+
+}  // namespace ndpgen::query

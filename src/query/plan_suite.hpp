@@ -1,0 +1,30 @@
+// Named example plans exercised by the CLI, tests, CI smoke and the
+// fig_query_plans bench. Each stresses a different lowering path:
+//
+//   recent_top  — filter + hash-join + grouped count + top-k (the full
+//                 SW tail behind a 1-stage HW leaf on each side)
+//   hot_window  — 4-predicate conjunction: compiles to a >=3-stage
+//                 chained filter pipeline (acceptance plan)
+//   edge_cut    — 2-stage identity chain over the edge set
+//   early_count — bare count: folds entirely on-device (aggregate unit)
+//   venue_hot   — post-aggregate filter: operators with no HW unit stay
+//                 in the SW tail by construction
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ndpgen::query {
+
+struct NamedPlan {
+  std::string name;    ///< Suite key (CLI --plan <name>).
+  std::string source;  ///< Plan-language text.
+};
+
+/// The full suite, in documentation order.
+[[nodiscard]] const std::vector<NamedPlan>& plan_suite();
+
+/// Looks up a suite plan by key; nullptr when absent.
+[[nodiscard]] const NamedPlan* find_plan(const std::string& name);
+
+}  // namespace ndpgen::query

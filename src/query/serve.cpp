@@ -1,0 +1,236 @@
+#include "query/serve.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/framework.hpp"
+#include "kv/db.hpp"
+#include "query/optimizer.hpp"
+#include "workload/pubgraph.hpp"
+
+namespace ndpgen::query {
+
+namespace {
+
+bool row_compare(std::uint64_t lhs, const std::string& op,
+                 std::uint64_t rhs) {
+  if (op == "ne") return lhs != rhs;
+  if (op == "eq") return lhs == rhs;
+  if (op == "gt") return lhs > rhs;
+  if (op == "ge") return lhs >= rhs;
+  if (op == "lt") return lhs < rhs;
+  if (op == "le") return lhs <= rhs;
+  raise(ErrorKind::kInternal, "unknown comparison operator '" + op + "'");
+}
+
+std::uint64_t read_bits(const std::vector<std::uint8_t>& record,
+                        std::uint32_t offset_bits, std::uint32_t width_bits) {
+  NDPGEN_CHECK(offset_bits % 8 == 0 && width_bits % 8 == 0 &&
+                   width_bits <= 64,
+               "streamable tail needs byte-aligned integer fields");
+  const std::size_t offset = offset_bits / 8;
+  const std::size_t width = width_bits / 8;
+  NDPGEN_CHECK(offset + width <= record.size(),
+               "record too short for tail field read");
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value |= static_cast<std::uint64_t>(record[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+PlanTarget::PlanTarget(host::OffloadTarget& inner,
+                       const analysis::TupleLayout& layout,
+                       std::vector<PlanPredicate> row_filters,
+                       std::vector<std::string> project_columns)
+    : inner_(inner) {
+  auto bind = [&](const std::string& column) {
+    const auto index = layout.find_field(column);
+    NDPGEN_CHECK_ARG(index.has_value(),
+                     "plan tail references column '" + column +
+                         "' absent from the device output layout");
+    const auto& field = layout.fields[*index];
+    return BoundField{field.storage_offset_bits, field.storage_width_bits};
+  };
+  filters_.reserve(row_filters.size());
+  for (auto& pred : row_filters) {
+    filters_.emplace_back(bind(pred.column), std::move(pred));
+  }
+  projection_.reserve(project_columns.size());
+  for (const auto& column : project_columns) {
+    projection_.push_back(bind(column));
+  }
+}
+
+ndp::ScanStats PlanTarget::multi_range_scan(
+    const std::vector<ndp::KeyRange>& ranges,
+    const std::vector<ndp::FilterPredicate>& predicates,
+    std::vector<std::vector<std::uint8_t>>* records) {
+  ndp::ScanStats stats = inner_.multi_range_scan(ranges, predicates, records);
+  if (records == nullptr || (filters_.empty() && projection_.empty())) {
+    return stats;
+  }
+
+  const std::uint64_t rows_in = records->size();
+  std::uint64_t tail_ns = 0;
+  if (!filters_.empty()) {
+    tail_ns += kHostFilterNsPerRowPred * rows_in * filters_.size();
+    std::erase_if(*records, [&](const std::vector<std::uint8_t>& record) {
+      for (const auto& [field, pred] : filters_) {
+        if (!row_compare(read_bits(record, field.offset_bits,
+                                   field.width_bits),
+                         pred.op, pred.value)) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+  rows_filtered_ += rows_in - records->size();
+
+  if (!projection_.empty()) {
+    tail_ns += kHostProjectNsPerRow * records->size();
+    for (auto& record : *records) {
+      std::vector<std::uint8_t> packed;
+      for (const auto& field : projection_) {
+        const std::size_t offset = field.offset_bits / 8;
+        const std::size_t width = field.width_bits / 8;
+        packed.insert(packed.end(), record.begin() + offset,
+                      record.begin() + offset + width);
+      }
+      record = std::move(packed);
+    }
+  }
+
+  // The tail's modeled host time lands in `merge` (per-result host-side
+  // finalization), keeping phases.total() == elapsed intact, and the
+  // device timeline advances past it so later dispatches see the cost.
+  stats.results = records->size();
+  stats.result_bytes = std::accumulate(
+      records->begin(), records->end(), std::uint64_t{0},
+      [](std::uint64_t sum, const std::vector<std::uint8_t>& record) {
+        return sum + record.size();
+      });
+  stats.elapsed += tail_ns;
+  stats.phases[obs::RequestPhase::kMerge] += tail_ns;
+  inner_.advance_device_to(inner_.device_now() + tail_ns);
+  return stats;
+}
+
+std::optional<Status> servable(const Plan& plan) {
+  const auto schema = validate(plan);
+  if (!schema.ok()) return schema.status();
+  if (plan.scan().dataset != Dataset::kPapers) {
+    return Status{ErrorKind::kInvalidArg,
+                  "serve path runs over the paper store; plan scans " +
+                      std::string(to_string(plan.scan().dataset))};
+  }
+  for (const auto& op : plan.ops) {
+    if (op.kind == OpKind::kScan || op.kind == OpKind::kFilter ||
+        op.kind == OpKind::kProject) {
+      continue;
+    }
+    return Status{ErrorKind::kInvalidArg,
+                  "operator '" + std::string(to_string(op.kind)) +
+                      "' holds whole-result state and cannot stream "
+                      "through the service; use 'ndpgen query'"};
+  }
+  return std::nullopt;
+}
+
+Result<ServeReport> serve_plan(const Plan& plan,
+                               const ServePlanConfig& config) {
+  if (const auto status = servable(plan)) {
+    return Result<ServeReport>(*status);
+  }
+  auto optimized = optimize(plan);
+  if (!optimized.ok()) return Result<ServeReport>(optimized.status());
+  const OptimizedPlan& opt = optimized.value();
+
+  // Cut for the fixed PaperScan PE: one predicate rides the single HW
+  // filter stage, the rest (plus any non-leading filters) run row-wise
+  // in the PlanTarget tail. Filters reference base columns even after a
+  // project (projection only narrows), so evaluating them all before the
+  // final repack is equivalent to the operator order.
+  std::vector<ndp::FilterPredicate> device_predicates;
+  std::vector<PlanPredicate> row_filters;
+  for (const auto& pred : opt.pushdown) {
+    if (device_predicates.empty()) {
+      device_predicates.push_back(
+          ndp::FilterPredicate{pred.column, pred.op, pred.value});
+    } else {
+      row_filters.push_back(pred);
+    }
+  }
+  std::vector<std::string> project_columns;
+  for (const auto& op : opt.tail) {
+    if (op.kind == OpKind::kFilter) {
+      row_filters.insert(row_filters.end(), op.predicates.begin(),
+                         op.predicates.end());
+    } else if (op.kind == OpKind::kProject) {
+      project_columns = op.columns;
+    }
+  }
+  if (!project_columns.empty() &&
+      std::find(project_columns.begin(), project_columns.end(), "id") ==
+          project_columns.end()) {
+    // Per-request result accounting extracts the key from field 0.
+    project_columns.insert(project_columns.begin(), "id");
+  }
+
+  platform::CosmosConfig cosmos_config;
+  cosmos_config.fault = config.fault;
+  platform::CosmosPlatform cosmos(cosmos_config);
+
+  core::Framework framework;
+  const auto compiled = framework.compile(workload::pubgraph_spec_source());
+  const auto& artifacts = compiled.get("PaperScan");
+
+  workload::PubGraphGenerator generator(
+      workload::PubGraphConfig{.scale_divisor = config.scale_divisor});
+  kv::DBConfig db_config;
+  db_config.record_bytes = workload::PaperRecord::kBytes;
+  db_config.extractor = workload::paper_key;
+  kv::NKV db(cosmos, db_config);
+  workload::load_papers(db, generator);
+
+  ndp::ExecutorConfig exec_config;
+  exec_config.mode = ndp::ExecMode::kHardware;
+  exec_config.result_key_extractor = workload::paper_result_key;
+  exec_config.pe_indices = {
+      framework.instantiate(compiled, "PaperScan", cosmos)};
+  ndp::HybridExecutor executor(db, artifacts.analyzed,
+                               artifacts.design.operators, exec_config);
+
+  host::SingleDeviceTarget device(executor, cosmos);
+  PlanTarget target(device, artifacts.analyzed.output, row_filters,
+                    project_columns);
+
+  host::ServiceConfig service_config;
+  service_config.tenants = config.tenants;
+  service_config.queue_depth = config.queue_depth;
+  service_config.batch_limit = config.batch_limit;
+  service_config.predicates = device_predicates;
+  service_config.result_key = workload::paper_result_key;
+  host::QueryService service(target, service_config);
+
+  host::LoadConfig load_config;
+  load_config.tenants = config.tenants;
+  load_config.requests = config.requests;
+  load_config.arrival_rate = config.arrival_rate;
+  load_config.seed = config.seed;
+  load_config.key_space = generator.paper_count();
+  host::LoadGenerator load(load_config);
+
+  ServeReport report;
+  report.service = service.run(load);
+  report.rows_filtered = target.rows_filtered();
+  report.device_predicates = device_predicates.size();
+  report.tail_predicates = row_filters.size();
+  report.projected = !project_columns.empty();
+  return report;
+}
+
+}  // namespace ndpgen::query

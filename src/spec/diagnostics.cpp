@@ -26,7 +26,36 @@ std::string DiagnosticSink::to_string() const {
 }
 
 void fail_at(ErrorKind kind, SourceLoc loc, const std::string& message) {
-  ndpgen::raise(kind, message + " at " + loc.to_string());
+  ndpgen::raise_at(kind, message, loc.line, loc.column);
+}
+
+Status status_at(ErrorKind kind, SourceLoc loc, std::string message) {
+  return Status{kind, std::move(message), loc.line, loc.column};
+}
+
+std::string render_caret(const Status& status, std::string_view source) {
+  std::string out = status.to_string();
+  if (!status.has_location()) return out;
+
+  // Walk to the 1-based target line.
+  std::size_t begin = 0;
+  for (std::uint32_t line = 1; line < status.line; ++line) {
+    const std::size_t next = source.find('\n', begin);
+    if (next == std::string_view::npos) return out;  // Line out of range.
+    begin = next + 1;
+  }
+  std::size_t end = source.find('\n', begin);
+  if (end == std::string_view::npos) end = source.size();
+  const std::string_view text = source.substr(begin, end - begin);
+
+  out += "\n  " + std::string(text) + "\n  ";
+  // Tabs keep their width so the caret lands under the right glyph.
+  const std::size_t caret = status.column > 0 ? status.column - 1 : 0;
+  for (std::size_t i = 0; i < caret && i < text.size(); ++i) {
+    out.push_back(text[i] == '\t' ? '\t' : ' ');
+  }
+  out.push_back('^');
+  return out;
 }
 
 }  // namespace ndpgen::spec

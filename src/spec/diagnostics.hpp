@@ -39,8 +39,25 @@ class DiagnosticSink {
   std::vector<Diagnostic> diagnostics_;
 };
 
-/// Formats "<loc>: <message>" and throws Error{kind}.
+/// Throws Error{kind} carrying the structured source location; what()
+/// renders "<kind>: <message> at <line>:<column>".
 [[noreturn]] void fail_at(ErrorKind kind, SourceLoc loc,
                           const std::string& message);
+
+/// Builds a located Status (the error arm of Result<T>) without throwing.
+[[nodiscard]] Status status_at(ErrorKind kind, SourceLoc loc,
+                               std::string message);
+
+/// Renders a pointing-caret diagnostic for a located Status against the
+/// source text it was produced from:
+///
+///   plan-invalid: unknown operator 'betwen' at 3:12
+///     filter year betwen 2000;
+///                 ^
+///
+/// Falls back to Status::to_string() when the Status carries no location
+/// or the line is out of range.
+[[nodiscard]] std::string render_caret(const Status& status,
+                                       std::string_view source);
 
 }  // namespace ndpgen::spec

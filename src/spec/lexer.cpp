@@ -35,7 +35,7 @@ char Lexer::advance() noexcept {
 }
 
 void Lexer::fail(const std::string& message) const {
-  ndpgen::raise(ErrorKind::kLex, message + " at " + loc_.to_string());
+  ndpgen::raise_at(ErrorKind::kLex, message, loc_.line, loc_.column);
 }
 
 void Lexer::skip_whitespace_and_comments(std::vector<Token>& out) {

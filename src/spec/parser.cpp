@@ -495,4 +495,13 @@ SpecModule parse_spec(std::string_view source, DiagnosticSink* sink) {
   return Parser(source, sink).parse_module();
 }
 
+Result<SpecModule> parse_spec_checked(std::string_view source,
+                                      DiagnosticSink* sink) {
+  try {
+    return Parser(source, sink).parse_module();
+  } catch (const Error& error) {
+    return Result<SpecModule>(Status::from(error));
+  }
+}
+
 }  // namespace ndpgen::spec

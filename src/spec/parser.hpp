@@ -67,4 +67,10 @@ class Parser {
 [[nodiscard]] SpecModule parse_spec(std::string_view source,
                                     DiagnosticSink* sink = nullptr);
 
+/// Non-throwing wrapper: lex/parse failures come back as a located Status
+/// (line/column preserved from the offending token) instead of unwinding.
+/// Used by tools that want to render a pointing caret (see render_caret).
+[[nodiscard]] Result<SpecModule> parse_spec_checked(
+    std::string_view source, DiagnosticSink* sink = nullptr);
+
 }  // namespace ndpgen::spec

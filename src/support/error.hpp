@@ -34,6 +34,7 @@ enum class ErrorKind : std::uint8_t {
   kBusy,         ///< Admission rejected: bounded queue at capacity.
   kDeviceUnavailable,  ///< No live replica can serve the request.
   kIntegrity,    ///< Unrepairable replica divergence (every copy is bad).
+  kPlanInvalid,  ///< Malformed or unsatisfiable logical query plan.
 };
 
 /// Returns a stable lowercase name for an ErrorKind ("parse", "storage"...).
@@ -50,26 +51,54 @@ enum class ErrorKind : std::uint8_t {
     case ErrorKind::kBusy: return "busy";
     case ErrorKind::kDeviceUnavailable: return "device-unavailable";
     case ErrorKind::kIntegrity: return "integrity";
+    case ErrorKind::kPlanInvalid: return "plan-invalid";
   }
   return "unknown";
 }
 
-/// Exception type thrown by all ndpgen subsystems.
+/// Exception type thrown by all ndpgen subsystems. Diagnostics that point
+/// at source text (spec or plan parsing) additionally carry a 1-based
+/// line/column; 0/0 means "no location".
 class Error : public std::runtime_error {
  public:
   Error(ErrorKind kind, const std::string& message)
       : std::runtime_error(std::string(to_string(kind)) + ": " + message),
-        kind_(kind) {}
+        kind_(kind),
+        message_(message) {}
+
+  Error(ErrorKind kind, const std::string& message, std::uint32_t line,
+        std::uint32_t column)
+      : std::runtime_error(std::string(to_string(kind)) + ": " + message +
+                           " at " + std::to_string(line) + ":" +
+                           std::to_string(column)),
+        kind_(kind),
+        message_(message),
+        line_(line),
+        column_(column) {}
 
   [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+  /// Message without the "kind: " prefix what() prepends.
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+  [[nodiscard]] std::uint32_t line() const noexcept { return line_; }
+  [[nodiscard]] std::uint32_t column() const noexcept { return column_; }
+  [[nodiscard]] bool has_location() const noexcept { return line_ != 0; }
 
  private:
   ErrorKind kind_;
+  std::string message_;
+  std::uint32_t line_ = 0;
+  std::uint32_t column_ = 0;
 };
 
 /// Throws Error{kind, message} — used by the NDPGEN_CHECK family below.
 [[noreturn]] inline void raise(ErrorKind kind, const std::string& message) {
   throw Error(kind, message);
+}
+
+/// Located variant for source-text diagnostics (line/column are 1-based).
+[[noreturn]] inline void raise_at(ErrorKind kind, const std::string& message,
+                                  std::uint32_t line, std::uint32_t column) {
+  throw Error(kind, message, line, column);
 }
 
 /// Process exit code for a failure of the given kind (see README "Exit
@@ -88,17 +117,34 @@ class Error : public std::runtime_error {
     case ErrorKind::kBusy: return 18;
     case ErrorKind::kDeviceUnavailable: return 19;
     case ErrorKind::kIntegrity: return 20;
+    case ErrorKind::kPlanInvalid: return 21;
   }
   return 1;
 }
 
-/// Non-throwing failure description (the error arm of Result<T>).
+/// Non-throwing failure description (the error arm of Result<T>). Carries
+/// the same optional 1-based source location as Error so parser failures
+/// can surface a pointing caret without re-parsing the message text.
 struct Status {
   ErrorKind kind = ErrorKind::kInternal;
   std::string message;
+  std::uint32_t line = 0;    ///< 1-based; 0 = no location.
+  std::uint32_t column = 0;  ///< 1-based; 0 = no location.
+
+  [[nodiscard]] bool has_location() const noexcept { return line != 0; }
 
   [[nodiscard]] std::string to_string() const {
-    return std::string(ndpgen::to_string(kind)) + ": " + message;
+    std::string out(ndpgen::to_string(kind));
+    out += ": " + message;
+    if (has_location()) {
+      out += " at " + std::to_string(line) + ":" + std::to_string(column);
+    }
+    return out;
+  }
+
+  /// Captures an Error (kind, message, location) into a Status.
+  [[nodiscard]] static Status from(const Error& error) {
+    return Status{error.kind(), error.message(), error.line(), error.column()};
   }
 };
 
@@ -115,6 +161,13 @@ class Result {
     return Result(Status{kind, std::move(message)});
   }
 
+  /// Located failure (1-based line/column) for source-text diagnostics.
+  [[nodiscard]] static Result failure_at(ErrorKind kind, std::string message,
+                                         std::uint32_t line,
+                                         std::uint32_t column) {
+    return Result(Status{kind, std::move(message), line, column});
+  }
+
   [[nodiscard]] bool ok() const noexcept {
     return std::holds_alternative<T>(state_);
   }
@@ -128,7 +181,11 @@ class Result {
 
   /// Rethrows at a safe (non-DES) boundary; returns the value otherwise.
   T& value_or_raise() & {
-    if (!ok()) raise(status().kind, status().message);
+    if (!ok()) {
+      const Status& s = status();
+      if (s.has_location()) raise_at(s.kind, s.message, s.line, s.column);
+      raise(s.kind, s.message);
+    }
     return value();
   }
 

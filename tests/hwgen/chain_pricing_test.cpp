@@ -1,0 +1,157 @@
+// Chained-PE pricing: area/latency composition and budget rejection.
+//
+// The query compiler relies on three properties of price_chain:
+//  * area composes monotonically with chain length (stage formulas are
+//    additive, no cross-stage discounts);
+//  * the pipeline fill latency grows by exactly one PE cycle per chained
+//    filter stage (steady state stays one tuple per cycle);
+//  * a design that does not fit the slot budget is rejected with the
+//    first over-budget stage named, so the compiler can cut there.
+#include "hwgen/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hwgen/template_builder.hpp"
+#include "spec/parser.hpp"
+
+namespace ndpgen::hwgen {
+namespace {
+
+constexpr std::string_view kChainSpecTemplate = R"(
+typedef struct {
+  uint64_t id;
+  uint32_t year;
+  uint32_t venue_id;
+  uint32_t n_refs;
+  uint32_t n_cited;
+} Rec;
+
+typedef struct {
+  uint64_t id;
+  uint32_t year;
+} RecOut;
+
+/* @autogen define parser ChainScan with chunksize = 32, input = Rec,
+   output = RecOut, filters = $N */
+)";
+
+PEDesign chain_design(std::uint32_t stages) {
+  std::string source(kChainSpecTemplate);
+  const auto pos = source.find("$N");
+  source.replace(pos, 2, std::to_string(stages));
+  const auto module = spec::parse_spec(source);
+  const auto analyzed = analysis::analyze_parser(module, "ChainScan");
+  TemplateOptions options;
+  options.flavor = DesignFlavor::kGenerated;
+  return build_pe_design(analyzed, options);
+}
+
+ChainBudget generous_budget() {
+  ChainBudget budget;
+  budget.max_slices = 1e9;
+  budget.max_bram36 = 1e9;
+  budget.max_stages = 16;
+  return budget;
+}
+
+ChainPricing priced(const PEDesign& design,
+                    SynthesisMode mode = SynthesisMode::kInContext) {
+  auto result = price_chain(design, mode, generous_budget());
+  return result.value_or_raise();
+}
+
+double filter_slices(const ChainPricing& pricing) {
+  for (const auto& stage : pricing.stages) {
+    if (stage.kind == ModuleKind::kFilterStage) return stage.resources.slices;
+  }
+  ADD_FAILURE() << "no filter stage in chain";
+  return 0.0;
+}
+
+TEST(ChainPricing, TwoAndThreeStageAreaComposition) {
+  const auto one = priced(chain_design(1));
+  const auto two = priced(chain_design(2));
+  const auto three = priced(chain_design(3));
+
+  EXPECT_EQ(one.filter_stages, 1u);
+  EXPECT_EQ(two.filter_stages, 2u);
+  EXPECT_EQ(three.filter_stages, 3u);
+
+  // Additive composition: every extra stage costs the same marginal
+  // slices (the filter stage itself plus its slice of the control
+  // registers — no cross-stage discounts), so the compiler's
+  // longest-prefix cut search is monotone.
+  const double first_delta = two.total.slices - one.total.slices;
+  const double second_delta = three.total.slices - two.total.slices;
+  EXPECT_NEAR(first_delta, second_delta, 1e-6);
+  // The filter stage dominates the marginal cost.
+  const double per_stage = filter_slices(one);
+  EXPECT_GT(per_stage, 0.0);
+  EXPECT_GE(first_delta, per_stage);
+  EXPECT_LT(first_delta, per_stage * 1.1);
+  EXPECT_GT(three.total.slices, two.total.slices);
+  EXPECT_GT(two.total.slices, one.total.slices);
+}
+
+TEST(ChainPricing, FillLatencyGrowsOneCyclePerStage) {
+  const auto one = priced(chain_design(1));
+  const auto two = priced(chain_design(2));
+  const auto three = priced(chain_design(3));
+  EXPECT_EQ(two.pipeline_fill_cycles, one.pipeline_fill_cycles + 1);
+  EXPECT_EQ(three.pipeline_fill_cycles, two.pipeline_fill_cycles + 1);
+  // Load + input buffer + store + output buffer dominate the fixed part.
+  EXPECT_GE(one.pipeline_fill_cycles, 10u);
+}
+
+TEST(ChainPricing, OutOfContextPricesHigher) {
+  const auto in_ctx = priced(chain_design(2));
+  const auto out_ctx =
+      priced(chain_design(2), SynthesisMode::kOutOfContext);
+  EXPECT_GT(out_ctx.total.slices, in_ctx.total.slices);
+  EXPECT_EQ(out_ctx.pipeline_fill_cycles, in_ctx.pipeline_fill_cycles);
+}
+
+TEST(ChainPricing, BudgetExceededNamesFirstOverBudgetStage) {
+  const auto design = chain_design(3);
+  const auto full = priced(design);
+
+  // Afford everything up to (and including) filter_stage_1; the last
+  // stage of the chain, filter_stage_2, must be the named culprit.
+  double through_stage_1 = full.total.slices;
+  for (auto it = full.stages.rbegin(); it != full.stages.rend(); ++it) {
+    through_stage_1 -= it->resources.slices;
+    if (it->name == "filter_stage_2") break;
+  }
+  ChainBudget tight = generous_budget();
+  tight.max_slices = through_stage_1 + filter_slices(full) * 0.5;
+
+  const auto result = price_chain(design, SynthesisMode::kInContext, tight);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().kind, ErrorKind::kGeneration);
+  EXPECT_NE(result.status().message.find("filter_stage_2"), std::string::npos)
+      << result.status().message;
+}
+
+TEST(ChainPricing, StageCountCapRejected) {
+  ChainBudget budget = generous_budget();
+  budget.max_stages = 2;
+  const auto result =
+      price_chain(chain_design(3), SynthesisMode::kInContext, budget);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().kind, ErrorKind::kGeneration);
+  EXPECT_NE(result.status().message.find("filter stages"), std::string::npos);
+}
+
+TEST(ChainPricing, DefaultBudgetAdmitsSixteenStageChain) {
+  const auto budget = default_chain_budget(DesignFlavor::kGenerated, 1);
+  EXPECT_GT(budget.max_slices, 0.0);
+  const auto result =
+      price_chain(chain_design(16), SynthesisMode::kInContext, budget);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().filter_stages, 16u);
+}
+
+}  // namespace
+}  // namespace ndpgen::hwgen

@@ -1,0 +1,127 @@
+#include "query/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+#include "query/plan_parser.hpp"
+#include "query/plan_suite.hpp"
+
+namespace ndpgen::query {
+namespace {
+
+Plan plan_from_suite(const std::string& name) {
+  const NamedPlan* named = find_plan(name);
+  EXPECT_NE(named, nullptr) << name;
+  auto parsed = parse_plan(named->source);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().to_string();
+  return std::move(parsed).value();
+}
+
+TEST(PlanCompiler, HotWindowLowersToMultiStageChain) {
+  const auto compiled = compile_plan(plan_from_suite("hot_window"));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+  const LeafPipeline& leaf = compiled.value().probe;
+  ASSERT_TRUE(leaf.offloaded);
+  // Acceptance: at least one suite plan compiles to a >=3-stage chained
+  // filter pipeline. hot_window pushes 4 predicates onto 4 stages.
+  EXPECT_GE(leaf.pricing.filter_stages, 3u);
+  EXPECT_EQ(leaf.pushed.size(), 4u);
+  EXPECT_TRUE(leaf.residual.empty());
+  // Chain pricing composed per stage: total covers every module.
+  EXPECT_GT(leaf.pricing.total.slices, 0.0);
+  EXPECT_GE(leaf.pricing.stages.size(), leaf.pricing.filter_stages);
+  // The synthesized spec reflects the cut.
+  EXPECT_NE(leaf.spec_source.find("filters = 4"), std::string::npos);
+}
+
+TEST(PlanCompiler, TightBudgetCutsChainAndLeavesResidual) {
+  const Plan plan = plan_from_suite("hot_window");
+  // Budget sized so the full 4-stage chain does not fit but a shorter
+  // prefix does: price the full chain first, then subtract.
+  auto full = compile_plan(plan);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(full.value().probe.offloaded);
+  const double full_slices = full.value().probe.pricing.total.slices;
+  const double last_stage =
+      full.value().probe.pricing.stages.back().resources.slices;
+
+  CompileOptions options;
+  options.budget.max_slices = full_slices - 0.5 * last_stage;
+  const auto cut = compile_plan(plan, options);
+  ASSERT_TRUE(cut.ok()) << cut.status().to_string();
+  const LeafPipeline& leaf = cut.value().probe;
+  ASSERT_TRUE(leaf.offloaded);
+  EXPECT_LT(leaf.pricing.filter_stages, 4u);
+  EXPECT_GE(leaf.pricing.filter_stages, 1u);
+  // Cut predicates became SW residuals, in plan order.
+  EXPECT_EQ(leaf.pushed.size() + leaf.residual.size(), 4u);
+  EXPECT_FALSE(leaf.residual.empty());
+  // Residual predicate columns were added to the leaf output so the SW
+  // tail can evaluate them.
+  for (const auto& pred : leaf.residual) {
+    EXPECT_NE(std::find(leaf.columns.begin(), leaf.columns.end(),
+                        pred.column),
+              leaf.columns.end())
+        << pred.column;
+  }
+}
+
+TEST(PlanCompiler, ImpossibleBudgetFallsBackToSoftware) {
+  CompileOptions options;
+  options.budget.max_slices = 1.0;  // Nothing fits.
+  const auto compiled =
+      compile_plan(plan_from_suite("edge_cut"), options);
+  ASSERT_TRUE(compiled.ok());
+  const LeafPipeline& leaf = compiled.value().probe;
+  EXPECT_FALSE(leaf.offloaded);
+  EXPECT_FALSE(compiled.value().any_offloaded());
+  EXPECT_NE(leaf.fallback_reason.find("budget"), std::string::npos);
+  // The host fallback evaluates every predicate in software.
+  EXPECT_EQ(leaf.pushed.size(), 2u);
+}
+
+TEST(PlanCompiler, ForceSoftwareSkipsLowering) {
+  CompileOptions options;
+  options.force_software = true;
+  const auto compiled =
+      compile_plan(plan_from_suite("hot_window"), options);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE(compiled.value().any_offloaded());
+  EXPECT_EQ(compiled.value().probe.fallback_reason,
+            "software execution forced");
+}
+
+TEST(PlanCompiler, BareAggregateFoldsOnDevice) {
+  const auto compiled = compile_plan(plan_from_suite("early_count"));
+  ASSERT_TRUE(compiled.ok());
+  const LeafPipeline& leaf = compiled.value().probe;
+  ASSERT_TRUE(leaf.offloaded);
+  EXPECT_TRUE(leaf.hw_aggregate);
+  EXPECT_EQ(leaf.agg_op, hwgen::AggOp::kCount);
+  EXPECT_NE(leaf.spec_source.find("aggregate = true"), std::string::npos);
+}
+
+TEST(PlanCompiler, JoinPlanCompilesBothLeaves) {
+  const auto compiled = compile_plan(plan_from_suite("recent_top"));
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_TRUE(compiled.value().build.has_value());
+  EXPECT_EQ(compiled.value().build->dataset, Dataset::kRefs);
+  // Build side has no pushdown: it scans its full (pruned) dataset.
+  EXPECT_TRUE(compiled.value().build->pushed.empty());
+  const std::string explain = compiled.value().explain();
+  EXPECT_NE(explain.find("probe leaf (papers)"), std::string::npos);
+  EXPECT_NE(explain.find("build leaf (refs)"), std::string::npos);
+}
+
+TEST(PlanCompiler, SynthesizedSpecCompilesStandalone) {
+  const auto compiled = compile_plan(plan_from_suite("hot_window"));
+  ASSERT_TRUE(compiled.ok());
+  // The leaf spec is a complete, self-contained format specification.
+  const core::Framework framework;
+  const auto artifacts =
+      framework.compile(compiled.value().probe.spec_source);
+  EXPECT_EQ(artifacts.get("QueryLeaf").design.filter_stage_count(), 4u);
+}
+
+}  // namespace
+}  // namespace ndpgen::query

@@ -1,0 +1,107 @@
+#include "query/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "query/plan_parser.hpp"
+
+namespace ndpgen::query {
+namespace {
+
+OptimizedPlan optimize_text(const std::string& source) {
+  auto plan = parse_plan(source);
+  EXPECT_TRUE(plan.ok()) << plan.status().to_string();
+  auto optimized = optimize(plan.value());
+  EXPECT_TRUE(optimized.ok()) << optimized.status().to_string();
+  return std::move(optimized).value();
+}
+
+TEST(Optimizer, PushesLeadingFilterConjunctions) {
+  const auto opt = optimize_text(
+      "plan P { scan papers; filter year ge 2000; "
+      "filter n_cited gt 5, n_refs gt 1; project id; }");
+  ASSERT_EQ(opt.pushdown.size(), 3u);
+  EXPECT_EQ(opt.pushdown[0].column, "year");
+  EXPECT_EQ(opt.pushdown[1].column, "n_cited");
+  EXPECT_EQ(opt.pushdown[2].column, "n_refs");
+  // Both leading filters collapsed; only the project remains.
+  ASSERT_EQ(opt.tail.size(), 1u);
+  EXPECT_EQ(opt.tail[0].kind, OpKind::kProject);
+}
+
+TEST(Optimizer, NonLeadingFilterStaysInTail) {
+  const auto opt = optimize_text(
+      "plan P { scan papers; aggregate sum n_cited group venue_id; "
+      "filter sum_n_cited ge 10; }");
+  EXPECT_TRUE(opt.pushdown.empty());
+  ASSERT_EQ(opt.tail.size(), 2u);
+  EXPECT_EQ(opt.tail[0].kind, OpKind::kAggregate);
+  EXPECT_EQ(opt.tail[1].kind, OpKind::kFilter);
+}
+
+TEST(Optimizer, ProjectionPruningKeepsReferencedColumnsKeyFirst) {
+  const auto opt = optimize_text(
+      "plan P { scan papers; filter n_refs gt 1; project year, id; }");
+  // Pruned to the project set (plus key first): id, year, and the pushed
+  // predicate's n_refs is evaluated on-device, not in the output.
+  EXPECT_EQ(opt.probe_columns, (std::vector<std::string>{"id", "year"}));
+}
+
+TEST(Optimizer, NoNarrowingKeepsFullBaseSchema) {
+  const auto opt =
+      optimize_text("plan P { scan papers; filter year ge 2000; }");
+  EXPECT_EQ(opt.probe_columns,
+            (std::vector<std::string>{"id", "year", "venue_id", "n_refs",
+                                      "n_cited"}));
+}
+
+TEST(Optimizer, AggregatePruningKeepsGroupAndValueColumns) {
+  const auto opt = optimize_text(
+      "plan P { scan papers; aggregate sum n_cited group venue_id; }");
+  EXPECT_EQ(opt.probe_columns,
+            (std::vector<std::string>{"id", "venue_id", "n_cited"}));
+}
+
+TEST(Optimizer, BuildSidePrunedWhenNarrowedDownstream) {
+  const auto opt = optimize_text(
+      "plan P { scan papers; filter year ge 2015; "
+      "join refs on id eq dst; aggregate count group id; }");
+  ASSERT_TRUE(opt.build_dataset.has_value());
+  EXPECT_EQ(*opt.build_dataset, Dataset::kRefs);
+  // Aggregate narrows right after the join; only the join key is needed,
+  // but refs keys come first by policy (src, dst are both key fields).
+  EXPECT_EQ(opt.build_columns, (std::vector<std::string>{"src", "dst"}));
+}
+
+TEST(Optimizer, BuildSideKeepsAllColumnsWithoutNarrowing) {
+  const auto opt = optimize_text(
+      "plan P { scan refs; join papers on src eq id; "
+      "topk 5 by papers.year; }");
+  ASSERT_TRUE(opt.build_dataset.has_value());
+  EXPECT_EQ(*opt.build_dataset, Dataset::kPapers);
+  // No project/aggregate after the join: validate() appends the full
+  // prefixed base schema, so pruning would change the result bytes.
+  EXPECT_EQ(opt.build_columns,
+            (std::vector<std::string>{"id", "year", "venue_id", "n_refs",
+                                      "n_cited"}));
+}
+
+TEST(Optimizer, BuildSidePrunesToDottedReferences) {
+  const auto opt = optimize_text(
+      "plan P { scan refs; join papers on src eq id; "
+      "project src, papers.year; }");
+  // Narrowing project references papers.year; join key id is forced
+  // first.
+  EXPECT_EQ(opt.build_columns, (std::vector<std::string>{"id", "year"}));
+}
+
+TEST(Optimizer, InvalidPlanPropagatesLocatedStatus) {
+  auto plan = parse_plan("plan P { scan papers; project id; }");
+  ASSERT_TRUE(plan.ok());
+  plan.value().ops[1].columns = {"nope"};
+  const auto optimized = optimize(plan.value());
+  ASSERT_FALSE(optimized.ok());
+  EXPECT_EQ(optimized.status().kind, ErrorKind::kPlanInvalid);
+}
+
+}  // namespace
+}  // namespace ndpgen::query

@@ -1,0 +1,145 @@
+#include "query/plan_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "query/plan_suite.hpp"
+#include "spec/diagnostics.hpp"
+
+namespace ndpgen::query {
+namespace {
+
+TEST(PlanParser, ParsesFullGrammar) {
+  const auto result = parse_plan(
+      "plan Everything {\n"
+      "  scan papers;\n"
+      "  filter year ge 2000, n_cited gt 5;\n"
+      "  join refs on id eq dst;\n"
+      "  aggregate count group id;\n"
+      "  topk 10 by count desc;\n"
+      "}\n");
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const Plan& plan = result.value();
+  EXPECT_EQ(plan.name, "Everything");
+  ASSERT_EQ(plan.ops.size(), 5u);
+  EXPECT_EQ(plan.ops[0].kind, OpKind::kScan);
+  EXPECT_EQ(plan.ops[0].dataset, Dataset::kPapers);
+  ASSERT_EQ(plan.ops[1].predicates.size(), 2u);
+  EXPECT_EQ(plan.ops[1].predicates[0].column, "year");
+  EXPECT_EQ(plan.ops[1].predicates[0].op, "ge");
+  EXPECT_EQ(plan.ops[1].predicates[0].value, 2000u);
+  EXPECT_EQ(plan.ops[2].kind, OpKind::kHashJoin);
+  EXPECT_EQ(plan.ops[2].build_dataset, Dataset::kRefs);
+  EXPECT_EQ(plan.ops[2].probe_column, "id");
+  EXPECT_EQ(plan.ops[2].build_column, "dst");
+  EXPECT_EQ(plan.ops[3].kind, OpKind::kAggregate);
+  EXPECT_EQ(plan.ops[3].agg_op, hwgen::AggOp::kCount);
+  EXPECT_EQ(plan.ops[3].group_column, "id");
+  EXPECT_EQ(plan.ops[4].kind, OpKind::kTopK);
+  EXPECT_EQ(plan.ops[4].k, 10u);
+  EXPECT_TRUE(plan.ops[4].descending);
+}
+
+TEST(PlanParser, ProjectAndAscendingTopK) {
+  const auto result = parse_plan(
+      "plan P { scan papers; project id, year; topk 3 by year asc; }");
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().ops[1].columns,
+            (std::vector<std::string>{"id", "year"}));
+  EXPECT_FALSE(result.value().ops[2].descending);
+}
+
+TEST(PlanParser, SyntaxErrorIsLocatedPlanInvalid) {
+  const std::string source = "plan Bad {\n  scan papers\n}";  // Missing ';'.
+  const auto result = parse_plan(source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().kind, ErrorKind::kPlanInvalid);
+  EXPECT_TRUE(result.status().has_location());
+  EXPECT_EQ(result.status().line, 3u);  // The '}' where ';' was expected.
+}
+
+TEST(PlanParser, LexFailureMapsToPlanInvalid) {
+  const auto result = parse_plan("plan Bad { scan papers; filter ` ; }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().kind, ErrorKind::kPlanInvalid);
+  EXPECT_TRUE(result.status().has_location());
+}
+
+TEST(PlanParser, ValidationFailureCarriesPredicateLocation) {
+  const std::string source =
+      "plan Bad {\n"
+      "  scan papers;\n"
+      "  filter wat gt 5;\n"
+      "}\n";
+  const auto result = parse_plan(source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().kind, ErrorKind::kPlanInvalid);
+  EXPECT_EQ(result.status().line, 3u);
+  EXPECT_NE(result.status().message.find("unknown column 'wat'"),
+            std::string::npos);
+  // The caret renderer points into the original plan text.
+  const std::string rendered = spec::render_caret(result.status(), source);
+  EXPECT_NE(rendered.find("filter wat gt 5;"), std::string::npos);
+  EXPECT_NE(rendered.find('^'), std::string::npos);
+}
+
+TEST(PlanParser, RejectsTitleFilterAndUnknownOperator) {
+  auto title = parse_plan("plan T { scan papers; filter title eq 3; }");
+  ASSERT_FALSE(title.ok());
+  EXPECT_NE(title.status().message.find("title"), std::string::npos);
+
+  auto op = parse_plan("plan T { scan papers; filter year betwen 3; }");
+  ASSERT_FALSE(op.ok());
+  EXPECT_EQ(op.status().kind, ErrorKind::kPlanInvalid);
+  EXPECT_NE(op.status().message.find("betwen"), std::string::npos);
+}
+
+TEST(PlanParser, RejectsStructuralMisuse) {
+  // Scan not first.
+  EXPECT_FALSE(parse_plan("plan P { filter year gt 1; }").ok());
+  // Second aggregate.
+  EXPECT_FALSE(parse_plan("plan P { scan papers; aggregate count; "
+                          "aggregate count; }")
+                   .ok());
+  // Join after aggregate.
+  EXPECT_FALSE(parse_plan("plan P { scan papers; aggregate count; "
+                          "join refs on count eq dst; }")
+                   .ok());
+  // topk 0.
+  EXPECT_FALSE(parse_plan("plan P { scan papers; topk 0 by year; }").ok());
+}
+
+TEST(PlanParser, DottedColumnsResolveAfterJoin) {
+  const auto result = parse_plan(
+      "plan P { scan papers; join refs on id eq dst; "
+      "project id, refs.src; }");
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().ops[2].columns,
+            (std::vector<std::string>{"id", "refs.src"}));
+}
+
+TEST(PlanParser, SuitePlansAllParse) {
+  ASSERT_FALSE(plan_suite().empty());
+  for (const auto& named : plan_suite()) {
+    const auto result = parse_plan(named.source);
+    EXPECT_TRUE(result.ok())
+        << named.name << ": " << result.status().to_string();
+  }
+  EXPECT_NE(find_plan("recent_top"), nullptr);
+  EXPECT_EQ(find_plan("nope"), nullptr);
+}
+
+TEST(PlanParser, ValidateComputesSchema) {
+  const auto result = parse_plan(
+      "plan P { scan papers; filter year ge 2000; "
+      "aggregate sum n_cited group venue_id; }");
+  ASSERT_TRUE(result.ok());
+  const auto schema = validate(result.value());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().output_columns,
+            (std::vector<std::string>{"venue_id", "sum_n_cited"}));
+  EXPECT_EQ(schema.value().aggregate_column, "sum_n_cited");
+  EXPECT_TRUE(schema.value().has_aggregate);
+}
+
+}  // namespace
+}  // namespace ndpgen::query

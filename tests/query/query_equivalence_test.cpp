@@ -1,0 +1,140 @@
+// Plan <-> reference equivalence: every suite plan, executed through the
+// compiled device+tail pipeline, must be byte-identical to the naive
+// host-side reference executor — across the determinism matrix
+// (pes x threads x sim-mode), under fault profiles, and on reruns.
+#include <gtest/gtest.h>
+
+#include "fault/fault_profile.hpp"
+#include "query/compiler.hpp"
+#include "query/executor.hpp"
+#include "query/plan_parser.hpp"
+#include "query/plan_suite.hpp"
+#include "query/reference_executor.hpp"
+
+namespace ndpgen::query {
+namespace {
+
+// Small enough to keep the matrix fast, big enough for non-trivial rows
+// (papers: ~460 records / 2 blocks, refs: ~4601 records / 3 blocks).
+constexpr std::uint64_t kScale = 8192;
+
+Plan suite_plan(const std::string& name) {
+  const NamedPlan* named = find_plan(name);
+  EXPECT_NE(named, nullptr) << name;
+  auto parsed = parse_plan(named->source);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().to_string();
+  return std::move(parsed).value();
+}
+
+std::vector<std::uint8_t> run_compiled(const CompiledPlan& compiled,
+                                       const QueryExecOptions& options,
+                                       QueryStats* stats = nullptr) {
+  return execute_plan(compiled, options, stats).to_bytes();
+}
+
+TEST(QueryEquivalence, AllSuitePlansMatchReferenceInBothModes) {
+  for (const auto& named : plan_suite()) {
+    const Plan plan = suite_plan(named.name);
+    const auto reference = reference_execute(plan, kScale).to_bytes();
+
+    QueryExecOptions options;
+    options.scale_divisor = kScale;
+
+    auto hw = compile_plan(plan);
+    ASSERT_TRUE(hw.ok()) << named.name;
+    EXPECT_EQ(run_compiled(hw.value(), options), reference)
+        << named.name << " (hw)";
+
+    CompileOptions force_sw;
+    force_sw.force_software = true;
+    auto sw = compile_plan(plan, force_sw);
+    ASSERT_TRUE(sw.ok()) << named.name;
+    EXPECT_FALSE(sw.value().any_offloaded()) << named.name;
+    EXPECT_EQ(run_compiled(sw.value(), options), reference)
+        << named.name << " (sw fallback)";
+  }
+}
+
+TEST(QueryEquivalence, JoinTopKInvariantAcrossMatrix) {
+  // recent_top is the join + group-by + top-k chain: the hardest plan to
+  // keep deterministic, because shard merge order and tail hashing could
+  // both leak into the result.
+  const Plan plan = suite_plan("recent_top");
+  const auto reference = reference_execute(plan, kScale).to_bytes();
+  auto compiled = compile_plan(plan);
+  ASSERT_TRUE(compiled.ok());
+
+  for (const std::uint32_t pes : {1u, 4u}) {
+    for (const std::uint32_t threads : {1u, 4u}) {
+      for (const auto sim : {hwsim::SimMode::kExact, hwsim::SimMode::kFast}) {
+        QueryExecOptions options;
+        options.scale_divisor = kScale;
+        options.pes = pes;
+        options.threads = threads;
+        options.sim_mode = sim;
+        EXPECT_EQ(run_compiled(compiled.value(), options), reference)
+            << "pes=" << pes << " threads=" << threads << " sim="
+            << (sim == hwsim::SimMode::kExact ? "exact" : "fast");
+      }
+    }
+  }
+}
+
+TEST(QueryEquivalence, FaultProfilesPreserveResults) {
+  const Plan plan = suite_plan("recent_top");
+  const auto reference = reference_execute(plan, kScale).to_bytes();
+  auto compiled = compile_plan(plan);
+  ASSERT_TRUE(compiled.ok());
+
+  for (const char* profile : {"degraded", "bit-rot"}) {
+    auto fault = fault::FaultProfile::parse(profile);
+    ASSERT_TRUE(fault.ok()) << profile;
+    QueryExecOptions options;
+    options.scale_divisor = kScale;
+    options.pes = 4;
+    options.fault = fault.value();
+    QueryStats stats;
+    EXPECT_EQ(run_compiled(compiled.value(), options, &stats), reference)
+        << profile;
+    // Faults may cost retries or per-block SW fallback, never rows.
+    ASSERT_FALSE(stats.leaves.empty());
+    for (const auto& leaf : stats.leaves) {
+      EXPECT_TRUE(leaf.offloaded) << profile;
+      EXPECT_EQ(leaf.uncorrectable_blocks, 0u) << profile;
+    }
+  }
+}
+
+TEST(QueryEquivalence, RerunsAreByteStable) {
+  const Plan plan = suite_plan("venue_hot");
+  auto compiled = compile_plan(plan);
+  ASSERT_TRUE(compiled.ok());
+  QueryExecOptions options;
+  options.scale_divisor = kScale;
+  const ResultTable first = execute_plan(compiled.value(), options);
+  const ResultTable second = execute_plan(compiled.value(), options);
+  EXPECT_EQ(first.to_bytes(), second.to_bytes());
+  EXPECT_EQ(first.fingerprint(), second.fingerprint());
+}
+
+TEST(QueryEquivalence, StatsAccountDeviceAndHostTime) {
+  const Plan plan = suite_plan("hot_window");
+  auto compiled = compile_plan(plan);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_TRUE(compiled.value().probe.offloaded);
+  QueryExecOptions options;
+  options.scale_divisor = kScale;
+  QueryStats stats;
+  const ResultTable table = execute_plan(compiled.value(), options, &stats);
+  EXPECT_EQ(stats.rows_out, table.rows.size());
+  EXPECT_GT(stats.device_ns, 0u);
+  EXPECT_GT(stats.host_ns, 0u);
+  EXPECT_EQ(stats.elapsed(), stats.device_ns + stats.host_ns);
+  ASSERT_EQ(stats.leaves.size(), 1u);
+  EXPECT_TRUE(stats.leaves[0].offloaded);
+  EXPECT_GE(stats.leaves[0].hw_filter_stages, 3u);
+  EXPECT_GT(stats.leaves[0].tuples_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace ndpgen::query

@@ -1,0 +1,111 @@
+// Serving plans through the host QueryService: streamability gate,
+// device/tail predicate cut, and the phase-accounting invariant of the
+// PlanTarget decorator.
+#include "query/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "query/plan_parser.hpp"
+#include "query/plan_suite.hpp"
+
+namespace ndpgen::query {
+namespace {
+
+constexpr std::uint64_t kScale = 8192;
+
+Plan parse_ok(const std::string& source) {
+  auto parsed = parse_plan(source);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().to_string();
+  return std::move(parsed).value();
+}
+
+ServePlanConfig small_config() {
+  ServePlanConfig config;
+  config.scale_divisor = kScale;
+  config.tenants = 2;
+  config.requests = 48;
+  return config;
+}
+
+TEST(ServePlan, StreamableTailsAreServable) {
+  EXPECT_FALSE(
+      servable(parse_ok("plan P { scan papers; filter year ge 2000; }")));
+  EXPECT_FALSE(servable(parse_ok(
+      "plan P { scan papers; filter year ge 2000, n_cited ge 50; "
+      "project id, year; }")));
+  // hot_window is the suite's pure filter+project plan.
+  EXPECT_FALSE(servable(parse_ok(find_plan("hot_window")->source)));
+}
+
+TEST(ServePlan, StatefulOperatorsAreRejected) {
+  const auto join = servable(
+      parse_ok("plan P { scan papers; join refs on id eq dst; }"));
+  ASSERT_TRUE(join.has_value());
+  EXPECT_EQ(join->kind, ErrorKind::kInvalidArg);
+  EXPECT_NE(join->message.find("join"), std::string::npos);
+
+  EXPECT_TRUE(
+      servable(parse_ok("plan P { scan papers; aggregate count; }")));
+  EXPECT_TRUE(
+      servable(parse_ok("plan P { scan papers; topk 5 by year; }")));
+  // Ref scans are not servable: the service stack is the papers PE.
+  EXPECT_TRUE(
+      servable(parse_ok("plan P { scan refs; filter src le 10; }")));
+}
+
+TEST(ServePlan, ServeRejectsUnservablePlanWithTypedStatus) {
+  const auto result =
+      serve_plan(parse_ok(find_plan("recent_top")->source), small_config());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().kind, ErrorKind::kInvalidArg);
+}
+
+TEST(ServePlan, FilterProjectPlanServesLoad) {
+  const Plan plan = parse_ok(find_plan("hot_window")->source);
+  auto result = serve_plan(plan, small_config());
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const ServeReport& report = result.value();
+
+  EXPECT_EQ(report.service.completed, 48u);
+  EXPECT_EQ(report.service.dropped, 0u);
+  // hot_window carries 4 predicates: the stock PE takes exactly one on
+  // its single HW filter stage, the rest run as row filters in the tail.
+  EXPECT_EQ(report.device_predicates, 1u);
+  EXPECT_EQ(report.tail_predicates, 3u);
+  EXPECT_TRUE(report.projected);
+  // The tail actually filtered something (predicates are selective).
+  EXPECT_GT(report.rows_filtered, 0u);
+  // PlanTarget folds its tail cost into phases.merge, so the service-wide
+  // invariant phases.total() == summed latency must still hold — the
+  // QueryService asserts it per request; here we check the merge phase
+  // picked up the tail work.
+  EXPECT_GT(report.service.phases[obs::RequestPhase::kMerge], 0u);
+}
+
+TEST(ServePlan, SingleFilterPlanNeedsNoTail) {
+  auto result = serve_plan(
+      parse_ok("plan solo { scan papers; filter year ge 1990; }"),
+      small_config());
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().device_predicates, 1u);
+  EXPECT_EQ(result.value().tail_predicates, 0u);
+  EXPECT_FALSE(result.value().projected);
+  EXPECT_EQ(result.value().rows_filtered, 0u);
+  EXPECT_EQ(result.value().service.completed, 48u);
+}
+
+TEST(ServePlan, ServeIsDeterministic) {
+  const Plan plan = parse_ok(find_plan("hot_window")->source);
+  auto first = serve_plan(plan, small_config());
+  auto second = serve_plan(plan, small_config());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().service.completed, second.value().service.completed);
+  EXPECT_EQ(first.value().rows_filtered, second.value().rows_filtered);
+  EXPECT_EQ(first.value().service.makespan_ns,
+            second.value().service.makespan_ns);
+  EXPECT_EQ(first.value().service.p99_ns, second.value().service.p99_ns);
+}
+
+}  // namespace
+}  // namespace ndpgen::query

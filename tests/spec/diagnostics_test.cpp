@@ -1,0 +1,93 @@
+#include "spec/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/parser.hpp"
+#include "support/error.hpp"
+
+namespace ndpgen::spec {
+namespace {
+
+TEST(Diagnostics, LocatedErrorCarriesLineAndColumn) {
+  try {
+    fail_at(ErrorKind::kParse, SourceLoc{3, 14}, "expected ';'");
+    FAIL() << "fail_at must throw";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kParse);
+    EXPECT_TRUE(error.has_location());
+    EXPECT_EQ(error.line(), 3u);
+    EXPECT_EQ(error.column(), 14u);
+    // what() renders the location; message() stays raw for Status capture.
+    EXPECT_NE(std::string(error.what()).find("at 3:14"), std::string::npos);
+    EXPECT_EQ(error.message(), "expected ';'");
+  }
+}
+
+TEST(Diagnostics, StatusFromErrorPreservesLocation) {
+  try {
+    fail_at(ErrorKind::kSemantic, SourceLoc{7, 2}, "unknown type 'Foo'");
+    FAIL() << "fail_at must throw";
+  } catch (const Error& error) {
+    const Status status = Status::from(error);
+    EXPECT_EQ(status.kind, ErrorKind::kSemantic);
+    EXPECT_EQ(status.line, 7u);
+    EXPECT_EQ(status.column, 2u);
+    EXPECT_EQ(status.message, "unknown type 'Foo'");
+    // No double "kind:" prefix and exactly one location suffix.
+    EXPECT_EQ(status.to_string(), "semantic: unknown type 'Foo' at 7:2");
+  }
+}
+
+TEST(Diagnostics, ParseSpecCheckedReturnsLocatedStatus) {
+  // Missing semicolon after the field: the parser fails mid-struct with a
+  // Result instead of a throw.
+  const auto result = parse_spec_checked(
+      "typedef struct {\n  uint32_t x\n} Point;\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().kind, ErrorKind::kParse);
+  EXPECT_TRUE(result.status().has_location());
+  EXPECT_GE(result.status().line, 2u);
+}
+
+TEST(Diagnostics, ParseSpecCheckedOkOnValidSource) {
+  const auto result = parse_spec_checked(
+      "/* @autogen define parser P with chunksize = 32, input = A, "
+      "output = A */\n"
+      "typedef struct { uint32_t x; } A;\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().parsers.size(), 1u);
+}
+
+TEST(Diagnostics, LexErrorIsLocated) {
+  const auto result = parse_spec_checked("typedef ` struct");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().kind, ErrorKind::kLex);
+  EXPECT_EQ(result.status().line, 1u);
+  EXPECT_EQ(result.status().column, 9u);
+}
+
+TEST(Diagnostics, RenderCaretPointsAtColumn) {
+  const std::string source = "line one\nfilter year betwen 2000;\n";
+  const Status status{ErrorKind::kPlanInvalid, "unknown operator 'betwen'",
+                      2, 13};
+  const std::string rendered = render_caret(status, source);
+  EXPECT_NE(rendered.find("plan-invalid: unknown operator 'betwen' at 2:13"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("filter year betwen 2000;"), std::string::npos);
+  // The caret sits under column 13 (12 spaces of padding).
+  EXPECT_NE(rendered.find("\n  " + std::string(12, ' ') + "^"),
+            std::string::npos);
+}
+
+TEST(Diagnostics, RenderCaretFallsBackWithoutLocation) {
+  const Status status{ErrorKind::kPlanInvalid, "plan is empty"};
+  EXPECT_EQ(render_caret(status, "whatever"), status.to_string());
+}
+
+TEST(Diagnostics, PlanInvalidExitCodeIsStable) {
+  EXPECT_EQ(exit_code(ErrorKind::kPlanInvalid), 21);
+  EXPECT_EQ(to_string(ErrorKind::kPlanInvalid), "plan-invalid");
+}
+
+}  // namespace
+}  // namespace ndpgen::spec

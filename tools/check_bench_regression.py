@@ -43,6 +43,15 @@ slack. Scrubbing is licensed to cost exactly the bandwidth share it
 steals; overhead beyond model + slack means a change made background
 scrubbing leak into foreground latency some other way.
 
+--query-overhead-threshold arms the query-plan cut guard, also
+self-referential: within the results, any series carrying both a
+"<plan>_hw" and a "<plan>_sw" row (emitted by fig_query_plans) must keep
+the PE-offloaded time within (1 + threshold) of the forced-SW-fallback
+time. The compiler picks the HW/SW cut per plan; an offload that costs
+more than the fallback it replaced means the cut policy (or the chain
+pricing feeding it) regressed. Same grace path — results without paired
+_hw/_sw rows make the guard note the gap and pass.
+
 --sim-throughput-threshold arms the fast-forward speedup guard, also
 self-referential: any bench carrying both a "sim_throughput|fast" and a
 "sim_throughput|exact" row (wall-clock simulated cycles per second, from
@@ -149,6 +158,38 @@ def check_scrub_overhead(benches, slack):
     return compared, failures
 
 
+def check_query_overhead(benches, threshold):
+    """Pairs <plan>_hw/<plan>_sw rows within the results; returns
+    (pairs_compared, failure_messages).
+
+    Both rows report virtual time, so the comparison is deterministic:
+    the compiled offload must never cost more than (1 + threshold) times
+    the forced software fallback for the same plan."""
+    compared = 0
+    failures = []
+    for bench, rows in sorted(benches.items()):
+        for key in sorted(rows):
+            if not key.endswith("_hw"):
+                continue
+            other = key[:-len("_hw")] + "_sw"
+            if other not in rows:
+                continue
+            compared += 1
+            hw = rows[key]["value"]
+            sw = rows[other]["value"]
+            if sw <= 0:
+                failures.append(
+                    f"{bench} {other}: non-positive SW-fallback time "
+                    f"{sw:.3f} [query-overhead]")
+                continue
+            if hw > sw * (1.0 + threshold):
+                failures.append(
+                    f"{bench} {key}: offloaded {hw:.3f} vs SW fallback "
+                    f"{sw:.3f} (+{hw / sw - 1.0:.1%} > {threshold:.0%}) "
+                    f"[query-overhead]")
+    return compared, failures
+
+
 def check_sim_throughput(benches, floor):
     """Pairs sim_throughput fast/exact rows within the results; returns
     (pairs_compared, failure_messages)."""
@@ -222,6 +263,13 @@ def main():
                              "share/(1-share) model bound (slack, from "
                              "fig_scrub_repair); guard is off when the "
                              "flag is absent")
+    parser.add_argument("--query-overhead-threshold", type=float,
+                        default=None,
+                        help="max relative excess of each <plan>_hw row "
+                             "over its <plan>_sw pair (virtual time, from "
+                             "fig_query_plans): the compiler's HW/SW cut "
+                             "must never offload at a loss; guard is off "
+                             "when the flag is absent")
     parser.add_argument("--sim-throughput-threshold", type=float,
                         default=None,
                         help="minimum sim_throughput|fast over "
@@ -341,6 +389,16 @@ def main():
         else:
             print(f"scrub-overhead guard: {scrub_compared} share rows "
                   f"(slack {args.scrub_overhead_threshold:.0%})")
+    if args.query_overhead_threshold is not None:
+        query_compared, query_failures = check_query_overhead(
+            benches, args.query_overhead_threshold)
+        failures.extend(query_failures)
+        if query_compared == 0:
+            print("note: no <plan>_hw/<plan>_sw row pairs in results; "
+                  "query-overhead guard had nothing to compare")
+        else:
+            print(f"query-overhead guard: {query_compared} hw/sw plan "
+                  f"pairs (threshold {args.query_overhead_threshold:.0%})")
     if args.sim_throughput_threshold is not None:
         sim_compared, sim_failures = check_sim_throughput(
             benches, args.sim_throughput_threshold)

@@ -32,6 +32,13 @@
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/request_trace.hpp"
+#include "query/compiler.hpp"
+#include "query/executor.hpp"
+#include "query/plan_parser.hpp"
+#include "query/plan_suite.hpp"
+#include "query/reference_executor.hpp"
+#include "query/serve.hpp"
+#include "spec/diagnostics.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "workload/crash_harness.hpp"
@@ -65,6 +72,30 @@ int usage() {
                "built-in pubgraph\n"
                "                                      workload over the full "
                "simulated platform\n"
+               "  query --plan <name|file|text> [--mode hw|sw]\n"
+               "       [--scale N] [--pes N] [--threads N]\n"
+               "       [--sim-mode exact|fast]\n"
+               "       [--fault-profile preset|k=v,...]\n"
+               "       [--explain] [--no-check] [--rows N] [--serve]\n"
+               "       [--list-plans]\n"
+               "                                      compile a logical "
+               "plan to chained PE\n"
+               "                                      netlists + a SW "
+               "tail, execute it on the\n"
+               "                                      simulated device and "
+               "byte-check the result\n"
+               "                                      against the naive "
+               "reference executor.\n"
+               "                                      --mode sw forces the "
+               "host fallback cut;\n"
+               "                                      --serve streams the "
+               "plan through the host\n"
+               "                                      query service "
+               "(filter/project tails only);\n"
+               "                                      --plan also accepts "
+               "a suite name (see\n"
+               "                                      --list-plans) or "
+               "inline plan text\n"
                "  serve [--tenants N] [--qd D] [--arrival-rate R]\n"
                "       [--requests N] [--batch B] [--weights a,b,...]\n"
                "       [--closed-loop C] [--think-us T] [--span K]\n"
@@ -186,7 +217,10 @@ int usage() {
                "  19 (device-unavailable) when no live replica can serve a "
                "partition, and\n"
                "  20 (integrity) when every replica of a partition holds "
-               "corrupt data.\n");
+               "corrupt data;\n"
+               "  query exits 21 (plan-invalid) with a caret diagnostic "
+               "when the plan\n"
+               "  does not lex, parse or validate.\n");
   return 2;
 }
 
@@ -1474,6 +1508,188 @@ int cmd_testbench(const std::vector<std::string>& args) {
 
 }  // namespace
 
+/// Resolves --plan's value: suite name, then file path, then inline text.
+std::string resolve_plan_source(const std::string& arg) {
+  if (const auto* named = query::find_plan(arg)) return named->source;
+  if (std::filesystem::exists(arg)) return read_file(arg);
+  if (arg.find('{') != std::string::npos) return arg;
+  throw Error(ErrorKind::kInvalidArg,
+              "--plan '" + arg +
+                  "' is neither a suite plan name, a readable file, nor "
+                  "inline plan text (see --list-plans)");
+}
+
+int cmd_query(const std::vector<std::string>& args) {
+  std::string plan_arg;
+  std::string mode_name = "hw";
+  std::uint64_t scale = 32768;
+  std::uint32_t pes = 1;
+  std::uint32_t threads = 0;
+  bool explain = false;
+  bool check = true;
+  bool serve = false;
+  std::size_t dump_rows = 10;
+  fault::FaultProfile fault_profile;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--plan" && i + 1 < args.size()) {
+      plan_arg = args[++i];
+    } else if (args[i] == "--mode" && i + 1 < args.size()) {
+      mode_name = args[++i];
+    } else if (args[i] == "--scale" && i + 1 < args.size()) {
+      scale = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--pes" && i + 1 < args.size()) {
+      pes = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = static_cast<std::uint32_t>(
+          std::strtoul(args[++i].c_str(), nullptr, 10));
+    } else if (args[i] == "--sim-mode" && i + 1 < args.size()) {
+      set_sim_mode_flag(args[++i]);
+    } else if (args[i] == "--fault-profile" && i + 1 < args.size()) {
+      fault_profile = parse_fault_profile(args[++i]);
+    } else if (args[i] == "--rows" && i + 1 < args.size()) {
+      dump_rows = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--explain") {
+      explain = true;
+    } else if (args[i] == "--no-check") {
+      check = false;
+    } else if (args[i] == "--serve") {
+      serve = true;
+    } else if (args[i] == "--list-plans") {
+      for (const auto& named : query::plan_suite()) {
+        std::printf("%s:\n%s\n", named.name.c_str(), named.source.c_str());
+      }
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+  if (plan_arg.empty()) return usage();
+  if (mode_name != "hw" && mode_name != "sw") return usage();
+
+  const std::string source = resolve_plan_source(plan_arg);
+  auto parsed = query::parse_plan(source);
+  if (!parsed.ok()) {
+    // The located caret diagnostic, then the typed exit code (21).
+    std::fprintf(stderr, "ndpgen: %s\n",
+                 spec::render_caret(parsed.status(), source).c_str());
+    return exit_code(parsed.status().kind);
+  }
+  const query::Plan& plan = parsed.value();
+
+  if (serve) {
+    query::ServePlanConfig serve_config;
+    serve_config.scale_divisor = scale;
+    serve_config.fault = fault_profile;
+    auto served = query::serve_plan(plan, serve_config);
+    if (!served.ok()) {
+      throw Error(served.status().kind, served.status().message);
+    }
+    const query::ServeReport& report = served.value();
+    std::printf(
+        "plan %s served: %llu completed, %llu result rows (%llu dropped "
+        "by the streamable tail)\n",
+        plan.name.c_str(),
+        static_cast<unsigned long long>(report.service.completed),
+        static_cast<unsigned long long>(report.service.results),
+        static_cast<unsigned long long>(report.rows_filtered));
+    std::printf(
+        "  cut: %zu predicate(s) on the device HW stage, %zu row-filtered "
+        "host-side%s\n",
+        report.device_predicates, report.tail_predicates,
+        report.projected ? ", projected" : "");
+    std::printf("  p50 %.1f us, p95 %.1f us, p99 %.1f us, %.0f req/s\n",
+                static_cast<double>(report.service.p50_ns) / 1e3,
+                static_cast<double>(report.service.p95_ns) / 1e3,
+                static_cast<double>(report.service.p99_ns) / 1e3,
+                report.service.throughput_rps);
+    return 0;
+  }
+
+  query::CompileOptions compile_options;
+  compile_options.force_software = mode_name == "sw";
+  auto compiled = query::compile_plan(plan, compile_options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "ndpgen: %s\n",
+                 spec::render_caret(compiled.status(), source).c_str());
+    return exit_code(compiled.status().kind);
+  }
+  if (explain) {
+    std::printf("%s\n", plan.dump().c_str());
+    std::printf("%s\n", compiled.value().explain().c_str());
+    if (compiled.value().probe.offloaded) {
+      std::printf("%s", compiled.value().probe.pricing.dump().c_str());
+    }
+  }
+
+  query::QueryExecOptions exec_options;
+  exec_options.scale_divisor = scale;
+  exec_options.pes = pes;
+  exec_options.threads = threads;
+  exec_options.fault = fault_profile;
+  if (fault_profile.any_enabled()) {
+    std::fprintf(stderr, "%s\n", fault_profile.summary().c_str());
+  }
+  query::QueryStats stats;
+  const query::ResultTable table =
+      query::execute_plan(compiled.value(), exec_options, &stats);
+
+  std::printf("%s\n", table.dump(dump_rows).c_str());
+  std::printf(
+      "plan %s (%s): %llu rows, fingerprint %08x\n", plan.name.c_str(),
+      compiled.value().any_offloaded() ? "HW-offloaded" : "SW fallback",
+      static_cast<unsigned long long>(table.rows.size()),
+      table.fingerprint());
+  for (const auto& leaf : stats.leaves) {
+    const std::string leaf_mode =
+        leaf.offloaded
+            ? std::to_string(leaf.hw_filter_stages) + "-stage HW chain"
+            : "SW fallback";
+    std::printf(
+        "  leaf %s: %s, %llu records, %llu blocks, %llu rows out, "
+        "%.2f ms device\n",
+        std::string(query::to_string(leaf.dataset)).c_str(),
+        leaf_mode.c_str(),
+        static_cast<unsigned long long>(leaf.records_loaded),
+        static_cast<unsigned long long>(leaf.blocks),
+        static_cast<unsigned long long>(leaf.rows_out),
+        static_cast<double>(leaf.elapsed) / 1e6);
+    if (leaf.blocks_degraded_to_software > 0 ||
+        leaf.uncorrectable_blocks > 0) {
+      std::printf("    reliability: %llu blocks degraded to SW, %llu "
+                  "uncorrectable\n",
+                  static_cast<unsigned long long>(
+                      leaf.blocks_degraded_to_software),
+                  static_cast<unsigned long long>(
+                      leaf.uncorrectable_blocks));
+    }
+  }
+  std::printf("  device %.2f ms + host %.2f ms = %.2f ms\n",
+              static_cast<double>(stats.device_ns) / 1e6,
+              static_cast<double>(stats.host_ns) / 1e6,
+              static_cast<double>(stats.elapsed()) / 1e6);
+
+  if (check) {
+    query::ReferenceStats ref_stats;
+    const query::ResultTable reference =
+        query::reference_execute(plan, scale, &ref_stats);
+    const bool equal = table.to_bytes() == reference.to_bytes();
+    std::printf(
+        "  reference: %llu rows, fingerprint %08x, modeled %.2f ms "
+        "(host classic) -> %s\n",
+        static_cast<unsigned long long>(reference.rows.size()),
+        reference.fingerprint(),
+        static_cast<double>(ref_stats.elapsed()) / 1e6,
+        equal ? "byte-equal" : "MISMATCH");
+    if (!equal) {
+      throw Error(ErrorKind::kInternal,
+                  "compiled execution diverges from the reference "
+                  "executor for plan '" + plan.name + "'");
+    }
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
@@ -1492,6 +1708,9 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "scan") {
       return cmd_scan({args.begin() + 1, args.end()});
+    }
+    if (args[0] == "query") {
+      return cmd_query({args.begin() + 1, args.end()});
     }
     if (args[0] == "serve") {
       return cmd_serve({args.begin() + 1, args.end()});
